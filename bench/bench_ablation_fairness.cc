@@ -1,0 +1,76 @@
+// Reproduces the §4.3 "Multiple Competing Connections" experiments:
+// 2, 4 and 16 connections share the bottleneck, with equal propagation
+// delays and with half the connections at twice the delay; fairness is
+// Jain's index.  Paper: Reno slightly fairer at 2/4 equal-delay, Vegas
+// fairer with unequal delays and at 16 connections; no instability at
+// 16 connections over 20 buffers, where Vegas halves the coarse
+// timeouts thanks to its retransmit mechanism.
+#include "bench/bench_util.h"
+#include "stats/summary.h"
+
+using namespace vegas;
+using exp::AlgoSpec;
+
+namespace {
+
+struct Agg {
+  stats::Running jain;
+  stats::Running timeouts;
+  stats::Running retx_kb;
+  bool all_completed = true;
+};
+
+Agg run_config(int connections, AlgoSpec spec, bool unequal, int seeds) {
+  Agg agg;
+  for (int s = 0; s < seeds; ++s) {
+    exp::FairnessParams p;
+    p.connections = connections;
+    p.algo = spec;
+    p.unequal_delay = unequal;
+    p.bytes_each = connections >= 16 ? 2_MB : 8_MB;  // paper's sizes
+    p.seed = 600 + static_cast<std::uint64_t>(s);
+    const auto r = exp::run_fairness(p);
+    agg.all_completed = agg.all_completed && r.all_completed;
+    agg.jain.add(r.jain);
+    agg.timeouts.add(static_cast<double>(r.coarse_timeouts));
+    agg.retx_kb.add(static_cast<double>(r.bytes_retransmitted) / 1024.0);
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§4.3 ablation", "Multiple competing connections (fairness)");
+  const int seeds = bench::scaled(3);
+  std::printf("%d seeds per cell; 8 MB each at 2/4 connections, 2 MB each "
+              "at 16\n\n",
+              seeds);
+
+  exp::Table table({"conns", "delay", "Reno Jain", "Vegas Jain",
+                    "Reno TOs", "Vegas TOs"},
+                   11);
+  for (const int conns : {2, 4, 16}) {
+    for (const bool unequal : {false, true}) {
+      const Agg reno = run_config(conns, AlgoSpec::reno(), unequal, seeds);
+      const Agg vegas = run_config(conns, AlgoSpec::vegas(), unequal, seeds);
+      table.add_row({std::to_string(conns), unequal ? "1x/2x" : "equal",
+                     exp::Table::num(reno.jain.mean(), 3),
+                     exp::Table::num(vegas.jain.mean(), 3),
+                     exp::Table::num(reno.timeouts.mean(), 1),
+                     exp::Table::num(vegas.timeouts.mean(), 1)});
+      if (!reno.all_completed || !vegas.all_completed) {
+        std::printf("  (warning: some transfers did not complete)\n");
+      }
+    }
+  }
+  table.print();
+
+  bench::note(
+      "\nPaper shape: overall Vegas is at least as fair as Reno — clearly\n"
+      "fairer with 16 connections and with unequal propagation delays —\n"
+      "and with 16 connections over 20 buffers (where CAM cannot work)\n"
+      "Vegas still halves Reno's coarse timeouts via its retransmit\n"
+      "mechanism.  No stability problems at 16 connections.");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces the §4.3 "Different TCP send-buffer sizes" experiment:
+// send buffers from 50 KB down to 5 KB.  Paper: Vegas is flat from
+// 50..20 KB then degrades (pipe no longer full); Reno first IMPROVES as
+// the buffer shrinks (a small send window stops it overrunning the
+// queue) and always stays below Vegas.
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "stats/summary.h"
+
+using namespace vegas;
+using exp::AlgoSpec;
+
+namespace {
+
+double mean_throughput(AlgoSpec spec, ByteCount sendbuf, int seeds) {
+  stats::Running thr;
+  for (int s = 0; s < seeds; ++s) {
+    exp::BackgroundParams p;
+    p.transfer = spec;
+    p.send_buffer = sendbuf;
+    p.queue = 10;
+    p.seed = 500 + static_cast<std::uint64_t>(s);
+    const auto r = exp::run_background(p);
+    if (r.transfer.completed) thr.add(r.transfer.throughput_Bps() / 1024.0);
+  }
+  return thr.mean();
+}
+
+}  // namespace
+
+int main() {
+  bench::header("§4.3 ablation", "Send-buffer size sweep (5..50 KB)");
+  const int seeds = bench::scaled(5);
+  std::printf("%d runs per cell, 1 MB transfer vs tcplib background, "
+              "queue 10\n\n",
+              seeds);
+
+  exp::Table table({"send buffer", "Reno (KB/s)", "Vegas (KB/s)"}, 14);
+  std::vector<double> reno_thr, vegas_thr;
+  for (const ByteCount kb : {50, 40, 30, 20, 10, 5}) {
+    const double r = mean_throughput(AlgoSpec::reno(), kb * 1024, seeds);
+    const double v = mean_throughput(AlgoSpec::vegas(), kb * 1024, seeds);
+    reno_thr.push_back(r);
+    vegas_thr.push_back(v);
+    table.add_row({std::to_string(kb) + " KB", exp::Table::num(r),
+                   exp::Table::num(v)});
+  }
+  table.print();
+
+  bench::note(
+      "\nPaper shape: Vegas ~flat 50..20 KB, dropping below that (cannot\n"
+      "keep the pipe full); Reno's throughput first RISES as the buffer\n"
+      "shrinks (window capped before it can overrun the queue), and Vegas\n"
+      "stays above Reno at every size.");
+  return 0;
+}

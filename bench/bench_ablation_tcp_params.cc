@@ -1,0 +1,85 @@
+// TCP parameter ablations the paper holds fixed:
+//  - ACK policy: the x-kernel TCP the paper instruments ACKs every
+//    segment; BSD hosts of the era used delayed ACKs (every 2nd segment
+//    or 200 ms).  Delayed ACKs halve the ACK clock — slow start ramps
+//    slower and Vegas gets half the CAM samples.
+//  - Segment size: 512 B / 1 KB (the paper's) / 1436 B (Ethernet MSS).
+#include "bench/bench_util.h"
+#include "core/factory.h"
+#include "exp/world.h"
+#include "stats/summary.h"
+#include "traffic/bulk.h"
+
+using namespace vegas;
+using exp::AlgoSpec;
+
+namespace {
+
+struct Agg {
+  stats::Running thr, retx;
+};
+
+Agg run_solo(AlgoSpec spec, const tcp::TcpConfig& tcp_cfg, int seeds) {
+  Agg agg;
+  for (int s = 0; s < seeds; ++s) {
+    net::DumbbellConfig topo;
+    topo.pairs = 1;
+    topo.bottleneck_queue = 10;
+    exp::DumbbellWorld world(topo, tcp_cfg,
+                             2800 + static_cast<std::uint64_t>(s));
+    traffic::BulkTransfer::Config cfg;
+    cfg.bytes = 1_MB;
+    cfg.port = 5001;
+    cfg.tcp = tcp_cfg;
+    cfg.factory = spec.factory();
+    traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
+    world.sim().run_until(sim::Time::seconds(300));
+    if (!t.done()) continue;
+    agg.thr.add(t.throughput_kBps());
+    agg.retx.add(t.result().sender_stats.bytes_retransmitted / 1024.0);
+  }
+  return agg;
+}
+
+}  // namespace
+
+int main() {
+  const int seeds = bench::scaled(3);
+
+  bench::header("Ablation", "ACK policy: every-segment vs BSD delayed ACKs");
+  exp::Table ack_table({"variant", "thr KB/s", "retx KB"}, 18);
+  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas()}) {
+    for (const bool delack : {false, true}) {
+      tcp::TcpConfig cfg;
+      cfg.delayed_ack = delack;
+      const Agg agg = run_solo(spec, cfg, seeds);
+      ack_table.add_row({spec.label() +
+                             (delack ? " delayed-ACK" : " ACK-each"),
+                         exp::Table::num(agg.thr.mean()),
+                         exp::Table::num(agg.retx.mean())});
+    }
+  }
+  ack_table.print();
+  bench::note("Delayed ACKs halve the ACK clock: slower slow start for\n"
+              "both, and Vegas samples its CAM half as often — the paper's\n"
+              "per-segment-ACK x-kernel receiver flatters everyone.\n");
+
+  bench::header("Ablation", "Segment size (paper uses 1 KB)");
+  exp::Table mss_table({"variant", "thr KB/s", "retx KB"}, 18);
+  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas()}) {
+    for (const ByteCount mss : {512, 1024, 1436}) {
+      tcp::TcpConfig cfg;
+      cfg.mss = mss;
+      const Agg agg = run_solo(spec, cfg, seeds);
+      mss_table.add_row({spec.label() + " mss=" + std::to_string(mss),
+                         exp::Table::num(agg.thr.mean()),
+                         exp::Table::num(agg.retx.mean())});
+    }
+  }
+  mss_table.print();
+  bench::note("Vegas' alpha/beta are in SEGMENTS: larger segments mean a\n"
+              "wider extra-bytes band (the 'buffers' interpretation of\n"
+              "§3.2), so the equilibrium queue scales with MSS; Reno's\n"
+              "loss cycle shape barely changes.");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Micro-benchmarks of the simulator substrate itself: event queue
+// schedule/pop throughput, timer churn, and packets-per-second through
+// a loaded link — the numbers that bound every experiment's wall time.
+#include <benchmark/benchmark.h>
+
+#include "net/link.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+using namespace vegas;
+using namespace vegas::sim::literals;
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::uint64_t x = 99;
+    for (int i = 0; i < n; ++i) {
+      x = x * 6364136223846793005ull + 1442695040888963407ull;
+      q.schedule(sim::Time::nanoseconds(static_cast<std::int64_t>(x % 1000000)),
+                 [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
+
+void BM_SimulatorEventChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int remaining = 100000;
+    std::function<void()> hop = [&] {
+      if (--remaining > 0) sim.schedule(1_us, hop);
+    };
+    sim.schedule(1_us, hop);
+    sim.run();
+    benchmark::DoNotOptimize(sim.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorEventChain);
+
+void BM_TimerRestartChurn(benchmark::State& state) {
+  sim::Simulator sim;
+  sim::Timer t(sim, [] {});
+  for (auto _ : state) {
+    t.restart(1_ms);
+    t.stop();
+  }
+}
+BENCHMARK(BM_TimerRestartChurn);
+
+class CountingSink : public net::Node {
+ public:
+  CountingSink() : Node(0, "sink") {}
+  void receive(net::PacketPtr p) override {
+    benchmark::DoNotOptimize(p->uid);
+    ++count;
+  }
+  std::uint64_t count = 0;
+};
+
+void BM_LinkPacketThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    CountingSink sink;
+    net::LinkConfig cfg{1e9, 1_ms, 64};
+    net::Link link(sim, "l", cfg, sink);
+    for (int burst = 0; burst < 200; ++burst) {
+      for (int i = 0; i < 50; ++i) {
+        auto p = net::make_packet();
+        p->payload_bytes = 1024;
+        link.send(std::move(p));
+      }
+      sim.run();
+    }
+    benchmark::DoNotOptimize(sink.count);
+  }
+  state.SetItemsProcessed(state.iterations() * 200 * 50);
+}
+BENCHMARK(BM_LinkPacketThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

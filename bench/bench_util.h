@@ -1,0 +1,34 @@
+// Shared helpers for the table/figure reproduction binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/report.h"
+#include "exp/scenarios.h"
+
+namespace vegas::bench {
+
+/// Scale factor for run counts: VEGAS_BENCH_SCALE=0.2 runs one-fifth of
+/// each sweep (minimum 1 run per cell) for quick smoke tests.
+inline double run_scale() {
+  const char* env = std::getenv("VEGAS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+inline int scaled(int runs) {
+  const int v = static_cast<int>(runs * run_scale());
+  return v < 1 ? 1 : v;
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+inline void note(const char* text) { std::printf("%s\n", text); }
+
+}  // namespace vegas::bench

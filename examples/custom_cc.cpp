@@ -1,0 +1,82 @@
+// Extending the library: a custom congestion-control engine in ~40
+// lines.  The TcpSender base class (which IS Reno) exposes the same
+// virtual joints the built-in Vegas/Tahoe/DUAL/CARD/Tri-S engines use —
+// here we build "FixedWindow", a CC-less TCP that always keeps a
+// constant window, and race it against Reno on the shared bottleneck.
+//
+//   ./custom_cc [window_segments=8]
+#include <cstdio>
+#include <cstdlib>
+
+#include "exp/world.h"
+#include "tcp/sender.h"
+#include "traffic/bulk.h"
+
+using namespace vegas;
+
+namespace {
+
+/// TCP with a fixed congestion window: no slow start, no reaction to
+/// loss beyond retransmission.  (This is what TCP looked like before
+/// Jacobson '88 — instructive to race against real congestion control.)
+class FixedWindowSender : public tcp::TcpSender {
+ public:
+  FixedWindowSender(const tcp::TcpConfig& cfg, int segments)
+      : TcpSender(cfg), window_(segments * cfg.mss) {}
+
+  std::string name() const override { return "FixedWindow"; }
+
+ protected:
+  void cc_on_new_ack(ByteCount) override { set_cwnd(window_); }
+  void cc_on_dup_ack(int dup_count) override {
+    if (dup_count == config().dup_ack_threshold) {
+      retransmit_front(tcp::RetransmitTrigger::kThreeDupAcks);
+      ++stats_.fast_retransmits;
+    }
+    set_cwnd(window_);
+  }
+  void cc_on_coarse_timeout() override { set_cwnd(window_); }
+
+ private:
+  ByteCount window_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int segments = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  net::DumbbellConfig topo;
+  topo.pairs = 2;
+  topo.bottleneck_queue = 10;
+  exp::DumbbellWorld world(topo, tcp::TcpConfig{}, /*seed=*/3);
+
+  traffic::BulkTransfer::Config fixed;
+  fixed.bytes = 1_MB;
+  fixed.port = 5001;
+  fixed.factory = [segments](const tcp::TcpConfig& cfg) {
+    return std::make_unique<FixedWindowSender>(cfg, segments);
+  };
+  traffic::BulkTransfer t_fixed(world.left(0), world.right(0), fixed);
+
+  traffic::BulkTransfer::Config reno;
+  reno.bytes = 1_MB;
+  reno.port = 5002;
+  traffic::BulkTransfer t_reno(world.left(1), world.right(1), reno);
+
+  world.sim().run_until(sim::Time::seconds(600));
+
+  auto print = [](const char* label, const traffic::TransferResult& r) {
+    std::printf("%-24s %7.1f KB/s   %6.1f KB retransmitted   %llu timeouts\n",
+                label, r.throughput_Bps() / 1024.0,
+                r.sender_stats.bytes_retransmitted / 1024.0,
+                static_cast<unsigned long long>(
+                    r.sender_stats.coarse_timeouts));
+  };
+  std::printf("1 MB each, shared 200 KB/s bottleneck, queue 10:\n");
+  char label[64];
+  std::snprintf(label, sizeof(label), "FixedWindow(%d segs)", segments);
+  print(label, t_fixed.result());
+  print("Reno", t_reno.result());
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Lightweight invariant checking.
+//
+// ensure() is an always-on internal-consistency check: simulator state that
+// is violated indicates a bug in this library, not bad user input, so we
+// terminate with a diagnostic rather than throw.  User-facing argument
+// validation uses exceptions (std::invalid_argument) at API boundaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+
+namespace vegas {
+
+[[noreturn]] inline void ensure_fail(const char* expr, const char* msg,
+                                     const std::source_location& loc) {
+  std::fprintf(stderr, "invariant violated: %s (%s) at %s:%u in %s\n", expr,
+               msg, loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+inline void ensure(bool ok, const char* msg = "",
+                   const std::source_location loc =
+                       std::source_location::current()) {
+  if (!ok) ensure_fail("ensure", msg, loc);
+}
+
+}  // namespace vegas

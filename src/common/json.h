@@ -1,0 +1,115 @@
+// Minimal JSON writer — enough to emit experiment results for scripting
+// (no external dependencies, no parsing).
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace vegas::json {
+
+/// Streaming writer with automatic comma placement.  Usage:
+///   Writer w;
+///   w.begin_object();
+///   w.field("throughput", 123.4);
+///   w.key("stats"); w.begin_object(); ... w.end_object();
+///   w.end_object();
+///   puts(w.str().c_str());
+class Writer {
+ public:
+  void begin_object() {
+    comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void end_object() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void begin_array() {
+    comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void end_array() {
+    out_ += ']';
+    fresh_ = false;
+  }
+
+  void key(const std::string& name) {
+    comma();
+    append_string(name);
+    out_ += ':';
+    fresh_ = true;
+  }
+
+  void value(const std::string& v) {
+    comma();
+    append_string(v);
+  }
+  void value(const char* v) { value(std::string(v)); }
+  void value(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      out_ += buf;
+    } else {
+      out_ += "null";
+    }
+  }
+  void value(std::int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(std::uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+  }
+  void value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+  }
+
+  template <typename T>
+  void field(const std::string& name, T v) {
+    key(name);
+    value(v);
+  }
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma() {
+    if (!fresh_ && !out_.empty() && out_.back() != '{' &&
+        out_.back() != '[' && out_.back() != ':') {
+      out_ += ',';
+    }
+    fresh_ = false;
+  }
+  void append_string(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace vegas::json

@@ -1,0 +1,28 @@
+#include "common/log.h"
+
+namespace vegas::log {
+namespace {
+Level g_level = Level::kWarn;
+
+const char* tag(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO ";
+    case Level::kWarn: return "WARN ";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_level(Level level) { g_level = level; }
+Level level() { return g_level; }
+bool enabled(Level level) { return level >= g_level; }
+
+void write(Level level, const std::string& message) {
+  if (!enabled(level)) return;
+  std::fprintf(stderr, "[%s] %s\n", tag(level), message.c_str());
+}
+
+}  // namespace vegas::log

@@ -1,0 +1,30 @@
+// Minimal leveled logger.
+//
+// The hot path of the simulator never logs; logging exists for debugging
+// experiments and for the examples' human-readable narration.  Guarded by
+// a global level so disabled levels cost one branch.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace vegas::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log threshold; messages below it are suppressed.
+void set_level(Level level);
+Level level();
+
+bool enabled(Level level);
+
+/// Core sink; prepends the level tag.  Not printf-style on purpose —
+/// callers format with std::format or string concatenation.
+void write(Level level, const std::string& message);
+
+inline void debug(const std::string& m) { write(Level::kDebug, m); }
+inline void info(const std::string& m) { write(Level::kInfo, m); }
+inline void warn(const std::string& m) { write(Level::kWarn, m); }
+inline void error(const std::string& m) { write(Level::kError, m); }
+
+}  // namespace vegas::log

@@ -1,0 +1,69 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/ensure.h"
+
+namespace vegas::rng {
+
+double Stream::uniform(double lo, double hi) {
+  ensure(lo <= hi, "uniform bounds");
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+std::int64_t Stream::uniform_int(std::int64_t lo, std::int64_t hi) {
+  ensure(lo <= hi, "uniform_int bounds");
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Stream::exponential(double mean) {
+  ensure(mean > 0.0, "exponential mean");
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Stream::lognormal(double log_mean, double log_sigma) {
+  return std::lognormal_distribution<double>(log_mean, log_sigma)(engine_);
+}
+
+std::int64_t Stream::geometric(double mean) {
+  ensure(mean >= 1.0, "geometric mean must be >= 1");
+  // std::geometric_distribution counts failures before first success with
+  // mean (1-p)/p; we want values on {1,2,...} with the requested mean.
+  const double p = 1.0 / mean;
+  return 1 + std::geometric_distribution<std::int64_t>(p)(engine_);
+}
+
+double Stream::pareto(double lo, double hi, double alpha) {
+  ensure(lo > 0.0 && hi > lo && alpha > 0.0, "pareto parameters");
+  // Inverse-CDF sampling of a Pareto truncated to [lo, hi].
+  const double u = uniform(0.0, 1.0);
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+  return std::clamp(x, lo, hi);
+}
+
+bool Stream::chance(double p) {
+  ensure(p >= 0.0 && p <= 1.0, "probability range");
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+std::uint64_t derive_seed(std::uint64_t root, std::string_view name) {
+  // FNV-1a over the name, folded with the root seed.  Adequate mixing for
+  // decorrelating component streams; not cryptographic.
+  std::uint64_t h = 1469598103934665603ull ^ root;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  // Final avalanche (splitmix64 finaliser).
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+}  // namespace vegas::rng

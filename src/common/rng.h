@@ -1,0 +1,60 @@
+// Deterministic random-number streams.
+//
+// Every stochastic element of an experiment (traffic interarrivals, item
+// sizes, loss processes, start-time jitter) draws from its own named
+// Stream derived from the experiment seed, so (a) runs are reproducible
+// bit-for-bit and (b) changing how often one component draws does not
+// perturb any other component — a property the paper's "different seeds
+// for tcplib" methodology (§4.2) depends on.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace vegas::rng {
+
+/// A self-contained random stream.  Thin wrapper over mt19937_64 exposing
+/// just the distributions this library needs.
+class Stream {
+ public:
+  explicit Stream(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform real in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with the given mean (not rate).
+  double exponential(double mean);
+
+  /// Log-normal parameterised by the mean and sigma of the underlying
+  /// normal (the classic heavy-tailed shape of tcplib FTP item sizes).
+  double lognormal(double log_mean, double log_sigma);
+
+  /// Geometric on {1, 2, ...} with the given mean >= 1.
+  std::int64_t geometric(double mean);
+
+  /// Bounded Pareto on [lo, hi] with shape alpha (> 0).
+  double pareto(double lo, double hi, double alpha);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Derives a child seed from (parent seed, component name) via FNV-1a so
+/// that each named component gets an independent stream.
+std::uint64_t derive_seed(std::uint64_t root, std::string_view name);
+
+/// Convenience: a Stream for the named component of an experiment.
+inline Stream substream(std::uint64_t root, std::string_view name) {
+  return Stream(derive_seed(root, name));
+}
+
+}  // namespace vegas::rng

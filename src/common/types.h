@@ -1,0 +1,24 @@
+// Common scalar types and identifiers shared across the library.
+#pragma once
+
+#include <cstdint>
+
+namespace vegas {
+
+/// Identifies a node (host or router) in a simulated network.  Assigned
+/// densely from zero by net::Network so it can index vectors.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = 0xffffffffu;
+
+/// TCP-style port number.
+using PortNum = std::uint16_t;
+
+/// Count of bytes (buffer sizes, transfer sizes, window sizes).
+using ByteCount = std::int64_t;
+
+/// Bytes per second.  Paper rates are quoted in KB/s; helpers in units.h.
+using Rate = double;
+
+}  // namespace vegas

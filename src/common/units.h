@@ -1,0 +1,30 @@
+// Unit helpers.  The paper quotes bandwidth in KB/s (kilobytes per second,
+// 1 KB = 1024 bytes per the BSD convention it uses for transfer sizes);
+// we follow that convention throughout so reproduced tables read the same.
+#pragma once
+
+#include "common/types.h"
+
+namespace vegas {
+
+inline constexpr ByteCount operator""_KB(unsigned long long v) {
+  return static_cast<ByteCount>(v) * 1024;
+}
+inline constexpr ByteCount operator""_MB(unsigned long long v) {
+  return static_cast<ByteCount>(v) * 1024 * 1024;
+}
+
+/// Converts a bandwidth quoted in KB/s into bytes per second.
+inline constexpr Rate kbps_to_rate(double kb_per_s) { return kb_per_s * 1024.0; }
+
+/// Converts bytes/s into the paper's KB/s for reporting.
+inline constexpr double rate_to_kbps(Rate bytes_per_s) {
+  return bytes_per_s / 1024.0;
+}
+
+/// Converts megabits/s (link speeds like "10 Mb/s Ethernet") to bytes/s.
+inline constexpr Rate mbps_to_rate(double megabit_per_s) {
+  return megabit_per_s * 1e6 / 8.0;
+}
+
+}  // namespace vegas

@@ -1,0 +1,62 @@
+// Jain's CARD — Congestion Avoidance using Round-trip Delay (§3.2, [7]).
+//
+// Every two round-trip delays the window moves based on the sign of
+// (W_now − W_old) × (RTT_now − RTT_old): positive → shrink by one-eighth,
+// negative or zero → grow by one MSS.  The window oscillates around the
+// socially-optimal point by construction.  Reno slow start bootstraps the
+// connection; CARD replaces the congestion-avoidance phase.
+#pragma once
+
+#include "core/rtt_probe.h"
+#include "tcp/sender.h"
+
+namespace vegas::core {
+
+class CardSender : public tcp::TcpSender {
+ public:
+  using TcpSender::TcpSender;
+  std::string name() const override { return "CARD"; }
+
+ protected:
+  void cc_on_new_ack(ByteCount newly_acked) override {
+    if (in_recovery() || in_slow_start()) {
+      TcpSender::cc_on_new_ack(newly_acked);
+      return;
+    }
+    // Linear mode: window moves only at epoch boundaries (see below).
+  }
+
+  void on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) override {
+    if (duplicate || ack <= snd_una()) return;
+    if (const auto rtt = covered_rtt_sample(records(), ack, now())) {
+      rtt_cur_ = *rtt;
+      have_rtt_ = true;
+    }
+    if (!epoch_.on_ack(ack, snd_nxt()) || epoch_.count() % 2 != 0 ||
+        !have_rtt_ || in_slow_start()) {
+      return;
+    }
+    if (have_prev_) {
+      const double dw = static_cast<double>(cwnd() - prev_wnd_);
+      const double drtt = (rtt_cur_ - prev_rtt_).to_seconds();
+      if (dw * drtt > 0.0) {
+        set_cwnd(cwnd() - cwnd() / 8);
+      } else {
+        set_cwnd(cwnd() + mss());
+      }
+    }
+    prev_wnd_ = cwnd();
+    prev_rtt_ = rtt_cur_;
+    have_prev_ = true;
+  }
+
+ private:
+  RttEpoch epoch_;
+  sim::Time rtt_cur_;
+  sim::Time prev_rtt_;
+  ByteCount prev_wnd_ = 0;
+  bool have_rtt_ = false;
+  bool have_prev_ = false;
+};
+
+}  // namespace vegas::core

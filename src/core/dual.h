@@ -1,0 +1,46 @@
+// Wang & Crowcroft's DUAL algorithm (§3.2, [11]).
+//
+// "The congestion window normally increases as in Reno, but every two
+// round-trip delays the algorithm checks to see if the current RTT is
+// greater than the average of the minimum and maximum RTTs seen so far.
+// If it is, then the algorithm decreases the congestion window by
+// one-eighth."  Implemented as a comparator for the ablation benches.
+#pragma once
+
+#include "core/rtt_probe.h"
+#include "tcp/sender.h"
+
+namespace vegas::core {
+
+class DualSender : public tcp::TcpSender {
+ public:
+  using TcpSender::TcpSender;
+  std::string name() const override { return "DUAL"; }
+
+ protected:
+  void on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) override {
+    if (duplicate || ack <= snd_una()) return;
+    if (const auto rtt = covered_rtt_sample(records(), ack, now())) {
+      rtt_cur_ = *rtt;
+      if (!seen_any_ || *rtt < rtt_min_) rtt_min_ = *rtt;
+      if (!seen_any_ || *rtt > rtt_max_) rtt_max_ = *rtt;
+      seen_any_ = true;
+    }
+    if (epoch_.on_ack(ack, snd_nxt()) && epoch_.count() % 2 == 0 &&
+        seen_any_) {
+      const sim::Time threshold = (rtt_min_ + rtt_max_) / 2;
+      if (rtt_cur_ > threshold) {
+        set_cwnd(cwnd() - cwnd() / 8);
+      }
+    }
+  }
+
+ private:
+  RttEpoch epoch_;
+  sim::Time rtt_cur_;
+  sim::Time rtt_min_;
+  sim::Time rtt_max_;
+  bool seen_any_ = false;
+};
+
+}  // namespace vegas::core

@@ -1,0 +1,76 @@
+#include "core/factory.h"
+
+#include "core/card.h"
+#include "core/newreno.h"
+#include "core/dual.h"
+#include "core/tris.h"
+#include "core/vegas.h"
+#include "tcp/tahoe.h"
+
+namespace vegas::core {
+
+tcp::SenderFactory make_sender_factory(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kReno:
+      return tcp::reno_factory();
+    case Algorithm::kTahoe:
+      return tcp::tahoe_factory();
+    case Algorithm::kNewReno:
+      return [](const tcp::TcpConfig& cfg) {
+        return std::make_unique<NewRenoSender>(cfg);
+      };
+    case Algorithm::kVegas:
+      return [](const tcp::TcpConfig& cfg) {
+        return std::make_unique<VegasSender>(cfg);
+      };
+    case Algorithm::kDual:
+      return [](const tcp::TcpConfig& cfg) {
+        return std::make_unique<DualSender>(cfg);
+      };
+    case Algorithm::kCard:
+      return [](const tcp::TcpConfig& cfg) {
+        return std::make_unique<CardSender>(cfg);
+      };
+    case Algorithm::kTris:
+      return [](const tcp::TcpConfig& cfg) {
+        return std::make_unique<TriSSender>(cfg);
+      };
+  }
+  return tcp::reno_factory();
+}
+
+tcp::SenderFactory vegas_factory(double alpha, double beta) {
+  return [alpha, beta](const tcp::TcpConfig& cfg) {
+    tcp::TcpConfig tuned = cfg;
+    tuned.vegas_alpha = alpha;
+    tuned.vegas_beta = beta;
+    return std::make_unique<VegasSender>(tuned);
+  };
+}
+
+std::string to_string(Algorithm algo) {
+  switch (algo) {
+    case Algorithm::kReno: return "Reno";
+    case Algorithm::kTahoe: return "Tahoe";
+    case Algorithm::kNewReno: return "NewReno";
+    case Algorithm::kVegas: return "Vegas";
+    case Algorithm::kDual: return "DUAL";
+    case Algorithm::kCard: return "CARD";
+    case Algorithm::kTris: return "Tri-S";
+  }
+  return "?";
+}
+
+std::optional<Algorithm> parse_algorithm(std::string_view name) {
+  if (name == "reno" || name == "Reno") return Algorithm::kReno;
+  if (name == "tahoe" || name == "Tahoe") return Algorithm::kTahoe;
+  if (name == "newreno" || name == "NewReno") return Algorithm::kNewReno;
+  if (name == "vegas" || name == "Vegas") return Algorithm::kVegas;
+  if (name == "dual" || name == "DUAL") return Algorithm::kDual;
+  if (name == "card" || name == "CARD") return Algorithm::kCard;
+  if (name == "tris" || name == "Tri-S" || name == "tri-s")
+    return Algorithm::kTris;
+  return std::nullopt;
+}
+
+}  // namespace vegas::core

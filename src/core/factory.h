@@ -1,0 +1,24 @@
+// Congestion-control algorithm registry.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "tcp/stack.h"
+
+namespace vegas::core {
+
+enum class Algorithm { kReno, kTahoe, kNewReno, kVegas, kDual, kCard, kTris };
+
+/// Factory producing the given engine; Vegas α/β/γ come from TcpConfig.
+tcp::SenderFactory make_sender_factory(Algorithm algo);
+
+/// Convenience: Vegas with explicit thresholds (the paper's Vegas-1,3 and
+/// Vegas-2,4 variants) applied over whatever TcpConfig a connection uses.
+tcp::SenderFactory vegas_factory(double alpha, double beta);
+
+std::string to_string(Algorithm algo);
+std::optional<Algorithm> parse_algorithm(std::string_view name);
+
+}  // namespace vegas::core

@@ -1,0 +1,73 @@
+// TCP NewReno (RFC 2582) — the fix the IETF later standardised for the
+// exact Reno weakness the paper leans on: "two or more dropped segments
+// in a RTT" usually forced Reno into a coarse timeout (§3.1).  NewReno
+// stays in fast recovery across PARTIAL acknowledgements, retransmitting
+// one hole per partial ACK, and only exits once the `recover` point (the
+// highest sequence outstanding when loss was detected) is acknowledged.
+//
+// Included as a baseline so the benches can place Vegas against both its
+// contemporary (Reno) and its successor-generation loss-based rival.
+#pragma once
+
+#include "tcp/sender.h"
+
+namespace vegas::core {
+
+class NewRenoSender : public tcp::TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+  std::string name() const override { return "NewReno"; }
+
+  std::uint64_t partial_ack_retransmits() const { return partial_rtx_; }
+
+ protected:
+  void cc_on_dup_ack(int dup_count) override {
+    if (in_recovery()) {
+      set_cwnd(cwnd() + mss());
+      sack_retransmit_next_hole(tcp::RetransmitTrigger::kThreeDupAcks);
+      maybe_send();
+      return;
+    }
+    if (dup_count != config().dup_ack_threshold) return;
+    // RFC 2582 §3, "avoiding multiple fast retransmits": duplicate ACKs
+    // for data below the previous recover point are echoes of our own
+    // go-back-N retransmissions, not evidence of a new loss.
+    if (ever_recovered_ && snd_una() <= recover_) return;
+    set_ssthresh(half_window());
+    cancel_rtt_timing();  // Karn
+    recover_ = snd_max();
+    ever_recovered_ = true;
+    retransmit_front(tcp::RetransmitTrigger::kThreeDupAcks);
+    ++stats_.fast_retransmits;
+    set_cwnd(ssthresh() + ByteCount{config().dup_ack_threshold} * mss());
+    enter_recovery();
+    sack_recovery_begin();
+    maybe_send();
+  }
+
+  void cc_on_new_ack(ByteCount newly_acked) override {
+    if (in_recovery()) {
+      if (snd_una() < recover_) {
+        // Partial ACK: the next hole is lost too — retransmit it at once
+        // and deflate by the amount acknowledged (RFC 2582 §3 step 5).
+        retransmit_front(tcp::RetransmitTrigger::kThreeDupAcks);
+        ++partial_rtx_;
+        set_cwnd(std::max<ByteCount>(2 * mss(),
+                                     cwnd() - newly_acked + mss()));
+        return;  // stay in recovery
+      }
+      set_cwnd(ssthresh());
+      exit_recovery();
+      return;  // the exiting ACK does not also grow the window
+    }
+    TcpSender::cc_on_new_ack(newly_acked);
+  }
+
+ private:
+  tcp::StreamOffset recover_ = 0;
+  bool ever_recovered_ = false;
+  std::uint64_t partial_rtx_ = 0;
+};
+
+}  // namespace vegas::core

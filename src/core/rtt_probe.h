@@ -1,0 +1,59 @@
+// Shared helpers for delay-based congestion-avoidance schemes.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "sim/time.h"
+#include "tcp/sender.h"
+
+namespace vegas::core {
+
+/// Per-RTT epoch tracker: arms a mark at snd_nxt and reports completion
+/// when the cumulative ACK covers it.  All of the paper's §3.2 comparator
+/// schemes (DUAL, CARD, Tri-S) adjust once every one or two round trips.
+class RttEpoch {
+ public:
+  /// Feed on every fresh cumulative ACK.  Returns true when a full RTT
+  /// epoch has elapsed (and re-arms for the next).
+  bool on_ack(tcp::StreamOffset ack, tcp::StreamOffset snd_nxt) {
+    if (!armed_) {
+      mark_ = snd_nxt;
+      armed_ = true;
+      return false;
+    }
+    if (ack >= mark_) {
+      mark_ = snd_nxt;
+      ++count_;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+ private:
+  bool armed_ = false;
+  tcp::StreamOffset mark_ = 0;
+  std::uint64_t count_ = 0;
+};
+
+/// Karn-safe fine RTT sample: the latest in-flight record fully covered
+/// by `ack` that was transmitted exactly once.
+inline std::optional<sim::Time> covered_rtt_sample(
+    const std::deque<tcp::TcpSender::SegRecord>& records,
+    tcp::StreamOffset ack, sim::Time now) {
+  const tcp::TcpSender::SegRecord* best = nullptr;
+  for (const auto& r : records) {
+    const tcp::StreamOffset rec_end = r.start + r.len + (r.fin ? 1 : 0);
+    if (rec_end <= ack) {
+      best = &r;
+    } else {
+      break;
+    }
+  }
+  if (best == nullptr || best->transmissions != 1) return std::nullopt;
+  return now - best->sent_at;
+}
+
+}  // namespace vegas::core

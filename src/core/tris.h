@@ -1,0 +1,62 @@
+// Wang & Crowcroft's Tri-S — Slow Start and Search (§3.2, [10]).
+//
+// Every RTT the window grows by one segment and the achieved throughput
+// is compared against the previous round; if the gain is less than half
+// the throughput a single in-transit segment achieved at connection
+// start, the window shrinks by one segment instead.  Throughput is
+// computed as bytes-outstanding / RTT, per the paper's description.
+// Reno slow start bootstraps; Tri-S replaces congestion avoidance.
+#pragma once
+
+#include "core/rtt_probe.h"
+#include "tcp/sender.h"
+
+namespace vegas::core {
+
+class TriSSender : public tcp::TcpSender {
+ public:
+  using TcpSender::TcpSender;
+  std::string name() const override { return "Tri-S"; }
+
+ protected:
+  void cc_on_new_ack(ByteCount newly_acked) override {
+    if (in_recovery() || in_slow_start()) {
+      TcpSender::cc_on_new_ack(newly_acked);
+      return;
+    }
+  }
+
+  void on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) override {
+    if (duplicate || ack <= snd_una()) return;
+    if (const auto rtt = covered_rtt_sample(records(), ack, now())) {
+      rtt_cur_ = *rtt;
+      if (!have_base_ || *rtt < base_rtt_) base_rtt_ = *rtt;
+      have_base_ = true;
+    }
+    if (!epoch_.on_ack(ack, snd_nxt()) || !have_base_ || in_slow_start()) {
+      return;
+    }
+    const double throughput = static_cast<double>(in_flight()) /
+                              std::max(rtt_cur_.to_seconds(), 1e-9);
+    const double single_segment =
+        static_cast<double>(mss()) / base_rtt_.to_seconds();
+    if (have_prev_ && throughput - prev_throughput_ < 0.5 * single_segment &&
+        cwnd() > 2 * mss()) {
+      set_cwnd(cwnd() - mss());
+    } else {
+      set_cwnd(cwnd() + mss());
+    }
+    prev_throughput_ = throughput;
+    have_prev_ = true;
+  }
+
+ private:
+  RttEpoch epoch_;
+  sim::Time rtt_cur_;
+  sim::Time base_rtt_;
+  double prev_throughput_ = 0.0;
+  bool have_base_ = false;
+  bool have_prev_ = false;
+};
+
+}  // namespace vegas::core

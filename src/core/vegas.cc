@@ -1,0 +1,235 @@
+#include "core/vegas.h"
+
+#include <algorithm>
+
+namespace vegas::core {
+
+using tcp::RetransmitTrigger;
+using tcp::StreamOffset;
+
+VegasSender::VegasSender(const tcp::TcpConfig& cfg)
+    : TcpSender(cfg), fine_rtt_(cfg.min_fine_rto) {}
+
+void VegasSender::on_segment_transmitted(const SegRecord& rec,
+                                         bool retransmit) {
+  // Arm one CAM measurement per RTT: distinguish the first fresh segment
+  // sent after the previous sample completed (§3.2: "recording the
+  // sending time for a distinguished segment").
+  if (!cam_active_ && !retransmit && rec.len > 0) {
+    cam_active_ = true;
+    cam_end_ = rec.start + rec.len;
+    cam_start_ = now();
+    // "How many bytes are transmitted between the time that segment is
+    // sent and its acknowledgement" includes the distinguished segment
+    // itself; our caller already counted it, so back it out.
+    cam_bytes_base_ = stats_.bytes_sent - rec.len;
+    // A sample taken while the window is growing exponentially compares
+    // incompatible quantities (§3.3: the window must stay fixed "so a
+    // valid comparison of the expected and actual rates can be made");
+    // such samples still pace the RTT clock but drive no decision.
+    cam_valid_ = !in_slow_start() || !ss_grow_this_rtt_;
+  }
+}
+
+void VegasSender::feed_fine_rtt(StreamOffset ack) {
+  // Per-segment timestamps (§3.1): find the latest record fully covered
+  // by this ACK whose transmission was unambiguous (Karn's rule).
+  const SegRecord* best = nullptr;
+  for (const SegRecord& r : records()) {
+    const StreamOffset rec_end = r.start + r.len + (r.fin ? 1 : 0);
+    if (rec_end <= ack) {
+      best = &r;
+    } else {
+      break;
+    }
+  }
+  if (best == nullptr || best->transmissions != 1) return;
+  const sim::Time rtt = now() - best->sent_at;
+  fine_rtt_.sample(rtt);
+  if (!has_base_rtt_ || rtt < base_rtt_) {
+    base_rtt_ = rtt;
+    has_base_rtt_ = true;
+  }
+}
+
+void VegasSender::on_ack_preprocess(StreamOffset ack, bool duplicate) {
+  if (!duplicate && ack > snd_una()) {
+    // Packet-pair probe: consecutive ACKs of a back-to-back pair arrive
+    // spaced by the bottleneck service time, so the smallest observed
+    // per-MSS gap estimates the path's bottleneck bandwidth.
+    if (have_last_ack_) {
+      const sim::Time gap = now() - last_ack_at_;
+      const ByteCount acked = ack - snd_una();
+      // Gaps under 1 ms are indistinguishable from ACK compression at
+      // the bandwidths this library simulates; ignore them rather than
+      // let one compressed pair blow up the estimate.
+      if (gap >= sim::Time::milliseconds(1) && acked == mss()) {
+        const double est = static_cast<double>(acked) / gap.to_seconds();
+        if (est > bw_est_Bps_) bw_est_Bps_ = est;
+      }
+    }
+    last_ack_at_ = now();
+    have_last_ack_ = true;
+
+    feed_fine_rtt(ack);       // records still intact here
+    complete_cam_sample(ack);
+  }
+}
+
+void VegasSender::vegas_retransmit(sim::Time lost_sent_at,
+                                   RetransmitTrigger trigger) {
+  retransmit_front(trigger);
+  // Decrease only for losses at the CURRENT rate: the lost transmission
+  // must postdate the previous decrease (§3.1).
+  if (ever_decreased_ && lost_sent_at <= last_decrease_) return;
+  const double factor = trigger == RetransmitTrigger::kThreeDupAcks
+                            ? config().vegas_dupack_decrease
+                            : config().vegas_fine_decrease;
+  const ByteCount target = static_cast<ByteCount>(
+      static_cast<double>(std::min(cwnd(), snd_wnd())) * factor);
+  set_ssthresh(target);
+  set_cwnd(ssthresh());
+  last_decrease_ = now();
+  ever_decreased_ = true;
+  ++decrease_count_;
+  enter_recovery();  // inflate on further dup ACKs, deflate on fresh ACK
+  sack_recovery_begin();
+  post_rtx_ack_checks_ = 2;  // §3.1: check the next two fresh ACKs
+}
+
+void VegasSender::cc_on_dup_ack(int dup_count) {
+  if (in_recovery()) {
+    set_cwnd(cwnd() + mss());
+    // SACK tandem (§6): each further dup ACK names the next hole.
+    sack_retransmit_next_hole(RetransmitTrigger::kFineDupAck);
+    maybe_send();
+    return;
+  }
+  const SegRecord* front = front_record();
+  if (front == nullptr) return;
+
+  // Fine-grained check on EVERY duplicate ACK: if the segment's fine RTO
+  // has already expired, we do not wait for the third duplicate.
+  if (fine_rtt_.has_sample() && now() - front->sent_at > fine_rtt_.rto()) {
+    ++stats_.fast_retransmits;  // counted as a dup-ACK-triggered repair
+    vegas_retransmit(front->sent_at, RetransmitTrigger::kFineDupAck);
+    return;
+  }
+  if (dup_count == config().dup_ack_threshold) {
+    ++stats_.fast_retransmits;
+    vegas_retransmit(front->sent_at, RetransmitTrigger::kThreeDupAcks);
+  }
+}
+
+void VegasSender::cc_on_new_ack(ByteCount /*newly_acked*/) {
+  if (in_recovery()) {
+    // Reno-style deflation on the recovery-ending ACK.
+    set_cwnd(ssthresh());
+    exit_recovery();
+  }
+
+  if (in_slow_start()) {
+    // Modified slow start (§3.3): exponential growth on alternate RTTs.
+    if (ss_grow_this_rtt_) set_cwnd(cwnd() + mss());
+  }
+  // Linear mode: no per-ACK growth; the CAM decision (once per RTT)
+  // moves the window.
+
+  // §3.1 second bullet: the first/second fresh ACK after a retransmission
+  // re-checks the new front segment against the fine RTO.
+  if (post_rtx_ack_checks_ > 0) {
+    --post_rtx_ack_checks_;
+    const SegRecord* front = front_record();
+    if (front != nullptr && fine_rtt_.has_sample() &&
+        now() - front->sent_at > fine_rtt_.rto()) {
+      vegas_retransmit(front->sent_at,
+                       RetransmitTrigger::kFineAfterRetransmit);
+    }
+  }
+}
+
+void VegasSender::complete_cam_sample(StreamOffset ack) {
+  if (!cam_active_ || ack < cam_end_) return;
+  cam_active_ = false;
+
+  const bool was_slow_start = in_slow_start();
+  // The CAM completion is the once-per-RTT clock: alternate the
+  // grow/freeze phases of the modified slow start (§3.3).
+  if (was_slow_start) ss_grow_this_rtt_ = !ss_grow_this_rtt_;
+
+  if (!cam_valid_) return;  // growth-RTT sample: no valid comparison
+
+  const sim::Time sample_rtt = now() - cam_start_;
+  if (sample_rtt <= sim::Time::zero()) return;
+  ++cam_sample_count_;
+  if (!has_base_rtt_) {
+    base_rtt_ = sample_rtt;
+    has_base_rtt_ = true;
+  }
+
+  const ByteCount bytes = stats_.bytes_sent - cam_bytes_base_;
+  const double actual =
+      static_cast<double>(bytes) / sample_rtt.to_seconds();
+  const double expected =
+      static_cast<double>(cwnd()) / base_rtt_.to_seconds();
+  double diff = expected - actual;
+  if (diff < 0) {
+    // Actual > Expected: BaseRTT was stale (§3.2) — adopt the new sample.
+    base_rtt_ = sample_rtt;
+    diff = 0;
+  }
+  const double diff_buffers =
+      diff * base_rtt_.to_seconds() / static_cast<double>(mss());
+
+  tcp::CamAction action = tcp::CamAction::kHold;
+  if (was_slow_start) {
+    // §3.3 second proposal (optional): stop doubling once the NEXT
+    // doubling would drive the expected rate past the packet-pair
+    // bandwidth estimate — feedback-free overshoot prevention.
+    const bool bw_exit =
+        config().vegas_ss_bandwidth_check && bw_est_Bps_ > 0 &&
+        2.0 * static_cast<double>(cwnd()) / base_rtt_.to_seconds() >
+            bw_est_Bps_;
+    if (diff_buffers > config().vegas_gamma || bw_exit) {
+      // Leave slow start for linear increase/decrease mode.
+      set_ssthresh(std::max<ByteCount>(2 * mss(), cwnd() - mss()));
+      set_cwnd(ssthresh());
+      action = tcp::CamAction::kDecrease;
+      if (observer() != nullptr) observer()->on_slow_start_exit(now());
+    }
+  } else {
+    if (diff_buffers < config().vegas_alpha) {
+      set_cwnd(cwnd() + mss());
+      action = tcp::CamAction::kIncrease;
+    } else if (diff_buffers > config().vegas_beta) {
+      set_cwnd(std::max<ByteCount>(2 * mss(), cwnd() - mss()));
+      action = tcp::CamAction::kDecrease;
+    }
+  }
+  if (observer() != nullptr) {
+    observer()->on_cam_sample(now(), expected, actual, diff_buffers, action);
+  }
+}
+
+sim::Time VegasSender::pacing_interval() const {
+  // Rate-paced slow start (§3.3 future work, optional): send at
+  // cwnd/BaseRTT instead of bursting two segments per ACK, so the
+  // bottleneck queue never sees the doubling transient.
+  if (!config().vegas_paced_slow_start || !in_slow_start() ||
+      !has_base_rtt_) {
+    return sim::Time::zero();
+  }
+  return base_rtt_.scaled(static_cast<double>(mss()) /
+                          static_cast<double>(cwnd()));
+}
+
+void VegasSender::cc_on_coarse_timeout() {
+  TcpSender::cc_on_coarse_timeout();
+  cam_active_ = false;
+  post_rtx_ack_checks_ = 0;
+  last_decrease_ = now();
+  ever_decreased_ = true;
+  ++decrease_count_;
+}
+
+}  // namespace vegas::core

@@ -1,0 +1,99 @@
+// TCP Vegas — the paper's contribution (§3).
+//
+// Three techniques layered over the Reno engine:
+//
+//  1. New retransmission mechanism (§3.1).  Every segment's transmission
+//     time is recorded (TcpSender::SegRecord).  On the FIRST duplicate
+//     ACK, if the fine-grained RTO (srtt + 4*rttvar over exact clock
+//     readings) has expired for the requested segment, retransmit at
+//     once — no need for 3 duplicates.  On the first and second fresh
+//     ACKs after any retransmission, re-check the (new) front segment the
+//     same way, catching back-to-back losses without further dup ACKs.
+//     The congestion window is decreased at most once per loss episode:
+//     only if the lost transmission was sent AFTER the previous decrease.
+//
+//  2. Congestion avoidance (CAM, §3.2).  Once per RTT, a distinguished
+//     segment measures: Expected = WindowSize/BaseRTT vs Actual =
+//     bytes-transmitted/sampleRTT.  Diff = Expected − Actual, expressed
+//     in buffers (Diff × BaseRTT / MSS).  Diff < α → +1 segment next RTT;
+//     Diff > β → −1 segment; otherwise hold.  BaseRTT is the minimum RTT
+//     observed; a negative Diff resets BaseRTT to the latest sample.
+//
+//  3. Modified slow start (§3.3).  The window doubles only every OTHER
+//     RTT; in between it stays fixed so Expected/Actual are comparable.
+//     When Diff exceeds γ, Vegas leaves slow start for linear mode.
+//
+// Reno's coarse-grained timeout machinery remains underneath as the final
+// fallback (§6: under heavy congestion "Vegas falls back to Reno's
+// coarse-grained timeout mechanism").
+#pragma once
+
+#include "tcp/rtt.h"
+#include "tcp/sender.h"
+
+namespace vegas::core {
+
+class VegasSender : public tcp::TcpSender {
+ public:
+  explicit VegasSender(const tcp::TcpConfig& cfg);
+
+  std::string name() const override { return "Vegas"; }
+
+  /// Diagnostics / invariant tests.
+  sim::Time base_rtt() const { return base_rtt_; }
+  bool has_base_rtt() const { return has_base_rtt_; }
+  sim::Time fine_rto() const { return fine_rtt_.rto(); }
+  std::uint64_t cam_samples() const { return cam_sample_count_; }
+  std::uint64_t window_decreases() const { return decrease_count_; }
+  /// Packet-pair bottleneck estimate in bytes/s (0 until measured);
+  /// feeds the optional vegas_ss_bandwidth_check extension.
+  double bandwidth_estimate_Bps() const { return bw_est_Bps_; }
+
+ protected:
+  void cc_on_new_ack(ByteCount newly_acked) override;
+  void cc_on_dup_ack(int dup_count) override;
+  void cc_on_coarse_timeout() override;
+  sim::Time pacing_interval() const override;
+  int pacing_burst() const override { return 2; }
+  void on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) override;
+  void on_segment_transmitted(const SegRecord& rec, bool retransmit) override;
+
+ private:
+  /// Retransmits the front segment; applies the once-per-episode window
+  /// decrease rule.  `lost_sent_at` is when the presumed-lost transmission
+  /// went out (read before the retransmission overwrites it).
+  void vegas_retransmit(sim::Time lost_sent_at,
+                        tcp::RetransmitTrigger trigger);
+  void complete_cam_sample(tcp::StreamOffset ack);
+  void feed_fine_rtt(tcp::StreamOffset ack);
+
+  tcp::FineRttEstimator fine_rtt_;
+  sim::Time base_rtt_;
+  bool has_base_rtt_ = false;
+
+  // Loss handling (§3.1).
+  sim::Time last_decrease_;
+  bool ever_decreased_ = false;
+  int post_rtx_ack_checks_ = 0;  // fresh ACKs still to check after a rtx
+  std::uint64_t decrease_count_ = 0;
+
+  // CAM measurement (§3.2).
+  bool cam_active_ = false;
+  bool cam_valid_ = true;  // false for exponential-growth-RTT samples
+  tcp::StreamOffset cam_end_ = 0;      // sample completes when ack >= cam_end_
+  sim::Time cam_start_;
+  ByteCount cam_bytes_base_ = 0;  // stats_.bytes_sent at measurement start
+  std::uint64_t cam_sample_count_ = 0;
+
+  // Modified slow start (§3.3): grow on alternate RTTs only.
+  bool ss_grow_this_rtt_ = true;
+
+  // Packet-pair bottleneck probing (for the §3.3 bandwidth-check
+  // extension): ACKs of back-to-back segments arrive spaced by the
+  // bottleneck service time.
+  sim::Time last_ack_at_;
+  bool have_last_ack_ = false;
+  double bw_est_Bps_ = 0.0;
+};
+
+}  // namespace vegas::core

@@ -1,0 +1,46 @@
+// Fixed-width table printing for the bench binaries, so the reproduced
+// tables read like the paper's.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vegas::exp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    print_row(headers_, out);
+    std::string rule((headers_.size()) * static_cast<std::size_t>(width_ + 2),
+                     '-');
+    std::fprintf(out, "%s\n", rule.c_str());
+    for (const auto& r : rows_) print_row(r, out);
+  }
+
+  static std::string num(double v, int decimals = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+  }
+
+ private:
+  void print_row(const std::vector<std::string>& cells,
+                 std::FILE* out) const {
+    for (const auto& c : cells) std::fprintf(out, "%-*s  ", width_, c.c_str());
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+}  // namespace vegas::exp

@@ -1,0 +1,30 @@
+#include "exp/world.h"
+
+#include "common/rng.h"
+
+namespace vegas::exp {
+
+DumbbellWorld::DumbbellWorld(const net::DumbbellConfig& cfg,
+                             const tcp::TcpConfig& tcp_cfg,
+                             std::uint64_t seed) {
+  dumbbell_ = net::build_dumbbell(sim_, cfg);
+  for (int i = 0; i < cfg.pairs; ++i) {
+    left_stacks_.push_back(std::make_unique<tcp::Stack>(
+        sim_, *dumbbell_->left[static_cast<size_t>(i)], tcp_cfg,
+        rng::derive_seed(seed, "stack-l" + std::to_string(i))));
+    right_stacks_.push_back(std::make_unique<tcp::Stack>(
+        sim_, *dumbbell_->right[static_cast<size_t>(i)], tcp_cfg,
+        rng::derive_seed(seed, "stack-r" + std::to_string(i))));
+  }
+}
+
+WanWorld::WanWorld(const net::WanChainConfig& cfg,
+                   const tcp::TcpConfig& tcp_cfg, std::uint64_t seed) {
+  chain_ = net::build_wan_chain(sim_, cfg);
+  src_stack_ = std::make_unique<tcp::Stack>(
+      sim_, *chain_->src, tcp_cfg, rng::derive_seed(seed, "stack-src"));
+  dst_stack_ = std::make_unique<tcp::Stack>(
+      sim_, *chain_->dst, tcp_cfg, rng::derive_seed(seed, "stack-dst"));
+}
+
+}  // namespace vegas::exp

@@ -1,0 +1,51 @@
+// A ready-to-run simulated world: topology + one TCP stack per host.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/topology.h"
+#include "sim/simulator.h"
+#include "tcp/stack.h"
+
+namespace vegas::exp {
+
+/// Figure-5 dumbbell with stacks on every host.
+class DumbbellWorld {
+ public:
+  DumbbellWorld(const net::DumbbellConfig& cfg, const tcp::TcpConfig& tcp_cfg,
+                std::uint64_t seed);
+
+  sim::Simulator& sim() { return sim_; }
+  net::Dumbbell& topo() { return *dumbbell_; }
+  tcp::Stack& left(int i) { return *left_stacks_[static_cast<size_t>(i)]; }
+  tcp::Stack& right(int i) { return *right_stacks_[static_cast<size_t>(i)]; }
+  int pairs() const { return static_cast<int>(left_stacks_.size()); }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<net::Dumbbell> dumbbell_;
+  std::vector<std::unique_ptr<tcp::Stack>> left_stacks_;
+  std::vector<std::unique_ptr<tcp::Stack>> right_stacks_;
+};
+
+/// 17-hop WAN chain with stacks on the end hosts (cross hosts carry raw
+/// datagrams only).
+class WanWorld {
+ public:
+  WanWorld(const net::WanChainConfig& cfg, const tcp::TcpConfig& tcp_cfg,
+           std::uint64_t seed);
+
+  sim::Simulator& sim() { return sim_; }
+  net::WanChain& topo() { return *chain_; }
+  tcp::Stack& src() { return *src_stack_; }
+  tcp::Stack& dst() { return *dst_stack_; }
+
+ private:
+  sim::Simulator sim_;
+  std::unique_ptr<net::WanChain> chain_;
+  std::unique_ptr<tcp::Stack> src_stack_;
+  std::unique_ptr<tcp::Stack> dst_stack_;
+};
+
+}  // namespace vegas::exp

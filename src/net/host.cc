@@ -1,0 +1,28 @@
+#include "net/host.h"
+
+#include "common/ensure.h"
+
+namespace vegas::net {
+
+void Host::set_uplink(Link* l) {
+  ensure(uplink_ == nullptr, "host is single-homed; uplink already set");
+  uplink_ = l;
+}
+
+void Host::send(PacketPtr p) {
+  ensure(uplink_ != nullptr, "host has no uplink");
+  p->src = id();
+  uplink_->send(std::move(p));
+}
+
+void Host::receive(PacketPtr p) {
+  const Handler& h =
+      p->protocol == Protocol::kTcp ? tcp_handler_ : datagram_handler_;
+  if (!h) {
+    ++unclaimed_;
+    return;
+  }
+  h(std::move(p));
+}
+
+}  // namespace vegas::net

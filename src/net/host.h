@@ -1,0 +1,43 @@
+// End host.
+//
+// A Host is single-homed: one duplex attachment to a router (or directly
+// to another host).  Transport stacks register themselves as the TCP
+// packet handler; datagram cross-traffic sinks register separately.
+#pragma once
+
+#include <functional>
+
+#include "net/link.h"
+#include "net/node.h"
+
+namespace vegas::net {
+
+class Host : public Node {
+ public:
+  using Handler = std::function<void(PacketPtr)>;
+
+  Host(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  /// Wires the outbound link; called by Network::connect.
+  void set_uplink(Link* l);
+  Link* uplink() const { return uplink_; }
+
+  void set_tcp_handler(Handler h) { tcp_handler_ = std::move(h); }
+  void set_datagram_handler(Handler h) { datagram_handler_ = std::move(h); }
+
+  /// Stamps the source and transmits via the uplink.
+  void send(PacketPtr p);
+
+  void receive(PacketPtr p) override;
+
+  /// Packets that arrived with no handler registered.
+  std::size_t unclaimed() const { return unclaimed_; }
+
+ private:
+  Link* uplink_ = nullptr;
+  Handler tcp_handler_;
+  Handler datagram_handler_;
+  std::size_t unclaimed_ = 0;
+};
+
+}  // namespace vegas::net

@@ -1,0 +1,91 @@
+#include "net/link.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::net {
+
+Link::Link(sim::Simulator& sim, std::string name, const LinkConfig& cfg,
+           Node& peer)
+    : sim_(sim),
+      name_(std::move(name)),
+      cfg_(cfg),
+      peer_(peer),
+      queue_(std::make_unique<DropTailQueue>(cfg.queue_packets)) {
+  ensure(cfg.bandwidth_Bps > 0, "link bandwidth must be positive");
+}
+
+void Link::set_queue(std::unique_ptr<QueueDisc> q) {
+  ensure(queue_->empty() && !transmitting_, "cannot swap a live queue");
+  queue_ = std::move(q);
+}
+
+void Link::set_jitter(sim::Time max_jitter, std::uint64_t seed) {
+  ensure(max_jitter >= sim::Time::zero(), "negative jitter");
+  max_jitter_ = max_jitter;
+  jitter_rng_.emplace(rng::derive_seed(seed, "jitter-" + name_));
+}
+
+void Link::send(PacketPtr p) {
+  ensure(p != nullptr, "null packet");
+  if (!queue_->enqueue(p, sim_.now())) {
+    ++drops_;
+    if (queue_monitor_ != nullptr) queue_monitor_->on_drop(sim_.now(), *p);
+    return;  // p destroyed here: the drop
+  }
+  if (queue_monitor_ != nullptr) {
+    queue_monitor_->on_length(sim_.now(), queue_->packets());
+  }
+  try_transmit();
+}
+
+void Link::try_transmit() {
+  if (transmitting_) return;
+  PacketPtr p = queue_->dequeue(sim_.now());
+  if (p == nullptr) return;
+  if (queue_monitor_ != nullptr) {
+    queue_monitor_->on_length(sim_.now(), queue_->packets());
+  }
+  transmitting_ = true;
+  const sim::Time tx =
+      sim::transmission_time(p->wire_bytes(), cfg_.bandwidth_Bps);
+  busy_accum_ += tx;
+  // Move the packet into the serialization-complete event.
+  auto* raw = p.release();
+  sim_.schedule(tx, [this, raw] { on_serialized(PacketPtr(raw)); });
+}
+
+void Link::on_serialized(PacketPtr p) {
+  transmitting_ = false;
+  // Keep the pipe full: start the next packet before propagating this one.
+  try_transmit();
+
+  if (tap_) tap_(sim_.now(), *p);
+  if (loss_ != nullptr && loss_->drop(*p)) {
+    return;  // lost in flight
+  }
+  const ByteCount wire = p->wire_bytes();
+  sim::Time delivery = cfg_.prop_delay;
+  if (jitter_rng_.has_value() && max_jitter_ > sim::Time::zero()) {
+    delivery += sim::Time::seconds(
+        jitter_rng_->uniform(0.0, max_jitter_.to_seconds()));
+  }
+  auto* raw = p.release();
+  sim_.schedule(delivery, [this, raw, wire] {
+    PacketPtr owned(raw);
+    bytes_delivered_ += wire;
+    if (rate_meter_ != nullptr && owned->is_data()) {
+      rate_meter_->on_bytes(sim_.now(), owned->payload_bytes);
+    }
+    peer_.receive(std::move(owned));
+  });
+}
+
+double Link::utilisation() const {
+  const double elapsed = sim_.now().to_seconds();
+  if (elapsed <= 0.0) return 0.0;
+  return busy_accum_.to_seconds() / elapsed;
+}
+
+}  // namespace vegas::net

@@ -1,0 +1,23 @@
+#include "net/loss.h"
+
+namespace vegas::net {
+
+bool BurstLoss::drop(const Packet&) {
+  if (bad_) {
+    if (rng_.chance(p_bg_)) bad_ = false;
+  } else {
+    if (rng_.chance(p_gb_)) bad_ = true;
+  }
+  return bad_;
+}
+
+NthPacketLoss::NthPacketLoss(std::vector<std::uint64_t> ordinals)
+    : ordinals_(ordinals.begin(), ordinals.end()) {}
+
+bool NthPacketLoss::drop(const Packet& p) {
+  if (!p.is_data()) return false;
+  ++seen_;
+  return ordinals_.contains(seen_);
+}
+
+}  // namespace vegas::net

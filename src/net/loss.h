@@ -1,0 +1,66 @@
+// Link loss models, for failure-injection tests and the simulated WAN.
+//
+// Losses are applied after serialization (the transmitter spent the wire
+// time) and before delivery, which is where corruption/drop happens on a
+// real path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/packet.h"
+
+namespace vegas::net {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  /// Returns true if this packet should be lost.
+  virtual bool drop(const Packet& p) = 0;
+};
+
+/// Independent Bernoulli loss with probability p per packet.
+class BernoulliLoss : public LossModel {
+ public:
+  BernoulliLoss(double p, std::uint64_t seed) : p_(p), rng_(seed) {}
+  bool drop(const Packet&) override { return rng_.chance(p_); }
+
+ private:
+  double p_;
+  rng::Stream rng_;
+};
+
+/// Two-state Gilbert-Elliott burst loss: good state is loss-free, bad
+/// state drops everything; geometric sojourn times.
+class BurstLoss : public LossModel {
+ public:
+  /// `p_good_to_bad` per packet; expected burst length = 1/p_bad_to_good.
+  BurstLoss(double p_good_to_bad, double p_bad_to_good, std::uint64_t seed)
+      : p_gb_(p_good_to_bad), p_bg_(p_bad_to_good), rng_(seed) {}
+  bool drop(const Packet&) override;
+
+ private:
+  double p_gb_;
+  double p_bg_;
+  bool bad_ = false;
+  rng::Stream rng_;
+};
+
+/// Drops exactly the n-th, m-th, ... data packets to traverse the link
+/// (counting from 1).  Pure ACKs are never dropped, so tests can force a
+/// precise loss pattern like "lose segments 3 and 4" (Figure 4's setup).
+class NthPacketLoss : public LossModel {
+ public:
+  explicit NthPacketLoss(std::vector<std::uint64_t> ordinals);
+  bool drop(const Packet& p) override;
+  std::uint64_t data_packets_seen() const { return seen_; }
+
+ private:
+  std::unordered_set<std::uint64_t> ordinals_;
+  std::uint64_t seen_ = 0;
+};
+
+}  // namespace vegas::net

@@ -1,0 +1,47 @@
+#include "net/monitor.h"
+
+#include <algorithm>
+
+namespace vegas::net {
+
+double QueueMonitor::time_average(sim::Time end) const {
+  if (samples_.empty()) return 0.0;
+  return time_average(samples_.front().t, end);
+}
+
+double QueueMonitor::time_average(sim::Time start, sim::Time end) const {
+  if (samples_.empty() || end <= start) return 0.0;
+  double weighted = 0.0;
+  std::uint32_t level = 0;  // queue length before the first sample
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const sim::Time seg_start = i == 0 ? sim::Time::zero() : samples_[i - 1].t;
+    const sim::Time seg_end = samples_[i].t;
+    // Contribution of `level` over [seg_start, seg_end) clipped to window.
+    const sim::Time lo = std::max(seg_start, start);
+    const sim::Time hi = std::min(seg_end, end);
+    if (hi > lo) weighted += static_cast<double>(level) * (hi - lo).to_seconds();
+    level = samples_[i].packets;
+  }
+  const sim::Time lo = std::max(samples_.back().t, start);
+  if (end > lo) weighted += static_cast<double>(level) * (end - lo).to_seconds();
+  return weighted / (end - start).to_seconds();
+}
+
+void RateMeter::on_bytes(sim::Time t, ByteCount bytes) {
+  const auto idx = static_cast<std::size_t>(t.ns() / bin_.ns());
+  if (idx >= bins_.size()) bins_.resize(idx + 1, 0);
+  bins_[idx] += bytes;
+  total_ += bytes;
+}
+
+std::vector<double> RateMeter::rates() const {
+  std::vector<double> out;
+  out.reserve(bins_.size());
+  const double bin_s = bin_.to_seconds();
+  for (const ByteCount b : bins_) {
+    out.push_back(static_cast<double>(b) / bin_s);
+  }
+  return out;
+}
+
+}  // namespace vegas::net

@@ -1,0 +1,81 @@
+// Passive measurement instruments.
+//
+// The paper's simulator "reports certain information, such as the rate at
+// which data is entering or leaving a host or a router" and, for routers,
+// "the size of the queues as a function of time, and the time and size of
+// segments that are dropped" (§2.2).  These monitors capture exactly that.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace vegas::net {
+
+/// Records queue-length transitions and drops at one link buffer.
+class QueueMonitor {
+ public:
+  struct Sample {
+    sim::Time t;
+    std::uint32_t packets;
+  };
+  struct Drop {
+    sim::Time t;
+    std::uint64_t uid;
+    ByteCount wire_bytes;
+  };
+
+  void on_length(sim::Time t, std::size_t packets) {
+    samples_.push_back({t, static_cast<std::uint32_t>(packets)});
+    if (packets > max_len_) max_len_ = packets;
+  }
+  void on_drop(sim::Time t, const Packet& p) {
+    drops_.push_back({t, p.uid, p.wire_bytes()});
+    dropped_bytes_ += p.wire_bytes();
+  }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::vector<Drop>& drops() const { return drops_; }
+
+  /// Time-weighted mean queue length over [first sample, end] — the
+  /// standing-occupancy metric (RED's target; Vegas' beta bound).
+  double time_average(sim::Time end) const;
+
+  /// Time-weighted mean over an explicit window [start, end].
+  double time_average(sim::Time start, sim::Time end) const;
+  std::size_t drop_count() const { return drops_.size(); }
+  ByteCount dropped_bytes() const { return dropped_bytes_; }
+  std::size_t max_length() const { return max_len_; }
+
+ private:
+  std::vector<Sample> samples_;
+  std::vector<Drop> drops_;
+  ByteCount dropped_bytes_ = 0;
+  std::size_t max_len_ = 0;
+};
+
+/// Counts delivered bytes in fixed intervals, yielding the KB/s series the
+/// paper plots for TRAFFIC output (Figure 9 bottom graph, 100 ms bins).
+class RateMeter {
+ public:
+  explicit RateMeter(sim::Time bin = sim::Time::milliseconds(100))
+      : bin_(bin) {}
+
+  void on_bytes(sim::Time t, ByteCount bytes);
+
+  /// Rate series, one value per bin, in bytes/second.
+  std::vector<double> rates() const;
+
+  sim::Time bin() const { return bin_; }
+  ByteCount total_bytes() const { return total_; }
+
+ private:
+  sim::Time bin_;
+  std::vector<ByteCount> bins_;
+  ByteCount total_ = 0;
+};
+
+}  // namespace vegas::net

@@ -1,0 +1,69 @@
+#include "net/network.h"
+
+#include <deque>
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::net {
+
+Host& Network::add_host(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(id, name);
+  Host& ref = *host;
+  nodes_.push_back(std::move(host));
+  adjacency_.emplace_back();
+  return ref;
+}
+
+Router& Network::add_router(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto router = std::make_unique<Router>(id, name);
+  Router& ref = *router;
+  nodes_.push_back(std::move(router));
+  adjacency_.emplace_back();
+  return ref;
+}
+
+Network::Duplex Network::connect(Node& a, Node& b, const LinkConfig& cfg) {
+  auto fwd = std::make_unique<Link>(sim_, a.name() + "->" + b.name(), cfg, b);
+  auto rev = std::make_unique<Link>(sim_, b.name() + "->" + a.name(), cfg, a);
+  Duplex d{fwd.get(), rev.get()};
+  adjacency_[a.id()].push_back({b.id(), d.forward});
+  adjacency_[b.id()].push_back({a.id(), d.reverse});
+  if (auto* host = dynamic_cast<Host*>(&a)) host->set_uplink(d.forward);
+  if (auto* host = dynamic_cast<Host*>(&b)) host->set_uplink(d.reverse);
+  links_.push_back(std::move(fwd));
+  links_.push_back(std::move(rev));
+  return d;
+}
+
+void Network::compute_routes() {
+  const std::size_t n = nodes_.size();
+  // BFS from every node `s`, recording for each reachable `d` the first
+  // hop out of `s` on a shortest (hop-count) path.
+  for (NodeId s = 0; s < n; ++s) {
+    auto* router = dynamic_cast<Router*>(nodes_[s].get());
+    if (router == nullptr) continue;  // hosts forward via their uplink
+    std::vector<Link*> first_hop(n, nullptr);
+    std::vector<bool> visited(n, false);
+    std::deque<NodeId> frontier;
+    visited[s] = true;
+    frontier.push_back(s);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop_front();
+      for (const Edge& e : adjacency_[u]) {
+        if (visited[e.to]) continue;
+        visited[e.to] = true;
+        first_hop[e.to] = (u == s) ? e.via : first_hop[u];
+        frontier.push_back(e.to);
+      }
+    }
+    for (NodeId d = 0; d < n; ++d) {
+      if (d != s && first_hop[d] != nullptr) router->set_route(d, first_hop[d]);
+    }
+  }
+}
+
+}  // namespace vegas::net

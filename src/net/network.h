@@ -1,0 +1,54 @@
+// Network: owns nodes and links, assigns ids, computes static routes.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.h"
+#include "net/link.h"
+#include "net/router.h"
+#include "sim/simulator.h"
+
+namespace vegas::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Host& add_host(const std::string& name);
+  Router& add_router(const std::string& name);
+
+  struct Duplex {
+    Link* forward;  // a -> b
+    Link* reverse;  // b -> a
+  };
+
+  /// Connects two nodes with a symmetric duplex link.  Hosts get their
+  /// uplink wired automatically.
+  Duplex connect(Node& a, Node& b, const LinkConfig& cfg);
+
+  /// Fills every router's forwarding table with BFS (min hop count)
+  /// next hops.  Call after the topology is complete; idempotent.
+  void compute_routes();
+
+  sim::Simulator& sim() { return sim_; }
+  Node* node(NodeId id) {
+    return id < nodes_.size() ? nodes_[id].get() : nullptr;
+  }
+  std::size_t node_count() const { return nodes_.size(); }
+  const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
+
+ private:
+  struct Edge {
+    NodeId to;
+    Link* via;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::vector<std::vector<Edge>> adjacency_;
+};
+
+}  // namespace vegas::net

@@ -1,0 +1,29 @@
+// Node interface: anything a link can deliver packets to.
+#pragma once
+
+#include <string>
+
+#include "common/types.h"
+#include "net/packet.h"
+
+namespace vegas::net {
+
+class Node {
+ public:
+  Node(NodeId id, std::string name) : id_(id), name_(std::move(name)) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Delivers a packet that finished traversing an inbound link.
+  virtual void receive(PacketPtr p) = 0;
+
+ private:
+  NodeId id_;
+  std::string name_;
+};
+
+}  // namespace vegas::net

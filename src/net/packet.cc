@@ -1,0 +1,35 @@
+#include "net/packet.h"
+
+#include <atomic>
+#include <sstream>
+
+namespace vegas::net {
+namespace {
+std::atomic<std::uint64_t> g_next_uid{1};
+}  // namespace
+
+PacketPtr make_packet() {
+  auto p = std::make_unique<Packet>();
+  p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
+  return p;
+}
+
+PacketPtr clone_packet(const Packet& p) { return std::make_unique<Packet>(p); }
+
+std::string Packet::describe() const {
+  std::ostringstream os;
+  os << "pkt#" << uid << " " << src << "->" << dst;
+  if (protocol == Protocol::kTcp) {
+    os << " tcp " << tcp.src_port << ">" << tcp.dst_port << " seq=" << tcp.seq;
+    if (tcp.has(TcpFlag::kAck)) os << " ack=" << tcp.ack;
+    if (tcp.has(TcpFlag::kSyn)) os << " SYN";
+    if (tcp.has(TcpFlag::kFin)) os << " FIN";
+    if (tcp.has(TcpFlag::kRst)) os << " RST";
+    os << " len=" << payload_bytes << " wnd=" << tcp.wnd;
+  } else {
+    os << " datagram len=" << payload_bytes;
+  }
+  return os.str();
+}
+
+}  // namespace vegas::net

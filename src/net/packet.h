@@ -1,0 +1,103 @@
+// Simulated packets.
+//
+// Headers are structured fields rather than serialized bytes — the
+// simulator models wire occupancy numerically (header_bytes + payload
+// bytes) while protocol logic reads typed fields.  Payload contents are
+// byte-counted only; integrity tests verify delivery through sequence
+// accounting, which is what TCP itself guarantees.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.h"
+
+namespace vegas::net {
+
+/// TCP header flag bits (the subset this simulator exercises).
+enum class TcpFlag : std::uint8_t {
+  kSyn = 1 << 0,
+  kAck = 1 << 1,
+  kFin = 1 << 2,
+  kRst = 1 << 3,
+};
+
+inline constexpr std::uint8_t flag_bit(TcpFlag f) {
+  return static_cast<std::uint8_t>(f);
+}
+
+/// One SACK block (RFC 2018): [start, end) in wire sequence space.
+struct SackBlock {
+  std::uint32_t start = 0;
+  std::uint32_t end = 0;
+};
+
+/// Transport header carried by TCP packets.  `seq`/`ack` are 32-bit and
+/// wrap, exactly like real TCP; see tcp/seq.h for the comparison helpers.
+struct TcpHeader {
+  PortNum src_port = 0;
+  PortNum dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  /// Receiver's advertised window in bytes.  32-bit: we model the window
+  /// directly instead of the 16-bit field + window-scale option.
+  std::uint32_t wnd = 0;
+
+  /// Selective-ACK option (§6 discusses SACK as the contemporary
+  /// alternative/complement to Vegas; RFC 1072/2018).  Up to 3 blocks,
+  /// as fits a real option field alongside timestamps.
+  std::uint8_t sack_count = 0;
+  SackBlock sack[3];
+
+  bool has(TcpFlag f) const { return (flags & flag_bit(f)) != 0; }
+  void set(TcpFlag f) { flags |= flag_bit(f); }
+
+  void add_sack(std::uint32_t start, std::uint32_t end) {
+    if (sack_count < 3) sack[sack_count++] = {start, end};
+  }
+  /// Wire bytes the SACK option occupies (2 header + 8 per block).
+  ByteCount sack_option_bytes() const {
+    return sack_count == 0 ? 0 : 2 + 8 * static_cast<ByteCount>(sack_count);
+  }
+};
+
+/// Transport protocol discriminator.  kDatagram models the unreliable
+/// cross-traffic used on the simulated WAN path (Tables 4-5).
+enum class Protocol : std::uint8_t { kTcp, kDatagram };
+
+struct Packet {
+  /// Globally unique id, assigned at creation; used by traces, loss
+  /// models, and tests.
+  std::uint64_t uid = 0;
+
+  NodeId src = kNoNode;
+  NodeId dst = kNoNode;
+  Protocol protocol = Protocol::kTcp;
+
+  /// TCP payload bytes carried (0 for pure ACKs).
+  ByteCount payload_bytes = 0;
+  /// Modeled header overhead on the wire (IP + TCP without options).
+  ByteCount header_bytes = 40;
+
+  TcpHeader tcp;
+
+  /// Total bytes the packet occupies on a link.
+  ByteCount wire_bytes() const { return payload_bytes + header_bytes; }
+
+  bool is_data() const { return payload_bytes > 0; }
+
+  std::string describe() const;
+};
+
+using PacketPtr = std::unique_ptr<Packet>;
+
+/// Creates a packet with a fresh uid.
+PacketPtr make_packet();
+
+/// Deep copy with the SAME uid — used by retransmission-free forwarding
+/// paths is not needed; this exists for tests that want to compare.
+PacketPtr clone_packet(const Packet& p);
+
+}  // namespace vegas::net

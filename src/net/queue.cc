@@ -1,0 +1,29 @@
+#include "net/queue.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::net {
+
+DropTailQueue::DropTailQueue(std::size_t capacity) : capacity_(capacity) {
+  ensure(capacity > 0, "queue capacity must be positive");
+}
+
+bool DropTailQueue::enqueue(PacketPtr& p, sim::Time /*now*/) {
+  if (q_.size() >= capacity_) return false;
+  bytes_ += p->wire_bytes();
+  q_.push_back(std::move(p));
+  return true;
+}
+
+PacketPtr DropTailQueue::dequeue(sim::Time /*now*/) {
+  if (q_.empty()) return nullptr;
+  PacketPtr p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p->wire_bytes();
+  ensure(bytes_ >= 0, "queue byte accounting");
+  return p;
+}
+
+}  // namespace vegas::net

@@ -1,0 +1,54 @@
+// Queueing disciplines for router/link buffers.
+//
+// The paper's routers use FIFO drop-tail with small packet-count capacities
+// (10/15/20 buffers, §4).  RED is provided as an extension for ablations —
+// the paper's §6 observes Vegas' behaviour depends on router buffer
+// availability, and RED changes exactly that dynamic.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "common/types.h"
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace vegas::net {
+
+/// Abstract FIFO-like buffer in front of a link transmitter.
+class QueueDisc {
+ public:
+  virtual ~QueueDisc() = default;
+
+  /// Offers a packet.  Returns true if accepted; false means dropped (the
+  /// packet is destroyed by the caller's unique_ptr going out of scope).
+  virtual bool enqueue(PacketPtr& p, sim::Time now) = 0;
+
+  /// Removes the next packet to transmit, or nullptr when empty.
+  virtual PacketPtr dequeue(sim::Time now) = 0;
+
+  virtual std::size_t packets() const = 0;
+  virtual ByteCount bytes() const = 0;
+  bool empty() const { return packets() == 0; }
+};
+
+/// Classic FIFO with a packet-count capacity (the paper's router model).
+class DropTailQueue : public QueueDisc {
+ public:
+  /// `capacity` counts packets waiting behind the one in service.
+  explicit DropTailQueue(std::size_t capacity);
+
+  bool enqueue(PacketPtr& p, sim::Time now) override;
+  PacketPtr dequeue(sim::Time now) override;
+  std::size_t packets() const override { return q_.size(); }
+  ByteCount bytes() const override { return bytes_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::deque<PacketPtr> q_;
+  ByteCount bytes_ = 0;
+};
+
+}  // namespace vegas::net

@@ -1,0 +1,47 @@
+// Random Early Detection queue (Floyd & Jacobson 1993).
+//
+// Extension beyond the paper's FIFO routers, used by the ablation benches:
+// RED keeps average queue occupancy low, which changes how much "extra
+// data" (§3.2) a Vegas connection can park in the bottleneck, and removes
+// the loss clustering that drives Reno's coarse timeouts.
+#pragma once
+
+#include "common/rng.h"
+#include "net/queue.h"
+
+namespace vegas::net {
+
+struct RedConfig {
+  std::size_t capacity_packets = 20;  // hard limit
+  double min_thresh = 5.0;            // packets
+  double max_thresh = 15.0;           // packets
+  double max_drop_prob = 0.1;         // p at max_thresh
+  double weight = 0.002;              // EWMA weight for the average queue
+  std::uint64_t seed = 1;
+};
+
+class RedQueue : public QueueDisc {
+ public:
+  explicit RedQueue(const RedConfig& cfg);
+
+  bool enqueue(PacketPtr& p, sim::Time now) override;
+  PacketPtr dequeue(sim::Time now) override;
+  std::size_t packets() const override { return q_.size(); }
+  ByteCount bytes() const override { return bytes_; }
+
+  double average_queue() const { return avg_; }
+
+ private:
+  void update_average(sim::Time now);
+
+  RedConfig cfg_;
+  rng::Stream rng_;
+  std::deque<PacketPtr> q_;
+  ByteCount bytes_ = 0;
+  double avg_ = 0.0;
+  std::size_t count_since_drop_ = 0;  // packets since last marked drop
+  sim::Time idle_since_;              // start of current idle period
+  bool idle_ = true;
+};
+
+}  // namespace vegas::net

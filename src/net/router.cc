@@ -1,0 +1,17 @@
+#include "net/router.h"
+
+#include "common/log.h"
+
+namespace vegas::net {
+
+void Router::receive(PacketPtr p) {
+  Link* out = route(p->dst);
+  if (out == nullptr) {
+    ++unroutable_;
+    log::warn("router " + name() + " has no route for " + p->describe());
+    return;
+  }
+  out->send(std::move(p));
+}
+
+}  // namespace vegas::net

@@ -1,0 +1,37 @@
+// Store-and-forward router with per-destination static routes.
+//
+// Matches the paper's abstract-router model (§2.1): a forwarding decision
+// plus an output queue with a configurable discipline (the queue lives in
+// the outbound Link).  Routing tables are filled in by
+// Network::compute_routes().
+#pragma once
+
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/node.h"
+
+namespace vegas::net {
+
+class Router : public Node {
+ public:
+  Router(NodeId id, std::string name) : Node(id, std::move(name)) {}
+
+  void set_route(NodeId dst, Link* out) { routes_[dst] = out; }
+  Link* route(NodeId dst) const {
+    const auto it = routes_.find(dst);
+    return it == routes_.end() ? nullptr : it->second;
+  }
+
+  void receive(PacketPtr p) override;
+
+  /// Packets discarded because no route existed (should stay zero in all
+  /// well-formed topologies; tests assert on it).
+  std::size_t unroutable() const { return unroutable_; }
+
+ private:
+  std::unordered_map<NodeId, Link*> routes_;
+  std::size_t unroutable_ = 0;
+};
+
+}  // namespace vegas::net

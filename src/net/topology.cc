@@ -1,0 +1,149 @@
+#include "net/topology.h"
+
+#include <string>
+
+#include "common/ensure.h"
+#include "common/rng.h"
+
+namespace vegas::net {
+
+std::unique_ptr<Dumbbell> build_dumbbell(sim::Simulator& sim,
+                                         const DumbbellConfig& cfg) {
+  ensure(cfg.pairs >= 1, "dumbbell needs at least one host pair");
+  auto d = std::make_unique<Dumbbell>(sim);
+  Network& net = d->net;
+
+  d->r1 = &net.add_router("Router1");
+  d->r2 = &net.add_router("Router2");
+
+  for (int i = 0; i < cfg.pairs; ++i) {
+    LinkConfig access{cfg.access_bandwidth, cfg.access_delay,
+                      cfg.access_queue};
+    if (i >= (cfg.pairs + 1) / 2) {
+      access.prop_delay += cfg.extra_delay_second_half;
+    }
+    Host& a = net.add_host("Host" + std::to_string(i + 1) + "a");
+    Host& b = net.add_host("Host" + std::to_string(i + 1) + "b");
+    d->left_access.push_back(net.connect(a, *d->r1, access));
+    d->right_access.push_back(net.connect(b, *d->r2, access));
+    d->left.push_back(&a);
+    d->right.push_back(&b);
+  }
+
+  const LinkConfig bottleneck{cfg.bottleneck_bandwidth, cfg.bottleneck_delay,
+                              cfg.bottleneck_queue};
+  auto duplex = net.connect(*d->r1, *d->r2, bottleneck);
+  d->bottleneck_fwd = duplex.forward;
+  d->bottleneck_rev = duplex.reverse;
+  d->bottleneck_fwd->set_queue_monitor(&d->fwd_monitor);
+  d->bottleneck_rev->set_queue_monitor(&d->rev_monitor);
+
+  net.compute_routes();
+  return d;
+}
+
+std::unique_ptr<WanChain> build_wan_chain(sim::Simulator& sim,
+                                          const WanChainConfig& cfg) {
+  ensure(cfg.hops >= 2, "wan chain needs at least 2 hops");
+  ensure(cfg.narrow_hop >= 0 && cfg.narrow_hop < cfg.hops, "narrow hop index");
+  auto w = std::make_unique<WanChain>(sim);
+  Network& net = w->net;
+  rng::Stream jitter(rng::derive_seed(cfg.seed, "wan-hop-delay"));
+
+  w->src = &net.add_host("SrcUA");
+  w->dst = &net.add_host("DstNIH");
+  const int n_routers = cfg.hops - 1;
+  for (int i = 0; i < n_routers; ++i) {
+    w->routers.push_back(&net.add_router("R" + std::to_string(i + 1)));
+  }
+
+  auto hop_cfg = [&](int hop) {
+    LinkConfig lc;
+    lc.bandwidth_Bps =
+        hop == cfg.narrow_hop ? cfg.narrow_bandwidth : cfg.fast_bandwidth;
+    const double lo = cfg.min_hop_delay.to_seconds();
+    const double hi = cfg.max_hop_delay.to_seconds();
+    lc.prop_delay = sim::Time::seconds(jitter.uniform(lo, hi));
+    lc.queue_packets = cfg.queue_packets;
+    return lc;
+  };
+
+  // Chain: src - R1 - R2 - ... - R(n) - dst; hop i joins element i to i+1.
+  for (int hop = 0; hop < cfg.hops; ++hop) {
+    Node& a = hop == 0 ? static_cast<Node&>(*w->src)
+                       : static_cast<Node&>(*w->routers[hop - 1]);
+    Node& b = hop == cfg.hops - 1 ? static_cast<Node&>(*w->dst)
+                                  : static_cast<Node&>(*w->routers[hop]);
+    auto duplex = net.connect(a, b, hop_cfg(hop));
+    if (hop == cfg.narrow_hop) {
+      w->narrow_fwd = duplex.forward;
+      w->narrow_fwd->set_queue_monitor(&w->narrow_monitor);
+    }
+  }
+
+  // Cross-traffic attachment: pair k sends across hop `h` by homing its
+  // endpoints on the routers at either end of that hop.  Hop 0 and the
+  // last hop have a host endpoint, so cross pairs only cover interior
+  // hops, which is where Internet cross-traffic lives anyway.
+  if (cfg.cross_every > 0) {
+    const LinkConfig tap{cfg.fast_bandwidth, sim::Time::milliseconds(1),
+                         cfg.queue_packets};
+    int idx = 0;
+    auto add_pair = [&](int hop) {
+      Host& a = net.add_host("XSrc" + std::to_string(idx));
+      Host& b = net.add_host("XDst" + std::to_string(idx));
+      net.connect(a, *w->routers[hop - 1], tap);
+      net.connect(b, *w->routers[hop], tap);
+      w->cross.push_back({&a, &b, hop});
+      ++idx;
+    };
+    bool narrow_covered = false;
+    for (int hop = 1; hop + 1 < cfg.hops; hop += cfg.cross_every) {
+      add_pair(hop);
+      narrow_covered = narrow_covered || hop == cfg.narrow_hop;
+    }
+    if (cfg.cross_at_narrow && !narrow_covered && cfg.narrow_hop >= 1 &&
+        cfg.narrow_hop + 1 < cfg.hops) {
+      add_pair(cfg.narrow_hop);
+    }
+  }
+
+  net.compute_routes();
+  return w;
+}
+
+std::unique_ptr<ParkingLot> build_parking_lot(sim::Simulator& sim,
+                                              const ParkingLotConfig& cfg) {
+  ensure(cfg.segments >= 2, "parking lot needs >= 2 segments");
+  auto p = std::make_unique<ParkingLot>(sim);
+  Network& net = p->net;
+
+  for (int i = 0; i <= cfg.segments; ++i) {
+    p->routers.push_back(&net.add_router("R" + std::to_string(i)));
+  }
+  const LinkConfig segment{cfg.segment_bandwidth, cfg.segment_delay,
+                           cfg.segment_queue};
+  for (int i = 0; i < cfg.segments; ++i) {
+    net.connect(*p->routers[static_cast<size_t>(i)],
+                *p->routers[static_cast<size_t>(i) + 1], segment);
+  }
+
+  const LinkConfig access{cfg.access_bandwidth, cfg.access_delay, 100};
+  p->long_src = &net.add_host("LongSrc");
+  p->long_dst = &net.add_host("LongDst");
+  net.connect(*p->long_src, *p->routers.front(), access);
+  net.connect(*p->long_dst, *p->routers.back(), access);
+
+  for (int i = 0; i < cfg.segments; ++i) {
+    Host& src = net.add_host("XSrc" + std::to_string(i));
+    Host& dst = net.add_host("XDst" + std::to_string(i));
+    net.connect(src, *p->routers[static_cast<size_t>(i)], access);
+    net.connect(dst, *p->routers[static_cast<size_t>(i) + 1], access);
+    p->cross.push_back({&src, &dst});
+  }
+
+  net.compute_routes();
+  return p;
+}
+
+}  // namespace vegas::net

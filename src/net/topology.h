@@ -1,0 +1,136 @@
+// Canned topologies used throughout the paper's evaluation.
+//
+// build_dumbbell reproduces Figure 5: host pairs on fast access links
+// joined by a Router1--Router2 bottleneck (200 KB/s, 50 ms) whose queue
+// capacity is the experiments' key parameter (10/15/20 buffers).
+//
+// build_wan_chain is the substitute for the paper's UA->NIH Internet path
+// (Tables 4-5): 17 store-and-forward hops with heterogeneous delays, one
+// narrow segment, and attachment points for cross-traffic at every hop.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "net/monitor.h"
+#include "net/network.h"
+
+namespace vegas::net {
+
+struct DumbbellConfig {
+  int pairs = 3;
+  Rate access_bandwidth = mbps_to_rate(10.0);  // "Ethernet"
+  sim::Time access_delay = sim::Time::microseconds(500);
+  std::size_t access_queue = 100;
+  Rate bottleneck_bandwidth = kbps_to_rate(200.0);
+  /// One-way bottleneck propagation.  Chosen so the base RTT (~70 ms)
+  /// puts the bandwidth-delay product (~14 KB) below the 16 KB slow-start
+  /// doubling step: Vegas' γ check then fires before the queue can
+  /// overflow, reproducing Figure 7's loss-free trace, while Reno still
+  /// exhibits Figure 6's loss cycles.  (See DESIGN.md calibration notes.)
+  sim::Time bottleneck_delay = sim::Time::milliseconds(30);
+  std::size_t bottleneck_queue = 10;
+  /// Extra one-way access delay added to the second half of the host
+  /// pairs — the §4.3 fairness experiments give half the connections
+  /// twice the propagation delay.
+  sim::Time extra_delay_second_half = sim::Time::zero();
+};
+
+/// A built Figure-5 network.  left[i] talks to right[i] through the
+/// shared bottleneck.  Monitors on both bottleneck directions are
+/// pre-attached.
+struct Dumbbell {
+  explicit Dumbbell(sim::Simulator& sim) : net(sim) {}
+
+  Network net;
+  std::vector<Host*> left;
+  std::vector<Host*> right;
+  Router* r1 = nullptr;
+  Router* r2 = nullptr;
+  Link* bottleneck_fwd = nullptr;  // r1 -> r2 (left-to-right data)
+  Link* bottleneck_rev = nullptr;  // r2 -> r1 (ACK path)
+  /// Access duplexes per pair: .forward is host->router.
+  std::vector<Network::Duplex> left_access;
+  std::vector<Network::Duplex> right_access;
+  QueueMonitor fwd_monitor;
+  QueueMonitor rev_monitor;
+};
+
+std::unique_ptr<Dumbbell> build_dumbbell(sim::Simulator& sim,
+                                         const DumbbellConfig& cfg);
+
+struct WanChainConfig {
+  int hops = 17;  // links between src and dst (hops-1 routers)
+  Rate fast_bandwidth = kbps_to_rate(1000.0);
+  Rate narrow_bandwidth = kbps_to_rate(230.0);
+  int narrow_hop = 8;  // index of the narrow link, 0-based
+  sim::Time min_hop_delay = sim::Time::milliseconds(1);
+  sim::Time max_hop_delay = sim::Time::milliseconds(5);
+  std::size_t queue_packets = 25;
+  /// Attach a cross-traffic host pair across every n-th interior hop
+  /// (0 = none).
+  int cross_every = 2;
+  /// Always give the narrow hop a cross pair even if the stride above
+  /// misses it — the bottleneck is where contention matters.
+  bool cross_at_narrow = true;
+  std::uint64_t seed = 1;  // hop-delay jitter
+};
+
+struct WanChain {
+  explicit WanChain(sim::Simulator& sim) : net(sim) {}
+
+  Network net;
+  Host* src = nullptr;
+  Host* dst = nullptr;
+  std::vector<Router*> routers;
+  /// Cross-traffic endpoints: each pair's packets traverse exactly one
+  /// chain hop (from routers[i] side to routers[i+1] side).
+  struct CrossPair {
+    Host* a;
+    Host* b;
+    int hop;  // chain link this pair loads
+  };
+  std::vector<CrossPair> cross;
+  Link* narrow_fwd = nullptr;
+  QueueMonitor narrow_monitor;
+};
+
+std::unique_ptr<WanChain> build_wan_chain(sim::Simulator& sim,
+                                          const WanChainConfig& cfg);
+
+// ------------------------------------------------------------------------
+
+struct ParkingLotConfig {
+  /// Number of bottleneck segments in the chain (>= 2): routers
+  /// R0..R{segments} with identical inter-router links.
+  int segments = 3;
+  Rate segment_bandwidth = kbps_to_rate(200.0);
+  sim::Time segment_delay = sim::Time::milliseconds(10);
+  std::size_t segment_queue = 15;
+  Rate access_bandwidth = mbps_to_rate(10.0);
+  sim::Time access_delay = sim::Time::microseconds(500);
+};
+
+/// The classic "parking lot": one long flow traverses every segment
+/// while each segment also carries its own one-hop cross flow — the
+/// canonical multi-bottleneck fairness stress (a long flow competes at
+/// EVERY hop and is punished multiplicatively by loss-based control).
+struct ParkingLot {
+  explicit ParkingLot(sim::Simulator& sim) : net(sim) {}
+
+  Network net;
+  std::vector<Router*> routers;  // segments + 1 of them
+  Host* long_src = nullptr;      // traverses all segments
+  Host* long_dst = nullptr;
+  struct CrossFlow {
+    Host* src;  // enters at routers[i]
+    Host* dst;  // exits at routers[i+1]
+  };
+  std::vector<CrossFlow> cross;  // one per segment
+};
+
+std::unique_ptr<ParkingLot> build_parking_lot(sim::Simulator& sim,
+                                              const ParkingLotConfig& cfg);
+
+}  // namespace vegas::net

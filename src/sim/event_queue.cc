@@ -1,0 +1,51 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::sim {
+
+EventId EventQueue::schedule(Time at, Action action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, next_seq_++, id, std::move(action)});
+  pending_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  // Only ids that are genuinely pending become tombstones; cancelling a
+  // fired or unknown id is a no-op, so double-cancel and timer races are
+  // harmless.
+  if (pending_.erase(id) != 0) cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+std::optional<Time> EventQueue::next_time() {
+  drop_cancelled_head();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  ensure(!heap_.empty(), "pop on empty event queue");
+  // priority_queue::top() is const&; const_cast to move the action out is
+  // safe because we pop immediately after.
+  auto& top = const_cast<Entry&>(heap_.top());
+  Fired fired{top.time, top.id, std::move(top.action)};
+  heap_.pop();
+  pending_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace vegas::sim

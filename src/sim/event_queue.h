@@ -1,0 +1,76 @@
+// Pending-event set of the discrete-event simulator.
+//
+// A binary min-heap ordered by (time, insertion sequence) so that events
+// scheduled for the same instant fire in the order they were scheduled —
+// a determinism guarantee the protocol tests rely on.  Cancellation is by
+// id with lazy deletion (tombstones), which keeps cancel() O(1); stale
+// entries are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vegas::sim {
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `at`.  Returns a handle usable
+  /// with cancel().
+  EventId schedule(Time at, Action action);
+
+  /// Cancels a pending event.  Cancelling an already-fired or unknown id
+  /// is a no-op (timers race with the events they guard; that is normal).
+  void cancel(EventId id);
+
+  /// True when the given event is scheduled and not yet fired/cancelled.
+  bool pending(EventId id) const { return pending_.contains(id); }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event.
+  std::optional<Time> next_time();
+
+  /// Extracts the earliest live event.  Precondition: !empty().
+  struct Fired {
+    Time time;
+    EventId id;
+    Action action;
+  };
+  Fired pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;    // scheduled, not fired/cancelled
+  std::unordered_set<EventId> cancelled_;  // tombstones still in the heap
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+};
+
+}  // namespace vegas::sim

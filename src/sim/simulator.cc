@@ -1,0 +1,38 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::sim {
+
+EventId Simulator::schedule(Time delay, EventQueue::Action action) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+EventId Simulator::schedule_at(Time at, EventQueue::Action action) {
+  ensure(at >= now_, "cannot schedule into the past");
+  return queue_.schedule(at, std::move(action));
+}
+
+void Simulator::run() { run_until(Time::max()); }
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_) {
+    const auto next = queue_.next_time();
+    if (!next.has_value()) break;
+    if (*next > deadline) {
+      now_ = deadline;
+      break;
+    }
+    auto fired = queue_.pop();
+    ensure(fired.time >= now_, "event queue went backwards");
+    now_ = fired.time;
+    ++events_executed_;
+    fired.action();
+  }
+}
+
+}  // namespace vegas::sim

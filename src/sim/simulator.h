@@ -1,0 +1,60 @@
+// The discrete-event simulator.
+//
+// Single-threaded, deterministic: pops the earliest event, advances the
+// clock to it, runs its action, repeats.  All protocol code in this
+// library is "real" code driven by these events — the property the paper
+// values in its x-kernel simulator (§2.1): the simulated hosts run the
+// actual implementation, not an abstract model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace vegas::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `action` after `delay` from now.  Negative delays are
+  /// clamped to zero (fires this instant, after already-queued events).
+  EventId schedule(Time delay, EventQueue::Action action);
+
+  /// Schedules at an absolute time, which must not be in the past.
+  EventId schedule_at(Time at, EventQueue::Action action);
+
+  void cancel(EventId id) { queue_.cancel(id); }
+  bool pending(EventId id) const { return queue_.pending(id); }
+
+  /// Runs until the event queue drains or stop() is called.
+  void run();
+
+  /// Runs until simulated time reaches `deadline` (events at exactly
+  /// `deadline` still fire), the queue drains, or stop() is called.
+  void run_until(Time deadline);
+
+  /// Requests that the current run() return after the in-flight event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed since construction (for micro-benchmarks
+  /// and sanity checks).
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  std::size_t events_pending() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+};
+
+}  // namespace vegas::sim

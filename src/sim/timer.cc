@@ -1,0 +1,40 @@
+#include "sim/timer.h"
+
+namespace vegas::sim {
+
+void Timer::restart(Time delay) {
+  stop();
+  expiry_ = sim_.now() + delay;
+  id_ = sim_.schedule(delay, [this] {
+    id_ = kNoEvent;
+    cb_();
+  });
+}
+
+void Timer::stop() {
+  if (id_ != kNoEvent) {
+    sim_.cancel(id_);
+    id_ = kNoEvent;
+  }
+}
+
+void PeriodicTimer::start(Time interval) {
+  stop();
+  interval_ = interval;
+  id_ = sim_.schedule(interval_, [this] { tick(); });
+}
+
+void PeriodicTimer::stop() {
+  if (id_ != kNoEvent) {
+    sim_.cancel(id_);
+    id_ = kNoEvent;
+  }
+}
+
+void PeriodicTimer::tick() {
+  // Rearm before running the callback so the callback may call stop().
+  id_ = sim_.schedule(interval_, [this] { tick(); });
+  cb_();
+}
+
+}  // namespace vegas::sim

@@ -1,0 +1,69 @@
+// Restartable one-shot and periodic timers.
+//
+// Timer wraps the schedule/cancel dance every protocol needs: restart()
+// replaces any pending expiry, stop() is idempotent, and the callback is
+// fixed at construction so rearming never allocates a new closure chain.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.h"
+
+namespace vegas::sim {
+
+/// One-shot restartable timer.
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  Timer(Simulator& sim, Callback cb) : sim_(sim), cb_(std::move(cb)) {}
+  ~Timer() { stop(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// (Re)arms the timer to fire after `delay`.  A pending expiry is
+  /// cancelled first.
+  void restart(Time delay);
+
+  /// Cancels a pending expiry, if any.
+  void stop();
+
+  bool armed() const { return id_ != kNoEvent && sim_.pending(id_); }
+
+  /// Absolute expiry time; meaningful only while armed().
+  Time expiry() const { return expiry_; }
+
+ private:
+  Simulator& sim_;
+  Callback cb_;
+  EventId id_ = kNoEvent;
+  Time expiry_;
+};
+
+/// Fixed-interval periodic timer — drives Reno's 500 ms coarse-grained
+/// clock tick (§3.1).  The callback runs once per interval until stop().
+class PeriodicTimer {
+ public:
+  using Callback = std::function<void()>;
+
+  PeriodicTimer(Simulator& sim, Callback cb) : sim_(sim), cb_(std::move(cb)) {}
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Starts ticking every `interval`, first tick after `interval`.
+  void start(Time interval);
+  void stop();
+  bool running() const { return id_ != kNoEvent && sim_.pending(id_); }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  Callback cb_;
+  Time interval_;
+  EventId id_ = kNoEvent;
+};
+
+}  // namespace vegas::sim

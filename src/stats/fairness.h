@@ -1,0 +1,23 @@
+// Jain's fairness index (paper §4.3, reference [8]).
+//
+//   J(x) = (sum x_i)^2 / (n * sum x_i^2),   J in [1/n, 1].
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace vegas::stats {
+
+inline double jain_fairness(std::span<const double> throughputs) {
+  if (throughputs.empty()) return 1.0;
+  double sum = 0.0, sum_sq = 0.0;
+  for (const double x : throughputs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return sum * sum /
+         (static_cast<double>(throughputs.size()) * sum_sq);
+}
+
+}  // namespace vegas::stats

@@ -1,0 +1,25 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace vegas::stats {
+
+std::string Histogram::render(int bar_width) const {
+  std::size_t peak = 1;
+  for (const std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  char line[256];
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(static_cast<double>(counts_[i]) /
+                                     static_cast<double>(peak) * bar_width);
+    std::snprintf(line, sizeof(line), "[%10.3f,%10.3f) %8zu ", bin_lo(i),
+                  bin_hi(i), counts_[i]);
+    out += line;
+    out.append(static_cast<std::size_t>(bar), '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace vegas::stats

@@ -1,0 +1,87 @@
+#include "tcp/buffer.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+
+namespace vegas::tcp {
+
+ByteCount SendBuffer::write(ByteCount bytes) {
+  ensure(bytes >= 0, "negative write");
+  const ByteCount accepted = std::min(bytes, space());
+  end_ += accepted;
+  return accepted;
+}
+
+void SendBuffer::ack_to(StreamOffset offset) {
+  ensure(offset <= end_, "ack beyond written data");
+  if (offset > una_) una_ = offset;
+}
+
+ReassemblyBuffer::ArrivalResult ReassemblyBuffer::on_segment(
+    StreamOffset start, ByteCount len) {
+  ensure(len >= 0, "negative segment length");
+  ArrivalResult result;
+  StreamOffset end = start + len;
+
+  if (end <= rcv_nxt_) {
+    result.duplicate = true;
+    return result;
+  }
+  // Trim the already-delivered prefix.
+  if (start < rcv_nxt_) start = rcv_nxt_;
+
+  if (start > rcv_nxt_) {
+    result.out_of_order = true;
+    // Insert [start, end) into the interval map, merging overlaps.
+    auto it = segments_.lower_bound(start);
+    if (it != segments_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->second >= start) {  // overlaps/abuts from the left
+        start = prev->first;
+        end = std::max(end, prev->second);
+        buffered_ -= prev->second - prev->first;
+        it = segments_.erase(prev);
+      }
+    }
+    while (it != segments_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      buffered_ -= it->second - it->first;
+      it = segments_.erase(it);
+    }
+    segments_.emplace(start, end);
+    buffered_ += end - start;
+    recent_start_ = start;
+    return result;
+  }
+
+  // In-order: deliver, then drain any now-contiguous parked intervals.
+  rcv_nxt_ = end;
+  auto it = segments_.begin();
+  while (it != segments_.end() && it->first <= rcv_nxt_) {
+    rcv_nxt_ = std::max(rcv_nxt_, it->second);
+    buffered_ -= it->second - it->first;
+    it = segments_.erase(it);
+  }
+  result.delivered = rcv_nxt_ - start;
+  return result;
+}
+
+std::vector<ReassemblyBuffer::Block> ReassemblyBuffer::sack_blocks(
+    std::size_t max) const {
+  std::vector<Block> out;
+  if (segments_.empty() || max == 0) return out;
+  // Most recent interval first, then the rest in ascending order.
+  const auto recent = segments_.find(recent_start_);
+  if (recent != segments_.end()) {
+    out.push_back({recent->first, recent->second});
+  }
+  for (const auto& [start, end] : segments_) {
+    if (out.size() >= max) break;
+    if (recent != segments_.end() && start == recent->first) continue;
+    out.push_back({start, end});
+  }
+  return out;
+}
+
+}  // namespace vegas::tcp

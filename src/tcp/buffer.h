@@ -1,0 +1,106 @@
+// Send-side stream accounting and receive-side reassembly.
+//
+// Payload contents are modeled as byte counts (see net/packet.h); these
+// structures track *which* stream bytes exist where, which is exactly the
+// state real TCP keeps and all that congestion behaviour depends on.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/types.h"
+#include "tcp/seq.h"
+
+namespace vegas::tcp {
+
+/// Sender stream state: how much the application has written and how much
+/// the peer has acknowledged.  Offsets are 64-bit stream positions where
+/// 0 is the first payload byte (the byte after SYN).
+class SendBuffer {
+ public:
+  explicit SendBuffer(ByteCount capacity) : capacity_(capacity) {}
+
+  /// Application appends bytes; returns how many fit.
+  ByteCount write(ByteCount bytes);
+
+  /// Peer acknowledged everything before `offset`.
+  void ack_to(StreamOffset offset);
+
+  /// Bytes buffered but not yet acknowledged.
+  ByteCount unacked() const { return end_ - una_; }
+  /// Free space for the application.
+  ByteCount space() const { return capacity_ - unacked(); }
+  /// Bytes available at/after `offset` (for (re)transmission).
+  ByteCount available_from(StreamOffset offset) const {
+    return offset >= end_ ? 0 : end_ - offset;
+  }
+
+  StreamOffset stream_end() const { return end_; }
+  StreamOffset una() const { return una_; }
+  ByteCount capacity() const { return capacity_; }
+
+ private:
+  ByteCount capacity_;
+  StreamOffset una_ = 0;  // lowest unacknowledged offset
+  StreamOffset end_ = 0;  // one past the last byte written by the app
+};
+
+/// Receive-side reassembly: tracks contiguous delivery point (rcv_nxt)
+/// and out-of-order intervals, merging as holes fill.
+class ReassemblyBuffer {
+ public:
+  explicit ReassemblyBuffer(ByteCount window_capacity)
+      : capacity_(window_capacity) {}
+
+  struct ArrivalResult {
+    /// Bytes newly deliverable to the application (0 for out-of-order or
+    /// duplicate arrivals).
+    ByteCount delivered = 0;
+    /// True if the segment was entirely old data (below rcv_nxt).
+    bool duplicate = false;
+    /// True if any part was out of order (a hole exists below it).
+    bool out_of_order = false;
+  };
+
+  /// Registers arrival of stream bytes [start, start+len).
+  ArrivalResult on_segment(StreamOffset start, ByteCount len);
+
+  /// Next expected contiguous byte — the cumulative ACK value.
+  StreamOffset rcv_nxt() const { return rcv_nxt_; }
+
+  /// Bytes parked out-of-order.
+  ByteCount buffered() const { return buffered_; }
+
+  /// Advertised window.  4.3BSD semantics: segments held on the
+  /// reassembly queue do NOT count against the receive-buffer space, so
+  /// out-of-order arrivals leave the advertised window unchanged.  This
+  /// matters for congestion control: duplicate ACKs must carry a
+  /// constant window or the sender's BSD duplicate-ACK test ("no window
+  /// update") rejects them and fast retransmit never fires.
+  /// Applications in this library consume in-order data immediately, so
+  /// the window is simply the buffer capacity.
+  ByteCount advertised_window() const { return capacity_; }
+
+  std::size_t hole_count() const { return segments_.size(); }
+
+  /// Out-of-order intervals for SACK generation (RFC 2018): up to `max`
+  /// blocks, the interval containing the most recent arrival first so
+  /// the sender learns about new data soonest.
+  struct Block {
+    StreamOffset start;
+    StreamOffset end;
+  };
+  std::vector<Block> sack_blocks(std::size_t max = 3) const;
+
+ private:
+  ByteCount capacity_;
+  StreamOffset rcv_nxt_ = 0;
+  /// Out-of-order intervals keyed by start, non-overlapping, all > rcv_nxt_.
+  std::map<StreamOffset, StreamOffset> segments_;  // start -> end
+  ByteCount buffered_ = 0;
+  /// Start of the interval that absorbed the most recent out-of-order
+  /// arrival (SACK block ordering, RFC 2018 §4).
+  StreamOffset recent_start_ = -1;
+};
+
+}  // namespace vegas::tcp

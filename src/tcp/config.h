@@ -1,0 +1,79 @@
+// Per-connection TCP tunables.
+//
+// Defaults mirror the environment of the paper: 1 KB segments (the worked
+// example in §3.2), 50 KB send buffers (§4.3), and BSD's 500 ms
+// coarse-grained timer with a 2-tick RTO floor (§3.1).  Vegas thresholds
+// default to the paper's "Vegas-2,4" with γ = 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "sim/time.h"
+
+namespace vegas::tcp {
+
+struct TcpConfig {
+  ByteCount mss = 1024;
+  ByteCount send_buffer = 50_KB;
+  ByteCount recv_buffer = 64_KB;
+
+  /// Coarse-grained clock period (BSD "slow timeout", §3.1: ~500 ms).
+  sim::Time tick = sim::Time::milliseconds(500);
+  int dup_ack_threshold = 3;
+  int min_rto_ticks = 2;       // BSD TCPTV_MIN
+  int max_rto_ticks = 128;     // 64 s cap
+  int initial_rto_ticks = 6;   // 3 s before any RTT sample (BSD default)
+  int max_rxt_backoffs = 12;   // give up (RST) after this many backoffs
+
+  /// Initial congestion window in segments (Jacobson slow start).
+  int initial_cwnd_segments = 1;
+
+  /// Delayed ACKs (BSD acks every other segment / 200 ms).  Off by
+  /// default: the x-kernel TCP the paper instruments acks each segment.
+  bool delayed_ack = false;
+  sim::Time delayed_ack_timeout = sim::Time::milliseconds(200);
+
+  /// Fixed initial sequence number for reproducible tests (wraparound
+  /// tests pin it near 2^32); otherwise drawn from the stack's RNG.
+  std::optional<std::uint32_t> fixed_isn;
+
+  /// Selective acknowledgements (RFC 1072/2018) — §6 discusses SACK as
+  /// the contemporary alternative to Vegas' retransmission mechanism and
+  /// asks how the two "work in tandem"; bench_discussion_sack answers.
+  /// Receivers attach up to 3 blocks; senders keep a scoreboard and
+  /// repair the lowest unsacked hole per duplicate ACK during recovery.
+  bool sack_enabled = false;
+
+  // --- Vegas parameters (§3.2, §3.3) ------------------------------------
+  /// CAM thresholds in *buffers* (segments queued at the bottleneck).
+  double vegas_alpha = 2.0;
+  double vegas_beta = 4.0;
+  /// Slow-start exit threshold, also in buffers.
+  double vegas_gamma = 1.0;
+  /// Floor for the fine-grained RTO (srtt + 4*rttvar is the base value).
+  sim::Time min_fine_rto = sim::Time::milliseconds(50);
+  /// Multiplicative decrease applied when a loss is detected by the
+  /// fine-grained check (earlier than Reno would have), vs the decrease
+  /// used on a 3-dup-ACK fast retransmit.  The SIGCOMM paper leaves the
+  /// factor unspecified; 3/4 for early detection follows the authors'
+  /// x-kernel code and later tech report.
+  double vegas_fine_decrease = 0.75;
+  double vegas_dupack_decrease = 0.5;
+  /// §3.3's proposed future work ("rate control during slow-start, using
+  /// a rate defined by the current window size and the BaseRTT"),
+  /// implemented as an extension: spread slow-start transmissions at
+  /// cwnd/BaseRTT in two-segment bursts (the pairs keep packet-pair
+  /// bandwidth probing alive).  Off by default — the paper evaluates
+  /// Vegas WITHOUT it.
+  bool vegas_paced_slow_start = false;
+  /// §3.3's second proposal ("slow down as we reach the bandwidth
+  /// available to the connection"): leave slow start when the NEXT
+  /// doubling would exceed the packet-pair bandwidth estimate.  Off by
+  /// default, for the same reason.
+  bool vegas_ss_bandwidth_check = false;
+};
+
+}  // namespace vegas::tcp

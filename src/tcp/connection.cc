@@ -1,0 +1,313 @@
+#include "tcp/connection.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+#include "common/log.h"
+#include "net/packet.h"
+#include "tcp/seq.h"
+#include "tcp/stack.h"
+
+namespace vegas::tcp {
+
+const char* to_string(TcpState s) {
+  switch (s) {
+    case TcpState::kClosed: return "CLOSED";
+    case TcpState::kSynSent: return "SYN_SENT";
+    case TcpState::kSynRcvd: return "SYN_RCVD";
+    case TcpState::kEstablished: return "ESTABLISHED";
+    case TcpState::kFinWait1: return "FIN_WAIT_1";
+    case TcpState::kFinWait2: return "FIN_WAIT_2";
+    case TcpState::kCloseWait: return "CLOSE_WAIT";
+    case TcpState::kLastAck: return "LAST_ACK";
+    case TcpState::kClosing: return "CLOSING";
+  }
+  return "?";
+}
+
+Connection::Connection(Stack& stack, NodeId remote, PortNum local_port,
+                       PortNum remote_port, std::unique_ptr<TcpSender> sender,
+                       const TcpConfig& cfg, std::uint32_t isn,
+                       std::optional<std::uint32_t> peer_isn)
+    : stack_(stack),
+      remote_(remote),
+      local_port_(local_port),
+      remote_port_(remote_port),
+      cfg_(cfg),
+      sender_(std::move(sender)),
+      receiver_(cfg),
+      isn_(isn),
+      handshake_timer_(stack.sim(), [this] { handshake_timeout(); }),
+      tick_timer_(stack.sim(), [this] { sender_->on_tick(); }),
+      delack_timer_(stack.sim(), [this] { send_pure_ack(); }) {
+  if (peer_isn.has_value()) {
+    peer_isn_ = *peer_isn;
+    peer_isn_known_ = true;
+  } else {
+    active_open_ = true;
+  }
+}
+
+void Connection::set_observer(ConnectionObserver* obs) {
+  ensure(state_ == TcpState::kClosed, "set_observer before start()");
+  observer_ = obs;
+}
+
+void Connection::start() {
+  TcpSender::Env env;
+  env.sim = &stack_.sim();
+  env.observer = observer_;
+  env.transmit = [this](StreamOffset seq, ByteCount len, bool fin) {
+    transmit_data(seq, len, fin);
+  };
+  env.on_send_space = [this] {
+    if (callbacks_.on_send_space) callbacks_.on_send_space();
+  };
+  env.on_fin_acked = [this] {
+    fin_acked_ = true;
+    if (callbacks_.on_local_fin_acked) callbacks_.on_local_fin_acked();
+    maybe_finish();
+  };
+  env.on_abort = [this] { abort(); };
+  sender_->attach(std::move(env));
+
+  state_ = active_open_ ? TcpState::kSynSent : TcpState::kSynRcvd;
+  send_syn();
+  handshake_timer_.restart(cfg_.tick * cfg_.initial_rto_ticks);
+}
+
+ByteCount Connection::send(ByteCount bytes) { return sender_->app_write(bytes); }
+
+void Connection::close() {
+  if (local_closed_ || state_ == TcpState::kClosed) return;
+  local_closed_ = true;
+  sender_->app_close();
+  maybe_finish();
+}
+
+void Connection::abort() {
+  if (state_ == TcpState::kClosed) return;
+  auto p = make_packet(0);
+  p->tcp.set(net::TcpFlag::kRst);
+  p->tcp.seq = isn_ + 1 + wrap_seq(sender_->snd_nxt());
+  stack_.transmit(std::move(p));
+  enter_closed(/*reset=*/true);
+}
+
+net::PacketPtr Connection::make_packet(ByteCount payload) const {
+  auto p = net::make_packet();
+  p->dst = remote_;
+  p->protocol = net::Protocol::kTcp;
+  p->payload_bytes = payload;
+  p->tcp.src_port = local_port_;
+  p->tcp.dst_port = remote_port_;
+  p->tcp.wnd = static_cast<std::uint32_t>(receiver_.advertised_window());
+  return p;
+}
+
+void Connection::attach_sack(net::Packet& p) const {
+  if (!cfg_.sack_enabled || !peer_isn_known_) return;
+  for (const auto& b : receiver_.reassembly_blocks()) {
+    p.tcp.add_sack(peer_isn_ + 1 + wrap_seq(b.start),
+                   peer_isn_ + 1 + wrap_seq(b.end));
+  }
+  p.header_bytes += p.tcp.sack_option_bytes();
+}
+
+void Connection::send_syn() {
+  auto p = make_packet(0);
+  p->tcp.seq = isn_;
+  p->tcp.set(net::TcpFlag::kSyn);
+  if (!active_open_) {  // SYN|ACK from the passive side
+    p->tcp.set(net::TcpFlag::kAck);
+    p->tcp.ack = peer_isn_ + 1;
+  }
+  stack_.transmit(std::move(p));
+}
+
+void Connection::send_pure_ack() {
+  ensure(peer_isn_known_, "no peer ISN to acknowledge");
+  auto p = make_packet(0);
+  p->tcp.seq = isn_ + 1 + wrap_seq(sender_->snd_nxt());
+  p->tcp.set(net::TcpFlag::kAck);
+  p->tcp.ack = peer_isn_ + 1 + wrap_seq(receiver_.ack_offset());
+  attach_sack(*p);
+  stack_.transmit(std::move(p));
+  unacked_in_order_ = 0;
+  delack_timer_.stop();
+}
+
+void Connection::transmit_data(StreamOffset seq, ByteCount len, bool fin) {
+  auto p = make_packet(len);
+  p->tcp.seq = isn_ + 1 + wrap_seq(seq);
+  if (fin) p->tcp.set(net::TcpFlag::kFin);
+  if (peer_isn_known_) {
+    p->tcp.set(net::TcpFlag::kAck);
+    p->tcp.ack = peer_isn_ + 1 + wrap_seq(receiver_.ack_offset());
+    attach_sack(*p);
+    // A data segment carries the cumulative ACK: any pending delayed ACK
+    // is now redundant.
+    unacked_in_order_ = 0;
+    delack_timer_.stop();
+  }
+  stack_.transmit(std::move(p));
+}
+
+void Connection::handshake_timeout() {
+  if (++handshake_tries_ > 5) {
+    log::warn("handshake gave up " + std::to_string(remote_));
+    enter_closed(/*reset=*/true);
+    return;
+  }
+  send_syn();
+  handshake_timer_.restart(cfg_.tick * cfg_.initial_rto_ticks *
+                           (std::int64_t{1} << handshake_tries_));
+}
+
+void Connection::enter_established() {
+  handshake_timer_.stop();
+  state_ = TcpState::kEstablished;
+  tick_timer_.start(cfg_.tick);
+  if (observer_ != nullptr) observer_->on_established(stack_.sim().now());
+  if (callbacks_.on_established) callbacks_.on_established();
+}
+
+void Connection::on_packet(const net::Packet& p) {
+  const net::TcpHeader& h = p.tcp;
+  switch (state_) {
+    case TcpState::kClosed:
+      return;  // retired; stack races are harmless
+
+    case TcpState::kSynSent: {
+      if (h.has(net::TcpFlag::kRst)) {
+        enter_closed(/*reset=*/true);
+        return;
+      }
+      if (h.has(net::TcpFlag::kSyn) && h.has(net::TcpFlag::kAck) &&
+          h.ack == isn_ + 1) {
+        peer_isn_ = h.seq;
+        peer_isn_known_ = true;
+        enter_established();
+        sender_->open(h.wnd);
+        send_pure_ack();
+      }
+      return;
+    }
+
+    case TcpState::kSynRcvd: {
+      if (h.has(net::TcpFlag::kRst)) {
+        enter_closed(/*reset=*/true);
+        return;
+      }
+      if (h.has(net::TcpFlag::kSyn)) {
+        send_syn();  // our SYN|ACK was lost; repeat it
+        return;
+      }
+      if (h.has(net::TcpFlag::kAck) && h.ack == isn_ + 1) {
+        enter_established();
+        sender_->open(h.wnd);
+        process_segment(p);  // the completing ACK may carry data
+      }
+      return;
+    }
+
+    default:
+      process_segment(p);
+  }
+}
+
+void Connection::process_segment(const net::Packet& p) {
+  const net::TcpHeader& h = p.tcp;
+  if (h.has(net::TcpFlag::kRst)) {
+    enter_closed(/*reset=*/true);
+    return;
+  }
+  if (h.has(net::TcpFlag::kSyn)) {
+    // Duplicate SYN of an established connection: re-ACK it.
+    send_pure_ack();
+    return;
+  }
+
+  if (h.has(net::TcpFlag::kAck)) {
+    const Seq32 rel = h.ack - (isn_ + 1);
+    const StreamOffset ack_off = unwrap_seq(rel, sender_->snd_una());
+    // Translate any SACK blocks from wire sequence space into stream
+    // offsets of OUR outgoing data.
+    TcpSender::SackRange sacks[3];
+    std::size_t n_sacks = 0;
+    if (cfg_.sack_enabled) {
+      for (std::uint8_t i = 0; i < h.sack_count && i < 3; ++i) {
+        const Seq32 rel_s = h.sack[i].start - (isn_ + 1);
+        const Seq32 rel_e = h.sack[i].end - (isn_ + 1);
+        sacks[n_sacks++] = {unwrap_seq(rel_s, sender_->snd_una()),
+                            unwrap_seq(rel_e, sender_->snd_una())};
+      }
+    }
+    sender_->on_ack(ack_off, h.wnd, p.payload_bytes,
+                    std::span<const TcpSender::SackRange>(sacks, n_sacks));
+    if (state_ == TcpState::kClosed) return;  // abort during processing
+  }
+
+  const bool fin = h.has(net::TcpFlag::kFin);
+  if (p.payload_bytes > 0 || fin) {
+    const Seq32 rel = h.seq - (peer_isn_ + 1);
+    const StreamOffset off = unwrap_seq(rel, receiver_.rcv_nxt());
+    const auto r = receiver_.on_segment(off, p.payload_bytes, fin);
+    if (r.delivered > 0 && callbacks_.on_data) callbacks_.on_data(r.delivered);
+    if (r.fin_consumed) {
+      if (callbacks_.on_remote_close) callbacks_.on_remote_close();
+    }
+    ack_policy(r);
+    maybe_finish();
+  }
+}
+
+void Connection::ack_policy(const TcpReceiverHalf::Result& r) {
+  if (state_ == TcpState::kClosed) return;
+  if (r.immediate_ack || !cfg_.delayed_ack) {
+    send_pure_ack();
+    return;
+  }
+  if (r.delivered > 0) {
+    if (++unacked_in_order_ >= 2) {
+      send_pure_ack();
+    } else {
+      delack_timer_.restart(cfg_.delayed_ack_timeout);
+    }
+  }
+}
+
+void Connection::maybe_finish() {
+  if (state_ == TcpState::kClosed) return;
+  const bool remote_done = receiver_.fin_consumed();
+  const bool local_done = local_closed_ && fin_acked_;
+
+  if (local_done && remote_done) {
+    enter_closed(/*reset=*/false);
+    return;
+  }
+  // Book-keeping states for observability.
+  if (local_closed_ && !remote_done) {
+    state_ = fin_acked_ ? TcpState::kFinWait2 : TcpState::kFinWait1;
+  } else if (local_closed_ && remote_done) {
+    state_ = fin_acked_ ? TcpState::kClosing : TcpState::kLastAck;
+  } else if (remote_done) {
+    state_ = TcpState::kCloseWait;
+  }
+}
+
+void Connection::enter_closed(bool reset) {
+  if (state_ == TcpState::kClosed) return;
+  state_ = TcpState::kClosed;
+  handshake_timer_.stop();
+  tick_timer_.stop();
+  delack_timer_.stop();
+  if (observer_ != nullptr) observer_->on_closed(stack_.sim().now());
+  if (reset) {
+    if (callbacks_.on_reset) callbacks_.on_reset();
+  }
+  if (callbacks_.on_closed) callbacks_.on_closed();
+  stack_.retire(this);
+}
+
+}  // namespace vegas::tcp

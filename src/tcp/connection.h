@@ -1,0 +1,140 @@
+// TCP connection: state machine, handshake, and wire <-> stream mapping.
+//
+// The Connection owns one TcpSender (Reno, Vegas, ...) and one
+// TcpReceiverHalf, translates 32-bit wire sequence numbers to the 64-bit
+// stream offsets the halves use (tcp/seq.h), runs the three-way handshake
+// and FIN teardown, applies the ACK-generation policy (immediate by
+// default, optional BSD delayed ACKs), and drives the 500 ms coarse tick.
+//
+// Simplifications relative to RFC 793, documented for honesty: no
+// TIME_WAIT 2MSL hold (the simulator never reuses ports), no simultaneous
+// open, no urgent data.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/host.h"
+#include "sim/timer.h"
+#include "tcp/config.h"
+#include "tcp/observer.h"
+#include "tcp/receiver.h"
+#include "tcp/sender.h"
+
+namespace vegas::tcp {
+
+class Stack;
+
+enum class TcpState : std::uint8_t {
+  kClosed,
+  kSynSent,
+  kSynRcvd,
+  kEstablished,
+  kFinWait1,   // local close sent, awaiting FIN ack
+  kFinWait2,   // local FIN acked, awaiting remote FIN
+  kCloseWait,  // remote FIN consumed, local still open
+  kLastAck,    // remote closed, local FIN sent
+  kClosing,    // both FINs in flight
+};
+
+const char* to_string(TcpState s);
+
+class Connection {
+ public:
+  struct Callbacks {
+    std::function<void()> on_established;
+    /// In-order payload delivered to the application (byte count).
+    std::function<void(ByteCount)> on_data;
+    std::function<void()> on_send_space;
+    /// Our FIN was acknowledged: every stream byte has been delivered and
+    /// confirmed (transfer-completion instant for throughput metrics).
+    std::function<void()> on_local_fin_acked;
+    /// Peer's FIN consumed — no more data will arrive.
+    std::function<void()> on_remote_close;
+    /// Connection fully terminated (both directions done, or aborted).
+    std::function<void()> on_closed;
+    std::function<void()> on_reset;
+  };
+
+  /// Constructed by Stack::connect / Stack's listener.  `peer_isn` is set
+  /// for passive opens (the SYN already arrived).
+  Connection(Stack& stack, NodeId remote, PortNum local_port,
+             PortNum remote_port, std::unique_ptr<TcpSender> sender,
+             const TcpConfig& cfg, std::uint32_t isn,
+             std::optional<std::uint32_t> peer_isn);
+  ~Connection() = default;
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  /// Kicks off the handshake (active: sends SYN; passive: sends SYN|ACK).
+  void start();
+
+  /// Application writes `bytes` to the stream; returns bytes accepted
+  /// (the rest must be retried after on_send_space).
+  ByteCount send(ByteCount bytes);
+
+  /// Half-closes the local side; FIN goes out once the buffer drains.
+  void close();
+
+  /// Hard abort: RST to the peer, immediate teardown.
+  void abort();
+
+  void set_callbacks(Callbacks cbs) { callbacks_ = std::move(cbs); }
+  /// Must be set before start() to capture the whole connection.
+  void set_observer(ConnectionObserver* obs);
+
+  /// Packet from the stack's demux.
+  void on_packet(const net::Packet& p);
+
+  TcpState state() const { return state_; }
+  TcpSender& sender() { return *sender_; }
+  const TcpSender& sender() const { return *sender_; }
+  const TcpReceiverHalf& receiver() const { return receiver_; }
+  NodeId remote() const { return remote_; }
+  PortNum local_port() const { return local_port_; }
+  PortNum remote_port() const { return remote_port_; }
+  const TcpConfig& config() const { return cfg_; }
+  bool closed() const { return state_ == TcpState::kClosed; }
+
+ private:
+  void enter_established();
+  void enter_closed(bool reset);
+  void send_syn();
+  void send_pure_ack();
+  void handshake_timeout();
+  /// Builds + transmits a data segment for the sender half.
+  void transmit_data(StreamOffset seq, ByteCount len, bool fin);
+  net::PacketPtr make_packet(ByteCount payload) const;
+  /// Adds SACK blocks (and their wire-size cost) when enabled.
+  void attach_sack(net::Packet& p) const;
+  void process_segment(const net::Packet& p);
+  void ack_policy(const TcpReceiverHalf::Result& r);
+  void maybe_finish();
+
+  Stack& stack_;
+  NodeId remote_;
+  PortNum local_port_;
+  PortNum remote_port_;
+  TcpConfig cfg_;
+  std::unique_ptr<TcpSender> sender_;
+  TcpReceiverHalf receiver_;
+  Callbacks callbacks_;
+  ConnectionObserver* observer_ = nullptr;
+
+  TcpState state_ = TcpState::kClosed;
+  std::uint32_t isn_;
+  std::uint32_t peer_isn_ = 0;
+  bool peer_isn_known_ = false;
+  bool active_open_ = false;
+  bool local_closed_ = false;   // app called close()
+  bool fin_acked_ = false;      // our FIN acknowledged
+
+  sim::Timer handshake_timer_;
+  int handshake_tries_ = 0;
+  sim::PeriodicTimer tick_timer_;
+  sim::Timer delack_timer_;
+  int unacked_in_order_ = 0;  // delayed-ACK segment counter
+};
+
+}  // namespace vegas::tcp

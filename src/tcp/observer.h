@@ -1,0 +1,52 @@
+// Connection observation hooks.
+//
+// The paper's trace facility (§2.2) records "relevant changes in the
+// connection state" with tiny, allocation-free entries.  The TCP layer
+// reports through this interface; the trace module provides the standard
+// implementation that regenerates the paper's graphs.  All methods have
+// empty defaults so un-instrumented connections pay one virtual call on
+// state changes only.
+#pragma once
+
+#include "common/types.h"
+#include "sim/time.h"
+#include "tcp/seq.h"
+
+namespace vegas::tcp {
+
+enum class RetransmitTrigger : std::uint8_t {
+  kCoarseTimeout,     // Reno's 500 ms timer expired
+  kThreeDupAcks,      // classic fast retransmit
+  kFineDupAck,        // Vegas: 1st dup ACK with expired fine RTO (§3.1)
+  kFineAfterRetransmit  // Vegas: 1st/2nd fresh ACK after a retransmission
+};
+
+enum class CamAction : std::uint8_t { kIncrease, kHold, kDecrease };
+
+class ConnectionObserver {
+ public:
+  virtual ~ConnectionObserver() = default;
+
+  virtual void on_segment_sent(sim::Time /*t*/, StreamOffset /*seq*/,
+                               ByteCount /*len*/, bool /*retransmit*/) {}
+  virtual void on_ack_received(sim::Time /*t*/, StreamOffset /*ack*/,
+                               ByteCount /*wnd*/, bool /*duplicate*/) {}
+  /// Window snapshot after any change (Figure 3's four curves).
+  virtual void on_windows(sim::Time /*t*/, ByteCount /*cwnd*/,
+                          ByteCount /*ssthresh*/, ByteCount /*send_wnd*/,
+                          ByteCount /*in_flight*/) {}
+  /// Coarse timer visited the connection (Figure 2's diamonds).
+  virtual void on_coarse_tick(sim::Time /*t*/) {}
+  virtual void on_retransmit(sim::Time /*t*/, StreamOffset /*seq*/,
+                             ByteCount /*len*/, RetransmitTrigger) {}
+  /// Vegas congestion-avoidance sample (Figure 8): rates in bytes/s,
+  /// diff in buffers.
+  virtual void on_cam_sample(sim::Time /*t*/, double /*expected_Bps*/,
+                             double /*actual_Bps*/, double /*diff_buffers*/,
+                             CamAction) {}
+  virtual void on_slow_start_exit(sim::Time /*t*/) {}
+  virtual void on_established(sim::Time /*t*/) {}
+  virtual void on_closed(sim::Time /*t*/) {}
+};
+
+}  // namespace vegas::tcp

@@ -1,0 +1,40 @@
+#include "tcp/receiver.h"
+
+#include "common/ensure.h"
+
+namespace vegas::tcp {
+
+TcpReceiverHalf::Result TcpReceiverHalf::on_segment(StreamOffset offset,
+                                                    ByteCount len, bool fin) {
+  Result result;
+  if (fin) {
+    ensure(!fin_offset_.has_value() || *fin_offset_ == offset + len,
+           "peer moved its FIN");
+    fin_offset_ = offset + len;
+  }
+
+  if (len > 0) {
+    const auto arrival = reasm_.on_segment(offset, len);
+    delivered_total_ += arrival.delivered;
+    result.delivered = arrival.delivered;
+    // Out-of-order and duplicate segments elicit the immediate duplicate
+    // ACK that drives fast retransmit at the peer.
+    result.immediate_ack = arrival.duplicate || arrival.out_of_order;
+  } else if (!fin) {
+    // Zero-length probe (persist): always acknowledge.
+    result.immediate_ack = true;
+  }
+
+  if (fin_offset_.has_value() && !fin_consumed_ &&
+      reasm_.rcv_nxt() == *fin_offset_) {
+    fin_consumed_ = true;
+    result.fin_consumed = true;
+    result.immediate_ack = true;
+  } else if (fin && !fin_consumed_) {
+    // FIN arrived above a hole: treat like out-of-order data.
+    result.immediate_ack = true;
+  }
+  return result;
+}
+
+}  // namespace vegas::tcp

@@ -1,0 +1,59 @@
+// TCP receive-side engine.
+//
+// Generates the cumulative-ACK stream the sender's congestion machinery
+// feeds on: in-order data advances rcv_nxt, anything else elicits an
+// immediate duplicate ACK ("Reno sends a duplicate ACK whenever it
+// receives new data that it cannot acknowledge", §3.1).  The FIN occupies
+// one sequence unit past the last payload byte.
+#pragma once
+
+#include <optional>
+
+#include "tcp/buffer.h"
+#include "tcp/config.h"
+
+namespace vegas::tcp {
+
+class TcpReceiverHalf {
+ public:
+  explicit TcpReceiverHalf(const TcpConfig& cfg) : reasm_(cfg.recv_buffer) {}
+
+  struct Result {
+    /// Payload bytes newly delivered in-order to the application.
+    ByteCount delivered = 0;
+    /// The segment was duplicate or out-of-order: ACK immediately (this
+    /// is what produces duplicate ACKs).
+    bool immediate_ack = false;
+    /// The peer's FIN was consumed by this arrival (stream complete).
+    bool fin_consumed = false;
+  };
+
+  /// Processes payload [offset, offset+len); `fin` marks stream end at
+  /// offset+len.
+  Result on_segment(StreamOffset offset, ByteCount len, bool fin);
+
+  /// Cumulative ACK point in sequence space (includes +1 once the FIN has
+  /// been consumed).
+  StreamOffset ack_offset() const {
+    return reasm_.rcv_nxt() + (fin_consumed_ ? 1 : 0);
+  }
+
+  ByteCount advertised_window() const { return reasm_.advertised_window(); }
+
+  /// Out-of-order intervals for SACK-block generation.
+  std::vector<ReassemblyBuffer::Block> reassembly_blocks() const {
+    return reasm_.sack_blocks();
+  }
+  bool fin_received() const { return fin_offset_.has_value(); }
+  bool fin_consumed() const { return fin_consumed_; }
+  ByteCount total_delivered() const { return delivered_total_; }
+  StreamOffset rcv_nxt() const { return reasm_.rcv_nxt(); }
+
+ private:
+  ReassemblyBuffer reasm_;
+  std::optional<StreamOffset> fin_offset_;
+  bool fin_consumed_ = false;
+  ByteCount delivered_total_ = 0;
+};
+
+}  // namespace vegas::tcp

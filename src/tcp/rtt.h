@@ -1,0 +1,69 @@
+// Round-trip-time estimators.
+//
+// CoarseRttEstimator reproduces 4.3BSD Reno's estimator verbatim: samples
+// are counted in 500 ms clock ticks, srtt/rttvar are kept in the kernel's
+// fixed-point encodings (srtt x8, rttvar x4), and the RTO is
+// srtt + 4*rttvar ticks with the classic 2-tick floor — this coarseness is
+// precisely what §3.1 blames for Reno's 1100 ms retransmit latency.
+//
+// FineRttEstimator is the Vegas replacement: the same EWMA filter run on
+// exact per-segment timestamps from the simulator clock.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace vegas::tcp {
+
+class CoarseRttEstimator {
+ public:
+  CoarseRttEstimator(int min_rto_ticks, int max_rto_ticks,
+                     int initial_rto_ticks)
+      : min_rto_(min_rto_ticks),
+        max_rto_(max_rto_ticks),
+        initial_rto_(initial_rto_ticks) {}
+
+  /// Feeds one RTT sample measured in whole ticks (>= 1).
+  void sample(int ticks);
+
+  /// Retransmission timeout in ticks, before backoff.
+  int rto_ticks() const;
+
+  bool has_sample() const { return srtt_x8_ != 0; }
+  /// Smoothed RTT in ticks (rounded), for diagnostics.
+  double srtt_ticks() const { return srtt_x8_ / 8.0; }
+
+  /// Forgets the estimate (BSD does this after repeated backoffs).
+  void reset() { srtt_x8_ = 0; rttvar_x4_ = 0; }
+
+ private:
+  int min_rto_;
+  int max_rto_;
+  int initial_rto_;
+  std::int32_t srtt_x8_ = 0;   // t_srtt: srtt in ticks, scaled by 8
+  std::int32_t rttvar_x4_ = 0; // t_rttvar: mean deviation, scaled by 4
+};
+
+class FineRttEstimator {
+ public:
+  explicit FineRttEstimator(sim::Time min_rto) : min_rto_(min_rto) {}
+
+  void sample(sim::Time rtt);
+
+  /// srtt + 4*rttvar, floored at min_rto; a large default before the
+  /// first sample so the fine checks cannot misfire during handshake.
+  sim::Time rto() const;
+
+  bool has_sample() const { return has_sample_; }
+  sim::Time srtt() const { return srtt_; }
+  sim::Time rttvar() const { return rttvar_; }
+
+ private:
+  sim::Time min_rto_;
+  sim::Time srtt_;
+  sim::Time rttvar_;
+  bool has_sample_ = false;
+};
+
+}  // namespace vegas::tcp

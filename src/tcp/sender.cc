@@ -1,0 +1,468 @@
+#include "tcp/sender.h"
+
+#include <algorithm>
+
+#include "common/ensure.h"
+#include "common/log.h"
+
+namespace vegas::tcp {
+namespace {
+constexpr ByteCount kHugeWindow = ByteCount{1} << 30;
+constexpr int kPersistIntervalTicks = 4;  // probe every 2 s of zero window
+}  // namespace
+
+TcpSender::TcpSender(const TcpConfig& cfg)
+    : cfg_(cfg),
+      buf_(cfg.send_buffer),
+      ssthresh_(kHugeWindow),
+      rtt_(cfg.min_rto_ticks, cfg.max_rto_ticks, cfg.initial_rto_ticks) {
+  cwnd_ = cfg_.mss * cfg_.initial_cwnd_segments;
+}
+
+void TcpSender::attach(Env env) {
+  ensure(env.sim != nullptr && env.transmit != nullptr, "incomplete env");
+  env_ = std::move(env);
+  pace_timer_.emplace(*env_.sim, [this] {
+    pace_pending_ = false;
+    maybe_send();
+  });
+}
+
+void TcpSender::open(ByteCount initial_peer_window) {
+  ensure(env_.sim != nullptr, "sender not attached");
+  open_ = true;
+  snd_wnd_ = initial_peer_window;
+  last_activity_ = now();
+  notify_windows();
+  maybe_send();
+}
+
+ByteCount TcpSender::app_write(ByteCount bytes) {
+  const ByteCount accepted = buf_.write(bytes);
+  if (open_) maybe_send();
+  return accepted;
+}
+
+void TcpSender::app_close() {
+  fin_pending_ = true;
+  if (open_) maybe_send();
+}
+
+ByteCount TcpSender::in_flight() const { return snd_nxt_ - snd_una_; }
+
+ByteCount TcpSender::half_window() const {
+  const ByteCount flight_wnd = std::min(cwnd_, std::max(snd_wnd_, cfg_.mss));
+  const ByteCount half = (flight_wnd / 2 / cfg_.mss) * cfg_.mss;
+  return std::max(half, 2 * cfg_.mss);
+}
+
+const TcpSender::SegRecord* TcpSender::front_record() const {
+  for (const SegRecord& r : records_) {
+    if (r.start + r.len + (r.fin ? 1 : 0) > snd_una_) return &r;
+  }
+  return nullptr;
+}
+
+void TcpSender::set_cwnd(ByteCount cwnd) {
+  cwnd_ = std::clamp<ByteCount>(cwnd, cfg_.mss, kHugeWindow);
+  notify_windows();
+}
+
+void TcpSender::set_ssthresh(ByteCount ssthresh) {
+  ssthresh_ = std::max<ByteCount>(ssthresh, 2 * cfg_.mss);
+  notify_windows();
+}
+
+void TcpSender::notify_windows() {
+  if (env_.observer != nullptr) {
+    env_.observer->on_windows(now(), cwnd_, ssthresh_,
+                              std::min(snd_wnd_, buf_.capacity()), in_flight());
+  }
+}
+
+void TcpSender::maybe_send() {
+  if (!open_) return;
+  if (pace_pending_) return;  // pacer owns the next transmission slot
+  const ByteCount wnd = std::min(cwnd_, snd_wnd_);
+  const StreamOffset end = buf_.stream_end();
+  int sent_this_call = 0;
+  while (true) {
+    const ByteCount flight = snd_nxt_ - snd_una_;
+    const ByteCount usable = wnd - flight;
+    if (usable <= 0) break;
+    const ByteCount avail = snd_nxt_ <= end ? end - snd_nxt_ : 0;
+    // Anything below snd_max_ has been on the wire before (go-back-N
+    // resend after a coarse timeout).
+    const bool rtx = snd_nxt_ < snd_max_;
+    if (avail > 0) {
+      ByteCount len = std::min({cfg_.mss, avail, usable});
+      // Sender-side silly-window avoidance: hold back a sub-MSS tail only
+      // if more data could still arrive behind it (i.e. it is not the
+      // final chunk before a pending close) and the window is the binder.
+      if (len < cfg_.mss && len < avail) break;
+      const bool fin = fin_pending_ && len == avail;
+      transmit_segment(snd_nxt_, len, fin, rtx);
+      snd_nxt_ += len + (fin ? 1 : 0);
+      if (fin) fin_sent_ = true;
+    } else if (fin_pending_ && !fin_sent_) {
+      transmit_segment(snd_nxt_, 0, /*fin=*/true, rtx);
+      snd_nxt_ += 1;
+      fin_sent_ = true;
+    } else {
+      break;
+    }
+    if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
+
+    // Paced mode: a small burst per interval, the rest ride the timer.
+    const sim::Time pace = pacing_interval();
+    if (pace > sim::Time::zero() && ++sent_this_call >= pacing_burst()) {
+      pace_pending_ = true;
+      pace_timer_->restart(pace);
+      break;
+    }
+  }
+}
+
+void TcpSender::transmit_segment(StreamOffset seq, ByteCount len, bool fin,
+                                 bool retransmit) {
+  env_.transmit(seq, len, fin);
+  stats_.bytes_sent += len;
+  ++stats_.segments_sent;
+  if (retransmit) {
+    stats_.bytes_retransmitted += len;
+    ++stats_.segments_retransmitted;
+  }
+  if (env_.observer != nullptr) {
+    env_.observer->on_segment_sent(now(), seq, len, retransmit);
+  }
+
+  // Maintain the per-segment record (Vegas reads sent_at / transmissions).
+  SegRecord* rec = nullptr;
+  for (SegRecord& r : records_) {
+    if (r.start == seq) {
+      rec = &r;
+      break;
+    }
+  }
+  if (rec == nullptr) {
+    records_.push_back(SegRecord{seq, len, fin, now(), 1});
+    rec = &records_.back();
+  } else {
+    rec->sent_at = now();
+    rec->len = len;
+    rec->fin = fin;
+    ++rec->transmissions;
+  }
+
+  // Karn's rule: only time segments whose first transmission this is.
+  if (!rtt_timing_ && !retransmit) {
+    rtt_timing_ = true;
+    rtt_elapsed_ticks_ = 0;
+    rtt_seq_ = seq + std::max<ByteCount>(len - 1, 0);
+  }
+  if (rexmt_ticks_ == 0) arm_rexmt();
+  last_activity_ = now();
+  on_segment_transmitted(*rec, retransmit);
+  notify_windows();
+}
+
+void TcpSender::arm_rexmt() {
+  const int rto = rtt_.rto_ticks() << backoff_shift_;
+  rexmt_ticks_ = std::min(rto, cfg_.max_rto_ticks);
+}
+
+void TcpSender::on_ack(StreamOffset ack, ByteCount peer_wnd,
+                       ByteCount segment_payload,
+                       std::span<const SackRange> sacks) {
+  if (!open_) return;
+  if (ack > snd_max_) {
+    log::warn("ack beyond snd_max ignored");
+    return;
+  }
+  if (cfg_.sack_enabled) {
+    for (const SackRange& r : sacks) {
+      if (r.end > r.start) merge_sack(r.start, r.end);
+    }
+  }
+  const bool outstanding = snd_nxt_ > snd_una_;
+  const bool duplicate = segment_payload == 0 && ack == snd_una_ &&
+                         peer_wnd == snd_wnd_ && outstanding;
+  on_ack_preprocess(ack, duplicate);
+
+  if (duplicate) {
+    ++stats_.dup_acks_received;
+    ++dup_acks_;
+    if (env_.observer != nullptr) {
+      env_.observer->on_ack_received(now(), ack, peer_wnd, true);
+    }
+    cc_on_dup_ack(dup_acks_);
+    return;
+  }
+
+  snd_wnd_ = peer_wnd;
+  if (env_.observer != nullptr) {
+    env_.observer->on_ack_received(now(), ack, peer_wnd, false);
+  }
+  if (ack > snd_una_) {
+    handle_new_ack(ack);
+  } else {
+    // Window update or stale ACK: reset the duplicate run (BSD rule).
+    dup_acks_ = 0;
+    maybe_send();
+  }
+}
+
+void TcpSender::handle_new_ack(StreamOffset ack) {
+  const ByteCount newly = ack - snd_una_;
+  dup_acks_ = 0;
+
+  // Completed RTT measurement (Karn-safe: timing only spans segments
+  // never retransmitted; a coarse timeout cancels timing).
+  if (rtt_timing_ && ack > rtt_seq_) {
+    rtt_timing_ = false;
+    const int ticks = std::max(1, rtt_elapsed_ticks_);
+    rtt_.sample(ticks);
+    ++stats_.rtt_samples;
+    on_rtt_sample_ticks(ticks);
+  }
+  backoff_shift_ = 0;
+
+  const StreamOffset end = buf_.stream_end();
+  const ByteCount space_before = buf_.space();
+  buf_.ack_to(std::min(ack, end));
+  snd_una_ = ack;
+  if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+
+  // An ACK covering end+1 can only exist if a transmitted FIN reached the
+  // peer — even if a coarse timeout has since cleared fin_sent_ for
+  // go-back-N (the ACK was already in flight).
+  if (fin_pending_ && !fin_acked_ && ack == end + 1) {
+    fin_sent_ = true;
+    fin_acked_ = true;
+    if (env_.on_fin_acked) env_.on_fin_acked();
+  }
+
+  while (!records_.empty()) {
+    const SegRecord& r = records_.front();
+    if (r.start + r.len + (r.fin ? 1 : 0) <= snd_una_) {
+      records_.pop_front();
+    } else {
+      break;
+    }
+  }
+
+  // SACK scoreboard maintenance: everything below snd_una is history.
+  while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
+    sacked_.erase(sacked_.begin());
+  }
+  if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
+    const StreamOffset end = sacked_.begin()->second;
+    sacked_.erase(sacked_.begin());
+    sacked_.emplace(snd_una_, end);
+  }
+  if (sack_rtx_point_ < snd_una_) sack_rtx_point_ = snd_una_;
+
+  if (snd_una_ == snd_nxt_) {
+    disarm_rexmt();
+  } else {
+    arm_rexmt();
+  }
+
+  cc_on_new_ack(newly);
+  maybe_send();
+  if (env_.on_send_space && buf_.space() > space_before) env_.on_send_space();
+}
+
+void TcpSender::cc_on_new_ack(ByteCount /*newly_acked*/) {
+  if (in_recovery_) {
+    // Reno deflation: recovery ends on the first fresh ACK.
+    in_recovery_ = false;
+    set_cwnd(ssthresh_);
+    return;
+  }
+  if (cwnd_ < ssthresh_) {
+    set_cwnd(cwnd_ + cfg_.mss);  // slow start: exponential per RTT
+  } else {
+    // Congestion avoidance: ~one segment per RTT.
+    const ByteCount incr =
+        std::max<ByteCount>(cfg_.mss * cfg_.mss / std::max<ByteCount>(cwnd_, 1), 1);
+    set_cwnd(cwnd_ + incr);
+  }
+}
+
+void TcpSender::cc_on_dup_ack(int dup_count) {
+  if (in_recovery_) {
+    // Window inflation: each dup ACK signals a departure from the pipe.
+    set_cwnd(cwnd_ + cfg_.mss);
+    // With SACK, a duplicate ACK also names the next hole to repair.
+    sack_retransmit_next_hole(RetransmitTrigger::kThreeDupAcks);
+    maybe_send();
+    return;
+  }
+  if (dup_count == cfg_.dup_ack_threshold) {
+    set_ssthresh(half_window());
+    rtt_timing_ = false;  // Karn: the timed segment is being retransmitted
+    retransmit_front(RetransmitTrigger::kThreeDupAcks);
+    ++stats_.fast_retransmits;
+    set_cwnd(ssthresh_ + ByteCount{cfg_.dup_ack_threshold} * cfg_.mss);
+    in_recovery_ = true;
+    sack_rtx_point_ = snd_una_ + cfg_.mss;  // front already repaired
+    maybe_send();
+  }
+}
+
+void TcpSender::retransmit_front(RetransmitTrigger trigger) {
+  retransmit_at(snd_una_, trigger);
+}
+
+ByteCount TcpSender::retransmit_at(StreamOffset start,
+                                   RetransmitTrigger trigger) {
+  const StreamOffset end = buf_.stream_end();
+  if (start < snd_una_) start = snd_una_;
+  if (start >= snd_max_ || snd_una_ >= end + 1) return 0;
+  ByteCount len = 0;
+  bool fin = false;
+  if (start < end) {
+    len = std::min({cfg_.mss, end - start, snd_max_ - start});
+    fin = fin_sent_ && (start + len == end);
+  } else {
+    // Only the FIN is outstanding.
+    if (!fin_sent_) return 0;
+    fin = true;
+  }
+  if (cfg_.sack_enabled && len > 0 && sack_covered(start, len)) {
+    // The peer already holds these bytes: the retransmission would be
+    // pure waste (the "unnecessarily retransmitted" data §6 counts).
+    ++stats_.retransmits_avoided;
+    return 0;
+  }
+  if (trigger == RetransmitTrigger::kFineDupAck ||
+      trigger == RetransmitTrigger::kFineAfterRetransmit) {
+    ++stats_.fine_retransmits;
+  }
+  if (env_.observer != nullptr) {
+    env_.observer->on_retransmit(now(), start, len, trigger);
+  }
+  transmit_segment(start, len, fin, /*retransmit=*/true);
+  arm_rexmt();
+  return len;
+}
+
+void TcpSender::merge_sack(StreamOffset start, StreamOffset end) {
+  if (end <= snd_una_) return;
+  if (start < snd_una_) start = snd_una_;
+  auto it = sacked_.lower_bound(start);
+  if (it != sacked_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= start) {
+      start = prev->first;
+      end = std::max(end, prev->second);
+      it = sacked_.erase(prev);
+    }
+  }
+  while (it != sacked_.end() && it->first <= end) {
+    end = std::max(end, it->second);
+    it = sacked_.erase(it);
+  }
+  sacked_.emplace(start, end);
+}
+
+bool TcpSender::sack_covered(StreamOffset start, ByteCount len) const {
+  const auto it = sacked_.upper_bound(start);
+  if (it == sacked_.begin()) return false;
+  const auto& [s, e] = *std::prev(it);
+  return s <= start && start + len <= e;
+}
+
+StreamOffset TcpSender::sack_next_hole(StreamOffset from) const {
+  StreamOffset at = std::max(from, snd_una_);
+  for (const auto& [s, e] : sacked_) {
+    if (at < s) break;   // `at` sits in the hole before this block
+    if (at < e) at = e;  // inside a sacked block: jump past it
+  }
+  return std::min(at, snd_max_);
+}
+
+bool TcpSender::sack_retransmit_next_hole(RetransmitTrigger trigger) {
+  if (!cfg_.sack_enabled || sacked_.empty()) return false;
+  const StreamOffset hole = sack_next_hole(sack_rtx_point_);
+  // Only repair holes BELOW the highest sacked byte — data above it has
+  // no evidence of loss yet.
+  const StreamOffset high = sacked_.rbegin()->second;
+  if (hole >= high || hole >= snd_max_) return false;
+  const ByteCount sent = retransmit_at(hole, trigger);
+  sack_rtx_point_ = hole + std::max<ByteCount>(sent, cfg_.mss);
+  if (sent > 0) ++stats_.sack_retransmits;
+  return sent > 0;
+}
+
+void TcpSender::on_tick() {
+  if (!open_) return;
+  if (env_.observer != nullptr) env_.observer->on_coarse_tick(now());
+  if (rtt_timing_) ++rtt_elapsed_ticks_;
+
+  if (rexmt_ticks_ > 0 && --rexmt_ticks_ == 0) {
+    coarse_timeout();
+    return;
+  }
+
+  // Simplified BSD persist: while the peer advertises a zero window and
+  // we have something to say, probe periodically so the window update
+  // that reopens it cannot be lost forever.
+  const bool want_send =
+      buf_.available_from(snd_nxt_) > 0 || (fin_pending_ && !fin_sent_);
+  if (snd_wnd_ == 0 && want_send && snd_una_ == snd_nxt_) {
+    if (++persist_ticks_ >= kPersistIntervalTicks) {
+      persist_ticks_ = 0;
+      send_window_probe();
+    }
+  } else {
+    persist_ticks_ = 0;
+  }
+}
+
+void TcpSender::send_window_probe() {
+  const StreamOffset end = buf_.stream_end();
+  if (snd_nxt_ < end) {
+    const bool rtx = snd_nxt_ < snd_max_;
+    const bool fin = fin_pending_ && snd_nxt_ + 1 == end;
+    transmit_segment(snd_nxt_, 1, fin, rtx);
+    snd_nxt_ += 1 + (fin ? 1 : 0);
+    if (fin) fin_sent_ = true;
+    if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
+  } else if (fin_pending_ && !fin_sent_) {
+    transmit_segment(snd_nxt_, 0, /*fin=*/true, snd_nxt_ < snd_max_);
+    snd_nxt_ += 1;
+    fin_sent_ = true;
+    if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
+  }
+}
+
+void TcpSender::coarse_timeout() {
+  ++stats_.coarse_timeouts;
+  ++backoff_shift_;
+  if (backoff_shift_ > cfg_.max_rxt_backoffs) {
+    if (env_.on_abort) env_.on_abort();
+    return;
+  }
+  rtt_timing_ = false;  // Karn
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  sacked_.clear();  // RFC 2018: don't trust the scoreboard across an RTO
+
+  cc_on_coarse_timeout();
+
+  // Go-back-N: everything past snd_una_ is presumed lost.
+  snd_nxt_ = snd_una_;
+  if (!fin_acked_) fin_sent_ = false;
+  records_.clear();
+  arm_rexmt();
+  maybe_send();
+}
+
+void TcpSender::cc_on_coarse_timeout() {
+  set_ssthresh(half_window());
+  set_cwnd(cfg_.mss);
+}
+
+}  // namespace vegas::tcp

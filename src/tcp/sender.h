@@ -1,0 +1,290 @@
+// TCP send-side engine, implementing 4.3BSD Reno semantics.
+//
+// This class IS Reno: Jacobson slow start and congestion avoidance, the
+// 500 ms coarse-grained retransmission timer with Karn's rule and
+// exponential backoff, fast retransmit on 3 duplicate ACKs, and Reno fast
+// recovery with window inflation.  The historical lineage of the paper —
+// "our implementation of Vegas was derived by modifying Reno" (§2) — is
+// mirrored in code: subclasses (Tahoe, Vegas, DUAL, CARD, Tri-S) override
+// the protected virtual joints.
+//
+// The sender works in 64-bit stream offsets (see tcp/seq.h); the owning
+// Connection translates to/from 32-bit wire sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "common/types.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+#include "tcp/buffer.h"
+#include "tcp/config.h"
+#include "tcp/observer.h"
+#include "tcp/rtt.h"
+
+namespace vegas::tcp {
+
+/// Aggregate counters the experiments report (Tables 1-5 columns).
+struct SenderStats {
+  ByteCount bytes_sent = 0;            // payload bytes, incl. retransmits
+  ByteCount bytes_retransmitted = 0;   // payload bytes sent more than once
+  std::uint64_t segments_sent = 0;
+  std::uint64_t segments_retransmitted = 0;
+  std::uint64_t coarse_timeouts = 0;   // Reno's circles (Figure 2)
+  std::uint64_t fast_retransmits = 0;  // 3-dup-ACK retransmits
+  std::uint64_t fine_retransmits = 0;  // Vegas §3.1 retransmits
+  std::uint64_t dup_acks_received = 0;
+  std::uint64_t rtt_samples = 0;
+  std::uint64_t sack_retransmits = 0;     // hole repairs driven by SACK
+  std::uint64_t retransmits_avoided = 0;  // skipped: target already SACKed
+};
+
+class TcpSender {
+ public:
+  /// Services the owning Connection provides to the sender.
+  struct Env {
+    sim::Simulator* sim = nullptr;
+    ConnectionObserver* observer = nullptr;  // may be null
+    /// Builds and transmits a data segment [seq, seq+len) with `fin`
+    /// marking the final segment of the stream.
+    std::function<void(StreamOffset seq, ByteCount len, bool fin)> transmit;
+    /// Send-buffer space became available for the application.
+    std::function<void()> on_send_space;
+    /// The local FIN was acknowledged.
+    std::function<void()> on_fin_acked;
+    /// Retransmission gave up (too many backoffs) — abort connection.
+    std::function<void()> on_abort;
+  };
+
+  explicit TcpSender(const TcpConfig& cfg);
+  virtual ~TcpSender() = default;
+  TcpSender(const TcpSender&) = delete;
+  TcpSender& operator=(const TcpSender&) = delete;
+
+  void attach(Env env);
+
+  /// Human-readable algorithm name ("Reno", "Vegas", ...).
+  virtual std::string name() const { return "Reno"; }
+
+  // --- interface used by the Connection ---------------------------------
+
+  /// Connection reached ESTABLISHED; transmission may begin.
+  void open(ByteCount initial_peer_window);
+
+  /// Application appended bytes to the stream; returns bytes accepted.
+  ByteCount app_write(ByteCount bytes);
+
+  /// Application closed its end: emit FIN once the buffer drains.
+  void app_close();
+
+  /// One received SACK block in stream-offset space.
+  struct SackRange {
+    StreamOffset start;
+    StreamOffset end;
+  };
+
+  /// Cumulative ACK for stream offset `ack` (bytes before it are acked;
+  /// ack == stream_end()+1 acknowledges the FIN).  `peer_wnd` is the raw
+  /// advertised window; `segment_payload` the payload length of the
+  /// packet carrying this ACK (the BSD duplicate-ACK rule needs it).
+  /// `sacks` carries any selective-ACK blocks (config().sack_enabled).
+  void on_ack(StreamOffset ack, ByteCount peer_wnd, ByteCount segment_payload,
+              std::span<const SackRange> sacks = {});
+
+  /// One coarse-grained clock tick (every cfg.tick).
+  void on_tick();
+
+  // --- accessors ---------------------------------------------------------
+
+  const SenderStats& stats() const { return stats_; }
+  const TcpConfig& config() const { return cfg_; }
+  ByteCount cwnd() const { return cwnd_; }
+  ByteCount ssthresh() const { return ssthresh_; }
+  ByteCount in_flight() const;
+  StreamOffset snd_una() const { return snd_una_; }
+  StreamOffset snd_nxt() const { return snd_nxt_; }
+  StreamOffset snd_max() const { return snd_max_; }
+  ByteCount send_space() const { return buf_.space(); }
+  bool fin_acked() const { return fin_acked_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  // --- SACK scoreboard inspection (config().sack_enabled) ---------------
+
+  bool sack_enabled() const { return cfg_.sack_enabled; }
+
+  /// True if every byte of [start, start+len) is covered by SACK blocks.
+  bool sack_covered(StreamOffset start, ByteCount len) const;
+
+  /// First offset >= `from` (and >= snd_una) not covered by any SACK
+  /// block, or snd_max if none.
+  StreamOffset sack_next_hole(StreamOffset from) const;
+
+  const std::map<StreamOffset, StreamOffset>& sack_scoreboard() const {
+    return sacked_;
+  }
+
+  /// One transmission of one segment, as the retransmission machinery
+  /// tracks it.  `sent_at` is updated on every (re)transmission; Vegas'
+  /// fine-grained checks read it.
+  struct SegRecord {
+    StreamOffset start = 0;
+    ByteCount len = 0;
+    bool fin = false;
+    sim::Time sent_at;
+    int transmissions = 1;
+  };
+
+ protected:
+  // --- virtual joints (Reno defaults; subclasses modify) -----------------
+
+  /// Congestion-window growth on a fresh cumulative ACK.
+  virtual void cc_on_new_ack(ByteCount newly_acked);
+
+  /// A duplicate ACK arrived (count includes this one).
+  virtual void cc_on_dup_ack(int dup_count);
+
+  /// The coarse retransmission timer fired.
+  virtual void cc_on_coarse_timeout();
+
+  /// Called for every arriving ACK before standard processing — Vegas
+  /// hangs its fine-grained checks and CAM here.  `ack` may duplicate.
+  virtual void on_ack_preprocess(StreamOffset /*ack*/, bool /*duplicate*/) {}
+
+  /// Called after a segment is (re)transmitted.
+  virtual void on_segment_transmitted(const SegRecord& /*rec*/,
+                                      bool /*retransmit*/) {}
+
+  /// Fresh RTT measurement hooks.  Coarse samples (ticks) drive the Reno
+  /// estimator; subclasses may also keep fine estimates via records.
+  virtual void on_rtt_sample_ticks(int /*ticks*/) {}
+
+  /// Transmission pacing: when nonzero, maybe_send() emits at most
+  /// pacing_burst() segments per interval instead of bursting the whole
+  /// window.  Vegas' paced slow start (§3.3's proposed future work)
+  /// returns BaseRTT * burst * MSS / cwnd here.
+  virtual sim::Time pacing_interval() const { return sim::Time::zero(); }
+
+  /// Segments allowed back-to-back per pacing interval (>= 1).  Two keeps
+  /// packet-pair bandwidth probing alive under pacing.
+  virtual int pacing_burst() const { return 1; }
+
+  // --- services available to subclasses ----------------------------------
+
+  sim::Simulator& sim() { return *env_.sim; }
+  ConnectionObserver* observer() { return env_.observer; }
+  sim::Time now() const { return env_.sim->now(); }
+
+  /// Sends as much new data as windows allow.
+  void maybe_send();
+
+  /// Retransmits the first unacknowledged segment.
+  void retransmit_front(RetransmitTrigger trigger);
+
+  /// Retransmits one MSS-bounded segment starting at `start` (clamped to
+  /// outstanding data).  Skips (and counts) targets already SACKed.
+  /// Returns payload length actually retransmitted.
+  ByteCount retransmit_at(StreamOffset start, RetransmitTrigger trigger);
+
+  /// SACK-based recovery step: repair the next unsacked hole above the
+  /// last repair point.  Returns true if a retransmission was sent.
+  /// Call from recovery paths on duplicate ACKs.
+  bool sack_retransmit_next_hole(RetransmitTrigger trigger);
+
+  /// Resets the hole-search floor when a recovery episode begins (the
+  /// front segment has just been retransmitted).
+  void sack_recovery_begin() { sack_rtx_point_ = snd_una_ + cfg_.mss; }
+
+  /// Standard Reno halving target: max(2*MSS, min(cwnd, snd_wnd)/2).
+  ByteCount half_window() const;
+
+  /// Looks up the retransmission record containing `snd_una` (the segment
+  /// a duplicate ACK asks for), or nullptr.
+  const SegRecord* front_record() const;
+
+  /// All in-flight transmission records, ordered by stream offset.
+  const std::deque<SegRecord>& records() const { return records_; }
+
+  ByteCount mss() const { return cfg_.mss; }
+  ByteCount snd_wnd() const { return snd_wnd_; }
+
+  void set_cwnd(ByteCount cwnd);
+  void set_ssthresh(ByteCount ssthresh);
+  void enter_recovery() { in_recovery_ = true; }
+  void exit_recovery() { in_recovery_ = false; }
+  bool in_recovery() const { return in_recovery_; }
+
+  /// Karn's rule helper for subclasses that retransmit the timed segment.
+  void cancel_rtt_timing() { rtt_timing_ = false; }
+
+  void notify_windows();
+
+  SenderStats stats_;
+  TcpConfig cfg_;
+
+ private:
+  void transmit_segment(StreamOffset seq, ByteCount len, bool fin,
+                        bool retransmit);
+  /// Persist-timer probe: forces one byte into a zero window so the
+  /// reopening window update cannot be lost forever.
+  void send_window_probe();
+  void merge_sack(StreamOffset start, StreamOffset end);
+  void handle_new_ack(StreamOffset ack);
+  void arm_rexmt();
+  void disarm_rexmt() { rexmt_ticks_ = 0; }
+  void coarse_timeout();
+
+  Env env_;
+  SendBuffer buf_;
+
+  StreamOffset snd_una_ = 0;
+  StreamOffset snd_nxt_ = 0;
+  StreamOffset snd_max_ = 0;  // highest sequence ever transmitted
+  ByteCount cwnd_ = 0;
+  ByteCount ssthresh_ = 0;
+  ByteCount snd_wnd_ = 0;       // peer advertised window
+  ByteCount cwnd_acc_ = 0;      // fractional CA growth accumulator
+
+  std::deque<SegRecord> records_;  // in-flight, ordered by start
+
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+
+  // SACK scoreboard: merged sacked intervals above snd_una_ (cleared on
+  // coarse timeout, RFC 2018's reneging caution).
+  std::map<StreamOffset, StreamOffset> sacked_;
+  StreamOffset sack_rtx_point_ = 0;  // next-hole search floor in recovery
+
+  // Coarse timer state (all in ticks).
+  CoarseRttEstimator rtt_;
+  int rexmt_ticks_ = 0;  // 0 = disarmed
+  int backoff_shift_ = 0;
+  bool rtt_timing_ = false;  // a segment is being timed (Karn)
+  int rtt_elapsed_ticks_ = 0;
+  StreamOffset rtt_seq_ = 0;  // sample completes when ack > rtt_seq_
+
+  // Zero-window persist (simplified BSD persist timer).
+  int persist_ticks_ = 0;
+
+  // Pacing (see pacing_interval()): while armed, maybe_send defers.
+  std::optional<sim::Timer> pace_timer_;
+  bool pace_pending_ = false;
+
+  // FIN handling: the FIN occupies one unit past stream_end.
+  bool fin_pending_ = false;
+  bool fin_sent_ = false;
+  bool fin_acked_ = false;
+
+  bool open_ = false;
+  sim::Time last_activity_;
+};
+
+/// Reno is the base engine itself.
+using RenoSender = TcpSender;
+
+}  // namespace vegas::tcp

@@ -1,0 +1,45 @@
+// TCP sequence-number arithmetic.
+//
+// Wire sequence numbers are 32 bits and wrap (RFC 793).  Internally the
+// library works in 64-bit *stream offsets* that never wrap; the helpers
+// here convert between the two.  unwrap() picks the 64-bit value congruent
+// to the wire value (mod 2^32) closest to a reference offset — the same
+// decoding technique QUIC uses for packet numbers — which is correct as
+// long as the true value is within 2^31 of the reference, guaranteed here
+// because TCP windows are far smaller.
+#pragma once
+
+#include <cstdint>
+
+namespace vegas::tcp {
+
+using Seq32 = std::uint32_t;
+using StreamOffset = std::int64_t;
+
+/// a < b in sequence space (RFC 793 modular comparison).
+constexpr bool seq_lt(Seq32 a, Seq32 b) {
+  return static_cast<std::int32_t>(a - b) < 0;
+}
+constexpr bool seq_le(Seq32 a, Seq32 b) {
+  return static_cast<std::int32_t>(a - b) <= 0;
+}
+constexpr bool seq_gt(Seq32 a, Seq32 b) { return seq_lt(b, a); }
+constexpr bool seq_ge(Seq32 a, Seq32 b) { return seq_le(b, a); }
+
+/// Truncates a 64-bit stream offset to its 32-bit wire form.
+constexpr Seq32 wrap_seq(StreamOffset v) { return static_cast<Seq32>(v); }
+
+/// Expands a 32-bit wire value to the 64-bit offset nearest `reference`.
+constexpr StreamOffset unwrap_seq(Seq32 wire, StreamOffset reference) {
+  constexpr StreamOffset kSpan = StreamOffset{1} << 32;
+  // Candidate in the same 2^32 epoch as the reference.
+  StreamOffset candidate = (reference & ~(kSpan - 1)) | StreamOffset{wire};
+  if (candidate - reference > kSpan / 2) {
+    candidate -= kSpan;
+  } else if (reference - candidate > kSpan / 2) {
+    candidate += kSpan;
+  }
+  return candidate;
+}
+
+}  // namespace vegas::tcp

@@ -1,0 +1,119 @@
+#include "tcp/stack.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+#include "common/log.h"
+#include "tcp/tahoe.h"
+
+namespace vegas::tcp {
+
+SenderFactory reno_factory() {
+  return [](const TcpConfig& cfg) { return std::make_unique<RenoSender>(cfg); };
+}
+
+SenderFactory tahoe_factory() {
+  return
+      [](const TcpConfig& cfg) { return std::make_unique<TahoeSender>(cfg); };
+}
+
+Stack::Stack(sim::Simulator& sim, net::Host& host, TcpConfig defaults,
+             std::uint64_t seed)
+    : sim_(sim),
+      host_(host),
+      defaults_(defaults),
+      isn_rng_(rng::derive_seed(seed, "tcp-isn-" + host.name())) {
+  host_.set_tcp_handler([this](net::PacketPtr p) { on_packet(std::move(p)); });
+}
+
+PortNum Stack::pick_ephemeral() {
+  for (int attempts = 0; attempts < 65536; ++attempts) {
+    const PortNum port = next_ephemeral_;
+    next_ephemeral_ =
+        next_ephemeral_ == 65535 ? PortNum{1024} : PortNum(next_ephemeral_ + 1);
+    bool taken = listeners_.contains(port);
+    for (const auto& [key, conn] : connections_) {
+      if (std::get<0>(key) == port) {
+        taken = true;
+        break;
+      }
+    }
+    if (!taken) return port;
+  }
+  ensure(false, "ephemeral ports exhausted");
+  return 0;
+}
+
+Connection& Stack::connect(NodeId remote, PortNum remote_port,
+                           SenderFactory factory,
+                           std::optional<TcpConfig> cfg) {
+  const TcpConfig config = cfg.value_or(defaults_);
+  if (!factory) factory = reno_factory();
+  const PortNum local_port = pick_ephemeral();
+  const std::uint32_t isn = config.fixed_isn.value_or(pick_isn());
+  auto conn = std::make_unique<Connection>(*this, remote, local_port,
+                                           remote_port, factory(config), config,
+                                           isn, std::nullopt);
+  Connection& ref = *conn;
+  connections_.emplace(Key{local_port, remote, remote_port}, std::move(conn));
+  // Defer the SYN to an immediate event so the caller can attach
+  // callbacks and an observer before anything happens.
+  sim_.schedule(sim::Time::zero(), [&ref] {
+    if (ref.state() == TcpState::kClosed) ref.start();
+  });
+  return ref;
+}
+
+void Stack::listen(PortNum port, AcceptFn on_accept, SenderFactory factory,
+                   std::optional<TcpConfig> cfg) {
+  ensure(!listeners_.contains(port), "port already listening");
+  if (!factory) factory = reno_factory();
+  listeners_.emplace(
+      port, Listener{std::move(on_accept), std::move(factory),
+                     cfg.value_or(defaults_)});
+}
+
+void Stack::on_packet(net::PacketPtr p) {
+  const Key key{p->tcp.dst_port, p->src, p->tcp.src_port};
+  const auto it = connections_.find(key);
+  if (it != connections_.end()) {
+    it->second->on_packet(*p);
+    return;
+  }
+  // No connection: a SYN may create one via a listener.
+  if (p->tcp.has(net::TcpFlag::kSyn) && !p->tcp.has(net::TcpFlag::kAck)) {
+    const auto lit = listeners_.find(p->tcp.dst_port);
+    if (lit != listeners_.end()) {
+      Listener& listener = lit->second;
+      const std::uint32_t isn = listener.cfg.fixed_isn.value_or(pick_isn());
+      auto conn = std::make_unique<Connection>(
+          *this, p->src, p->tcp.dst_port, p->tcp.src_port,
+          listener.factory(listener.cfg), listener.cfg, isn, p->tcp.seq);
+      Connection& ref = *conn;
+      connections_.emplace(key, std::move(conn));
+      if (listener.on_accept) listener.on_accept(ref);
+      ref.start();  // sends SYN|ACK
+      return;
+    }
+  }
+  if (!p->tcp.has(net::TcpFlag::kRst)) send_rst(*p);
+}
+
+void Stack::send_rst(const net::Packet& to) {
+  auto p = net::make_packet();
+  p->dst = to.src;
+  p->protocol = net::Protocol::kTcp;
+  p->tcp.src_port = to.tcp.dst_port;
+  p->tcp.dst_port = to.tcp.src_port;
+  p->tcp.set(net::TcpFlag::kRst);
+  p->tcp.seq = to.tcp.ack;
+  host_.send(std::move(p));
+}
+
+void Stack::retire(Connection* conn) {
+  const Key key{conn->local_port(), conn->remote(), conn->remote_port()};
+  // Deferred: the connection may be deep in its own call stack right now.
+  sim_.schedule(sim::Time::zero(), [this, key] { connections_.erase(key); });
+}
+
+}  // namespace vegas::tcp

@@ -1,0 +1,85 @@
+// Per-host TCP stack: port allocation, connection demux, listen/connect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <tuple>
+
+#include "common/rng.h"
+#include "net/host.h"
+#include "sim/simulator.h"
+#include "tcp/config.h"
+#include "tcp/connection.h"
+
+namespace vegas::tcp {
+
+/// Creates the congestion-control engine for a new connection.  The
+/// default factory (empty function) produces Reno.
+using SenderFactory =
+    std::function<std::unique_ptr<TcpSender>(const TcpConfig&)>;
+
+SenderFactory reno_factory();
+SenderFactory tahoe_factory();
+
+class Stack {
+ public:
+  using AcceptFn = std::function<void(Connection&)>;
+
+  /// Binds to `host` (registers as its TCP handler).  `seed` feeds ISN
+  /// and ephemeral-port randomisation.
+  Stack(sim::Simulator& sim, net::Host& host, TcpConfig defaults,
+        std::uint64_t seed);
+
+  /// Active open to (remote, remote_port).  The connection is started
+  /// immediately; attach callbacks/observer via the returned reference
+  /// BEFORE the current event returns if establishment must be observed
+  /// (the SYN is in flight, not yet answered, so that is always safe).
+  Connection& connect(NodeId remote, PortNum remote_port,
+                      SenderFactory factory = {},
+                      std::optional<TcpConfig> cfg = std::nullopt);
+
+  /// Passive open: accept connections on `port`, one Connection per SYN.
+  void listen(PortNum port, AcceptFn on_accept, SenderFactory factory = {},
+              std::optional<TcpConfig> cfg = std::nullopt);
+
+  // --- services used by Connection ---------------------------------------
+  void transmit(net::PacketPtr p) { host_.send(std::move(p)); }
+  /// Schedules removal of a fully-closed connection (deferred so the
+  /// current event's stack frames stay valid).
+  void retire(Connection* conn);
+
+  sim::Simulator& sim() { return sim_; }
+  net::Host& host() { return host_; }
+  NodeId node_id() const { return host_.id(); }
+  const TcpConfig& defaults() const { return defaults_; }
+
+  std::size_t live_connections() const { return connections_.size(); }
+
+ private:
+  struct Listener {
+    AcceptFn on_accept;
+    SenderFactory factory;
+    TcpConfig cfg;
+  };
+  using Key = std::tuple<PortNum, NodeId, PortNum>;  // local, remote node/port
+
+  void on_packet(net::PacketPtr p);
+  std::uint32_t pick_isn() {
+    return static_cast<std::uint32_t>(isn_rng_.uniform_int(0, 0xffffffff));
+  }
+  PortNum pick_ephemeral();
+  void send_rst(const net::Packet& to);
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  TcpConfig defaults_;
+  rng::Stream isn_rng_;
+  std::map<Key, std::unique_ptr<Connection>> connections_;
+  std::map<PortNum, Listener> listeners_;
+  PortNum next_ephemeral_ = 1024;
+};
+
+}  // namespace vegas::tcp

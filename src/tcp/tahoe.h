@@ -1,0 +1,30 @@
+// TCP Tahoe: fast retransmit without fast recovery.
+//
+// The paper compares against Reno ("newer and better performing than
+// Tahoe", §1 fn 1); Tahoe is provided as the second baseline for the
+// ablation benches.  On the third duplicate ACK Tahoe retransmits and
+// falls all the way back to slow start.
+#pragma once
+
+#include "tcp/sender.h"
+
+namespace vegas::tcp {
+
+class TahoeSender : public TcpSender {
+ public:
+  using TcpSender::TcpSender;
+
+  std::string name() const override { return "Tahoe"; }
+
+ protected:
+  void cc_on_dup_ack(int dup_count) override {
+    if (dup_count != config().dup_ack_threshold) return;
+    set_ssthresh(half_window());
+    retransmit_front(RetransmitTrigger::kThreeDupAcks);
+    ++stats_.fast_retransmits;
+    set_cwnd(config().mss);  // back to slow start — no recovery phase
+    maybe_send();
+  }
+};
+
+}  // namespace vegas::tcp

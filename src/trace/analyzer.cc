@@ -1,0 +1,178 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <unordered_set>
+
+#include "common/ensure.h"
+#include "tcp/observer.h"
+
+namespace vegas::trace {
+namespace {
+double us_to_s(std::uint32_t us) { return static_cast<double>(us) / 1e6; }
+
+bool is_coarse(std::uint8_t aux) {
+  return aux == static_cast<std::uint8_t>(
+                    tcp::RetransmitTrigger::kCoarseTimeout);
+}
+bool is_fine(std::uint8_t aux) {
+  return aux == static_cast<std::uint8_t>(tcp::RetransmitTrigger::kFineDupAck) ||
+         aux == static_cast<std::uint8_t>(
+                    tcp::RetransmitTrigger::kFineAfterRetransmit);
+}
+}  // namespace
+
+Series Analyzer::series(EventKind kind) const {
+  Series out;
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind == kind) {
+      out.push_back({us_to_s(e.t_us), static_cast<double>(e.value)});
+    }
+  }
+  return out;
+}
+
+std::vector<double> Analyzer::marks(EventKind kind) const {
+  std::vector<double> out;
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind == kind) out.push_back(us_to_s(e.t_us));
+  }
+  return out;
+}
+
+std::vector<double> Analyzer::presumed_loss_times() const {
+  // A segment "presumed lost" is one whose offset was later re-sent; the
+  // line is drawn at the ORIGINAL send time (Figure 2, item 6).
+  std::unordered_set<std::uint32_t> retransmitted;
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind == EventKind::kSegSent && e.aux != 0) {
+      retransmitted.insert(e.value);
+    }
+  }
+  std::vector<double> out;
+  std::unordered_set<std::uint32_t> emitted;
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind == EventKind::kSegSent && e.aux == 0 &&
+        retransmitted.contains(e.value) && emitted.insert(e.value).second) {
+      out.push_back(us_to_s(e.t_us));
+    }
+  }
+  return out;
+}
+
+Series Analyzer::sending_rate(int window) const {
+  ensure(window >= 2, "rate window");
+  Series out;
+  std::deque<std::pair<double, double>> recent;  // (t, bytes)
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind != EventKind::kSegSent || e.len == 0) continue;
+    recent.emplace_back(us_to_s(e.t_us), static_cast<double>(e.len));
+    while (static_cast<int>(recent.size()) > window) recent.pop_front();
+    if (static_cast<int>(recent.size()) == window) {
+      const double span = recent.back().first - recent.front().first;
+      if (span > 0) {
+        double bytes = 0;
+        // Exclude the first send: its bytes started the interval.
+        for (std::size_t i = 1; i < recent.size(); ++i) {
+          bytes += recent[i].second;
+        }
+        out.push_back({recent.back().first, bytes / span});
+      }
+    }
+  }
+  return out;
+}
+
+TraceSummary Analyzer::summary() const {
+  TraceSummary s;
+  double first = 0, last = 0;
+  bool any = false;
+  for (const TraceEvent& e : buf_.events()) {
+    const double t = us_to_s(e.t_us);
+    if (!any) {
+      first = t;
+      any = true;
+    }
+    last = t;
+    switch (e.kind) {
+      case EventKind::kSegSent: ++s.segments_sent; break;
+      case EventKind::kRetransmit:
+        ++s.retransmit_events;
+        if (is_coarse(e.aux)) ++s.coarse_timeouts;
+        else if (is_fine(e.aux)) ++s.fine_retransmits;
+        else ++s.fast_retransmits;
+        break;
+      case EventKind::kAckRcvd:
+        if (e.aux != 0) ++s.dup_acks;
+        break;
+      case EventKind::kCamDiff: ++s.cam_samples; break;
+      default: break;
+    }
+  }
+  s.duration_s = any ? last - first : 0;
+  return s;
+}
+
+void write_csv(const std::string& path, const Series& s,
+               const std::string& value_name) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f, "t,%s\n", value_name.c_str());
+  for (const Point& p : s) std::fprintf(f, "%.6f,%.3f\n", p.t_s, p.value);
+  std::fclose(f);
+}
+
+std::string ascii_chart(const Series& a, const std::string& a_name,
+                        const Series* b, const std::string& b_name, int width,
+                        int height) {
+  if (a.empty()) return "(empty series)\n";
+  double tmin = a.front().t_s, tmax = a.back().t_s;
+  double vmin = a.front().value, vmax = a.front().value;
+  auto scan = [&](const Series& s) {
+    for (const Point& p : s) {
+      tmin = std::min(tmin, p.t_s);
+      tmax = std::max(tmax, p.t_s);
+      vmin = std::min(vmin, p.value);
+      vmax = std::max(vmax, p.value);
+    }
+  };
+  scan(a);
+  if (b != nullptr && !b->empty()) scan(*b);
+  if (tmax <= tmin) tmax = tmin + 1e-9;
+  if (vmax <= vmin) vmax = vmin + 1e-9;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  auto plot = [&](const Series& s, char ch) {
+    for (const Point& p : s) {
+      const int x = std::min(
+          width - 1,
+          static_cast<int>((p.t_s - tmin) / (tmax - tmin) * (width - 1)));
+      const int y = std::min(
+          height - 1,
+          static_cast<int>((p.value - vmin) / (vmax - vmin) * (height - 1)));
+      grid[height - 1 - y][x] = ch;
+    }
+  };
+  plot(a, '*');
+  if (b != nullptr) plot(*b, 'o');
+
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s [*]%s%s  (y: %.1f..%.1f, x: %.2fs..%.2fs)\n",
+                a_name.c_str(), b != nullptr ? " vs [o]" : "",
+                b != nullptr ? b_name.c_str() : "", vmin, vmax, tmin, tmax);
+  out += line;
+  for (const std::string& row : grid) {
+    out += '|';
+    out += row;
+    out += '\n';
+  }
+  out += '+';
+  out += std::string(width, '-');
+  out += '\n';
+  return out;
+}
+
+}  // namespace vegas::trace

@@ -1,0 +1,69 @@
+// Trace analysis: regenerates the series behind the paper's graphs.
+//
+// Figure 1/2/3: send marks, ACK marks, coarse ticks, timeout circles,
+// loss lines, the four window curves, and the average sending rate
+// "calculated from the last 12 segments".  Figure 8: the CAM series
+// (Expected, Actual, alpha/beta band).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_buffer.h"
+
+namespace vegas::trace {
+
+struct Point {
+  double t_s;
+  double value;
+};
+
+using Series = std::vector<Point>;
+
+struct TraceSummary {
+  std::size_t segments_sent = 0;
+  std::size_t retransmit_events = 0;
+  std::size_t coarse_timeouts = 0;   // kRetransmit with coarse trigger
+  std::size_t fine_retransmits = 0;  // Vegas triggers
+  std::size_t fast_retransmits = 0;  // 3-dup-ACK triggers
+  std::size_t dup_acks = 0;
+  std::size_t cam_samples = 0;
+  double duration_s = 0;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(const TraceBuffer& buf) : buf_(buf) {}
+
+  /// Step series of one window quantity over time (kCwnd etc.).
+  Series series(EventKind kind) const;
+
+  /// Event-mark times (kSegSent, kCoarseTick, ...).
+  std::vector<double> marks(EventKind kind) const;
+
+  /// Times at which segments that were later retransmitted were sent —
+  /// the paper's solid vertical "loss" lines (Figure 2, item 6).
+  std::vector<double> presumed_loss_times() const;
+
+  /// Average sending rate from the last `window` segment sends, sampled
+  /// at each send (the paper's bottom graph uses 12).
+  Series sending_rate(int window = 12) const;
+
+  TraceSummary summary() const;
+
+ private:
+  const TraceBuffer& buf_;
+};
+
+/// Writes series as CSV: "t,value" rows with a header.
+void write_csv(const std::string& path, const Series& s,
+               const std::string& value_name);
+
+/// Renders a compact ASCII chart of one or two series (terminal "graph
+/// tool" in the spirit of the paper's §2.2 viewer).
+std::string ascii_chart(const Series& a, const std::string& a_name,
+                        const Series* b = nullptr,
+                        const std::string& b_name = "", int width = 78,
+                        int height = 16);
+
+}  // namespace vegas::trace

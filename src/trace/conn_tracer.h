@@ -1,0 +1,84 @@
+// Standard ConnectionObserver that fills a TraceBuffer.
+#pragma once
+
+#include "tcp/observer.h"
+#include "trace/trace_buffer.h"
+
+namespace vegas::trace {
+
+class ConnTracer : public tcp::ConnectionObserver {
+ public:
+  ConnTracer() = default;
+
+  void on_segment_sent(sim::Time t, tcp::StreamOffset seq, ByteCount len,
+                       bool retransmit) override {
+    buf_.append(t, EventKind::kSegSent, static_cast<std::uint32_t>(seq),
+                retransmit ? 1 : 0, static_cast<std::uint16_t>(len));
+  }
+
+  void on_ack_received(sim::Time t, tcp::StreamOffset ack, ByteCount /*wnd*/,
+                       bool duplicate) override {
+    buf_.append(t, EventKind::kAckRcvd, static_cast<std::uint32_t>(ack),
+                duplicate ? 1 : 0);
+  }
+
+  void on_windows(sim::Time t, ByteCount cwnd, ByteCount ssthresh,
+                  ByteCount send_wnd, ByteCount in_flight) override {
+    // Emit only deltas to keep traces small.
+    emit_if_changed(t, EventKind::kCwnd, cwnd, last_cwnd_);
+    emit_if_changed(t, EventKind::kSsthresh, ssthresh, last_ssthresh_);
+    emit_if_changed(t, EventKind::kSendWnd, send_wnd, last_swnd_);
+    emit_if_changed(t, EventKind::kInFlight, in_flight, last_flight_);
+  }
+
+  void on_coarse_tick(sim::Time t) override {
+    buf_.append(t, EventKind::kCoarseTick, 0);
+  }
+
+  void on_retransmit(sim::Time t, tcp::StreamOffset seq, ByteCount len,
+                     tcp::RetransmitTrigger trigger) override {
+    buf_.append(t, EventKind::kRetransmit, static_cast<std::uint32_t>(seq),
+                static_cast<std::uint8_t>(trigger),
+                static_cast<std::uint16_t>(len));
+  }
+
+  void on_cam_sample(sim::Time t, double expected_Bps, double actual_Bps,
+                     double diff_buffers, tcp::CamAction action) override {
+    buf_.append(t, EventKind::kCamExpected,
+                static_cast<std::uint32_t>(expected_Bps));
+    buf_.append(t, EventKind::kCamActual,
+                static_cast<std::uint32_t>(actual_Bps));
+    buf_.append(t, EventKind::kCamDiff,
+                static_cast<std::uint32_t>(diff_buffers * 1000.0),
+                static_cast<std::uint8_t>(action));
+  }
+
+  void on_slow_start_exit(sim::Time t) override {
+    buf_.append(t, EventKind::kSlowStartExit, 0);
+  }
+  void on_established(sim::Time t) override {
+    buf_.append(t, EventKind::kEstablished, 0);
+  }
+  void on_closed(sim::Time t) override {
+    buf_.append(t, EventKind::kClosed, 0);
+  }
+
+  const TraceBuffer& buffer() const { return buf_; }
+  TraceBuffer& buffer() { return buf_; }
+
+ private:
+  void emit_if_changed(sim::Time t, EventKind kind, ByteCount v,
+                       ByteCount& last) {
+    if (v == last) return;
+    last = v;
+    buf_.append(t, kind, static_cast<std::uint32_t>(v));
+  }
+
+  TraceBuffer buf_;
+  ByteCount last_cwnd_ = -1;
+  ByteCount last_ssthresh_ = -1;
+  ByteCount last_swnd_ = -1;
+  ByteCount last_flight_ = -1;
+};
+
+}  // namespace vegas::trace

@@ -1,0 +1,160 @@
+#include "trace/pcap.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+namespace vegas::trace {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& b, std::uint8_t v) { b.push_back(v); }
+void put_u16be(std::vector<std::uint8_t>& b, std::uint16_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+void put_u32be(std::vector<std::uint8_t>& b, std::uint32_t v) {
+  b.push_back(static_cast<std::uint8_t>(v >> 24));
+  b.push_back(static_cast<std::uint8_t>(v >> 16));
+  b.push_back(static_cast<std::uint8_t>(v >> 8));
+  b.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// RFC 1071 checksum over big-endian bytes.
+std::uint16_t inet_checksum(const std::uint8_t* data, std::size_t len,
+                            std::uint32_t seed = 0) {
+  std::uint32_t sum = seed;
+  for (std::size_t i = 0; i + 1 < len; i += 2) {
+    sum += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+  }
+  if (len % 2 != 0) sum += static_cast<std::uint32_t>(data[len - 1]) << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint32_t node_addr(NodeId id) {
+  // 10.x.y.z from the node id; id 0 -> 10.0.0.1 so nothing maps to .0.
+  const std::uint32_t host = id + 1;
+  return (10u << 24) | (host & 0x00ffffff);
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(const std::string& path) {
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    throw std::runtime_error("pcap: cannot create " + path);
+  }
+  // Global header, nanosecond-resolution magic, LINKTYPE_RAW (101).
+  const std::uint32_t words[6] = {0xa1b23c4du, (2u << 16) | 4u, 0, 0,
+                                  65535u, 101u};
+  std::fwrite(words, sizeof(words), 1, file_);
+}
+
+PcapWriter::~PcapWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void PcapWriter::flush() {
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void PcapWriter::capture(sim::Time t, const net::Packet& p) {
+  // --- synthesize TCP header (with SACK option if present) -------------
+  std::vector<std::uint8_t> tcp;
+  tcp.reserve(40);
+  put_u16be(tcp, p.tcp.src_port);
+  put_u16be(tcp, p.tcp.dst_port);
+  put_u32be(tcp, p.tcp.seq);
+  put_u32be(tcp, p.tcp.has(net::TcpFlag::kAck) ? p.tcp.ack : 0);
+  std::uint8_t option_words = 0;
+  if (p.tcp.sack_count > 0) {
+    // NOP NOP + SACK(kind 5): 2 + 2 + 8n bytes, rounded to words.
+    option_words = static_cast<std::uint8_t>(
+        (2 + 2 + 8 * p.tcp.sack_count + 3) / 4);
+  }
+  const std::uint8_t data_offset = 5 + option_words;
+  put_u8(tcp, static_cast<std::uint8_t>(data_offset << 4));
+  std::uint8_t flags = 0;
+  if (p.tcp.has(net::TcpFlag::kFin)) flags |= 0x01;
+  if (p.tcp.has(net::TcpFlag::kSyn)) flags |= 0x02;
+  if (p.tcp.has(net::TcpFlag::kRst)) flags |= 0x04;
+  if (p.tcp.has(net::TcpFlag::kAck)) flags |= 0x10;
+  put_u8(tcp, flags);
+  put_u16be(tcp, static_cast<std::uint16_t>(
+                     std::min<std::uint32_t>(p.tcp.wnd, 65535)));
+  put_u16be(tcp, 0);  // checksum placeholder
+  put_u16be(tcp, 0);  // urgent
+  if (p.tcp.sack_count > 0) {
+    put_u8(tcp, 1);  // NOP
+    put_u8(tcp, 1);  // NOP
+    put_u8(tcp, 5);  // kind: SACK
+    put_u8(tcp, static_cast<std::uint8_t>(2 + 8 * p.tcp.sack_count));
+    for (std::uint8_t i = 0; i < p.tcp.sack_count; ++i) {
+      put_u32be(tcp, p.tcp.sack[i].start);
+      put_u32be(tcp, p.tcp.sack[i].end);
+    }
+    while (tcp.size() % 4 != 0) put_u8(tcp, 0);  // pad to word
+  }
+
+  const std::uint32_t payload_full =
+      static_cast<std::uint32_t>(p.payload_bytes);
+  const std::uint32_t payload_incl = std::min(payload_full, payload_snap_);
+
+  // TCP checksum over pseudo-header + header + (zero) payload.  Zero
+  // payload bytes only contribute through the pseudo-header length.
+  {
+    std::vector<std::uint8_t> pseudo;
+    put_u32be(pseudo, node_addr(p.src));
+    put_u32be(pseudo, node_addr(p.dst));
+    put_u8(pseudo, 0);
+    put_u8(pseudo, 6);  // TCP
+    put_u16be(pseudo, static_cast<std::uint16_t>(tcp.size() + payload_full));
+    std::uint32_t seed = 0;
+    for (std::size_t i = 0; i + 1 < pseudo.size(); i += 2) {
+      seed += (static_cast<std::uint32_t>(pseudo[i]) << 8) | pseudo[i + 1];
+    }
+    const std::uint16_t ck = inet_checksum(tcp.data(), tcp.size(), seed);
+    tcp[16] = static_cast<std::uint8_t>(ck >> 8);
+    tcp[17] = static_cast<std::uint8_t>(ck);
+  }
+
+  // --- IPv4 header -------------------------------------------------------
+  std::vector<std::uint8_t> ip;
+  ip.reserve(20);
+  put_u8(ip, 0x45);
+  put_u8(ip, 0);
+  put_u16be(ip, static_cast<std::uint16_t>(20 + tcp.size() + payload_full));
+  put_u16be(ip, static_cast<std::uint16_t>(p.uid));  // identification
+  put_u16be(ip, 0x4000);                             // DF
+  put_u8(ip, 64);                                    // TTL
+  put_u8(ip, 6);                                     // TCP
+  put_u16be(ip, 0);                                  // checksum placeholder
+  put_u32be(ip, node_addr(p.src));
+  put_u32be(ip, node_addr(p.dst));
+  const std::uint16_t ipck = inet_checksum(ip.data(), ip.size());
+  ip[10] = static_cast<std::uint8_t>(ipck >> 8);
+  ip[11] = static_cast<std::uint8_t>(ipck);
+
+  // --- pcap record -------------------------------------------------------
+  const std::uint32_t incl =
+      static_cast<std::uint32_t>(ip.size() + tcp.size()) + payload_incl;
+  const std::uint32_t orig =
+      static_cast<std::uint32_t>(ip.size() + tcp.size()) + payload_full;
+  const std::uint32_t rec[4] = {
+      static_cast<std::uint32_t>(t.ns() / 1'000'000'000),
+      static_cast<std::uint32_t>(t.ns() % 1'000'000'000), incl, orig};
+  std::fwrite(rec, sizeof(rec), 1, file_);
+  std::fwrite(ip.data(), 1, ip.size(), file_);
+  std::fwrite(tcp.data(), 1, tcp.size(), file_);
+  static const std::uint8_t zeros[256] = {};
+  std::uint32_t remaining = payload_incl;
+  while (remaining > 0) {
+    const std::uint32_t chunk = std::min<std::uint32_t>(remaining, 256);
+    std::fwrite(zeros, 1, chunk, file_);
+    remaining -= chunk;
+  }
+  ++count_;
+}
+
+}  // namespace vegas::trace

@@ -1,0 +1,72 @@
+// Low-overhead trace facility (paper §2.2).
+//
+// The paper's tracer "writes trace data to memory, dumps it to a file
+// only when the test is over, and keeps the amount of data associated
+// with each trace entry small (8 bytes)".  Ours: 12-byte POD events
+// appended to a pre-reserved vector — no allocation or I/O in the hot
+// path; analysis happens after the run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace vegas::trace {
+
+enum class EventKind : std::uint8_t {
+  kSegSent,        // value = stream offset / MSS granularity lost; aux=rtx
+  kAckRcvd,        // value = ack offset; aux = 1 if duplicate
+  kCwnd,           // value = bytes
+  kSsthresh,       // value = bytes
+  kSendWnd,        // value = bytes
+  kInFlight,       // value = bytes
+  kCoarseTick,     // Figure 2's diamonds
+  kRetransmit,     // value = offset; aux = RetransmitTrigger
+  kCamExpected,    // value = bytes/s
+  kCamActual,      // value = bytes/s
+  kCamDiff,        // value = diff in milli-buffers; aux = CamAction
+  kSlowStartExit,
+  kEstablished,
+  kClosed,
+};
+
+struct TraceEvent {
+  std::uint32_t t_us;  // microseconds since trace start (fits >1 h)
+  EventKind kind;
+  std::uint8_t aux;
+  std::uint16_t len;   // segment length where applicable
+  std::uint32_t value;
+};
+static_assert(sizeof(TraceEvent) == 12);
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t reserve = 1 << 16) {
+    events_.reserve(reserve);
+  }
+
+  void append(sim::Time t, EventKind kind, std::uint32_t value,
+              std::uint8_t aux = 0, std::uint16_t len = 0) {
+    events_.push_back(TraceEvent{
+        static_cast<std::uint32_t>(t.ns() / 1000), kind, aux, len, value});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Dumps the raw events to a file ("dumps it to a file only when the
+  /// test is over", §2.2).  Format: 8-byte magic "VGTRACE1", u64 count,
+  /// then packed TraceEvents.  Returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+  /// Loads a file written by save(); replaces current contents.
+  bool load(const std::string& path);
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vegas::trace

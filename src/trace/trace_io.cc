@@ -1,0 +1,43 @@
+#include <cstdio>
+#include <cstring>
+
+#include "trace/trace_buffer.h"
+
+namespace vegas::trace {
+namespace {
+constexpr char kMagic[8] = {'V', 'G', 'T', 'R', 'A', 'C', 'E', '1'};
+}  // namespace
+
+bool TraceBuffer::save(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  bool ok = std::fwrite(kMagic, sizeof(kMagic), 1, f) == 1;
+  const std::uint64_t count = events_.size();
+  ok = ok && std::fwrite(&count, sizeof(count), 1, f) == 1;
+  if (count > 0) {
+    ok = ok && std::fwrite(events_.data(), sizeof(TraceEvent), count, f) ==
+                   count;
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+bool TraceBuffer::load(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char magic[8];
+  std::uint64_t count = 0;
+  bool ok = std::fread(magic, sizeof(magic), 1, f) == 1 &&
+            std::memcmp(magic, kMagic, sizeof(kMagic)) == 0 &&
+            std::fread(&count, sizeof(count), 1, f) == 1;
+  if (ok) {
+    events_.resize(count);
+    if (count > 0) {
+      ok = std::fread(events_.data(), sizeof(TraceEvent), count, f) == count;
+    }
+  }
+  std::fclose(f);
+  if (!ok) events_.clear();
+  return ok;
+}
+
+}  // namespace vegas::trace

@@ -1,0 +1,137 @@
+#include "traffic/conversation.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::traffic {
+
+ScriptedConversation::ScriptedConversation(sim::Simulator& sim,
+                                           std::string type,
+                                           std::vector<Step> steps,
+                                           DoneFn on_done)
+    : sim_(sim),
+      type_(std::move(type)),
+      steps_(std::move(steps)),
+      on_done_(std::move(on_done)) {
+  ensure(!steps_.empty(), "conversation needs at least one step");
+  timings_.resize(steps_.size());
+}
+
+ByteCount ScriptedConversation::total_bytes() const {
+  ByteCount sum = 0;
+  for (const Step& s : steps_) sum += s.bytes;
+  return sum;
+}
+
+void ScriptedConversation::bind_client(tcp::Connection& c) {
+  client_ = &c;
+  tcp::Connection::Callbacks cbs;
+  cbs.on_established = [this] {
+    client_ready_ = true;
+    maybe_begin();
+  };
+  cbs.on_data = [this](ByteCount n) { on_recv(/*at_client=*/true, n); };
+  cbs.on_send_space = [this] {
+    if (to_write_ > 0 && steps_[idx_].from_client) write_some();
+  };
+  cbs.on_remote_close = [this] {
+    if (client_ != nullptr) client_->close();
+  };
+  cbs.on_closed = [this] {
+    client_ = nullptr;
+    if (!finished_) finish(/*failed=*/idx_ < steps_.size());
+    check_dispose();
+  };
+  cbs.on_reset = [this] { failed_ = true; };
+  c.set_callbacks(std::move(cbs));
+}
+
+void ScriptedConversation::bind_server(tcp::Connection& c) {
+  server_ = &c;
+  tcp::Connection::Callbacks cbs;
+  cbs.on_data = [this](ByteCount n) { on_recv(/*at_client=*/false, n); };
+  cbs.on_send_space = [this] {
+    if (to_write_ > 0 && !steps_[idx_].from_client) write_some();
+  };
+  cbs.on_remote_close = [this] {
+    if (server_ != nullptr) server_->close();
+  };
+  cbs.on_closed = [this] {
+    server_ = nullptr;
+    if (!finished_ && client_ == nullptr) finish(/*failed=*/true);
+    check_dispose();
+  };
+  cbs.on_reset = [this] { failed_ = true; };
+  c.set_callbacks(std::move(cbs));
+  server_ready_ = true;
+  maybe_begin();
+}
+
+void ScriptedConversation::maybe_begin() {
+  if (started_ || !client_ready_ || !server_ready_) return;
+  started_ = true;
+  launch_step();
+}
+
+void ScriptedConversation::launch_step() {
+  if (idx_ >= steps_.size()) {
+    // Script complete: client initiates teardown.
+    if (client_ != nullptr) client_->close();
+    finish(/*failed=*/false);
+    return;
+  }
+  sim_.schedule(steps_[idx_].delay, [this] {
+    if (!finished_) send_current();
+  });
+}
+
+void ScriptedConversation::send_current() {
+  const Step& s = steps_[idx_];
+  timings_[idx_].initiated = sim_.now();
+  to_write_ = s.bytes;
+  to_receive_ = s.bytes;
+  write_some();
+}
+
+void ScriptedConversation::write_some() {
+  if (finished_ || to_write_ <= 0) return;
+  tcp::Connection* conn = steps_[idx_].from_client ? client_ : server_;
+  if (conn == nullptr) {  // endpoint died (reset) — abandon
+    finish(/*failed=*/true);
+    return;
+  }
+  to_write_ -= conn->send(to_write_);
+}
+
+void ScriptedConversation::on_recv(bool at_client, ByteCount n) {
+  if (finished_ || idx_ >= steps_.size()) return;
+  const Step& s = steps_[idx_];
+  // Bytes must arrive at the side opposite the current sender.
+  if (s.from_client == at_client) return;
+  to_receive_ -= n;
+  if (to_receive_ <= 0 && to_write_ <= 0) {
+    timings_[idx_].completed = sim_.now();
+    ++idx_;
+    launch_step();
+  }
+}
+
+void ScriptedConversation::finish(bool failed) {
+  if (finished_) return;
+  finished_ = true;
+  failed_ = failed || failed_;
+  if (on_done_) on_done_(*this);
+  check_dispose();
+}
+
+void ScriptedConversation::check_dispose() {
+  if (finished_ && client_ == nullptr && server_ == nullptr && on_dispose_) {
+    // Move the callback out: it typically destroys this object.
+    DoneFn dispose = std::move(on_dispose_);
+    on_dispose_ = nullptr;
+    dispose(*this);
+  }
+}
+
+}  // namespace vegas::traffic

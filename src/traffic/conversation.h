@@ -1,0 +1,86 @@
+// Scripted request/response conversations.
+//
+// tcplib conversations (TELNET, FTP, NNTP, SMTP) are, at the transport
+// level, alternating application-level exchanges over one TCP connection
+// (§2.1: "each of these conversations runs on top of its own TCP
+// connection").  ScriptedConversation is the engine: a list of steps,
+// each "after `delay`, side X sends `bytes`; the step completes when the
+// other side has received them all".  The four tcplib types differ only
+// in the scripts they generate (see distributions.h / source.cc).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "tcp/stack.h"
+
+namespace vegas::traffic {
+
+class ScriptedConversation {
+ public:
+  struct Step {
+    bool from_client = true;
+    ByteCount bytes = 0;
+    sim::Time delay;  // think time before the send fires
+  };
+
+  struct StepTiming {
+    sim::Time initiated;  // send fired (after think delay)
+    sim::Time completed;  // receiver got the last byte
+  };
+
+  using DoneFn = std::function<void(ScriptedConversation&)>;
+
+  ScriptedConversation(sim::Simulator& sim, std::string type,
+                       std::vector<Step> steps, DoneFn on_done);
+
+  /// Called once the script is done AND both connections have fully
+  /// closed — only then is it safe to destroy this object (connection
+  /// callbacks reference it until teardown completes).
+  void set_dispose(DoneFn on_dispose) { on_dispose_ = std::move(on_dispose); }
+
+  /// Wires the client-side connection (callbacks are installed here; the
+  /// conversation starts once both sides are ready).
+  void bind_client(tcp::Connection& c);
+  /// Wires the accepted server-side connection.
+  void bind_server(tcp::Connection& c);
+
+  const std::string& type() const { return type_; }
+  bool finished() const { return finished_; }
+  bool failed() const { return failed_; }
+  ByteCount total_bytes() const;
+  const std::vector<Step>& steps() const { return steps_; }
+  const std::vector<StepTiming>& timings() const { return timings_; }
+
+ private:
+  void maybe_begin();
+  void launch_step();
+  void send_current();
+  void write_some();
+  void on_recv(bool at_client, ByteCount n);
+  void finish(bool failed);
+  void check_dispose();
+
+  sim::Simulator& sim_;
+  std::string type_;
+  std::vector<Step> steps_;
+  std::vector<StepTiming> timings_;
+  DoneFn on_done_;
+  DoneFn on_dispose_;
+
+  tcp::Connection* client_ = nullptr;
+  tcp::Connection* server_ = nullptr;
+  bool client_ready_ = false;
+  bool server_ready_ = false;
+  bool started_ = false;
+  bool finished_ = false;
+  bool failed_ = false;
+
+  std::size_t idx_ = 0;
+  ByteCount to_write_ = 0;
+  ByteCount to_receive_ = 0;
+};
+
+}  // namespace vegas::traffic

@@ -1,0 +1,53 @@
+#include "traffic/cross.h"
+
+#include "net/packet.h"
+
+namespace vegas::traffic {
+
+CrossTrafficSource::CrossTrafficSource(sim::Simulator& sim, net::Host& src,
+                                       net::Host& dst, CrossTrafficConfig cfg)
+    : sim_(sim),
+      src_(src),
+      dst_(dst),
+      cfg_(cfg),
+      rng_(rng::derive_seed(cfg.seed, "cross-" + src.name())) {}
+
+void CrossTrafficSource::start() {
+  if (running_) return;
+  running_ = true;
+  begin_off();  // random initial phase
+}
+
+void CrossTrafficSource::begin_off() {
+  on_ = false;
+  const sim::Time off = sim::Time::seconds(rng_.exponential(cfg_.mean_off_s));
+  sim_.schedule(off, [this] {
+    if (running_) begin_on();
+  });
+}
+
+void CrossTrafficSource::begin_on() {
+  on_ = true;
+  off_at_ = sim_.now() + sim::Time::seconds(rng_.exponential(cfg_.mean_on_s));
+  emit();
+}
+
+void CrossTrafficSource::emit() {
+  if (!running_ || !on_) return;
+  if (sim_.now() >= off_at_) {
+    begin_off();
+    return;
+  }
+  auto p = net::make_packet();
+  p->dst = dst_.id();
+  p->protocol = net::Protocol::kDatagram;
+  p->payload_bytes = cfg_.datagram_bytes;
+  p->header_bytes = 28;  // IP + UDP
+  src_.send(std::move(p));
+  bytes_sent_ += cfg_.datagram_bytes;
+  const sim::Time gap = sim::transmission_time(
+      cfg_.datagram_bytes, cfg_.on_rate_Bps);
+  sim_.schedule(gap, [this] { emit(); });
+}
+
+}  // namespace vegas::traffic

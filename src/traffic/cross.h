@@ -1,0 +1,66 @@
+// Unreliable datagram cross-traffic for the simulated WAN (Tables 4-5).
+//
+// Models the uncontrolled flows sharing an Internet path: each source
+// alternates exponential ON periods (constant-rate 1 KB datagrams) and
+// exponential OFF periods.  No congestion control, no retransmission —
+// exactly the background against which the paper's UA->NIH transfers ran.
+#pragma once
+
+#include "common/rng.h"
+#include "net/host.h"
+#include "sim/simulator.h"
+
+namespace vegas::traffic {
+
+struct CrossTrafficConfig {
+  Rate on_rate_Bps = 100.0 * 1024;  // sending rate while ON
+  double mean_on_s = 0.5;
+  double mean_off_s = 1.0;
+  ByteCount datagram_bytes = 1024;
+  std::uint64_t seed = 1;
+};
+
+class CrossTrafficSource {
+ public:
+  /// Sends from `src` to `dst` (both must be routed in the topology).
+  CrossTrafficSource(sim::Simulator& sim, net::Host& src, net::Host& dst,
+                     CrossTrafficConfig cfg);
+
+  void start();
+  void stop() { running_ = false; }
+  ByteCount bytes_sent() const { return bytes_sent_; }
+
+ private:
+  void begin_on();
+  void begin_off();
+  void emit();
+
+  sim::Simulator& sim_;
+  net::Host& src_;
+  net::Host& dst_;
+  CrossTrafficConfig cfg_;
+  rng::Stream rng_;
+  bool running_ = false;
+  bool on_ = false;
+  sim::Time off_at_;  // current ON period ends here
+  ByteCount bytes_sent_ = 0;
+};
+
+/// Counts datagrams arriving at a host (installs the datagram handler).
+class DatagramSink {
+ public:
+  explicit DatagramSink(net::Host& host) {
+    host.set_datagram_handler([this](net::PacketPtr p) {
+      ++packets_;
+      bytes_ += p->payload_bytes;
+    });
+  }
+  ByteCount bytes() const { return bytes_; }
+  std::uint64_t packets() const { return packets_; }
+
+ private:
+  ByteCount bytes_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace vegas::traffic

@@ -1,0 +1,88 @@
+#include "traffic/distributions.h"
+
+#include <algorithm>
+
+namespace vegas::traffic {
+
+using Step = ScriptedConversation::Step;
+
+ByteCount WorkloadSampler::clamped_lognormal(double log_mean, double log_sigma,
+                                             ByteCount lo, ByteCount hi) {
+  const double x = rng_.lognormal(log_mean, log_sigma);
+  return std::clamp(static_cast<ByteCount>(x), lo, hi);
+}
+
+std::vector<Step> WorkloadSampler::telnet_script() {
+  std::vector<Step> steps;
+  const auto keystrokes =
+      std::max<std::int64_t>(1, rng_.geometric(params_.telnet_mean_keystrokes));
+  for (std::int64_t i = 0; i < keystrokes; ++i) {
+    const sim::Time think =
+        sim::Time::seconds(std::max(0.05, rng_.exponential(
+                                              params_.telnet_mean_think_s)));
+    steps.push_back({/*from_client=*/true, 1, think});
+    const ByteCount echo = clamped_lognormal(
+        params_.telnet_echo_log_mean, params_.telnet_echo_log_sigma, 1, 512);
+    steps.push_back({/*from_client=*/false, echo, sim::Time::zero()});
+  }
+  return steps;
+}
+
+std::vector<Step> WorkloadSampler::ftp_script() {
+  std::vector<Step> steps;
+  const auto items =
+      std::max<std::int64_t>(1, rng_.geometric(params_.ftp_mean_items));
+  for (std::int64_t i = 0; i < items; ++i) {
+    const ByteCount ctl =
+        rng_.uniform_int(params_.ftp_ctl_min, params_.ftp_ctl_max);
+    // Control request, small server ack, then the item payload.
+    steps.push_back({true, ctl, sim::Time::seconds(rng_.uniform(0.1, 0.5))});
+    steps.push_back({false, ctl, sim::Time::zero()});
+    const ByteCount item =
+        clamped_lognormal(params_.ftp_item_log_mean, params_.ftp_item_log_sigma,
+                          params_.ftp_item_min, params_.ftp_item_max);
+    steps.push_back({true, item, sim::Time::zero()});
+  }
+  return steps;
+}
+
+std::vector<Step> WorkloadSampler::smtp_script() {
+  std::vector<Step> steps;
+  // HELO/MAIL/RCPT chatter, then the message, then the server's 250.
+  steps.push_back({true, params_.smtp_chatter_bytes, sim::Time::zero()});
+  steps.push_back({false, params_.smtp_chatter_bytes, sim::Time::zero()});
+  const ByteCount msg =
+      clamped_lognormal(params_.smtp_msg_log_mean, params_.smtp_msg_log_sigma,
+                        params_.smtp_msg_min, params_.smtp_msg_max);
+  steps.push_back({true, msg, sim::Time::zero()});
+  steps.push_back({false, 80, sim::Time::zero()});
+  return steps;
+}
+
+std::vector<Step> WorkloadSampler::nntp_script() {
+  std::vector<Step> steps;
+  const auto articles =
+      std::max<std::int64_t>(1, rng_.geometric(params_.nntp_mean_articles));
+  for (std::int64_t i = 0; i < articles; ++i) {
+    const ByteCount article = clamped_lognormal(
+        params_.nntp_article_log_mean, params_.nntp_article_log_sigma,
+        params_.nntp_article_min, params_.nntp_article_max);
+    steps.push_back({true, article, sim::Time::zero()});
+    steps.push_back({false, params_.nntp_response_bytes, sim::Time::zero()});
+  }
+  return steps;
+}
+
+WorkloadSampler::Draw WorkloadSampler::draw_conversation() {
+  const double total =
+      params_.p_telnet + params_.p_ftp + params_.p_smtp + params_.p_nntp;
+  const double u = rng_.uniform(0.0, total);
+  if (u < params_.p_telnet) return {"telnet", telnet_script()};
+  if (u < params_.p_telnet + params_.p_ftp) return {"ftp", ftp_script()};
+  if (u < params_.p_telnet + params_.p_ftp + params_.p_smtp) {
+    return {"smtp", smtp_script()};
+  }
+  return {"nntp", nntp_script()};
+}
+
+}  // namespace vegas::traffic

@@ -1,0 +1,83 @@
+// tcplib-shaped workload distributions (substitution for Danzig & Jamin's
+// trace-derived tables, see DESIGN.md §2).
+//
+// Shapes follow the published characterisation: Poisson conversation
+// arrivals; geometric counts of exchanges per conversation; log-normal
+// (heavy-tailed) item/article/message sizes; sub-second exponential think
+// times for interactive TELNET with tiny keystrokes and small echoes.
+// Every knob is exposed so experiments can calibrate offered load.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "sim/time.h"
+#include "traffic/conversation.h"
+
+namespace vegas::traffic {
+
+struct WorkloadParams {
+  // Conversation mix (normalised internally).
+  double p_telnet = 0.30;
+  double p_ftp = 0.30;
+  double p_smtp = 0.25;
+  double p_nntp = 0.15;
+
+  // TELNET: keystroke count, think time, echo size.
+  double telnet_mean_keystrokes = 25;
+  double telnet_mean_think_s = 0.8;
+  double telnet_echo_log_mean = 1.2;   // median ~3 bytes
+  double telnet_echo_log_sigma = 0.8;
+
+  // FTP: items per conversation, control size, item size.
+  double ftp_mean_items = 3;
+  ByteCount ftp_ctl_min = 20, ftp_ctl_max = 200;
+  double ftp_item_log_mean = 9.5;      // median ~13 KB
+  double ftp_item_log_sigma = 1.4;
+  ByteCount ftp_item_min = 1024, ftp_item_max = 512 * 1024;
+
+  // NNTP: articles per conversation, article size.
+  double nntp_mean_articles = 4;
+  double nntp_article_log_mean = 7.6;  // median ~2 KB
+  double nntp_article_log_sigma = 1.0;
+  ByteCount nntp_article_min = 256, nntp_article_max = 64 * 1024;
+  ByteCount nntp_response_bytes = 80;
+
+  // SMTP: message size and protocol chatter.
+  double smtp_msg_log_mean = 8.6;      // median ~5.4 KB
+  double smtp_msg_log_sigma = 1.2;
+  ByteCount smtp_msg_min = 300, smtp_msg_max = 256 * 1024;
+  ByteCount smtp_chatter_bytes = 120;
+};
+
+/// Draws conversation scripts from the workload distributions.
+class WorkloadSampler {
+ public:
+  WorkloadSampler(const WorkloadParams& params, std::uint64_t seed)
+      : params_(params), rng_(seed) {}
+
+  struct Draw {
+    std::string type;  // "telnet" | "ftp" | "smtp" | "nntp"
+    std::vector<ScriptedConversation::Step> steps;
+  };
+
+  Draw draw_conversation();
+
+  std::vector<ScriptedConversation::Step> telnet_script();
+  std::vector<ScriptedConversation::Step> ftp_script();
+  std::vector<ScriptedConversation::Step> smtp_script();
+  std::vector<ScriptedConversation::Step> nntp_script();
+
+  const WorkloadParams& params() const { return params_; }
+
+ private:
+  ByteCount clamped_lognormal(double log_mean, double log_sigma,
+                              ByteCount lo, ByteCount hi);
+
+  WorkloadParams params_;
+  rng::Stream rng_;
+};
+
+}  // namespace vegas::traffic

@@ -1,0 +1,103 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vegas::rng {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Stream a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Stream a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform(0, 1) == b.uniform(0, 1)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, DeriveSeedSeparatesComponents) {
+  const auto s1 = derive_seed(7, "traffic");
+  const auto s2 = derive_seed(7, "loss");
+  const auto s3 = derive_seed(8, "traffic");
+  EXPECT_NE(s1, s2);
+  EXPECT_NE(s1, s3);
+  EXPECT_EQ(s1, derive_seed(7, "traffic"));  // stable
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Stream s(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = s.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Stream s(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto x = s.uniform_int(1, 6);
+    EXPECT_GE(x, 1);
+    EXPECT_LE(x, 6);
+    saw_lo = saw_lo || x == 1;
+    saw_hi = saw_hi || x == 6;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMeanApproximate) {
+  Stream s(11);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += s.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, GeometricMeanApproximate) {
+  Stream s(13);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = s.geometric(4.0);
+    EXPECT_GE(v, 1);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, 4.0, 0.25);
+}
+
+TEST(RngTest, ParetoWithinBounds) {
+  Stream s(17);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = s.pareto(1.0, 100.0, 1.2);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Stream s(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(s.chance(0.0));
+    EXPECT_TRUE(s.chance(1.0));
+  }
+}
+
+TEST(RngTest, LognormalPositive) {
+  Stream s(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(s.lognormal(5.0, 1.0), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace vegas::rng

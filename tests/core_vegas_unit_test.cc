@@ -1,0 +1,408 @@
+// Unit tests for the three Vegas techniques (§3.1-3.3), driving the
+// sender directly with hand-crafted ACK timing.
+#include "core/vegas.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+namespace vegas::core {
+namespace {
+
+using namespace sim::literals;
+using tcp::StreamOffset;
+
+struct Sent {
+  sim::Time t;
+  StreamOffset seq;
+  ByteCount len;
+};
+
+struct CamSample {
+  double expected;
+  double actual;
+  double diff_buffers;
+  tcp::CamAction action;
+};
+
+class Recorder : public tcp::ConnectionObserver {
+ public:
+  void on_cam_sample(sim::Time, double e, double a, double d,
+                     tcp::CamAction act) override {
+    cam.push_back({e, a, d, act});
+  }
+  void on_retransmit(sim::Time, StreamOffset seq, ByteCount,
+                     tcp::RetransmitTrigger trig) override {
+    retransmits.push_back({seq, trig});
+  }
+  void on_slow_start_exit(sim::Time t) override { ss_exit.push_back(t); }
+
+  std::vector<CamSample> cam;
+  std::vector<std::pair<StreamOffset, tcp::RetransmitTrigger>> retransmits;
+  std::vector<sim::Time> ss_exit;
+};
+
+class VegasHarness {
+ public:
+  explicit VegasHarness(tcp::TcpConfig cfg = {}) : cfg_(cfg) {
+    snd = std::make_unique<VegasSender>(cfg_);
+    tcp::TcpSender::Env env;
+    env.sim = &sim;
+    env.observer = &rec;
+    env.transmit = [this](StreamOffset seq, ByteCount len, bool) {
+      sent.push_back({sim.now(), seq, len});
+    };
+    snd->attach(std::move(env));
+  }
+
+  void advance(sim::Time d) {
+    const sim::Time target = sim.now() + d;
+    sim.schedule(d, [] {});
+    sim.run_until(target);
+  }
+
+  void ack(StreamOffset a, ByteCount wnd = 64_KB) { snd->on_ack(a, wnd, 0); }
+
+  /// Establishes a 100 ms BaseRTT: sends/acks a few rounds cleanly.
+  void warm_up(int rounds = 3) {
+    snd->open(64_KB);
+    snd->app_write(512 * 1024);
+    for (int r = 0; r < rounds; ++r) {
+      advance(100_ms);
+      ack(snd->snd_nxt());
+    }
+  }
+
+  sim::Simulator sim;
+  tcp::TcpConfig cfg_;
+  Recorder rec;
+  std::unique_ptr<VegasSender> snd;
+  std::vector<Sent> sent;
+};
+
+TEST(VegasSenderTest, NameAndDefaults) {
+  VegasHarness h;
+  EXPECT_EQ(h.snd->name(), "Vegas");
+  EXPECT_FALSE(h.snd->has_base_rtt());
+}
+
+TEST(VegasSenderTest, BaseRttTracksMinimum) {
+  VegasHarness h;
+  h.snd->open(64_KB);
+  h.snd->app_write(512 * 1024);
+  h.advance(150_ms);
+  h.ack(h.snd->snd_nxt());
+  ASSERT_TRUE(h.snd->has_base_rtt());
+  EXPECT_EQ(h.snd->base_rtt(), 150_ms);
+  // A faster round trip lowers BaseRTT...
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  EXPECT_EQ(h.snd->base_rtt(), 100_ms);
+  // ...a slower one does not raise it (unless Diff < 0 resets it).
+  h.advance(150_ms);
+  h.ack(h.snd->snd_nxt());
+  EXPECT_EQ(h.snd->base_rtt(), 100_ms);
+}
+
+TEST(VegasSenderTest, CamDiffIsNeverNegative) {
+  VegasHarness h;
+  h.warm_up(6);
+  ASSERT_FALSE(h.rec.cam.empty());
+  for (const auto& s : h.rec.cam) {
+    EXPECT_GE(s.diff_buffers, 0.0);
+  }
+}
+
+TEST(VegasSenderTest, SlowStartDoublesEveryOtherRtt) {
+  VegasHarness h;
+  h.snd->open(64_KB);
+  h.snd->app_write(512 * 1024);
+  const ByteCount c0 = h.snd->cwnd();
+  EXPECT_EQ(c0, 1024);
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  const ByteCount c1 = h.snd->cwnd();
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  const ByteCount c2 = h.snd->cwnd();
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  const ByteCount c3 = h.snd->cwnd();
+  // One of each adjacent RTT pair is frozen; the other grows.
+  EXPECT_TRUE((c1 == c0 && c3 == c2 && c2 > c1) ||
+              (c1 > c0 && c2 == c1 && c3 > c2))
+      << "c0..c3 = " << c0 << " " << c1 << " " << c2 << " " << c3;
+}
+
+TEST(VegasSenderTest, GammaExitsSlowStart) {
+  VegasHarness h;
+  h.snd->open(64_KB);
+  h.snd->app_write(512 * 1024);
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  ASSERT_TRUE(h.snd->in_slow_start());
+  // RTTs inflate badly (queueing): actual falls below expected by more
+  // than gamma buffers -> Vegas leaves slow start.
+  for (int i = 0; i < 8 && h.rec.ss_exit.empty(); ++i) {
+    h.advance(400_ms);
+    h.ack(h.snd->snd_nxt());
+  }
+  EXPECT_FALSE(h.rec.ss_exit.empty());
+  EXPECT_FALSE(h.snd->in_slow_start());
+}
+
+class LinearModeHarness : public VegasHarness {
+ public:
+  explicit LinearModeHarness(tcp::TcpConfig cfg = {}) : VegasHarness(cfg) {
+    warm_up();
+    for (int i = 0; i < 10 && snd->in_slow_start(); ++i) {
+      advance(500_ms);
+      ack(snd->snd_nxt());
+    }
+    // Re-establish prompt ACKs so the estimator settles again.
+    for (int i = 0; i < 3; ++i) {
+      advance(100_ms);
+      ack(snd->snd_nxt());
+    }
+  }
+};
+
+TEST(VegasSenderTest, CamIncreasesWhenDiffBelowAlpha) {
+  LinearModeHarness h;
+  ASSERT_FALSE(h.snd->in_slow_start());
+  h.rec.cam.clear();
+  const ByteCount before = h.snd->cwnd();
+  // Prompt ACK at BaseRTT: actual ~= expected, diff ~ 0 < alpha.
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  ASSERT_FALSE(h.rec.cam.empty());
+  EXPECT_EQ(h.rec.cam.back().action, tcp::CamAction::kIncrease);
+  EXPECT_EQ(h.snd->cwnd(), before + 1024);
+}
+
+TEST(VegasSenderTest, CamDecreasesWhenDiffAboveBeta) {
+  LinearModeHarness h;
+  ASSERT_FALSE(h.snd->in_slow_start());
+  // Grow the window so a decrease is visible.
+  for (int i = 0; i < 4; ++i) {
+    h.advance(100_ms);
+    h.ack(h.snd->snd_nxt());
+  }
+  h.rec.cam.clear();
+  const ByteCount before = h.snd->cwnd();
+  ASSERT_GE(before, 4 * 1024);
+  // Severely delayed ACKs: actual far below expected -> diff > beta.
+  h.advance(2000_ms);
+  h.ack(h.snd->snd_nxt());
+  ASSERT_FALSE(h.rec.cam.empty());
+  EXPECT_EQ(h.rec.cam.back().action, tcp::CamAction::kDecrease);
+  EXPECT_EQ(h.snd->cwnd(), before - 1024);
+}
+
+TEST(VegasSenderTest, FineRetransmitOnFirstDupAck) {
+  VegasHarness h;
+  h.warm_up();
+  const StreamOffset una = h.snd->snd_una();
+  ASSERT_GT(h.snd->in_flight(), 0);
+  const std::size_t sent_before = h.sent.size();
+  // Wait past the fine RTO, then a single duplicate ACK suffices (§3.1).
+  h.advance(sim::Time::seconds(1.0));
+  h.ack(una);  // duplicate
+  ASSERT_GT(h.sent.size(), sent_before);
+  EXPECT_EQ(h.sent[sent_before].seq, una);
+  EXPECT_EQ(h.snd->stats().fine_retransmits, 1u);
+  ASSERT_FALSE(h.rec.retransmits.empty());
+  EXPECT_EQ(h.rec.retransmits[0].second,
+            tcp::RetransmitTrigger::kFineDupAck);
+}
+
+TEST(VegasSenderTest, EarlyDupAckDoesNotRetransmit) {
+  VegasHarness h;
+  h.warm_up();
+  const StreamOffset una = h.snd->snd_una();
+  const std::size_t sent_before = h.sent.size();
+  h.advance(10_ms);  // well inside the fine RTO
+  h.ack(una);
+  EXPECT_EQ(h.sent.size(), sent_before);
+  EXPECT_EQ(h.snd->stats().fine_retransmits, 0u);
+}
+
+TEST(VegasSenderTest, WindowDecreasesAtMostOncePerEpisode) {
+  VegasHarness h;
+  h.warm_up(7);
+  const StreamOffset una = h.snd->snd_una();
+  ASSERT_GT(h.snd->in_flight(), 2048);
+  h.advance(sim::Time::seconds(1.0));
+  h.ack(una);  // first dup: fine retransmit + decrease
+  const ByteCount after_first = h.snd->cwnd();
+  EXPECT_EQ(h.snd->window_decreases(), 1u);
+  // More duplicate ACKs for losses from the SAME pre-decrease epoch: the
+  // window must not be cut again (recovery inflation may raise it).
+  h.ack(una);
+  h.ack(una);
+  h.ack(una);
+  EXPECT_EQ(h.snd->window_decreases(), 1u);
+  EXPECT_GE(h.snd->cwnd(), after_first);
+}
+
+TEST(VegasSenderTest, FineDecreaseIsThreeQuarters) {
+  VegasHarness h;
+  h.warm_up();
+  const ByteCount before = h.snd->cwnd();
+  const StreamOffset una = h.snd->snd_una();
+  h.advance(sim::Time::seconds(1.0));
+  h.ack(una);
+  const ByteCount expect = std::max<ByteCount>(
+      2 * 1024,
+      static_cast<ByteCount>(static_cast<double>(before) * 0.75));
+  EXPECT_EQ(h.snd->ssthresh(), expect);
+}
+
+TEST(VegasSenderTest, PostRetransmitAckChecksCatchNextLoss) {
+  VegasHarness h;
+  h.warm_up(7);
+  const StreamOffset una = h.snd->snd_una();
+  ASSERT_GE(h.snd->in_flight(), 3 * 1024);
+  h.advance(sim::Time::seconds(1.0));
+  h.ack(una);  // dup ACK -> fine retransmit of segment 1
+  ASSERT_EQ(h.snd->stats().fine_retransmits, 1u);
+  // The first fresh ACK after the retransmission re-checks the (new)
+  // front segment — segment 2, also long overdue — with NO duplicate ACK.
+  h.advance(100_ms);
+  h.ack(una + 1024);
+  EXPECT_EQ(h.snd->stats().fine_retransmits, 2u);
+  ASSERT_GE(h.rec.retransmits.size(), 2u);
+  EXPECT_EQ(h.rec.retransmits[1].second,
+            tcp::RetransmitTrigger::kFineAfterRetransmit);
+  EXPECT_EQ(h.rec.retransmits[1].first, una + 1024);
+}
+
+TEST(VegasSenderTest, CoarseTimeoutStillWorksAsFallback) {
+  VegasHarness h;
+  h.snd->open(64_KB);
+  h.snd->app_write(10 * 1024);
+  for (int i = 0; i < 20 && h.snd->stats().coarse_timeouts == 0; ++i) {
+    h.advance(500_ms);
+    h.snd->on_tick();
+  }
+  EXPECT_EQ(h.snd->stats().coarse_timeouts, 1u);
+  EXPECT_EQ(h.snd->cwnd(), 1024);
+}
+
+TEST(VegasSenderTest, NoPerAckGrowthInLinearMode) {
+  LinearModeHarness h;
+  ASSERT_FALSE(h.snd->in_slow_start());
+  // ACK segments one at a time within a single RTT: only the once-per-RTT
+  // CAM decision may move the window, so at most 1 MSS of change.
+  const ByteCount before = h.snd->cwnd();
+  const StreamOffset una = h.snd->snd_una();
+  const ByteCount flight = h.snd->in_flight();
+  const int segs = static_cast<int>(flight / 1024);
+  ASSERT_GE(segs, 2);
+  for (int i = 1; i <= segs; ++i) {
+    h.advance(10_ms);
+    h.ack(una + static_cast<StreamOffset>(i) * 1024);
+  }
+  EXPECT_LE(std::llabs(h.snd->cwnd() - before), 1024);
+}
+
+TEST(VegasSenderTest, VegasVariantThresholdsApply) {
+  tcp::TcpConfig cfg;
+  cfg.vegas_alpha = 1;
+  cfg.vegas_beta = 3;
+  VegasHarness h(cfg);
+  EXPECT_DOUBLE_EQ(h.snd->config().vegas_alpha, 1.0);
+  EXPECT_DOUBLE_EQ(h.snd->config().vegas_beta, 3.0);
+}
+
+
+TEST(VegasExtensionTest, PacedSlowStartSpacesTransmissions) {
+  tcp::TcpConfig cfg;
+  cfg.vegas_paced_slow_start = true;
+  VegasHarness h(cfg);
+  h.snd->open(64_KB);
+  h.snd->app_write(512 * 1024);
+  // Establish BaseRTT = 100 ms (pacing needs it).
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  // Grow the window, then watch sends: with pacing they must not all
+  // leave at the same instant.
+  for (int i = 0; i < 4; ++i) {
+    const auto before = h.sent.size();
+    h.advance(100_ms);
+    h.ack(h.snd->snd_nxt());
+    // Let the pacer drain.
+    h.advance(400_ms);
+    ASSERT_GT(h.sent.size(), before);
+    // Count distinct transmission instants in this batch.
+    std::size_t distinct = 1;
+    for (std::size_t j = before + 1; j < h.sent.size(); ++j) {
+      if (h.sent[j].t != h.sent[j - 1].t) ++distinct;
+    }
+    if (h.sent.size() - before >= 3) {
+      // Burst size is 2: at least half the slots are distinct instants.
+      EXPECT_GE(distinct, (h.sent.size() - before) / 2);
+    }
+  }
+}
+
+TEST(VegasExtensionTest, UnpacedSendsBurstAtOneInstant) {
+  VegasHarness h;
+  h.warm_up(5);
+  // ACK the whole window at once: stock Vegas blasts the refill
+  // back-to-back in the same event.
+  const auto before = h.sent.size();
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());
+  ASSERT_GT(h.sent.size(), before + 2);
+  for (std::size_t j = before + 1; j < h.sent.size(); ++j) {
+    EXPECT_EQ(h.sent[j].t, h.sent[before].t);
+  }
+}
+
+TEST(VegasExtensionTest, BandwidthEstimateFromAckSpacing) {
+  VegasHarness h;
+  h.snd->open(64_KB);
+  h.snd->app_write(512 * 1024);
+  h.advance(100_ms);
+  // ACK segments one at a time, 5 ms apart (a 200 KB/s bottleneck's
+  // service time for 1 KB segments).
+  tcp::StreamOffset ack = 0;
+  for (int i = 0; i < 8 && ack < h.snd->snd_nxt(); ++i) {
+    ack += 1024;
+    h.ack(ack);
+    h.advance(5_ms);
+  }
+  ASSERT_GT(h.snd->bandwidth_estimate_Bps(), 0.0);
+  EXPECT_NEAR(h.snd->bandwidth_estimate_Bps(), 1024.0 / 0.005,
+              1024.0 / 0.005 * 0.05);
+}
+
+TEST(VegasExtensionTest, BandwidthCheckStopsDoubling) {
+  tcp::TcpConfig cfg;
+  cfg.vegas_ss_bandwidth_check = true;
+  VegasHarness h(cfg);
+  h.snd->open(64_KB);
+  h.snd->app_write(512 * 1024);
+  h.advance(100_ms);
+  h.ack(h.snd->snd_nxt());  // BaseRTT = 100 ms
+  // Feed ACK pairs implying a ~100 KB/s bottleneck (10 ms per segment):
+  // the window must stop doubling near bw * BaseRTT / 2 = ~5 KB.
+  for (int round = 0; round < 10 && h.snd->in_slow_start(); ++round) {
+    tcp::StreamOffset ack = h.snd->snd_una();
+    const tcp::StreamOffset target = h.snd->snd_nxt();
+    while (ack < target) {
+      ack += 1024;
+      h.advance(10_ms);
+      h.ack(ack);
+    }
+  }
+  EXPECT_FALSE(h.snd->in_slow_start());
+  // Exited before the window blew past the estimated pipe capacity.
+  EXPECT_LE(h.snd->cwnd(), 16 * 1024);
+}
+
+}  // namespace
+}  // namespace vegas::core

@@ -1,0 +1,249 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "net/loss.h"
+
+namespace vegas::net {
+namespace {
+
+using namespace sim::literals;
+
+/// Node capturing arrival times using the simulator clock directly.
+class TimedSink : public Node {
+ public:
+  explicit TimedSink(sim::Simulator& sim) : Node(0, "sink"), sim_(sim) {}
+  void receive(PacketPtr p) override {
+    times.push_back(sim_.now());
+    uids.push_back(p->uid);
+    bytes += p->payload_bytes;
+  }
+  sim::Simulator& sim_;
+  std::vector<sim::Time> times;
+  std::vector<std::uint64_t> uids;
+  ByteCount bytes = 0;
+};
+
+PacketPtr packet_of(ByteCount payload) {
+  auto p = make_packet();
+  p->payload_bytes = payload;
+  p->header_bytes = 0;  // exact wire arithmetic in tests
+  return p;
+}
+
+TEST(LinkTest, SerializationPlusPropagationDelay) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  // 1000 B/s, 10 ms propagation: a 100-byte packet takes 100ms + 10ms.
+  LinkConfig cfg{1000.0, 10_ms, 10};
+  Link link(sim, "l", cfg, sink);
+  link.send(packet_of(100));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 1u);
+  EXPECT_EQ(sink.times[0], 110_ms);
+}
+
+TEST(LinkTest, BackToBackPacketsSerialize) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1000.0, 10_ms, 10};
+  Link link(sim, "l", cfg, sink);
+  link.send(packet_of(100));
+  link.send(packet_of(100));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 2u);
+  EXPECT_EQ(sink.times[0], 110_ms);
+  EXPECT_EQ(sink.times[1], 210_ms);  // transmitter was busy 100 ms
+}
+
+TEST(LinkTest, PropagationPipelines) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  // Long propagation: second packet must NOT wait for first's arrival.
+  LinkConfig cfg{1000.0, 500_ms, 10};
+  Link link(sim, "l", cfg, sink);
+  link.send(packet_of(100));
+  link.send(packet_of(100));
+  sim.run();
+  ASSERT_EQ(sink.times.size(), 2u);
+  EXPECT_EQ(sink.times[0], 600_ms);
+  EXPECT_EQ(sink.times[1], 700_ms);
+}
+
+TEST(LinkTest, QueueOverflowDropsAndReports) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1000.0, 1_ms, 2};  // 2 waiting + 1 in service
+  Link link(sim, "l", cfg, sink);
+  QueueMonitor mon;
+  link.set_queue_monitor(&mon);
+  for (int i = 0; i < 6; ++i) link.send(packet_of(100));
+  sim.run();
+  EXPECT_EQ(sink.times.size(), 3u);
+  EXPECT_EQ(link.packets_dropped(), 3u);
+  EXPECT_EQ(mon.drop_count(), 3u);
+  EXPECT_EQ(mon.max_length(), 2u);
+}
+
+TEST(LinkTest, FifoOrderPreserved) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{10000.0, 1_ms, 50};
+  Link link(sim, "l", cfg, sink);
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 20; ++i) {
+    auto p = packet_of(50);
+    sent.push_back(p->uid);
+    link.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(sink.uids, sent);
+}
+
+TEST(LinkTest, BernoulliLossDropsSome) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1e6, 1_ms, 1000};
+  Link link(sim, "l", cfg, sink);
+  link.set_loss_model(std::make_unique<BernoulliLoss>(0.3, 42));
+  for (int i = 0; i < 1000; ++i) link.send(packet_of(100));
+  sim.run();
+  EXPECT_GT(sink.times.size(), 500u);
+  EXPECT_LT(sink.times.size(), 900u);
+}
+
+TEST(LinkTest, NthPacketLossIsExact) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1e6, 1_ms, 1000};
+  Link link(sim, "l", cfg, sink);
+  link.set_loss_model(std::make_unique<NthPacketLoss>(
+      std::vector<std::uint64_t>{2, 5}));
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 6; ++i) {
+    auto p = packet_of(100);
+    sent.push_back(p->uid);
+    link.send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(sink.uids.size(), 4u);
+  EXPECT_EQ(sink.uids[0], sent[0]);
+  EXPECT_EQ(sink.uids[1], sent[2]);
+  EXPECT_EQ(sink.uids[2], sent[3]);
+  EXPECT_EQ(sink.uids[3], sent[5]);
+}
+
+TEST(LinkTest, NthPacketLossSkipsPureAcks) {
+  NthPacketLoss loss({1});
+  auto ack = make_packet();
+  ack->payload_bytes = 0;
+  EXPECT_FALSE(loss.drop(*ack));  // ACKs are not counted
+  auto data = make_packet();
+  data->payload_bytes = 100;
+  EXPECT_TRUE(loss.drop(*data));  // first DATA packet dropped
+}
+
+TEST(LinkTest, BurstLossAlternates) {
+  BurstLoss loss(/*p_good_to_bad=*/1.0, /*p_bad_to_good=*/1.0, 7);
+  auto p = make_packet();
+  p->payload_bytes = 1;
+  // With both transition probabilities 1, states alternate: drop,
+  // deliver, drop, deliver ...
+  EXPECT_TRUE(loss.drop(*p));
+  EXPECT_FALSE(loss.drop(*p));
+  EXPECT_TRUE(loss.drop(*p));
+  EXPECT_FALSE(loss.drop(*p));
+}
+
+TEST(LinkTest, RateMeterCountsPayload) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1e6, 1_ms, 100};
+  Link link(sim, "l", cfg, sink);
+  RateMeter meter(100_ms);
+  link.set_rate_meter(&meter);
+  for (int i = 0; i < 10; ++i) link.send(packet_of(1000));
+  sim.run();
+  EXPECT_EQ(meter.total_bytes(), 10'000);
+  const auto rates = meter.rates();
+  ASSERT_FALSE(rates.empty());
+  EXPECT_GT(rates[0], 0.0);
+}
+
+TEST(LinkTest, UtilisationReflectsBusyTime) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1000.0, sim::Time::zero(), 10};
+  Link link(sim, "l", cfg, sink);
+  link.send(packet_of(500));  // 500 ms of serialization
+  sim.schedule(1000_ms, [] {});
+  sim.run();
+  EXPECT_NEAR(link.utilisation(), 0.5, 0.01);
+}
+
+
+TEST(LinkTest, JitterReordersPackets) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1e7, 1_ms, 1000};  // fast link: packets ~0.01ms apart
+  Link link(sim, "l", cfg, sink);
+  link.set_jitter(5_ms, 42);  // jitter >> spacing: reordering certain
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 100; ++i) {
+    auto p = packet_of(100);
+    sent.push_back(p->uid);
+    link.send(std::move(p));
+  }
+  sim.run();
+  ASSERT_EQ(sink.uids.size(), 100u);  // jitter never loses packets
+  EXPECT_NE(sink.uids, sent);         // ...but does reorder them
+}
+
+TEST(LinkTest, ZeroJitterKeepsOrder) {
+  sim::Simulator sim;
+  TimedSink sink(sim);
+  LinkConfig cfg{1e7, 1_ms, 1000};
+  Link link(sim, "l", cfg, sink);
+  link.set_jitter(sim::Time::zero(), 42);
+  std::vector<std::uint64_t> sent;
+  for (int i = 0; i < 50; ++i) {
+    auto p = packet_of(100);
+    sent.push_back(p->uid);
+    link.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(sink.uids, sent);
+}
+
+TEST(LinkTest, JitterIsDeterministicPerSeed) {
+  // Compare arrival PERMUTATIONS (packet uids are globally unique and
+  // differ between runs by construction).
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator sim;
+    TimedSink sink(sim);
+    LinkConfig cfg{1e7, 1_ms, 1000};
+    Link link(sim, "l", cfg, sink);
+    link.set_jitter(5_ms, seed);
+    std::vector<std::uint64_t> sent;
+    for (int i = 0; i < 50; ++i) {
+      auto p = packet_of(100);
+      sent.push_back(p->uid);
+      link.send(std::move(p));
+    }
+    sim.run();
+    std::vector<int> order;
+    for (const std::uint64_t uid : sink.uids) {
+      order.push_back(static_cast<int>(
+          std::find(sent.begin(), sent.end(), uid) - sent.begin()));
+    }
+    return order;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+}  // namespace
+}  // namespace vegas::net

@@ -1,0 +1,151 @@
+// Node-level edge cases: hosts without handlers, routers without
+// routes, single-homing enforcement, name/id bookkeeping.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/topology.h"
+
+namespace vegas::net {
+namespace {
+
+using namespace sim::literals;
+
+TEST(HostTest, UnclaimedPacketsAreCountedNotCrashing) {
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, b, LinkConfig{1e6, 1_ms, 10});
+  net.compute_routes();
+  // b has no TCP handler and no datagram handler.
+  auto tcp_pkt = make_packet();
+  tcp_pkt->dst = b.id();
+  tcp_pkt->protocol = Protocol::kTcp;
+  a.send(std::move(tcp_pkt));
+  auto dg = make_packet();
+  dg->dst = b.id();
+  dg->protocol = Protocol::kDatagram;
+  a.send(std::move(dg));
+  sim.run();
+  EXPECT_EQ(b.unclaimed(), 2u);
+}
+
+TEST(HostTest, HandlersAreProtocolSpecific) {
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, b, LinkConfig{1e6, 1_ms, 10});
+  net.compute_routes();
+  int tcp_got = 0, dg_got = 0;
+  b.set_tcp_handler([&](PacketPtr) { ++tcp_got; });
+  b.set_datagram_handler([&](PacketPtr) { ++dg_got; });
+  for (const Protocol proto : {Protocol::kTcp, Protocol::kDatagram,
+                               Protocol::kTcp}) {
+    auto p = make_packet();
+    p->dst = b.id();
+    p->protocol = proto;
+    a.send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(tcp_got, 2);
+  EXPECT_EQ(dg_got, 1);
+  EXPECT_EQ(b.unclaimed(), 0u);
+}
+
+TEST(HostTest, SendStampsSourceAddress) {
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Host& b = net.add_host("b");
+  net.connect(a, b, LinkConfig{1e6, 1_ms, 10});
+  net.compute_routes();
+  NodeId seen_src = kNoNode;
+  b.set_datagram_handler([&](PacketPtr p) { seen_src = p->src; });
+  auto p = make_packet();
+  p->dst = b.id();
+  p->protocol = Protocol::kDatagram;
+  p->src = 999;  // bogus: Host::send must overwrite
+  a.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(seen_src, a.id());
+}
+
+TEST(RouterTest, UnroutablePacketsCountedAndDropped) {
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Router& r = net.add_router("r");
+  net.connect(a, r, LinkConfig{1e6, 1_ms, 10});
+  net.compute_routes();
+  auto p = make_packet();
+  p->dst = 777;  // nonexistent node
+  p->protocol = Protocol::kDatagram;
+  a.send(std::move(p));
+  sim.run();
+  EXPECT_EQ(r.unroutable(), 1u);
+}
+
+TEST(NetworkTest, NodeIdsAreDenseAndNamed) {
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("alpha");
+  Router& r = net.add_router("router");
+  Host& b = net.add_host("beta");
+  EXPECT_EQ(a.id(), 0u);
+  EXPECT_EQ(r.id(), 1u);
+  EXPECT_EQ(b.id(), 2u);
+  EXPECT_EQ(net.node_count(), 3u);
+  EXPECT_EQ(net.node(1)->name(), "router");
+  EXPECT_EQ(net.node(99), nullptr);
+}
+
+TEST(NetworkTest, RoutesThroughMultiRouterChain) {
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Router& r1 = net.add_router("r1");
+  Router& r2 = net.add_router("r2");
+  Router& r3 = net.add_router("r3");
+  Host& b = net.add_host("b");
+  const LinkConfig lc{1e6, 1_ms, 10};
+  net.connect(a, r1, lc);
+  net.connect(r1, r2, lc);
+  net.connect(r2, r3, lc);
+  net.connect(r3, b, lc);
+  net.compute_routes();
+  bool got = false;
+  b.set_datagram_handler([&](PacketPtr) { got = true; });
+  auto p = make_packet();
+  p->dst = b.id();
+  p->protocol = Protocol::kDatagram;
+  a.send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(got);
+  EXPECT_EQ(r1.unroutable() + r2.unroutable() + r3.unroutable(), 0u);
+}
+
+TEST(NetworkTest, BranchingTopologyPicksShortestPath) {
+  // a - r1 - r2 - b  and a longer spur r1 - r3 - r4 - r2: BFS must use
+  // the two-hop branch.
+  sim::Simulator sim;
+  Network net(sim);
+  Host& a = net.add_host("a");
+  Router& r1 = net.add_router("r1");
+  Router& r2 = net.add_router("r2");
+  Router& r3 = net.add_router("r3");
+  Router& r4 = net.add_router("r4");
+  Host& b = net.add_host("b");
+  const LinkConfig lc{1e6, 1_ms, 10};
+  net.connect(a, r1, lc);
+  auto direct = net.connect(r1, r2, lc);
+  net.connect(r1, r3, lc);
+  net.connect(r3, r4, lc);
+  net.connect(r4, r2, lc);
+  net.connect(r2, b, lc);
+  net.compute_routes();
+  EXPECT_EQ(r1.route(b.id()), direct.forward);
+}
+
+}  // namespace
+}  // namespace vegas::net

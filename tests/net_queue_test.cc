@@ -1,0 +1,140 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+#include "net/red.h"
+
+namespace vegas::net {
+namespace {
+
+PacketPtr data_packet(ByteCount payload = 1024) {
+  auto p = make_packet();
+  p->payload_bytes = payload;
+  return p;
+}
+
+TEST(DropTailTest, AcceptsUpToCapacity) {
+  DropTailQueue q(3);
+  for (int i = 0; i < 3; ++i) {
+    auto p = data_packet();
+    EXPECT_TRUE(q.enqueue(p, sim::Time::zero()));
+  }
+  auto p = data_packet();
+  EXPECT_FALSE(q.enqueue(p, sim::Time::zero()));  // tail drop
+  EXPECT_EQ(q.packets(), 3u);
+}
+
+TEST(DropTailTest, FifoOrder) {
+  DropTailQueue q(10);
+  std::vector<std::uint64_t> uids;
+  for (int i = 0; i < 5; ++i) {
+    auto p = data_packet();
+    uids.push_back(p->uid);
+    ASSERT_TRUE(q.enqueue(p, sim::Time::zero()));
+  }
+  for (int i = 0; i < 5; ++i) {
+    auto p = q.dequeue(sim::Time::zero());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->uid, uids[static_cast<size_t>(i)]);
+  }
+  EXPECT_EQ(q.dequeue(sim::Time::zero()), nullptr);
+}
+
+TEST(DropTailTest, ByteAccounting) {
+  DropTailQueue q(10);
+  auto a = data_packet(1000);
+  auto b = data_packet(500);
+  const ByteCount wire_a = a->wire_bytes();
+  const ByteCount wire_b = b->wire_bytes();
+  q.enqueue(a, sim::Time::zero());
+  q.enqueue(b, sim::Time::zero());
+  EXPECT_EQ(q.bytes(), wire_a + wire_b);
+  q.dequeue(sim::Time::zero());
+  EXPECT_EQ(q.bytes(), wire_b);
+  q.dequeue(sim::Time::zero());
+  EXPECT_EQ(q.bytes(), 0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(DropTailTest, DroppedPacketNotStored) {
+  DropTailQueue q(1);
+  auto a = data_packet();
+  ASSERT_TRUE(q.enqueue(a, sim::Time::zero()));
+  auto b = data_packet();
+  ASSERT_FALSE(q.enqueue(b, sim::Time::zero()));
+  EXPECT_NE(b, nullptr);  // caller still owns the rejected packet
+  EXPECT_EQ(q.packets(), 1u);
+}
+
+TEST(RedTest, NoDropsWhenBelowMinThreshold) {
+  RedConfig cfg;
+  cfg.capacity_packets = 30;
+  cfg.min_thresh = 10;
+  cfg.max_thresh = 25;
+  RedQueue q(cfg);
+  // Keep instantaneous and average queue below min_thresh.
+  for (int round = 0; round < 100; ++round) {
+    auto p = data_packet();
+    EXPECT_TRUE(q.enqueue(p, sim::Time::milliseconds(round)));
+    auto out = q.dequeue(sim::Time::milliseconds(round));
+    EXPECT_NE(out, nullptr);
+  }
+}
+
+TEST(RedTest, AlwaysDropsAtHardCapacity) {
+  RedConfig cfg;
+  cfg.capacity_packets = 5;
+  cfg.min_thresh = 1;
+  cfg.max_thresh = 5;
+  RedQueue q(cfg);
+  int accepted = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto p = data_packet();
+    if (q.enqueue(p, sim::Time::zero())) ++accepted;
+  }
+  EXPECT_LE(accepted, 5);
+}
+
+TEST(RedTest, ProbabilisticDropsBetweenThresholds) {
+  RedConfig cfg;
+  cfg.capacity_packets = 100;
+  cfg.min_thresh = 2;
+  cfg.max_thresh = 50;
+  cfg.max_drop_prob = 0.5;
+  cfg.weight = 0.5;  // fast-moving average for the test
+  RedQueue q(cfg);
+  int dropped = 0;
+  for (int i = 0; i < 400; ++i) {
+    auto p = data_packet();
+    if (!q.enqueue(p, sim::Time::zero())) ++dropped;
+    if (q.packets() > 20) q.dequeue(sim::Time::zero());  // hold mid-level
+  }
+  EXPECT_GT(dropped, 0);       // some early drops happened
+  EXPECT_LT(dropped, 400);     // but not everything
+  EXPECT_GT(q.average_queue(), 0.0);
+}
+
+
+TEST(RedTest, AverageTracksSustainedOccupancy) {
+  RedConfig cfg;
+  cfg.capacity_packets = 50;
+  cfg.min_thresh = 20;
+  cfg.max_thresh = 45;
+  cfg.weight = 0.2;
+  RedQueue q(cfg);
+  // Hold the queue at ~10 packets for many operations: the EWMA must
+  // settle near 10, well below min_thresh (so nothing drops).
+  for (int i = 0; i < 10; ++i) {
+    auto p = data_packet();
+    ASSERT_TRUE(q.enqueue(p, sim::Time::zero()));
+  }
+  for (int i = 0; i < 200; ++i) {
+    auto p = data_packet();
+    ASSERT_TRUE(q.enqueue(p, sim::Time::milliseconds(i)));
+    ASSERT_NE(q.dequeue(sim::Time::milliseconds(i)), nullptr);
+  }
+  EXPECT_NEAR(q.average_queue(), 10.0, 1.5);
+}
+
+}  // namespace
+}  // namespace vegas::net

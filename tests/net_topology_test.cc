@@ -1,0 +1,175 @@
+#include "net/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace vegas::net {
+namespace {
+
+using namespace sim::literals;
+
+TEST(DumbbellTest, BuildsPaperConfiguration) {
+  sim::Simulator sim;
+  auto d = build_dumbbell(sim, DumbbellConfig{});
+  EXPECT_EQ(d->left.size(), 3u);
+  EXPECT_EQ(d->right.size(), 3u);
+  ASSERT_NE(d->bottleneck_fwd, nullptr);
+  EXPECT_DOUBLE_EQ(d->bottleneck_fwd->config().bandwidth_Bps, 200.0 * 1024);
+  EXPECT_EQ(d->bottleneck_fwd->config().prop_delay, 30_ms);
+  EXPECT_EQ(d->net.node_count(), 8u);  // 6 hosts + 2 routers
+}
+
+TEST(DumbbellTest, PacketsRouteAcross) {
+  sim::Simulator sim;
+  auto d = build_dumbbell(sim, DumbbellConfig{});
+  ByteCount got = 0;
+  d->right[0]->set_datagram_handler([&](PacketPtr p) {
+    got += p->payload_bytes;
+  });
+  auto p = make_packet();
+  p->protocol = Protocol::kDatagram;
+  p->dst = d->right[0]->id();
+  p->payload_bytes = 777;
+  d->left[0]->send(std::move(p));
+  sim.run();
+  EXPECT_EQ(got, 777);
+  EXPECT_EQ(d->r1->unroutable(), 0u);
+  EXPECT_EQ(d->r2->unroutable(), 0u);
+}
+
+TEST(DumbbellTest, ReverseDirectionRoutes) {
+  sim::Simulator sim;
+  auto d = build_dumbbell(sim, DumbbellConfig{});
+  bool got = false;
+  d->left[2]->set_datagram_handler([&](PacketPtr) { got = true; });
+  auto p = make_packet();
+  p->protocol = Protocol::kDatagram;
+  p->dst = d->left[2]->id();
+  p->payload_bytes = 10;
+  d->right[1]->send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(DumbbellTest, BottleneckEndToEndLatency) {
+  sim::Simulator sim;
+  auto d = build_dumbbell(sim, DumbbellConfig{});
+  sim::Time arrival;
+  d->right[0]->set_datagram_handler([&](PacketPtr) { arrival = sim.now(); });
+  auto p = make_packet();
+  p->protocol = Protocol::kDatagram;
+  p->dst = d->right[0]->id();
+  p->payload_bytes = 1024 - 28;
+  p->header_bytes = 28;
+  d->left[0]->send(std::move(p));
+  sim.run();
+  // access (0.5 ms prop + ~0.8 ms tx) + bottleneck (30 ms + 5 ms tx) +
+  // access again: roughly 37-38 ms.
+  EXPECT_GT(arrival, 35_ms);
+  EXPECT_LT(arrival, 40_ms);
+}
+
+TEST(DumbbellTest, ExtraDelaySecondHalf) {
+  sim::Simulator sim;
+  DumbbellConfig cfg;
+  cfg.pairs = 4;
+  cfg.extra_delay_second_half = 50_ms;
+  auto d = build_dumbbell(sim, cfg);
+  EXPECT_EQ(d->left_access[0].forward->config().prop_delay, 500_us);
+  EXPECT_EQ(d->left_access[3].forward->config().prop_delay, 500_us + 50_ms);
+}
+
+TEST(WanChainTest, BuildsSeventeenHops) {
+  sim::Simulator sim;
+  auto w = build_wan_chain(sim, WanChainConfig{});
+  EXPECT_EQ(w->routers.size(), 16u);  // 17 hops
+  ASSERT_NE(w->narrow_fwd, nullptr);
+  EXPECT_DOUBLE_EQ(w->narrow_fwd->config().bandwidth_Bps, 230.0 * 1024);
+  EXPECT_FALSE(w->cross.empty());
+}
+
+TEST(WanChainTest, EndToEndRouting) {
+  sim::Simulator sim;
+  auto w = build_wan_chain(sim, WanChainConfig{});
+  ByteCount got = 0;
+  w->dst->set_datagram_handler([&](PacketPtr p) { got += p->payload_bytes; });
+  for (int i = 0; i < 3; ++i) {
+    auto p = make_packet();
+    p->protocol = Protocol::kDatagram;
+    p->dst = w->dst->id();
+    p->payload_bytes = 100;
+    w->src->send(std::move(p));
+  }
+  sim.run();
+  EXPECT_EQ(got, 300);
+  for (auto* r : w->routers) EXPECT_EQ(r->unroutable(), 0u);
+}
+
+TEST(WanChainTest, CrossPairsRoute) {
+  sim::Simulator sim;
+  auto w = build_wan_chain(sim, WanChainConfig{});
+  ASSERT_FALSE(w->cross.empty());
+  auto& pair = w->cross.front();
+  bool got = false;
+  pair.b->set_datagram_handler([&](PacketPtr) { got = true; });
+  auto p = make_packet();
+  p->protocol = Protocol::kDatagram;
+  p->dst = pair.b->id();
+  p->payload_bytes = 64;
+  pair.a->send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+TEST(WanChainTest, DeterministicForSeed) {
+  sim::Simulator s1, s2;
+  WanChainConfig cfg;
+  cfg.seed = 99;
+  auto a = build_wan_chain(s1, cfg);
+  auto b = build_wan_chain(s2, cfg);
+  ASSERT_EQ(a->net.links().size(), b->net.links().size());
+  for (std::size_t i = 0; i < a->net.links().size(); ++i) {
+    EXPECT_EQ(a->net.links()[i]->config().prop_delay,
+              b->net.links()[i]->config().prop_delay);
+  }
+}
+
+
+TEST(ParkingLotTest, BuildsAndRoutesEndToEnd) {
+  sim::Simulator sim;
+  ParkingLotConfig cfg;
+  cfg.segments = 3;
+  auto lot = build_parking_lot(sim, cfg);
+  ASSERT_EQ(lot->routers.size(), 4u);
+  ASSERT_EQ(lot->cross.size(), 3u);
+  ByteCount got = 0;
+  lot->long_dst->set_datagram_handler(
+      [&](PacketPtr p) { got += p->payload_bytes; });
+  auto p = make_packet();
+  p->protocol = Protocol::kDatagram;
+  p->dst = lot->long_dst->id();
+  p->payload_bytes = 123;
+  lot->long_src->send(std::move(p));
+  sim.run();
+  EXPECT_EQ(got, 123);
+  for (auto* r : lot->routers) EXPECT_EQ(r->unroutable(), 0u);
+}
+
+TEST(ParkingLotTest, CrossFlowsSpanExactlyOneSegment) {
+  sim::Simulator sim;
+  auto lot = build_parking_lot(sim, ParkingLotConfig{});
+  // Cross flow 1 (XSrc1 at R1 -> XDst1 at R2) must not traverse R0->R1.
+  bool got = false;
+  lot->cross[1].dst->set_datagram_handler([&](PacketPtr) { got = true; });
+  auto p = make_packet();
+  p->protocol = Protocol::kDatagram;
+  p->dst = lot->cross[1].dst->id();
+  p->payload_bytes = 10;
+  lot->cross[1].src->send(std::move(p));
+  sim.run();
+  EXPECT_TRUE(got);
+}
+
+}  // namespace
+}  // namespace vegas::net

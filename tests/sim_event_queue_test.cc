@@ -1,0 +1,105 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vegas::sim {
+namespace {
+
+using namespace literals;
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.next_time().has_value());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3_ms, [&] { order.push_back(3); });
+  q.schedule(1_ms, [&] { order.push_back(1); });
+  q.schedule(2_ms, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, SameTimeFiresInScheduleOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(1_ms, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().action();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.schedule(1_ms, [&] { fired = true; });
+  EXPECT_TRUE(q.pending(id));
+  q.cancel(id);
+  EXPECT_FALSE(q.pending(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.next_time().has_value());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueueTest, CancelIsIdempotentAndSafeAfterFire) {
+  EventQueue q;
+  const EventId id = q.schedule(1_ms, [] {});
+  q.pop().action();
+  EXPECT_TRUE(q.empty());
+  q.cancel(id);  // already fired: no-op
+  q.cancel(id);
+  q.cancel(kNoEvent);
+  EXPECT_TRUE(q.empty());
+  // A later schedule still works and size stays truthful.
+  q.schedule(2_ms, [] {});
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(1_ms, [&] { order.push_back(1); });
+  const EventId id = q.schedule(2_ms, [&] { order.push_back(2); });
+  q.schedule(3_ms, [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
+  EventQueue q;
+  const EventId id = q.schedule(1_ms, [] {});
+  q.schedule(5_ms, [] {});
+  q.cancel(id);
+  ASSERT_TRUE(q.next_time().has_value());
+  EXPECT_EQ(*q.next_time(), 5_ms);
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify nondecreasing pop order.
+  std::uint64_t x = 12345;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    q.schedule(Time::nanoseconds(static_cast<std::int64_t>(x % 1000000)),
+               [] {});
+  }
+  Time last = Time::zero();
+  while (!q.empty()) {
+    auto fired = q.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+}  // namespace
+}  // namespace vegas::sim

@@ -1,0 +1,67 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace vegas::sim {
+namespace {
+
+using namespace literals;
+
+TEST(TimeTest, ConstructionAndAccessors) {
+  EXPECT_EQ(Time::zero().ns(), 0);
+  EXPECT_EQ(Time::nanoseconds(5).ns(), 5);
+  EXPECT_EQ(Time::microseconds(3).ns(), 3000);
+  EXPECT_EQ(Time::milliseconds(2).ns(), 2'000'000);
+  EXPECT_EQ(Time::seconds(1.5).ns(), 1'500'000'000);
+  EXPECT_DOUBLE_EQ(Time::seconds(2.25).to_seconds(), 2.25);
+  EXPECT_DOUBLE_EQ(Time::milliseconds(250).to_ms(), 250.0);
+}
+
+TEST(TimeTest, Literals) {
+  EXPECT_EQ((500_ms).ns(), 500'000'000);
+  EXPECT_EQ((10_us).ns(), 10'000);
+  EXPECT_EQ((2_sec).ns(), 2'000'000'000);
+  EXPECT_EQ((0.5_sec).ns(), 500'000'000);
+}
+
+TEST(TimeTest, Comparisons) {
+  EXPECT_LT(1_ms, 2_ms);
+  EXPECT_LE(2_ms, 2_ms);
+  EXPECT_GT(1_sec, 999_ms);
+  EXPECT_EQ(1000_ms, 1_sec);
+  EXPECT_NE(1_ms, 1_us);
+}
+
+TEST(TimeTest, Arithmetic) {
+  EXPECT_EQ(1_ms + 2_ms, 3_ms);
+  EXPECT_EQ(5_ms - 2_ms, 3_ms);
+  Time t = 1_ms;
+  t += 1_ms;
+  EXPECT_EQ(t, 2_ms);
+  t -= 2_ms;
+  EXPECT_EQ(t, Time::zero());
+  EXPECT_EQ((3_ms) * 4, 12_ms);
+  EXPECT_EQ((12_ms) / 4, 3_ms);
+  EXPECT_DOUBLE_EQ((10_ms) / (2_ms), 5.0);
+  EXPECT_EQ((10_ms).scaled(0.5), 5_ms);
+}
+
+TEST(TimeTest, NegativeDurations) {
+  const Time neg = 1_ms - 2_ms;
+  EXPECT_LT(neg, Time::zero());
+  EXPECT_EQ(neg + 2_ms, 1_ms);
+}
+
+TEST(TimeTest, TransmissionTime) {
+  // 1 KB at 200 KB/s (the paper's bottleneck): 5 ms per segment.
+  const Time t = transmission_time(1024, 200.0 * 1024);
+  EXPECT_EQ(t, 5_ms);
+  EXPECT_EQ(transmission_time(0, 1000.0), Time::zero());
+}
+
+TEST(TimeTest, MaxIsHuge) {
+  EXPECT_GT(Time::max(), Time::seconds(1e9));
+}
+
+}  // namespace
+}  // namespace vegas::sim

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "stats/fairness.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace vegas::stats {
+namespace {
+
+TEST(RunningTest, EmptyIsZero) {
+  Running r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.ci95(), 0.0);
+}
+
+TEST(RunningTest, MeanAndVariance) {
+  Running r;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(x);
+  EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+  EXPECT_NEAR(r.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(r.min(), 2.0);
+  EXPECT_DOUBLE_EQ(r.max(), 9.0);
+  EXPECT_GT(r.ci95(), 0.0);
+}
+
+TEST(RunningTest, SingleValue) {
+  Running r;
+  r.add(3.5);
+  EXPECT_DOUBLE_EQ(r.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(r.min(), 3.5);
+  EXPECT_DOUBLE_EQ(r.max(), 3.5);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+}
+
+TEST(FairnessTest, EqualSharesArePerfectlyFair) {
+  const std::array<double, 4> x{10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(jain_fairness(x), 1.0);
+}
+
+TEST(FairnessTest, SingleHogIsMinimallyFair) {
+  const std::array<double, 4> x{40, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(x), 0.25);  // 1/n
+}
+
+TEST(FairnessTest, IntermediateCase) {
+  const std::array<double, 2> x{1, 3};
+  // (1+3)^2 / (2*(1+9)) = 16/20 = 0.8
+  EXPECT_DOUBLE_EQ(jain_fairness(x), 0.8);
+}
+
+TEST(FairnessTest, BoundsHold) {
+  const std::array<double, 5> x{1, 2, 3, 4, 100};
+  const double j = jain_fairness(x);
+  EXPECT_GE(j, 1.0 / 5.0);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(FairnessTest, DegenerateInputs) {
+  const std::vector<double> empty;
+  EXPECT_DOUBLE_EQ(jain_fairness(empty), 1.0);
+  const std::array<double, 3> zeros{0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_fairness(zeros), 1.0);
+}
+
+TEST(FairnessTest, ScaleInvariant) {
+  const std::array<double, 3> a{1, 2, 3};
+  const std::array<double, 3> b{10, 20, 30};
+  EXPECT_DOUBLE_EQ(jain_fairness(a), jain_fairness(b));
+}
+
+TEST(HistogramTest, BinningAndOverflow) {
+  Histogram h(0, 10, 5);
+  h.add(-1);          // underflow
+  h.add(0);           // bin 0
+  h.add(1.9);         // bin 0
+  h.add(5.0);         // bin 2
+  h.add(9.99);        // bin 4
+  h.add(10.0);        // overflow (hi-exclusive)
+  h.add(100);         // overflow
+  EXPECT_EQ(h.total(), 7u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.counts()[0], 2u);
+  EXPECT_EQ(h.counts()[2], 1u);
+  EXPECT_EQ(h.counts()[4], 1u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(2), 6.0);
+}
+
+TEST(HistogramTest, RenderProducesBars) {
+  Histogram h(0, 4, 2);
+  for (int i = 0; i < 8; ++i) h.add(1.0);
+  h.add(3.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vegas::stats

@@ -1,0 +1,143 @@
+#include "tcp/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace vegas::tcp {
+namespace {
+
+TEST(SendBufferTest, WriteUpToCapacity) {
+  SendBuffer b(100);
+  EXPECT_EQ(b.write(60), 60);
+  EXPECT_EQ(b.space(), 40);
+  EXPECT_EQ(b.write(60), 40);  // truncated
+  EXPECT_EQ(b.space(), 0);
+  EXPECT_EQ(b.write(10), 0);
+  EXPECT_EQ(b.stream_end(), 100);
+}
+
+TEST(SendBufferTest, AckFreesSpace) {
+  SendBuffer b(100);
+  b.write(100);
+  b.ack_to(30);
+  EXPECT_EQ(b.una(), 30);
+  EXPECT_EQ(b.space(), 30);
+  EXPECT_EQ(b.unacked(), 70);
+  b.ack_to(30);  // duplicate ack position: no change
+  EXPECT_EQ(b.space(), 30);
+  b.ack_to(20);  // regression ignored
+  EXPECT_EQ(b.una(), 30);
+}
+
+TEST(SendBufferTest, AvailableFrom) {
+  SendBuffer b(100);
+  b.write(50);
+  EXPECT_EQ(b.available_from(0), 50);
+  EXPECT_EQ(b.available_from(20), 30);
+  EXPECT_EQ(b.available_from(50), 0);
+  EXPECT_EQ(b.available_from(60), 0);
+}
+
+TEST(ReassemblyTest, InOrderDelivery) {
+  ReassemblyBuffer r(1000);
+  auto a = r.on_segment(0, 100);
+  EXPECT_EQ(a.delivered, 100);
+  EXPECT_FALSE(a.duplicate);
+  EXPECT_FALSE(a.out_of_order);
+  EXPECT_EQ(r.rcv_nxt(), 100);
+  EXPECT_EQ(r.advertised_window(), 1000);
+}
+
+TEST(ReassemblyTest, DuplicateSegment) {
+  ReassemblyBuffer r(1000);
+  r.on_segment(0, 100);
+  auto a = r.on_segment(0, 100);
+  EXPECT_TRUE(a.duplicate);
+  EXPECT_EQ(a.delivered, 0);
+  EXPECT_EQ(r.rcv_nxt(), 100);
+}
+
+TEST(ReassemblyTest, PartialOverlapDeliversTail) {
+  ReassemblyBuffer r(1000);
+  r.on_segment(0, 100);
+  auto a = r.on_segment(50, 100);  // [50,150): first half old
+  EXPECT_EQ(a.delivered, 50);
+  EXPECT_EQ(r.rcv_nxt(), 150);
+}
+
+TEST(ReassemblyTest, OutOfOrderParksBytes) {
+  ReassemblyBuffer r(1000);
+  auto a = r.on_segment(100, 100);
+  EXPECT_TRUE(a.out_of_order);
+  EXPECT_EQ(a.delivered, 0);
+  EXPECT_EQ(r.rcv_nxt(), 0);
+  EXPECT_EQ(r.buffered(), 100);
+  // BSD semantics: reassembly-queue data does not shrink the window.
+  EXPECT_EQ(r.advertised_window(), 1000);
+  EXPECT_EQ(r.hole_count(), 1u);
+}
+
+TEST(ReassemblyTest, HoleFillDrainsParked) {
+  ReassemblyBuffer r(1000);
+  r.on_segment(100, 100);
+  r.on_segment(300, 100);
+  EXPECT_EQ(r.hole_count(), 2u);
+  auto a = r.on_segment(0, 100);  // fills first hole
+  EXPECT_EQ(a.delivered, 200);    // [0,100) + parked [100,200)
+  EXPECT_EQ(r.rcv_nxt(), 200);
+  EXPECT_EQ(r.hole_count(), 1u);
+  auto b = r.on_segment(200, 100);
+  EXPECT_EQ(b.delivered, 200);
+  EXPECT_EQ(r.rcv_nxt(), 400);
+  EXPECT_EQ(r.buffered(), 0);
+  EXPECT_EQ(r.advertised_window(), 1000);
+}
+
+TEST(ReassemblyTest, AdjacentOutOfOrderMerge) {
+  ReassemblyBuffer r(1000);
+  r.on_segment(100, 50);
+  r.on_segment(150, 50);  // abuts previous
+  EXPECT_EQ(r.hole_count(), 1u);
+  EXPECT_EQ(r.buffered(), 100);
+}
+
+TEST(ReassemblyTest, OverlappingOutOfOrderMerge) {
+  ReassemblyBuffer r(1000);
+  r.on_segment(100, 100);
+  r.on_segment(150, 100);  // overlaps [150,200)
+  EXPECT_EQ(r.hole_count(), 1u);
+  EXPECT_EQ(r.buffered(), 150);
+  r.on_segment(50, 300);  // swallows everything parked
+  EXPECT_EQ(r.hole_count(), 1u);
+  EXPECT_EQ(r.buffered(), 300);
+  r.on_segment(0, 50);
+  EXPECT_EQ(r.rcv_nxt(), 350);
+  EXPECT_EQ(r.buffered(), 0);
+}
+
+TEST(ReassemblyTest, RetransmitCoveringEverything) {
+  // Go-back-N retransmission overlapping parked data must not
+  // double-count.
+  ReassemblyBuffer r(1000);
+  r.on_segment(100, 100);  // parked
+  auto a = r.on_segment(0, 300);
+  EXPECT_EQ(a.delivered, 300);
+  EXPECT_EQ(r.rcv_nxt(), 300);
+  EXPECT_EQ(r.buffered(), 0);
+}
+
+TEST(ReassemblyTest, ZeroLengthSegmentIsNoop) {
+  ReassemblyBuffer r(1000);
+  auto a = r.on_segment(0, 0);
+  EXPECT_TRUE(a.duplicate);  // nothing new
+  EXPECT_EQ(r.rcv_nxt(), 0);
+}
+
+TEST(ReassemblyTest, WindowIsConstantCapacity) {
+  ReassemblyBuffer r(100);
+  EXPECT_EQ(r.advertised_window(), 100);
+  r.on_segment(50, 200);  // parked out-of-order
+  EXPECT_EQ(r.advertised_window(), 100);  // BSD: unchanged
+}
+
+}  // namespace
+}  // namespace vegas::tcp

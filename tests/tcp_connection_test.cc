@@ -1,0 +1,345 @@
+// Connection-level tests: handshake, teardown, resets, demux — the
+// plumbing underneath every experiment.
+#include "tcp/connection.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "exp/world.h"
+#include "net/loss.h"
+#include "tcp/stack.h"
+
+namespace vegas::tcp {
+namespace {
+
+using namespace sim::literals;
+
+struct Fixture {
+  Fixture(std::size_t queue = 20, int pairs = 1)
+      : world([&] {
+          net::DumbbellConfig cfg;
+          cfg.pairs = pairs;
+          cfg.bottleneck_queue = queue;
+          return cfg;
+        }(), TcpConfig{}, 3) {}
+  exp::DumbbellWorld world;
+};
+
+TEST(ConnectionTest, HandshakeEstablishesBothSides) {
+  Fixture f;
+  Connection* server_conn = nullptr;
+  f.world.right(0).listen(5001, [&](Connection& c) { server_conn = &c; });
+  bool established = false;
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  Connection::Callbacks cbs;
+  cbs.on_established = [&] { established = true; };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(5_sec);
+  EXPECT_TRUE(established);
+  EXPECT_EQ(client.state(), TcpState::kEstablished);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->state(), TcpState::kEstablished);
+  EXPECT_EQ(server_conn->remote_port(), client.local_port());
+}
+
+TEST(ConnectionTest, SynLossIsRetried) {
+  Fixture f;
+  // Drop the first data-less packet (the SYN) on the forward path.
+  // NthPacketLoss skips pure ACKs, so drop via Bernoulli burst instead:
+  // a deterministic one-shot loss model for the very first packet.
+  class FirstPacketLoss : public net::LossModel {
+   public:
+    bool drop(const net::Packet&) override {
+      if (first_) {
+        first_ = false;
+        return true;
+      }
+      return false;
+    }
+   private:
+    bool first_ = true;
+  };
+  f.world.topo().bottleneck_fwd->set_loss_model(
+      std::make_unique<FirstPacketLoss>());
+
+  f.world.right(0).listen(5001, [](Connection&) {});
+  bool established = false;
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  Connection::Callbacks cbs;
+  cbs.on_established = [&] { established = true; };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(30_sec);  // handshake retry is seconds away
+  EXPECT_TRUE(established);
+}
+
+TEST(ConnectionTest, SynAckLossIsRetried) {
+  Fixture f;
+  class FirstPacketLoss : public net::LossModel {
+   public:
+    bool drop(const net::Packet&) override {
+      if (first_) {
+        first_ = false;
+        return true;
+      }
+      return false;
+    }
+   private:
+    bool first_ = true;
+  };
+  f.world.topo().bottleneck_rev->set_loss_model(
+      std::make_unique<FirstPacketLoss>());
+  f.world.right(0).listen(5001, [](Connection&) {});
+  bool established = false;
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  Connection::Callbacks cbs;
+  cbs.on_established = [&] { established = true; };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(60_sec);
+  EXPECT_TRUE(established);
+}
+
+TEST(ConnectionTest, GracefulCloseBothDirections) {
+  Fixture f;
+  Connection* server_conn = nullptr;
+  bool server_saw_close = false, server_closed = false;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    server_conn = &c;
+    Connection::Callbacks cbs;
+    cbs.on_remote_close = [&, pc = &c] {
+      server_saw_close = true;
+      pc->close();
+    };
+    cbs.on_closed = [&] { server_closed = true; };
+    c.set_callbacks(std::move(cbs));
+  });
+
+  bool client_closed = false;
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  Connection::Callbacks cbs;
+  cbs.on_established = [&client] {
+    client.send(5000);
+    client.close();
+  };
+  cbs.on_closed = [&] { client_closed = true; };
+  client.set_callbacks(std::move(cbs));
+
+  f.world.sim().run_until(30_sec);
+  EXPECT_TRUE(server_saw_close);
+  EXPECT_TRUE(server_closed);
+  EXPECT_TRUE(client_closed);
+  EXPECT_EQ(f.world.left(0).live_connections(), 0u);
+  EXPECT_EQ(f.world.right(0).live_connections(), 0u);
+}
+
+TEST(ConnectionTest, DataFlowsBothDirections) {
+  Fixture f;
+  ByteCount client_got = 0, server_got = 0;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    Connection::Callbacks cbs;
+    cbs.on_data = [&, pc = &c](ByteCount n) {
+      server_got += n;
+      pc->send(n);  // echo the same byte count back
+    };
+    c.set_callbacks(std::move(cbs));
+  });
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  Connection::Callbacks cbs;
+  cbs.on_established = [&client] { client.send(30 * 1024); };
+  cbs.on_data = [&](ByteCount n) { client_got += n; };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(60_sec);
+  EXPECT_EQ(server_got, 30 * 1024);
+  EXPECT_EQ(client_got, 30 * 1024);
+}
+
+TEST(ConnectionTest, MultipleConnectionsBetweenSameHosts) {
+  Fixture f;
+  int accepted = 0;
+  ByteCount total = 0;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    ++accepted;
+    Connection::Callbacks cbs;
+    cbs.on_data = [&](ByteCount n) { total += n; };
+    c.set_callbacks(std::move(cbs));
+  });
+  for (int i = 0; i < 5; ++i) {
+    auto& c = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+    Connection::Callbacks cbs;
+    cbs.on_established = [&c] { c.send(1000); };
+    c.set_callbacks(std::move(cbs));
+  }
+  f.world.sim().run_until(30_sec);
+  EXPECT_EQ(accepted, 5);
+  EXPECT_EQ(total, 5000);
+  EXPECT_EQ(f.world.left(0).live_connections(), 5u);  // nobody closed
+}
+
+TEST(ConnectionTest, EphemeralPortsAreDistinct) {
+  Fixture f;
+  f.world.right(0).listen(5001, [](Connection&) {});
+  auto& a = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  auto& b = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  auto& c = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  EXPECT_NE(a.local_port(), b.local_port());
+  EXPECT_NE(b.local_port(), c.local_port());
+  EXPECT_NE(a.local_port(), c.local_port());
+}
+
+TEST(ConnectionTest, AbortSendsRst) {
+  Fixture f;
+  Connection* server_conn = nullptr;
+  bool server_reset = false;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    server_conn = &c;
+    Connection::Callbacks cbs;
+    cbs.on_reset = [&] { server_reset = true; };
+    c.set_callbacks(std::move(cbs));
+  });
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  Connection::Callbacks cbs;
+  cbs.on_established = [&client] { client.abort(); };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(10_sec);
+  EXPECT_TRUE(server_reset);
+  EXPECT_EQ(f.world.right(0).live_connections(), 0u);
+}
+
+TEST(ConnectionTest, StatesProgressThroughTeardown) {
+  Fixture f;
+  Connection* server_conn = nullptr;
+  f.world.right(0).listen(5001, [&](Connection& c) { server_conn = &c; });
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  f.world.sim().run_until(2_sec);
+  ASSERT_EQ(client.state(), TcpState::kEstablished);
+
+  client.close();  // our side only
+  f.world.sim().run_until(4_sec);
+  // Client FIN acked, remote still open: FIN_WAIT_2.  Server saw the
+  // FIN, has not closed: CLOSE_WAIT.
+  EXPECT_EQ(client.state(), TcpState::kFinWait2);
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_EQ(server_conn->state(), TcpState::kCloseWait);
+
+  server_conn->close();
+  f.world.sim().run_until(8_sec);
+  EXPECT_EQ(client.state(), TcpState::kClosed);
+}
+
+TEST(ConnectionTest, StateNamesAreHuman) {
+  EXPECT_STREQ(to_string(TcpState::kEstablished), "ESTABLISHED");
+  EXPECT_STREQ(to_string(TcpState::kFinWait1), "FIN_WAIT_1");
+  EXPECT_STREQ(to_string(TcpState::kClosed), "CLOSED");
+}
+
+TEST(ConnectionTest, SendBeforeEstablishedIsBuffered) {
+  Fixture f;
+  ByteCount got = 0;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    Connection::Callbacks cbs;
+    cbs.on_data = [&](ByteCount n) { got += n; };
+    c.set_callbacks(std::move(cbs));
+  });
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  // Write immediately — before the SYN has even left.
+  EXPECT_EQ(client.send(2000), 2000);
+  f.world.sim().run_until(30_sec);
+  EXPECT_EQ(got, 2000);
+}
+
+TEST(ConnectionTest, DuplicatedSynDoesNotSpawnSecondConnection) {
+  // The SYN is retransmitted if unanswered; the listener must hand both
+  // to the SAME connection.
+  Fixture f;
+  class FirstPacketLoss : public net::LossModel {
+   public:
+    bool drop(const net::Packet&) override {
+      if (first_) {
+        first_ = false;
+        return true;
+      }
+      return false;
+    }
+   private:
+    bool first_ = true;
+  };
+  // Lose the first SYN|ACK so the client's SYN is retried while the
+  // server already has a connection in SYN_RCVD.
+  f.world.topo().bottleneck_rev->set_loss_model(
+      std::make_unique<FirstPacketLoss>());
+  int accepted = 0;
+  f.world.right(0).listen(5001, [&](Connection&) { ++accepted; });
+  f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  f.world.sim().run_until(60_sec);
+  EXPECT_EQ(accepted, 1);
+}
+
+
+TEST(ConnectionTest, SimultaneousBidirectionalBulkData) {
+  // Full-duplex stress: both sides push 100 KB on ONE connection, so
+  // every data segment also piggybacks the reverse stream's ACK.
+  Fixture f;
+  ByteCount client_got = 0, server_got = 0;
+  Connection* server_conn = nullptr;
+  ByteCount server_to_send = 100 * 1024;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    server_conn = &c;
+    Connection::Callbacks cbs;
+    cbs.on_data = [&](ByteCount n) { server_got += n; };
+    cbs.on_established = [&, pc = &c] {
+      server_to_send -= pc->send(server_to_send);
+    };
+    cbs.on_send_space = [&, pc = &c] {
+      server_to_send -= pc->send(server_to_send);
+    };
+    c.set_callbacks(std::move(cbs));
+  });
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  ByteCount client_to_send = 100 * 1024;
+  Connection::Callbacks cbs;
+  cbs.on_data = [&](ByteCount n) { client_got += n; };
+  cbs.on_established = [&] { client_to_send -= client.send(client_to_send); };
+  cbs.on_send_space = [&] { client_to_send -= client.send(client_to_send); };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(120_sec);
+  EXPECT_EQ(server_got, 100 * 1024);
+  EXPECT_EQ(client_got, 100 * 1024);
+  // Both directions ran their own congestion control.
+  ASSERT_NE(server_conn, nullptr);
+  EXPECT_GT(client.sender().stats().segments_sent, 100u);
+  EXPECT_GT(server_conn->sender().stats().segments_sent, 100u);
+}
+
+TEST(ConnectionTest, BidirectionalWithLossStillExact) {
+  Fixture f(10);
+  f.world.topo().bottleneck_fwd->set_loss_model(
+      std::make_unique<net::BernoulliLoss>(0.03, 7));
+  f.world.topo().bottleneck_rev->set_loss_model(
+      std::make_unique<net::BernoulliLoss>(0.03, 8));
+  ByteCount client_got = 0, server_got = 0;
+  ByteCount server_to_send = 60 * 1024;
+  f.world.right(0).listen(5001, [&](Connection& c) {
+    Connection::Callbacks cbs;
+    cbs.on_data = [&](ByteCount n) { server_got += n; };
+    cbs.on_established = [&, pc = &c] {
+      server_to_send -= pc->send(server_to_send);
+    };
+    cbs.on_send_space = [&, pc = &c] {
+      server_to_send -= pc->send(server_to_send);
+    };
+    c.set_callbacks(std::move(cbs));
+  });
+  auto& client = f.world.left(0).connect(f.world.right(0).node_id(), 5001);
+  ByteCount client_to_send = 60 * 1024;
+  Connection::Callbacks cbs;
+  cbs.on_data = [&](ByteCount n) { client_got += n; };
+  cbs.on_established = [&] { client_to_send -= client.send(client_to_send); };
+  cbs.on_send_space = [&] { client_to_send -= client.send(client_to_send); };
+  client.set_callbacks(std::move(cbs));
+  f.world.sim().run_until(sim::Time::seconds(600));
+  EXPECT_EQ(server_got, 60 * 1024);
+  EXPECT_EQ(client_got, 60 * 1024);
+}
+
+}  // namespace
+}  // namespace vegas::tcp

@@ -1,0 +1,118 @@
+#include "tcp/rtt.h"
+
+#include <gtest/gtest.h>
+
+namespace vegas::tcp {
+namespace {
+
+using namespace sim::literals;
+
+TEST(CoarseRttTest, InitialRtoBeforeSamples) {
+  CoarseRttEstimator e(2, 128, 6);
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto_ticks(), 6);
+}
+
+TEST(CoarseRttTest, FirstSampleSeedsEstimate) {
+  CoarseRttEstimator e(2, 128, 6);
+  e.sample(4);
+  EXPECT_TRUE(e.has_sample());
+  // srtt = 4 ticks, rttvar = 2 ticks (stored x4 = 8): rto = 4 + 8 = 12.
+  EXPECT_EQ(e.rto_ticks(), 12);
+}
+
+TEST(CoarseRttTest, ConvergesOnSteadyRtt) {
+  CoarseRttEstimator e(2, 128, 6);
+  for (int i = 0; i < 100; ++i) e.sample(3);
+  // Steady samples: srtt -> ~2 (BSD's m-1 bias), variance -> small; the
+  // RTO settles near the floor region.
+  EXPECT_LE(e.rto_ticks(), 6);
+  EXPECT_GE(e.rto_ticks(), 2);
+}
+
+TEST(CoarseRttTest, FloorAtMinRto) {
+  CoarseRttEstimator e(2, 128, 6);
+  for (int i = 0; i < 200; ++i) e.sample(1);
+  // Sub-tick RTTs settle at srtt~0 ticks with rttvar pinned at its
+  // 3-unit fixpoint: RTO = 3 ticks (1.5 s) — the >= 1 s coarse-timer cost
+  // §3.1 complains about.
+  EXPECT_LE(e.rto_ticks(), 3);
+  EXPECT_GE(e.rto_ticks(), 2);
+}
+
+TEST(CoarseRttTest, CapAtMaxRto) {
+  CoarseRttEstimator e(2, 16, 6);
+  for (int i = 0; i < 50; ++i) e.sample(100);
+  EXPECT_EQ(e.rto_ticks(), 16);
+}
+
+TEST(CoarseRttTest, VarianceGrowsWithJitter) {
+  CoarseRttEstimator stable(2, 128, 6), jittery(2, 128, 6);
+  for (int i = 0; i < 50; ++i) {
+    stable.sample(5);
+    jittery.sample(i % 2 == 0 ? 2 : 9);
+  }
+  EXPECT_GT(jittery.rto_ticks(), stable.rto_ticks());
+}
+
+TEST(CoarseRttTest, ResetForgets) {
+  CoarseRttEstimator e(2, 128, 6);
+  e.sample(10);
+  e.reset();
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_EQ(e.rto_ticks(), 6);
+}
+
+TEST(FineRttTest, LargeDefaultBeforeSamples) {
+  FineRttEstimator e(50_ms);
+  EXPECT_FALSE(e.has_sample());
+  EXPECT_GE(e.rto(), sim::Time::seconds(1.0));
+}
+
+TEST(FineRttTest, FirstSampleSeeds) {
+  FineRttEstimator e(50_ms);
+  e.sample(100_ms);
+  EXPECT_EQ(e.srtt(), 100_ms);
+  EXPECT_EQ(e.rttvar(), 50_ms);
+  EXPECT_EQ(e.rto(), 300_ms);  // srtt + 4*rttvar
+}
+
+TEST(FineRttTest, ConvergesToSteadyRtt) {
+  FineRttEstimator e(50_ms);
+  for (int i = 0; i < 200; ++i) e.sample(100_ms);
+  EXPECT_NEAR(e.srtt().to_ms(), 100.0, 1.0);
+  EXPECT_LT(e.rttvar().to_ms(), 2.0);
+  EXPECT_LT(e.rto(), 120_ms);
+}
+
+TEST(FineRttTest, FloorApplies) {
+  FineRttEstimator e(80_ms);
+  for (int i = 0; i < 200; ++i) e.sample(10_ms);
+  EXPECT_EQ(e.rto(), 80_ms);
+}
+
+TEST(FineRttTest, SpikesInflateRto) {
+  FineRttEstimator e(10_ms);
+  for (int i = 0; i < 50; ++i) e.sample(100_ms);
+  const sim::Time before = e.rto();
+  e.sample(400_ms);
+  EXPECT_GT(e.rto(), before);
+}
+
+TEST(FineRttTest, MuchFinerThanCoarse) {
+  // The paper's motivating comparison (§3.1): with ~100 ms RTTs, the
+  // coarse estimator cannot time out before 1 s (2 ticks), while the
+  // fine estimator's RTO lands in the few-hundred-ms range.
+  CoarseRttEstimator coarse(2, 128, 6);
+  FineRttEstimator fine(50_ms);
+  for (int i = 0; i < 30; ++i) {
+    coarse.sample(1);  // 100 ms reads as "1 tick" on a 500 ms clock
+    fine.sample(100_ms);
+  }
+  const double coarse_rto_ms = coarse.rto_ticks() * 500.0;
+  EXPECT_GE(coarse_rto_ms, 1000.0);
+  EXPECT_LT(fine.rto(), 300_ms);
+}
+
+}  // namespace
+}  // namespace vegas::tcp

@@ -1,0 +1,93 @@
+#include "tcp/seq.h"
+
+#include <gtest/gtest.h>
+
+namespace vegas::tcp {
+namespace {
+
+TEST(SeqTest, BasicComparisons) {
+  EXPECT_TRUE(seq_lt(1, 2));
+  EXPECT_FALSE(seq_lt(2, 1));
+  EXPECT_TRUE(seq_le(2, 2));
+  EXPECT_TRUE(seq_gt(3, 2));
+  EXPECT_TRUE(seq_ge(3, 3));
+}
+
+TEST(SeqTest, ComparisonsAcrossWrap) {
+  const Seq32 near_top = 0xfffffff0u;
+  const Seq32 wrapped = 0x00000010u;
+  EXPECT_TRUE(seq_lt(near_top, wrapped));   // wrapped is "after"
+  EXPECT_TRUE(seq_gt(wrapped, near_top));
+  EXPECT_FALSE(seq_lt(wrapped, near_top));
+}
+
+TEST(SeqTest, HalfSpaceBoundary) {
+  // Values exactly 2^31 apart are mutually "less than" (a-b == INT32_MIN
+  // both ways) — the inherent RFC 793 ambiguity.  Real windows are far
+  // smaller than 2^31, so the case never arises in protocol state; this
+  // test documents the convention.
+  EXPECT_TRUE(seq_lt(0, 0x80000000u));
+  EXPECT_TRUE(seq_lt(0x80000000u, 0));
+}
+
+TEST(SeqTest, WrapTruncates) {
+  EXPECT_EQ(wrap_seq(0), 0u);
+  EXPECT_EQ(wrap_seq(0x1'00000005), 5u);
+  EXPECT_EQ(wrap_seq(0xffffffff), 0xffffffffu);
+}
+
+TEST(SeqTest, UnwrapIdentityNearReference) {
+  EXPECT_EQ(unwrap_seq(100, 90), 100);
+  EXPECT_EQ(unwrap_seq(100, 120), 100);
+}
+
+TEST(SeqTest, UnwrapAcrossEpochUp) {
+  // Reference just crossed an epoch; wire value is slightly behind.
+  const StreamOffset ref = (StreamOffset{1} << 32) + 10;
+  EXPECT_EQ(unwrap_seq(0xfffffff0u, ref), 0xfffffff0);
+  // Wire value slightly ahead of the epoch boundary.
+  EXPECT_EQ(unwrap_seq(20u, ref), (StreamOffset{1} << 32) + 20);
+}
+
+TEST(SeqTest, UnwrapAcrossEpochDown) {
+  // Reference near the top of epoch 0; small wire values are epoch 1.
+  const StreamOffset ref = 0xffffffe0;
+  EXPECT_EQ(unwrap_seq(5u, ref), (StreamOffset{1} << 32) + 5);
+}
+
+TEST(SeqTest, UnwrapExactReference) {
+  for (StreamOffset ref : {StreamOffset{0}, StreamOffset{1} << 32,
+                           (StreamOffset{7} << 32) + 12345}) {
+    EXPECT_EQ(unwrap_seq(wrap_seq(ref), ref), ref);
+  }
+}
+
+// Property sweep: unwrap(wrap(v), ref) == v whenever |v - ref| < 2^31.
+class UnwrapRoundTrip
+    : public ::testing::TestWithParam<std::pair<StreamOffset, std::int64_t>> {
+};
+
+TEST_P(UnwrapRoundTrip, RoundTripsWithinHalfSpace) {
+  const auto [ref, delta] = GetParam();
+  const StreamOffset v = ref + delta;
+  if (v < 0) GTEST_SKIP();
+  EXPECT_EQ(unwrap_seq(wrap_seq(v), ref), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnwrapRoundTrip,
+    ::testing::Values(
+        std::pair<StreamOffset, std::int64_t>{1000, 500},
+        std::pair<StreamOffset, std::int64_t>{1000, -500},
+        std::pair<StreamOffset, std::int64_t>{0xffffff00, 0x200},
+        std::pair<StreamOffset, std::int64_t>{0xffffff00, -0x200},
+        std::pair<StreamOffset, std::int64_t>{(StreamOffset{1} << 32), 65536},
+        std::pair<StreamOffset, std::int64_t>{(StreamOffset{1} << 32), -65536},
+        std::pair<StreamOffset, std::int64_t>{(StreamOffset{5} << 32) + 777,
+                                              (1 << 30)},
+        std::pair<StreamOffset, std::int64_t>{(StreamOffset{5} << 32) + 777,
+                                              -(1 << 30)},
+        std::pair<StreamOffset, std::int64_t>{123, 0}));
+
+}  // namespace
+}  // namespace vegas::tcp

@@ -1,0 +1,112 @@
+// Tests for the support utilities behind the CLI: the JSON writer, the
+// flag parser, and the queue-monitor averaging they report.
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "net/monitor.h"
+#include "tools/flags.h"
+
+namespace vegas {
+namespace {
+
+using namespace sim::literals;
+
+TEST(JsonWriterTest, FlatObject) {
+  json::Writer w;
+  w.begin_object();
+  w.field("name", "vegas");
+  w.field("ratio", 1.5);
+  w.field("count", std::int64_t{42});
+  w.field("ok", true);
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"name":"vegas","ratio":1.5,"count":42,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  json::Writer w;
+  w.begin_object();
+  w.key("runs");
+  w.begin_array();
+  w.value(1.0);
+  w.value(2.0);
+  w.end_array();
+  w.key("inner");
+  w.begin_object();
+  w.field("x", std::int64_t{1});
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"runs":[1,2],"inner":{"x":1}})");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  json::Writer w;
+  w.begin_object();
+  w.field("s", "a\"b\\c\nd");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"s\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, NonFiniteBecomesNull) {
+  json::Writer w;
+  w.begin_object();
+  w.field("bad", std::nan(""));
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"bad":null})");
+}
+
+TEST(FlagsTest, ParsesAllForms) {
+  const char* argv[] = {"prog", "cmd",        "positional", "--queue=15",
+                        "--algo", "vegas",    "--verbose"};
+  tools::Flags flags(7, const_cast<char**>(argv), 2);
+  EXPECT_EQ(flags.get_int("queue", 0), 15);
+  EXPECT_EQ(flags.get_string("algo", ""), "vegas");
+  EXPECT_TRUE(flags.get_bool("verbose"));
+  EXPECT_FALSE(flags.get_bool("missing"));
+  EXPECT_EQ(flags.get_double("missing", 2.5), 2.5);
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "positional");
+}
+
+TEST(FlagsTest, BareSwitchSwallowsFollowingPositional) {
+  // Documented schema-less ambiguity: "--json out" reads as json=out.
+  const char* argv[] = {"prog", "--json", "out"};
+  tools::Flags flags(3, const_cast<char**>(argv));
+  EXPECT_EQ(flags.get_string("json", ""), "out");
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(FlagsTest, EmptyArgs) {
+  const char* argv[] = {"prog"};
+  tools::Flags flags(1, const_cast<char**>(argv));
+  EXPECT_FALSE(flags.get("anything").has_value());
+  EXPECT_TRUE(flags.positional().empty());
+}
+
+TEST(QueueMonitorTest, TimeAverageStepFunction) {
+  net::QueueMonitor mon;
+  // Queue level: 2 from t=1..3, 5 from t=3..5, 0 afterwards.
+  mon.on_length(1_sec, 2);
+  mon.on_length(3_sec, 5);
+  mon.on_length(5_sec, 0);
+  // Over [1,5]: (2*2 + 5*2) / 4 = 3.5.
+  EXPECT_NEAR(mon.time_average(1_sec, 5_sec), 3.5, 1e-9);
+  // Over [0,5]: level before first sample is 0 -> (0 + 4 + 10)/5 = 2.8.
+  EXPECT_NEAR(mon.time_average(sim::Time::zero(), 5_sec), 2.8, 1e-9);
+  // Window clipped inside one segment: constant 5.
+  EXPECT_NEAR(mon.time_average(sim::Time::seconds(3.5),
+                               sim::Time::seconds(4.5)),
+              5.0, 1e-9);
+  // Tail extension: level 0 after t=5.
+  EXPECT_NEAR(mon.time_average(5_sec, 10_sec), 0.0, 1e-9);
+}
+
+TEST(QueueMonitorTest, TimeAverageDegenerate) {
+  net::QueueMonitor mon;
+  EXPECT_EQ(mon.time_average(1_sec, 2_sec), 0.0);  // no samples
+  mon.on_length(1_sec, 3);
+  EXPECT_EQ(mon.time_average(2_sec, 2_sec), 0.0);  // empty window
+}
+
+}  // namespace
+}  // namespace vegas

@@ -1,0 +1,164 @@
+// pcap exporter tests: file structure is validated by parsing the bytes
+// back (no external tooling needed) plus an end-to-end capture.
+#include "trace/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "exp/world.h"
+#include "traffic/bulk.h"
+
+namespace vegas::trace {
+namespace {
+
+using namespace sim::literals;
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<std::uint8_t> bytes;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<std::uint8_t>(c));
+  std::fclose(f);
+  return bytes;
+}
+
+std::uint32_t u32le(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return b[off] | (b[off + 1] << 8) | (b[off + 2] << 16) |
+         (static_cast<std::uint32_t>(b[off + 3]) << 24);
+}
+std::uint16_t u16be(const std::vector<std::uint8_t>& b, std::size_t off) {
+  return static_cast<std::uint16_t>((b[off] << 8) | b[off + 1]);
+}
+
+struct TempPcap {
+  TempPcap() : path((std::filesystem::temp_directory_path() /
+                     "vegas_pcap_test.pcap").string()) {}
+  ~TempPcap() { std::filesystem::remove(path); }
+  std::string path;
+};
+
+net::PacketPtr data_packet(ByteCount payload) {
+  auto p = net::make_packet();
+  p->src = 1;
+  p->dst = 2;
+  p->payload_bytes = payload;
+  p->tcp.src_port = 1024;
+  p->tcp.dst_port = 5001;
+  p->tcp.seq = 1000;
+  p->tcp.ack = 2000;
+  p->tcp.set(net::TcpFlag::kAck);
+  p->tcp.wnd = 8192;
+  return p;
+}
+
+TEST(PcapTest, GlobalHeaderIsValid) {
+  TempPcap tmp;
+  { PcapWriter w(tmp.path); }
+  const auto bytes = slurp(tmp.path);
+  ASSERT_EQ(bytes.size(), 24u);
+  EXPECT_EQ(u32le(bytes, 0), 0xa1b23c4du);  // nanosecond pcap magic
+  EXPECT_EQ(u32le(bytes, 20), 101u);        // LINKTYPE_RAW
+}
+
+TEST(PcapTest, RecordStructureRoundTrips) {
+  TempPcap tmp;
+  {
+    PcapWriter w(tmp.path);
+    auto p = data_packet(1024);
+    w.capture(sim::Time::seconds(1.5), *p);
+    EXPECT_EQ(w.packets_written(), 1u);
+  }
+  const auto bytes = slurp(tmp.path);
+  ASSERT_GT(bytes.size(), 24u + 16u + 40u);
+  std::size_t off = 24;
+  EXPECT_EQ(u32le(bytes, off), 1u);              // ts_sec
+  EXPECT_EQ(u32le(bytes, off + 4), 500000000u);  // ts_nsec
+  const std::uint32_t incl = u32le(bytes, off + 8);
+  const std::uint32_t orig = u32le(bytes, off + 12);
+  EXPECT_EQ(orig, 20u + 20u + 1024u);
+  EXPECT_EQ(incl, 20u + 20u + 64u);  // default 64-byte payload snap
+  EXPECT_EQ(bytes.size(), 24u + 16u + incl);
+
+  // IPv4 header sanity.
+  off += 16;
+  EXPECT_EQ(bytes[off], 0x45);              // version/IHL
+  EXPECT_EQ(bytes[off + 9], 6);             // protocol TCP
+  EXPECT_EQ(u16be(bytes, off + 2), 20 + 20 + 1024);  // total length
+  // 10.0.0.2 -> 10.0.0.3 (node id + 1).
+  EXPECT_EQ(bytes[off + 12], 10);
+  EXPECT_EQ(bytes[off + 15], 2);
+  EXPECT_EQ(bytes[off + 19], 3);
+
+  // TCP header sanity.
+  off += 20;
+  EXPECT_EQ(u16be(bytes, off), 1024);      // src port
+  EXPECT_EQ(u16be(bytes, off + 2), 5001);  // dst port
+  EXPECT_EQ(bytes[off + 13] & 0x10, 0x10); // ACK flag
+  EXPECT_EQ(u16be(bytes, off + 14), 8192); // window
+}
+
+TEST(PcapTest, Ipv4ChecksumValidates) {
+  TempPcap tmp;
+  {
+    PcapWriter w(tmp.path);
+    auto p = data_packet(100);
+    w.capture(sim::Time::zero(), *p);
+  }
+  const auto bytes = slurp(tmp.path);
+  const std::size_t ip = 24 + 16;
+  // RFC 1071: summing the entire header including the checksum must give
+  // 0xffff.
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i < 20; i += 2) sum += u16be(bytes, ip + i);
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  EXPECT_EQ(sum, 0xffffu);
+}
+
+TEST(PcapTest, SackOptionEncoded) {
+  TempPcap tmp;
+  {
+    PcapWriter w(tmp.path);
+    auto p = data_packet(0);
+    p->tcp.add_sack(3000, 4000);
+    w.capture(sim::Time::zero(), *p);
+  }
+  const auto bytes = slurp(tmp.path);
+  const std::size_t tcp = 24 + 16 + 20;
+  const int data_offset_words = bytes[tcp + 12] >> 4;
+  EXPECT_EQ(data_offset_words, 8);  // 5 + 3 option words (NOP NOP SACK-10)
+  EXPECT_EQ(bytes[tcp + 20], 1);    // NOP
+  EXPECT_EQ(bytes[tcp + 21], 1);    // NOP
+  EXPECT_EQ(bytes[tcp + 22], 5);    // kind: SACK
+  EXPECT_EQ(bytes[tcp + 23], 10);   // length: 2 + 8
+}
+
+TEST(PcapTest, EndToEndCaptureFromLinkTap) {
+  TempPcap tmp;
+  net::DumbbellConfig topo;
+  topo.pairs = 1;
+  exp::DumbbellWorld world(topo, tcp::TcpConfig{}, 1);
+  std::uint64_t written = 0;
+  {
+    PcapWriter cap(tmp.path);
+    world.topo().bottleneck_fwd->set_tap(
+        [&cap](sim::Time t, const net::Packet& p) { cap.capture(t, p); });
+    traffic::BulkTransfer::Config cfg;
+    cfg.bytes = 50_KB;
+    cfg.port = 5001;
+    traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
+    world.sim().run_until(30_sec);
+    EXPECT_TRUE(t.done());
+    written = cap.packets_written();
+  }
+  // 50 segments + handshake + FIN exchange crossed the tap.
+  EXPECT_GE(written, 52u);
+  const auto bytes = slurp(tmp.path);
+  EXPECT_GT(bytes.size(), 24u + written * (16 + 40));
+}
+
+}  // namespace
+}  // namespace vegas::trace

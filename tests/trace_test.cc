@@ -1,0 +1,206 @@
+// Trace facility tests: tracer fidelity, analyzer series, summaries,
+// ASCII/CSV output.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "core/factory.h"
+#include "exp/world.h"
+#include "net/loss.h"
+#include "trace/analyzer.h"
+#include "trace/conn_tracer.h"
+#include "traffic/bulk.h"
+
+namespace vegas::trace {
+namespace {
+
+using namespace sim::literals;
+
+struct TracedRun {
+  ConnTracer tracer;
+  traffic::TransferResult result;
+};
+
+TracedRun traced_transfer(core::Algorithm algo, ByteCount bytes,
+                          double loss = 0.0, std::size_t queue = 10) {
+  TracedRun run;
+  net::DumbbellConfig cfg;
+  cfg.pairs = 1;
+  cfg.bottleneck_queue = queue;
+  exp::DumbbellWorld world(cfg, tcp::TcpConfig{}, 2);
+  if (loss > 0) {
+    world.topo().bottleneck_fwd->set_loss_model(
+        std::make_unique<net::BernoulliLoss>(loss, 55));
+  }
+  traffic::BulkTransfer::Config bt;
+  bt.bytes = bytes;
+  bt.port = 5001;
+  bt.factory = core::make_sender_factory(algo);
+  bt.observer = &run.tracer;
+  traffic::BulkTransfer t(world.left(0), world.right(0), bt);
+  world.sim().run_until(sim::Time::seconds(600));
+  EXPECT_TRUE(t.done());
+  run.result = t.result();
+  return run;
+}
+
+TEST(TracerTest, RecordsLifecycleEvents) {
+  auto run = traced_transfer(core::Algorithm::kReno, 50_KB);
+  Analyzer az(run.tracer.buffer());
+  EXPECT_EQ(az.marks(EventKind::kEstablished).size(), 1u);
+  EXPECT_EQ(az.marks(EventKind::kClosed).size(), 1u);
+  EXPECT_GE(az.marks(EventKind::kSegSent).size(), 50u);
+  EXPECT_GE(az.marks(EventKind::kAckRcvd).size(), 40u);
+  EXPECT_FALSE(az.series(EventKind::kCwnd).empty());
+}
+
+TEST(TracerTest, SummaryMatchesSenderStats) {
+  auto run = traced_transfer(core::Algorithm::kReno, 300_KB, 0.02);
+  const auto summary = Analyzer(run.tracer.buffer()).summary();
+  const auto& st = run.result.sender_stats;
+  EXPECT_EQ(summary.segments_sent, st.segments_sent);
+  // Every fast/fine retransmit is an explicit kRetransmit event; coarse
+  // timeouts resend via go-back-N, so events <= total retransmissions.
+  EXPECT_EQ(summary.fast_retransmits, st.fast_retransmits);
+  EXPECT_EQ(summary.dup_acks, st.dup_acks_received);
+}
+
+TEST(TracerTest, CoarseTicksPresent) {
+  auto run = traced_transfer(core::Algorithm::kReno, 200_KB);
+  const auto ticks =
+      Analyzer(run.tracer.buffer()).marks(EventKind::kCoarseTick);
+  // ~500 ms apart over several seconds of transfer.
+  ASSERT_GE(ticks.size(), 3u);
+  for (std::size_t i = 1; i < ticks.size(); ++i) {
+    EXPECT_NEAR(ticks[i] - ticks[i - 1], 0.5, 0.01);
+  }
+}
+
+TEST(TracerTest, LossLinesMatchRetransmittedOffsets) {
+  auto run = traced_transfer(core::Algorithm::kReno, 300_KB, 0.05);
+  Analyzer az(run.tracer.buffer());
+  const auto losses = az.presumed_loss_times();
+  ASSERT_FALSE(losses.empty());
+  // Loss lines are drawn at original send instants: each must precede the
+  // trace's end and be nonnegative.
+  const auto summary = az.summary();
+  for (const double t : losses) {
+    EXPECT_GE(t, 0.0);
+    EXPECT_LE(t, summary.duration_s);
+  }
+}
+
+TEST(TracerTest, CamSeriesOnlyForVegas) {
+  auto reno = traced_transfer(core::Algorithm::kReno, 100_KB);
+  auto vegas = traced_transfer(core::Algorithm::kVegas, 100_KB);
+  EXPECT_TRUE(Analyzer(reno.tracer.buffer())
+                  .series(EventKind::kCamExpected)
+                  .empty());
+  const auto expected =
+      Analyzer(vegas.tracer.buffer()).series(EventKind::kCamExpected);
+  const auto actual =
+      Analyzer(vegas.tracer.buffer()).series(EventKind::kCamActual);
+  ASSERT_FALSE(expected.empty());
+  ASSERT_EQ(expected.size(), actual.size());
+  // Expected >= Actual for every CAM sample (Diff >= 0, §3.2).
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_GE(expected[i].value + 1.0, actual[i].value);
+  }
+}
+
+TEST(TracerTest, WindowSeriesIsStepwiseAndBounded) {
+  auto run = traced_transfer(core::Algorithm::kVegas, 200_KB);
+  const auto cwnd = Analyzer(run.tracer.buffer()).series(EventKind::kCwnd);
+  ASSERT_FALSE(cwnd.empty());
+  for (const auto& p : cwnd) {
+    EXPECT_GE(p.value, 1024.0);        // >= 1 MSS
+    EXPECT_LE(p.value, 1024.0 * 128);  // sane upper bound
+  }
+}
+
+TEST(AnalyzerTest, SendingRateWindowAverage) {
+  auto run = traced_transfer(core::Algorithm::kVegas, 200_KB, 0.0, 20);
+  const auto rate = Analyzer(run.tracer.buffer()).sending_rate(12);
+  ASSERT_FALSE(rate.empty());
+  // Steady-state rate should be within a sane band around the bottleneck.
+  double peak = 0;
+  for (const auto& p : rate) peak = std::max(peak, p.value);
+  EXPECT_GT(peak, 50.0 * 1024);
+  EXPECT_LT(peak, 2000.0 * 1024);
+}
+
+TEST(AnalyzerTest, CsvWriteRoundTrips) {
+  Series s{{0.0, 1.0}, {0.5, 2.0}, {1.0, 3.0}};
+  const auto path =
+      std::filesystem::temp_directory_path() / "vegas_trace_test.csv";
+  write_csv(path.string(), s, "value");
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[128];
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  EXPECT_STREQ(line, "t,value\n");
+  int rows = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) ++rows;
+  std::fclose(f);
+  std::filesystem::remove(path);
+  EXPECT_EQ(rows, 3);
+}
+
+TEST(AnalyzerTest, AsciiChartRenders) {
+  Series a{{0.0, 0.0}, {1.0, 10.0}, {2.0, 5.0}};
+  Series b{{0.0, 3.0}, {2.0, 3.0}};
+  const std::string chart = ascii_chart(a, "cwnd", &b, "ssthresh", 40, 8);
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("cwnd"), std::string::npos);
+  EXPECT_EQ(ascii_chart({}, "empty"), "(empty series)\n");
+}
+
+TEST(TraceBufferTest, CompactEventsAreTwelveBytes) {
+  EXPECT_EQ(sizeof(TraceEvent), 12u);
+  TraceBuffer buf(4);
+  buf.append(1_ms, EventKind::kCwnd, 4096);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf.events()[0].t_us, 1000u);
+  EXPECT_EQ(buf.events()[0].value, 4096u);
+  buf.clear();
+  EXPECT_EQ(buf.size(), 0u);
+}
+
+
+TEST(TraceBufferTest, SaveLoadRoundTrips) {
+  TraceBuffer buf;
+  buf.append(1_ms, EventKind::kCwnd, 4096, 1, 512);
+  buf.append(2_ms, EventKind::kRetransmit, 1024, 2);
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "vegas_trace_roundtrip.bin").string();
+  ASSERT_TRUE(buf.save(path));
+  TraceBuffer loaded;
+  ASSERT_TRUE(loaded.load(path));
+  std::filesystem::remove(path);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.events()[0].t_us, 1000u);
+  EXPECT_EQ(loaded.events()[0].kind, EventKind::kCwnd);
+  EXPECT_EQ(loaded.events()[0].value, 4096u);
+  EXPECT_EQ(loaded.events()[0].len, 512u);
+  EXPECT_EQ(loaded.events()[1].aux, 2u);
+}
+
+TEST(TraceBufferTest, LoadRejectsGarbage) {
+  const auto path = (std::filesystem::temp_directory_path() /
+                     "vegas_trace_garbage.bin").string();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a trace file at all", f);
+  std::fclose(f);
+  TraceBuffer buf;
+  EXPECT_FALSE(buf.load(path));
+  EXPECT_EQ(buf.size(), 0u);
+  std::filesystem::remove(path);
+  EXPECT_FALSE(buf.load("/nonexistent/path/file.bin"));
+}
+
+}  // namespace
+}  // namespace vegas::trace

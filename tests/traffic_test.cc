@@ -1,0 +1,258 @@
+// Tests for the tcplib-style TRAFFIC subsystem: scripted conversations,
+// workload distributions, the conversation source, and cross traffic.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "exp/world.h"
+#include "traffic/cross.h"
+#include "traffic/distributions.h"
+#include "traffic/source.h"
+
+namespace vegas::traffic {
+namespace {
+
+using namespace sim::literals;
+
+exp::DumbbellWorld make_world(std::uint64_t seed = 1) {
+  net::DumbbellConfig cfg;
+  cfg.pairs = 2;
+  cfg.bottleneck_queue = 20;
+  return exp::DumbbellWorld(cfg, tcp::TcpConfig{}, seed);
+}
+
+TEST(ConversationTest, SimpleEchoScriptRuns) {
+  auto world = make_world();
+  std::vector<ScriptedConversation::Step> steps{
+      {true, 100, 10_ms},   // client request
+      {false, 2000, 0_ms},  // server response
+      {true, 50, 20_ms},    // client follow-up
+      {false, 500, 0_ms},
+  };
+  bool done = false;
+  ScriptedConversation conv(world.sim(), "test", steps,
+                            [&](ScriptedConversation& c) {
+                              done = true;
+                              EXPECT_FALSE(c.failed());
+                            });
+  world.right(0).listen(7100, [&](tcp::Connection& c) {
+    conv.bind_server(c);
+  });
+  auto& cc = world.left(0).connect(world.right(0).node_id(), 7100);
+  conv.bind_client(cc);
+  world.sim().run_until(60_sec);
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(conv.finished());
+  EXPECT_EQ(conv.total_bytes(), 2650);
+  // Step timings are monotone: each step completes after it starts.
+  for (const auto& t : conv.timings()) {
+    EXPECT_GE(t.completed, t.initiated);
+  }
+}
+
+TEST(ConversationTest, LargeItemTransfersFully) {
+  auto world = make_world();
+  std::vector<ScriptedConversation::Step> steps{
+      {true, 100, 0_ms},
+      {false, 100, 0_ms},
+      {true, 200 * 1024, 0_ms},  // big FTP-like item
+  };
+  bool done = false, failed = true;
+  ScriptedConversation conv(world.sim(), "ftp", steps,
+                            [&](ScriptedConversation& c) {
+                              done = true;
+                              failed = c.failed();
+                            });
+  world.right(0).listen(7100, [&](tcp::Connection& c) { conv.bind_server(c); });
+  conv.bind_client(world.left(0).connect(world.right(0).node_id(), 7100));
+  world.sim().run_until(120_sec);
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(failed);
+}
+
+TEST(WorkloadSamplerTest, ScriptsAreWellFormed) {
+  WorkloadSampler sampler(WorkloadParams{}, 42);
+  for (int i = 0; i < 200; ++i) {
+    const auto draw = sampler.draw_conversation();
+    ASSERT_FALSE(draw.steps.empty()) << draw.type;
+    for (const auto& s : draw.steps) {
+      EXPECT_GT(s.bytes, 0);
+      EXPECT_GE(s.delay, sim::Time::zero());
+    }
+    EXPECT_TRUE(draw.type == "telnet" || draw.type == "ftp" ||
+                draw.type == "smtp" || draw.type == "nntp");
+  }
+}
+
+TEST(WorkloadSamplerTest, TelnetAlternatesOneByteKeystrokes) {
+  WorkloadSampler sampler(WorkloadParams{}, 7);
+  const auto steps = sampler.telnet_script();
+  ASSERT_GE(steps.size(), 2u);
+  ASSERT_EQ(steps.size() % 2, 0u);
+  for (std::size_t i = 0; i < steps.size(); i += 2) {
+    EXPECT_TRUE(steps[i].from_client);
+    EXPECT_EQ(steps[i].bytes, 1);  // "TELNET connections send one byte"
+    EXPECT_FALSE(steps[i + 1].from_client);
+    EXPECT_GE(steps[i + 1].bytes, 1);  // "...and get one or more back"
+  }
+}
+
+TEST(WorkloadSamplerTest, SizesRespectClamps) {
+  WorkloadParams p;
+  WorkloadSampler sampler(p, 11);
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& s : sampler.ftp_script()) {
+      if (s.from_client && s.bytes > p.ftp_ctl_max) {
+        EXPECT_GE(s.bytes, p.ftp_item_min);
+        EXPECT_LE(s.bytes, p.ftp_item_max);
+      }
+    }
+  }
+}
+
+TEST(WorkloadSamplerTest, MixRoughlyMatchesProbabilities) {
+  WorkloadSampler sampler(WorkloadParams{}, 99);
+  std::map<std::string, int> counts;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.draw_conversation().type];
+  EXPECT_NEAR(counts["telnet"] / double(n), 0.30, 0.05);
+  EXPECT_NEAR(counts["ftp"] / double(n), 0.30, 0.05);
+  EXPECT_NEAR(counts["smtp"] / double(n), 0.25, 0.05);
+  EXPECT_NEAR(counts["nntp"] / double(n), 0.15, 0.05);
+}
+
+TEST(TrafficSourceTest, ConversationsCompleteAndAreCounted) {
+  auto world = make_world(3);
+  TrafficConfig cfg;
+  cfg.mean_interarrival_s = 0.5;
+  cfg.seed = 17;
+  cfg.spawn_until = 10_sec;  // then drain
+  TrafficSource source(world.left(0), world.right(0), cfg);
+  source.start();
+  world.sim().run_until(sim::Time::seconds(600));
+  const auto& st = source.stats();
+  EXPECT_GT(st.started, 5u);
+  EXPECT_EQ(st.started, st.completed + st.failed);
+  EXPECT_EQ(st.failed, 0u);
+  EXPECT_GT(st.bytes_scripted, 0);
+  EXPECT_EQ(source.live_conversations(), 0u);
+}
+
+TEST(TrafficSourceTest, TelnetResponseTimesRecorded) {
+  auto world = make_world(5);
+  TrafficConfig cfg;
+  cfg.mean_interarrival_s = 0.4;
+  cfg.seed = 23;
+  cfg.workload.p_telnet = 1.0;  // telnet only
+  cfg.workload.p_ftp = cfg.workload.p_smtp = cfg.workload.p_nntp = 0.0;
+  cfg.spawn_until = 8_sec;
+  TrafficSource source(world.left(0), world.right(0), cfg);
+  source.start();
+  world.sim().run_until(sim::Time::seconds(600));
+  const auto& st = source.stats();
+  ASSERT_GT(st.telnet_response_s.size(), 10u);
+  for (const double r : st.telnet_response_s) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 30.0);
+  }
+}
+
+TEST(TrafficSourceTest, DeterministicForSeed) {
+  auto run = [](std::uint64_t seed) {
+    auto world = make_world(9);
+    TrafficConfig cfg;
+    cfg.mean_interarrival_s = 0.5;
+    cfg.seed = seed;
+    cfg.spawn_until = 5_sec;
+    TrafficSource source(world.left(0), world.right(0), cfg);
+    source.start();
+    world.sim().run_until(sim::Time::seconds(300));
+    return std::pair{source.stats().started, source.stats().bytes_scripted};
+  };
+  EXPECT_EQ(run(4), run(4));
+  EXPECT_NE(run(4), run(5));  // different seeds -> different workload
+}
+
+TEST(CrossTrafficTest, OnOffSourceDelivers) {
+  sim::Simulator sim;
+  net::WanChainConfig cfg;
+  auto chain = net::build_wan_chain(sim, cfg);
+  ASSERT_FALSE(chain->cross.empty());
+  auto& pair = chain->cross.front();
+  DatagramSink sink(*pair.b);
+  CrossTrafficConfig cc;
+  cc.seed = 3;
+  CrossTrafficSource src(sim, *pair.a, *pair.b, cc);
+  src.start();
+  sim.run_until(30_sec);
+  EXPECT_GT(src.bytes_sent(), 0);
+  EXPECT_GT(sink.bytes(), 0);
+  EXPECT_LE(sink.bytes(), src.bytes_sent());
+  src.stop();
+}
+
+TEST(CrossTrafficTest, RateBoundedByOnFraction) {
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Host& a = net.add_host("a");
+  net::Host& b = net.add_host("b");
+  net.connect(a, b, net::LinkConfig{1e6, 1_ms, 1000});
+  net.compute_routes();
+  DatagramSink sink(b);
+  CrossTrafficConfig cc;
+  cc.on_rate_Bps = 50 * 1024;
+  cc.mean_on_s = 0.5;
+  cc.mean_off_s = 0.5;
+  cc.seed = 8;
+  CrossTrafficSource src(sim, a, b, cc);
+  src.start();
+  sim.run_until(sim::Time::seconds(200));
+  const double avg = static_cast<double>(src.bytes_sent()) / 200.0;
+  // Duty cycle ~50%: average rate well below the ON rate, above zero.
+  EXPECT_LT(avg, 45 * 1024);
+  EXPECT_GT(avg, 10 * 1024);
+}
+
+
+TEST(WorkloadSamplerTest, SmtpScriptShape) {
+  WorkloadSampler sampler(WorkloadParams{}, 31);
+  const auto steps = sampler.smtp_script();
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_TRUE(steps[0].from_client);   // HELO/MAIL/RCPT chatter
+  EXPECT_FALSE(steps[1].from_client);  // server greeting
+  EXPECT_TRUE(steps[2].from_client);   // the message itself
+  EXPECT_FALSE(steps[3].from_client);  // 250 OK
+  EXPECT_GE(steps[2].bytes, WorkloadParams{}.smtp_msg_min);
+  EXPECT_LE(steps[2].bytes, WorkloadParams{}.smtp_msg_max);
+}
+
+TEST(WorkloadSamplerTest, NntpScriptAlternatesArticlesAndResponses) {
+  WorkloadSampler sampler(WorkloadParams{}, 37);
+  const auto steps = sampler.nntp_script();
+  ASSERT_GE(steps.size(), 2u);
+  ASSERT_EQ(steps.size() % 2, 0u);
+  for (std::size_t i = 0; i < steps.size(); i += 2) {
+    EXPECT_TRUE(steps[i].from_client);
+    EXPECT_GE(steps[i].bytes, WorkloadParams{}.nntp_article_min);
+    EXPECT_FALSE(steps[i + 1].from_client);
+    EXPECT_EQ(steps[i + 1].bytes, WorkloadParams{}.nntp_response_bytes);
+  }
+}
+
+TEST(TrafficSourceTest, SpawnUntilStopsArrivals) {
+  auto world = make_world(13);
+  TrafficConfig cfg;
+  cfg.mean_interarrival_s = 0.3;
+  cfg.seed = 77;
+  cfg.spawn_until = 5_sec;
+  TrafficSource source(world.left(0), world.right(0), cfg);
+  source.start();
+  world.sim().run_until(10_sec);
+  const auto started_at_10 = source.stats().started;
+  world.sim().run_until(sim::Time::seconds(300));
+  EXPECT_EQ(source.stats().started, started_at_10);  // no late spawns
+}
+
+}  // namespace
+}  // namespace vegas::traffic

@@ -1,0 +1,71 @@
+// Tiny command-line flag parser for the tools (no dependencies).
+// Accepts --key=value, --key value, and bare --switch.
+//
+// Known ambiguity of schema-less parsers: a bare switch IMMEDIATELY
+// followed by a positional token consumes it as a value ("--json file"
+// reads as json=file).  Rule of thumb: put positionals first, or use the
+// --switch=true form when mixing.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace vegas::tools {
+
+class Flags {
+ public:
+  /// Parses argv[first..); non-flag tokens become positional arguments.
+  Flags(int argc, char** argv, int first = 1) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        arg = arg.substr(2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+          values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+          values_[arg] = argv[++i];
+        } else {
+          values_[arg] = "true";
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt
+                               : std::optional<std::string>(it->second);
+  }
+
+  std::string get_string(const std::string& key,
+                         const std::string& fallback) const {
+    return get(key).value_or(fallback);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v.has_value() ? std::atof(v->c_str()) : fallback;
+  }
+  long long get_int(const std::string& key, long long fallback) const {
+    const auto v = get(key);
+    return v.has_value() ? std::atoll(v->c_str()) : fallback;
+  }
+  bool get_bool(const std::string& key, bool fallback = false) const {
+    const auto v = get(key);
+    if (!v.has_value()) return fallback;
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace vegas::tools

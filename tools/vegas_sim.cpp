@@ -1,0 +1,248 @@
+// vegas-sim: scriptable experiment runner.
+//
+// Subcommands (every knob has a --flag; --json emits machine-readable
+// results on stdout):
+//
+//   vegas-sim solo      --algo vegas --bytes-kb 1024 --queue 10 --seed 1
+//                       [--delay-ms 30] [--bw-kbps 200] [--sack]
+//                       [--paced-ss] [--pcap out.pcap]
+//   vegas-sim background --algo vegas --alpha 1 --beta 3 --queue 10
+//                        [--interarrival 0.4] [--two-way] [--sack]
+//   vegas-sim wan       --algo reno --bytes-kb 512 --seed 7
+//   vegas-sim fairness  --conns 16 --algo vegas --unequal
+//   vegas-sim one-on-one --small-algo reno --large-algo vegas --queue 15
+//
+// Examples:
+//   vegas-sim solo --algo vegas --json | jq .throughput_kBps
+//   vegas-sim solo --algo reno --pcap reno.pcap && tcpdump -r reno.pcap
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "common/json.h"
+#include "core/factory.h"
+#include "exp/scenarios.h"
+#include "exp/world.h"
+#include "tools/flags.h"
+#include "trace/pcap.h"
+#include "traffic/bulk.h"
+
+using namespace vegas;
+using tools::Flags;
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: vegas-sim <solo|background|wan|fairness|one-on-one> [flags]\n"
+      "common flags: --algo <reno|tahoe|vegas|dual|card|tris> --seed N\n"
+      "              --bytes-kb N --queue N --json\n"
+      "see tools/vegas_sim.cpp for the full flag list per subcommand\n");
+  return 2;
+}
+
+exp::AlgoSpec algo_from(const Flags& flags, const char* key = "algo") {
+  const std::string name = flags.get_string(key, "vegas");
+  const auto algo = core::parse_algorithm(name);
+  if (!algo.has_value()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  exp::AlgoSpec spec;
+  spec.algo = *algo;
+  spec.alpha = flags.get_double("alpha", 2.0);
+  spec.beta = flags.get_double("beta", 4.0);
+  spec.gamma = flags.get_double("gamma", 1.0);
+  return spec;
+}
+
+void emit_transfer(const traffic::TransferResult& r, bool json_out,
+                   const char* what) {
+  if (json_out) {
+    json::Writer w;
+    w.begin_object();
+    w.field("experiment", what);
+    w.field("algorithm", r.algorithm);
+    w.field("completed", r.completed);
+    w.field("bytes", static_cast<std::int64_t>(r.bytes));
+    w.field("bytes_delivered", static_cast<std::int64_t>(r.bytes_delivered));
+    w.field("duration_s", r.duration_s());
+    w.field("throughput_kBps", r.throughput_Bps() / 1024.0);
+    w.field("retransmitted_kb",
+            static_cast<double>(r.sender_stats.bytes_retransmitted) / 1024.0);
+    w.field("coarse_timeouts", r.sender_stats.coarse_timeouts);
+    w.field("fast_retransmits", r.sender_stats.fast_retransmits);
+    w.field("fine_retransmits", r.sender_stats.fine_retransmits);
+    w.field("sack_retransmits", r.sender_stats.sack_retransmits);
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("%s %s: %s, %.1f KB/s, %.1f KB retransmitted, "
+                "%llu coarse timeouts\n",
+                what, r.algorithm.c_str(),
+                r.completed ? "completed" : "INCOMPLETE",
+                r.throughput_Bps() / 1024.0,
+                r.sender_stats.bytes_retransmitted / 1024.0,
+                static_cast<unsigned long long>(
+                    r.sender_stats.coarse_timeouts));
+  }
+}
+
+int cmd_solo(const Flags& flags) {
+  net::DumbbellConfig topo;
+  topo.pairs = 1;
+  topo.bottleneck_queue =
+      static_cast<std::size_t>(flags.get_int("queue", 10));
+  topo.bottleneck_delay =
+      sim::Time::milliseconds(flags.get_int("delay-ms", 30));
+  topo.bottleneck_bandwidth = kbps_to_rate(flags.get_double("bw-kbps", 200));
+  exp::DumbbellWorld world(topo, tcp::TcpConfig{},
+                           static_cast<std::uint64_t>(flags.get_int("seed", 1)));
+
+  std::unique_ptr<trace::PcapWriter> pcap;
+  if (const auto path = flags.get("pcap")) {
+    pcap = std::make_unique<trace::PcapWriter>(*path);
+    world.topo().bottleneck_fwd->set_tap(
+        [&pcap](sim::Time t, const net::Packet& p) { pcap->capture(t, p); });
+  }
+
+  tcp::TcpConfig tcp_cfg;
+  tcp_cfg.sack_enabled = flags.get_bool("sack");
+  tcp_cfg.vegas_paced_slow_start = flags.get_bool("paced-ss");
+  tcp_cfg.vegas_ss_bandwidth_check = flags.get_bool("bw-check");
+  tcp_cfg.vegas_alpha = flags.get_double("alpha", 2.0);
+  tcp_cfg.vegas_beta = flags.get_double("beta", 4.0);
+  tcp_cfg.vegas_gamma = flags.get_double("gamma", 1.0);
+
+  traffic::BulkTransfer::Config cfg;
+  cfg.bytes = flags.get_int("bytes-kb", 1024) * 1024;
+  cfg.port = 5001;
+  cfg.tcp = tcp_cfg;
+  cfg.factory = algo_from(flags).factory();
+  traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
+  world.sim().run_until(sim::Time::seconds(flags.get_double("timeout", 600)));
+
+  emit_transfer(t.result(), flags.get_bool("json"), "solo");
+  if (pcap != nullptr && !flags.get_bool("json")) {
+    std::printf("pcap: %llu packets captured\n",
+                static_cast<unsigned long long>(pcap->packets_written()));
+  }
+  return t.done() ? 0 : 1;
+}
+
+int cmd_background(const Flags& flags) {
+  exp::BackgroundParams p;
+  p.transfer = algo_from(flags);
+  p.bytes = flags.get_int("bytes-kb", 1024) * 1024;
+  p.queue = static_cast<std::size_t>(flags.get_int("queue", 10));
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  p.mean_interarrival_s = flags.get_double("interarrival", 0.4);
+  p.two_way = flags.get_bool("two-way");
+  p.transfer_sack = flags.get_bool("sack");
+  const auto r = exp::run_background(p);
+  emit_transfer(r.transfer, flags.get_bool("json"), "background");
+  if (!flags.get_bool("json")) {
+    std::printf("background goodput: %.1f KB/s over the first %.0f s\n",
+                r.background_goodput_Bps / 1024.0, exp::kBackgroundHorizonS);
+  }
+  return r.transfer.completed ? 0 : 1;
+}
+
+int cmd_wan(const Flags& flags) {
+  exp::WanParams p;
+  p.algo = algo_from(flags);
+  p.bytes = flags.get_int("bytes-kb", 1024) * 1024;
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  p.cross_interarrival_s = flags.get_double("cross-interarrival", 2.0);
+  const auto r = exp::run_wan(p);
+  emit_transfer(r, flags.get_bool("json"), "wan");
+  return r.completed ? 0 : 1;
+}
+
+int cmd_fairness(const Flags& flags) {
+  exp::FairnessParams p;
+  p.connections = static_cast<int>(flags.get_int("conns", 4));
+  p.algo = algo_from(flags);
+  p.bytes_each = flags.get_int("bytes-kb", 2048) * 1024;
+  p.unequal_delay = flags.get_bool("unequal");
+  p.queue = static_cast<std::size_t>(flags.get_int("queue", 20));
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto r = exp::run_fairness(p);
+  if (flags.get_bool("json")) {
+    json::Writer w;
+    w.begin_object();
+    w.field("experiment", "fairness");
+    w.field("connections", static_cast<std::int64_t>(p.connections));
+    w.field("jain_index", r.jain);
+    w.field("all_completed", r.all_completed);
+    w.field("coarse_timeouts", r.coarse_timeouts);
+    w.key("throughput_kBps");
+    w.begin_array();
+    for (const double t : r.throughput_kBps) w.value(t);
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("fairness %s x%d%s: Jain=%.3f, %llu coarse timeouts%s\n",
+                p.algo.label().c_str(), p.connections,
+                p.unequal_delay ? " (unequal delay)" : "", r.jain,
+                static_cast<unsigned long long>(r.coarse_timeouts),
+                r.all_completed ? "" : " [INCOMPLETE]");
+    for (std::size_t i = 0; i < r.throughput_kBps.size(); ++i) {
+      std::printf("  conn %zu: %.1f KB/s\n", i, r.throughput_kBps[i]);
+    }
+  }
+  return r.all_completed ? 0 : 1;
+}
+
+int cmd_one_on_one(const Flags& flags) {
+  exp::OneOnOneParams p;
+  p.small = algo_from(flags, "small-algo");
+  p.large = algo_from(flags, "large-algo");
+  p.queue = static_cast<std::size_t>(flags.get_int("queue", 15));
+  p.small_delay_s = flags.get_double("delay", 1.0);
+  p.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto r = exp::run_one_on_one(p);
+  if (flags.get_bool("json")) {
+    json::Writer w;
+    w.begin_object();
+    w.field("experiment", "one-on-one");
+    w.key("small");
+    w.begin_object();
+    w.field("algorithm", r.small.algorithm);
+    w.field("throughput_kBps", r.small.throughput_Bps() / 1024.0);
+    w.field("retransmitted_kb",
+            static_cast<double>(r.small.sender_stats.bytes_retransmitted) /
+                1024.0);
+    w.end_object();
+    w.key("large");
+    w.begin_object();
+    w.field("algorithm", r.large.algorithm);
+    w.field("throughput_kBps", r.large.throughput_Bps() / 1024.0);
+    w.field("retransmitted_kb",
+            static_cast<double>(r.large.sender_stats.bytes_retransmitted) /
+                1024.0);
+    w.end_object();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    emit_transfer(r.small, false, "small(300KB)");
+    emit_transfer(r.large, false, "large(1MB)");
+  }
+  return (r.small.completed && r.large.completed) ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Flags flags(argc, argv, 2);
+  if (cmd == "solo") return cmd_solo(flags);
+  if (cmd == "background") return cmd_background(flags);
+  if (cmd == "wan") return cmd_wan(flags);
+  if (cmd == "fairness") return cmd_fairness(flags);
+  if (cmd == "one-on-one") return cmd_one_on_one(flags);
+  return usage();
+}
