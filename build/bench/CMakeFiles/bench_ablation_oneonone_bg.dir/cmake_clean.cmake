@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_oneonone_bg.dir/bench_ablation_oneonone_bg.cc.o"
+  "CMakeFiles/bench_ablation_oneonone_bg.dir/bench_ablation_oneonone_bg.cc.o.d"
+  "bench_ablation_oneonone_bg"
+  "bench_ablation_oneonone_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_oneonone_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_paced_ss.dir/bench_ablation_paced_ss.cc.o"
+  "CMakeFiles/bench_ablation_paced_ss.dir/bench_ablation_paced_ss.cc.o.d"
+  "bench_ablation_paced_ss"
+  "bench_ablation_paced_ss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_paced_ss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parkinglot.dir/bench_ablation_parkinglot.cc.o"
+  "CMakeFiles/bench_ablation_parkinglot.dir/bench_ablation_parkinglot.cc.o.d"
+  "bench_ablation_parkinglot"
+  "bench_ablation_parkinglot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parkinglot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_red.dir/bench_ablation_red.cc.o"
+  "CMakeFiles/bench_ablation_red.dir/bench_ablation_red.cc.o.d"
+  "bench_ablation_red"
+  "bench_ablation_red.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_red.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

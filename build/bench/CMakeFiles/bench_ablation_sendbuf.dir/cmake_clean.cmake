@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sendbuf.dir/bench_ablation_sendbuf.cc.o"
+  "CMakeFiles/bench_ablation_sendbuf.dir/bench_ablation_sendbuf.cc.o.d"
+  "bench_ablation_sendbuf"
+  "bench_ablation_sendbuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sendbuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_twoway.dir/bench_ablation_twoway.cc.o"
+  "CMakeFiles/bench_ablation_twoway.dir/bench_ablation_twoway.cc.o.d"
+  "bench_ablation_twoway"
+  "bench_ablation_twoway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_twoway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

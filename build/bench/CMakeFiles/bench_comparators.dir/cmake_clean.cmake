@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparators.dir/bench_comparators.cc.o"
+  "CMakeFiles/bench_comparators.dir/bench_comparators.cc.o.d"
+  "bench_comparators"
+  "bench_comparators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

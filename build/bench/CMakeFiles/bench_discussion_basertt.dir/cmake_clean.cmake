@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_basertt.dir/bench_discussion_basertt.cc.o"
+  "CMakeFiles/bench_discussion_basertt.dir/bench_discussion_basertt.cc.o.d"
+  "bench_discussion_basertt"
+  "bench_discussion_basertt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_basertt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_discussion_basertt.
+# This may be replaced when dependencies are built.

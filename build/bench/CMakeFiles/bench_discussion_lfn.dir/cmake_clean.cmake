@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_lfn.dir/bench_discussion_lfn.cc.o"
+  "CMakeFiles/bench_discussion_lfn.dir/bench_discussion_lfn.cc.o.d"
+  "bench_discussion_lfn"
+  "bench_discussion_lfn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_lfn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

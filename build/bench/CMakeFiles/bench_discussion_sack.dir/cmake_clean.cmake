@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_sack.dir/bench_discussion_sack.cc.o"
+  "CMakeFiles/bench_discussion_sack.dir/bench_discussion_sack.cc.o.d"
+  "bench_discussion_sack"
+  "bench_discussion_sack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_sack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

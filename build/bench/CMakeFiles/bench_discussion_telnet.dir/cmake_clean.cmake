@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_discussion_telnet.dir/bench_discussion_telnet.cc.o"
+  "CMakeFiles/bench_discussion_telnet.dir/bench_discussion_telnet.cc.o.d"
+  "bench_discussion_telnet"
+  "bench_discussion_telnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_discussion_telnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

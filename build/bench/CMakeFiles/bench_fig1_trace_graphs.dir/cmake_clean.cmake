@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_trace_graphs.dir/bench_fig1_trace_graphs.cc.o"
+  "CMakeFiles/bench_fig1_trace_graphs.dir/bench_fig1_trace_graphs.cc.o.d"
+  "bench_fig1_trace_graphs"
+  "bench_fig1_trace_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_trace_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

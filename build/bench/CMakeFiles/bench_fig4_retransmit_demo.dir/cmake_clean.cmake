@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_retransmit_demo.dir/bench_fig4_retransmit_demo.cc.o"
+  "CMakeFiles/bench_fig4_retransmit_demo.dir/bench_fig4_retransmit_demo.cc.o.d"
+  "bench_fig4_retransmit_demo"
+  "bench_fig4_retransmit_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_retransmit_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_reno_solo.dir/bench_fig6_reno_solo.cc.o"
+  "CMakeFiles/bench_fig6_reno_solo.dir/bench_fig6_reno_solo.cc.o.d"
+  "bench_fig6_reno_solo"
+  "bench_fig6_reno_solo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_reno_solo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

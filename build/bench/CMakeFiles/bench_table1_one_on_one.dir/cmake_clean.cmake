@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_one_on_one.dir/bench_table1_one_on_one.cc.o"
+  "CMakeFiles/bench_table1_one_on_one.dir/bench_table1_one_on_one.cc.o.d"
+  "bench_table1_one_on_one"
+  "bench_table1_one_on_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_one_on_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_world_vegas.dir/bench_table3_world_vegas.cc.o"
+  "CMakeFiles/bench_table3_world_vegas.dir/bench_table3_world_vegas.cc.o.d"
+  "bench_table3_world_vegas"
+  "bench_table3_world_vegas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_world_vegas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

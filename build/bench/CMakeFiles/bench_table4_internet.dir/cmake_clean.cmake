@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_internet.dir/bench_table4_internet.cc.o"
+  "CMakeFiles/bench_table4_internet.dir/bench_table4_internet.cc.o.d"
+  "bench_table4_internet"
+  "bench_table4_internet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_internet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_cc.dir/custom_cc.cpp.o"
+  "CMakeFiles/custom_cc.dir/custom_cc.cpp.o.d"
+  "custom_cc"
+  "custom_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

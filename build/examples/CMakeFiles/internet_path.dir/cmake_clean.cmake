@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/internet_path.dir/internet_path.cpp.o"
+  "CMakeFiles/internet_path.dir/internet_path.cpp.o.d"
+  "internet_path"
+  "internet_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/internet_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

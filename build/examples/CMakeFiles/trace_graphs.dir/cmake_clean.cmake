@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_graphs.dir/trace_graphs.cpp.o"
+  "CMakeFiles/trace_graphs.dir/trace_graphs.cpp.o.d"
+  "trace_graphs"
+  "trace_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

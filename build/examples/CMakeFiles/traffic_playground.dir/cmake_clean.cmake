@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_playground.dir/traffic_playground.cpp.o"
+  "CMakeFiles/traffic_playground.dir/traffic_playground.cpp.o.d"
+  "traffic_playground"
+  "traffic_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

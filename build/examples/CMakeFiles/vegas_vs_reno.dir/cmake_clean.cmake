@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_vs_reno.dir/vegas_vs_reno.cpp.o"
+  "CMakeFiles/vegas_vs_reno.dir/vegas_vs_reno.cpp.o.d"
+  "vegas_vs_reno"
+  "vegas_vs_reno.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_vs_reno.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

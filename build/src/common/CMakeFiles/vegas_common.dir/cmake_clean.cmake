@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_common.dir/log.cc.o"
+  "CMakeFiles/vegas_common.dir/log.cc.o.d"
+  "CMakeFiles/vegas_common.dir/rng.cc.o"
+  "CMakeFiles/vegas_common.dir/rng.cc.o.d"
+  "libvegas_common.a"
+  "libvegas_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

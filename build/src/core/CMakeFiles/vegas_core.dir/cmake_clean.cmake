@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_core.dir/factory.cc.o"
+  "CMakeFiles/vegas_core.dir/factory.cc.o.d"
+  "CMakeFiles/vegas_core.dir/vegas.cc.o"
+  "CMakeFiles/vegas_core.dir/vegas.cc.o.d"
+  "libvegas_core.a"
+  "libvegas_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_exp.dir/scenarios.cc.o"
+  "CMakeFiles/vegas_exp.dir/scenarios.cc.o.d"
+  "CMakeFiles/vegas_exp.dir/world.cc.o"
+  "CMakeFiles/vegas_exp.dir/world.cc.o.d"
+  "libvegas_exp.a"
+  "libvegas_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/host.cc" "src/net/CMakeFiles/vegas_net.dir/host.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/host.cc.o.d"
+  "/root/repo/src/net/link.cc" "src/net/CMakeFiles/vegas_net.dir/link.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/link.cc.o.d"
+  "/root/repo/src/net/loss.cc" "src/net/CMakeFiles/vegas_net.dir/loss.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/loss.cc.o.d"
+  "/root/repo/src/net/monitor.cc" "src/net/CMakeFiles/vegas_net.dir/monitor.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/monitor.cc.o.d"
+  "/root/repo/src/net/network.cc" "src/net/CMakeFiles/vegas_net.dir/network.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/network.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/vegas_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/queue.cc" "src/net/CMakeFiles/vegas_net.dir/queue.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/queue.cc.o.d"
+  "/root/repo/src/net/red.cc" "src/net/CMakeFiles/vegas_net.dir/red.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/red.cc.o.d"
+  "/root/repo/src/net/router.cc" "src/net/CMakeFiles/vegas_net.dir/router.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/router.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/vegas_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/vegas_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vegas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vegas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

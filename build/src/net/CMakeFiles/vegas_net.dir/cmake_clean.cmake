@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_net.dir/host.cc.o"
+  "CMakeFiles/vegas_net.dir/host.cc.o.d"
+  "CMakeFiles/vegas_net.dir/link.cc.o"
+  "CMakeFiles/vegas_net.dir/link.cc.o.d"
+  "CMakeFiles/vegas_net.dir/loss.cc.o"
+  "CMakeFiles/vegas_net.dir/loss.cc.o.d"
+  "CMakeFiles/vegas_net.dir/monitor.cc.o"
+  "CMakeFiles/vegas_net.dir/monitor.cc.o.d"
+  "CMakeFiles/vegas_net.dir/network.cc.o"
+  "CMakeFiles/vegas_net.dir/network.cc.o.d"
+  "CMakeFiles/vegas_net.dir/packet.cc.o"
+  "CMakeFiles/vegas_net.dir/packet.cc.o.d"
+  "CMakeFiles/vegas_net.dir/queue.cc.o"
+  "CMakeFiles/vegas_net.dir/queue.cc.o.d"
+  "CMakeFiles/vegas_net.dir/red.cc.o"
+  "CMakeFiles/vegas_net.dir/red.cc.o.d"
+  "CMakeFiles/vegas_net.dir/router.cc.o"
+  "CMakeFiles/vegas_net.dir/router.cc.o.d"
+  "CMakeFiles/vegas_net.dir/topology.cc.o"
+  "CMakeFiles/vegas_net.dir/topology.cc.o.d"
+  "libvegas_net.a"
+  "libvegas_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_sim.dir/event_queue.cc.o"
+  "CMakeFiles/vegas_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/vegas_sim.dir/simulator.cc.o"
+  "CMakeFiles/vegas_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/vegas_sim.dir/timer.cc.o"
+  "CMakeFiles/vegas_sim.dir/timer.cc.o.d"
+  "libvegas_sim.a"
+  "libvegas_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_stats.dir/histogram.cc.o"
+  "CMakeFiles/vegas_stats.dir/histogram.cc.o.d"
+  "libvegas_stats.a"
+  "libvegas_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

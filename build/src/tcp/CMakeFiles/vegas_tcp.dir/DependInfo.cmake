@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/buffer.cc" "src/tcp/CMakeFiles/vegas_tcp.dir/buffer.cc.o" "gcc" "src/tcp/CMakeFiles/vegas_tcp.dir/buffer.cc.o.d"
+  "/root/repo/src/tcp/connection.cc" "src/tcp/CMakeFiles/vegas_tcp.dir/connection.cc.o" "gcc" "src/tcp/CMakeFiles/vegas_tcp.dir/connection.cc.o.d"
+  "/root/repo/src/tcp/receiver.cc" "src/tcp/CMakeFiles/vegas_tcp.dir/receiver.cc.o" "gcc" "src/tcp/CMakeFiles/vegas_tcp.dir/receiver.cc.o.d"
+  "/root/repo/src/tcp/rtt.cc" "src/tcp/CMakeFiles/vegas_tcp.dir/rtt.cc.o" "gcc" "src/tcp/CMakeFiles/vegas_tcp.dir/rtt.cc.o.d"
+  "/root/repo/src/tcp/sender.cc" "src/tcp/CMakeFiles/vegas_tcp.dir/sender.cc.o" "gcc" "src/tcp/CMakeFiles/vegas_tcp.dir/sender.cc.o.d"
+  "/root/repo/src/tcp/stack.cc" "src/tcp/CMakeFiles/vegas_tcp.dir/stack.cc.o" "gcc" "src/tcp/CMakeFiles/vegas_tcp.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/vegas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vegas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vegas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

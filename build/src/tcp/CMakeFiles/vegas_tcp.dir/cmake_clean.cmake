@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_tcp.dir/buffer.cc.o"
+  "CMakeFiles/vegas_tcp.dir/buffer.cc.o.d"
+  "CMakeFiles/vegas_tcp.dir/connection.cc.o"
+  "CMakeFiles/vegas_tcp.dir/connection.cc.o.d"
+  "CMakeFiles/vegas_tcp.dir/receiver.cc.o"
+  "CMakeFiles/vegas_tcp.dir/receiver.cc.o.d"
+  "CMakeFiles/vegas_tcp.dir/rtt.cc.o"
+  "CMakeFiles/vegas_tcp.dir/rtt.cc.o.d"
+  "CMakeFiles/vegas_tcp.dir/sender.cc.o"
+  "CMakeFiles/vegas_tcp.dir/sender.cc.o.d"
+  "CMakeFiles/vegas_tcp.dir/stack.cc.o"
+  "CMakeFiles/vegas_tcp.dir/stack.cc.o.d"
+  "libvegas_tcp.a"
+  "libvegas_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

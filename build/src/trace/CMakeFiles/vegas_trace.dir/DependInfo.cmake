@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analyzer.cc" "src/trace/CMakeFiles/vegas_trace.dir/analyzer.cc.o" "gcc" "src/trace/CMakeFiles/vegas_trace.dir/analyzer.cc.o.d"
+  "/root/repo/src/trace/pcap.cc" "src/trace/CMakeFiles/vegas_trace.dir/pcap.cc.o" "gcc" "src/trace/CMakeFiles/vegas_trace.dir/pcap.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/trace/CMakeFiles/vegas_trace.dir/trace_io.cc.o" "gcc" "src/trace/CMakeFiles/vegas_trace.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/vegas_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vegas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vegas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vegas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

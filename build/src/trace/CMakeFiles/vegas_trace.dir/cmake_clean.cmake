@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_trace.dir/analyzer.cc.o"
+  "CMakeFiles/vegas_trace.dir/analyzer.cc.o.d"
+  "CMakeFiles/vegas_trace.dir/pcap.cc.o"
+  "CMakeFiles/vegas_trace.dir/pcap.cc.o.d"
+  "CMakeFiles/vegas_trace.dir/trace_io.cc.o"
+  "CMakeFiles/vegas_trace.dir/trace_io.cc.o.d"
+  "libvegas_trace.a"
+  "libvegas_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/bulk.cc" "src/traffic/CMakeFiles/vegas_traffic.dir/bulk.cc.o" "gcc" "src/traffic/CMakeFiles/vegas_traffic.dir/bulk.cc.o.d"
+  "/root/repo/src/traffic/conversation.cc" "src/traffic/CMakeFiles/vegas_traffic.dir/conversation.cc.o" "gcc" "src/traffic/CMakeFiles/vegas_traffic.dir/conversation.cc.o.d"
+  "/root/repo/src/traffic/cross.cc" "src/traffic/CMakeFiles/vegas_traffic.dir/cross.cc.o" "gcc" "src/traffic/CMakeFiles/vegas_traffic.dir/cross.cc.o.d"
+  "/root/repo/src/traffic/distributions.cc" "src/traffic/CMakeFiles/vegas_traffic.dir/distributions.cc.o" "gcc" "src/traffic/CMakeFiles/vegas_traffic.dir/distributions.cc.o.d"
+  "/root/repo/src/traffic/source.cc" "src/traffic/CMakeFiles/vegas_traffic.dir/source.cc.o" "gcc" "src/traffic/CMakeFiles/vegas_traffic.dir/source.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tcp/CMakeFiles/vegas_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vegas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vegas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vegas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

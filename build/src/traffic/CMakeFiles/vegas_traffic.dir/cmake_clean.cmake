@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas_traffic.dir/bulk.cc.o"
+  "CMakeFiles/vegas_traffic.dir/bulk.cc.o.d"
+  "CMakeFiles/vegas_traffic.dir/conversation.cc.o"
+  "CMakeFiles/vegas_traffic.dir/conversation.cc.o.d"
+  "CMakeFiles/vegas_traffic.dir/cross.cc.o"
+  "CMakeFiles/vegas_traffic.dir/cross.cc.o.d"
+  "CMakeFiles/vegas_traffic.dir/distributions.cc.o"
+  "CMakeFiles/vegas_traffic.dir/distributions.cc.o.d"
+  "CMakeFiles/vegas_traffic.dir/source.cc.o"
+  "CMakeFiles/vegas_traffic.dir/source.cc.o.d"
+  "libvegas_traffic.a"
+  "libvegas_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvegas_traffic.a"
+)

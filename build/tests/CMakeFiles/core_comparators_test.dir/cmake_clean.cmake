@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_comparators_test.dir/core_comparators_test.cc.o"
+  "CMakeFiles/core_comparators_test.dir/core_comparators_test.cc.o.d"
+  "core_comparators_test"
+  "core_comparators_test.pdb"
+  "core_comparators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_comparators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

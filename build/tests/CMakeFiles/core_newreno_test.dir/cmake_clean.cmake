@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_newreno_test.dir/core_newreno_test.cc.o"
+  "CMakeFiles/core_newreno_test.dir/core_newreno_test.cc.o.d"
+  "core_newreno_test"
+  "core_newreno_test.pdb"
+  "core_newreno_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_newreno_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

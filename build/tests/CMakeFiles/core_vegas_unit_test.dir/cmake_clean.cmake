@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_vegas_unit_test.dir/core_vegas_unit_test.cc.o"
+  "CMakeFiles/core_vegas_unit_test.dir/core_vegas_unit_test.cc.o.d"
+  "core_vegas_unit_test"
+  "core_vegas_unit_test.pdb"
+  "core_vegas_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_vegas_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/integration_test.dir/integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/vegas_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vegas_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/vegas_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/vegas_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vegas_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/vegas_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/vegas_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/vegas_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vegas_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_node_test.dir/net_node_test.cc.o"
+  "CMakeFiles/net_node_test.dir/net_node_test.cc.o.d"
+  "net_node_test"
+  "net_node_test.pdb"
+  "net_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcp_seq_test.dir/tcp_seq_test.cc.o"
+  "CMakeFiles/tcp_seq_test.dir/tcp_seq_test.cc.o.d"
+  "tcp_seq_test"
+  "tcp_seq_test.pdb"
+  "tcp_seq_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcp_seq_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

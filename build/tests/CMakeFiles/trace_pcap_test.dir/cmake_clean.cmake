@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_pcap_test.dir/trace_pcap_test.cc.o"
+  "CMakeFiles/trace_pcap_test.dir/trace_pcap_test.cc.o.d"
+  "trace_pcap_test"
+  "trace_pcap_test.pdb"
+  "trace_pcap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_pcap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_simulator_test[1]_include.cmake")
+include("/root/repo/build/tests/common_rng_test[1]_include.cmake")
+include("/root/repo/build/tests/net_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/net_link_test[1]_include.cmake")
+include("/root/repo/build/tests/net_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_seq_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_buffer_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_rtt_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_sender_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_transfer_test[1]_include.cmake")
+include("/root/repo/build/tests/core_vegas_unit_test[1]_include.cmake")
+include("/root/repo/build/tests/core_comparators_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_connection_test[1]_include.cmake")
+include("/root/repo/build/tests/tcp_sack_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_pcap_test[1]_include.cmake")
+include("/root/repo/build/tests/core_newreno_test[1]_include.cmake")
+include("/root/repo/build/tests/tools_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/net_node_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas-sim.dir/vegas_sim.cpp.o"
+  "CMakeFiles/vegas-sim.dir/vegas_sim.cpp.o.d"
+  "vegas-sim"
+  "vegas-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

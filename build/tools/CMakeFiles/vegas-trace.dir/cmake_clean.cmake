@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vegas-trace.dir/vegas_trace.cpp.o"
+  "CMakeFiles/vegas-trace.dir/vegas_trace.cpp.o.d"
+  "vegas-trace"
+  "vegas-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vegas-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
