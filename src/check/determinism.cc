@@ -1,0 +1,38 @@
+#include "check/determinism.h"
+
+namespace vegas::check {
+
+std::uint64_t fnv1a(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t trace_digest(const trace::TraceBuffer& buf) {
+  // TraceEvent is a packed 12-byte POD (static_assert in trace_buffer.h),
+  // so hashing the array bytes covers every field with no padding noise.
+  std::uint64_t h = fnv1a(nullptr, 0);
+  for (const trace::TraceEvent& e : buf.events()) {
+    h = fnv1a(&e, sizeof(e), h);
+  }
+  return h;
+}
+
+DeterminismResult check_determinism(
+    const std::function<std::uint64_t()>& run_once, int runs) {
+  DeterminismResult r;
+  for (int i = 0; i < runs; ++i) {
+    r.digests.push_back(run_once());
+  }
+  r.deterministic = true;
+  for (const std::uint64_t d : r.digests) {
+    r.deterministic = r.deterministic && d == r.digests.front();
+  }
+  return r;
+}
+
+}  // namespace vegas::check

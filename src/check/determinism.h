@@ -1,0 +1,42 @@
+// Determinism harness.
+//
+// The simulator is a single-threaded discrete-event loop seeded from
+// explicit RNG streams, so a scenario run twice with the same seed must
+// produce bit-identical traces.  This module turns that into a checkable
+// property: hash a run's TraceBuffer into a 64-bit digest, run the
+// scenario again, and compare.  Divergence means hidden nondeterminism —
+// wall-clock reads, unseeded randomness, or container-address-dependent
+// iteration — exactly the harness bugs that invalidate paper-reproduction
+// numbers before any protocol difference gets a chance to.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "trace/trace_buffer.h"
+
+namespace vegas::check {
+
+/// Incremental FNV-1a over raw bytes; order-sensitive by construction.
+std::uint64_t fnv1a(const void* data, std::size_t size,
+                    std::uint64_t seed = 14695981039346656037ULL);
+
+/// Digest of a trace: every event's time, kind, aux, length and value in
+/// order.  Two runs of the same seeded scenario must produce equal
+/// digests.
+std::uint64_t trace_digest(const trace::TraceBuffer& buf);
+
+struct DeterminismResult {
+  bool deterministic = false;
+  std::vector<std::uint64_t> digests;  // one per run, in order
+};
+
+/// Runs `run_once` (a self-contained scenario returning its digest —
+/// typically trace_digest over a fresh world driven to completion)
+/// `runs` times and compares the digests.
+DeterminismResult check_determinism(
+    const std::function<std::uint64_t()>& run_once, int runs = 2);
+
+}  // namespace vegas::check

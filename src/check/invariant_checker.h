@@ -1,0 +1,175 @@
+// Runtime protocol-invariant lint.
+//
+// An InvariantChecker is a ConnectionObserver (tcp/observer.h) that
+// validates, on every reported send/ACK/window event, the state-machine
+// properties the paper's claims rest on:
+//
+//   - the congestion window stays within [min_cwnd, max_cwnd] — one
+//     segment at the bottom (set_cwnd's clamp, §3.2's worked example) and
+//     the send buffer plus recovery-inflation headroom at the top (§4.3);
+//   - the window is decreased for losses at most once per window of data:
+//     a loss-triggered decrease is valid only if the lost transmission
+//     went out after the previous decrease (§3.1);
+//   - in the modified slow start the window doubles only every other RTT,
+//     so it can never grow eightfold in under ~3.5 round trips (§3.3);
+//   - BaseRTT is a running minimum: it never exceeds a fresh RTT sample
+//     (§3.2) — cross-checked against the live VegasSender when attached;
+//   - cumulative ACKs are monotone and never acknowledge data that was
+//     never sent (sequence-number sanity);
+//   - CAM samples report Diff = Expected − Actual >= 0 (§3.2: "Actual
+//     rate should never be greater than the Expected rate").
+//
+// Violations are collected (and optionally fatal via fail_fast) so tests
+// can both prove the clean path stays clean and prove each rule fires
+// when a fault is seeded.  The Vegas-specific rules (§3.1 decrease
+// accounting, §3.3 doubling cadence) are gated behind vegas_rules since
+// Reno legitimately breaks them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+#include "tcp/config.h"
+#include "tcp/observer.h"
+
+namespace vegas::tcp {
+class TcpSender;
+}
+
+namespace vegas::check {
+
+struct InvariantOptions {
+  ByteCount mss = 1024;
+  /// Hard window bounds.  min_cwnd is one segment; max_cwnd defaults to
+  /// twice the send buffer: recovery inflates cwnd by one MSS per
+  /// duplicate ACK, which is bounded by the in-flight data (<= buffer).
+  ByteCount min_cwnd = 1024;
+  ByteCount max_cwnd = 2 * 50 * 1024;
+  /// Enable the Vegas-only rules (§3.1 once-per-window decrease, §3.3
+  /// every-other-RTT doubling, Diff >= 0).  Off for Reno/Tahoe.
+  bool vegas_rules = false;
+  /// Abort (via ensure) on the first violation instead of collecting.
+  bool fail_fast = false;
+
+  static InvariantOptions for_config(const tcp::TcpConfig& cfg,
+                                     bool vegas_rules);
+};
+
+struct Violation {
+  sim::Time t;
+  std::string what;
+};
+
+class InvariantChecker : public tcp::ConnectionObserver {
+ public:
+  explicit InvariantChecker(InvariantOptions opt = {});
+
+  /// Optional: enables cross-checks against live sender state.  If the
+  /// sender is a VegasSender, its BaseRTT is validated against every RTT
+  /// sample the checker measures itself from the event stream.
+  void attach_sender(const tcp::TcpSender* sender);
+
+  /// Test seam for the BaseRTT rule: the probe returns the sender's
+  /// current BaseRTT (or nullopt before the first sample).
+  void attach_base_rtt_probe(std::function<std::optional<sim::Time>()> probe) {
+    base_rtt_probe_ = std::move(probe);
+  }
+
+  // --- ConnectionObserver -------------------------------------------------
+  void on_segment_sent(sim::Time t, tcp::StreamOffset seq, ByteCount len,
+                       bool retransmit) override;
+  void on_ack_received(sim::Time t, tcp::StreamOffset ack, ByteCount wnd,
+                       bool duplicate) override;
+  void on_windows(sim::Time t, ByteCount cwnd, ByteCount ssthresh,
+                  ByteCount send_wnd, ByteCount in_flight) override;
+  void on_retransmit(sim::Time t, tcp::StreamOffset seq, ByteCount len,
+                     tcp::RetransmitTrigger trigger) override;
+  void on_cam_sample(sim::Time t, double expected_Bps, double actual_Bps,
+                     double diff_buffers, tcp::CamAction action) override;
+  void on_slow_start_exit(sim::Time t) override;
+  void on_closed(sim::Time t) override;
+
+  // --- results ------------------------------------------------------------
+
+  /// Resolves any same-timestamp attribution still pending.  Called by
+  /// on_closed; call manually if the connection never closes.
+  void finish();
+
+  bool ok() const { return violation_count_ == 0; }
+  std::uint64_t violation_count() const { return violation_count_; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  /// Multi-line human-readable summary ("" when clean).
+  std::string report() const;
+
+  /// Smallest RTT the checker measured itself from send/ACK pairs.
+  std::optional<sim::Time> measured_min_rtt() const {
+    return have_min_rtt_ ? std::optional<sim::Time>(min_rtt_) : std::nullopt;
+  }
+
+ private:
+  /// Advances the attribution clock; resolves pending decreases once the
+  /// event stream moves past their timestamp.
+  void advance(sim::Time t);
+  void resolve_pending();
+  void violation(sim::Time t, const std::string& what);
+  void take_rtt_sample(sim::Time t, tcp::StreamOffset ack);
+
+  InvariantOptions opt_;
+  std::function<std::optional<sim::Time>()> base_rtt_probe_;
+
+  // Send-side bookkeeping mirrored from observer events.
+  struct SendRec {
+    sim::Time sent_at;
+    ByteCount len = 0;
+    int transmissions = 1;
+  };
+  std::map<tcp::StreamOffset, SendRec> sends_;  // keyed by start offset
+  tcp::StreamOffset high_water_ = 0;            // end of highest data sent
+  tcp::StreamOffset last_ack_ = 0;
+  bool have_ack_ = false;
+
+  ByteCount last_cwnd_ = 0;
+  ByteCount last_ssthresh_ = 0;
+  bool have_windows_ = false;
+
+  sim::Time min_rtt_;
+  bool have_min_rtt_ = false;
+
+  // Same-timestamp attribution: a cwnd decrease is judged only after all
+  // events sharing its timestamp have been seen (the CAM sample / the
+  // retransmit that explains it may arrive on either side of it).
+  sim::Time cur_t_;
+  bool pending_decrease_ = false;
+  sim::Time decrease_t_;
+  ByteCount decrease_floor_ = 0;  // lowest cwnd reached at decrease_t_
+  bool pending_loss_rtx_ = false;
+  bool pending_lost_sent_known_ = false;
+  sim::Time pending_lost_sent_at_;
+  // A loss cut always moves ssthresh (set_ssthresh before set_cwnd); a
+  // recovery deflation never does.  Tracking when ssthresh last moved
+  // separates the two when both coincide with a retransmission whose cut
+  // the sender suppressed under §3.1.
+  sim::Time ssthresh_change_t_;
+  bool have_ssthresh_change_ = false;
+
+  // §3.1 once-per-window-of-data decrease accounting.
+  bool have_loss_decrease_ = false;
+  sim::Time last_loss_decrease_t_;
+
+  // §3.3 doubling-cadence anchor: (time, cwnd) at the start of a run of
+  // slow-start growth; growing 8x from the anchor in under 3.5 RTTs is a
+  // violation (doubling every other RTT needs grow/hold/grow/hold/grow).
+  bool ss_anchor_valid_ = false;
+  sim::Time ss_anchor_t_;
+  ByteCount ss_anchor_cwnd_ = 0;
+
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+};
+
+}  // namespace vegas::check

@@ -45,6 +45,7 @@ OneOnOneResult run_one_on_one(const OneOnOneParams& p) {
   large.bytes = p.large_bytes;
   large.port = 5001;
   large.factory = p.large.factory();
+  large.observer = p.observer;
   traffic::BulkTransfer t_large(world.left(0), world.right(0), large);
 
   traffic::BulkTransfer::Config small;
@@ -101,6 +102,7 @@ BackgroundResult run_background(const BackgroundParams& p) {
   bt.bytes = p.bytes;
   bt.port = 5001;
   bt.factory = p.transfer.factory();
+  bt.observer = p.observer;
   bt.start_delay = sim::Time::seconds(p.transfer_start_s);
   if (p.transfer_sack) {
     tcp::TcpConfig sack_cfg = tcp_cfg;
@@ -194,6 +196,7 @@ traffic::TransferResult run_wan(const WanParams& p) {
   bt.bytes = p.bytes;
   bt.port = 5001;
   bt.factory = p.algo.factory();
+  bt.observer = p.observer;
   bt.start_delay = sim::Time::seconds(5.0);  // let cross traffic settle
   traffic::BulkTransfer transfer(world.src(), world.dst(), bt);
 
@@ -219,6 +222,7 @@ FairnessResult run_fairness(const FairnessParams& p) {
     bt.bytes = p.bytes_each;
     bt.port = static_cast<PortNum>(5001 + i);
     bt.factory = p.algo.factory();
+    if (i == 0) bt.observer = p.observer;
     // Small start jitter so connections do not move in lockstep.
     bt.start_delay = sim::Time::seconds(jitter.uniform(0.0, 0.5));
     transfers.push_back(std::make_unique<traffic::BulkTransfer>(

@@ -41,6 +41,9 @@ struct OneOnOneParams {
   std::size_t queue = 15;      // 15 and 20 in the paper
   std::uint64_t seed = 1;
   double timeout_s = 300.0;
+  /// Observes the large transfer's connection (e.g. a trace::ConnTracer
+  /// or check::InvariantChecker).
+  tcp::ConnectionObserver* observer = nullptr;
 };
 
 struct OneOnOneResult {
@@ -70,6 +73,8 @@ struct BackgroundParams {
   /// Enable RFC 2018 selective ACKs on the measured transfer (both its
   /// endpoints); the background keeps plain cumulative ACKs.
   bool transfer_sack = false;
+  /// Observes the measured transfer's connection.
+  tcp::ConnectionObserver* observer = nullptr;
 };
 
 /// Fixed horizon over which Table 3's background goodput is averaged.
@@ -98,6 +103,8 @@ struct WanParams {
   /// datagram floods simply take whatever Vegas vacates (see DESIGN.md).
   double cross_interarrival_s = 2.0;
   double timeout_s = 600.0;
+  /// Observes the measured transfer's connection.
+  tcp::ConnectionObserver* observer = nullptr;
 };
 
 traffic::TransferResult run_wan(const WanParams& p);
@@ -112,6 +119,9 @@ struct FairnessParams {
   std::size_t queue = 20;
   std::uint64_t seed = 1;
   double timeout_s = 2000.0;
+  /// Observes the first connection (all connections run the same
+  /// algorithm, so one instrumented member represents the group).
+  tcp::ConnectionObserver* observer = nullptr;
 };
 
 struct FairnessResult {

@@ -1,5 +1,6 @@
 #include "net/link.h"
 
+#include <memory>
 #include <utility>
 
 #include "common/ensure.h"
@@ -51,9 +52,11 @@ void Link::try_transmit() {
   const sim::Time tx =
       sim::transmission_time(p->wire_bytes(), cfg_.bandwidth_Bps);
   busy_accum_ += tx;
-  // Move the packet into the serialization-complete event.
-  auto* raw = p.release();
-  sim_.schedule(tx, [this, raw] { on_serialized(PacketPtr(raw)); });
+  // The event queue's Action must stay copyable, so the in-flight packet
+  // rides in a shared holder; if the simulation ends before the event
+  // fires, the holder (not a leaked raw pointer) still frees it.
+  auto held = std::make_shared<PacketPtr>(std::move(p));
+  sim_.schedule(tx, [this, held] { on_serialized(std::move(*held)); });
 }
 
 void Link::on_serialized(PacketPtr p) {
@@ -71,9 +74,9 @@ void Link::on_serialized(PacketPtr p) {
     delivery += sim::Time::seconds(
         jitter_rng_->uniform(0.0, max_jitter_.to_seconds()));
   }
-  auto* raw = p.release();
-  sim_.schedule(delivery, [this, raw, wire] {
-    PacketPtr owned(raw);
+  auto held = std::make_shared<PacketPtr>(std::move(p));
+  sim_.schedule(delivery, [this, held, wire] {
+    PacketPtr owned = std::move(*held);
     bytes_delivered_ += wire;
     if (rate_meter_ != nullptr && owned->is_data()) {
       rate_meter_->on_bytes(sim_.now(), owned->payload_bytes);

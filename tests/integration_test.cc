@@ -2,27 +2,76 @@
 // in this reproduction (exact numbers are checked by the benches).
 #include <gtest/gtest.h>
 
+#include "check/invariant_checker.h"
 #include "exp/scenarios.h"
 #include "stats/fairness.h"
+#include "tcp/config.h"
 
 namespace vegas::exp {
 namespace {
 
+// Every scenario run is shadowed by a protocol-invariant checker on its
+// measured connection; the Vegas-only rules engage when the observed
+// algorithm is Vegas.
+check::InvariantOptions opts_for(const AlgoSpec& s) {
+  return check::InvariantOptions::for_config(
+      tcp::TcpConfig{}, s.algo == core::Algorithm::kVegas);
+}
+
+OneOnOneResult run_one_on_one_checked(OneOnOneParams p) {
+  check::InvariantChecker ch(opts_for(p.large));
+  p.observer = &ch;
+  auto r = run_one_on_one(p);
+  ch.finish();
+  EXPECT_TRUE(ch.ok()) << ch.report();
+  return r;
+}
+
+BackgroundResult run_background_checked(BackgroundParams p) {
+  check::InvariantChecker ch(opts_for(p.transfer));
+  p.observer = &ch;
+  auto r = run_background(p);
+  ch.finish();
+  EXPECT_TRUE(ch.ok()) << ch.report();
+  return r;
+}
+
+traffic::TransferResult run_wan_checked(WanParams p) {
+  check::InvariantChecker ch(opts_for(p.algo));
+  p.observer = &ch;
+  auto r = run_wan(p);
+  ch.finish();
+  EXPECT_TRUE(ch.ok()) << ch.report();
+  return r;
+}
+
+FairnessResult run_fairness_checked(FairnessParams p) {
+  check::InvariantChecker ch(opts_for(p.algo));
+  p.observer = &ch;
+  auto r = run_fairness(p);
+  ch.finish();
+  EXPECT_TRUE(ch.ok()) << ch.report();
+  return r;
+}
+
 TEST(PaperShapeTest, VegasBeatsRenoSolo) {
   // Figures 6 vs 7: same network, no other traffic, queue of 10.
   auto run = [](AlgoSpec spec) {
-    OneOnOneParams p;  // reuse: make the "small" transfer trivial
     net::DumbbellConfig topo;
     topo.pairs = 1;
     topo.bottleneck_queue = 10;
     DumbbellWorld world(topo, tcp::TcpConfig{}, 1);
+    check::InvariantChecker ch(opts_for(spec));
     traffic::BulkTransfer::Config bt;
     bt.bytes = 1_MB;
     bt.port = 5001;
     bt.factory = spec.factory();
+    bt.observer = &ch;
     traffic::BulkTransfer t(world.left(0), world.right(0), bt);
     world.sim().run_until(sim::Time::seconds(300));
     EXPECT_TRUE(t.done());
+    ch.finish();
+    EXPECT_TRUE(ch.ok()) << ch.report();
     return t.result();
   };
   const auto reno = run(AlgoSpec::reno());
@@ -51,14 +100,14 @@ TEST(PaperShapeTest, OneOnOneVegasDoesNotHurtReno) {
       p.seed = 10 * queue + static_cast<std::uint64_t>(delay * 10);
       p.large = AlgoSpec::reno();
       p.small = AlgoSpec::reno();
-      const auto rr = run_one_on_one(p);
+      const auto rr = run_one_on_one_checked(p);
       EXPECT_TRUE(rr.small.completed);
       reno_vs_reno += rr.small.throughput_Bps();
       retx_rr += rr.large.sender_stats.bytes_retransmitted +
                  rr.small.sender_stats.bytes_retransmitted;
 
       p.large = AlgoSpec::vegas();
-      const auto vr = run_one_on_one(p);
+      const auto vr = run_one_on_one_checked(p);
       EXPECT_TRUE(vr.small.completed);
       reno_vs_vegas += vr.small.throughput_Bps();
       retx_vr += vr.large.sender_stats.bytes_retransmitted +
@@ -82,7 +131,7 @@ TEST(PaperShapeTest, VegasOnVegasNearlyLossFree) {
   p.small = AlgoSpec::vegas();
   p.queue = 15;
   p.small_delay_s = 1.0;
-  const auto r = run_one_on_one(p);
+  const auto r = run_one_on_one_checked(p);
   ASSERT_TRUE(r.large.completed);
   ASSERT_TRUE(r.small.completed);
   // Table 1: Vegas/Vegas retransmits < 1 KB combined on average.
@@ -98,10 +147,10 @@ TEST(PaperShapeTest, BackgroundTrafficVegasWins) {
   p.queue = 10;
   p.seed = 42;
   p.transfer = AlgoSpec::reno();
-  const auto reno = run_background(p);
+  const auto reno = run_background_checked(p);
   ASSERT_TRUE(reno.transfer.completed);
   p.transfer = AlgoSpec::vegas(1, 3);
-  const auto vegas13 = run_background(p);
+  const auto vegas13 = run_background_checked(p);
   ASSERT_TRUE(vegas13.transfer.completed);
   EXPECT_GT(vegas13.transfer.throughput_Bps(),
             reno.transfer.throughput_Bps());
@@ -116,11 +165,11 @@ TEST(PaperShapeTest, FairnessIndexReasonable) {
   p.bytes_each = 1_MB;  // smaller than the paper's 8 MB to keep tests fast
   p.algo = AlgoSpec::vegas();
   p.timeout_s = 600;
-  const auto vegas = run_fairness(p);
+  const auto vegas = run_fairness_checked(p);
   ASSERT_TRUE(vegas.all_completed);
   EXPECT_GE(vegas.jain, 0.75);
   p.algo = AlgoSpec::reno();
-  const auto reno = run_fairness(p);
+  const auto reno = run_fairness_checked(p);
   ASSERT_TRUE(reno.all_completed);
   EXPECT_GE(reno.jain, 0.75);
 }
@@ -134,10 +183,10 @@ TEST(PaperShapeTest, SixteenConnectionsStable) {
   p.queue = 20;
   p.timeout_s = 1200;
   p.algo = AlgoSpec::reno();
-  const auto reno = run_fairness(p);
+  const auto reno = run_fairness_checked(p);
   ASSERT_TRUE(reno.all_completed);
   p.algo = AlgoSpec::vegas();
-  const auto vegas = run_fairness(p);
+  const auto vegas = run_fairness_checked(p);
   ASSERT_TRUE(vegas.all_completed);
   EXPECT_LE(vegas.coarse_timeouts, reno.coarse_timeouts);
   EXPECT_GE(vegas.jain, 1.0 / 16.0);
@@ -149,10 +198,10 @@ TEST(PaperShapeTest, WanTransferVegasWins) {
   p.seed = 11;
   p.bytes = 512_KB;
   p.algo = AlgoSpec::reno();
-  const auto reno = run_wan(p);
+  const auto reno = run_wan_checked(p);
   ASSERT_TRUE(reno.completed);
   p.algo = AlgoSpec::vegas(1, 3);
-  const auto vegas = run_wan(p);
+  const auto vegas = run_wan_checked(p);
   ASSERT_TRUE(vegas.completed);
   EXPECT_GT(vegas.throughput_Bps(), reno.throughput_Bps());
   EXPECT_LE(vegas.sender_stats.bytes_retransmitted,
@@ -169,8 +218,8 @@ TEST(ScenarioTest, RunsAreDeterministic) {
   BackgroundParams p;
   p.seed = 77;
   p.transfer = AlgoSpec::vegas();
-  const auto a = run_background(p);
-  const auto b = run_background(p);
+  const auto a = run_background_checked(p);
+  const auto b = run_background_checked(p);
   EXPECT_EQ(a.transfer.end.ns(), b.transfer.end.ns());
   EXPECT_EQ(a.transfer.sender_stats.bytes_retransmitted,
             b.transfer.sender_stats.bytes_retransmitted);

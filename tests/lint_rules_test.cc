@@ -1,0 +1,106 @@
+// Unit tests for the vegas_lint rule engine (tools/lint_rules.h).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tools/lint_rules.h"
+
+namespace vegas::lint {
+namespace {
+
+bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(LintStripTest, RemovesCommentsAndLiterals) {
+  const std::string src =
+      "int x; // new delete assert\n"
+      "/* rand() time(nullptr) */ int y;\n"
+      "const char* s = \"new int[3]\";\n";
+  const std::string out = strip_comments_and_literals(src);
+  EXPECT_EQ(out.find("rand"), std::string::npos);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_NE(out.find("int x;"), std::string::npos);
+  EXPECT_NE(out.find("int y;"), std::string::npos);
+  // Newlines survive so line numbers stay accurate.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(LintStripTest, HandlesRawStringsAndEscapes) {
+  const std::string src =
+      "auto a = R\"(new delete)\"; auto b = \"\\\"new\\\"\"; int z;\n";
+  const std::string out = strip_comments_and_literals(src);
+  EXPECT_EQ(out.find("new"), std::string::npos);
+  EXPECT_EQ(out.find("delete"), std::string::npos);
+  EXPECT_NE(out.find("int z;"), std::string::npos);
+}
+
+TEST(LintRuleTest, RawNewAndDeleteFire) {
+  const auto fs = scan_source(
+      "src/net/x.cc", "int* p = new int(3);\ndelete p;\ndelete[] q;\n");
+  EXPECT_TRUE(has_rule(fs, "raw-new"));
+  EXPECT_TRUE(has_rule(fs, "raw-delete"));
+  EXPECT_EQ(fs.size(), 3u);
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[1].line, 2);
+}
+
+TEST(LintRuleTest, DeletedFunctionsAreAllowed) {
+  const auto fs = scan_source(
+      "src/tcp/x.h",
+      "struct S {\n  S(const S&) = delete;\n  S& operator=(const S&) =\n"
+      "      delete;\n};\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRuleTest, CommentedNewIsAllowed) {
+  const auto fs = scan_source(
+      "src/tcp/x.h", "// the receiver learns about new data\nint x;\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRuleTest, AssertFires) {
+  EXPECT_TRUE(has_rule(scan_source("src/a.cc", "assert(x > 0);\n"), "assert"));
+  EXPECT_TRUE(has_rule(
+      scan_source("src/a.cc", "#include <cassert>\nint x;\n"), "assert"));
+  EXPECT_TRUE(has_rule(
+      scan_source("src/a.cc", "#include <assert.h>\nint x;\n"), "assert"));
+}
+
+TEST(LintRuleTest, StaticAssertAndGtestMacrosAllowed) {
+  const auto fs = scan_source(
+      "tests/x.cc",
+      "static_assert(sizeof(int) == 4);\nASSERT_TRUE(ok);\nEXPECT_EQ(a, b);\n"
+      "ensure(x > 0, \"msg\");\n");
+  EXPECT_TRUE(fs.empty());
+}
+
+TEST(LintRuleTest, WallClockOnlyInDeterministicZone) {
+  const std::string src =
+      "int a = rand();\nauto t = time(nullptr);\n"
+      "auto n = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(scan_source("src/sim/x.cc", src).size(), 3u);
+  EXPECT_EQ(scan_source("src/core/x.cc", src).size(), 3u);
+  // Outside sim/core the wall-clock rules do not apply.
+  EXPECT_TRUE(scan_source("tools/x.cc", src).empty());
+}
+
+TEST(LintRuleTest, SimTimeSpellingsAllowed) {
+  const std::string src =
+      "sim::Time t = sim::Time::seconds(1);\n"
+      "auto d = transmission_time(100, 2e5);\n"
+      "auto x = q.time();\nuniform(0.0, 1.0);\n";
+  EXPECT_TRUE(scan_source("src/sim/x.cc", src).empty());
+}
+
+TEST(LintRuleTest, ReportsRepoRelativePathAndLine) {
+  const auto fs = scan_source("src/net/y.cc", "int x;\nint* p = new int;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].file, "src/net/y.cc");
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_EQ(fs[0].rule, "raw-new");
+}
+
+}  // namespace
+}  // namespace vegas::lint

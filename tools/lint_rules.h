@@ -1,0 +1,231 @@
+// vegas_lint rule engine (header-only so tests can drive it directly).
+//
+// Repo-specific source rules that neither the compiler nor clang-tidy
+// enforce:
+//
+//   raw-new / raw-delete   Ownership goes through std::unique_ptr /
+//                          containers everywhere in this codebase; a raw
+//                          new or delete expression is a leak waiting for
+//                          an early return.  (`= delete` declarations are
+//                          fine.)
+//   assert                 ensure() (common/ensure.h) is the invariant
+//                          check here: always on, message-carrying, and
+//                          source-located.  assert() vanishes under
+//                          NDEBUG, which is exactly when the benches run.
+//   wall-clock             src/sim and src/core must be driven purely by
+//                          simulated time and seeded RNG streams
+//                          (common/rng.h): any std::rand/time()/chrono
+//                          clock read makes runs irreproducible and
+//                          breaks the determinism harness (src/check).
+//
+// The scanner strips comments, string and char literals first, then
+// matches word-bounded tokens, so prose like "new data" or gtest's
+// ASSERT_TRUE never trips it.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vegas::lint {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string detail;
+};
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving newlines so reported line numbers stay true.  Handles //,
+/// /* */, escapes inside literals, and R"( ... )" raw strings.
+inline std::string strip_comments_and_literals(std::string_view src) {
+  std::string out(src.size(), ' ');
+  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    if (c == '\n') out[i] = '\n';
+    switch (st) {
+      case St::kCode:
+        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+          st = St::kLineComment;
+        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+          st = St::kBlockComment;
+          ++i;
+        } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
+          st = St::kRaw;
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
+          out[i] = '"';
+          i = j;  // skip past the opening parenthesis
+        } else if (c == '"') {
+          st = St::kString;
+          out[i] = '"';
+        } else if (c == '\'') {
+          st = St::kChar;
+          out[i] = '\'';
+        } else {
+          out[i] = c;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') st = St::kCode;
+        break;
+      case St::kBlockComment:
+        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
+          st = St::kCode;
+          ++i;
+        }
+        break;
+      case St::kString:
+        if (c == '\\') {
+          ++i;
+          if (i < src.size() && src[i] == '\n') out[i] = '\n';
+        } else if (c == '"') {
+          st = St::kCode;
+          out[i] = '"';
+        }
+        break;
+      case St::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = St::kCode;
+          out[i] = '\'';
+        }
+        break;
+      case St::kRaw: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (src.compare(i, close.size(), close) == 0) {
+          st = St::kCode;
+          i += close.size() - 1;
+          out[i] = '"';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+namespace detail {
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Positions of word-bounded occurrences of `token` in `text`.
+inline std::vector<std::size_t> find_token(std::string_view text,
+                                           std::string_view token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+inline int line_of(std::string_view text, std::size_t pos) {
+  return 1 + static_cast<int>(std::count(text.begin(),
+                                         text.begin() +
+                                             static_cast<std::ptrdiff_t>(pos),
+                                         '\n'));
+}
+
+/// First non-space character before `pos`, or '\0'.
+inline char prev_nonspace(std::string_view text, std::size_t pos) {
+  while (pos > 0) {
+    const char c = text[--pos];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+/// First non-space character at or after `pos`, or '\0'.
+inline char next_nonspace(std::string_view text, std::size_t pos) {
+  while (pos < text.size()) {
+    const char c = text[pos++];
+    if (c != ' ' && c != '\t' && c != '\n') return c;
+  }
+  return '\0';
+}
+
+}  // namespace detail
+
+/// True for paths the wall-clock/randomness ban applies to: the event
+/// loop and the congestion-control algorithms.
+inline bool deterministic_zone(std::string_view path) {
+  return path.find("src/sim/") != std::string_view::npos ||
+         path.find("src/core/") != std::string_view::npos;
+}
+
+/// Scans one file's contents.  `path` is used for reporting and for the
+/// path-scoped rules.
+inline std::vector<Finding> scan_source(const std::string& path,
+                                        std::string_view contents) {
+  std::vector<Finding> findings;
+  const std::string code = strip_comments_and_literals(contents);
+  const auto add = [&](std::size_t pos, const char* rule,
+                       const std::string& detail) {
+    findings.push_back(
+        Finding{path, detail::line_of(code, pos), rule, detail});
+  };
+
+  for (const std::size_t pos : detail::find_token(code, "new")) {
+    // A new-expression is `new T...`; `operator new` declarations do not
+    // occur in this codebase, so every word-bounded `new` counts.
+    add(pos, "raw-new",
+        "raw new expression; use std::make_unique or a container");
+  }
+  for (const std::size_t pos : detail::find_token(code, "delete")) {
+    if (detail::prev_nonspace(code, pos) == '=') continue;  // = delete
+    add(pos, "raw-delete",
+        "raw delete expression; ownership must be RAII-managed");
+  }
+  for (const std::size_t pos : detail::find_token(code, "assert")) {
+    const char next = detail::next_nonspace(code, pos + 6);
+    // Matches assert(...) calls and <assert.h>-style includes; gtest's
+    // ASSERT_* and static_assert have identifier characters adjoining
+    // and never reach here.
+    if (next != '(' && next != '.') continue;
+    add(pos, "assert", "use vegas::ensure() (common/ensure.h), not assert()");
+  }
+  for (const std::size_t pos : detail::find_token(code, "cassert")) {
+    add(pos, "assert", "use vegas::ensure() (common/ensure.h), not assert()");
+  }
+
+  if (deterministic_zone(path)) {
+    static constexpr std::string_view kClockTokens[] = {
+        "rand", "srand", "random_device", "gettimeofday", "clock_gettime",
+        "system_clock", "steady_clock", "high_resolution_clock"};
+    for (const std::string_view tok : kClockTokens) {
+      for (const std::size_t pos : detail::find_token(code, tok)) {
+        add(pos, "wall-clock",
+            std::string(tok) +
+                " in src/sim|src/core; use sim::Time and rng::Stream only");
+      }
+    }
+    for (const std::size_t pos : detail::find_token(code, "time")) {
+      const char next = detail::next_nonspace(code, pos + 4);
+      const char prev = detail::prev_nonspace(code, pos);
+      // Only the C library call: `time(...)` not preceded by `.`, `:`
+      // or `_` (sim::Time's spelling is capitalised and never matches).
+      if (next != '(' || prev == '.' || prev == ':') continue;
+      add(pos, "wall-clock",
+          "time() in src/sim|src/core; use sim::Time and rng::Stream only");
+    }
+  }
+  return findings;
+}
+
+}  // namespace vegas::lint

@@ -1,0 +1,100 @@
+// vegas_lint — repo-rule scanner (see tools/lint_rules.h for the rules).
+//
+//   vegas_lint [--root DIR] [path...]
+//
+// Paths are files or directories relative to --root (default: the current
+// directory).  With no paths, scans the default enforcement set: src,
+// tools, examples, bench, tests.  Exits 1 if any finding is reported, so
+// it can gate ctest and CI directly.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp" || ext == ".hpp";
+}
+
+/// Path relative to root with forward slashes, for stable reports and
+/// for the path-scoped rules.
+std::string report_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  return (ec ? p : rel).generic_string();
+}
+
+int scan_file(const fs::path& p, const fs::path& root,
+              std::vector<vegas::lint::Finding>& findings) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "vegas_lint: cannot read %s\n", p.string().c_str());
+    return 1;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string contents = ss.str();
+  const auto file_findings =
+      vegas::lint::scan_source(report_path(p, root), contents);
+  findings.insert(findings.end(), file_findings.begin(), file_findings.end());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: vegas_lint [--root DIR] [path...]\n");
+      return 0;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tools", "examples", "bench", "tests"};
+  }
+
+  std::vector<vegas::lint::Finding> findings;
+  int io_errors = 0;
+  for (const std::string& p : paths) {
+    const fs::path full = root / p;
+    if (fs::is_directory(full)) {
+      for (const auto& entry : fs::recursive_directory_iterator(full)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          io_errors += scan_file(entry.path(), root, findings);
+        }
+      }
+    } else if (fs::is_regular_file(full)) {
+      io_errors += scan_file(full, root, findings);
+    } else {
+      std::fprintf(stderr, "vegas_lint: no such path: %s\n",
+                   full.string().c_str());
+      ++io_errors;
+    }
+  }
+
+  for (const auto& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.detail.c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("vegas_lint: %zu finding(s)\n", findings.size());
+  }
+  return findings.empty() && io_errors == 0 ? 0 : 1;
+}
