@@ -5,6 +5,8 @@
 // fairer with unequal delays and at 16 connections; no instability at
 // 16 connections over 20 buffers, where Vegas halves the coarse
 // timeouts thanks to its retransmit mechanism.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "stats/summary.h"
 
@@ -21,7 +23,7 @@ struct Agg {
 };
 
 Agg run_config(int connections, AlgoSpec spec, bool unequal, int seeds) {
-  Agg agg;
+  std::vector<exp::FairnessParams> cells;
   for (int s = 0; s < seeds; ++s) {
     exp::FairnessParams p;
     p.connections = connections;
@@ -29,7 +31,10 @@ Agg run_config(int connections, AlgoSpec spec, bool unequal, int seeds) {
     p.unequal_delay = unequal;
     p.bytes_each = connections >= 16 ? 2_MB : 8_MB;  // paper's sizes
     p.seed = 600 + static_cast<std::uint64_t>(s);
-    const auto r = exp::run_fairness(p);
+    cells.push_back(p);
+  }
+  Agg agg;
+  for (const auto& r : exp::run_fairness_sweep(cells)) {
     agg.all_completed = agg.all_completed && r.all_completed;
     agg.jain.add(r.jain);
     agg.timeouts.add(static_cast<double>(r.coarse_timeouts));

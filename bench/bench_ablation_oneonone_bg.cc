@@ -3,6 +3,7 @@
 // Paper: same conclusions — Reno does better against Vegas than against
 // itself, with Reno's losses growing only 6% in the Reno/Vegas case.
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 #include "core/factory.h"
@@ -20,42 +21,62 @@ struct Cell {
   stats::Running small_thr, combined_retx;
 };
 
+struct RunOutcome {
+  bool done = false;
+  double small_thr = 0;
+  double combined_retx = 0;
+};
+
 Cell run_combo(AlgoSpec small, AlgoSpec large, int seeds) {
-  Cell cell;
+  struct Params {
+    std::size_t queue;
+    int s;
+  };
+  std::vector<Params> cells;
   for (const std::size_t queue : {15u, 20u}) {
-    for (int s = 0; s < seeds; ++s) {
-      net::DumbbellConfig topo;
-      topo.bottleneck_queue = queue;
-      exp::DumbbellWorld world(topo, tcp::TcpConfig{},
-                               900 + queue + static_cast<std::uint64_t>(s));
+    for (int s = 0; s < seeds; ++s) cells.push_back({queue, s});
+  }
+  const auto outcomes = bench::sweep(cells.size(), [&](int i) {
+    const auto [queue, s] = cells[static_cast<std::size_t>(i)];
+    net::DumbbellConfig topo;
+    topo.bottleneck_queue = queue;
+    exp::DumbbellWorld world(topo, tcp::TcpConfig{},
+                             900 + queue + static_cast<std::uint64_t>(s));
 
-      traffic::TrafficConfig tc;
-      tc.mean_interarrival_s = 2.5;  // lighter than Table 2's load
-      tc.seed = 900 + queue * 10 + static_cast<std::uint64_t>(s);
-      traffic::TrafficSource source(world.left(0), world.right(0), tc);
-      source.start();
+    traffic::TrafficConfig tc;
+    tc.mean_interarrival_s = 2.5;  // lighter than Table 2's load
+    tc.seed = 900 + queue * 10 + static_cast<std::uint64_t>(s);
+    traffic::TrafficSource source(world.left(0), world.right(0), tc);
+    source.start();
 
-      traffic::BulkTransfer::Config lg;
-      lg.bytes = 1_MB;
-      lg.port = 5001;
-      lg.factory = large.factory();
-      traffic::BulkTransfer t_large(world.left(1), world.right(1), lg);
+    traffic::BulkTransfer::Config lg;
+    lg.bytes = 1_MB;
+    lg.port = 5001;
+    lg.factory = large.factory();
+    traffic::BulkTransfer t_large(world.left(1), world.right(1), lg);
 
-      traffic::BulkTransfer::Config sm;
-      sm.bytes = 300_KB;
-      sm.port = 5002;
-      sm.factory = small.factory();
-      sm.start_delay = sim::Time::seconds(1.0 + 0.5 * s);
-      traffic::BulkTransfer t_small(world.left(2), world.right(2), sm);
+    traffic::BulkTransfer::Config sm;
+    sm.bytes = 300_KB;
+    sm.port = 5002;
+    sm.factory = small.factory();
+    sm.start_delay = sim::Time::seconds(1.0 + 0.5 * s);
+    traffic::BulkTransfer t_small(world.left(2), world.right(2), sm);
 
-      world.sim().run_until(sim::Time::seconds(400));
-      if (!t_small.done() || !t_large.done()) continue;
-      cell.small_thr.add(t_small.throughput_kBps());
-      cell.combined_retx.add(
-          (t_small.result().sender_stats.bytes_retransmitted +
-           t_large.result().sender_stats.bytes_retransmitted) /
-          1024.0);
-    }
+    world.sim().run_until(sim::Time::seconds(400));
+    RunOutcome out;
+    if (!t_small.done() || !t_large.done()) return out;
+    out.done = true;
+    out.small_thr = t_small.throughput_kBps();
+    out.combined_retx = (t_small.result().sender_stats.bytes_retransmitted +
+                         t_large.result().sender_stats.bytes_retransmitted) /
+                        1024.0;
+    return out;
+  });
+  Cell cell;
+  for (const RunOutcome& out : outcomes) {
+    if (!out.done) continue;
+    cell.small_thr.add(out.small_thr);
+    cell.combined_retx.add(out.combined_retx);
   }
   return cell;
 }

@@ -7,6 +7,8 @@
 // BaseRTT."  We implement exactly that (TcpConfig::vegas_paced_slow_start)
 // and measure it where it matters: bottleneck queues too small for the
 // doubling transient.
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/factory.h"
 #include "core/vegas.h"
@@ -59,21 +61,36 @@ int main() {
   exp::Table table({"queue", "delay", "stock thr", "paced thr", "pace+bw thr",
                     "stock retx", "paced retx", "pace+bw retx"},
                    12);
+  struct Params {
+    std::size_t queue;
+    sim::Time delay;
+  };
+  std::vector<Params> cells;
   for (const auto delay :
        {sim::Time::milliseconds(30), sim::Time::milliseconds(60)}) {
     for (const std::size_t queue : {4u, 6u, 8u, 10u}) {
-      const Outcome stock = run_solo(queue, false, delay);
-      const Outcome paced = run_solo(queue, true, delay);
-      const Outcome both = run_solo(queue, true, delay, /*bw_check=*/true);
-      table.add_row({std::to_string(queue),
-                     exp::Table::num(delay.to_ms(), 0) + "ms",
-                     exp::Table::num(stock.thr_kBps, 1),
-                     exp::Table::num(paced.thr_kBps, 1),
-                     exp::Table::num(both.thr_kBps, 1),
-                     exp::Table::num(stock.retx_kb, 1),
-                     exp::Table::num(paced.retx_kb, 1),
-                     exp::Table::num(both.retx_kb, 1)});
+      cells.push_back({queue, delay});
     }
+  }
+  struct Variants {
+    Outcome stock, paced, both;
+  };
+  const auto outcomes = bench::sweep(cells.size(), [&](int i) {
+    const auto [queue, delay] = cells[static_cast<std::size_t>(i)];
+    return Variants{run_solo(queue, false, delay),
+                    run_solo(queue, true, delay),
+                    run_solo(queue, true, delay, /*bw_check=*/true)};
+  });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const auto& [stock, paced, both] = outcomes[i];
+    table.add_row({std::to_string(cells[i].queue),
+                   exp::Table::num(cells[i].delay.to_ms(), 0) + "ms",
+                   exp::Table::num(stock.thr_kBps, 1),
+                   exp::Table::num(paced.thr_kBps, 1),
+                   exp::Table::num(both.thr_kBps, 1),
+                   exp::Table::num(stock.retx_kb, 1),
+                   exp::Table::num(paced.retx_kb, 1),
+                   exp::Table::num(both.retx_kb, 1)});
   }
   table.print();
   bench::note(

@@ -89,9 +89,12 @@ int main() {
                    12);
   for (const int segments : {2, 4}) {
     for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
+      const auto outcomes =
+          bench::sweep(static_cast<std::size_t>(seeds), [&](int s) {
+            return run_lot(spec, segments, 3000 + static_cast<std::uint64_t>(s));
+          });
       stats::Running lng, cross;
-      for (int s = 0; s < seeds; ++s) {
-        const Outcome o = run_lot(spec, segments, 3000 + s);
+      for (const Outcome& o : outcomes) {
         if (!o.completed) continue;
         lng.add(o.long_kBps);
         cross.add(o.cross_mean_kBps);

@@ -24,41 +24,57 @@ struct Agg {
   stats::Running thr, retx, cto, avgq;
 };
 
-Agg run_cell(AlgoSpec spec, bool red, int seeds) {
-  Agg agg;
-  for (int s = 0; s < seeds; ++s) {
-    net::DumbbellConfig topo;
-    topo.bottleneck_queue = 20;
-    exp::DumbbellWorld world(topo, tcp::TcpConfig{},
-                             2400 + static_cast<std::uint64_t>(s));
-    if (red) {
-      net::RedConfig rc;
-      rc.capacity_packets = 20;
-      rc.min_thresh = 4;
-      rc.max_thresh = 12;
-      rc.max_drop_prob = 0.1;
-      rc.seed = 2500 + static_cast<std::uint64_t>(s);
-      world.topo().bottleneck_fwd->set_queue(
-          std::make_unique<net::RedQueue>(rc));
-    }
-    traffic::TrafficConfig tc;
-    tc.seed = 2400 + static_cast<std::uint64_t>(s);
-    traffic::TrafficSource source(world.left(0), world.right(0), tc);
-    source.start();
+struct RunOutcome {
+  bool done = false;
+  double thr = 0, retx = 0, cto = 0, avgq = 0;
+};
 
-    traffic::BulkTransfer::Config cfg;
-    cfg.bytes = 1_MB;
-    cfg.port = 5001;
-    cfg.factory = spec.factory();
-    cfg.start_delay = sim::Time::seconds(5);
-    traffic::BulkTransfer t(world.left(1), world.right(1), cfg);
-    world.sim().run_until(sim::Time::seconds(400));
-    if (!t.done()) continue;
-    agg.thr.add(t.throughput_kBps());
-    agg.retx.add(t.result().sender_stats.bytes_retransmitted / 1024.0);
-    agg.cto.add(static_cast<double>(t.result().sender_stats.coarse_timeouts));
-    agg.avgq.add(world.topo().fwd_monitor.time_average(
-        t.result().start, t.result().end));
+Agg run_cell(AlgoSpec spec, bool red, int seeds) {
+  const auto outcomes = bench::sweep(
+      static_cast<std::size_t>(seeds), [&](int s) {
+        net::DumbbellConfig topo;
+        topo.bottleneck_queue = 20;
+        exp::DumbbellWorld world(topo, tcp::TcpConfig{},
+                                 2400 + static_cast<std::uint64_t>(s));
+        if (red) {
+          net::RedConfig rc;
+          rc.capacity_packets = 20;
+          rc.min_thresh = 4;
+          rc.max_thresh = 12;
+          rc.max_drop_prob = 0.1;
+          rc.seed = 2500 + static_cast<std::uint64_t>(s);
+          world.topo().bottleneck_fwd->set_queue(
+              std::make_unique<net::RedQueue>(rc));
+        }
+        traffic::TrafficConfig tc;
+        tc.seed = 2400 + static_cast<std::uint64_t>(s);
+        traffic::TrafficSource source(world.left(0), world.right(0), tc);
+        source.start();
+
+        traffic::BulkTransfer::Config cfg;
+        cfg.bytes = 1_MB;
+        cfg.port = 5001;
+        cfg.factory = spec.factory();
+        cfg.start_delay = sim::Time::seconds(5);
+        traffic::BulkTransfer t(world.left(1), world.right(1), cfg);
+        world.sim().run_until(sim::Time::seconds(400));
+        RunOutcome out;
+        if (!t.done()) return out;
+        out.done = true;
+        out.thr = t.throughput_kBps();
+        out.retx = t.result().sender_stats.bytes_retransmitted / 1024.0;
+        out.cto = static_cast<double>(t.result().sender_stats.coarse_timeouts);
+        out.avgq = world.topo().fwd_monitor.time_average(t.result().start,
+                                                         t.result().end);
+        return out;
+      });
+  Agg agg;
+  for (const RunOutcome& out : outcomes) {
+    if (!out.done) continue;
+    agg.thr.add(out.thr);
+    agg.retx.add(out.retx);
+    agg.cto.add(out.cto);
+    agg.avgq.add(out.avgq);
   }
   return agg;
 }

@@ -14,14 +14,17 @@ using exp::AlgoSpec;
 namespace {
 
 double mean_throughput(AlgoSpec spec, ByteCount sendbuf, int seeds) {
-  stats::Running thr;
+  std::vector<exp::BackgroundParams> cells;
   for (int s = 0; s < seeds; ++s) {
     exp::BackgroundParams p;
     p.transfer = spec;
     p.send_buffer = sendbuf;
     p.queue = 10;
     p.seed = 500 + static_cast<std::uint64_t>(s);
-    const auto r = exp::run_background(p);
+    cells.push_back(p);
+  }
+  stats::Running thr;
+  for (const auto& r : exp::run_background_sweep(cells)) {
     if (r.transfer.completed) thr.add(r.transfer.throughput_Bps() / 1024.0);
   }
   return thr.mean();

@@ -4,6 +4,8 @@
 //    or 200 ms).  Delayed ACKs halve the ACK clock — slow start ramps
 //    slower and Vegas gets half the CAM samples.
 //  - Segment size: 512 B / 1 KB (the paper's) / 1436 B (Ethernet MSS).
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/factory.h"
 #include "exp/world.h"
@@ -19,24 +21,38 @@ struct Agg {
   stats::Running thr, retx;
 };
 
+struct RunOutcome {
+  bool done = false;
+  double thr = 0, retx = 0;
+};
+
 Agg run_solo(AlgoSpec spec, const tcp::TcpConfig& tcp_cfg, int seeds) {
+  const auto outcomes = bench::sweep(
+      static_cast<std::size_t>(seeds), [&](int s) {
+        net::DumbbellConfig topo;
+        topo.pairs = 1;
+        topo.bottleneck_queue = 10;
+        exp::DumbbellWorld world(topo, tcp_cfg,
+                                 2800 + static_cast<std::uint64_t>(s));
+        traffic::BulkTransfer::Config cfg;
+        cfg.bytes = 1_MB;
+        cfg.port = 5001;
+        cfg.tcp = tcp_cfg;
+        cfg.factory = spec.factory();
+        traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
+        world.sim().run_until(sim::Time::seconds(300));
+        RunOutcome out;
+        if (!t.done()) return out;
+        out.done = true;
+        out.thr = t.throughput_kBps();
+        out.retx = t.result().sender_stats.bytes_retransmitted / 1024.0;
+        return out;
+      });
   Agg agg;
-  for (int s = 0; s < seeds; ++s) {
-    net::DumbbellConfig topo;
-    topo.pairs = 1;
-    topo.bottleneck_queue = 10;
-    exp::DumbbellWorld world(topo, tcp_cfg,
-                             2800 + static_cast<std::uint64_t>(s));
-    traffic::BulkTransfer::Config cfg;
-    cfg.bytes = 1_MB;
-    cfg.port = 5001;
-    cfg.tcp = tcp_cfg;
-    cfg.factory = spec.factory();
-    traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
-    world.sim().run_until(sim::Time::seconds(300));
-    if (!t.done()) continue;
-    agg.thr.add(t.throughput_kBps());
-    agg.retx.add(t.result().sender_stats.bytes_retransmitted / 1024.0);
+  for (const RunOutcome& out : outcomes) {
+    if (!out.done) continue;
+    agg.thr.add(out.thr);
+    agg.retx.add(out.retx);
   }
   return agg;
 }

@@ -4,6 +4,8 @@
 //   - the gamma slow-start exit threshold (§3.3),
 //   - the window-decrease factor for fine-detected losses (the SIGCOMM
 //     text leaves it unspecified; DESIGN.md documents our 3/4 default).
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "stats/summary.h"
 
@@ -17,18 +19,21 @@ struct Agg {
 };
 
 Agg run_variant(AlgoSpec spec, int seeds) {
-  Agg agg;
+  std::vector<exp::BackgroundParams> cells;
   for (const std::size_t queue : {10u, 15u}) {
     for (int s = 0; s < seeds; ++s) {
       exp::BackgroundParams p;
       p.transfer = spec;
       p.queue = queue;
       p.seed = 1500 + queue * 20 + static_cast<std::uint64_t>(s);
-      const auto r = exp::run_background(p);
-      if (!r.transfer.completed) continue;
-      agg.thr.add(r.transfer.throughput_Bps() / 1024.0);
-      agg.retx.add(r.transfer.sender_stats.bytes_retransmitted / 1024.0);
+      cells.push_back(p);
     }
+  }
+  Agg agg;
+  for (const auto& r : exp::run_background_sweep(cells)) {
+    if (!r.transfer.completed) continue;
+    agg.thr.add(r.transfer.throughput_Bps() / 1024.0);
+    agg.retx.add(r.transfer.sender_stats.bytes_retransmitted / 1024.0);
   }
   return agg;
 }

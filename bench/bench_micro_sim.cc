@@ -1,74 +1,159 @@
 // Micro-benchmarks of the simulator substrate itself: event queue
-// schedule/pop throughput, timer churn, and packets-per-second through
-// a loaded link — the numbers that bound every experiment's wall time.
-#include <benchmark/benchmark.h>
+// schedule/pop throughput, cancel churn, timer churn, and
+// packets-per-second through a loaded link — the numbers that bound
+// every experiment's wall time.
+//
+// A plain binary (no google-benchmark) so the exact same timing loops
+// could be compiled against the pre-PR substrate to produce
+// BENCH_micro_sim.baseline.json.  Prints a human table and writes a
+// machine-readable JSON report (VEGAS_BENCH_JSON overrides the path)
+// containing the baseline, the current numbers, the speedups, and the
+// steady-state allocation counters that back the "zero allocation"
+// claim.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/bench_util.h"
 #include "net/link.h"
+#include "net/packet.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
 
 using namespace vegas;
-using namespace vegas::sim::literals;
 
 namespace {
 
-void BM_EventQueueScheduleAndPop(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    sim::EventQueue q;
-    std::uint64_t x = 99;
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Lcg {
+  std::uint64_t x = 99;
+  std::int64_t next(std::int64_t mod) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::int64_t>(x % static_cast<std::uint64_t>(mod));
+  }
+};
+
+// Steady-state allocation counters: deltas accumulated after each
+// workload's first (warm-up) round.  All of them must be zero for the
+// "zero allocations in steady state" claim to hold.
+struct SteadyState {
+  std::uint64_t slot_allocs = 0;
+  std::uint64_t heap_grows = 0;
+  std::uint64_t boxed_actions = 0;
+  std::uint64_t pool_capacity_growth = 0;
+};
+
+SteadyState g_steady;
+
+double wl_schedule_pop(int n, int rounds) {
+  sim::EventQueue q;
+  std::uint64_t sink = 0;
+  Lcg lcg;
+  sim::EventQueue::Stats warm{};
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
     for (int i = 0; i < n; ++i) {
-      x = x * 6364136223846793005ull + 1442695040888963407ull;
-      q.schedule(sim::Time::nanoseconds(static_cast<std::int64_t>(x % 1000000)),
-                 [] {});
+      q.schedule(sim::Time::nanoseconds(lcg.next(1000000)), [] {});
     }
-    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+    while (!q.empty()) sink += q.pop().id;
+    if (r == 0) warm = q.stats();
   }
-  state.SetItemsProcessed(state.iterations() * n);
-}
-BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1000)->Arg(100000);
-
-void BM_SimulatorEventChain(benchmark::State& state) {
-  for (auto _ : state) {
-    sim::Simulator sim;
-    int remaining = 100000;
-    std::function<void()> hop = [&] {
-      if (--remaining > 0) sim.schedule(1_us, hop);
-    };
-    sim.schedule(1_us, hop);
-    sim.run();
-    benchmark::DoNotOptimize(sim.events_executed());
+  const double el = secs_since(t0);
+  if (sink == 0) std::fprintf(stderr, "impossible\n");
+  if (rounds > 1) {
+    g_steady.slot_allocs += q.stats().slot_allocs - warm.slot_allocs;
+    g_steady.heap_grows += q.stats().heap_grows - warm.heap_grows;
   }
-  state.SetItemsProcessed(state.iterations() * 100000);
+  g_steady.boxed_actions += q.stats().boxed_actions;
+  return static_cast<double>(n) * rounds / el;
 }
-BENCHMARK(BM_SimulatorEventChain);
 
-void BM_TimerRestartChurn(benchmark::State& state) {
-  sim::Simulator sim;
-  sim::Timer t(sim, [] {});
-  for (auto _ : state) {
-    t.restart(1_ms);
+double wl_cancel_churn(int n, int rounds) {
+  sim::EventQueue q;
+  std::vector<sim::EventId> ids;
+  ids.reserve(static_cast<std::size_t>(n));
+  Lcg lcg;
+  sim::EventQueue::Stats warm{};
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    ids.clear();
+    for (int i = 0; i < n; ++i) {
+      ids.push_back(
+          q.schedule(sim::Time::nanoseconds(lcg.next(1000000)), [] {}));
+    }
+    for (const sim::EventId id : ids) q.cancel(id);
+    if (r == 0) warm = q.stats();
+  }
+  const double el = secs_since(t0);
+  if (rounds > 1) {
+    g_steady.slot_allocs += q.stats().slot_allocs - warm.slot_allocs;
+    g_steady.heap_grows += q.stats().heap_grows - warm.heap_grows;
+  }
+  g_steady.boxed_actions += q.stats().boxed_actions;
+  return static_cast<double>(n) * rounds / el;
+}
+
+struct Hop {
+  sim::Simulator* s;
+  long* remaining;
+  void operator()() const {
+    if (--*remaining > 0) {
+      s->schedule(sim::Time::microseconds(1), Hop{s, remaining});
+    }
+  }
+};
+
+double wl_event_chain(long total) {
+  sim::Simulator s;
+  long remaining = total;
+  const auto t0 = Clock::now();
+  s.schedule(sim::Time::microseconds(1), Hop{&s, &remaining});
+  s.run();
+  const double el = secs_since(t0);
+  g_steady.boxed_actions += s.queue_stats().boxed_actions;
+  return static_cast<double>(s.events_executed()) / el;
+}
+
+double wl_timer_churn(long total) {
+  sim::Simulator s;
+  sim::Timer t(s, [] {});
+  const auto t0 = Clock::now();
+  for (long i = 0; i < total; ++i) {
+    t.restart(sim::Time::milliseconds(1));
     t.stop();
   }
+  g_steady.boxed_actions += s.queue_stats().boxed_actions;
+  return static_cast<double>(total) / secs_since(t0);
 }
-BENCHMARK(BM_TimerRestartChurn);
 
 class CountingSink : public net::Node {
  public:
   CountingSink() : Node(0, "sink") {}
   void receive(net::PacketPtr p) override {
-    benchmark::DoNotOptimize(p->uid);
-    ++count;
+    count += p->uid != 0 ? 1 : 0;
   }
   std::uint64_t count = 0;
 };
 
-void BM_LinkPacketThroughput(benchmark::State& state) {
-  for (auto _ : state) {
+double wl_link_throughput(int rounds) {
+  std::uint64_t total = 0;
+  std::uint64_t warm_capacity = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
     sim::Simulator sim;
     CountingSink sink;
-    net::LinkConfig cfg{1e9, 1_ms, 64};
+    net::LinkConfig cfg{1e9, sim::Time::milliseconds(1), 64};
     net::Link link(sim, "l", cfg, sink);
     for (int burst = 0; burst < 200; ++burst) {
       for (int i = 0; i < 50; ++i) {
@@ -78,12 +163,154 @@ void BM_LinkPacketThroughput(benchmark::State& state) {
       }
       sim.run();
     }
-    benchmark::DoNotOptimize(sink.count);
+    total += sink.count;
+    if (r == 0) warm_capacity = net::packet_pool_stats().capacity;
   }
-  state.SetItemsProcessed(state.iterations() * 200 * 50);
+  const double el = secs_since(t0);
+  if (rounds > 1) {
+    g_steady.pool_capacity_growth +=
+        net::packet_pool_stats().capacity - warm_capacity;
+  }
+  return static_cast<double>(total) / el;
 }
-BENCHMARK(BM_LinkPacketThroughput);
+
+// --- baseline + JSON plumbing ---------------------------------------
+
+struct Metric {
+  const char* key;
+  double current = 0;
+  double baseline = 0;  // 0 when the baseline file was not found
+};
+
+// Pulls `"key": <number>` out of a flat JSON object without a JSON
+// library: find the quoted key, skip to the ':', strtod the rest.
+double scan_json_number(const std::string& text, const char* key) {
+  const std::string quoted = std::string("\"") + key + "\"";
+  const std::size_t at = text.find(quoted);
+  if (at == std::string::npos) return 0;
+  const std::size_t colon = text.find(':', at + quoted.size());
+  if (colon == std::string::npos) return 0;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+std::string read_file(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+std::string load_baseline() {
+  if (const char* env = std::getenv("VEGAS_BENCH_BASELINE")) {
+    return read_file(env);
+  }
+  // The bench is usually launched either from the repo root or from
+  // inside build/bench/.
+  for (const char* path : {"BENCH_micro_sim.baseline.json",
+                           "../BENCH_micro_sim.baseline.json",
+                           "../../BENCH_micro_sim.baseline.json"}) {
+    std::string text = read_file(path);
+    if (!text.empty()) return text;
+  }
+  return {};
+}
+
+void write_json(const std::vector<Metric>& metrics, double scale,
+                bool have_baseline) {
+  const char* path = std::getenv("VEGAS_BENCH_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_micro_sim.json";
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"scale\": %g,\n  \"metrics\": {\n", scale);
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    std::fprintf(f, "    \"%s\": {\"baseline\": %.6g, \"current\": %.6g",
+                 m.key, m.baseline, m.current);
+    if (have_baseline && m.baseline > 0) {
+      std::fprintf(f, ", \"speedup\": %.3f", m.current / m.baseline);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  },\n"
+               "  \"steady_state\": {\n"
+               "    \"event_queue_slot_allocs_after_warmup\": %llu,\n"
+               "    \"event_queue_heap_grows_after_warmup\": %llu,\n"
+               "    \"boxed_actions\": %llu,\n"
+               "    \"packet_pool_capacity_growth_after_warmup\": %llu,\n"
+               "    \"packet_pool_outstanding_at_end\": %llu\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(g_steady.slot_allocs),
+               static_cast<unsigned long long>(g_steady.heap_grows),
+               static_cast<unsigned long long>(g_steady.boxed_actions),
+               static_cast<unsigned long long>(g_steady.pool_capacity_growth),
+               static_cast<unsigned long long>(
+                   net::packet_pool_stats().outstanding()));
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main() {
+  bench::header("Micro", "Simulator substrate hot-path throughput");
+  const double scale = bench::run_scale();
+  const int rounds10 = bench::scaled(10);
+  const int rounds5 = bench::scaled(5);
+  const long chain = std::max(10000L, static_cast<long>(1000000 * scale));
+
+  std::vector<Metric> metrics{
+      {"event_queue_schedule_pop_events_per_sec",
+       wl_schedule_pop(100000, rounds10)},
+      {"event_queue_cancel_churn_ops_per_sec",
+       wl_cancel_churn(100000, rounds10)},
+      {"simulator_event_chain_events_per_sec", wl_event_chain(chain)},
+      {"timer_restart_churn_ops_per_sec", wl_timer_churn(chain)},
+      {"link_packet_throughput_packets_per_sec", wl_link_throughput(rounds5)},
+  };
+
+  const std::string baseline = load_baseline();
+  if (baseline.empty()) {
+    bench::note("(BENCH_micro_sim.baseline.json not found; speedups "
+                "omitted — set VEGAS_BENCH_BASELINE to point at it)");
+  }
+  for (Metric& m : metrics) {
+    m.baseline = baseline.empty() ? 0 : scan_json_number(baseline, m.key);
+  }
+
+  exp::Table table({"metric", "baseline/s", "current/s", "speedup"}, 14);
+  for (const Metric& m : metrics) {
+    char cur[32], base[32], speed[32];
+    std::snprintf(cur, sizeof(cur), "%.3g", m.current);
+    if (m.baseline > 0) {
+      std::snprintf(base, sizeof(base), "%.3g", m.baseline);
+      std::snprintf(speed, sizeof(speed), "%.2fx", m.current / m.baseline);
+    } else {
+      std::snprintf(base, sizeof(base), "-");
+      std::snprintf(speed, sizeof(speed), "-");
+    }
+    table.add_row({m.key, base, cur, speed});
+  }
+  table.print();
+
+  std::printf("\nsteady-state allocations (all must be 0): "
+              "slot_allocs=%llu heap_grows=%llu boxed_actions=%llu "
+              "pool_growth=%llu outstanding=%llu\n",
+              static_cast<unsigned long long>(g_steady.slot_allocs),
+              static_cast<unsigned long long>(g_steady.heap_grows),
+              static_cast<unsigned long long>(g_steady.boxed_actions),
+              static_cast<unsigned long long>(g_steady.pool_capacity_growth),
+              static_cast<unsigned long long>(
+                  net::packet_pool_stats().outstanding()));
+
+  write_json(metrics, scale, !baseline.empty());
+  return 0;
+}

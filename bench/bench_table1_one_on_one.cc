@@ -22,8 +22,8 @@ struct Cell {
 };
 
 Cell run_combo(AlgoSpec small, AlgoSpec large) {
-  Cell cell;
   const std::vector<double> delays{0.0, 0.5, 1.0, 1.5, 2.0, 2.5};
+  std::vector<exp::OneOnOneParams> cells;
   for (const std::size_t queue : {15u, 20u}) {
     for (const double delay : delays) {
       exp::OneOnOneParams p;
@@ -32,16 +32,19 @@ Cell run_combo(AlgoSpec small, AlgoSpec large) {
       p.queue = queue;
       p.small_delay_s = delay;
       p.seed = 1000 + queue * 10 + static_cast<std::uint64_t>(delay * 2);
-      const auto r = exp::run_one_on_one(p);
-      if (!r.small.completed || !r.large.completed) {
-        ++cell.incomplete;
-        continue;
-      }
-      cell.small_thr.add(r.small.throughput_Bps() / 1024.0);
-      cell.large_thr.add(r.large.throughput_Bps() / 1024.0);
-      cell.small_retx.add(r.small.sender_stats.bytes_retransmitted / 1024.0);
-      cell.large_retx.add(r.large.sender_stats.bytes_retransmitted / 1024.0);
+      cells.push_back(p);
     }
+  }
+  Cell cell;
+  for (const auto& r : exp::run_one_on_one_sweep(cells)) {
+    if (!r.small.completed || !r.large.completed) {
+      ++cell.incomplete;
+      continue;
+    }
+    cell.small_thr.add(r.small.throughput_Bps() / 1024.0);
+    cell.large_thr.add(r.large.throughput_Bps() / 1024.0);
+    cell.small_retx.add(r.small.sender_stats.bytes_retransmitted / 1024.0);
+    cell.large_retx.add(r.large.sender_stats.bytes_retransmitted / 1024.0);
   }
   return cell;
 }

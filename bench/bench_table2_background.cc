@@ -23,23 +23,25 @@ struct Row {
 };
 
 Row run_protocol(AlgoSpec spec, int seeds_per_queue) {
-  Row row;
+  std::vector<exp::BackgroundParams> cells;
   for (const std::size_t queue : {10u, 15u, 20u}) {
     for (int s = 0; s < seeds_per_queue; ++s) {
       exp::BackgroundParams p;
       p.transfer = spec;
       p.queue = queue;
       p.seed = 100 + queue * 100 + static_cast<std::uint64_t>(s);
-      const auto r = exp::run_background(p);
-      if (!r.transfer.completed) {
-        ++row.incomplete;
-        continue;
-      }
-      row.thr.add(r.transfer.throughput_Bps() / 1024.0);
-      row.retx.add(r.transfer.sender_stats.bytes_retransmitted / 1024.0);
-      row.cto.add(static_cast<double>(
-          r.transfer.sender_stats.coarse_timeouts));
+      cells.push_back(p);
     }
+  }
+  Row row;
+  for (const auto& r : exp::run_background_sweep(cells)) {
+    if (!r.transfer.completed) {
+      ++row.incomplete;
+      continue;
+    }
+    row.thr.add(r.transfer.throughput_Bps() / 1024.0);
+    row.retx.add(r.transfer.sender_stats.bytes_retransmitted / 1024.0);
+    row.cto.add(static_cast<double>(r.transfer.sender_stats.coarse_timeouts));
   }
   return row;
 }

@@ -14,7 +14,7 @@ namespace {
 
 double background_goodput(AlgoSpec background, AlgoSpec transfer,
                           int seeds_per_queue) {
-  stats::Running goodput;
+  std::vector<exp::BackgroundParams> cells;
   for (const std::size_t queue : {10u, 15u, 20u}) {
     for (int s = 0; s < seeds_per_queue; ++s) {
       exp::BackgroundParams p;
@@ -22,9 +22,12 @@ double background_goodput(AlgoSpec background, AlgoSpec transfer,
       p.transfer = transfer;
       p.queue = queue;
       p.seed = 300 + queue * 100 + static_cast<std::uint64_t>(s);
-      const auto r = exp::run_background(p);
-      goodput.add(r.background_goodput_Bps / 1024.0);
+      cells.push_back(p);
     }
+  }
+  stats::Running goodput;
+  for (const auto& r : exp::run_background_sweep(cells)) {
+    goodput.add(r.background_goodput_Bps / 1024.0);
   }
   return goodput.mean();
 }

@@ -19,13 +19,16 @@ struct Row {
 };
 
 Row run_protocol(AlgoSpec spec, int seeds) {
-  Row row;
+  std::vector<exp::WanParams> cells;
   for (int s = 0; s < seeds; ++s) {
     exp::WanParams p;
     p.algo = spec;
     p.bytes = 1_MB;
     p.seed = 7000 + static_cast<std::uint64_t>(s);
-    const auto r = exp::run_wan(p);
+    cells.push_back(p);
+  }
+  Row row;
+  for (const auto& r : exp::run_wan_sweep(cells)) {
     if (!r.completed) {
       ++row.incomplete;
       continue;

@@ -18,13 +18,16 @@ struct Cell {
 };
 
 Cell run_cell(AlgoSpec spec, ByteCount bytes, int seeds) {
-  Cell c;
+  std::vector<exp::WanParams> cells;
   for (int s = 0; s < seeds; ++s) {
     exp::WanParams p;
     p.algo = spec;
     p.bytes = bytes;
     p.seed = 9000 + static_cast<std::uint64_t>(s);
-    const auto r = exp::run_wan(p);
+    cells.push_back(p);
+  }
+  Cell c;
+  for (const auto& r : exp::run_wan_sweep(cells)) {
     if (!r.completed) continue;
     c.thr.add(r.throughput_Bps() / 1024.0);
     c.retx.add(r.sender_stats.bytes_retransmitted / 1024.0);

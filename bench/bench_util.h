@@ -3,24 +3,44 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 #include "exp/report.h"
+#include "exp/runner.h"
 #include "exp/scenarios.h"
 
 namespace vegas::bench {
 
 /// Scale factor for run counts: VEGAS_BENCH_SCALE=0.2 runs one-fifth of
-/// each sweep (minimum 1 run per cell) for quick smoke tests.
+/// each sweep (minimum 1 run per cell) for quick smoke tests.  A value
+/// that is not a positive number is rejected loudly — silently treating
+/// a typo as 1.0 would publish full-scale numbers labelled as scaled.
 inline double run_scale() {
   const char* env = std::getenv("VEGAS_BENCH_SCALE");
-  if (env == nullptr) return 1.0;
-  const double v = std::atof(env);
-  return v > 0 ? v : 1.0;
+  if (env == nullptr || *env == '\0') return 1.0;
+  char* end = nullptr;
+  const double v = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !(v > 0.0)) {
+    std::fprintf(stderr,
+                 "VEGAS_BENCH_SCALE='%s' is not a positive number; "
+                 "use e.g. VEGAS_BENCH_SCALE=0.2\n",
+                 env);
+    std::exit(2);
+  }
+  return v;
 }
 
 inline int scaled(int runs) {
   const int v = static_cast<int>(runs * run_scale());
   return v < 1 ? 1 : v;
+}
+
+/// Fans fn(0..n-1) across cores (VEGAS_THREADS overrides the worker
+/// count); results come back in index order, so folding them sequentially
+/// is deterministic regardless of thread count.
+template <typename Fn>
+auto sweep(std::size_t n, Fn&& fn) {
+  return exp::ParallelRunner().map(n, std::forward<Fn>(fn));
 }
 
 inline void header(const char* id, const char* what) {

@@ -1,0 +1,119 @@
+// Small-buffer-optimized move-only callable, the event loop's callback
+// type.
+//
+// std::function pays for copyability (every capture must be copyable,
+// which forces shared_ptr holders around move-only payloads like
+// PacketPtr) and may heap-allocate captures.  SmallFn stores the callable
+// inline when it fits `Capacity` bytes and is nothrow-movable; anything
+// bigger is boxed behind a unique_ptr whose 8-byte handle itself lives
+// inline, so SmallFn's own move/destroy never allocates.  boxed() reports
+// which path a callable took — the micro-benchmarks assert the hot paths
+// stay at zero boxes.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace vegas {
+
+template <std::size_t Capacity = 48>
+class SmallFn {
+ public:
+  SmallFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor): mirrors std::function
+    assign(std::forward<F>(f));
+  }
+
+  SmallFn(SmallFn&& other) noexcept { move_from(other); }
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+  ~SmallFn() { reset(); }
+
+  void operator()() { ops_->invoke(&storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Drops the held callable (and any resources its captures own).
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(&storage_);
+      ops_ = nullptr;
+      boxed_ = false;
+    }
+  }
+
+  /// True when the callable was too large for the inline buffer and went
+  /// through the heap fallback.
+  bool boxed() const { return boxed_; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename T>
+  struct OpsFor {
+    static void invoke(void* p) { (*static_cast<T*>(p))(); }
+    static void relocate(void* dst, void* src) {
+      std::construct_at(static_cast<T*>(dst), std::move(*static_cast<T*>(src)));
+      std::destroy_at(static_cast<T*>(src));
+    }
+    static void destroy(void* p) { std::destroy_at(static_cast<T*>(p)); }
+    static constexpr Ops kOps{&invoke, &relocate, &destroy};
+  };
+
+  /// Heap fallback: the box (one unique_ptr) always fits inline.
+  template <typename T>
+  struct Boxed {
+    std::unique_ptr<T> fn;
+    void operator()() { (*fn)(); }
+  };
+
+  template <typename F>
+  void assign(F&& f) {
+    using T = std::decay_t<F>;
+    if constexpr (sizeof(T) <= Capacity &&
+                  alignof(T) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<T>) {
+      std::construct_at(reinterpret_cast<T*>(&storage_), std::forward<F>(f));
+      ops_ = &OpsFor<T>::kOps;
+    } else {
+      std::construct_at(reinterpret_cast<Boxed<T>*>(&storage_),
+                        Boxed<T>{std::make_unique<T>(std::forward<F>(f))});
+      ops_ = &OpsFor<Boxed<T>>::kOps;
+      boxed_ = true;
+    }
+  }
+
+  void move_from(SmallFn& other) noexcept {
+    ops_ = other.ops_;
+    boxed_ = other.boxed_;
+    if (ops_ != nullptr) {
+      ops_->relocate(&storage_, &other.storage_);
+      other.ops_ = nullptr;
+      other.boxed_ = false;
+    }
+  }
+
+  alignas(std::max_align_t) std::byte storage_[Capacity];
+  const Ops* ops_ = nullptr;
+  bool boxed_ = false;
+};
+
+}  // namespace vegas

@@ -1,0 +1,19 @@
+#include "exp/runner.h"
+
+#include <cstdlib>
+
+namespace vegas::exp {
+
+int resolve_threads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("VEGAS_THREADS");
+      env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace vegas::exp

@@ -1,0 +1,82 @@
+// Deterministic parallel sweep executor.
+//
+// Every paper table/figure averages many INDEPENDENT simulation runs
+// (different seeds, queue sizes, start delays).  Each cell builds its
+// own Simulator and draws from rng Streams derived from its own seed, so
+// cells share no mutable state and can execute on any thread in any
+// order; results land in a preallocated slot per cell, making the output
+// a pure function of the cell parameters — bit-identical for 1 thread or
+// N (the exp_runner_test proves this with trace digests).
+//
+// The one piece of cross-thread state in the whole library is the packet
+// uid counter (an atomic; uids stay globally unique but their VALUES
+// depend on scheduling — nothing result-bearing reads them) and the
+// per-thread packet pools (thread-confined by construction, since a cell
+// runs start-to-finish on one worker).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace vegas::exp {
+
+/// Worker-thread count: `requested` > 0 wins; otherwise the VEGAS_THREADS
+/// environment variable; otherwise std::thread::hardware_concurrency().
+/// Always at least 1.
+int resolve_threads(int requested);
+
+class ParallelRunner {
+ public:
+  explicit ParallelRunner(int threads = 0) : threads_(resolve_threads(threads)) {}
+
+  int threads() const { return threads_; }
+
+  /// Runs fn(0..n-1) across the workers and returns the results in index
+  /// order.  fn must be safe to call concurrently for distinct indices
+  /// (true for scenario cells: each builds its own world).  If any call
+  /// throws, the first exception is rethrown after all workers finish.
+  template <typename Fn>
+  auto map(std::size_t n, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, int>> {
+    using R = std::invoke_result_t<Fn&, int>;
+    std::vector<R> results(n);
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_), n));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) results[i] = fn(static_cast<int>(i));
+      return results;
+    }
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mu;
+    std::exception_ptr error;
+    auto worker = [&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          results[i] = fn(static_cast<int>(i));
+        } catch (...) {
+          const std::scoped_lock lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers) - 1);
+    for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
+    worker();  // the calling thread pulls cells too
+    for (std::thread& th : pool) th.join();
+    if (error) std::rethrow_exception(error);
+    return results;
+  }
+
+ private:
+  int threads_;
+};
+
+}  // namespace vegas::exp

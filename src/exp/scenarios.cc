@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/vegas.h"
+#include "exp/runner.h"
 #include "net/monitor.h"
 #include "stats/fairness.h"
 #include "traffic/cross.h"
@@ -241,6 +242,30 @@ FairnessResult run_fairness(const FairnessParams& p) {
   }
   r.jain = stats::jain_fairness(r.throughput_kBps);
   return r;
+}
+
+std::vector<OneOnOneResult> run_one_on_one_sweep(
+    const std::vector<OneOnOneParams>& cells, int threads) {
+  return ParallelRunner(threads).map(
+      cells.size(), [&](int i) { return run_one_on_one(cells[static_cast<std::size_t>(i)]); });
+}
+
+std::vector<BackgroundResult> run_background_sweep(
+    const std::vector<BackgroundParams>& cells, int threads) {
+  return ParallelRunner(threads).map(
+      cells.size(), [&](int i) { return run_background(cells[static_cast<std::size_t>(i)]); });
+}
+
+std::vector<traffic::TransferResult> run_wan_sweep(
+    const std::vector<WanParams>& cells, int threads) {
+  return ParallelRunner(threads).map(
+      cells.size(), [&](int i) { return run_wan(cells[static_cast<std::size_t>(i)]); });
+}
+
+std::vector<FairnessResult> run_fairness_sweep(
+    const std::vector<FairnessParams>& cells, int threads) {
+  return ParallelRunner(threads).map(
+      cells.size(), [&](int i) { return run_fairness(cells[static_cast<std::size_t>(i)]); });
 }
 
 }  // namespace vegas::exp

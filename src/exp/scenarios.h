@@ -134,4 +134,21 @@ struct FairnessResult {
 
 FairnessResult run_fairness(const FairnessParams& p);
 
+// ------------------------------------------------------- parallel sweeps
+//
+// Each cell is an independent seeded world, so sweeps fan out across
+// cores via exp::ParallelRunner (src/exp/runner.h) with bit-identical
+// results at any thread count.  `threads` <= 0 defers to VEGAS_THREADS /
+// hardware concurrency.  Cells carrying an observer must point each cell
+// at a DISTINCT observer instance (observers are driven concurrently).
+
+std::vector<OneOnOneResult> run_one_on_one_sweep(
+    const std::vector<OneOnOneParams>& cells, int threads = 0);
+std::vector<BackgroundResult> run_background_sweep(
+    const std::vector<BackgroundParams>& cells, int threads = 0);
+std::vector<traffic::TransferResult> run_wan_sweep(
+    const std::vector<WanParams>& cells, int threads = 0);
+std::vector<FairnessResult> run_fairness_sweep(
+    const std::vector<FairnessParams>& cells, int threads = 0);
+
 }  // namespace vegas::exp

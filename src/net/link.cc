@@ -52,11 +52,12 @@ void Link::try_transmit() {
   const sim::Time tx =
       sim::transmission_time(p->wire_bytes(), cfg_.bandwidth_Bps);
   busy_accum_ += tx;
-  // The event queue's Action must stay copyable, so the in-flight packet
-  // rides in a shared holder; if the simulation ends before the event
-  // fires, the holder (not a leaked raw pointer) still frees it.
-  auto held = std::make_shared<PacketPtr>(std::move(p));
-  sim_.schedule(tx, [this, held] { on_serialized(std::move(*held)); });
+  // The in-flight packet rides in the (move-only) closure itself; if the
+  // simulation ends before the event fires, the queue's destructor frees
+  // it with the action.
+  sim_.schedule(tx, [this, held = std::move(p)]() mutable {
+    on_serialized(std::move(held));
+  });
 }
 
 void Link::on_serialized(PacketPtr p) {
@@ -74,9 +75,8 @@ void Link::on_serialized(PacketPtr p) {
     delivery += sim::Time::seconds(
         jitter_rng_->uniform(0.0, max_jitter_.to_seconds()));
   }
-  auto held = std::make_shared<PacketPtr>(std::move(p));
-  sim_.schedule(delivery, [this, held, wire] {
-    PacketPtr owned = std::move(*held);
+  sim_.schedule(delivery, [this, held = std::move(p), wire]() mutable {
+    PacketPtr owned = std::move(held);
     bytes_delivered_ += wire;
     if (rate_meter_ != nullptr && owned->is_data()) {
       rate_meter_->on_bytes(sim_.now(), owned->payload_bytes);

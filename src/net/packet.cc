@@ -2,19 +2,76 @@
 
 #include <atomic>
 #include <sstream>
+#include <vector>
+
+#include "common/ensure.h"
 
 namespace vegas::net {
 namespace {
+
+// uids stay globally unique across threads (a relaxed fetch_add is a few
+// ns and keeps traces/drop records unambiguous in parallel sweeps).
 std::atomic<std::uint64_t> g_next_uid{1};
+
+// Thread-local free-list pool.  Each simulation is confined to one
+// thread, so packet alloc/free never contends and needs no locks; chunked
+// backing storage means one allocator hit per kChunk packets until the
+// high-water mark, then none.  Storage is freed at thread exit.
+constexpr std::size_t kChunk = 64;
+
+struct Pool {
+  std::vector<std::unique_ptr<Packet[]>> chunks;
+  std::vector<Packet*> free_list;
+  PacketPoolStats stats;
+
+  Packet* acquire() {
+    if (free_list.empty()) {
+      chunks.push_back(std::make_unique<Packet[]>(kChunk));
+      Packet* base = chunks.back().get();
+      free_list.reserve(free_list.size() + kChunk);
+      for (std::size_t i = kChunk; i-- > 0;) free_list.push_back(base + i);
+      stats.capacity += kChunk;
+    }
+    Packet* p = free_list.back();
+    free_list.pop_back();
+    ++stats.acquired;
+    return p;
+  }
+};
+
+thread_local Pool t_pool;
+
+PacketPtr acquire_blank() {
+  Packet* p = t_pool.acquire();
+  *p = Packet{};  // reused storage: reset every protocol field
+  p->pool_tag = &t_pool;
+  return PacketPtr(p);
+}
+
 }  // namespace
 
+void PacketDeleter::operator()(Packet* p) const noexcept {
+  ensure(p->pool_tag == &t_pool,
+         "packet released on a thread other than its creator");
+  t_pool.free_list.push_back(p);
+  ++t_pool.stats.released;
+}
+
 PacketPtr make_packet() {
-  auto p = std::make_unique<Packet>();
+  PacketPtr p = acquire_blank();
   p->uid = g_next_uid.fetch_add(1, std::memory_order_relaxed);
   return p;
 }
 
-PacketPtr clone_packet(const Packet& p) { return std::make_unique<Packet>(p); }
+PacketPtr clone_packet(const Packet& p) {
+  PacketPtr np = acquire_blank();
+  const void* tag = np->pool_tag;
+  *np = p;  // same uid by design; see header
+  np->pool_tag = tag;  // ownership stays with the clone's pool
+  return np;
+}
+
+PacketPoolStats packet_pool_stats() { return t_pool.stats; }
 
 std::string Packet::describe() const {
   std::ostringstream os;

@@ -68,8 +68,8 @@ struct TcpHeader {
 enum class Protocol : std::uint8_t { kTcp, kDatagram };
 
 struct Packet {
-  /// Globally unique id, assigned at creation; used by traces, loss
-  /// models, and tests.
+  /// Globally unique id, assigned at creation (and re-assigned on every
+  /// pool reuse); used by traces, loss models, and tests.
   std::uint64_t uid = 0;
 
   NodeId src = kNoNode;
@@ -89,15 +89,41 @@ struct Packet {
   bool is_data() const { return payload_bytes > 0; }
 
   std::string describe() const;
+
+  /// Identity of the thread-local pool that owns this packet's storage
+  /// (set by make_packet, checked on release).  Not a protocol field.
+  const void* pool_tag = nullptr;
 };
 
-using PacketPtr = std::unique_ptr<Packet>;
+/// Returns the packet's storage to its thread-local free list.
+struct PacketDeleter {
+  void operator()(Packet* p) const noexcept;
+};
 
-/// Creates a packet with a fresh uid.
+/// Owning packet handle.  Storage comes from a per-thread free-list pool
+/// (see packet.cc): steady-state make/destroy cycles never touch the
+/// allocator.  Packets are thread-confined — each must be released on
+/// the thread that created it, which holds by construction because every
+/// Simulator (and all packets it moves) lives on exactly one thread.
+using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
+
+/// Creates a packet with a fresh uid and default-initialized fields.
 PacketPtr make_packet();
 
-/// Deep copy with the SAME uid — used by retransmission-free forwarding
-/// paths is not needed; this exists for tests that want to compare.
+/// Deep copy with the SAME uid.  Forwarding and retransmission paths
+/// move the original packet, so this is never on the hot path; it exists
+/// for observers that need a private snapshot of a packet in flight
+/// (pcap serialization, tests comparing sent vs delivered).
 PacketPtr clone_packet(const Packet& p);
+
+/// Counters for the calling thread's packet pool (micro-benchmarks): in
+/// steady state `capacity` is flat while acquired/released advance.
+struct PacketPoolStats {
+  std::uint64_t capacity = 0;  // heap-backed packets owned by the pool
+  std::uint64_t acquired = 0;  // make_packet/clone_packet calls served
+  std::uint64_t released = 0;
+  std::uint64_t outstanding() const { return acquired - released; }
+};
+PacketPoolStats packet_pool_stats();
 
 }  // namespace vegas::net

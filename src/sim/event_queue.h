@@ -2,18 +2,30 @@
 //
 // A binary min-heap ordered by (time, insertion sequence) so that events
 // scheduled for the same instant fire in the order they were scheduled —
-// a determinism guarantee the protocol tests rely on.  Cancellation is by
-// id with lazy deletion (tombstones), which keeps cancel() O(1); stale
-// entries are skipped on pop.
+// a determinism guarantee the protocol tests rely on.
+//
+// Hot-path design (see docs/PERFORMANCE.md):
+//  - Callbacks are SmallFn (small-buffer-optimized, move-only): no heap
+//    allocation for the captures every Link/Timer event carries, and
+//    move-only payloads (a PacketPtr in flight) ride in the closure
+//    directly instead of behind a shared_ptr holder.
+//  - Event handles are generation-stamped slot indices: EventId packs
+//    (slot, generation).  schedule/cancel/pending/pop do array indexing
+//    only — the two unordered_sets the old design consulted on every
+//    operation are gone, so the steady state performs zero hash
+//    operations and zero allocations (all vectors reach a high-water
+//    capacity and stay there).
+//  - cancel() is O(1) lazy deletion: it bumps the slot's generation, so
+//    the heap entry goes stale and is skipped on pop.  When stale entries
+//    outnumber live ones 2:1 the heap is compacted in place, keeping
+//    timer-churn workloads (restart/stop per segment) at O(live) memory.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "common/small_fn.h"
 #include "sim/time.h"
 
 namespace vegas::sim {
@@ -23,21 +35,24 @@ inline constexpr EventId kNoEvent = 0;
 
 class EventQueue {
  public:
-  using Action = std::function<void()>;
+  using Action = SmallFn<48>;
 
   /// Schedules `action` at absolute time `at`.  Returns a handle usable
   /// with cancel().
   EventId schedule(Time at, Action action);
 
-  /// Cancels a pending event.  Cancelling an already-fired or unknown id
-  /// is a no-op (timers race with the events they guard; that is normal).
+  /// Cancels a pending event.  Cancelling an already-fired, cancelled or
+  /// unknown id is a no-op (timers race with the events they guard; that
+  /// is normal).  Slot reuse is safe: a stale handle's generation no
+  /// longer matches, so it can never cancel a later event that happens to
+  /// occupy the same slot.
   void cancel(EventId id);
 
   /// True when the given event is scheduled and not yet fired/cancelled.
-  bool pending(EventId id) const { return pending_.contains(id); }
+  bool pending(EventId id) const;
 
-  bool empty() const { return pending_.empty(); }
-  std::size_t size() const { return pending_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event.
   std::optional<Time> next_time();
@@ -50,27 +65,61 @@ class EventQueue {
   };
   Fired pop();
 
+  /// Allocation/behaviour counters for the micro-benchmarks: in steady
+  /// state only `scheduled`/`fired`/`cancelled` advance.
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t slot_allocs = 0;    // slots created (vs reused)
+    std::uint64_t heap_grows = 0;     // heap vector capacity growths
+    std::uint64_t boxed_actions = 0;  // callbacks too big for inline storage
+    std::uint64_t compactions = 0;    // stale-entry garbage collections
+  };
+  const Stats& stats() const { return stats_; }
+
  private:
-  struct Entry {
-    Time time;
-    std::uint64_t seq;
-    EventId id;
+  struct Slot {
+    std::uint32_t gen = 1;  // bumped on fire/cancel; 0 is never a live gen
+    bool live = false;
     Action action;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  struct HeapEntry {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  void drop_cancelled_head();
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<EventId>(slot) << 32) | gen;
+  }
+  static std::uint32_t slot_of(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint32_t gen_of(EventId id) {
+    return static_cast<std::uint32_t>(id);
+  }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;    // scheduled, not fired/cancelled
-  std::unordered_set<EventId> cancelled_;  // tombstones still in the heap
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  bool stale(const HeapEntry& e) const { return slots_[e.slot].gen != e.gen; }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void remove_heap_top();
+  void drop_stale_head();
+  void release_slot(std::uint32_t s);
+  void maybe_compact();
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  Stats stats_;
 };
 
 }  // namespace vegas::sim

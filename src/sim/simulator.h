@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -49,6 +48,9 @@ class Simulator {
   std::uint64_t events_executed() const { return events_executed_; }
 
   std::size_t events_pending() const { return queue_.size(); }
+
+  /// Event-queue allocation/behaviour counters (micro-benchmarks).
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
 
  private:
   EventQueue queue_;

@@ -1,0 +1,96 @@
+// The free-list packet pool must be invisible to protocol code: fresh
+// uid per make_packet, fully reset fields on reuse, flat capacity in
+// steady state.
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace vegas::net {
+namespace {
+
+TEST(PacketPoolTest, UidsUniqueAcrossReuse) {
+  // 10k make/release cycles against a bounded working set: storage is
+  // recycled constantly, uids must never repeat.
+  std::set<std::uint64_t> seen;
+  std::vector<PacketPtr> window;
+  for (int i = 0; i < 10000; ++i) {
+    PacketPtr p = make_packet();
+    EXPECT_TRUE(seen.insert(p->uid).second) << "uid reused: " << p->uid;
+    window.push_back(std::move(p));
+    if (window.size() > 16) window.erase(window.begin());
+  }
+}
+
+TEST(PacketPoolTest, FieldsResetOnReuse) {
+  std::uint64_t first_uid;
+  {
+    PacketPtr p = make_packet();
+    first_uid = p->uid;
+    p->payload_bytes = 9999;
+    p->src = 42;
+    p->dst = 43;
+    p->protocol = Protocol::kDatagram;
+    p->tcp.seq = 12345;
+    p->tcp.set(TcpFlag::kSyn);
+    p->tcp.add_sack(1, 2);
+  }
+  // The very next acquisition on this thread reuses that storage.
+  PacketPtr q = make_packet();
+  EXPECT_NE(q->uid, first_uid);
+  EXPECT_EQ(q->payload_bytes, 0);
+  EXPECT_EQ(q->src, kNoNode);
+  EXPECT_EQ(q->dst, kNoNode);
+  EXPECT_EQ(q->protocol, Protocol::kTcp);
+  EXPECT_EQ(q->tcp.seq, 0u);
+  EXPECT_EQ(q->tcp.flags, 0);
+  EXPECT_EQ(q->tcp.sack_count, 0);
+}
+
+TEST(PacketPoolTest, CloneKeepsUidAndFields) {
+  PacketPtr p = make_packet();
+  p->payload_bytes = 512;
+  p->tcp.seq = 777;
+  PacketPtr c = clone_packet(*p);
+  EXPECT_EQ(c->uid, p->uid);
+  EXPECT_EQ(c->payload_bytes, 512);
+  EXPECT_EQ(c->tcp.seq, 777u);
+  c->payload_bytes = 1;  // clone is a private copy
+  EXPECT_EQ(p->payload_bytes, 512);
+}
+
+TEST(PacketPoolTest, SteadyStateCapacityIsFlat) {
+  // Warm the pool past one chunk.
+  {
+    std::vector<PacketPtr> warm;
+    for (int i = 0; i < 200; ++i) warm.push_back(make_packet());
+  }
+  const PacketPoolStats warm = packet_pool_stats();
+  EXPECT_GE(warm.capacity, 200u);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<PacketPtr> batch;
+    for (int i = 0; i < 200; ++i) batch.push_back(make_packet());
+  }
+  const PacketPoolStats after = packet_pool_stats();
+  EXPECT_EQ(after.capacity, warm.capacity);
+  EXPECT_EQ(after.acquired - warm.acquired, 100u * 200u);
+  EXPECT_EQ(after.outstanding(), warm.outstanding());
+}
+
+TEST(PacketPoolTest, AcquireReleaseAccounting) {
+  const PacketPoolStats before = packet_pool_stats();
+  {
+    PacketPtr a = make_packet();
+    PacketPtr b = make_packet();
+    EXPECT_EQ(packet_pool_stats().outstanding(), before.outstanding() + 2);
+  }
+  const PacketPoolStats after = packet_pool_stats();
+  EXPECT_EQ(after.acquired, before.acquired + 2);
+  EXPECT_EQ(after.released, before.released + 2);
+  EXPECT_EQ(after.outstanding(), before.outstanding());
+}
+
+}  // namespace
+}  // namespace vegas::net

@@ -84,6 +84,98 @@ TEST(EventQueueTest, NextTimeSkipsCancelledHead) {
   EXPECT_EQ(*q.next_time(), 5_ms);
 }
 
+TEST(EventQueueTest, StaleHandleCancelAfterSlotReuseIsNoOp) {
+  EventQueue q;
+  bool a_fired = false, b_fired = false;
+  const EventId a = q.schedule(1_ms, [&] { a_fired = true; });
+  q.cancel(a);
+  // B reuses A's slot but gets a new generation, so A's handle is stale.
+  const EventId b = q.schedule(2_ms, [&] { b_fired = true; });
+  EXPECT_NE(a, b);
+  q.cancel(a);  // stale: must NOT kill B
+  EXPECT_TRUE(q.pending(b));
+  EXPECT_FALSE(q.pending(a));
+  while (!q.empty()) q.pop().action();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+}
+
+TEST(EventQueueTest, SlotAllocsStopGrowingUnderChurn) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  const auto churn_round = [&](int round) {
+    ids.clear();
+    for (int i = 0; i < 256; ++i) ids.push_back(q.schedule(1_ms, [] {}));
+    if (round % 2 == 0) {
+      for (const EventId id : ids) q.cancel(id);
+    } else {
+      while (!q.empty()) q.pop().action();
+    }
+  };
+  // Warm-up cycles size the slot table and heap (cancel rounds leave a
+  // few stale entries behind, so the peak is reached after a couple of
+  // full cycles, not the first).
+  for (int round = 0; round < 6; ++round) churn_round(round);
+  const auto warm = q.stats();
+  // Steady state: schedule/cancel and schedule/pop churn must reuse
+  // slots and heap capacity — zero further allocations.
+  for (int round = 0; round < 50; ++round) churn_round(round);
+  EXPECT_EQ(q.stats().slot_allocs, warm.slot_allocs);
+  EXPECT_EQ(q.stats().heap_grows, warm.heap_grows);
+  EXPECT_EQ(q.stats().boxed_actions, 0u);
+}
+
+TEST(EventQueueTest, CancelOnlyChurnDoesNotGrowHeapUnbounded) {
+  // A workload that cancels everything without ever popping (timer
+  // restart/stop per segment) must trigger compaction instead of
+  // accumulating stale heap entries forever.
+  EventQueue q;
+  for (int i = 0; i < 100000; ++i) {
+    q.cancel(q.schedule(1_ms, [] {}));
+  }
+  EXPECT_GT(q.stats().compactions, 0u);
+  EXPECT_TRUE(q.empty());
+  // Ordering is intact after all those compactions.
+  std::vector<int> order;
+  q.schedule(2_ms, [&] { order.push_back(2); });
+  q.schedule(1_ms, [&] { order.push_back(1); });
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, OversizedActionIsBoxedAndStillFires) {
+  EventQueue q;
+  struct Big {
+    char payload[96];
+  };
+  Big big{};
+  big.payload[0] = 7;
+  int got = 0;
+  q.schedule(1_ms, [big, &got] { got = big.payload[0]; });
+  EXPECT_EQ(q.stats().boxed_actions, 1u);
+  while (!q.empty()) q.pop().action();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(EventQueueTest, StatsAccountingBalances) {
+  EventQueue q;
+  std::uint64_t x = 777;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    ids.push_back(q.schedule(
+        Time::nanoseconds(static_cast<std::int64_t>(x % 1000)), [] {}));
+    if (x % 3 == 0) {
+      q.cancel(ids[static_cast<std::size_t>(x % ids.size())]);
+    }
+    if (x % 5 == 0 && !q.empty()) q.pop().action();
+  }
+  while (!q.empty()) q.pop().action();
+  const auto& st = q.stats();
+  EXPECT_EQ(st.fired + st.cancelled, st.scheduled);
+  EXPECT_EQ(q.size(), 0u);
+}
+
 TEST(EventQueueTest, ManyEventsStressOrdering) {
   EventQueue q;
   // Deterministic pseudo-random times; verify nondecreasing pop order.
