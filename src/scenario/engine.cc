@@ -1,0 +1,407 @@
+#include "scenario/engine.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "check/determinism.h"
+#include "common/ensure.h"
+#include "common/rng.h"
+#include "exp/runner.h"
+#include "exp/world.h"
+#include "net/monitor.h"
+#include "net/red.h"
+#include "stats/fairness.h"
+#include "trace/conn_tracer.h"
+#include "trace/pcap.h"
+#include "traffic/cross.h"
+
+namespace vegas::scenario {
+
+namespace {
+
+/// One cell's simulated world: topology + a TCP stack per referenced
+/// endpoint, addressable by the reference names the schema validated.
+///
+/// Construction mirrors the canned runners so shared scenarios digest
+/// identically: dumbbells go through exp::DumbbellWorld (stack seeds
+/// "stack-l<i>"/"stack-r<i>"), WAN chains through exp::WanWorld with
+/// cross stacks seeded "xstack-a<i>"/"xstack-b<i>" exactly as
+/// exp::run_wan creates them.
+class CellWorld {
+ public:
+  explicit CellWorld(const ScenarioSpec& spec) {
+    switch (spec.topology.kind) {
+      case TopologySpec::Kind::kDumbbell:
+        build_dumbbell(spec);
+        break;
+      case TopologySpec::Kind::kWanChain:
+        build_wan(spec);
+        break;
+      case TopologySpec::Kind::kParkingLot:
+        build_parking_lot(spec);
+        break;
+      case TopologySpec::Kind::kGraph:
+        build_graph(spec);
+        break;
+    }
+  }
+
+  sim::Simulator& sim() {
+    if (dumbbell_ != nullptr) return dumbbell_->sim();
+    if (wan_ != nullptr) return wan_->sim();
+    return *own_sim_;
+  }
+
+  tcp::Stack& stack(const std::string& ref) {
+    const auto it = stack_by_ref_.find(ref);
+    vegas::ensure(it != stack_by_ref_.end(),
+                  "scenario engine: unresolved endpoint (compile() missed it)");
+    return *it->second;
+  }
+
+  net::Host& host(const std::string& ref) {
+    const auto it = host_by_ref_.find(ref);
+    vegas::ensure(it != host_by_ref_.end(),
+                  "scenario engine: unresolved host (compile() missed it)");
+    return *it->second;
+  }
+
+  /// The bottleneck link RED and pcap taps attach to; null for
+  /// topologies that do not expose one (parking lot).
+  net::Link* primary_link() { return primary_; }
+
+  /// Router->host delivery link for a dumbbell endpoint (goodput
+  /// metering); null elsewhere.
+  net::Link* ingress_link(const std::string& ref) {
+    const auto it = ingress_.find(ref);
+    return it == ingress_.end() ? nullptr : it->second;
+  }
+
+ private:
+  void build_dumbbell(const ScenarioSpec& spec) {
+    dumbbell_ = std::make_unique<exp::DumbbellWorld>(spec.topology.dumbbell,
+                                                     spec.tcp, spec.seed);
+    net::Dumbbell& topo = dumbbell_->topo();
+    for (int i = 0; i < spec.topology.dumbbell.pairs; ++i) {
+      const std::string l = "left" + std::to_string(i);
+      const std::string r = "right" + std::to_string(i);
+      const auto idx = static_cast<std::size_t>(i);
+      stack_by_ref_[l] = &dumbbell_->left(i);
+      stack_by_ref_[r] = &dumbbell_->right(i);
+      host_by_ref_[l] = topo.left[idx];
+      host_by_ref_[r] = topo.right[idx];
+      ingress_[l] = topo.left_access[idx].reverse;
+      ingress_[r] = topo.right_access[idx].reverse;
+    }
+    primary_ = topo.bottleneck_fwd;
+  }
+
+  void build_wan(const ScenarioSpec& spec) {
+    net::WanChainConfig cfg = spec.topology.wan;
+    cfg.seed = rng::derive_seed(spec.seed, "wan-topo");
+    wan_ = std::make_unique<exp::WanWorld>(cfg, spec.tcp, spec.seed);
+    net::WanChain& topo = wan_->topo();
+    stack_by_ref_["src"] = &wan_->src();
+    stack_by_ref_["dst"] = &wan_->dst();
+    host_by_ref_["src"] = topo.src;
+    host_by_ref_["dst"] = topo.dst;
+    int idx = 0;
+    for (const auto& pair : topo.cross) {
+      const std::string tag = "cross" + std::to_string(idx);
+      add_stack(wan_->sim(), *pair.a, spec,
+                rng::derive_seed(spec.seed, "xstack-a" + std::to_string(idx)),
+                tag + ".a");
+      add_stack(wan_->sim(), *pair.b, spec,
+                rng::derive_seed(spec.seed, "xstack-b" + std::to_string(idx)),
+                tag + ".b");
+      ++idx;
+    }
+    primary_ = topo.narrow_fwd;
+  }
+
+  void build_parking_lot(const ScenarioSpec& spec) {
+    own_sim_ = std::make_unique<sim::Simulator>();
+    lot_ = net::build_parking_lot(*own_sim_, spec.topology.parking_lot);
+    add_stack(*own_sim_, *lot_->long_src, spec,
+              rng::derive_seed(spec.seed, "stack-long_src"), "long_src");
+    add_stack(*own_sim_, *lot_->long_dst, spec,
+              rng::derive_seed(spec.seed, "stack-long_dst"), "long_dst");
+    int idx = 0;
+    for (const auto& pair : lot_->cross) {
+      const std::string tag = "cross" + std::to_string(idx);
+      add_stack(*own_sim_, *pair.src, spec,
+                rng::derive_seed(spec.seed, "stack-" + tag + ".src"),
+                tag + ".src");
+      add_stack(*own_sim_, *pair.dst, spec,
+                rng::derive_seed(spec.seed, "stack-" + tag + ".dst"),
+                tag + ".dst");
+      ++idx;
+    }
+  }
+
+  void build_graph(const ScenarioSpec& spec) {
+    own_sim_ = std::make_unique<sim::Simulator>();
+    graph_ = std::make_unique<net::Network>(*own_sim_);
+    std::map<std::string, net::Node*> nodes;
+    for (const auto& n : spec.topology.nodes) {
+      if (n.router) {
+        nodes[n.name] = &graph_->add_router(n.name);
+      } else {
+        net::Host& h = graph_->add_host(n.name);
+        nodes[n.name] = &h;
+        host_by_ref_[n.name] = &h;
+      }
+    }
+    for (const auto& l : spec.topology.links) {
+      const auto duplex = graph_->connect(*nodes[l.a], *nodes[l.b], l.cfg);
+      if (primary_ == nullptr) primary_ = duplex.forward;
+    }
+    graph_->compute_routes();
+    for (const auto& n : spec.topology.nodes) {
+      if (n.router) continue;
+      add_stack(*own_sim_, *host_by_ref_[n.name], spec,
+                rng::derive_seed(spec.seed, "stack-" + n.name), n.name);
+    }
+  }
+
+  void add_stack(sim::Simulator& sim, net::Host& h, const ScenarioSpec& spec,
+                 std::uint64_t seed, const std::string& ref) {
+    stacks_.push_back(std::make_unique<tcp::Stack>(sim, h, spec.tcp, seed));
+    stack_by_ref_[ref] = stacks_.back().get();
+    host_by_ref_[ref] = &h;
+  }
+
+  // Declaration order is destruction-order-critical: the simulator (or
+  // the world owning one) must outlive the stacks referencing it.
+  std::unique_ptr<sim::Simulator> own_sim_;
+  std::unique_ptr<exp::DumbbellWorld> dumbbell_;
+  std::unique_ptr<exp::WanWorld> wan_;
+  std::unique_ptr<net::ParkingLot> lot_;
+  std::unique_ptr<net::Network> graph_;
+  std::vector<std::unique_ptr<tcp::Stack>> stacks_;
+  std::map<std::string, tcp::Stack*> stack_by_ref_;
+  std::map<std::string, net::Host*> host_by_ref_;
+  std::map<std::string, net::Link*> ingress_;
+  net::Link* primary_ = nullptr;
+};
+
+std::size_t bottleneck_capacity(const ScenarioSpec& spec) {
+  switch (spec.topology.kind) {
+    case TopologySpec::Kind::kDumbbell:
+      return spec.topology.dumbbell.bottleneck_queue;
+    case TopologySpec::Kind::kWanChain:
+      return spec.topology.wan.queue_packets;
+    case TopologySpec::Kind::kParkingLot:
+      return spec.topology.parking_lot.segment_queue;
+    case TopologySpec::Kind::kGraph:
+      return spec.topology.links.empty()
+                 ? 0
+                 : spec.topology.links.front().cfg.queue_packets;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Scenario Scenario::load(const std::string& path) {
+  return from_doc(parse_file(path));
+}
+
+Scenario Scenario::from_text(std::string_view text, std::string file) {
+  return from_doc(parse(text, std::move(file)));
+}
+
+Scenario Scenario::from_doc(Document doc) {
+  Scenario sc;
+  sc.doc_ = std::move(doc);
+  sc.grid_ = read_sweep(sc.doc_);
+  if (const Section* s = sc.doc_.find("scenario")) {
+    if (const Value* v = s->find("name")) {
+      if (v->kind == Value::Kind::kString) sc.name_ = v->str;
+    }
+  }
+  const std::size_t n = sc.grid_.cells();
+  sc.specs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sc.specs_.push_back(compile(cell_document(sc.doc_, sc.grid_, i)));
+  }
+  return sc;
+}
+
+CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
+                    const std::string& label, const RunOptions& opts) {
+  CellWorld world(spec);
+  sim::Simulator& sim = world.sim();
+
+  // Queue discipline first: RED must be in place before any traffic.
+  if (spec.queue.red) {
+    net::Link* link = world.primary_link();
+    vegas::ensure(link != nullptr,
+                  "scenario engine: RED requested on a topology without a "
+                  "bottleneck link (compile() should have rejected it)");
+    net::RedConfig rc = spec.queue.red_cfg;
+    rc.capacity_packets = bottleneck_capacity(spec);
+    rc.seed = rng::derive_seed(spec.seed, "red");
+    link->set_queue(std::make_unique<net::RedQueue>(rc));
+  }
+
+  // Optional pcap tap on the bottleneck (passive: serialization events
+  // are observed, never altered).
+  std::optional<trace::PcapWriter> pcap;
+  if (!opts.pcap_dir.empty() && world.primary_link() != nullptr) {
+    pcap.emplace(opts.pcap_dir + "/cell" + std::to_string(index) + ".pcap");
+    world.primary_link()->set_tap(
+        [&pcap](sim::Time t, const net::Packet& p) { pcap->capture(t, p); });
+  }
+
+  // Goodput meters on the delivery links of metered traffic endpoints
+  // (exp::run_background's instrument, generalised per [[traffic]]).
+  struct Meters {
+    net::RateMeter server_in;
+    net::RateMeter client_in;
+  };
+  std::deque<Meters> meters;
+  for (const TrafficSpec& t : spec.traffic) {
+    if (!t.meter_goodput) continue;
+    net::Link* s_in = world.ingress_link(t.server);
+    net::Link* c_in = world.ingress_link(t.client);
+    if (s_in == nullptr || c_in == nullptr) continue;
+    meters.emplace_back();
+    s_in->set_rate_meter(&meters.back().server_in);
+    c_in->set_rate_meter(&meters.back().client_in);
+  }
+
+  // Traffic sources, file order, started on construction (as the canned
+  // runners do).  Seeds derive from the source's NAME, so a [[traffic]]
+  // named "background" draws the same arrival sequence as
+  // exp::run_background.
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  for (const TrafficSpec& t : spec.traffic) {
+    traffic::TrafficConfig tc;
+    tc.mean_interarrival_s = t.mean_interarrival_s;
+    tc.listen_port = t.listen_port;
+    tc.seed = rng::derive_seed(spec.seed, t.name);
+    tc.factory = t.algo.factory();
+    tc.workload = t.workload;
+    sources.push_back(std::make_unique<traffic::TrafficSource>(
+        world.stack(t.client), world.stack(t.server), tc));
+    sources.back()->start();
+  }
+
+  // Uncontrolled datagram cross-traffic.
+  std::vector<std::unique_ptr<traffic::DatagramSink>> sinks;
+  std::vector<std::unique_ptr<traffic::CrossTrafficSource>> crosses;
+  for (const CrossSpec& c : spec.cross) {
+    traffic::CrossTrafficConfig cc = c.cfg;
+    cc.seed = rng::derive_seed(spec.seed, c.name);
+    sinks.push_back(std::make_unique<traffic::DatagramSink>(world.host(c.dst)));
+    crosses.push_back(std::make_unique<traffic::CrossTrafficSource>(
+        sim, world.host(c.src), world.host(c.dst), cc));
+    crosses.back()->start();
+  }
+
+  // Measured flows, file order.
+  std::deque<trace::ConnTracer> tracers;
+  std::vector<std::unique_ptr<traffic::BulkTransfer>> transfers;
+  for (const FlowSpec& f : spec.flows) {
+    traffic::BulkTransfer::Config bt;
+    bt.bytes = f.bytes;
+    bt.port = f.port;
+    bt.factory = f.algo.factory();
+    bt.start_delay = sim::Time::seconds(f.start_s);
+    if (f.trace) {
+      tracers.emplace_back();
+      bt.observer = &tracers.back();
+    }
+    if (f.sack || f.paced_slow_start || f.send_buffer.has_value()) {
+      tcp::TcpConfig tuned = spec.tcp;
+      if (f.sack) tuned.sack_enabled = true;
+      if (f.paced_slow_start) tuned.vegas_paced_slow_start = true;
+      if (f.send_buffer.has_value()) tuned.send_buffer = *f.send_buffer;
+      bt.tcp = tuned;
+    }
+    transfers.push_back(std::make_unique<traffic::BulkTransfer>(
+        world.stack(f.src), world.stack(f.dst), bt));
+  }
+
+  if (spec.stop == ScenarioSpec::Stop::kTimeout) {
+    sim.run_until(sim::Time::seconds(spec.timeout_s));
+  } else {
+    // 10 s slices so unused timeout is never simulated; stop once every
+    // flow finished AND the goodput horizon elapsed (run_background's
+    // loop, with the horizon a scenario knob).
+    while (sim.now() < sim::Time::seconds(spec.timeout_s)) {
+      sim.run_until(sim.now() + sim::Time::seconds(10.0));
+      bool all_done = true;
+      for (const auto& t : transfers) all_done = all_done && t->done();
+      if (all_done && sim.now().to_seconds() >= spec.goodput_horizon_s) break;
+    }
+  }
+
+  CellResult r;
+  r.index = index;
+  r.label = label;
+  r.seed = spec.seed;
+  r.sim_time_s = sim.now().to_seconds();
+
+  std::vector<double> throughputs;
+  std::size_t tracer_i = 0;
+  for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+    FlowResult fr;
+    fr.name = spec.flows[i].name;
+    fr.algorithm = spec.flows[i].algo.label();
+    fr.transfer = transfers[i]->result();
+    if (spec.flows[i].trace) {
+      trace::TraceBuffer& buf = tracers[tracer_i++].buffer();
+      fr.traced = true;
+      fr.trace_digest = check::trace_digest(buf);
+      fr.trace = std::move(buf);
+    }
+    throughputs.push_back(fr.transfer.throughput_Bps() / 1024.0);
+    r.flows.push_back(std::move(fr));
+  }
+  if (throughputs.size() >= 2) {
+    r.fairness_jain = stats::jain_fairness(throughputs);
+  }
+  for (std::size_t i = 0; i < spec.traffic.size(); ++i) {
+    r.traffic.push_back({spec.traffic[i].name, sources[i]->stats()});
+  }
+
+  const double horizon = std::min(spec.goodput_horizon_s, r.sim_time_s);
+  if (horizon > 0 && !meters.empty()) {
+    double delivered = 0;
+    for (const Meters& m : meters) {
+      for (const net::RateMeter* meter : {&m.server_in, &m.client_in}) {
+        const auto rates = meter->rates();
+        const double bin_s = meter->bin().to_seconds();
+        for (std::size_t i = 0; i < rates.size(); ++i) {
+          const double bin_t = bin_s * static_cast<double>(i);
+          if (bin_t < horizon) delivered += rates[i] * bin_s;
+        }
+      }
+    }
+    r.background_goodput_Bps = delivered / horizon;
+  }
+
+  if (!opts.trace_dir.empty()) {
+    for (const FlowResult& fr : r.flows) {
+      if (!fr.traced) continue;
+      fr.trace.save(opts.trace_dir + "/cell" + std::to_string(index) + "-" +
+                    fr.name + ".trace");
+    }
+  }
+  return r;
+}
+
+std::vector<CellResult> run(const Scenario& sc, const RunOptions& opts) {
+  exp::ParallelRunner runner(opts.threads);
+  return runner.map(sc.cells(), [&](int i) {
+    const auto idx = static_cast<std::size_t>(i);
+    return run_cell(sc.cell(idx), idx, sc.label(idx), opts);
+  });
+}
+
+}  // namespace vegas::scenario

@@ -1,0 +1,93 @@
+// Scenario engine: loads a .scn file, expands its sweep grid, and runs
+// every cell through exp::ParallelRunner (docs/SCENARIOS.md).
+//
+// Each cell is an independent seeded world, constructed in exactly the
+// order the canned runners in src/exp/scenarios.cc use (topology ->
+// queue discipline -> meters -> traffic sources -> cross traffic ->
+// bulk flows, all in file order, all seeds derived by name from the
+// cell seed).  That discipline is what lets shipped scenario files
+// reproduce the canned benches' trace digests bit-for-bit at any
+// VEGAS_THREADS — see tests/scenario_engine_test.cc.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+#include "trace/trace_buffer.h"
+#include "traffic/bulk.h"
+#include "traffic/source.h"
+
+namespace vegas::scenario {
+
+struct RunOptions {
+  int threads = 0;       // <= 0: VEGAS_THREADS, then hardware concurrency
+  std::string pcap_dir;  // non-empty: dump cell<i>.pcap of the bottleneck
+  std::string trace_dir; // non-empty: dump cell<i>-<flow>.trace per traced flow
+};
+
+struct FlowResult {
+  std::string name;
+  std::string algorithm;  // AlgoSpec label, e.g. "Vegas-2,4"
+  traffic::TransferResult transfer;
+  bool traced = false;
+  std::uint64_t trace_digest = 0;  // check::trace_digest; 0 when untraced
+  trace::TraceBuffer trace;        // empty when untraced
+};
+
+struct TrafficResult {
+  std::string name;
+  traffic::TrafficSource::Stats stats;
+};
+
+struct CellResult {
+  std::size_t index = 0;
+  std::string label;  // sweep coordinates, e.g. "queue=15 delay=1"
+  std::uint64_t seed = 0;
+  double sim_time_s = 0;
+  /// Jain's fairness index over flow throughputs (1.0 for < 2 flows).
+  double fairness_jain = 1.0;
+  /// Delivered background-conversation payload per second over the
+  /// scenario's goodput_horizon_s (Table 3's metric; 0 when unmetered).
+  double background_goodput_Bps = 0;
+  std::vector<FlowResult> flows;
+  std::vector<TrafficResult> traffic;
+};
+
+/// A loaded scenario: the parsed document, its sweep grid, and every
+/// cell pre-compiled.  Loading validates ALL cells up front, so a bad
+/// swept value fails before any simulation starts.
+class Scenario {
+ public:
+  static Scenario load(const std::string& path);
+  static Scenario from_text(std::string_view text,
+                            std::string file = "<string>");
+
+  const Document& doc() const { return doc_; }
+  const SweepGrid& grid() const { return grid_; }
+  const std::string& name() const { return name_; }
+  std::size_t cells() const { return specs_.size(); }
+  const ScenarioSpec& cell(std::size_t i) const { return specs_[i]; }
+  std::string label(std::size_t i) const { return cell_label(grid_, i); }
+
+ private:
+  static Scenario from_doc(Document doc);
+
+  Document doc_;
+  SweepGrid grid_;
+  std::string name_;
+  std::vector<ScenarioSpec> specs_;  // one per cell, grid order
+};
+
+/// Runs one cell to completion.  Deterministic for a given spec; safe to
+/// call concurrently for different cells.
+CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
+                    const std::string& label, const RunOptions& opts = {});
+
+/// Runs every cell of the grid, fanned out over opts.threads workers.
+/// Results are in cell order and bit-identical at any thread count.
+std::vector<CellResult> run(const Scenario& sc, const RunOptions& opts = {});
+
+}  // namespace vegas::scenario

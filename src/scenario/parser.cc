@@ -1,0 +1,429 @@
+#include "scenario/parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace vegas::scenario {
+
+std::string Diagnostic::to_string() const {
+  return file + ":" + std::to_string(line) + ":" + std::to_string(col) +
+         ": error: " + message;
+}
+
+const char* Value::kind_name() const {
+  switch (kind) {
+    case Kind::kString: return "string";
+    case Kind::kNumber: return "number";
+    case Kind::kBool: return "boolean";
+    case Kind::kArray: return "array";
+  }
+  return "?";
+}
+
+const Value* Section::find(std::string_view key) const {
+  const Entry* e = find_entry(key);
+  return e == nullptr ? nullptr : &e->value;
+}
+
+const Entry* Section::find_entry(std::string_view key) const {
+  for (const Entry& e : entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+const Section* Document::find(std::string_view name) const {
+  for (const Section& s : sections) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const Section*> Document::all(std::string_view name) const {
+  std::vector<const Section*> out;
+  for (const Section& s : sections) {
+    if (s.name == name) out.push_back(&s);
+  }
+  return out;
+}
+
+namespace {
+
+/// Character-level cursor tracking 1-based line/column.
+class Cursor {
+ public:
+  Cursor(std::string_view text, std::string file)
+      : text_(text), file_(std::move(file)) {}
+
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek() const { return eof() ? '\0' : text_[pos_]; }
+  char peek_at(std::size_t ahead) const {
+    return pos_ + ahead >= text_.size() ? '\0' : text_[pos_ + ahead];
+  }
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  int line() const { return line_; }
+  int col() const { return col_; }
+  const std::string& file() const { return file_; }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    fail_at(line_, col_, message);
+  }
+  [[noreturn]] void fail_at(int line, int col,
+                            const std::string& message) const {
+    throw ScenarioError(Diagnostic{file_, line, col, message});
+  }
+
+  /// Skips spaces and tabs (not newlines).
+  void skip_blanks() {
+    while (!eof() && (peek() == ' ' || peek() == '\t' || peek() == '\r')) {
+      advance();
+    }
+  }
+
+  /// Skips a `#` comment through (not including) the newline.
+  void skip_comment() {
+    if (peek() != '#') return;
+    while (!eof() && peek() != '\n') advance();
+  }
+
+  /// Skips blanks, comments AND newlines — used inside arrays, where
+  /// values may wrap across lines.
+  void skip_whitespace_and_comments() {
+    for (;;) {
+      skip_blanks();
+      if (peek() == '#') {
+        skip_comment();
+        continue;
+      }
+      if (peek() == '\n') {
+        advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+ private:
+  std::string_view text_;
+  std::string file_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+bool bare_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == '.';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string file)
+      : cur_(text, std::move(file)) {}
+
+  Document run() {
+    Document doc;
+    doc.file = cur_.file();
+    while (!cur_.eof()) {
+      cur_.skip_blanks();
+      cur_.skip_comment();
+      if (cur_.peek() == '\n') {
+        cur_.advance();
+        continue;
+      }
+      if (cur_.eof()) break;
+      if (cur_.peek() == '[') {
+        parse_section_header(doc);
+      } else {
+        parse_entry(doc);
+      }
+    }
+    return doc;
+  }
+
+ private:
+  void parse_section_header(Document& doc) {
+    Section sec;
+    sec.line = cur_.line();
+    sec.col = cur_.col();
+    cur_.advance();  // '['
+    if (cur_.peek() == '[') {
+      sec.is_array = true;
+      cur_.advance();
+    }
+    cur_.skip_blanks();
+    sec.name = parse_bare_word("section name");
+    cur_.skip_blanks();
+    if (cur_.peek() != ']') cur_.fail("expected ']' to close section header");
+    cur_.advance();
+    if (sec.is_array) {
+      if (cur_.peek() != ']') {
+        cur_.fail("expected ']]' to close array-section header");
+      }
+      cur_.advance();
+    }
+    require_end_of_line("section header");
+    if (!sec.is_array) {
+      for (const Section& prior : doc.sections) {
+        if (prior.name == sec.name && !prior.is_array) {
+          cur_.fail_at(sec.line, sec.col,
+                       "duplicate section [" + sec.name +
+                           "] (first defined at line " +
+                           std::to_string(prior.line) + ")");
+        }
+      }
+    }
+    doc.sections.push_back(std::move(sec));
+  }
+
+  void parse_entry(Document& doc) {
+    Entry entry;
+    entry.line = cur_.line();
+    entry.col = cur_.col();
+    entry.key = cur_.peek() == '"' ? parse_string_literal()
+                                   : parse_bare_word("key");
+    cur_.skip_blanks();
+    if (cur_.peek() != '=') cur_.fail("expected '=' after key '" + entry.key + "'");
+    cur_.advance();
+    cur_.skip_blanks();
+    entry.value = parse_value();
+    require_end_of_line("value");
+    if (doc.sections.empty()) {
+      cur_.fail_at(entry.line, entry.col,
+                   "key '" + entry.key + "' appears before any [section]");
+    }
+    Section& sec = doc.sections.back();
+    if (const Entry* prior = sec.find_entry(entry.key)) {
+      cur_.fail_at(entry.line, entry.col,
+                   "duplicate key '" + entry.key + "' in [" + sec.name +
+                       "] (first set at line " + std::to_string(prior->line) +
+                       ")");
+    }
+    sec.entries.push_back(std::move(entry));
+  }
+
+  std::string parse_bare_word(const char* what) {
+    if (!bare_key_char(cur_.peek())) {
+      cur_.fail(std::string("expected a ") + what);
+    }
+    std::string out;
+    while (bare_key_char(cur_.peek())) out += cur_.advance();
+    return out;
+  }
+
+  std::string parse_string_literal() {
+    const int line = cur_.line();
+    const int col = cur_.col();
+    cur_.advance();  // opening quote
+    std::string out;
+    for (;;) {
+      if (cur_.eof() || cur_.peek() == '\n') {
+        cur_.fail_at(line, col, "unterminated string");
+      }
+      const char c = cur_.advance();
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (cur_.eof()) cur_.fail_at(line, col, "unterminated string");
+        const int esc_line = cur_.line();
+        const int esc_col = cur_.col() - 1;
+        const char e = cur_.advance();
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          default:
+            cur_.fail_at(esc_line, esc_col,
+                         std::string("invalid escape '\\") + e +
+                             "' (supported: \\\" \\\\ \\n \\t)");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  Value parse_value() {
+    Value v;
+    v.line = cur_.line();
+    v.col = cur_.col();
+    const char c = cur_.peek();
+    if (c == '"') {
+      v.kind = Value::Kind::kString;
+      v.str = parse_string_literal();
+      return v;
+    }
+    if (c == '[') {
+      return parse_array(v);
+    }
+    if (!bare_key_char(c) && c != '+') {
+      cur_.fail("expected a value (string, number, boolean, or array)");
+    }
+    std::string word;
+    if (c == '+') word += cur_.advance();
+    while (bare_key_char(cur_.peek()) || cur_.peek() == '+') {
+      word += cur_.advance();
+    }
+    if (word == "true" || word == "false") {
+      v.kind = Value::Kind::kBool;
+      v.boolean = word == "true";
+      return v;
+    }
+    char* end = nullptr;
+    const double num = std::strtod(word.c_str(), &end);
+    if (end != word.c_str() && *end == '\0') {
+      v.kind = Value::Kind::kNumber;
+      v.num = num;
+      return v;
+    }
+    cur_.fail_at(v.line, v.col,
+                 "'" + word +
+                     "' is not a valid value (strings must be quoted)");
+  }
+
+  Value parse_array(Value& v) {
+    v.kind = Value::Kind::kArray;
+    const int line = v.line;
+    const int col = v.col;
+    cur_.advance();  // '['
+    cur_.skip_whitespace_and_comments();
+    if (cur_.peek() == ']') {
+      cur_.advance();
+      return v;
+    }
+    for (;;) {
+      if (cur_.eof()) cur_.fail_at(line, col, "unterminated array");
+      v.items.push_back(parse_value());
+      cur_.skip_whitespace_and_comments();
+      if (cur_.peek() == ',') {
+        cur_.advance();
+        cur_.skip_whitespace_and_comments();
+        if (cur_.peek() == ']') {  // trailing comma
+          cur_.advance();
+          return v;
+        }
+        continue;
+      }
+      if (cur_.peek() == ']') {
+        cur_.advance();
+        return v;
+      }
+      if (cur_.eof()) cur_.fail_at(line, col, "unterminated array");
+      cur_.fail("expected ',' or ']' in array");
+    }
+  }
+
+  void require_end_of_line(const char* after) {
+    cur_.skip_blanks();
+    cur_.skip_comment();
+    if (cur_.eof()) return;
+    if (cur_.peek() != '\n') {
+      cur_.fail(std::string("unexpected characters after ") + after);
+    }
+    cur_.advance();
+  }
+
+  Cursor cur_;
+};
+
+void write_value(std::string& out, const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kString: {
+      out += '"';
+      for (const char c : v.str) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+      }
+      out += '"';
+      break;
+    }
+    case Value::Kind::kNumber: {
+      char buf[64];
+      if (v.num == std::floor(v.num) && std::fabs(v.num) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v.num);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v.num);
+      }
+      out += buf;
+      break;
+    }
+    case Value::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case Value::Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        if (i > 0) out += ", ";
+        write_value(out, v.items[i]);
+      }
+      out += ']';
+      break;
+    }
+  }
+}
+
+bool needs_quoting(const std::string& key) {
+  if (key.empty()) return true;
+  for (const char c : key) {
+    if (!bare_key_char(c)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Document parse(std::string_view text, std::string file) {
+  return Parser(text, std::move(file)).run();
+}
+
+Document parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ScenarioError(
+        Diagnostic{path, 0, 0, "cannot open scenario file"});
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str(), path);
+}
+
+std::string to_text(const Document& doc) {
+  std::string out;
+  for (const Section& sec : doc.sections) {
+    if (!out.empty()) out += '\n';
+    out += sec.is_array ? "[[" : "[";
+    out += sec.name;
+    out += sec.is_array ? "]]\n" : "]\n";
+    for (const Entry& e : sec.entries) {
+      if (needs_quoting(e.key)) {
+        write_value(out, Value::string(e.key));
+      } else {
+        out += e.key;
+      }
+      out += " = ";
+      write_value(out, e.value);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+}  // namespace vegas::scenario

@@ -1,0 +1,109 @@
+// Scenario-file parser (docs/SCENARIOS.md).
+//
+// A dependency-free reader for the TOML-like `.scn` dialect the scenario
+// engine consumes: `[section]` / `[[array-section]]` headers, `key =
+// value` entries, strings, numbers, booleans and (possibly multi-line)
+// arrays, `#` comments.  Every section, entry and value remembers its
+// line and column so that BOTH syntax errors (here) and semantic errors
+// (src/scenario/spec.cc) can point at the offending source location —
+// a malformed scenario must always fail with file:line:column, never a
+// crash or a silent default.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vegas::scenario {
+
+/// A source-located error message, formatted "file:line:col: error: msg".
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  int col = 0;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Thrown for any malformed scenario input — syntactic or semantic.
+/// what() is the formatted diagnostic.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(Diagnostic d)
+      : std::runtime_error(d.to_string()), diag_(std::move(d)) {}
+  const Diagnostic& diag() const { return diag_; }
+
+ private:
+  Diagnostic diag_;
+};
+
+struct Value {
+  enum class Kind { kString, kNumber, kBool, kArray };
+
+  Kind kind = Kind::kString;
+  std::string str;           // kString
+  double num = 0;            // kNumber
+  bool boolean = false;      // kBool
+  std::vector<Value> items;  // kArray
+  int line = 0;
+  int col = 0;
+
+  static Value number(double v) {
+    Value out;
+    out.kind = Kind::kNumber;
+    out.num = v;
+    return out;
+  }
+  static Value string(std::string v) {
+    Value out;
+    out.kind = Kind::kString;
+    out.str = std::move(v);
+    return out;
+  }
+
+  const char* kind_name() const;
+};
+
+struct Entry {
+  std::string key;
+  Value value;
+  int line = 0;
+  int col = 0;
+};
+
+struct Section {
+  std::string name;       // dotted, e.g. "sweep.zip"
+  bool is_array = false;  // declared as [[name]]
+  int line = 0;
+  int col = 0;
+  std::vector<Entry> entries;
+
+  const Value* find(std::string_view key) const;
+  const Entry* find_entry(std::string_view key) const;
+};
+
+struct Document {
+  std::string file;  // for diagnostics; "<string>" when parsed from text
+  std::vector<Section> sections;  // in file order
+
+  /// First section with this exact name (array or not), or nullptr.
+  const Section* find(std::string_view name) const;
+  /// Every section with this exact name, in file order.
+  std::vector<const Section*> all(std::string_view name) const;
+};
+
+/// Parses scenario text.  Throws ScenarioError at the first malformed
+/// construct; the diagnostic carries `file` plus 1-based line/column.
+Document parse(std::string_view text, std::string file = "<string>");
+
+/// Reads and parses a file.  I/O failure throws ScenarioError at 0:0.
+Document parse_file(const std::string& path);
+
+/// Canonical serialization: parse(to_text(doc)) reproduces `doc` exactly
+/// (section order, entry order, values), and to_text is a fixed point —
+/// the golden round-trip property the parser tests pin down.
+std::string to_text(const Document& doc);
+
+}  // namespace vegas::scenario

@@ -1,0 +1,322 @@
+#include "scenario/sweep.h"
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "common/ensure.h"
+
+namespace vegas::scenario {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& file, int line, int col,
+                       const std::string& message) {
+  throw ScenarioError(Diagnostic{file, line, col, message});
+}
+
+const std::set<std::string>& plain_sections() {
+  static const std::set<std::string> kPlain{"scenario", "topology", "queue",
+                                           "tcp"};
+  return kPlain;
+}
+
+const std::set<std::string>& array_sections() {
+  static const std::set<std::string> kArray{"flow", "traffic", "cross",
+                                           "node", "link"};
+  return kArray;
+}
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> out;
+  std::string part;
+  for (const char c : path) {
+    if (c == '.') {
+      out.push_back(part);
+      part.clear();
+    } else {
+      part += c;
+    }
+  }
+  out.push_back(part);
+  return out;
+}
+
+bool all_digits(const std::string& s) {
+  if (s.empty()) return false;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
+/// Does `selector` pick the i-th same-named array section?  Matches the
+/// section's `name` entry, or the plain index for unnamed sections.
+bool selector_matches(const Section& sec, std::size_t i,
+                      const std::string& selector) {
+  if (const Value* name = sec.find("name")) {
+    if (name->kind == Value::Kind::kString && name->str == selector) {
+      return true;
+    }
+  }
+  return all_digits(selector) &&
+         selector == std::to_string(i);
+}
+
+/// Checks a sweep path against the base document so typos fail at read
+/// time with the sweep entry's location, not deep inside a cell.
+void validate_path(const Document& doc, const std::string& path, int line,
+                   int col) {
+  const auto comps = split_path(path);
+  for (const std::string& c : comps) {
+    if (c.empty()) {
+      fail(doc.file, line, col,
+           "sweep path '" + path + "' has an empty component");
+    }
+  }
+  if (plain_sections().count(comps[0]) != 0) {
+    if (comps.size() != 2) {
+      fail(doc.file, line, col,
+           "sweep path '" + path + "' must be '" + comps[0] + ".<key>'");
+    }
+    return;
+  }
+  if (array_sections().count(comps[0]) != 0) {
+    if (comps.size() != 3) {
+      fail(doc.file, line, col,
+           "sweep path '" + path + "' must be '" + comps[0] +
+               ".<name-or-index>.<key>'");
+    }
+    const auto targets = doc.all(comps[0]);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      if (selector_matches(*targets[i], i, comps[1])) return;
+    }
+    fail(doc.file, line, col,
+         "sweep path '" + path + "' matches no [[" + comps[0] +
+             "]] section (selectors are the section's 'name' or its index)");
+  }
+  fail(doc.file, line, col,
+       "sweep path '" + path +
+           "' does not start with a known section (scenario, topology, "
+           "queue, tcp, flow, traffic, cross, node, link)");
+}
+
+/// Replaces or appends `key = value` in a mutable section.
+void set_entry(Section& sec, const std::string& key, const Value& value,
+               int line, int col) {
+  for (Entry& e : sec.entries) {
+    if (e.key == key) {
+      e.value = value;
+      return;
+    }
+  }
+  Entry e;
+  e.key = key;
+  e.value = value;
+  e.line = line;
+  e.col = col;
+  sec.entries.push_back(std::move(e));
+}
+
+void apply(Document& doc, const std::string& path, const Value& value,
+           int line, int col) {
+  const auto comps = split_path(path);
+  if (plain_sections().count(comps[0]) != 0) {
+    Section* target = nullptr;
+    for (Section& sec : doc.sections) {
+      if (sec.name == comps[0]) {
+        target = &sec;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      Section sec;
+      sec.name = comps[0];
+      sec.line = line;
+      sec.col = col;
+      doc.sections.push_back(std::move(sec));
+      target = &doc.sections.back();
+    }
+    set_entry(*target, comps[1], value, line, col);
+    return;
+  }
+  std::size_t i = 0;
+  for (Section& sec : doc.sections) {
+    if (sec.name != comps[0]) continue;
+    if (selector_matches(sec, i, comps[1])) {
+      set_entry(sec, comps[2], value, line, col);
+      return;
+    }
+    ++i;
+  }
+  // validate_path() accepted this path against the same document.
+  vegas::ensure(false, "scenario sweep: path vanished between validate and apply");
+}
+
+std::string value_text(const Value& v) {
+  switch (v.kind) {
+    case Value::Kind::kString:
+      return v.str;
+    case Value::Kind::kBool:
+      return v.boolean ? "true" : "false";
+    case Value::Kind::kNumber: {
+      char buf[64];
+      if (v.num == std::floor(v.num) && std::fabs(v.num) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%.0f", v.num);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%g", v.num);
+      }
+      return buf;
+    }
+    case Value::Kind::kArray:
+      return "[...]";
+  }
+  return "?";
+}
+
+/// Decomposes a cell index into per-axis picks plus the repetition:
+/// row-major, first axis slowest, repeat innermost.
+struct CellCoords {
+  std::vector<std::size_t> pick;  // one per axis
+  int rep = 0;
+};
+
+CellCoords coords(const SweepGrid& grid, std::size_t index) {
+  vegas::ensure(index < grid.cells(), "scenario sweep: cell index out of range");
+  CellCoords c;
+  c.pick.resize(grid.axes.size(), 0);
+  std::size_t rem = index;
+  c.rep = static_cast<int>(rem % static_cast<std::size_t>(grid.repeat));
+  rem /= static_cast<std::size_t>(grid.repeat);
+  for (std::size_t i = grid.axes.size(); i-- > 0;) {
+    c.pick[i] = rem % grid.axes[i].values.size();
+    rem /= grid.axes[i].values.size();
+  }
+  return c;
+}
+
+bool sets_seed(const SweepGrid& grid) {
+  for (const SweepAxis& a : grid.axes) {
+    if (a.path == "scenario.seed") return true;
+  }
+  for (const SweepAxis& z : grid.zips) {
+    if (z.path == "scenario.seed") return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t SweepGrid::cells() const {
+  std::size_t total = static_cast<std::size_t>(repeat);
+  for (const SweepAxis& a : axes) total *= a.values.size();
+  return total;
+}
+
+SweepGrid read_sweep(const Document& doc) {
+  SweepGrid grid;
+  if (const Section* sec = doc.find("sweep")) {
+    for (const Entry& e : sec->entries) {
+      if (e.key == "repeat") {
+        if (e.value.kind != Value::Kind::kNumber ||
+            e.value.num != std::floor(e.value.num) || e.value.num < 1) {
+          fail(doc.file, e.value.line, e.value.col,
+               "sweep 'repeat' must be an integer >= 1");
+        }
+        grid.repeat = static_cast<int>(e.value.num);
+        continue;
+      }
+      if (e.value.kind != Value::Kind::kArray || e.value.items.empty()) {
+        fail(doc.file, e.value.line, e.value.col,
+             "sweep axis '" + e.key + "' must be a non-empty array");
+      }
+      validate_path(doc, e.key, e.line, e.col);
+      SweepAxis axis;
+      axis.path = e.key;
+      axis.values = e.value.items;
+      axis.line = e.line;
+      axis.col = e.col;
+      grid.axes.push_back(std::move(axis));
+    }
+  }
+  if (const Section* sec = doc.find("sweep.zip")) {
+    const std::size_t want = grid.cells();
+    for (const Entry& e : sec->entries) {
+      if (e.value.kind != Value::Kind::kArray) {
+        fail(doc.file, e.value.line, e.value.col,
+             "sweep.zip '" + e.key + "' must be an array");
+      }
+      if (e.value.items.size() != want) {
+        fail(doc.file, e.value.line, e.value.col,
+             "sweep.zip '" + e.key + "' has " +
+                 std::to_string(e.value.items.size()) +
+                 " values but the grid has " + std::to_string(want) +
+                 " cells");
+      }
+      validate_path(doc, e.key, e.line, e.col);
+      SweepAxis zip;
+      zip.path = e.key;
+      zip.values = e.value.items;
+      zip.line = e.line;
+      zip.col = e.col;
+      grid.zips.push_back(std::move(zip));
+    }
+  }
+  return grid;
+}
+
+Document cell_document(const Document& base, const SweepGrid& grid,
+                       std::size_t index) {
+  const CellCoords c = coords(grid, index);
+  Document doc;
+  doc.file = base.file;
+  for (const Section& sec : base.sections) {
+    if (sec.name == "sweep" || sec.name == "sweep.zip") continue;
+    doc.sections.push_back(sec);
+  }
+  for (std::size_t i = 0; i < grid.axes.size(); ++i) {
+    const SweepAxis& a = grid.axes[i];
+    apply(doc, a.path, a.values[c.pick[i]], a.line, a.col);
+  }
+  for (const SweepAxis& z : grid.zips) {
+    apply(doc, z.path, z.values[index], z.line, z.col);
+  }
+  // repeat reruns each combination with an offset seed — unless the
+  // sweep controls the seed itself (the Table 1/2 files do, via zip).
+  if (grid.repeat > 1 && !sets_seed(grid)) {
+    double base_seed = 1;
+    int line = 0;
+    int col = 0;
+    for (const Section& sec : doc.sections) {
+      if (sec.name != "scenario") continue;
+      if (const Value* v = sec.find("seed")) {
+        if (v->kind == Value::Kind::kNumber) base_seed = v->num;
+        line = v->line;
+        col = v->col;
+      }
+      break;
+    }
+    Value seed = Value::number(base_seed + c.rep);
+    seed.line = line;
+    seed.col = col;
+    apply(doc, "scenario.seed", seed, line, col);
+  }
+  return doc;
+}
+
+std::string cell_label(const SweepGrid& grid, std::size_t index) {
+  const CellCoords c = coords(grid, index);
+  std::string out;
+  for (std::size_t i = 0; i < grid.axes.size(); ++i) {
+    const auto comps = split_path(grid.axes[i].path);
+    if (!out.empty()) out += ' ';
+    out += comps.back() + "=" + value_text(grid.axes[i].values[c.pick[i]]);
+  }
+  if (grid.repeat > 1) {
+    if (!out.empty()) out += ' ';
+    out += "rep=" + std::to_string(c.rep);
+  }
+  return out;
+}
+
+}  // namespace vegas::scenario

@@ -1,0 +1,64 @@
+// Sweep-grid expansion (docs/SCENARIOS.md §Sweeps).
+//
+// A `[sweep]` section turns one scenario file into a grid of cells:
+// every key is a dotted path into the document paired with an array of
+// values, e.g. `topology.bottleneck_queue = [10, 15, 20]`.  Axes
+// combine as a cross product in file order — the FIRST axis varies
+// slowest, matching the nesting of the hand-written bench loops.  The
+// special key `repeat = N` adds an innermost axis that reruns each
+// combination N times with `scenario.seed` offset by the repetition
+// index (unless a sweep explicitly sets the seed).
+//
+// `[sweep.zip]` holds per-cell override arrays whose length must equal
+// the total cell count; value i applies to cell i.  This expresses
+// things a product can't, like the benches' seed formulas
+// (`seed = 1000 + queue*10 + delay*2`) as an explicit list.
+//
+// Expansion is purely textual: cell_document() produces a standalone
+// Document per cell, which then goes through the one and only
+// validation path, scenario::compile().
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/parser.h"
+
+namespace vegas::scenario {
+
+struct SweepAxis {
+  std::string path;           // dotted, e.g. "topology.bottleneck_queue"
+  std::vector<Value> values;  // one per step, in file order
+  int line = 0;               // of the axis entry, for diagnostics
+  int col = 0;
+};
+
+struct SweepGrid {
+  std::vector<SweepAxis> axes;  // file order; first axis varies slowest
+  int repeat = 1;               // innermost implicit axis
+  std::vector<SweepAxis> zips;  // [sweep.zip]: values.size() == cells()
+
+  /// Total cell count: product of axis lengths times repeat.  1 when the
+  /// file has no [sweep] section at all — every scenario is a grid.
+  std::size_t cells() const;
+};
+
+/// Extracts and validates the sweep sections.  Checks path syntax and
+/// targets against the document, axis arrays for non-emptiness, and zip
+/// arrays for exact grid length; throws ScenarioError with the axis
+/// entry's location otherwise.
+SweepGrid read_sweep(const Document& doc);
+
+/// Materializes cell `index` (row-major over the axes, repeat
+/// innermost): the base document minus the sweep sections, with each
+/// axis/zip value substituted at its target path.  Substituted values
+/// keep their location in the sweep section, so compile() errors on a
+/// swept value still point at real source text.
+Document cell_document(const Document& base, const SweepGrid& grid,
+                       std::size_t index);
+
+/// Short human label for cell `index`, e.g. "queue=15 delay=1 rep=3".
+std::string cell_label(const SweepGrid& grid, std::size_t index);
+
+}  // namespace vegas::scenario

@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "common/ensure.h"
 #include "sim/time.h"
 
 namespace vegas::trace {
@@ -49,8 +51,16 @@ class TraceBuffer {
 
   void append(sim::Time t, EventKind kind, std::uint32_t value,
               std::uint8_t aux = 0, std::uint16_t len = 0) {
-    events_.push_back(TraceEvent{
-        static_cast<std::uint32_t>(t.ns() / 1000), kind, aux, len, value});
+    const std::int64_t us = t.ns() / 1000;
+    // t_us is 32-bit: ~71.6 minutes of simulated time.  Wrapping would
+    // silently fold late events onto early timestamps and corrupt every
+    // digest downstream; long runs must trace in segments instead.
+    vegas::ensure(
+        us >= 0 && us <= std::numeric_limits<std::uint32_t>::max(),
+        "TraceBuffer: timestamp exceeds the 32-bit microsecond range "
+        "(~71.6 min); split long runs into multiple traces");
+    events_.push_back(
+        TraceEvent{static_cast<std::uint32_t>(us), kind, aux, len, value});
   }
 
   const std::vector<TraceEvent>& events() const { return events_; }

@@ -1,0 +1,309 @@
+// Parser + sweep-grid tests: golden round-trips through to_text, and
+// malformed inputs pinned to exact file:line:column diagnostics — a bad
+// scenario must never crash or silently fall back to a default.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "scenario/parser.h"
+#include "scenario/sweep.h"
+
+namespace {
+
+using namespace vegas;
+using scenario::Diagnostic;
+using scenario::Document;
+using scenario::ScenarioError;
+using scenario::Value;
+
+Diagnostic diag_of(const std::string& text) {
+  try {
+    scenario::parse(text, "test.scn");
+  } catch (const ScenarioError& e) {
+    return e.diag();
+  }
+  ADD_FAILURE() << "expected ScenarioError for:\n" << text;
+  return Diagnostic{};
+}
+
+// ------------------------------------------------------------- golden
+
+TEST(ScenarioParserTest, ParsesEveryValueKind) {
+  const Document doc = scenario::parse(
+      "# leading comment\n"
+      "[scenario]\n"
+      "name = \"hello \\\"scn\\\"\"  # trailing comment\n"
+      "seed = 42\n"
+      "rate = 0.25\n"
+      "neg = -3\n"
+      "flag = true\n"
+      "off = false\n"
+      "list = [1, 2.5, \"three\", [4, 5]]\n"
+      "\n"
+      "[[flow]]\n"
+      "bytes = \"1MB\"\n"
+      "[[flow]]\n"
+      "bytes = 1024\n",
+      "test.scn");
+
+  ASSERT_EQ(doc.sections.size(), 3u);
+  const scenario::Section& sc = doc.sections[0];
+  EXPECT_EQ(sc.name, "scenario");
+  EXPECT_FALSE(sc.is_array);
+  EXPECT_EQ(sc.line, 2);
+
+  EXPECT_EQ(sc.find("name")->str, "hello \"scn\"");
+  EXPECT_EQ(sc.find("seed")->kind, Value::Kind::kNumber);
+  EXPECT_DOUBLE_EQ(sc.find("seed")->num, 42.0);
+  EXPECT_DOUBLE_EQ(sc.find("rate")->num, 0.25);
+  EXPECT_DOUBLE_EQ(sc.find("neg")->num, -3.0);
+  EXPECT_TRUE(sc.find("flag")->boolean);
+  EXPECT_FALSE(sc.find("off")->boolean);
+
+  const Value* list = sc.find("list");
+  ASSERT_EQ(list->kind, Value::Kind::kArray);
+  ASSERT_EQ(list->items.size(), 4u);
+  EXPECT_DOUBLE_EQ(list->items[1].num, 2.5);
+  EXPECT_EQ(list->items[2].str, "three");
+  ASSERT_EQ(list->items[3].kind, Value::Kind::kArray);
+  EXPECT_DOUBLE_EQ(list->items[3].items[1].num, 5.0);
+
+  // Array sections keep their multiplicity and file order.
+  EXPECT_EQ(doc.all("flow").size(), 2u);
+  EXPECT_TRUE(doc.sections[1].is_array);
+  EXPECT_EQ(doc.all("flow")[0]->find("bytes")->str, "1MB");
+  EXPECT_DOUBLE_EQ(doc.all("flow")[1]->find("bytes")->num, 1024.0);
+}
+
+TEST(ScenarioParserTest, MultiLineArraysAndTrailingCommas) {
+  const Document doc = scenario::parse(
+      "[sweep.zip]\n"
+      "scenario.seed = [1, 2,  # per-cell seeds\n"
+      "                 3,\n"
+      "                 4,]\n"
+      "empty = []\n");
+  const Value* seeds = doc.sections[0].find("scenario.seed");
+  ASSERT_EQ(seeds->items.size(), 4u);
+  EXPECT_DOUBLE_EQ(seeds->items[3].num, 4.0);
+  EXPECT_EQ(doc.sections[0].find("empty")->items.size(), 0u);
+}
+
+TEST(ScenarioParserTest, ToTextRoundTripIsAFixedPoint) {
+  const char* src =
+      "[scenario]  # comments vanish, structure survives\n"
+      "name = \"round\\ntrip\"\n"
+      "seed = 7\n"
+      "frac = 0.125\n"
+      "flag = true\n"
+      "grid = [1, 2, 3]\n"
+      "\"weird key\" = 1\n"
+      "[[flow]]\n"
+      "bytes = \"300KB\"\n";
+  const std::string once = scenario::to_text(scenario::parse(src));
+  const std::string twice = scenario::to_text(scenario::parse(once));
+  EXPECT_EQ(once, twice);
+
+  // The reparse reproduces the document structurally, too.
+  const Document a = scenario::parse(src);
+  const Document b = scenario::parse(once);
+  ASSERT_EQ(a.sections.size(), b.sections.size());
+  for (std::size_t i = 0; i < a.sections.size(); ++i) {
+    EXPECT_EQ(a.sections[i].name, b.sections[i].name);
+    EXPECT_EQ(a.sections[i].is_array, b.sections[i].is_array);
+    ASSERT_EQ(a.sections[i].entries.size(), b.sections[i].entries.size());
+    for (std::size_t j = 0; j < a.sections[i].entries.size(); ++j) {
+      EXPECT_EQ(a.sections[i].entries[j].key, b.sections[i].entries[j].key);
+      EXPECT_EQ(a.sections[i].entries[j].value.kind,
+                b.sections[i].entries[j].value.kind);
+    }
+  }
+}
+
+// ---------------------------------------------------------- malformed
+
+TEST(ScenarioParserTest, KeyBeforeAnySectionPointsAtTheKey) {
+  const Diagnostic d = diag_of("k = 1\n");
+  EXPECT_EQ(d.file, "test.scn");
+  EXPECT_EQ(d.line, 1);
+  EXPECT_EQ(d.col, 1);
+  EXPECT_NE(d.message.find("before any [section]"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, DuplicateKeyPointsAtTheSecondDefinition) {
+  const Diagnostic d = diag_of("[a]\nk = 1\nk = 2\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.col, 1);
+  EXPECT_NE(d.message.find("duplicate key 'k'"), std::string::npos);
+  EXPECT_NE(d.message.find("line 2"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, DuplicatePlainSectionRejected) {
+  const Diagnostic d = diag_of("[a]\nx = 1\n[a]\n");
+  EXPECT_EQ(d.line, 3);
+  EXPECT_EQ(d.col, 1);
+  EXPECT_NE(d.message.find("duplicate section [a]"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, UnterminatedStringPointsAtItsOpeningQuote) {
+  const Diagnostic d = diag_of("[a]\nk = \"abc");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 5);
+  EXPECT_NE(d.message.find("unterminated string"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, InvalidEscapePointsAtTheBackslash) {
+  const Diagnostic d = diag_of("[a]\nk = \"a\\q\"\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 7);
+  EXPECT_NE(d.message.find("invalid escape"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, UnterminatedArrayPointsAtItsOpeningBracket) {
+  const Diagnostic d = diag_of("[a]\nk = [1, 2\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 5);
+  EXPECT_NE(d.message.find("unterminated array"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, MissingEqualsAfterKey) {
+  const Diagnostic d = diag_of("[a]\nk 1\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 3);
+  EXPECT_NE(d.message.find("expected '='"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, TrailingGarbageAfterValue) {
+  const Diagnostic d = diag_of("[a]\nk = 1 2\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 7);
+  EXPECT_NE(d.message.find("unexpected characters"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, UnquotedWordIsNotAValue) {
+  const Diagnostic d = diag_of("[a]\nk = banana\n");
+  EXPECT_EQ(d.line, 2);
+  EXPECT_EQ(d.col, 5);
+  EXPECT_NE(d.message.find("strings must be quoted"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, UnclosedSectionHeader) {
+  const Diagnostic d = diag_of("[a\n");
+  EXPECT_EQ(d.line, 1);
+  EXPECT_EQ(d.col, 3);
+  EXPECT_NE(d.message.find("expected ']'"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, MissingFileFailsWithDiagnosticNotACrash) {
+  try {
+    scenario::parse_file("/nonexistent/missing.scn");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.diag().file, "/nonexistent/missing.scn");
+    EXPECT_EQ(e.diag().line, 0);
+    EXPECT_NE(e.diag().message.find("cannot open"), std::string::npos);
+  }
+}
+
+// -------------------------------------------------------------- sweep
+
+const char* kSweepBase =
+    "[scenario]\n"
+    "seed = 100\n"
+    "[topology]\n"
+    "kind = \"dumbbell\"\n"
+    "bottleneck_queue = 10\n"
+    "[[flow]]\n"
+    "name = \"f\"\n"
+    "protocol = \"vegas\"\n"
+    "bytes = 1000\n"
+    "start_s = 0\n";
+
+double sweep_num(const Document& d, const char* section, const char* key) {
+  return d.find(section)->find(key)->num;
+}
+
+TEST(ScenarioSweepTest, ProductExpandsFirstAxisSlowestRepeatInnermost) {
+  const Document base = scenario::parse(std::string(kSweepBase) +
+                                        "[sweep]\n"
+                                        "topology.bottleneck_queue = [10, 20]\n"
+                                        "flow.f.start_s = [0, 1, 2]\n"
+                                        "repeat = 2\n");
+  const scenario::SweepGrid grid = scenario::read_sweep(base);
+  EXPECT_EQ(grid.cells(), 12u);
+
+  // Cell 0: first value of every axis, repetition 0.
+  Document c0 = scenario::cell_document(base, grid, 0);
+  EXPECT_EQ(c0.find("sweep"), nullptr);  // sweep sections are consumed
+  EXPECT_DOUBLE_EQ(sweep_num(c0, "topology", "bottleneck_queue"), 10.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c0, "flow", "start_s"), 0.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c0, "scenario", "seed"), 100.0);
+
+  // Cell 1: repeat is the innermost axis; it offsets the seed.
+  Document c1 = scenario::cell_document(base, grid, 1);
+  EXPECT_DOUBLE_EQ(sweep_num(c1, "flow", "start_s"), 0.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c1, "scenario", "seed"), 101.0);
+
+  // Cell 2: second value of the LAST axis; the first axis is slowest.
+  Document c2 = scenario::cell_document(base, grid, 2);
+  EXPECT_DOUBLE_EQ(sweep_num(c2, "topology", "bottleneck_queue"), 10.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c2, "flow", "start_s"), 1.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c2, "scenario", "seed"), 100.0);
+
+  // Last cell: every axis at its last value, repetition 1.
+  Document c11 = scenario::cell_document(base, grid, 11);
+  EXPECT_DOUBLE_EQ(sweep_num(c11, "topology", "bottleneck_queue"), 20.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c11, "flow", "start_s"), 2.0);
+  EXPECT_DOUBLE_EQ(sweep_num(c11, "scenario", "seed"), 101.0);
+
+  EXPECT_EQ(scenario::cell_label(grid, 2),
+            "bottleneck_queue=10 start_s=1 rep=0");
+  EXPECT_EQ(scenario::cell_label(grid, 11),
+            "bottleneck_queue=20 start_s=2 rep=1");
+}
+
+TEST(ScenarioSweepTest, ZipOverridesApplyPerCellAndSuppressSeedOffset) {
+  const Document base = scenario::parse(std::string(kSweepBase) +
+                                        "[sweep]\n"
+                                        "repeat = 3\n"
+                                        "[sweep.zip]\n"
+                                        "scenario.seed = [7, 11, 13]\n");
+  const scenario::SweepGrid grid = scenario::read_sweep(base);
+  EXPECT_EQ(grid.cells(), 3u);
+  EXPECT_DOUBLE_EQ(
+      sweep_num(scenario::cell_document(base, grid, 0), "scenario", "seed"),
+      7.0);
+  EXPECT_DOUBLE_EQ(
+      sweep_num(scenario::cell_document(base, grid, 2), "scenario", "seed"),
+      13.0);
+}
+
+TEST(ScenarioSweepTest, ZipLengthMustEqualTheGrid) {
+  const Document base = scenario::parse(std::string(kSweepBase) +
+                                        "[sweep]\n"
+                                        "topology.bottleneck_queue = [10, 20]\n"
+                                        "[sweep.zip]\n"
+                                        "scenario.seed = [1, 2, 3]\n",
+                                        "test.scn");
+  try {
+    scenario::read_sweep(base);
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_EQ(e.diag().file, "test.scn");
+    EXPECT_EQ(e.diag().line, 14);  // the zip entry
+    EXPECT_GT(e.diag().col, 0);
+  }
+}
+
+TEST(ScenarioSweepTest, UnresolvablePathsAreRejectedUpFront) {
+  for (const char* axis : {
+           "nosuch.key = [1]\n",             // unknown section
+           "flow.g.start_s = [1]\n",         // no flow named g
+           "topology.bottleneck_queue = []\n"  // empty axis
+       }) {
+    const Document base = scenario::parse(std::string(kSweepBase) +
+                                          "[sweep]\n" + axis, "test.scn");
+    EXPECT_THROW(scenario::read_sweep(base), ScenarioError) << axis;
+  }
+}
+
+}  // namespace

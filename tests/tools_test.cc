@@ -108,5 +108,61 @@ TEST(QueueMonitorTest, TimeAverageDegenerate) {
   EXPECT_EQ(mon.time_average(2_sec, 2_sec), 0.0);  // empty window
 }
 
+tools::Flags make_flags(std::vector<const char*> argv) {
+  return tools::Flags(static_cast<int>(argv.size()),
+                      const_cast<char**>(argv.data()), 2);
+}
+
+tools::FlagSet demo_flagset() {
+  tools::FlagSet fs("prog", "cmd", "A demo subcommand.", "<file>");
+  fs.arg("queue", "N", "10", "queue capacity").toggle("json", "JSON output");
+  return fs;
+}
+
+TEST(FlagSetTest, AcceptPassesDeclaredFlagsThrough) {
+  const tools::FlagSet fs = demo_flagset();
+  const tools::Flags flags =
+      make_flags({"prog", "cmd", "--queue", "20", "--json"});
+  int code = -1;
+  EXPECT_TRUE(fs.accept(flags, &code));
+  EXPECT_EQ(flags.get_int("queue", 10), 20);
+  EXPECT_FALSE(fs.unknown(flags).has_value());
+}
+
+TEST(FlagSetTest, UnknownFlagFailsWithExitCode2) {
+  const tools::FlagSet fs = demo_flagset();
+  const tools::Flags flags = make_flags({"prog", "cmd", "--bogus"});
+  EXPECT_EQ(fs.unknown(flags).value_or(""), "bogus");
+  int code = -1;
+  EXPECT_FALSE(fs.accept(flags, &code));
+  EXPECT_EQ(code, 2);
+}
+
+TEST(FlagSetTest, HelpShortCircuitsWithExitCode0) {
+  const tools::FlagSet fs = demo_flagset();
+  const tools::Flags flags = make_flags({"prog", "cmd", "--help"});
+  int code = -1;
+  EXPECT_FALSE(fs.accept(flags, &code));
+  EXPECT_EQ(code, 0);
+}
+
+TEST(FlagSetTest, HelpTextIsGeneratedFromTheDeclarations) {
+  const tools::FlagSet fs = demo_flagset();
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  fs.print_help(tmp);
+  std::rewind(tmp);
+  char buf[2048] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, tmp);
+  std::fclose(tmp);
+  const std::string help(buf, n);
+  EXPECT_NE(help.find("usage: prog cmd <file> [flags]"), std::string::npos);
+  EXPECT_NE(help.find("A demo subcommand."), std::string::npos);
+  EXPECT_NE(help.find("--queue N"), std::string::npos);
+  EXPECT_NE(help.find("[default: 10]"), std::string::npos);
+  EXPECT_NE(help.find("--json"), std::string::npos);
+  EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace vegas

@@ -202,5 +202,16 @@ TEST(TraceBufferTest, LoadRejectsGarbage) {
   EXPECT_FALSE(buf.load("/nonexistent/path/file.bin"));
 }
 
+TEST(TraceBufferDeathTest, RejectsTimestampsBeyond32BitMicroseconds) {
+  TraceBuffer buf;
+  // 2^32 us ~ 4294.97 s; the guard must admit everything below the edge
+  // and refuse to wrap (wrapping would silently fold late events onto
+  // early timestamps and corrupt every digest downstream).
+  buf.append(sim::Time::seconds(4294.0), EventKind::kCwnd, 1);
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_DEATH(buf.append(sim::Time::seconds(4295.0), EventKind::kCwnd, 1),
+               "32-bit microsecond range");
+}
+
 }  // namespace
 }  // namespace vegas::trace

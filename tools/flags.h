@@ -7,6 +7,8 @@
 // --switch=true form when mixing.
 #pragma once
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <optional>
@@ -63,9 +65,108 @@ class Flags {
 
   const std::vector<std::string>& positional() const { return positional_; }
 
+  /// All parsed --key values, for declared-flag validation (FlagSet).
+  const std::map<std::string, std::string>& entries() const { return values_; }
+
  private:
   std::map<std::string, std::string> values_;
   std::vector<std::string> positional_;
+};
+
+/// Declared flags for one subcommand: the single source for BOTH the
+/// generated `--help` text and unknown-flag rejection, so the two can
+/// never drift apart.  `--help` itself is always declared.
+class FlagSet {
+ public:
+  FlagSet(std::string program, std::string command, std::string description,
+          std::string operands = "")
+      : program_(std::move(program)),
+        command_(std::move(command)),
+        description_(std::move(description)),
+        operands_(std::move(operands)) {
+    toggle("help", "print this help and exit");
+  }
+
+  /// Declares a value-taking flag: `--name <hint>` (default shown when
+  /// non-empty).
+  FlagSet& arg(std::string name, std::string hint, std::string def,
+               std::string help) {
+    decls_.push_back({std::move(name), std::move(hint), std::move(def),
+                      std::move(help)});
+    return *this;
+  }
+
+  /// Declares a bare switch: `--name`.
+  FlagSet& toggle(std::string name, std::string help) {
+    decls_.push_back({std::move(name), "", "", std::move(help)});
+    return *this;
+  }
+
+  const std::string& command() const { return command_; }
+  const std::string& description() const { return description_; }
+
+  void print_help(std::FILE* out) const {
+    std::fprintf(out, "usage: %s %s%s%s [flags]\n\n%s\n\nflags:\n",
+                 program_.c_str(), command_.c_str(),
+                 operands_.empty() ? "" : " ", operands_.c_str(),
+                 description_.c_str());
+    std::size_t width = 0;
+    for (const Decl& d : decls_) {
+      width = std::max(width, d.name.size() + 3 + d.hint.size() +
+                                  (d.hint.empty() ? 0 : 1));
+    }
+    for (const Decl& d : decls_) {
+      const std::string left =
+          "--" + d.name + (d.hint.empty() ? "" : " " + d.hint);
+      std::fprintf(out, "  %-*s  %s", static_cast<int>(width), left.c_str(),
+                   d.help.c_str());
+      if (!d.def.empty()) std::fprintf(out, " [default: %s]", d.def.c_str());
+      std::fprintf(out, "\n");
+    }
+  }
+
+  /// First parsed flag that was never declared, or nullopt.
+  std::optional<std::string> unknown(const Flags& flags) const {
+    for (const auto& [key, value] : flags.entries()) {
+      bool known = false;
+      for (const Decl& d : decls_) known = known || d.name == key;
+      if (!known) return key;
+    }
+    return std::nullopt;
+  }
+
+  /// Standard preamble for a subcommand: handles --help (exit 0) and
+  /// unknown flags (diagnostic + exit 2).  Returns true when the
+  /// subcommand should proceed; otherwise *exit_code is set.
+  bool accept(const Flags& flags, int* exit_code) const {
+    if (flags.get_bool("help")) {
+      print_help(stdout);
+      *exit_code = 0;
+      return false;
+    }
+    if (const auto bad = unknown(flags)) {
+      std::fprintf(stderr, "%s %s: unknown flag --%s (try: %s %s --help)\n",
+                   program_.c_str(), command_.c_str(), bad->c_str(),
+                   program_.c_str(), command_.c_str());
+      *exit_code = 2;
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  struct Decl {
+    std::string name;
+    std::string hint;  // value placeholder; empty for switches
+    std::string def;   // rendered default; empty = none shown
+    std::string help;
+  };
+
+  std::string program_;
+  std::string command_;
+  std::string description_;
+  std::string operands_;  // e.g. "<file.scn>"
+  std::vector<Decl> decls_;
 };
 
 }  // namespace vegas::tools

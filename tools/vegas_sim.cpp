@@ -1,21 +1,16 @@
 // vegas-sim: scriptable experiment runner.
 //
-// Subcommands (every knob has a --flag; --json emits machine-readable
-// results on stdout):
-//
-//   vegas-sim solo      --algo vegas --bytes-kb 1024 --queue 10 --seed 1
-//                       [--delay-ms 30] [--bw-kbps 200] [--sack]
-//                       [--paced-ss] [--pcap out.pcap]
-//   vegas-sim background --algo vegas --alpha 1 --beta 3 --queue 10
-//                        [--interarrival 0.4] [--two-way] [--sack]
-//   vegas-sim wan       --algo reno --bytes-kb 512 --seed 7
-//   vegas-sim fairness  --conns 16 --algo vegas --unequal
-//   vegas-sim one-on-one --small-algo reno --large-algo vegas --queue 15
+// Every subcommand declares its flags in a tools::FlagSet, which
+// generates `vegas-sim <cmd> --help` and rejects unknown flags.  Run
+// `vegas-sim --help` for the subcommand list; `--json` on any
+// subcommand emits machine-readable results on stdout.
 //
 // Examples:
 //   vegas-sim solo --algo vegas --json | jq .throughput_kBps
 //   vegas-sim solo --algo reno --pcap reno.pcap && tcpdump -r reno.pcap
+//   vegas-sim run examples/scenarios/table1.scn --json
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 
@@ -23,23 +18,125 @@
 #include "core/factory.h"
 #include "exp/scenarios.h"
 #include "exp/world.h"
+#include "scenario/engine.h"
 #include "tools/flags.h"
 #include "trace/pcap.h"
 #include "traffic/bulk.h"
 
 using namespace vegas;
 using tools::Flags;
+using tools::FlagSet;
 
 namespace {
 
-int usage() {
-  std::fprintf(
-      stderr,
-      "usage: vegas-sim <solo|background|wan|fairness|one-on-one> [flags]\n"
-      "common flags: --algo <reno|tahoe|vegas|dual|card|tris> --seed N\n"
-      "              --bytes-kb N --queue N --json\n"
-      "see tools/vegas_sim.cpp for the full flag list per subcommand\n");
-  return 2;
+FlagSet& algo_flags(FlagSet& fs, const std::string& key = "algo",
+                    const std::string& what = "congestion control") {
+  return fs
+      .arg(key, "<name>", "vegas",
+           what + ": reno|tahoe|newreno|vegas|dual|card|tris")
+      .arg("alpha", "N", "2", "Vegas lower threshold (buffers)")
+      .arg("beta", "N", "4", "Vegas upper threshold (buffers)")
+      .arg("gamma", "N", "1", "Vegas slow-start exit threshold");
+}
+
+FlagSet solo_flags() {
+  FlagSet fs("vegas-sim", "solo",
+             "One bulk transfer over an otherwise idle Figure-5 dumbbell.");
+  algo_flags(fs)
+      .arg("bytes-kb", "N", "1024", "transfer size in KB")
+      .arg("queue", "N", "10", "bottleneck queue capacity (packets)")
+      .arg("delay-ms", "N", "30", "one-way bottleneck propagation delay")
+      .arg("bw-kbps", "N", "200", "bottleneck bandwidth in KB/s")
+      .arg("seed", "N", "1", "world seed")
+      .arg("timeout", "S", "600", "simulated seconds to run at most")
+      .arg("pcap", "<file>", "", "capture the bottleneck to a pcap file")
+      .toggle("sack", "enable RFC 2018 selective ACKs")
+      .toggle("paced-ss", "Vegas paced slow start")
+      .toggle("bw-check", "Vegas slow-start bandwidth check")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+FlagSet background_flags() {
+  FlagSet fs("vegas-sim", "background",
+             "Table 2/3: a measured 1 MB transfer against tcplib "
+             "background conversations.");
+  algo_flags(fs)
+      .arg("bytes-kb", "N", "1024", "transfer size in KB")
+      .arg("queue", "N", "10", "bottleneck queue capacity (packets)")
+      .arg("seed", "N", "1", "world seed")
+      .arg("interarrival", "S", "0.4", "mean conversation interarrival")
+      .toggle("two-way", "also run tcplib on the reverse path (4.3)")
+      .toggle("sack", "selective ACKs on the measured transfer")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+FlagSet wan_flags() {
+  FlagSet fs("vegas-sim", "wan",
+             "Tables 4/5: one transfer across the 17-hop WAN chain with "
+             "tcplib cross traffic.");
+  algo_flags(fs)
+      .arg("bytes-kb", "N", "1024", "transfer size in KB")
+      .arg("seed", "N", "1", "world seed")
+      .arg("cross-interarrival", "S", "2", "cross-conversation interarrival")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+FlagSet fairness_flags() {
+  FlagSet fs("vegas-sim", "fairness",
+             "4.3: N same-engine connections sharing one bottleneck; "
+             "reports Jain's index.");
+  algo_flags(fs)
+      .arg("conns", "N", "4", "number of connections")
+      .arg("bytes-kb", "N", "2048", "transfer size per connection in KB")
+      .arg("queue", "N", "20", "bottleneck queue capacity (packets)")
+      .arg("seed", "N", "1", "world seed")
+      .toggle("unequal", "give half the connections twice the delay")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+FlagSet one_on_one_flags() {
+  FlagSet fs("vegas-sim", "one-on-one",
+             "Table 1: a 1 MB transfer vs a later 300 KB transfer.");
+  FlagSet& with_algos = algo_flags(fs, "large-algo", "1 MB transfer engine");
+  with_algos
+      .arg("small-algo", "<name>", "vegas", "300 KB transfer engine")
+      .arg("queue", "N", "15", "bottleneck queue capacity (packets)")
+      .arg("delay", "S", "1", "small-transfer start delay (0..2.5 in paper)")
+      .arg("seed", "N", "1", "world seed")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+FlagSet run_flags() {
+  FlagSet fs("vegas-sim", "run",
+             "Run a declarative scenario file: expands its sweep grid and "
+             "fans the cells out in parallel (docs/SCENARIOS.md).",
+             "<file.scn>");
+  fs.arg("threads", "N", "0",
+         "worker threads (0 = VEGAS_THREADS, then hardware)")
+      .arg("pcap-dir", "<dir>", "", "dump cell<i>.pcap of each bottleneck")
+      .arg("trace-dir", "<dir>", "",
+           "dump cell<i>-<flow>.trace for traced flows")
+      .toggle("dry-run", "expand and validate the grid without simulating")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+int usage(std::FILE* out, int code) {
+  std::fprintf(out, "usage: vegas-sim <subcommand> [flags]\n\nsubcommands:\n");
+  for (const FlagSet& fs :
+       {run_flags(), solo_flags(), background_flags(), wan_flags(),
+        fairness_flags(), one_on_one_flags()}) {
+    std::fprintf(out, "  %-11s %s\n", fs.command().c_str(),
+                 fs.description().c_str());
+  }
+  std::fprintf(out, "\n'vegas-sim <subcommand> --help' lists that "
+                    "subcommand's flags.\n");
+  return code;
 }
 
 exp::AlgoSpec algo_from(const Flags& flags, const char* key = "algo") {
@@ -233,16 +330,217 @@ int cmd_one_on_one(const Flags& flags) {
   return (r.small.completed && r.large.completed) ? 0 : 1;
 }
 
+// ----------------------------------------------------------------- run
+
+std::string hex_digest(std::uint64_t digest) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buf;
+}
+
+void emit_run_json(const std::string& path, const scenario::Scenario& sc,
+                   const std::vector<scenario::CellResult>& results) {
+  json::Writer w;
+  w.begin_object();
+  w.field("experiment", "run");
+  w.field("file", path);
+  w.field("scenario", sc.name());
+  w.field("cells", static_cast<std::int64_t>(results.size()));
+  w.key("results");
+  w.begin_array();
+  for (const scenario::CellResult& r : results) {
+    w.begin_object();
+    w.field("cell", static_cast<std::int64_t>(r.index));
+    w.field("label", r.label);
+    w.field("seed", r.seed);
+    w.field("sim_time_s", r.sim_time_s);
+    w.field("fairness_jain", r.fairness_jain);
+    w.field("background_goodput_kBps", r.background_goodput_Bps / 1024.0);
+    w.key("flows");
+    w.begin_array();
+    for (const scenario::FlowResult& f : r.flows) {
+      const traffic::TransferResult& t = f.transfer;
+      w.begin_object();
+      w.field("name", f.name);
+      w.field("algorithm", t.algorithm.empty() ? f.algorithm : t.algorithm);
+      w.field("completed", t.completed);
+      w.field("bytes", static_cast<std::int64_t>(t.bytes));
+      w.field("bytes_delivered", static_cast<std::int64_t>(t.bytes_delivered));
+      w.field("duration_s", t.duration_s());
+      w.field("throughput_kBps", t.throughput_Bps() / 1024.0);
+      w.field("retransmitted_kb",
+              static_cast<double>(t.sender_stats.bytes_retransmitted) /
+                  1024.0);
+      w.field("coarse_timeouts", t.sender_stats.coarse_timeouts);
+      w.field("fast_retransmits", t.sender_stats.fast_retransmits);
+      w.field("fine_retransmits", t.sender_stats.fine_retransmits);
+      w.field("sack_retransmits", t.sender_stats.sack_retransmits);
+      if (f.traced) {
+        w.field("trace_digest", hex_digest(f.trace_digest));
+        w.field("trace_events", static_cast<std::int64_t>(f.trace.size()));
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.key("traffic");
+    w.begin_array();
+    for (const scenario::TrafficResult& t : r.traffic) {
+      w.begin_object();
+      w.field("name", t.name);
+      w.field("conversations_started", t.stats.started);
+      w.field("conversations_completed", t.stats.completed);
+      w.field("conversations_failed", t.stats.failed);
+      w.field("scripted_kb",
+              static_cast<double>(t.stats.bytes_scripted) / 1024.0);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("%s\n", w.str().c_str());
+}
+
+void emit_run_text(const std::string& path, const scenario::Scenario& sc,
+                   const std::vector<scenario::CellResult>& results) {
+  std::printf("scenario \"%s\" (%s): %zu cell%s\n", sc.name().c_str(),
+              path.c_str(), results.size(), results.size() == 1 ? "" : "s");
+  for (const scenario::CellResult& r : results) {
+    std::printf("cell %zu%s%s%s  seed=%llu  t=%.1fs", r.index,
+                r.label.empty() ? "" : " [", r.label.c_str(),
+                r.label.empty() ? "" : "]",
+                static_cast<unsigned long long>(r.seed), r.sim_time_s);
+    if (r.flows.size() >= 2) std::printf("  jain=%.3f", r.fairness_jain);
+    if (r.background_goodput_Bps > 0) {
+      std::printf("  bg-goodput=%.1f KB/s", r.background_goodput_Bps / 1024.0);
+    }
+    std::printf("\n");
+    for (const scenario::FlowResult& f : r.flows) {
+      const traffic::TransferResult& t = f.transfer;
+      std::printf("  flow %-10s %-10s %s  %7.1f KB/s  retx %.1f KB",
+                  f.name.c_str(), f.algorithm.c_str(),
+                  t.completed ? "done      " : "INCOMPLETE",
+                  t.throughput_Bps() / 1024.0,
+                  static_cast<double>(t.sender_stats.bytes_retransmitted) /
+                      1024.0);
+      if (f.traced) std::printf("  digest %s", hex_digest(f.trace_digest).c_str());
+      std::printf("\n");
+    }
+    for (const scenario::TrafficResult& t : r.traffic) {
+      std::printf("  traffic %s: %llu conversations (%llu done)\n",
+                  t.name.c_str(),
+                  static_cast<unsigned long long>(t.stats.started),
+                  static_cast<unsigned long long>(t.stats.completed));
+    }
+  }
+}
+
+int cmd_run(const Flags& flags, const FlagSet& fs) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr, "vegas-sim run: missing scenario file operand\n\n");
+    fs.print_help(stderr);
+    return 2;
+  }
+  const std::string path = flags.positional().front();
+  scenario::Scenario sc;
+  try {
+    sc = scenario::Scenario::load(path);
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+
+  const bool json_out = flags.get_bool("json");
+  if (flags.get_bool("dry-run")) {
+    if (json_out) {
+      json::Writer w;
+      w.begin_object();
+      w.field("experiment", "run");
+      w.field("file", path);
+      w.field("scenario", sc.name());
+      w.field("dry_run", true);
+      w.field("cells", static_cast<std::int64_t>(sc.cells()));
+      w.key("grid");
+      w.begin_array();
+      for (std::size_t i = 0; i < sc.cells(); ++i) {
+        w.begin_object();
+        w.field("cell", static_cast<std::int64_t>(i));
+        w.field("label", sc.label(i));
+        w.field("seed", sc.cell(i).seed);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      std::printf("%s\n", w.str().c_str());
+    } else {
+      std::printf("scenario \"%s\" (%s): %zu cells, all valid\n",
+                  sc.name().c_str(), path.c_str(), sc.cells());
+      for (std::size_t i = 0; i < sc.cells(); ++i) {
+        std::printf("cell %zu [%s] seed=%llu\n", i, sc.label(i).c_str(),
+                    static_cast<unsigned long long>(sc.cell(i).seed));
+      }
+    }
+    return 0;
+  }
+
+  scenario::RunOptions opts;
+  opts.threads = static_cast<int>(flags.get_int("threads", 0));
+  opts.pcap_dir = flags.get_string("pcap-dir", "");
+  opts.trace_dir = flags.get_string("trace-dir", "");
+  try {
+    for (const std::string& dir : {opts.pcap_dir, opts.trace_dir}) {
+      if (!dir.empty()) std::filesystem::create_directories(dir);
+    }
+    const auto results = scenario::run(sc, opts);
+    if (json_out) {
+      emit_run_json(path, sc, results);
+    } else {
+      emit_run_text(path, sc, results);
+    }
+    for (const scenario::CellResult& r : results) {
+      for (const scenario::FlowResult& f : r.flows) {
+        if (!f.transfer.completed) return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vegas-sim run: %s\n", e.what());
+    return 1;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
+  if (argc < 2) return usage(stderr, 2);
   const std::string cmd = argv[1];
+  if (cmd == "help" || cmd == "--help" || cmd == "-h") {
+    return usage(stdout, 0);
+  }
   const Flags flags(argc, argv, 2);
-  if (cmd == "solo") return cmd_solo(flags);
-  if (cmd == "background") return cmd_background(flags);
-  if (cmd == "wan") return cmd_wan(flags);
-  if (cmd == "fairness") return cmd_fairness(flags);
-  if (cmd == "one-on-one") return cmd_one_on_one(flags);
-  return usage();
+  struct Dispatch {
+    FlagSet fs;
+    int (*fn)(const Flags&);
+  };
+  const Dispatch table[] = {
+      {solo_flags(), cmd_solo},         {background_flags(), cmd_background},
+      {wan_flags(), cmd_wan},           {fairness_flags(), cmd_fairness},
+      {one_on_one_flags(), cmd_one_on_one},
+  };
+  for (const Dispatch& d : table) {
+    if (cmd != d.fs.command()) continue;
+    int code = 0;
+    if (!d.fs.accept(flags, &code)) return code;
+    return d.fn(flags);
+  }
+  if (cmd == "run") {
+    const FlagSet fs = run_flags();
+    int code = 0;
+    if (!fs.accept(flags, &code)) return code;
+    return cmd_run(flags, fs);
+  }
+  std::fprintf(stderr, "vegas-sim: unknown subcommand '%s'\n\n", cmd.c_str());
+  return usage(stderr, 2);
 }
