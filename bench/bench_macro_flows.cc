@@ -1,0 +1,262 @@
+// Macro benchmark: whole-simulation throughput at 100 / 1,000 / 10,000
+// concurrent flows (examples/scenarios/manyflows.scn) — the first
+// flow-scale trajectory point, complementing bench_micro_sim's substrate
+// numbers.  Per scale it reports events/sec, wall-clock seconds per
+// simulated second, and the flow count actually driven; a separate 10k-
+// timer churn workload measures timer arm/cancel throughput and the
+// steady-state allocation counters behind the "rearming never
+// allocates" claim.
+//
+// A plain binary (no google-benchmark) so the exact same loops compile
+// against the pre-timing-wheel substrate: BENCH_macro_flows.baseline.json
+// was recorded that way, and the JSON report carries baseline, current,
+// and speedup side by side.  VEGAS_BENCH_SCALE < 0.1 runs only the
+// 100-flow cell (CI smoke); < 1 stops at 1,000 flows.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "scenario/engine.h"
+#include "sim/simulator.h"
+#include "sim/timer.h"
+
+using namespace vegas;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct Metric {
+  std::string key;
+  double current = 0;
+  double baseline = 0;      // 0 when the baseline file was not found
+  bool higher_is_better = true;
+
+  double speedup() const {
+    if (baseline <= 0 || current <= 0) return 0;
+    return higher_is_better ? current / baseline : baseline / current;
+  }
+};
+
+// Steady-state allocation counters from the timer-churn workload,
+// accumulated after its warm-up round.  Both must be zero: rearming a
+// timer must neither allocate a slot nor box its callback.
+struct SteadyState {
+  std::uint64_t timer_rearm_allocs = 0;
+  std::uint64_t timer_boxed_callbacks = 0;
+};
+
+SteadyState g_steady;
+
+// --- workloads ------------------------------------------------------
+
+struct CellRun {
+  std::size_t flows = 0;       // fan flows (excludes the traced probe)
+  double wall_s = 0;
+  double sim_s = 0;
+  std::uint64_t events = 0;
+  std::uint64_t probe_digest = 0;
+
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0;
+  }
+  double wall_per_sim_s() const { return sim_s > 0 ? wall_s / sim_s : 0; }
+};
+
+CellRun run_one_cell(const scenario::Scenario& sc, std::size_t i) {
+  const scenario::ScenarioSpec& spec = sc.cell(i);
+  CellRun out;
+  out.flows = spec.flows.size() - 1;  // minus the probe
+  const auto t0 = Clock::now();
+  const scenario::CellResult r = scenario::run_cell(spec, i, sc.label(i));
+  out.wall_s = secs_since(t0);
+  out.sim_s = r.sim_time_s;
+  out.events = r.sim.events_executed;
+  for (const scenario::FlowResult& f : r.flows) {
+    if (f.traced) out.probe_digest = f.trace_digest;
+  }
+  return out;
+}
+
+/// 10,000 armed timers, then rounds of restart (= one cancel + one arm
+/// each) across all of them — the RTO-rearm pattern every segment
+/// triggers.  Returns arm+cancel ops per second.
+double wl_timer_churn_10k(int rounds) {
+  constexpr int kTimers = 10000;
+  sim::Simulator s;
+  std::vector<std::unique_ptr<sim::Timer>> timers;
+  timers.reserve(kTimers);
+  for (int i = 0; i < kTimers; ++i) {
+    timers.push_back(std::make_unique<sim::Timer>(s, [] {}));
+    timers.back()->restart(sim::Time::milliseconds(1 + i % 16));
+  }
+  const auto warm_stats = [&s] {
+    return s.wheel_stats().slot_allocs;
+  };
+  std::uint64_t warm_allocs = 0;
+  long restarts = 0;
+  const auto t0 = Clock::now();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < kTimers; ++i) {
+      timers[static_cast<std::size_t>(i)]->restart(
+          sim::Time::milliseconds(1 + (i + r) % 16));
+      ++restarts;
+    }
+    if (r == 0) warm_allocs = warm_stats();
+  }
+  const double el = secs_since(t0);
+  if (rounds > 1) {
+    g_steady.timer_rearm_allocs += warm_stats() - warm_allocs;
+  }
+  g_steady.timer_boxed_callbacks += s.wheel_stats().boxed_actions;
+  // One restart is one cancel plus one arm.
+  return 2.0 * static_cast<double>(restarts) / el;
+}
+
+// --- baseline + JSON plumbing ---------------------------------------
+
+double scan_json_number(const std::string& text, const std::string& key) {
+  const std::string quoted = "\"" + key + "\"";
+  const std::size_t at = text.find(quoted);
+  if (at == std::string::npos) return 0;
+  const std::size_t colon = text.find(':', at + quoted.size());
+  if (colon == std::string::npos) return 0;
+  return std::strtod(text.c_str() + colon + 1, nullptr);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, got);
+  std::fclose(f);
+  return out;
+}
+
+std::string load_baseline() {
+  if (const char* env = std::getenv("VEGAS_BENCH_BASELINE")) {
+    return read_file(env);
+  }
+  for (const char* path :
+       {"BENCH_macro_flows.baseline.json", "../BENCH_macro_flows.baseline.json",
+        "../../BENCH_macro_flows.baseline.json",
+        VEGAS_REPO_ROOT "/BENCH_macro_flows.baseline.json"}) {
+    std::string text = read_file(path);
+    if (!text.empty()) return text;
+  }
+  return {};
+}
+
+void write_json(const std::vector<Metric>& metrics, double scale) {
+  const char* path = std::getenv("VEGAS_BENCH_JSON");
+  if (path == nullptr || *path == '\0') path = "BENCH_macro_flows.json";
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"scale\": %g,\n  \"metrics\": {\n", scale);
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const Metric& m = metrics[i];
+    std::fprintf(f, "    \"%s\": {\"baseline\": %.6g, \"current\": %.6g",
+                 m.key.c_str(), m.baseline, m.current);
+    if (m.speedup() > 0) {
+      std::fprintf(f, ", \"speedup\": %.3f", m.speedup());
+    }
+    std::fprintf(f, "}%s\n", i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  },\n"
+               "  \"steady_state\": {\n"
+               "    \"timer_rearm_allocs_after_warmup\": %llu,\n"
+               "    \"timer_boxed_callbacks\": %llu\n"
+               "  }\n"
+               "}\n",
+               static_cast<unsigned long long>(g_steady.timer_rearm_allocs),
+               static_cast<unsigned long long>(g_steady.timer_boxed_callbacks));
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Macro", "Whole-simulation throughput vs. concurrent flows");
+  const double scale = bench::run_scale();
+  // CI smoke (scale 0.05) exercises only the 100-flow cell.
+  const std::size_t max_flows = scale >= 1 ? 10000 : (scale >= 0.1 ? 1000 : 100);
+
+  const scenario::Scenario sc =
+      scenario::Scenario::load(VEGAS_REPO_ROOT "/examples/scenarios/manyflows.scn");
+
+  std::vector<Metric> metrics;
+  exp::Table table({"flows", "events", "events/s", "wall s/sim s", "probe digest"},
+                   14);
+  for (std::size_t i = 0; i < sc.cells(); ++i) {
+    const std::size_t declared = sc.cell(i).flows.size() - 1;
+    if (declared > max_flows) {
+      std::printf("(skipping %zu-flow cell at scale %g)\n", declared, scale);
+      continue;
+    }
+    const CellRun r = run_one_cell(sc, i);
+    const std::string tag = "macro_flows_" + std::to_string(r.flows);
+    metrics.push_back({tag + "_events_per_sec", r.events_per_sec()});
+    metrics.push_back({tag + "_wall_s_per_sim_s", r.wall_per_sim_s(), 0, false});
+    char ev[32], evs[32], wps[32], dig[32];
+    std::snprintf(ev, sizeof(ev), "%llu",
+                  static_cast<unsigned long long>(r.events));
+    std::snprintf(evs, sizeof(evs), "%.3g", r.events_per_sec());
+    std::snprintf(wps, sizeof(wps), "%.4f", r.wall_per_sim_s());
+    std::snprintf(dig, sizeof(dig), "0x%016llx",
+                  static_cast<unsigned long long>(r.probe_digest));
+    table.add_row({std::to_string(r.flows), ev, evs, wps, dig});
+  }
+  table.print();
+
+  metrics.push_back({"timer_churn_10k_arm_cancel_ops_per_sec",
+                     wl_timer_churn_10k(bench::scaled(20))});
+
+  const std::string baseline = load_baseline();
+  if (baseline.empty()) {
+    bench::note("(BENCH_macro_flows.baseline.json not found; speedups "
+                "omitted — set VEGAS_BENCH_BASELINE to point at it)");
+  }
+  for (Metric& m : metrics) {
+    m.baseline = baseline.empty() ? 0 : scan_json_number(baseline, m.key);
+  }
+
+  exp::Table summary({"metric", "baseline", "current", "speedup"}, 14);
+  for (const Metric& m : metrics) {
+    char cur[32], base[32], speed[32];
+    std::snprintf(cur, sizeof(cur), "%.3g", m.current);
+    if (m.baseline > 0) {
+      std::snprintf(base, sizeof(base), "%.3g", m.baseline);
+      std::snprintf(speed, sizeof(speed), "%.2fx", m.speedup());
+    } else {
+      std::snprintf(base, sizeof(base), "-");
+      std::snprintf(speed, sizeof(speed), "-");
+    }
+    summary.add_row({m.key, base, cur, speed});
+  }
+  summary.print();
+
+  std::printf("\nsteady-state timer allocations (all must be 0): "
+              "rearm_allocs=%llu boxed_callbacks=%llu\n",
+              static_cast<unsigned long long>(g_steady.timer_rearm_allocs),
+              static_cast<unsigned long long>(g_steady.timer_boxed_callbacks));
+
+  write_json(metrics, scale);
+  return 0;
+}

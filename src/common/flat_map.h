@@ -1,0 +1,153 @@
+// Open-addressing hash table for the per-packet demux hot path.
+//
+// std::map's red-black tree costs a pointer chase per comparison, and at
+// 10,000 connections the per-packet connection lookup in tcp::Stack was
+// the single largest cache-miss source in the macro benchmark
+// (docs/PERFORMANCE.md).  FlatMap is the classic fix: one contiguous
+// array of slots, power-of-two capacity, linear probing, and a
+// splitmix64 finalizer so adjacent 4-tuples (ports allocated
+// sequentially) scatter across the table.
+//
+// Deliberately minimal — keyed by std::uint64_t only (callers pack
+// their 4-tuple / port into the key), no iterators (for_each covers the
+// two cold uses), erase via tombstones that are reclaimed on rehash.
+// Determinism note: probe order depends only on key values, never on
+// addresses, so behaviour is bit-reproducible across runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace vegas {
+
+/// splitmix64 finalizer: invertible, well-mixed, and fast enough to
+/// inline into every packet demux.
+inline std::uint64_t hash_u64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+template <typename Value>
+class FlatMap {
+ public:
+  FlatMap() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Pointer to the mapped value, or nullptr.  O(1) expected: one hash,
+  /// a short linear probe in one cache line's worth of slots.
+  Value* find(std::uint64_t key) {
+    if (slots_.empty()) return nullptr;
+    for (std::size_t i = hash_u64(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state == kEmpty) return nullptr;
+      if (s.state == kFull && s.key == key) return &s.value;
+    }
+  }
+  const Value* find(std::uint64_t key) const {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  /// Inserts a new mapping; the key must not already be present.
+  Value& insert(std::uint64_t key, Value value) {
+    ensure(find(key) == nullptr, "FlatMap::insert: duplicate key");
+    if ((size_ + tombstones_ + 1) * 4 > capacity() * 3) grow();
+    Slot& s = probe_for_insert(key);
+    if (s.state == kTombstone) --tombstones_;
+    s.key = key;
+    s.value = std::move(value);
+    s.state = kFull;
+    ++size_;
+    return s.value;
+  }
+
+  /// Returns the mapped value, default-constructing it if absent (the
+  /// counting-table idiom: ++map.get_or_insert(key)).
+  Value& get_or_insert(std::uint64_t key) {
+    if (Value* v = find(key)) return *v;
+    return insert(key, Value{});
+  }
+
+  /// Removes the mapping if present; returns whether it existed.  The
+  /// slot becomes a tombstone (probe chains stay intact) and is
+  /// reclaimed at the next rehash.
+  bool erase(std::uint64_t key) {
+    if (slots_.empty()) return false;
+    for (std::size_t i = hash_u64(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state == kEmpty) return false;
+      if (s.state == kFull && s.key == key) {
+        s.value = Value{};  // release resources now, not at rehash
+        s.state = kTombstone;
+        --size_;
+        ++tombstones_;
+        return true;
+      }
+    }
+  }
+
+  /// Visits every (key, value) pair in unspecified (but run-to-run
+  /// deterministic) order.  Must not insert or erase during the visit.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (Slot& s : slots_) {
+      if (s.state == kFull) fn(s.key, s.value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == kFull) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  enum State : std::uint8_t { kEmpty = 0, kTombstone = 1, kFull = 2 };
+
+  struct Slot {
+    std::uint64_t key = 0;
+    Value value{};
+    std::uint8_t state = kEmpty;
+  };
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  /// First reusable slot on the probe chain for a key known absent.
+  Slot& probe_for_insert(std::uint64_t key) {
+    for (std::size_t i = hash_u64(key) & mask_;; i = (i + 1) & mask_) {
+      Slot& s = slots_[i];
+      if (s.state != kFull) return s;
+    }
+  }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 16 : capacity() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    // (Not assign(): Slot is move-only when Value is, e.g. unique_ptr.)
+    slots_ = std::vector<Slot>(new_cap);
+    mask_ = new_cap - 1;
+    tombstones_ = 0;
+    for (Slot& s : old) {
+      if (s.state != kFull) continue;
+      Slot& dst = probe_for_insert(s.key);
+      dst.key = s.key;
+      dst.value = std::move(s.value);
+      dst.state = kFull;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace vegas

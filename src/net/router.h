@@ -6,7 +6,7 @@
 // Network::compute_routes().
 #pragma once
 
-#include <unordered_map>
+#include <vector>
 
 #include "net/link.h"
 #include "net/node.h"
@@ -17,10 +17,15 @@ class Router : public Node {
  public:
   Router(NodeId id, std::string name) : Node(id, std::move(name)) {}
 
-  void set_route(NodeId dst, Link* out) { routes_[dst] = out; }
+  // NodeIds are assigned densely from zero (common/types.h), so the
+  // forwarding table is a plain vector: the per-packet lookup is one
+  // bounds check and one indexed load, no hashing.
+  void set_route(NodeId dst, Link* out) {
+    if (dst >= routes_.size()) routes_.resize(dst + 1, nullptr);
+    routes_[dst] = out;
+  }
   Link* route(NodeId dst) const {
-    const auto it = routes_.find(dst);
-    return it == routes_.end() ? nullptr : it->second;
+    return dst < routes_.size() ? routes_[dst] : nullptr;
   }
 
   void receive(PacketPtr p) override;
@@ -30,7 +35,7 @@ class Router : public Node {
   std::size_t unroutable() const { return unroutable_; }
 
  private:
-  std::unordered_map<NodeId, Link*> routes_;
+  std::vector<Link*> routes_;
   std::size_t unroutable_ = 0;
 };
 

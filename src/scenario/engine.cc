@@ -346,6 +346,13 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   r.label = label;
   r.seed = spec.seed;
   r.sim_time_s = sim.now().to_seconds();
+  r.sim.events_executed = sim.events_executed();
+  const sim::TimingWheel::Stats& tw = sim.wheel_stats();
+  r.sim.timer_scheduled = tw.scheduled;
+  r.sim.timer_cancelled = tw.cancelled;
+  r.sim.timer_fired = tw.fired;
+  r.sim.timer_slot_allocs = tw.slot_allocs;
+  r.sim.timer_max_live = tw.max_live;
 
   std::vector<double> throughputs;
   std::size_t tracer_i = 0;

@@ -42,11 +42,25 @@ struct TrafficResult {
   traffic::TrafficSource::Stats stats;
 };
 
+/// End-of-run simulator counters, surfaced for the macro benchmarks
+/// (bench/bench_macro_flows.cc).  Timer counters come from the timing
+/// wheel; `timer_slot_allocs == timer_max_live` proves rearming never
+/// allocated in steady state.
+struct SimCounters {
+  std::uint64_t events_executed = 0;
+  std::uint64_t timer_scheduled = 0;
+  std::uint64_t timer_cancelled = 0;
+  std::uint64_t timer_fired = 0;
+  std::uint64_t timer_slot_allocs = 0;
+  std::uint64_t timer_max_live = 0;
+};
+
 struct CellResult {
   std::size_t index = 0;
   std::string label;  // sweep coordinates, e.g. "queue=15 delay=1"
   std::uint64_t seed = 0;
   double sim_time_s = 0;
+  SimCounters sim;
   /// Jain's fairness index over flow throughputs (1.0 for < 2 flows).
   double fairness_jain = 1.0;
   /// Delivered background-conversation payload per second over the

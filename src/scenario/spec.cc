@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "core/factory.h"
 
@@ -539,7 +541,15 @@ ScenarioSpec compile(const Document& doc) {
   }
 
   // [[flow]]
+  //
+  // `count = N` replicates the section into N flows (names "<name>.<i>",
+  // ports port..port+N-1, starts staggered by `stagger_s`), which is how
+  // manyflows.scn scales one declaration to 10,000 concurrent transfers.
   std::set<std::string> flow_names;
+  // (dst, port) -> flow name, for the listener-collision diagnostic; a
+  // map (not the earlier O(flows^2) rescan) so 10k-flow expansions
+  // compile in O(n log n).
+  std::map<std::pair<std::string, PortNum>, std::string> listen_ports;
   std::size_t flow_index = 0;
   for (const Section* sec : doc.all("flow")) {
     Reader r(file, *sec);
@@ -559,6 +569,8 @@ ScenarioSpec compile(const Document& doc) {
     if (r.has("send_buffer")) {
       flow.send_buffer = r.bytes("send_buffer", 0);
     }
+    const std::int64_t count = r.integer("count", 1);
+    const double stagger_s = r.number("stagger_s", 0.0);
     r.finish();
     if (flow.src.empty() || flow.dst.empty()) {
       fail(file, sec->line, sec->col,
@@ -569,11 +581,6 @@ ScenarioSpec compile(const Document& doc) {
     if (flow.src == flow.dst) {
       fail(file, sec->line, sec->col, "flow src and dst must differ");
     }
-    if (!flow_names.insert(flow.name).second) {
-      fail(file, sec->line, sec->col,
-           "duplicate flow name '" + flow.name +
-               "' (sweep paths select flows by name)");
-    }
     if (flow.trace && spec.timeout_s > 4000.0) {
       fail(file, sec->line, sec->col,
            "trace = true needs timeout_s <= 4000: trace timestamps are "
@@ -582,17 +589,46 @@ ScenarioSpec compile(const Document& doc) {
     if (flow.start_s < 0) {
       fail(file, sec->line, sec->col, "start_s must be >= 0");
     }
-    // A listener collision would abort deep inside the stack; catch it
-    // here with a proper diagnostic instead.
-    for (const FlowSpec& prior : spec.flows) {
-      if (prior.dst == flow.dst && prior.port == flow.port) {
-        fail(file, sec->line, sec->col,
-             "flow '" + flow.name + "' reuses port " +
-                 std::to_string(flow.port) + " at '" + flow.dst +
-                 "' (already taken by flow '" + prior.name + "')");
-      }
+    if (count < 1) {
+      fail(file, sec->line, sec->col, "count must be >= 1");
     }
-    spec.flows.push_back(std::move(flow));
+    if (stagger_s < 0) {
+      fail(file, sec->line, sec->col, "stagger_s must be >= 0");
+    }
+    if (count > 1 && flow.trace) {
+      fail(file, sec->line, sec->col,
+           "trace = true is only valid with count = 1 (add a separate "
+           "traced probe flow instead of tracing a replicated group)");
+    }
+    if (static_cast<std::int64_t>(flow.port) + count - 1 > 65535) {
+      fail(file, sec->line, sec->col,
+           "count = " + std::to_string(count) + " starting at port " +
+               std::to_string(flow.port) + " runs past port 65535");
+    }
+    for (std::int64_t i = 0; i < count; ++i) {
+      FlowSpec f = flow;
+      if (count > 1) {
+        f.name = flow.name + "." + std::to_string(i);
+        f.port = static_cast<PortNum>(flow.port + i);
+        f.start_s = flow.start_s + stagger_s * static_cast<double>(i);
+      }
+      if (!flow_names.insert(f.name).second) {
+        fail(file, sec->line, sec->col,
+             "duplicate flow name '" + f.name +
+                 "' (sweep paths select flows by name)");
+      }
+      // A listener collision would abort deep inside the stack; catch it
+      // here with a proper diagnostic instead.
+      const auto [it, inserted] =
+          listen_ports.emplace(std::make_pair(f.dst, f.port), f.name);
+      if (!inserted) {
+        fail(file, sec->line, sec->col,
+             "flow '" + f.name + "' reuses port " + std::to_string(f.port) +
+                 " at '" + f.dst + "' (already taken by flow '" + it->second +
+                 "')");
+      }
+      spec.flows.push_back(std::move(f));
+    }
     ++flow_index;
   }
   if (spec.flows.empty()) {

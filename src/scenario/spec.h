@@ -54,6 +54,10 @@ struct QueueSpec {
   net::RedConfig red_cfg;  // capacity is taken from the topology's queue
 };
 
+/// One bulk transfer.  The [[flow]] section additionally accepts
+/// `count` (replicate into N flows named "<name>.<i>" on consecutive
+/// ports) and `stagger_s` (start offset between replicas); compile()
+/// expands those into N plain FlowSpecs, so the engine never sees them.
 struct FlowSpec {
   std::string name;
   exp::AlgoSpec algo;

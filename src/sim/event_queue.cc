@@ -7,6 +7,10 @@
 namespace vegas::sim {
 
 EventId EventQueue::schedule(Time at, Action action) {
+  return schedule(at, next_seq_++, std::move(action));
+}
+
+EventId EventQueue::schedule(Time at, std::uint64_t seq, Action action) {
   std::uint32_t s;
   if (free_slots_.empty()) {
     s = static_cast<std::uint32_t>(slots_.size());
@@ -21,7 +25,7 @@ EventId EventQueue::schedule(Time at, Action action) {
   if (action.boxed()) ++stats_.boxed_actions;
   slot.action = std::move(action);
   if (heap_.size() == heap_.capacity()) ++stats_.heap_grows;
-  heap_.push_back(HeapEntry{at, next_seq_++, s, slot.gen});
+  heap_.push_back(HeapEntry{at, seq, s, slot.gen});
   sift_up(heap_.size() - 1);
   ++live_;
   ++stats_.scheduled;
@@ -52,6 +56,12 @@ std::optional<Time> EventQueue::next_time() {
   drop_stale_head();
   if (heap_.empty()) return std::nullopt;
   return heap_.front().time;
+}
+
+std::optional<EventQueue::Key> EventQueue::next_key() {
+  drop_stale_head();
+  if (heap_.empty()) return std::nullopt;
+  return Key{heap_.front().time, heap_.front().seq};
 }
 
 EventQueue::Fired EventQueue::pop() {

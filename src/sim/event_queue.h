@@ -41,6 +41,14 @@ class EventQueue {
   /// with cancel().
   EventId schedule(Time at, Action action);
 
+  /// Same, with a caller-supplied insertion sequence number.  The
+  /// Simulator uses this to draw one global sequence shared with the
+  /// timing wheel, so equal-time ordering across both structures matches
+  /// a single queue.  Do not mix with the internal-sequence overload on
+  /// one queue: ties are broken by seq, so sequences must come from a
+  /// single monotone source.
+  EventId schedule(Time at, std::uint64_t seq, Action action);
+
   /// Cancels a pending event.  Cancelling an already-fired, cancelled or
   /// unknown id is a no-op (timers race with the events they guard; that
   /// is normal).  Slot reuse is safe: a stale handle's generation no
@@ -56,6 +64,14 @@ class EventQueue {
 
   /// Time of the earliest live event.
   std::optional<Time> next_time();
+
+  /// (time, seq) of the earliest live event, for merging against the
+  /// timing wheel's head.
+  struct Key {
+    Time time;
+    std::uint64_t seq;
+  };
+  std::optional<Key> next_key();
 
   /// Extracts the earliest live event.  Precondition: !empty().
   struct Fired {

@@ -8,12 +8,22 @@ namespace vegas::sim {
 
 EventId Simulator::schedule(Time delay, EventQueue::Action action) {
   if (delay < Time::zero()) delay = Time::zero();
-  return queue_.schedule(now_ + delay, std::move(action));
+  return queue_.schedule(now_ + delay, next_seq_++, std::move(action));
 }
 
 EventId Simulator::schedule_at(Time at, EventQueue::Action action) {
   ensure(at >= now_, "cannot schedule into the past");
-  return queue_.schedule(at, std::move(action));
+  return queue_.schedule(at, next_seq_++, std::move(action));
+}
+
+TimerId Simulator::schedule_timer(Time delay, TimingWheel::Action action) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return wheel_.schedule(now_ + delay, next_seq_++, std::move(action));
+}
+
+bool Simulator::restart_timer(TimerId id, Time delay) {
+  if (delay < Time::zero()) delay = Time::zero();
+  return wheel_.reschedule(id, now_ + delay, next_seq_++);
 }
 
 void Simulator::run() { run_until(Time::max()); }
@@ -21,17 +31,43 @@ void Simulator::run() { run_until(Time::max()); }
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
   while (!stopped_) {
-    const auto next = queue_.next_time();
-    if (!next.has_value()) break;
-    if (*next > deadline) {
+    // The next event is the (time, seq) minimum across the one-shot
+    // queue and the timing wheel; the shared sequence counter makes the
+    // comparison a total order identical to a single queue's.
+    const auto qk = queue_.next_key();
+    const auto wk = wheel_.next_key();
+    bool from_wheel;
+    Time next;
+    if (qk.has_value() && wk.has_value()) {
+      from_wheel = wk->time < qk->time ||
+                   (wk->time == qk->time && wk->seq < qk->seq);
+      next = from_wheel ? wk->time : qk->time;
+    } else if (qk.has_value()) {
+      from_wheel = false;
+      next = qk->time;
+    } else if (wk.has_value()) {
+      from_wheel = true;
+      next = wk->time;
+    } else {
+      break;
+    }
+    if (next > deadline) {
       now_ = deadline;
       break;
     }
-    auto fired = queue_.pop();
-    ensure(fired.time >= now_, "event queue went backwards");
-    now_ = fired.time;
-    ++events_executed_;
-    fired.action();
+    if (from_wheel) {
+      auto fired = wheel_.pop();
+      ensure(fired.time >= now_, "timing wheel went backwards");
+      now_ = fired.time;
+      ++events_executed_;
+      fired.action();
+    } else {
+      auto fired = queue_.pop();
+      ensure(fired.time >= now_, "event queue went backwards");
+      now_ = fired.time;
+      ++events_executed_;
+      fired.action();
+    }
   }
 }
 

@@ -5,12 +5,21 @@
 // library is "real" code driven by these events — the property the paper
 // values in its x-kernel simulator (§2.1): the simulated hosts run the
 // actual implementation, not an abstract model.
+//
+// Two pending-event structures back the loop: the EventQueue heap for
+// one-shot events (packet arrivals, app callbacks) and a hierarchical
+// TimingWheel for the timer path (sim/timing_wheel.h), where
+// restart/stop churn must be O(1).  Both draw insertion sequence
+// numbers from one shared counter, and the loop pops the global
+// (time, seq) minimum — so firing order is bit-identical to the old
+// single-queue design and trace digests are unchanged.
 #pragma once
 
 #include <cstdint>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+#include "sim/timing_wheel.h"
 
 namespace vegas::sim {
 
@@ -33,6 +42,19 @@ class Simulator {
   void cancel(EventId id) { queue_.cancel(id); }
   bool pending(EventId id) const { return queue_.pending(id); }
 
+  /// Timer-path scheduling: O(1) arm on the timing wheel instead of a
+  /// heap entry.  Used by sim::Timer/PeriodicTimer; negative delays
+  /// clamp to zero like schedule().
+  TimerId schedule_timer(Time delay, TimingWheel::Action action);
+
+  /// Timer::restart() fast path: moves a pending timer to now()+delay
+  /// in place, keeping its callback (ordering identical to cancel +
+  /// schedule_timer).  Returns false if `id` is no longer pending.
+  bool restart_timer(TimerId id, Time delay);
+
+  void cancel_timer(TimerId id) { wheel_.cancel(id); }
+  bool timer_pending(TimerId id) const { return wheel_.pending(id); }
+
   /// Runs until the event queue drains or stop() is called.
   void run();
 
@@ -44,19 +66,24 @@ class Simulator {
   void stop() { stopped_ = true; }
 
   /// Number of events executed since construction (for micro-benchmarks
-  /// and sanity checks).
+  /// and sanity checks).  Timer expiries count as events.
   std::uint64_t events_executed() const { return events_executed_; }
 
-  std::size_t events_pending() const { return queue_.size(); }
+  std::size_t events_pending() const { return queue_.size() + wheel_.size(); }
 
   /// Event-queue allocation/behaviour counters (micro-benchmarks).
   const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
 
+  /// Timing-wheel counters (macro benchmarks, zero-alloc assertions).
+  const TimingWheel::Stats& wheel_stats() const { return wheel_.stats(); }
+
  private:
   EventQueue queue_;
+  TimingWheel wheel_;
   Time now_;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t next_seq_ = 0;  // shared by queue_ and wheel_
 };
 
 }  // namespace vegas::sim

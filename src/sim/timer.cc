@@ -3,37 +3,39 @@
 namespace vegas::sim {
 
 void Timer::restart(Time delay) {
-  stop();
   expiry_ = sim_.now() + delay;
-  id_ = sim_.schedule(delay, [this] {
-    id_ = kNoEvent;
+  // Fast path: a still-pending timer is moved in place, keeping its
+  // wheel slot and callback.
+  if (id_ != kNoTimer && sim_.restart_timer(id_, delay)) return;
+  id_ = sim_.schedule_timer(delay, [this] {
+    id_ = kNoTimer;
     cb_();
   });
 }
 
 void Timer::stop() {
-  if (id_ != kNoEvent) {
-    sim_.cancel(id_);
-    id_ = kNoEvent;
+  if (id_ != kNoTimer) {
+    sim_.cancel_timer(id_);
+    id_ = kNoTimer;
   }
 }
 
 void PeriodicTimer::start(Time interval) {
   stop();
   interval_ = interval;
-  id_ = sim_.schedule(interval_, [this] { tick(); });
+  id_ = sim_.schedule_timer(interval_, [this] { tick(); });
 }
 
 void PeriodicTimer::stop() {
-  if (id_ != kNoEvent) {
-    sim_.cancel(id_);
-    id_ = kNoEvent;
+  if (id_ != kNoTimer) {
+    sim_.cancel_timer(id_);
+    id_ = kNoTimer;
   }
 }
 
 void PeriodicTimer::tick() {
   // Rearm before running the callback so the callback may call stop().
-  id_ = sim_.schedule(interval_, [this] { tick(); });
+  id_ = sim_.schedule_timer(interval_, [this] { tick(); });
   cb_();
 }
 

@@ -1,0 +1,225 @@
+#include "sim/timing_wheel.h"
+
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::sim {
+
+int TimingWheel::level_for(std::uint64_t tick) const {
+  for (int k = 0; k < kLevels; ++k) {
+    const int shift = kSlotBits * (k + 1);
+    if ((tick >> shift) == (cur_tick_ >> shift)) return k;
+  }
+  return -1;  // beyond the wheel horizon -> overflow list
+}
+
+void TimingWheel::link(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  std::uint64_t tick = tick_of(e.time);
+  if (tick < cur_tick_) tick = cur_tick_;  // due-now joins the cursor bucket
+  const int k = level_for(tick);
+  if (k < 0) {
+    e.bucket = kOverflow;
+    e.prev = kNil;
+    e.next = overflow_head_;
+    if (overflow_head_ != kNil) entries_[overflow_head_].prev = idx;
+    overflow_head_ = idx;
+    return;
+  }
+  const auto slot =
+      static_cast<std::uint32_t>((tick >> (kSlotBits * k)) & (kSlots - 1));
+  const std::uint32_t b = static_cast<std::uint32_t>(k) * kSlots + slot;
+  e.bucket = static_cast<std::int16_t>(b);
+  e.prev = kNil;
+  e.next = head_[b];
+  if (head_[b] != kNil) entries_[head_[b]].prev = idx;
+  head_[b] = idx;
+  occupied_[static_cast<std::size_t>(k)] |= 1ull << slot;
+}
+
+void TimingWheel::unlink(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  if (e.next != kNil) entries_[e.next].prev = e.prev;
+  if (e.prev != kNil) {
+    entries_[e.prev].next = e.next;
+  } else if (e.bucket == kOverflow) {
+    overflow_head_ = e.next;
+  } else {
+    const auto b = static_cast<std::uint32_t>(e.bucket);
+    head_[b] = e.next;
+    if (e.next == kNil) {
+      occupied_[b >> kSlotBits] &= ~(1ull << (b & (kSlots - 1)));
+    }
+  }
+  e.bucket = kFree;
+  e.next = kNil;
+  e.prev = kNil;
+}
+
+void TimingWheel::release(std::uint32_t idx) {
+  Entry& e = entries_[idx];
+  e.live = false;
+  e.action.reset();  // free captured resources now
+  if (++e.gen == 0) ++e.gen;  // stale handles can never match again
+  free_.push_back(idx);
+}
+
+TimerId TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
+  std::uint32_t idx;
+  if (free_.empty()) {
+    idx = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+    ++stats_.slot_allocs;
+  } else {
+    idx = free_.back();
+    free_.pop_back();
+  }
+  Entry& e = entries_[idx];
+  e.time = at;
+  e.seq = seq;
+  e.live = true;
+  if (action.boxed()) ++stats_.boxed_actions;
+  e.action = std::move(action);
+  link(idx);
+  ++live_;
+  ++stats_.scheduled;
+  if (live_ > stats_.max_live) stats_.max_live = live_;
+  // A new strict minimum supersedes the cached one; any other insert
+  // leaves the cache valid.
+  if (min_idx_ != kNil) {
+    const Entry& m = entries_[min_idx_];
+    if (e.time < m.time || (e.time == m.time && e.seq < m.seq)) min_idx_ = idx;
+  }
+  return make_id(idx, e.gen);
+}
+
+void TimingWheel::cancel(TimerId id) {
+  if (id == kNoTimer) return;
+  const std::uint32_t idx = slot_of(id);
+  if (idx >= entries_.size()) return;
+  Entry& e = entries_[idx];
+  if (!e.live || e.gen != gen_of(id)) return;
+  unlink(idx);
+  release(idx);
+  --live_;
+  ++stats_.cancelled;
+  if (min_idx_ == idx) min_idx_ = kNil;
+}
+
+bool TimingWheel::reschedule(TimerId id, Time at, std::uint64_t seq) {
+  const std::uint32_t idx = slot_of(id);
+  if (idx >= entries_.size()) return false;
+  Entry& e = entries_[idx];
+  if (!e.live || e.gen != gen_of(id)) return false;
+  unlink(idx);
+  e.time = at;
+  e.seq = seq;
+  link(idx);
+  ++stats_.rearmed;
+  if (min_idx_ == idx) {
+    min_idx_ = kNil;  // may no longer be the minimum
+  } else if (min_idx_ != kNil) {
+    const Entry& m = entries_[min_idx_];
+    if (e.time < m.time || (e.time == m.time && e.seq < m.seq)) min_idx_ = idx;
+  }
+  return true;
+}
+
+bool TimingWheel::pending(TimerId id) const {
+  const std::uint32_t idx = slot_of(id);
+  return idx < entries_.size() && entries_[idx].live &&
+         entries_[idx].gen == gen_of(id);
+}
+
+void TimingWheel::advance_to(Time t) {
+  const std::uint64_t target = tick_of(t);
+  if (target <= cur_tick_) return;
+  const std::uint64_t old = cur_tick_;
+  cur_tick_ = target;
+  // Top-down: at each level whose block index changed, the bucket the
+  // new cursor lands in holds entries that now belong at lower levels.
+  // Every other bucket between old and new cursor is empty, because the
+  // caller guarantees t does not exceed the earliest live deadline.
+  for (int k = kLevels - 1; k >= 1; --k) {
+    const int shift = kSlotBits * k;
+    if ((old >> shift) == (target >> shift)) continue;
+    const auto slot =
+        static_cast<std::uint32_t>((target >> shift) & (kSlots - 1));
+    const std::uint32_t b = static_cast<std::uint32_t>(k) * kSlots + slot;
+    std::uint32_t idx = head_[b];
+    if (idx == kNil) continue;
+    head_[b] = kNil;
+    occupied_[static_cast<std::size_t>(k)] &= ~(1ull << slot);
+    while (idx != kNil) {
+      const std::uint32_t nxt = entries_[idx].next;
+      link(idx);  // re-place against the advanced cursor: lands below k
+      ++stats_.cascaded;
+      idx = nxt;
+    }
+  }
+}
+
+std::uint32_t TimingWheel::scan_min() const {
+  std::uint32_t best = kNil;
+  for (int k = 0; k < kLevels; ++k) {
+    const std::uint64_t bits = occupied_[static_cast<std::size_t>(k)];
+    if (bits == 0) continue;
+    // Slots below the cursor's slot at this level are empty (advance_to
+    // invariant), so the lowest set bit is the earliest bucket, and the
+    // first non-empty level strictly precedes all higher levels.
+    const auto slot = static_cast<std::uint32_t>(__builtin_ctzll(bits));
+    for (std::uint32_t idx =
+             head_[static_cast<std::uint32_t>(k) * kSlots + slot];
+         idx != kNil; idx = entries_[idx].next) {
+      const Entry& e = entries_[idx];
+      if (best == kNil) {
+        best = idx;
+        continue;
+      }
+      const Entry& m = entries_[best];
+      if (e.time < m.time || (e.time == m.time && e.seq < m.seq)) best = idx;
+    }
+    break;
+  }
+  // Overflow entries are usually later than everything in the wheel,
+  // but the cursor may have advanced since they were parked — always
+  // compare.
+  for (std::uint32_t idx = overflow_head_; idx != kNil;
+       idx = entries_[idx].next) {
+    const Entry& e = entries_[idx];
+    if (best == kNil) {
+      best = idx;
+      continue;
+    }
+    const Entry& m = entries_[best];
+    if (e.time < m.time || (e.time == m.time && e.seq < m.seq)) best = idx;
+  }
+  return best;
+}
+
+std::optional<TimingWheel::Key> TimingWheel::next_key() {
+  if (live_ == 0) return std::nullopt;
+  if (min_idx_ == kNil) min_idx_ = scan_min();
+  const Entry& e = entries_[min_idx_];
+  return Key{e.time, e.seq};
+}
+
+TimingWheel::Fired TimingWheel::pop() {
+  ensure(live_ > 0, "pop on empty timing wheel");
+  if (min_idx_ == kNil) min_idx_ = scan_min();
+  const std::uint32_t idx = min_idx_;
+  // Cascade up to the fired deadline first; entry indices are stable
+  // under cascading, only bucket membership moves.
+  advance_to(entries_[idx].time);
+  Entry& e = entries_[idx];
+  Fired fired{e.time, make_id(idx, e.gen), std::move(e.action)};
+  unlink(idx);
+  release(idx);
+  --live_;
+  ++stats_.fired;
+  min_idx_ = kNil;
+  return fired;
+}
+
+}  // namespace vegas::sim

@@ -1,0 +1,168 @@
+// Hierarchical timing wheel: the timer substrate behind sim::Timer and
+// sim::PeriodicTimer (docs/PERFORMANCE.md).
+//
+// A binary heap makes every timer arm/cancel O(log n) in the number of
+// pending events; at 10,000 flows the RTO-rearm-per-segment pattern puts
+// tens of thousands of live timers in that heap and the log factor (and
+// its cache misses) dominates.  The classic fix — the Linux kernel's
+// timer wheel — is levels of power-of-two bucket arrays over the clock:
+// arm and cancel are O(1) array + linked-list operations, and buckets
+// are cascaded lazily as the clock advances.
+//
+// Geometry: 8 levels x 64 slots over a 1.024 us tick (2^10 ns), so the
+// wheel spans 2^58 ns (~9 simulated years); anything later (Time::max()
+// sentinels) goes to an overflow list that find-min also consults.
+//
+// Unlike kernel wheels this one must preserve EXACT event-queue
+// semantics — trace digests depend on it:
+//  - Entries keep their exact Time and a caller-supplied insertion
+//    sequence number; ties at equal deadlines fire in sequence order.
+//    pop() always extracts the strict (time, seq) minimum, so firing
+//    order is bit-identical to EventQueue's heap order (the Simulator
+//    draws both queues' sequence numbers from one shared counter).
+//  - A tick bucket is therefore a set, not a FIFO: find-min scans the
+//    first non-empty bucket (per-level occupancy bitmaps make the scan
+//    a ctz plus one short list walk) and the result is cached until an
+//    insert/cancel/pop invalidates it.
+//  - advance_to() may only move the cursor up to the earliest live
+//    deadline (the simulator's event loop guarantees this); that makes
+//    every bucket the cursor skips provably empty, so a cascade touches
+//    exactly one bucket per level whose block index changed.
+//
+// Callbacks are SmallFn<48>, entries are generation-stamped slots in a
+// free-listed vector (same handle discipline as EventQueue), and
+// buckets are intrusive doubly-linked lists of slot indices: in steady
+// state restart()/stop() churn performs zero allocations — the
+// `slot_allocs == max_live` stats identity is asserted by tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/small_fn.h"
+#include "sim/time.h"
+
+namespace vegas::sim {
+
+using TimerId = std::uint64_t;
+inline constexpr TimerId kNoTimer = 0;
+
+class TimingWheel {
+ public:
+  using Action = SmallFn<48>;
+
+  TimingWheel() { head_.fill(kNil); }
+
+  /// Schedules `action` at absolute time `at` with the caller's global
+  /// insertion sequence number (ties at equal times fire in seq order).
+  /// `at` must not precede the wheel cursor (the last pop/advance time).
+  TimerId schedule(Time at, std::uint64_t seq, Action action);
+
+  /// O(1): unlinks the entry from its bucket.  Cancelling a fired,
+  /// cancelled or stale id is a no-op, as with EventQueue::cancel.
+  void cancel(TimerId id);
+
+  /// Moves a live entry to a new deadline in place, keeping its action
+  /// and handle: the restart() fast path — no callback teardown, no
+  /// free-list round trip.  Equivalent to cancel + schedule with the
+  /// same ordering (the caller supplies a fresh sequence number).
+  /// Returns false if `id` is fired/cancelled/stale.
+  bool reschedule(TimerId id, Time at, std::uint64_t seq);
+
+  bool pending(TimerId id) const;
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// (time, seq) of the earliest live entry; the simulator merges this
+  /// with EventQueue's head to pick the globally next event.
+  struct Key {
+    Time time;
+    std::uint64_t seq;
+  };
+  std::optional<Key> next_key();
+
+  /// Extracts the (time, seq) minimum and advances the cursor to it,
+  /// cascading outer-level buckets as their blocks are entered.
+  /// Precondition: !empty().
+  struct Fired {
+    Time time;
+    TimerId id;
+    Action action;
+  };
+  Fired pop();
+
+  /// Moves the cursor forward without firing anything.  `t` must not
+  /// exceed the earliest live deadline.
+  void advance_to(Time t);
+
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t fired = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t rearmed = 0;        // in-place reschedule() fast path
+    std::uint64_t cascaded = 0;       // entries re-placed by advance_to
+    std::uint64_t slot_allocs = 0;    // entry slots created (vs reused)
+    std::uint64_t boxed_actions = 0;  // callbacks too big for inline storage
+    std::uint64_t max_live = 0;       // high-water live count
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  static constexpr int kLevels = 8;
+  static constexpr int kSlotBits = 6;
+  static constexpr std::uint32_t kSlots = 1u << kSlotBits;  // 64
+  static constexpr int kTickShiftNs = 10;  // 1 tick = 1024 ns
+  static constexpr std::uint32_t kNil = 0xffffffff;
+  static constexpr std::int16_t kFree = -1;      // entry not in any bucket
+  static constexpr std::int16_t kOverflow = -2;  // entry on the overflow list
+
+  struct Entry {
+    Time time;               // exact deadline (never rounded to ticks)
+    std::uint64_t seq = 0;
+    std::uint32_t gen = 1;   // bumped on fire/cancel; 0 never live
+    std::uint32_t next = kNil;
+    std::uint32_t prev = kNil;
+    std::int16_t bucket = kFree;  // level*64+slot, kOverflow, or kFree
+    bool live = false;
+    Action action;
+  };
+
+  static TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<TimerId>(slot) << 32) | gen;
+  }
+  static std::uint32_t slot_of(TimerId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static std::uint32_t gen_of(TimerId id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  static std::uint64_t tick_of(Time t) {
+    return static_cast<std::uint64_t>(t.ns()) >> kTickShiftNs;
+  }
+
+  /// Level whose bucket holds `tick` relative to the cursor: the lowest
+  /// level at which the tick still shares the NEXT level's block with
+  /// the cursor.  Returns -1 for beyond-horizon (overflow).
+  int level_for(std::uint64_t tick) const;
+
+  void link(std::uint32_t idx);    // place entries_[idx] per cursor
+  void unlink(std::uint32_t idx);  // remove from bucket/overflow list
+  void release(std::uint32_t idx);
+  std::uint32_t scan_min() const;  // entry index of the (time, seq) min
+
+  std::vector<Entry> entries_;
+  std::vector<std::uint32_t> free_;
+  std::array<std::uint32_t, static_cast<std::size_t>(kLevels) * kSlots> head_;
+  std::array<std::uint64_t, kLevels> occupied_{};  // slot bitmaps per level
+  std::uint32_t overflow_head_ = kNil;
+  std::uint64_t cur_tick_ = 0;
+  std::size_t live_ = 0;
+  std::uint32_t min_idx_ = kNil;  // cached find-min; kNil = recompute
+  Stats stats_;
+};
+
+}  // namespace vegas::sim

@@ -42,19 +42,22 @@ const char* to_string(TcpState s);
 
 class Connection {
  public:
+  /// Application-facing hooks, set once at connection setup.  These are
+  /// the app boundary, not the per-packet hot path, and callers (tests,
+  /// traffic sources) want copyable std::function ergonomics.
   struct Callbacks {
-    std::function<void()> on_established;
+    std::function<void()> on_established;  // lint: std-function-ok
     /// In-order payload delivered to the application (byte count).
-    std::function<void(ByteCount)> on_data;
-    std::function<void()> on_send_space;
+    std::function<void(ByteCount)> on_data;     // lint: std-function-ok
+    std::function<void()> on_send_space;        // lint: std-function-ok
     /// Our FIN was acknowledged: every stream byte has been delivered and
     /// confirmed (transfer-completion instant for throughput metrics).
-    std::function<void()> on_local_fin_acked;
+    std::function<void()> on_local_fin_acked;  // lint: std-function-ok
     /// Peer's FIN consumed — no more data will arrive.
-    std::function<void()> on_remote_close;
+    std::function<void()> on_remote_close;  // lint: std-function-ok
     /// Connection fully terminated (both directions done, or aborted).
-    std::function<void()> on_closed;
-    std::function<void()> on_reset;
+    std::function<void()> on_closed;  // lint: std-function-ok
+    std::function<void()> on_reset;   // lint: std-function-ok
   };
 
   /// Constructed by Stack::connect / Stack's listener.  `peer_isn` is set

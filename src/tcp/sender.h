@@ -47,19 +47,24 @@ struct SenderStats {
 
 class TcpSender {
  public:
-  /// Services the owning Connection provides to the sender.
+  /// Services the owning Connection provides to the sender.  Bound once
+  /// at connection setup to `[this]`-captures; SmallFn is void() only,
+  /// and these carry typed arguments, so they stay std::function — the
+  /// per-call cost is one indirect call, with no allocation churn.
   struct Env {
     sim::Simulator* sim = nullptr;
     ConnectionObserver* observer = nullptr;  // may be null
     /// Builds and transmits a data segment [seq, seq+len) with `fin`
     /// marking the final segment of the stream.
-    std::function<void(StreamOffset seq, ByteCount len, bool fin)> transmit;
+    std::function<void(StreamOffset seq, ByteCount len,  // lint: std-function-ok
+                       bool fin)>
+        transmit;
     /// Send-buffer space became available for the application.
-    std::function<void()> on_send_space;
+    std::function<void()> on_send_space;  // lint: std-function-ok
     /// The local FIN was acknowledged.
-    std::function<void()> on_fin_acked;
+    std::function<void()> on_fin_acked;  // lint: std-function-ok
     /// Retransmission gave up (too many backoffs) — abort connection.
-    std::function<void()> on_abort;
+    std::function<void()> on_abort;  // lint: std-function-ok
   };
 
   explicit TcpSender(const TcpConfig& cfg);

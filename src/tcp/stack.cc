@@ -31,14 +31,9 @@ PortNum Stack::pick_ephemeral() {
     const PortNum port = next_ephemeral_;
     next_ephemeral_ =
         next_ephemeral_ == 65535 ? PortNum{1024} : PortNum(next_ephemeral_ + 1);
-    bool taken = listeners_.contains(port);
-    for (const auto& [key, conn] : connections_) {
-      if (std::get<0>(key) == port) {
-        taken = true;
-        break;
-      }
+    if (!listeners_.contains(port) && !local_port_use_.contains(port)) {
+      return port;
     }
-    if (!taken) return port;
   }
   ensure(false, "ephemeral ports exhausted");
   return 0;
@@ -55,7 +50,9 @@ Connection& Stack::connect(NodeId remote, PortNum remote_port,
                                            remote_port, factory(config), config,
                                            isn, std::nullopt);
   Connection& ref = *conn;
-  connections_.emplace(Key{local_port, remote, remote_port}, std::move(conn));
+  connections_.insert(conn_key(local_port, remote, remote_port),
+                      std::move(conn));
+  ++local_port_use_.get_or_insert(local_port);
   // Defer the SYN to an immediate event so the caller can attach
   // callbacks and an observer before anything happens.
   sim_.schedule(sim::Time::zero(), [&ref] {
@@ -68,30 +65,29 @@ void Stack::listen(PortNum port, AcceptFn on_accept, SenderFactory factory,
                    std::optional<TcpConfig> cfg) {
   ensure(!listeners_.contains(port), "port already listening");
   if (!factory) factory = reno_factory();
-  listeners_.emplace(
-      port, Listener{std::move(on_accept), std::move(factory),
-                     cfg.value_or(defaults_)});
+  listeners_.insert(port, Listener{std::move(on_accept), std::move(factory),
+                                   cfg.value_or(defaults_)});
 }
 
 void Stack::on_packet(net::PacketPtr p) {
-  const Key key{p->tcp.dst_port, p->src, p->tcp.src_port};
-  const auto it = connections_.find(key);
-  if (it != connections_.end()) {
-    it->second->on_packet(*p);
+  const std::uint64_t key = conn_key(p->tcp.dst_port, p->src, p->tcp.src_port);
+  if (auto* conn = connections_.find(key)) {
+    (*conn)->on_packet(*p);
     return;
   }
   // No connection: a SYN may create one via a listener.
   if (p->tcp.has(net::TcpFlag::kSyn) && !p->tcp.has(net::TcpFlag::kAck)) {
-    const auto lit = listeners_.find(p->tcp.dst_port);
-    if (lit != listeners_.end()) {
-      Listener& listener = lit->second;
-      const std::uint32_t isn = listener.cfg.fixed_isn.value_or(pick_isn());
+    if (Listener* listener = listeners_.find(p->tcp.dst_port)) {
+      const std::uint32_t isn = listener->cfg.fixed_isn.value_or(pick_isn());
       auto conn = std::make_unique<Connection>(
           *this, p->src, p->tcp.dst_port, p->tcp.src_port,
-          listener.factory(listener.cfg), listener.cfg, isn, p->tcp.seq);
+          listener->factory(listener->cfg), listener->cfg, isn, p->tcp.seq);
       Connection& ref = *conn;
-      connections_.emplace(key, std::move(conn));
-      if (listener.on_accept) listener.on_accept(ref);
+      connections_.insert(key, std::move(conn));
+      ++local_port_use_.get_or_insert(p->tcp.dst_port);
+      // Copy before invoking: the callback may add a listener, and a
+      // FlatMap rehash would move the Listener out from under the call.
+      if (AcceptFn on_accept = listener->on_accept) on_accept(ref);
       ref.start();  // sends SYN|ACK
       return;
     }
@@ -111,9 +107,16 @@ void Stack::send_rst(const net::Packet& to) {
 }
 
 void Stack::retire(Connection* conn) {
-  const Key key{conn->local_port(), conn->remote(), conn->remote_port()};
+  const std::uint64_t key =
+      conn_key(conn->local_port(), conn->remote(), conn->remote_port());
+  const PortNum local_port = conn->local_port();
   // Deferred: the connection may be deep in its own call stack right now.
-  sim_.schedule(sim::Time::zero(), [this, key] { connections_.erase(key); });
+  sim_.schedule(sim::Time::zero(), [this, key, local_port] {
+    if (!connections_.erase(key)) return;
+    if (auto* uses = local_port_use_.find(local_port)) {
+      if (--*uses == 0) local_port_use_.erase(local_port);
+    }
+  });
 }
 
 }  // namespace vegas::tcp

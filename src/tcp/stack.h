@@ -1,13 +1,19 @@
 // Per-host TCP stack: port allocation, connection demux, listen/connect.
+//
+// Demux is hot: every delivered packet resolves its connection here.
+// Connections and listeners live in open-addressing FlatMaps keyed by
+// the packed 4-tuple / port (common/flat_map.h) — one hash and a short
+// probe instead of a red-black-tree walk — and a per-port use count
+// makes ephemeral-port allocation O(1) instead of a scan over every
+// live connection.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <optional>
-#include <tuple>
 
+#include "common/flat_map.h"
 #include "common/rng.h"
 #include "net/host.h"
 #include "sim/simulator.h"
@@ -17,16 +23,20 @@
 namespace vegas::tcp {
 
 /// Creates the congestion-control engine for a new connection.  The
-/// default factory (empty function) produces Reno.
+/// default factory (empty function) produces Reno.  Invoked once per
+/// connection setup, so std::function's flexibility is fine here.
 using SenderFactory =
-    std::function<std::unique_ptr<TcpSender>(const TcpConfig&)>;
+    std::function<std::unique_ptr<TcpSender>(  // lint: std-function-ok
+        const TcpConfig&)>;
 
 SenderFactory reno_factory();
 SenderFactory tahoe_factory();
 
 class Stack {
  public:
-  using AcceptFn = std::function<void(Connection&)>;
+  // Runs once per accepted connection (control path, and on_packet
+  // copies it before invoking — see the rehash note there).
+  using AcceptFn = std::function<void(Connection&)>;  // lint: std-function-ok
 
   /// Binds to `host` (registers as its TCP handler).  `seed` feeds ISN
   /// and ephemeral-port randomisation.
@@ -64,7 +74,15 @@ class Stack {
     SenderFactory factory;
     TcpConfig cfg;
   };
-  using Key = std::tuple<PortNum, NodeId, PortNum>;  // local, remote node/port
+  /// Packed demux key: local port | remote port | remote node.  The
+  /// whole 4-tuple fits one word (our address is implicit), so the
+  /// connection table hashes a single integer per packet.
+  static std::uint64_t conn_key(PortNum local, NodeId remote,
+                                PortNum remote_port) {
+    return (static_cast<std::uint64_t>(local) << 48) |
+           (static_cast<std::uint64_t>(remote_port) << 32) |
+           static_cast<std::uint64_t>(remote);
+  }
 
   void on_packet(net::PacketPtr p);
   std::uint32_t pick_isn() {
@@ -77,8 +95,10 @@ class Stack {
   net::Host& host_;
   TcpConfig defaults_;
   rng::Stream isn_rng_;
-  std::map<Key, std::unique_ptr<Connection>> connections_;
-  std::map<PortNum, Listener> listeners_;
+  FlatMap<std::unique_ptr<Connection>> connections_;  // by conn_key
+  FlatMap<Listener> listeners_;                       // by local port
+  /// Live connections per local port — keeps pick_ephemeral() O(1).
+  FlatMap<std::uint32_t> local_port_use_;
   PortNum next_ephemeral_ = 1024;
 };
 

@@ -94,6 +94,41 @@ TEST(LintRuleTest, SimTimeSpellingsAllowed) {
   EXPECT_TRUE(scan_source("src/sim/x.cc", src).empty());
 }
 
+TEST(LintRuleTest, StdFunctionOnlyInSmallFnZone) {
+  const std::string src = "using Cb = std::function<void()>;\n";
+  EXPECT_TRUE(has_rule(scan_source("src/sim/x.h", src), "std-function"));
+  EXPECT_TRUE(has_rule(scan_source("src/tcp/x.h", src), "std-function"));
+  // Outside the hot zone (and in tests) std::function is fine.
+  EXPECT_TRUE(scan_source("src/net/x.h", src).empty());
+  EXPECT_TRUE(scan_source("tests/x.cc", src).empty());
+}
+
+TEST(LintRuleTest, StdFunctionMarkerOptsOut) {
+  // A control-path callback carries the marker on the same line...
+  EXPECT_TRUE(scan_source("src/tcp/x.h",
+                          "std::function<void(Connection&)> on_accept;"
+                          "  // lint: std-function-ok\n")
+                  .empty());
+  // ...and the marker only covers its own line.
+  const auto fs = scan_source(
+      "src/tcp/x.h",
+      "std::function<void()> a;  // lint: std-function-ok\n"
+      "std::function<void()> b;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "std-function");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintRuleTest, StdFunctionSpellingsThatMustNotTrip) {
+  // <functional> is one identifier; SmallFn and a bare `function` word
+  // in prose or an unqualified name are not the banned spelling.
+  const std::string src =
+      "#include <functional>\n"
+      "using Cb = SmallFn<48>;\n"
+      "void function();\n";
+  EXPECT_TRUE(scan_source("src/sim/x.h", src).empty());
+}
+
 TEST(LintRuleTest, ReportsRepoRelativePathAndLine) {
   const auto fs = scan_source("src/net/y.cc", "int x;\nint* p = new int;\n");
   ASSERT_EQ(fs.size(), 1u);

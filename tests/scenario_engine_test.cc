@@ -184,6 +184,119 @@ TEST(ScenarioEngineTest, GraphTopologyRunsEndToEnd) {
   EXPECT_EQ(r.flows[0].trace_digest, again.flows[0].trace_digest);
 }
 
+// ------------------------------------------------- [[flow]] count = N
+
+TEST(ScenarioCompileTest, CountReplicatesFlowOntoConsecutivePorts) {
+  const Scenario sc = Scenario::from_text(
+      "[topology]\n"
+      "kind = \"dumbbell\"\n"
+      "[[flow]]\n"
+      "name = \"fan\"\n"
+      "protocol = \"vegas\"\n"
+      "bytes = 1000\n"
+      "port = 5001\n"
+      "count = 4\n"
+      "stagger_s = 0.25\n"
+      "start_s = 1.0\n",
+      "test.scn");
+  const scenario::ScenarioSpec& spec = sc.cell(0);
+  ASSERT_EQ(spec.flows.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(spec.flows[i].name, "fan." + std::to_string(i));
+    EXPECT_EQ(spec.flows[i].port, 5001 + i);
+    EXPECT_DOUBLE_EQ(spec.flows[i].start_s,
+                     1.0 + 0.25 * static_cast<double>(i));
+  }
+}
+
+TEST(ScenarioCompileTest, CountOfOneKeepsPlainNameAndPort) {
+  const Scenario sc = Scenario::from_text(
+      "[topology]\n"
+      "kind = \"dumbbell\"\n"
+      "[[flow]]\n"
+      "name = \"solo\"\n"
+      "protocol = \"reno\"\n"
+      "bytes = 1000\n"
+      "count = 1\n",
+      "test.scn");
+  ASSERT_EQ(sc.cell(0).flows.size(), 1u);
+  EXPECT_EQ(sc.cell(0).flows[0].name, "solo");
+}
+
+TEST(ScenarioCompileTest, CountIsSweepableLikeManyflows) {
+  // The manyflows.scn pattern: the fan size is itself the swept axis.
+  const Scenario sc = Scenario::from_text(
+      "[topology]\n"
+      "kind = \"dumbbell\"\n"
+      "[[flow]]\n"
+      "name = \"fan\"\n"
+      "protocol = \"vegas\"\n"
+      "bytes = 1000\n"
+      "port = 5001\n"
+      "count = 2\n"
+      "[sweep]\n"
+      "flow.fan.count = [2, 5]\n",
+      "test.scn");
+  ASSERT_EQ(sc.cells(), 2u);
+  EXPECT_EQ(sc.cell(0).flows.size(), 2u);
+  EXPECT_EQ(sc.cell(1).flows.size(), 5u);
+}
+
+TEST(ScenarioCompileTest, CountErrorsPointAtTheFlowSection) {
+  const char* bad[] = {
+      // count < 1
+      "[topology]\nkind = \"dumbbell\"\n[[flow]]\nprotocol = \"vegas\"\n"
+      "bytes = 1000\ncount = 0\n",
+      // replicated ports run past 65535
+      "[topology]\nkind = \"dumbbell\"\n[[flow]]\nprotocol = \"vegas\"\n"
+      "bytes = 1000\nport = 65000\ncount = 1000\n",
+      // tracing a replicated group
+      "[topology]\nkind = \"dumbbell\"\n[[flow]]\nprotocol = \"vegas\"\n"
+      "bytes = 1000\ncount = 2\ntrace = true\n",
+      // negative stagger
+      "[topology]\nkind = \"dumbbell\"\n[[flow]]\nprotocol = \"vegas\"\n"
+      "bytes = 1000\ncount = 2\nstagger_s = -0.1\n",
+  };
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    try {
+      Scenario::from_text(text, "test.scn");
+      FAIL() << "expected ScenarioError";
+    } catch (const ScenarioError& e) {
+      EXPECT_EQ(e.diag().file, "test.scn");
+      EXPECT_GT(e.diag().line, 0);
+    }
+  }
+}
+
+TEST(ScenarioCompileTest, ReplicaPortCollisionNamesBothFlows) {
+  // Two groups whose port ranges overlap at the same destination must
+  // be rejected with the colliding flow names in the message.
+  try {
+    Scenario::from_text(
+        "[topology]\n"
+        "kind = \"dumbbell\"\n"
+        "[[flow]]\n"
+        "name = \"a\"\n"
+        "protocol = \"vegas\"\n"
+        "bytes = 1000\n"
+        "port = 5001\n"
+        "count = 3\n"
+        "[[flow]]\n"
+        "name = \"b\"\n"
+        "protocol = \"reno\"\n"
+        "bytes = 1000\n"
+        "src = \"left0\"\n"
+        "dst = \"right0\"\n"
+        "port = 5003\n",
+        "test.scn");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(e.diag().message.find("5003"), std::string::npos);
+    EXPECT_NE(e.diag().message.find("a.2"), std::string::npos);
+  }
+}
+
 // --------------------------------------------------------- diagnostics
 
 TEST(ScenarioCompileTest, UnknownKeyPointsAtItsLine) {

@@ -26,6 +26,15 @@ struct Fixture {
   exp::DumbbellWorld world;
 };
 
+TEST(StackDeathTest, SecondListenOnInUsePortAborts) {
+  // A silent overwrite would orphan the first listener's accept hook;
+  // the stack must refuse loudly instead.
+  Fixture f;
+  f.world.right(0).listen(5001, [](Connection&) {});
+  EXPECT_DEATH(f.world.right(0).listen(5001, [](Connection&) {}),
+               "port already listening");
+}
+
 TEST(ConnectionTest, HandshakeEstablishesBothSides) {
   Fixture f;
   Connection* server_conn = nullptr;

@@ -17,6 +17,14 @@
 //                          (common/rng.h): any std::rand/time()/chrono
 //                          clock read makes runs irreproducible and
 //                          breaks the determinism harness (src/check).
+//   std-function           src/sim and src/tcp sit on the timer-arm /
+//                          packet-demux hot path: type-erased callbacks
+//                          there are common::SmallFn (inline storage, no
+//                          alloc on rearm), not std::function.  Deliberate
+//                          control-path callbacks (accept hooks, per-
+//                          connection app callbacks, factories) opt out
+//                          with a `lint: std-function-ok` marker on the
+//                          same line.
 //
 // The scanner strips comments, string and char literals first, then
 // matches word-bounded tokens, so prose like "new data" or gtest's
@@ -169,6 +177,14 @@ inline bool deterministic_zone(std::string_view path) {
          path.find("src/core/") != std::string_view::npos;
 }
 
+/// True for paths the std::function ban applies to: timer arming
+/// (src/sim) and per-packet demux/transmit (src/tcp), where callbacks
+/// must be common::SmallFn so steady-state churn never allocates.
+inline bool smallfn_zone(std::string_view path) {
+  return path.find("src/sim/") != std::string_view::npos ||
+         path.find("src/tcp/") != std::string_view::npos;
+}
+
 /// Scans one file's contents.  `path` is used for reporting and for the
 /// path-scoped rules.
 inline std::vector<Finding> scan_source(const std::string& path,
@@ -223,6 +239,26 @@ inline std::vector<Finding> scan_source(const std::string& path,
       if (next != '(' || prev == '.' || prev == ':') continue;
       add(pos, "wall-clock",
           "time() in src/sim|src/core; use sim::Time and rng::Stream only");
+    }
+  }
+
+  if (smallfn_zone(path)) {
+    for (const std::size_t pos : detail::find_token(code, "function")) {
+      // Only the std:: spelling counts (`<functional>` never matches:
+      // `functional` is one identifier, so the token scan skips it).
+      if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) continue;
+      // The opt-out marker lives in a comment, which strip() blanked —
+      // consult the original line.
+      const std::size_t bol = contents.rfind('\n', pos) + 1;  // npos+1 == 0
+      std::size_t eol = contents.find('\n', pos);
+      if (eol == std::string_view::npos) eol = contents.size();
+      if (contents.substr(bol, eol - bol).find("lint: std-function-ok") !=
+          std::string_view::npos) {
+        continue;
+      }
+      add(pos - 5, "std-function",
+          "std::function on a src/sim|src/tcp hot path; use common::SmallFn "
+          "(or mark a control-path callback `// lint: std-function-ok`)");
     }
   }
   return findings;
