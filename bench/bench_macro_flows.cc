@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "obs/profile.h"
 #include "scenario/engine.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
@@ -101,7 +102,7 @@ double wl_timer_churn_10k(int rounds) {
     timers.back()->restart(sim::Time::milliseconds(1 + i % 16));
   }
   const auto warm_stats = [&s] {
-    return s.wheel_stats().slot_allocs;
+    return s.wheel_metrics().slot_allocs;
   };
   std::uint64_t warm_allocs = 0;
   long restarts = 0;
@@ -118,7 +119,7 @@ double wl_timer_churn_10k(int rounds) {
   if (rounds > 1) {
     g_steady.timer_rearm_allocs += warm_stats() - warm_allocs;
   }
-  g_steady.timer_boxed_callbacks += s.wheel_stats().boxed_actions;
+  g_steady.timer_boxed_callbacks += s.wheel_metrics().boxed_actions;
   // One restart is one cancel plus one arm.
   return 2.0 * static_cast<double>(restarts) / el;
 }
@@ -159,7 +160,8 @@ std::string load_baseline() {
   return {};
 }
 
-void write_json(const std::vector<Metric>& metrics, double scale) {
+void write_json(const std::vector<Metric>& metrics, double scale,
+                const obs::Profiler& prof) {
   const char* path = std::getenv("VEGAS_BENCH_JSON");
   if (path == nullptr || *path == '\0') path = "BENCH_macro_flows.json";
   std::FILE* f = std::fopen(path, "wb");
@@ -182,10 +184,17 @@ void write_json(const std::vector<Metric>& metrics, double scale) {
                "  \"steady_state\": {\n"
                "    \"timer_rearm_allocs_after_warmup\": %llu,\n"
                "    \"timer_boxed_callbacks\": %llu\n"
-               "  }\n"
-               "}\n",
+               "  },\n",
                static_cast<unsigned long long>(g_steady.timer_rearm_allocs),
                static_cast<unsigned long long>(g_steady.timer_boxed_callbacks));
+  // obs run-summary block: wall time per phase (EXPERIMENTS.md schema).
+  std::fprintf(f, "  \"obs\": {\n    \"phases_wall_us\": {\n");
+  const auto totals = prof.totals_us();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    std::fprintf(f, "      \"%s\": %.1f%s\n", totals[i].first.c_str(),
+                 totals[i].second, i + 1 < totals.size() ? "," : "");
+  }
+  std::fprintf(f, "    }\n  }\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -201,6 +210,7 @@ int main() {
   const scenario::Scenario sc =
       scenario::Scenario::load(VEGAS_REPO_ROOT "/examples/scenarios/manyflows.scn");
 
+  obs::Profiler prof;
   std::vector<Metric> metrics;
   exp::Table table({"flows", "events", "events/s", "wall s/sim s", "probe digest"},
                    14);
@@ -210,6 +220,7 @@ int main() {
       std::printf("(skipping %zu-flow cell at scale %g)\n", declared, scale);
       continue;
     }
+    auto phase = prof.scope("cell_" + std::to_string(declared) + "_flows");
     const CellRun r = run_one_cell(sc, i);
     const std::string tag = "macro_flows_" + std::to_string(r.flows);
     metrics.push_back({tag + "_events_per_sec", r.events_per_sec()});
@@ -225,8 +236,11 @@ int main() {
   }
   table.print();
 
-  metrics.push_back({"timer_churn_10k_arm_cancel_ops_per_sec",
-                     wl_timer_churn_10k(bench::scaled(20))});
+  {
+    auto phase = prof.scope("timer_churn_10k");
+    metrics.push_back({"timer_churn_10k_arm_cancel_ops_per_sec",
+                       wl_timer_churn_10k(bench::scaled(20))});
+  }
 
   const std::string baseline = load_baseline();
   if (baseline.empty()) {
@@ -257,6 +271,6 @@ int main() {
               static_cast<unsigned long long>(g_steady.timer_rearm_allocs),
               static_cast<unsigned long long>(g_steady.timer_boxed_callbacks));
 
-  write_json(metrics, scale);
+  write_json(metrics, scale, prof);
   return 0;
 }

@@ -22,6 +22,8 @@
 #include "bench/bench_util.h"
 #include "net/link.h"
 #include "net/packet.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
 #include "sim/timer.h"
@@ -60,22 +62,22 @@ double wl_schedule_pop(int n, int rounds) {
   sim::EventQueue q;
   std::uint64_t sink = 0;
   Lcg lcg;
-  sim::EventQueue::Stats warm{};
+  sim::EventQueue::Metrics warm;
   const auto t0 = Clock::now();
   for (int r = 0; r < rounds; ++r) {
     for (int i = 0; i < n; ++i) {
       q.schedule(sim::Time::nanoseconds(lcg.next(1000000)), [] {});
     }
     while (!q.empty()) sink += q.pop().id;
-    if (r == 0) warm = q.stats();
+    if (r == 0) warm = q.metrics();
   }
   const double el = secs_since(t0);
   if (sink == 0) std::fprintf(stderr, "impossible\n");
   if (rounds > 1) {
-    g_steady.slot_allocs += q.stats().slot_allocs - warm.slot_allocs;
-    g_steady.heap_grows += q.stats().heap_grows - warm.heap_grows;
+    g_steady.slot_allocs += q.metrics().slot_allocs - warm.slot_allocs;
+    g_steady.heap_grows += q.metrics().heap_grows - warm.heap_grows;
   }
-  g_steady.boxed_actions += q.stats().boxed_actions;
+  g_steady.boxed_actions += q.metrics().boxed_actions;
   return static_cast<double>(n) * rounds / el;
 }
 
@@ -84,7 +86,7 @@ double wl_cancel_churn(int n, int rounds) {
   std::vector<sim::EventId> ids;
   ids.reserve(static_cast<std::size_t>(n));
   Lcg lcg;
-  sim::EventQueue::Stats warm{};
+  sim::EventQueue::Metrics warm;
   const auto t0 = Clock::now();
   for (int r = 0; r < rounds; ++r) {
     ids.clear();
@@ -93,14 +95,14 @@ double wl_cancel_churn(int n, int rounds) {
           q.schedule(sim::Time::nanoseconds(lcg.next(1000000)), [] {}));
     }
     for (const sim::EventId id : ids) q.cancel(id);
-    if (r == 0) warm = q.stats();
+    if (r == 0) warm = q.metrics();
   }
   const double el = secs_since(t0);
   if (rounds > 1) {
-    g_steady.slot_allocs += q.stats().slot_allocs - warm.slot_allocs;
-    g_steady.heap_grows += q.stats().heap_grows - warm.heap_grows;
+    g_steady.slot_allocs += q.metrics().slot_allocs - warm.slot_allocs;
+    g_steady.heap_grows += q.metrics().heap_grows - warm.heap_grows;
   }
-  g_steady.boxed_actions += q.stats().boxed_actions;
+  g_steady.boxed_actions += q.metrics().boxed_actions;
   return static_cast<double>(n) * rounds / el;
 }
 
@@ -121,7 +123,24 @@ double wl_event_chain(long total) {
   s.schedule(sim::Time::microseconds(1), Hop{&s, &remaining});
   s.run();
   const double el = secs_since(t0);
-  g_steady.boxed_actions += s.queue_stats().boxed_actions;
+  g_steady.boxed_actions += s.queue_metrics().boxed_actions;
+  return static_cast<double>(s.events_executed()) / el;
+}
+
+// Same chain, but with every simulator counter bound into an obs
+// registry first (registered, never sampled).  Binding records cell
+// pointers only, so this must run within noise of wl_event_chain — the
+// report carries the measured overhead percentage to prove it.
+double wl_event_chain_registered(long total) {
+  sim::Simulator s;
+  obs::Registry reg;
+  s.register_metrics(reg);
+  long remaining = total;
+  const auto t0 = Clock::now();
+  s.schedule(sim::Time::microseconds(1), Hop{&s, &remaining});
+  s.run();
+  const double el = secs_since(t0);
+  g_steady.boxed_actions += s.queue_metrics().boxed_actions;
   return static_cast<double>(s.events_executed()) / el;
 }
 
@@ -133,7 +152,7 @@ double wl_timer_churn(long total) {
     t.restart(sim::Time::milliseconds(1));
     t.stop();
   }
-  g_steady.boxed_actions += s.queue_stats().boxed_actions;
+  g_steady.boxed_actions += s.queue_metrics().boxed_actions;
   return static_cast<double>(total) / secs_since(t0);
 }
 
@@ -220,7 +239,8 @@ std::string load_baseline() {
 }
 
 void write_json(const std::vector<Metric>& metrics, double scale,
-                bool have_baseline) {
+                bool have_baseline, const obs::Profiler& prof,
+                double overhead_pct) {
   const char* path = std::getenv("VEGAS_BENCH_JSON");
   if (path == nullptr || *path == '\0') path = "BENCH_micro_sim.json";
   std::FILE* f = std::fopen(path, "wb");
@@ -246,14 +266,24 @@ void write_json(const std::vector<Metric>& metrics, double scale,
                "    \"boxed_actions\": %llu,\n"
                "    \"packet_pool_capacity_growth_after_warmup\": %llu,\n"
                "    \"packet_pool_outstanding_at_end\": %llu\n"
-               "  }\n"
-               "}\n",
+               "  },\n",
                static_cast<unsigned long long>(g_steady.slot_allocs),
                static_cast<unsigned long long>(g_steady.heap_grows),
                static_cast<unsigned long long>(g_steady.boxed_actions),
                static_cast<unsigned long long>(g_steady.pool_capacity_growth),
                static_cast<unsigned long long>(
                    net::packet_pool_stats().outstanding()));
+  // obs run-summary block (EXPERIMENTS.md documents the schema): wall
+  // time per bench phase from the profiler, plus the registered-but-
+  // unsampled overhead measurement.
+  std::fprintf(f, "  \"obs\": {\n    \"metrics_overhead_pct\": %.3f,\n"
+               "    \"phases_wall_us\": {\n", overhead_pct);
+  const auto totals = prof.totals_us();
+  for (std::size_t i = 0; i < totals.size(); ++i) {
+    std::fprintf(f, "      \"%s\": %.1f%s\n", totals[i].first.c_str(),
+                 totals[i].second, i + 1 < totals.size() ? "," : "");
+  }
+  std::fprintf(f, "    }\n  }\n}\n");
   std::fclose(f);
   std::printf("\nwrote %s\n", path);
 }
@@ -267,14 +297,49 @@ int main() {
   const int rounds5 = bench::scaled(5);
   const long chain = std::max(10000L, static_cast<long>(1000000 * scale));
 
+  obs::Profiler prof;
+  double schedule_pop = 0, cancel_churn = 0, timer_churn = 0, link_tput = 0;
+  {
+    auto p = prof.scope("schedule_pop");
+    schedule_pop = wl_schedule_pop(100000, rounds10);
+  }
+  {
+    auto p = prof.scope("cancel_churn");
+    cancel_churn = wl_cancel_churn(100000, rounds10);
+  }
+  // The overhead check: best-of-3 interleaved runs of the identical
+  // chain, bare vs. with the full simulator counter set bound into a
+  // registry.  Acceptance wants the registered loop within 2%.
+  double chain_bare = 0, chain_registered = 0;
+  for (int i = 0; i < 3; ++i) {
+    {
+      auto p = prof.scope("event_chain");
+      chain_bare = std::max(chain_bare, wl_event_chain(chain));
+    }
+    {
+      auto p = prof.scope("event_chain_registered");
+      chain_registered =
+          std::max(chain_registered, wl_event_chain_registered(chain));
+    }
+  }
+  const double overhead_pct =
+      chain_bare > 0 ? (chain_bare - chain_registered) / chain_bare * 100 : 0;
+  {
+    auto p = prof.scope("timer_churn");
+    timer_churn = wl_timer_churn(chain);
+  }
+  {
+    auto p = prof.scope("link_throughput");
+    link_tput = wl_link_throughput(rounds5);
+  }
+
   std::vector<Metric> metrics{
-      {"event_queue_schedule_pop_events_per_sec",
-       wl_schedule_pop(100000, rounds10)},
-      {"event_queue_cancel_churn_ops_per_sec",
-       wl_cancel_churn(100000, rounds10)},
-      {"simulator_event_chain_events_per_sec", wl_event_chain(chain)},
-      {"timer_restart_churn_ops_per_sec", wl_timer_churn(chain)},
-      {"link_packet_throughput_packets_per_sec", wl_link_throughput(rounds5)},
+      {"event_queue_schedule_pop_events_per_sec", schedule_pop},
+      {"event_queue_cancel_churn_ops_per_sec", cancel_churn},
+      {"simulator_event_chain_events_per_sec", chain_bare},
+      {"simulator_event_chain_registered_events_per_sec", chain_registered},
+      {"timer_restart_churn_ops_per_sec", timer_churn},
+      {"link_packet_throughput_packets_per_sec", link_tput},
   };
 
   const std::string baseline = load_baseline();
@@ -310,7 +375,10 @@ int main() {
               static_cast<unsigned long long>(g_steady.pool_capacity_growth),
               static_cast<unsigned long long>(
                   net::packet_pool_stats().outstanding()));
+  std::printf("metrics-registered-but-unsampled overhead: %.2f%% "
+              "(bare %.3g ev/s vs registered %.3g ev/s)\n",
+              overhead_pct, chain_bare, chain_registered);
 
-  write_json(metrics, scale, !baseline.empty());
+  write_json(metrics, scale, !baseline.empty(), prof, overhead_pct);
   return 0;
 }

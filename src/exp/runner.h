@@ -23,6 +23,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/profile.h"
+
 namespace vegas::exp {
 
 /// Worker-thread count: `requested` > 0 wins; otherwise the VEGAS_THREADS
@@ -36,6 +38,21 @@ class ParallelRunner {
 
   int threads() const { return threads_; }
 
+  /// What each worker thread did during the most recent map() call.
+  /// Wall time is measured through obs::Profiler (the sanctioned
+  /// wall-clock site) and flows strictly out of the run — nothing
+  /// result-bearing ever reads it back.
+  struct WorkerStats {
+    std::size_t cells = 0;  // cells this worker executed
+    double busy_us = 0;     // wall time spent inside fn across them
+  };
+
+  /// Per-worker stats from the most recent map(); one entry per worker
+  /// that participated (<= threads()).  Empty before the first map().
+  const std::vector<WorkerStats>& worker_stats() const {
+    return worker_stats_;
+  }
+
   /// Runs fn(0..n-1) across the workers and returns the results in index
   /// order.  fn must be safe to call concurrently for distinct indices
   /// (true for scenario cells: each builds its own world).  If any call
@@ -47,36 +64,58 @@ class ParallelRunner {
     std::vector<R> results(n);
     const int workers =
         static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(threads_), n));
+    worker_stats_.assign(static_cast<std::size_t>(std::max(workers, 1)),
+                         WorkerStats{});
     if (workers <= 1) {
-      for (std::size_t i = 0; i < n; ++i) results[i] = fn(static_cast<int>(i));
+      obs::Profiler prof;
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto cell = prof.scope("cell");
+        results[i] = fn(static_cast<int>(i));
+        ++worker_stats_[0].cells;
+      }
+      worker_stats_[0].busy_us = busy_us(prof);
       return results;
     }
     std::atomic<std::size_t> next{0};
     std::mutex error_mu;
     std::exception_ptr error;
-    auto worker = [&] {
+    auto worker = [&](int w) {
+      obs::Profiler prof;
+      WorkerStats& ws = worker_stats_[static_cast<std::size_t>(w)];
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
+        if (i >= n) break;
         try {
+          const auto cell = prof.scope("cell");
           results[i] = fn(static_cast<int>(i));
+          ++ws.cells;
         } catch (...) {
           const std::scoped_lock lock(error_mu);
           if (!error) error = std::current_exception();
         }
       }
+      ws.busy_us = busy_us(prof);
     };
     std::vector<std::thread> pool;
     pool.reserve(static_cast<std::size_t>(workers) - 1);
-    for (int t = 1; t < workers; ++t) pool.emplace_back(worker);
-    worker();  // the calling thread pulls cells too
+    for (int t = 1; t < workers; ++t) pool.emplace_back(worker, t);
+    worker(0);  // the calling thread pulls cells too
     for (std::thread& th : pool) th.join();
     if (error) std::rethrow_exception(error);
     return results;
   }
 
  private:
+  static double busy_us(const obs::Profiler& prof) {
+    double total = 0;
+    for (const auto& [name, us] : prof.totals_us()) total += us;
+    return total;
+  }
+
   int threads_;
+  // mutable: map() is logically const (results are a pure function of
+  // the cell parameters); the stats are diagnostics about the execution.
+  mutable std::vector<WorkerStats> worker_stats_;
 };
 
 }  // namespace vegas::exp

@@ -4,8 +4,19 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "obs/registry.h"
 
 namespace vegas::net {
+
+void Link::register_metrics(obs::Registry& reg, const std::string& prefix) {
+  reg.bind_counter(prefix + ".bytes_delivered", bytes_delivered_);
+  reg.bind_counter(prefix + ".packets_dropped", drops_);
+  reg.probe(prefix + ".queue_packets",
+            [this] { return static_cast<double>(queue_->packets()); });
+  reg.probe(prefix + ".queue_bytes",
+            [this] { return static_cast<double>(queue_->bytes()); });
+  reg.probe(prefix + ".utilisation", [this] { return utilisation(); });
+}
 
 Link::Link(sim::Simulator& sim, std::string name, const LinkConfig& cfg,
            Node& peer)
@@ -31,7 +42,7 @@ void Link::set_jitter(sim::Time max_jitter, std::uint64_t seed) {
 void Link::send(PacketPtr p) {
   ensure(p != nullptr, "null packet");
   if (!queue_->enqueue(p, sim_.now())) {
-    ++drops_;
+    drops_.inc();
     if (queue_monitor_ != nullptr) queue_monitor_->on_drop(sim_.now(), *p);
     return;  // p destroyed here: the drop
   }
@@ -77,7 +88,7 @@ void Link::on_serialized(PacketPtr p) {
   }
   sim_.schedule(delivery, [this, held = std::move(p), wire]() mutable {
     PacketPtr owned = std::move(held);
-    bytes_delivered_ += wire;
+    bytes_delivered_.inc(static_cast<std::uint64_t>(wire));
     if (rate_meter_ != nullptr && owned->is_data()) {
       rate_meter_->on_bytes(sim_.now(), owned->payload_bytes);
     }

@@ -18,7 +18,12 @@
 #include "net/monitor.h"
 #include "net/node.h"
 #include "net/queue.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
+
+namespace vegas::obs {
+class Registry;
+}  // namespace vegas::obs
 
 namespace vegas::net {
 
@@ -78,8 +83,17 @@ class Link {
   /// Transmitter utilisation accounting (busy time so far / elapsed) —
   /// used by tests and the WAN calibration.
   double utilisation() const;
-  ByteCount bytes_delivered() const { return bytes_delivered_; }
-  std::size_t packets_dropped() const { return drops_; }
+  ByteCount bytes_delivered() const {
+    return static_cast<ByteCount>(bytes_delivered_.value());
+  }
+  std::size_t packets_dropped() const {
+    return static_cast<std::size_t>(drops_.value());
+  }
+
+  /// Binds this link's observability into `reg` under "<prefix>.":
+  /// delivery/drop counters plus queue-occupancy and utilisation probes.
+  /// The link must outlive any sampling of `reg`.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
 
  private:
   void try_transmit();
@@ -99,8 +113,8 @@ class Link {
 
   bool transmitting_ = false;
   sim::Time busy_accum_;
-  ByteCount bytes_delivered_ = 0;
-  std::size_t drops_ = 0;
+  obs::Counter bytes_delivered_;
+  obs::Counter drops_;
 };
 
 }  // namespace vegas::net

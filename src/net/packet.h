@@ -118,7 +118,10 @@ PacketPtr clone_packet(const Packet& p);
 
 /// Counters for the calling thread's packet pool (micro-benchmarks): in
 /// steady state `capacity` is flat while acquired/released advance.
-struct PacketPoolStats {
+// Thread-local free-list counters, not per-simulation metrics: the pool
+// outlives any Registry a run could bind them into, so they stay an
+// ad-hoc struct; the scenario engine exposes them via probes instead.
+struct PacketPoolStats {  // lint: adhoc-stats-ok
   std::uint64_t capacity = 0;  // heap-backed packets owned by the pool
   std::uint64_t acquired = 0;  // make_packet/clone_packet calls served
   std::uint64_t released = 0;

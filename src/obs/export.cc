@@ -1,0 +1,125 @@
+#include "obs/export.h"
+
+#include "common/ensure.h"
+
+namespace vegas::obs {
+
+std::string series_header_line(const TimeSeries& ts, double interval_s) {
+  json::Writer w;
+  w.begin_object();
+  w.field("type", "header");
+  w.field("interval_s", interval_s);
+  w.key("columns");
+  w.begin_array();
+  for (const std::string& c : ts.columns) w.value(c);
+  w.end_array();
+  w.key("kinds");
+  w.begin_array();
+  for (const Kind k : ts.kinds) w.value(to_string(k));
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::string series_sample_lines(const TimeSeries& ts, int cell) {
+  std::string out;
+  for (const TimeSeries::Row& row : ts.rows) {
+    ensure(row.values.size() == ts.columns.size(), "ragged time series row");
+    json::Writer w;
+    w.begin_object();
+    w.field("type", "sample");
+    w.field("cell", static_cast<std::int64_t>(cell));
+    w.field("t_s", row.t_s);
+    w.key("values");
+    w.begin_array();
+    for (std::size_t i = 0; i < row.values.size(); ++i) {
+      if (ts.kinds[i] == Kind::kCounter) {
+        w.value(static_cast<std::uint64_t>(row.values[i]));
+      } else {
+        w.value(row.values[i]);
+      }
+    }
+    w.end_array();
+    w.end_object();
+    out += w.str();
+    out += '\n';
+  }
+  return out;
+}
+
+Summary summarize(const Registry& reg) {
+  Summary s;
+  s.scalars.reserve(reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    s.scalars.push_back(Summary::Scalar{
+        reg.name(i), reg.kind(i) == Kind::kCounter, reg.read(i)});
+  }
+  for (std::size_t i = 0; i < reg.histogram_count(); ++i) {
+    const Histogram& h = reg.histogram(i);
+    s.hists.push_back(Summary::Hist{reg.histogram_name(i), h.bounds(),
+                                    h.counts(), h.total(), h.sum()});
+  }
+  return s;
+}
+
+void write_summary(json::Writer& w, const Summary& s) {
+  for (const Summary::Scalar& sc : s.scalars) {
+    if (sc.integral) {
+      w.field(sc.name, static_cast<std::uint64_t>(sc.value));
+    } else {
+      w.field(sc.name, sc.value);
+    }
+  }
+  for (const Summary::Hist& h : s.hists) {
+    w.key(h.name);
+    w.begin_object();
+    w.key("bounds");
+    w.begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts");
+    w.begin_array();
+    for (const std::uint64_t c : h.counts) w.value(c);
+    w.end_array();
+    w.field("total", h.total);
+    w.field("sum", h.sum);
+    w.end_object();
+  }
+}
+
+std::string chrome_trace(const std::vector<ChromeThread>& threads) {
+  json::Writer w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t tid = 0; tid < threads.size(); ++tid) {
+    const ChromeThread& th = threads[tid];
+    // Metadata event naming the "thread" (one per sweep cell).
+    w.begin_object();
+    w.field("ph", "M");
+    w.field("name", "thread_name");
+    w.field("pid", static_cast<std::int64_t>(0));
+    w.field("tid", static_cast<std::int64_t>(tid));
+    w.key("args");
+    w.begin_object();
+    w.field("name", th.name);
+    w.end_object();
+    w.end_object();
+    for (const Profiler::Phase& ph : th.phases) {
+      w.begin_object();
+      w.field("ph", "X");
+      w.field("name", ph.name);
+      w.field("pid", static_cast<std::int64_t>(0));
+      w.field("tid", static_cast<std::int64_t>(tid));
+      w.field("ts", ph.start_us);
+      w.field("dur", ph.dur_us);
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.field("displayTimeUnit", "ms");
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace vegas::obs

@@ -1,0 +1,77 @@
+// Exporters: turn in-memory observability data into the three on-disk
+// formats documented in docs/OBSERVABILITY.md.
+//
+//   1. JSONL time series — one header line describing the columns, then
+//      one line per sample, tagged with the sweep cell it came from.
+//   2. Run-summary block — final metric values as a flat JSON object,
+//      merged into BENCH_*.json / vegas-sim run output by the caller.
+//   3. chrome://tracing trace-event JSON — wall-clock phases from
+//      Profiler, one tracing "thread" per sweep cell.
+//
+// All functions build strings/emit into a json::Writer; file I/O stays
+// with the caller (the CLI or bench), keeping this layer testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "obs/profile.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+
+namespace vegas::obs {
+
+// ---- JSONL time series ----
+
+/// The one header line (no trailing newline):
+///   {"type":"header","interval_s":...,"columns":[...],"kinds":[...]}
+std::string series_header_line(const TimeSeries& ts, double interval_s);
+
+/// All sample lines for one cell, newline-terminated each:
+///   {"type":"sample","cell":N,"t_s":...,"values":[...]}
+/// Counter columns are written as exact integers, the rest as doubles.
+std::string series_sample_lines(const TimeSeries& ts, int cell);
+
+// ---- Run summary ----
+
+/// Final values of every registered metric, detached from the Registry
+/// so results survive past the per-cell world (parallel sweeps buffer a
+/// Summary per cell).
+struct Summary {
+  struct Scalar {
+    std::string name;
+    bool integral;  // true for counters: export as uint64
+    double value;
+  };
+  struct Hist {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 buckets
+    std::uint64_t total;
+    double sum;
+  };
+  std::vector<Scalar> scalars;
+  std::vector<Hist> hists;
+};
+
+Summary summarize(const Registry& reg);
+
+/// Emit the summary as fields of the currently-open JSON object:
+/// scalars as "name": value, histograms as
+/// "name": {"bounds":[...],"counts":[...],"total":N,"sum":X}.
+void write_summary(json::Writer& w, const Summary& s);
+
+// ---- chrome://tracing ----
+
+struct ChromeThread {
+  std::string name;  // shown as the thread name in the tracing UI
+  std::vector<Profiler::Phase> phases;
+};
+
+/// A complete trace-event-format document: {"traceEvents":[...],...}.
+/// Loads in chrome://tracing and Perfetto; tid = index into `threads`.
+std::string chrome_trace(const std::vector<ChromeThread>& threads);
+
+}  // namespace vegas::obs

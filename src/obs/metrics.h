@@ -1,0 +1,94 @@
+// Metric cells: the storage behind the observability registry
+// (docs/OBSERVABILITY.md).
+//
+// A cell is a plain value living wherever the instrumented component
+// wants it — usually as a member right next to the state it counts — so
+// the hot path pays exactly one machine add (or store) per update: no
+// hashing, no locking, no allocation, no branch.  Naming and export are
+// the Registry's job (obs/registry.h): a component registers each cell
+// once, by name, and every exporter reads through the registry.
+//
+// Cells are deliberately copyable: a copy is a snapshot, which is how
+// the benches measure steady-state deltas (warm = metrics(); ...;
+// metrics().x - warm.x).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace vegas::obs {
+
+/// Monotonically non-decreasing event count.  Converts implicitly to
+/// std::uint64_t so snapshot arithmetic (current - warm) reads like the
+/// plain integers these replaced.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_ += n; }
+
+  /// High-water-mark update, for "max live" style counters that share
+  /// the counter export path.
+  void record_max(std::uint64_t v) {
+    if (v > v_) v_ = v;
+  }
+
+  std::uint64_t value() const { return v_; }
+  operator std::uint64_t() const { return v_; }  // NOLINT: snapshot math
+
+  /// Address of the cell, for Registry::bind_counter.  Stable for the
+  /// lifetime of the owning object.
+  const std::uint64_t* cell() const { return &v_; }
+
+ private:
+  std::uint64_t v_ = 0;
+};
+
+/// Last-write-wins instantaneous value (push gauge).  Pull gauges — a
+/// probe function evaluated at sample time — register via
+/// Registry::probe() instead and need no cell.
+class Gauge {
+ public:
+  void set(double v) { v_ = v; }
+  double value() const { return v_; }
+  const double* cell() const { return &v_; }
+
+ private:
+  double v_ = 0;
+};
+
+/// Fixed-bucket histogram: bucket upper bounds are set once at
+/// construction (ascending), plus an implicit +inf bucket, so observe()
+/// is a short linear scan over a few doubles — no allocation ever.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+      vegas::ensure(bounds_[i - 1] < bounds_[i],
+                    "histogram bucket bounds must be strictly ascending");
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+  }
+
+  void observe(double v) {
+    std::size_t i = 0;
+    while (i < bounds_.size() && v > bounds_[i]) ++i;
+    ++counts_[i];
+    ++total_;
+    sum_ += v;
+  }
+
+  /// Upper bounds; counts() has one extra final +inf bucket.
+  const std::vector<double>& bounds() const { return bounds_; }
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+  std::uint64_t total() const { return total_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double sum_ = 0;
+};
+
+}  // namespace vegas::obs

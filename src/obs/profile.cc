@@ -1,0 +1,21 @@
+#include "obs/profile.h"
+
+namespace vegas::obs {
+
+std::vector<std::pair<std::string, double>> Profiler::totals_us() const {
+  std::vector<std::pair<std::string, double>> totals;
+  for (const Phase& ph : phases_) {
+    bool found = false;
+    for (auto& [name, us] : totals) {
+      if (name == ph.name) {
+        us += ph.dur_us;
+        found = true;
+        break;
+      }
+    }
+    if (!found) totals.emplace_back(ph.name, ph.dur_us);
+  }
+  return totals;
+}
+
+}  // namespace vegas::obs

@@ -1,0 +1,74 @@
+// Scoped wall-clock profiling.
+//
+// This file is the ONE sanctioned wall-clock site in the tree: vegas_lint
+// allowlists src/obs for its no-wall-clock rule and bans the clock
+// spellings everywhere else under src/.  The determinism contract holds
+// because wall time flows strictly *out* of the simulator — phases are
+// recorded for export and never read back by simulation code.
+#pragma once
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vegas::obs {
+
+/// Collects named wall-clock phases via RAII scopes.  Phases are stored
+/// in completion order with start offsets relative to the profiler's
+/// construction, which maps directly onto chrome://tracing "X" complete
+/// events (nesting is reconstructed from the intervals).
+class Profiler {
+ public:
+  struct Phase {
+    std::string name;
+    double start_us;  // offset from profiler construction
+    double dur_us;
+  };
+
+  class Scope {
+   public:
+    Scope(Profiler& p, std::string name)
+        : p_(p),
+          name_(std::move(name)),
+          start_(std::chrono::steady_clock::now()) {}
+    ~Scope() {
+      const auto end = std::chrono::steady_clock::now();
+      p_.phases_.push_back(Phase{std::move(name_), p_.offset_us(start_),
+                                 std::chrono::duration<double, std::micro>(
+                                     end - start_)
+                                     .count()});
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Profiler& p_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  Profiler() : epoch_(std::chrono::steady_clock::now()) {}
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Open a phase; it closes (and records) when the returned scope dies.
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  const std::vector<Phase>& phases() const { return phases_; }
+
+  /// Total wall time per distinct phase name, in first-seen order —
+  /// the shape the BENCH_*.json summary block wants.
+  std::vector<std::pair<std::string, double>> totals_us() const;
+
+ private:
+  friend class Scope;
+  double offset_us(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - epoch_).count();
+  }
+
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<Phase> phases_;
+};
+
+}  // namespace vegas::obs

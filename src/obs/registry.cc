@@ -1,0 +1,41 @@
+#include "obs/registry.h"
+
+namespace vegas::obs {
+
+void Registry::add(const std::string& name, Kind k) {
+  ensure(!name.empty(), "metric name must be non-empty");
+  ensure(names_.insert(name).second, "duplicate metric name");
+  entries_.push_back(Entry{name, k, nullptr, nullptr, {}});
+}
+
+void Registry::bind_counter(const std::string& name,
+                            const std::uint64_t* cell) {
+  ensure(cell != nullptr, "counter cell must be non-null");
+  add(name, Kind::kCounter);
+  entries_.back().counter = cell;
+}
+
+void Registry::bind_gauge(const std::string& name, const double* cell) {
+  ensure(cell != nullptr, "gauge cell must be non-null");
+  add(name, Kind::kGauge);
+  entries_.back().gauge = cell;
+}
+
+void Registry::bind_histogram(const std::string& name, const Histogram& h) {
+  ensure(!name.empty(), "metric name must be non-empty");
+  ensure(names_.insert(name).second, "duplicate metric name");
+  hists_.push_back(HistEntry{name, &h});
+}
+
+double Registry::read(std::size_t i) const {
+  ensure(i < entries_.size(), "metric index out of range");
+  const Entry& e = entries_[i];
+  switch (e.kind) {
+    case Kind::kCounter: return static_cast<double>(*e.counter);
+    case Kind::kGauge: return *e.gauge;
+    case Kind::kProbe: return e.probe();
+  }
+  return 0;
+}
+
+}  // namespace vegas::obs

@@ -1,0 +1,108 @@
+// Metrics registry: the naming and export plane for metric cells
+// (obs/metrics.h).
+//
+// The registry is *pull-based*: it never owns hot-path storage.  A
+// component keeps its Counter/Gauge cells as ordinary members and binds
+// each one here exactly once, by name; samplers and exporters then read
+// every bound metric through the registry.  Because binding only records
+// a pointer, a registered-but-unsampled metric costs the instrumented
+// code nothing beyond the member increment it was already doing.
+//
+// Probes cover values that are derived rather than stored (queue depth,
+// cwnd): a probe is a callable evaluated at sample time.  Probes must be
+// read-only — evaluating one must not mutate simulation state; the
+// determinism tests (digest bit-identity with metrics on/off) exist to
+// catch violations.
+//
+// Enumeration order is registration order, which is deterministic given
+// deterministic setup code — so exported column order is stable across
+// runs and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.h"
+#include "obs/metrics.h"
+
+namespace vegas::obs {
+
+enum class Kind { kCounter, kGauge, kProbe };
+
+inline const char* to_string(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kProbe: return "probe";
+  }
+  return "?";
+}
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Bind an existing counter cell.  The cell must outlive the registry.
+  void bind_counter(const std::string& name, const Counter& c) {
+    bind_counter(name, c.cell());
+  }
+  void bind_counter(const std::string& name, const std::uint64_t* cell);
+
+  void bind_gauge(const std::string& name, const Gauge& g) {
+    bind_gauge(name, g.cell());
+  }
+  void bind_gauge(const std::string& name, const double* cell);
+
+  /// Register a derived value.  `fn` is any callable returning something
+  /// convertible to double; it is evaluated once per sample and must not
+  /// mutate simulation state.
+  template <typename F>
+  void probe(const std::string& name, F&& fn) {
+    add(name, Kind::kProbe);
+    entries_.back().probe = std::forward<F>(fn);
+  }
+
+  void bind_histogram(const std::string& name, const Histogram& h);
+
+  // -- Enumeration (numeric metrics, registration order) --
+  std::size_t size() const { return entries_.size(); }
+  const std::string& name(std::size_t i) const { return entries_[i].name; }
+  Kind kind(std::size_t i) const { return entries_[i].kind; }
+  /// Current value of metric i, as a double (counters convert exactly up
+  /// to 2^53).
+  double read(std::size_t i) const;
+
+  // -- Histograms (enumerated separately; summary-only, not sampled) --
+  std::size_t histogram_count() const { return hists_.size(); }
+  const std::string& histogram_name(std::size_t i) const {
+    return hists_[i].name;
+  }
+  const Histogram& histogram(std::size_t i) const { return *hists_[i].hist; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    const std::uint64_t* counter = nullptr;
+    const double* gauge = nullptr;
+    std::function<double()> probe;
+  };
+  struct HistEntry {
+    std::string name;
+    const Histogram* hist = nullptr;
+  };
+
+  void add(const std::string& name, Kind k);
+
+  std::vector<Entry> entries_;
+  std::vector<HistEntry> hists_;
+  std::set<std::string> names_;
+};
+
+}  // namespace vegas::obs

@@ -1,0 +1,28 @@
+#include "obs/sampler.h"
+
+namespace vegas::obs {
+
+Sampler::Sampler(const Registry& reg, sim::Time interval)
+    : reg_(reg), interval_(interval) {
+  ensure(interval > sim::Time::zero(), "sample interval must be positive");
+  series_.columns.reserve(reg.size());
+  series_.kinds.reserve(reg.size());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    series_.columns.push_back(reg.name(i));
+    series_.kinds.push_back(reg.kind(i));
+  }
+}
+
+void Sampler::sample(sim::Time now) {
+  TimeSeries::Row row;
+  row.t_s = now.to_seconds();
+  row.values.reserve(series_.columns.size());
+  // Only the frozen prefix: metrics bound after construction are not
+  // part of this series.
+  for (std::size_t i = 0; i < series_.columns.size(); ++i) {
+    row.values.push_back(reg_.read(i));
+  }
+  series_.rows.push_back(std::move(row));
+}
+
+}  // namespace vegas::obs

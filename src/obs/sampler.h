@@ -1,0 +1,48 @@
+// Sim-time sampler: periodic snapshots of a Registry into a time series.
+//
+// The sampler does not schedule itself — the owner drives it (the
+// scenario engine uses a sim::PeriodicTimer) so the obs layer stays
+// below sim in the dependency order and never touches simulation state.
+// Columns are frozen at construction: metrics registered after the
+// sampler is built are deliberately excluded, keeping every row the
+// same width and the exported header truthful.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "sim/time.h"
+
+namespace vegas::obs {
+
+struct TimeSeries {
+  std::vector<std::string> columns;  // metric names, registration order
+  std::vector<Kind> kinds;           // parallel to columns
+  struct Row {
+    double t_s;                  // sim time of the snapshot, seconds
+    std::vector<double> values;  // parallel to columns
+  };
+  std::vector<Row> rows;
+};
+
+class Sampler {
+ public:
+  /// Freezes the column set to the metrics currently in `reg`.  `reg`
+  /// must outlive the sampler.
+  Sampler(const Registry& reg, sim::Time interval);
+
+  /// Append one row at sim time `now`.  Read-only with respect to the
+  /// simulation: evaluates counters, gauges, and probes.
+  void sample(sim::Time now);
+
+  const TimeSeries& series() const { return series_; }
+  sim::Time interval() const { return interval_; }
+
+ private:
+  const Registry& reg_;
+  sim::Time interval_;
+  TimeSeries series_;
+};
+
+}  // namespace vegas::obs

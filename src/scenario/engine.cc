@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <deque>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 
 #include "check/determinism.h"
 #include "common/ensure.h"
@@ -12,7 +14,10 @@
 #include "exp/runner.h"
 #include "exp/world.h"
 #include "net/monitor.h"
+#include "net/packet.h"
 #include "net/red.h"
+#include "obs/registry.h"
+#include "sim/timer.h"
 #include "stats/fairness.h"
 #include "trace/conn_tracer.h"
 #include "trace/pcap.h"
@@ -188,6 +193,12 @@ class CellWorld {
   net::Link* primary_ = nullptr;
 };
 
+/// Goodput meters on the delivery links of metered traffic endpoints.
+struct Meters {
+  net::RateMeter server_in;
+  net::RateMeter client_in;
+};
+
 std::size_t bottleneck_capacity(const ScenarioSpec& spec) {
   switch (spec.topology.kind) {
     case TopologySpec::Kind::kDumbbell:
@@ -233,7 +244,34 @@ Scenario Scenario::from_doc(Document doc) {
 
 CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
                     const std::string& label, const RunOptions& opts) {
-  CellWorld world(spec);
+  obs::Profiler prof;
+
+  // Everything the setup phase builds outlives the scoped profiler
+  // blocks, so the containers are declared here and filled inside the
+  // "setup" scope.  Declaration order is destruction-order-critical: the
+  // sampler timer must die before the world whose simulator it rides on
+  // (reverse declaration order guarantees it).
+  std::unique_ptr<CellWorld> world_p;
+  std::optional<trace::PcapWriter> pcap;
+  std::deque<Meters> meters;
+  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
+  std::vector<std::unique_ptr<traffic::DatagramSink>> sinks;
+  std::vector<std::unique_ptr<traffic::CrossTrafficSource>> crosses;
+  std::deque<trace::ConnTracer> tracers;
+  std::vector<std::unique_ptr<traffic::BulkTransfer>> transfers;
+  obs::Registry reg;
+  std::optional<obs::Sampler> sampler;
+  std::optional<sim::PeriodicTimer> sample_timer;
+
+  const bool metrics_on = spec.metrics.enabled || !opts.metrics_path.empty();
+  const double interval_s = opts.metrics_interval_s > 0
+                                ? opts.metrics_interval_s
+                                : spec.metrics.interval_s;
+
+  {
+  const auto setup_phase = prof.scope("setup");
+  world_p = std::make_unique<CellWorld>(spec);
+  CellWorld& world = *world_p;
   sim::Simulator& sim = world.sim();
 
   // Queue discipline first: RED must be in place before any traffic.
@@ -250,7 +288,6 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
 
   // Optional pcap tap on the bottleneck (passive: serialization events
   // are observed, never altered).
-  std::optional<trace::PcapWriter> pcap;
   if (!opts.pcap_dir.empty() && world.primary_link() != nullptr) {
     pcap.emplace(opts.pcap_dir + "/cell" + std::to_string(index) + ".pcap");
     world.primary_link()->set_tap(
@@ -259,11 +296,6 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
 
   // Goodput meters on the delivery links of metered traffic endpoints
   // (exp::run_background's instrument, generalised per [[traffic]]).
-  struct Meters {
-    net::RateMeter server_in;
-    net::RateMeter client_in;
-  };
-  std::deque<Meters> meters;
   for (const TrafficSpec& t : spec.traffic) {
     if (!t.meter_goodput) continue;
     net::Link* s_in = world.ingress_link(t.server);
@@ -278,7 +310,6 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   // runners do).  Seeds derive from the source's NAME, so a [[traffic]]
   // named "background" draws the same arrival sequence as
   // exp::run_background.
-  std::vector<std::unique_ptr<traffic::TrafficSource>> sources;
   for (const TrafficSpec& t : spec.traffic) {
     traffic::TrafficConfig tc;
     tc.mean_interarrival_s = t.mean_interarrival_s;
@@ -292,8 +323,6 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   }
 
   // Uncontrolled datagram cross-traffic.
-  std::vector<std::unique_ptr<traffic::DatagramSink>> sinks;
-  std::vector<std::unique_ptr<traffic::CrossTrafficSource>> crosses;
   for (const CrossSpec& c : spec.cross) {
     traffic::CrossTrafficConfig cc = c.cfg;
     cc.seed = rng::derive_seed(spec.seed, c.name);
@@ -304,8 +333,6 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   }
 
   // Measured flows, file order.
-  std::deque<trace::ConnTracer> tracers;
-  std::vector<std::unique_ptr<traffic::BulkTransfer>> transfers;
   for (const FlowSpec& f : spec.flows) {
     traffic::BulkTransfer::Config bt;
     bt.bytes = f.bytes;
@@ -327,6 +354,38 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
         world.stack(f.src), world.stack(f.dst), bt));
   }
 
+  // Metrics registry last, so every probe target (links, flows) exists.
+  // Sampling is passive — the sampler timer interleaves with protocol
+  // events but probes only read, so trace digests stay bit-identical
+  // with metrics on or off (tests/obs_test.cc enforces this).
+  if (metrics_on) {
+    sim.register_metrics(reg);
+    if (net::Link* link = world.primary_link()) {
+      link->register_metrics(reg, "link.bottleneck");
+    }
+    for (std::size_t i = 0; i < spec.flows.size(); ++i) {
+      transfers[i]->register_metrics(reg, "flow." + spec.flows[i].name);
+    }
+    reg.probe("packet_pool.outstanding", [] {
+      return static_cast<double>(net::packet_pool_stats().outstanding());
+    });
+    reg.probe("packet_pool.capacity", [] {
+      return static_cast<double>(net::packet_pool_stats().capacity);
+    });
+    const sim::Time interval = sim::Time::seconds(interval_s);
+    sampler.emplace(reg, interval);
+    obs::Sampler* sp = &*sampler;
+    sim::Simulator* simp = &sim;
+    sample_timer.emplace(sim, [sp, simp] { sp->sample(simp->now()); });
+    sample_timer->start(interval);
+  }
+  }  // setup phase
+
+  CellWorld& world = *world_p;
+  sim::Simulator& sim = world.sim();
+
+  {
+  const auto run_phase = prof.scope("run");
   if (spec.stop == ScenarioSpec::Stop::kTimeout) {
     sim.run_until(sim::Time::seconds(spec.timeout_s));
   } else {
@@ -340,14 +399,17 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
       if (all_done && sim.now().to_seconds() >= spec.goodput_horizon_s) break;
     }
   }
+  }  // run phase
 
   CellResult r;
+  {
+  const auto collect_phase = prof.scope("collect");
   r.index = index;
   r.label = label;
   r.seed = spec.seed;
   r.sim_time_s = sim.now().to_seconds();
   r.sim.events_executed = sim.events_executed();
-  const sim::TimingWheel::Stats& tw = sim.wheel_stats();
+  const sim::TimingWheel::Metrics& tw = sim.wheel_metrics();
   r.sim.timer_scheduled = tw.scheduled;
   r.sim.timer_cancelled = tw.cancelled;
   r.sim.timer_fired = tw.fired;
@@ -400,15 +462,75 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
                     fr.name + ".trace");
     }
   }
+
+  if (metrics_on) {
+    r.metrics_on = true;
+    r.metrics_interval_s = interval_s;
+    r.series = sampler->series();
+    r.summary = obs::summarize(reg);
+  }
+  }  // collect phase
+
+  r.phases = prof.phases();
   return r;
 }
 
-std::vector<CellResult> run(const Scenario& sc, const RunOptions& opts) {
+namespace {
+
+/// Combined JSONL time series across cells: a header line describing the
+/// columns, then every cell's sample lines.  A sweep that changes the
+/// flow layout changes the column set, so a fresh header is emitted
+/// whenever the columns differ from the previous header (readers treat a
+/// header line as a column reset).
+void write_metrics_jsonl(const std::string& path,
+                         const std::vector<CellResult>& results) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("cannot open metrics output file: " + path);
+  }
+  const std::vector<std::string>* header_cols = nullptr;
+  for (const CellResult& r : results) {
+    if (!r.metrics_on) continue;
+    if (header_cols == nullptr || *header_cols != r.series.columns) {
+      out << obs::series_header_line(r.series, r.metrics_interval_s) << '\n';
+      header_cols = &r.series.columns;
+    }
+    out << obs::series_sample_lines(r.series, static_cast<int>(r.index));
+  }
+}
+
+void write_chrome_trace(const std::string& path,
+                        const std::vector<CellResult>& results) {
+  std::vector<obs::ChromeThread> threads;
+  threads.reserve(results.size());
+  for (const CellResult& r : results) {
+    std::string name = "cell" + std::to_string(r.index);
+    if (!r.label.empty()) name += " " + r.label;
+    threads.push_back({std::move(name), r.phases});
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    throw std::runtime_error("cannot open chrome trace output file: " + path);
+  }
+  out << obs::chrome_trace(threads) << '\n';
+}
+
+}  // namespace
+
+std::vector<CellResult> run(
+    const Scenario& sc, const RunOptions& opts,
+    std::vector<exp::ParallelRunner::WorkerStats>* worker_stats) {
   exp::ParallelRunner runner(opts.threads);
-  return runner.map(sc.cells(), [&](int i) {
+  std::vector<CellResult> results = runner.map(sc.cells(), [&](int i) {
     const auto idx = static_cast<std::size_t>(i);
     return run_cell(sc.cell(idx), idx, sc.label(idx), opts);
   });
+  if (worker_stats != nullptr) *worker_stats = runner.worker_stats();
+  if (!opts.metrics_path.empty()) write_metrics_jsonl(opts.metrics_path, results);
+  if (!opts.chrome_trace_path.empty()) {
+    write_chrome_trace(opts.chrome_trace_path, results);
+  }
+  return results;
 }
 
 }  // namespace vegas::scenario

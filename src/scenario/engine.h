@@ -14,6 +14,10 @@
 #include <string>
 #include <vector>
 
+#include "exp/runner.h"
+#include "obs/export.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
 #include "scenario/spec.h"
 #include "scenario/sweep.h"
 #include "trace/trace_buffer.h"
@@ -26,6 +30,14 @@ struct RunOptions {
   int threads = 0;       // <= 0: VEGAS_THREADS, then hardware concurrency
   std::string pcap_dir;  // non-empty: dump cell<i>.pcap of the bottleneck
   std::string trace_dir; // non-empty: dump cell<i>-<flow>.trace per traced flow
+  /// Non-empty: write the JSONL metrics time series here after the run.
+  /// Forces sampling on even when the scenario has no [metrics] section.
+  std::string metrics_path;
+  /// Non-empty: write a chrome://tracing trace-event file of the
+  /// per-cell wall-clock phases (setup/run/collect) here.
+  std::string chrome_trace_path;
+  /// > 0: overrides the scenario's [metrics] interval_s.
+  double metrics_interval_s = 0;
 };
 
 struct FlowResult {
@@ -68,6 +80,16 @@ struct CellResult {
   double background_goodput_Bps = 0;
   std::vector<FlowResult> flows;
   std::vector<TrafficResult> traffic;
+
+  /// Observability (docs/OBSERVABILITY.md).  series/summary are filled
+  /// when sampling was on for this cell ([metrics] enabled or --metrics
+  /// given); phases are always recorded — wall-clock profiling flows
+  /// strictly out of the run and never feeds back into simulation.
+  bool metrics_on = false;
+  double metrics_interval_s = 0;
+  obs::TimeSeries series;
+  obs::Summary summary;
+  std::vector<obs::Profiler::Phase> phases;
 };
 
 /// A loaded scenario: the parsed document, its sweep grid, and every
@@ -102,6 +124,10 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
 
 /// Runs every cell of the grid, fanned out over opts.threads workers.
 /// Results are in cell order and bit-identical at any thread count.
-std::vector<CellResult> run(const Scenario& sc, const RunOptions& opts = {});
+/// When `worker_stats` is non-null it receives the runner's per-worker
+/// execution stats (cells run, busy wall time) for the run.
+std::vector<CellResult> run(
+    const Scenario& sc, const RunOptions& opts = {},
+    std::vector<exp::ParallelRunner::WorkerStats>* worker_stats = nullptr);
 
 }  // namespace vegas::scenario

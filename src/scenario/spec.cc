@@ -462,8 +462,8 @@ ScenarioSpec compile(const Document& doc) {
   // Reject sections the schema does not know about (sweep sections are
   // consumed by src/scenario/sweep.cc and are legal here).
   static const std::set<std::string> kKnown{
-      "scenario", "topology", "queue", "tcp",  "flow",
-      "traffic",  "cross",    "node",  "link", "sweep", "sweep.zip"};
+      "scenario", "topology", "queue", "tcp",   "flow",      "traffic",
+      "cross",    "node",     "link",  "sweep", "sweep.zip", "metrics"};
   for (const Section& sec : doc.sections) {
     if (kKnown.count(sec.name) == 0) {
       fail(file, sec.line, sec.col, "unknown section [" + sec.name + "]");
@@ -523,6 +523,17 @@ ScenarioSpec compile(const Document& doc) {
            "parking-lot topology does not expose one");
     }
     r.finish();
+  }
+
+  // [metrics]
+  if (const Section* sec = doc.find("metrics")) {
+    Reader r(file, *sec);
+    spec.metrics.enabled = r.boolean("enabled", true);
+    spec.metrics.interval_s = r.number("interval_s", spec.metrics.interval_s);
+    r.finish();
+    if (spec.metrics.interval_s <= 0) {
+      fail(file, sec->line, sec->col, "metrics interval_s must be positive");
+    }
   }
 
   // [tcp]

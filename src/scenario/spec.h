@@ -96,6 +96,14 @@ struct CrossSpec {
   traffic::CrossTrafficConfig cfg;  // seed is derived from the cell seed
 };
 
+/// [metrics] — the sim-time sampler (docs/OBSERVABILITY.md).  Sampling
+/// is passive: enabling it never changes protocol behaviour or trace
+/// digests (tests/obs_test.cc enforces bit-identity).
+struct MetricsSpec {
+  bool enabled = false;
+  double interval_s = 0.1;  // sim-time sampling cadence
+};
+
 struct ScenarioSpec {
   std::string name;
   std::uint64_t seed = 1;
@@ -111,6 +119,7 @@ struct ScenarioSpec {
   tcp::TcpConfig tcp;  // world-wide TCP knobs from [tcp]
   TopologySpec topology;
   QueueSpec queue;
+  MetricsSpec metrics;
   std::vector<FlowSpec> flows;
   std::vector<TrafficSpec> traffic;
   std::vector<CrossSpec> cross;

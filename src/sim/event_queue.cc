@@ -3,8 +3,20 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "obs/registry.h"
 
 namespace vegas::sim {
+
+void EventQueue::register_metrics(obs::Registry& reg,
+                                  const std::string& prefix) const {
+  reg.bind_counter(prefix + ".scheduled", metrics_.scheduled);
+  reg.bind_counter(prefix + ".fired", metrics_.fired);
+  reg.bind_counter(prefix + ".cancelled", metrics_.cancelled);
+  reg.bind_counter(prefix + ".slot_allocs", metrics_.slot_allocs);
+  reg.bind_counter(prefix + ".heap_grows", metrics_.heap_grows);
+  reg.bind_counter(prefix + ".boxed_actions", metrics_.boxed_actions);
+  reg.bind_counter(prefix + ".compactions", metrics_.compactions);
+}
 
 EventId EventQueue::schedule(Time at, Action action) {
   return schedule(at, next_seq_++, std::move(action));
@@ -15,20 +27,20 @@ EventId EventQueue::schedule(Time at, std::uint64_t seq, Action action) {
   if (free_slots_.empty()) {
     s = static_cast<std::uint32_t>(slots_.size());
     slots_.emplace_back();
-    ++stats_.slot_allocs;
+    metrics_.slot_allocs.inc();
   } else {
     s = free_slots_.back();
     free_slots_.pop_back();
   }
   Slot& slot = slots_[s];
   slot.live = true;
-  if (action.boxed()) ++stats_.boxed_actions;
+  if (action.boxed()) metrics_.boxed_actions.inc();
   slot.action = std::move(action);
-  if (heap_.size() == heap_.capacity()) ++stats_.heap_grows;
+  if (heap_.size() == heap_.capacity()) metrics_.heap_grows.inc();
   heap_.push_back(HeapEntry{at, seq, s, slot.gen});
   sift_up(heap_.size() - 1);
   ++live_;
-  ++stats_.scheduled;
+  metrics_.scheduled.inc();
   return make_id(s, slot.gen);
 }
 
@@ -43,7 +55,7 @@ void EventQueue::cancel(EventId id) {
   if (!slot.live || slot.gen != gen_of(id)) return;
   release_slot(s);
   --live_;
-  ++stats_.cancelled;
+  metrics_.cancelled.inc();
   maybe_compact();
 }
 
@@ -72,7 +84,7 @@ EventQueue::Fired EventQueue::pop() {
   Fired fired{top.time, make_id(top.slot, top.gen), std::move(slot.action)};
   release_slot(top.slot);
   --live_;
-  ++stats_.fired;
+  metrics_.fired.inc();
   remove_heap_top();
   return fired;
 }
@@ -148,7 +160,7 @@ void EventQueue::maybe_compact() {
     // Floyd heapify: sift every internal node (4-ary: up to (out+2)/4).
     for (std::size_t i = (out + 2) / 4; i-- > 0;) sift_down(i);
   }
-  ++stats_.compactions;
+  metrics_.compactions.inc();
 }
 
 }  // namespace vegas::sim

@@ -23,10 +23,16 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/small_fn.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
+
+namespace vegas::obs {
+class Registry;
+}  // namespace vegas::obs
 
 namespace vegas::sim {
 
@@ -81,18 +87,22 @@ class EventQueue {
   };
   Fired pop();
 
-  /// Allocation/behaviour counters for the micro-benchmarks: in steady
-  /// state only `scheduled`/`fired`/`cancelled` advance.
-  struct Stats {
-    std::uint64_t scheduled = 0;
-    std::uint64_t fired = 0;
-    std::uint64_t cancelled = 0;
-    std::uint64_t slot_allocs = 0;    // slots created (vs reused)
-    std::uint64_t heap_grows = 0;     // heap vector capacity growths
-    std::uint64_t boxed_actions = 0;  // callbacks too big for inline storage
-    std::uint64_t compactions = 0;    // stale-entry garbage collections
+  /// Allocation/behaviour counters (obs cells; see obs/registry.h): in
+  /// steady state only `scheduled`/`fired`/`cancelled` advance.
+  struct Metrics {
+    obs::Counter scheduled;
+    obs::Counter fired;
+    obs::Counter cancelled;
+    obs::Counter slot_allocs;    // slots created (vs reused)
+    obs::Counter heap_grows;     // heap vector capacity growths
+    obs::Counter boxed_actions;  // callbacks too big for inline storage
+    obs::Counter compactions;    // stale-entry garbage collections
   };
-  const Stats& stats() const { return stats_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Binds every counter into `reg` as "<prefix>.<counter>" (e.g.
+  /// "sim.event_queue.scheduled").  The queue must outlive `reg` users.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   struct Slot {
@@ -135,7 +145,7 @@ class EventQueue {
   std::vector<HeapEntry> heap_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
-  Stats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace vegas::sim

@@ -3,8 +3,15 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "obs/registry.h"
 
 namespace vegas::sim {
+
+void Simulator::register_metrics(obs::Registry& reg) const {
+  reg.bind_counter("sim.events_executed", &events_executed_);
+  queue_.register_metrics(reg, "sim.event_queue");
+  wheel_.register_metrics(reg, "sim.timing_wheel");
+}
 
 EventId Simulator::schedule(Time delay, EventQueue::Action action) {
   if (delay < Time::zero()) delay = Time::zero();

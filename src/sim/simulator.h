@@ -72,10 +72,16 @@ class Simulator {
   std::size_t events_pending() const { return queue_.size() + wheel_.size(); }
 
   /// Event-queue allocation/behaviour counters (micro-benchmarks).
-  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+  const EventQueue::Metrics& queue_metrics() const { return queue_.metrics(); }
 
   /// Timing-wheel counters (macro benchmarks, zero-alloc assertions).
-  const TimingWheel::Stats& wheel_stats() const { return wheel_.stats(); }
+  const TimingWheel::Metrics& wheel_metrics() const {
+    return wheel_.metrics();
+  }
+
+  /// Binds the simulator's counters into `reg`: "sim.events_executed"
+  /// plus "sim.event_queue.*" and "sim.timing_wheel.*".
+  void register_metrics(obs::Registry& reg) const;
 
  private:
   EventQueue queue_;

@@ -3,8 +3,21 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "obs/registry.h"
 
 namespace vegas::sim {
+
+void TimingWheel::register_metrics(obs::Registry& reg,
+                                   const std::string& prefix) const {
+  reg.bind_counter(prefix + ".scheduled", metrics_.scheduled);
+  reg.bind_counter(prefix + ".fired", metrics_.fired);
+  reg.bind_counter(prefix + ".cancelled", metrics_.cancelled);
+  reg.bind_counter(prefix + ".rearmed", metrics_.rearmed);
+  reg.bind_counter(prefix + ".cascaded", metrics_.cascaded);
+  reg.bind_counter(prefix + ".slot_allocs", metrics_.slot_allocs);
+  reg.bind_counter(prefix + ".boxed_actions", metrics_.boxed_actions);
+  reg.bind_counter(prefix + ".max_live", metrics_.max_live);
+}
 
 int TimingWheel::level_for(std::uint64_t tick) const {
   for (int k = 0; k < kLevels; ++k) {
@@ -70,7 +83,7 @@ TimerId TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
   if (free_.empty()) {
     idx = static_cast<std::uint32_t>(entries_.size());
     entries_.emplace_back();
-    ++stats_.slot_allocs;
+    metrics_.slot_allocs.inc();
   } else {
     idx = free_.back();
     free_.pop_back();
@@ -79,12 +92,12 @@ TimerId TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
   e.time = at;
   e.seq = seq;
   e.live = true;
-  if (action.boxed()) ++stats_.boxed_actions;
+  if (action.boxed()) metrics_.boxed_actions.inc();
   e.action = std::move(action);
   link(idx);
   ++live_;
-  ++stats_.scheduled;
-  if (live_ > stats_.max_live) stats_.max_live = live_;
+  metrics_.scheduled.inc();
+  metrics_.max_live.record_max(live_);
   // A new strict minimum supersedes the cached one; any other insert
   // leaves the cache valid.
   if (min_idx_ != kNil) {
@@ -103,7 +116,7 @@ void TimingWheel::cancel(TimerId id) {
   unlink(idx);
   release(idx);
   --live_;
-  ++stats_.cancelled;
+  metrics_.cancelled.inc();
   if (min_idx_ == idx) min_idx_ = kNil;
 }
 
@@ -116,7 +129,7 @@ bool TimingWheel::reschedule(TimerId id, Time at, std::uint64_t seq) {
   e.time = at;
   e.seq = seq;
   link(idx);
-  ++stats_.rearmed;
+  metrics_.rearmed.inc();
   if (min_idx_ == idx) {
     min_idx_ = kNil;  // may no longer be the minimum
   } else if (min_idx_ != kNil) {
@@ -154,7 +167,7 @@ void TimingWheel::advance_to(Time t) {
     while (idx != kNil) {
       const std::uint32_t nxt = entries_[idx].next;
       link(idx);  // re-place against the advanced cursor: lands below k
-      ++stats_.cascaded;
+      metrics_.cascaded.inc();
       idx = nxt;
     }
   }
@@ -217,7 +230,7 @@ TimingWheel::Fired TimingWheel::pop() {
   unlink(idx);
   release(idx);
   --live_;
-  ++stats_.fired;
+  metrics_.fired.inc();
   min_idx_ = kNil;
   return fired;
 }

@@ -39,10 +39,16 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "common/small_fn.h"
+#include "obs/metrics.h"
 #include "sim/time.h"
+
+namespace vegas::obs {
+class Registry;
+}  // namespace vegas::obs
 
 namespace vegas::sim {
 
@@ -98,17 +104,22 @@ class TimingWheel {
   /// exceed the earliest live deadline.
   void advance_to(Time t);
 
-  struct Stats {
-    std::uint64_t scheduled = 0;
-    std::uint64_t fired = 0;
-    std::uint64_t cancelled = 0;
-    std::uint64_t rearmed = 0;        // in-place reschedule() fast path
-    std::uint64_t cascaded = 0;       // entries re-placed by advance_to
-    std::uint64_t slot_allocs = 0;    // entry slots created (vs reused)
-    std::uint64_t boxed_actions = 0;  // callbacks too big for inline storage
-    std::uint64_t max_live = 0;       // high-water live count
+  /// Counters are obs cells (obs/registry.h); `slot_allocs == max_live`
+  /// in steady state is asserted by tests.
+  struct Metrics {
+    obs::Counter scheduled;
+    obs::Counter fired;
+    obs::Counter cancelled;
+    obs::Counter rearmed;        // in-place reschedule() fast path
+    obs::Counter cascaded;       // entries re-placed by advance_to
+    obs::Counter slot_allocs;    // entry slots created (vs reused)
+    obs::Counter boxed_actions;  // callbacks too big for inline storage
+    obs::Counter max_live;       // high-water live count
   };
-  const Stats& stats() const { return stats_; }
+  const Metrics& metrics() const { return metrics_; }
+
+  /// Binds every counter into `reg` as "<prefix>.<counter>".
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   static constexpr int kLevels = 8;
@@ -162,7 +173,7 @@ class TimingWheel {
   std::uint64_t cur_tick_ = 0;
   std::size_t live_ = 0;
   std::uint32_t min_idx_ = kNil;  // cached find-min; kNil = recompute
-  Stats stats_;
+  Metrics metrics_;
 };
 
 }  // namespace vegas::sim

@@ -6,9 +6,20 @@
 #include "common/log.h"
 #include "net/packet.h"
 #include "tcp/seq.h"
+#include "obs/registry.h"
 #include "tcp/stack.h"
 
 namespace vegas::tcp {
+
+void Connection::register_metrics(obs::Registry& reg,
+                                  const std::string& prefix) const {
+  reg.probe(prefix + ".cwnd",
+            [this] { return static_cast<double>(sender_->cwnd()); });
+  reg.probe(prefix + ".ssthresh",
+            [this] { return static_cast<double>(sender_->ssthresh()); });
+  reg.probe(prefix + ".in_flight",
+            [this] { return static_cast<double>(sender_->in_flight()); });
+}
 
 const char* to_string(TcpState s) {
   switch (s) {

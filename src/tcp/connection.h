@@ -22,6 +22,10 @@
 #include "tcp/receiver.h"
 #include "tcp/sender.h"
 
+namespace vegas::obs {
+class Registry;
+}  // namespace vegas::obs
+
 namespace vegas::tcp {
 
 class Stack;
@@ -89,6 +93,12 @@ class Connection {
 
   /// Packet from the stack's demux.
   void on_packet(const net::Packet& p);
+
+  /// Per-flow observability: cwnd/ssthresh/in-flight probes under
+  /// "<prefix>." (read-only; evaluated at sample time).  The connection
+  /// must outlive any sampling of `reg` — flows whose connection may be
+  /// torn down mid-run register through traffic::BulkTransfer instead.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
   TcpState state() const { return state_; }
   TcpSender& sender() { return *sender_; }

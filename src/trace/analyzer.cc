@@ -63,7 +63,7 @@ std::vector<double> Analyzer::presumed_loss_times() const {
 }
 
 Series Analyzer::sending_rate(int window) const {
-  ensure(window >= 2, "rate window");
+  ensure(window >= 1, "rate window");
   Series out;
   std::deque<std::pair<double, double>> recent;  // (t, bytes)
   for (const TraceEvent& e : buf_.events()) {

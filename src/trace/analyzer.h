@@ -46,7 +46,9 @@ class Analyzer {
   std::vector<double> presumed_loss_times() const;
 
   /// Average sending rate from the last `window` segment sends, sampled
-  /// at each send (the paper's bottom graph uses 12).
+  /// at each send (the paper's bottom graph uses 12).  Fewer sends than
+  /// `window` yield no samples; window = 1 is likewise always empty (a
+  /// single send spans no interval to average over).
   Series sending_rate(int window = 12) const;
 
   TraceSummary summary() const;

@@ -3,8 +3,27 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "obs/registry.h"
 
 namespace vegas::traffic {
+
+void BulkTransfer::register_metrics(obs::Registry& reg,
+                                    const std::string& prefix) {
+  // Probes must stay valid across connection teardown: conn_ is nulled
+  // on completion/reset, so each read re-checks it and reports 0 once
+  // the flow is done (a truthful "no window" for a closed connection).
+  reg.probe(prefix + ".cwnd", [this] {
+    return conn_ != nullptr ? static_cast<double>(conn_->sender().cwnd()) : 0.0;
+  });
+  reg.probe(prefix + ".ssthresh", [this] {
+    return conn_ != nullptr ? static_cast<double>(conn_->sender().ssthresh())
+                            : 0.0;
+  });
+  reg.probe(prefix + ".in_flight", [this] {
+    return conn_ != nullptr ? static_cast<double>(conn_->sender().in_flight())
+                            : 0.0;
+  });
+}
 
 BulkTransfer::BulkTransfer(tcp::Stack& sender_side, tcp::Stack& receiver_side,
                            Config cfg)

@@ -14,6 +14,10 @@
 #include "sim/simulator.h"
 #include "tcp/stack.h"
 
+namespace vegas::obs {
+class Registry;
+}  // namespace vegas::obs
+
 namespace vegas::traffic {
 
 struct TransferResult {
@@ -57,6 +61,15 @@ class BulkTransfer {
   const TransferResult& result() const { return result_; }
   /// KB/s as the paper reports it.
   double throughput_kBps() const { return result_.throughput_Bps() / 1024.0; }
+
+  /// The live sender-side connection, or nullptr before start_delay and
+  /// after completion/reset.
+  const tcp::Connection* connection() const { return conn_; }
+
+  /// Per-flow gauges under "<prefix>." (cwnd, ssthresh, in_flight).
+  /// Unlike Connection::register_metrics this is safe across the flow's
+  /// whole lifetime: probes read 0 while no connection is live.
+  void register_metrics(obs::Registry& reg, const std::string& prefix);
 
  private:
   void begin();

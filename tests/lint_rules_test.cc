@@ -76,13 +76,17 @@ TEST(LintRuleTest, StaticAssertAndGtestMacrosAllowed) {
   EXPECT_TRUE(fs.empty());
 }
 
-TEST(LintRuleTest, WallClockOnlyInDeterministicZone) {
+TEST(LintRuleTest, WallClockBannedEverywhereUnderSrcExceptObs) {
   const std::string src =
       "int a = rand();\nauto t = time(nullptr);\n"
       "auto n = std::chrono::steady_clock::now();\n";
   EXPECT_EQ(scan_source("src/sim/x.cc", src).size(), 3u);
   EXPECT_EQ(scan_source("src/core/x.cc", src).size(), 3u);
-  // Outside sim/core the wall-clock rules do not apply.
+  EXPECT_EQ(scan_source("src/tcp/x.cc", src).size(), 3u);
+  EXPECT_EQ(scan_source("src/exp/x.h", src).size(), 3u);
+  // src/obs is the one sanctioned wall-clock site (obs::Profiler)...
+  EXPECT_TRUE(scan_source("src/obs/profile.h", src).empty());
+  // ...and outside src/ the rule does not apply (tools, tests, bench).
   EXPECT_TRUE(scan_source("tools/x.cc", src).empty());
 }
 
@@ -127,6 +131,45 @@ TEST(LintRuleTest, StdFunctionSpellingsThatMustNotTrip) {
       "using Cb = SmallFn<48>;\n"
       "void function();\n";
   EXPECT_TRUE(scan_source("src/sim/x.h", src).empty());
+}
+
+TEST(LintRuleTest, AdhocStatsStructFiresInRegistryZone) {
+  const std::string src =
+      "struct WheelStats {\n  std::uint64_t fired = 0;\n};\n";
+  EXPECT_TRUE(has_rule(scan_source("src/sim/x.h", src), "adhoc-stats"));
+  EXPECT_TRUE(has_rule(scan_source("src/net/x.h", src), "adhoc-stats"));
+  // Bare `struct Stats` (the old nested-struct spelling) counts too.
+  EXPECT_TRUE(has_rule(
+      scan_source("src/net/x.h", "struct Stats { int drops = 0; };\n"),
+      "adhoc-stats"));
+  // Outside src/sim|src/net the rule does not apply (tcp::SenderStats is
+  // a protocol-result struct, not an event-loop counter bundle).
+  EXPECT_TRUE(scan_source("src/tcp/x.h", src).empty());
+}
+
+TEST(LintRuleTest, AdhocStatsSpellingsThatMustNotTrip) {
+  // Forward declarations and uses of a Stats type are consumption, not
+  // introduction; non-Stats structs never match.
+  const std::string src =
+      "struct PoolStats;\n"
+      "struct Metrics {\n  obs::Counter fired;\n};\n"
+      "PacketPoolStats snap = packet_pool_stats();\n";
+  EXPECT_TRUE(scan_source("src/net/x.h", src).empty());
+}
+
+TEST(LintRuleTest, AdhocStatsMarkerOptsOut) {
+  EXPECT_TRUE(scan_source("src/net/x.h",
+                          "struct PacketPoolStats {  // lint: adhoc-stats-ok\n"
+                          "  std::uint64_t capacity = 0;\n};\n")
+                  .empty());
+  // The marker only covers its own struct's line.
+  const auto fs = scan_source(
+      "src/net/x.h",
+      "struct AStats {  // lint: adhoc-stats-ok\n  int a;\n};\n"
+      "struct BStats {\n  int b;\n};\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "adhoc-stats");
+  EXPECT_EQ(fs[0].line, 4);
 }
 
 TEST(LintRuleTest, ReportsRepoRelativePathAndLine) {

@@ -116,13 +116,13 @@ TEST(EventQueueTest, SlotAllocsStopGrowingUnderChurn) {
   // few stale entries behind, so the peak is reached after a couple of
   // full cycles, not the first).
   for (int round = 0; round < 6; ++round) churn_round(round);
-  const auto warm = q.stats();
+  const auto warm = q.metrics();
   // Steady state: schedule/cancel and schedule/pop churn must reuse
   // slots and heap capacity — zero further allocations.
   for (int round = 0; round < 50; ++round) churn_round(round);
-  EXPECT_EQ(q.stats().slot_allocs, warm.slot_allocs);
-  EXPECT_EQ(q.stats().heap_grows, warm.heap_grows);
-  EXPECT_EQ(q.stats().boxed_actions, 0u);
+  EXPECT_EQ(q.metrics().slot_allocs, warm.slot_allocs);
+  EXPECT_EQ(q.metrics().heap_grows, warm.heap_grows);
+  EXPECT_EQ(q.metrics().boxed_actions, 0u);
 }
 
 TEST(EventQueueTest, CancelOnlyChurnDoesNotGrowHeapUnbounded) {
@@ -133,7 +133,7 @@ TEST(EventQueueTest, CancelOnlyChurnDoesNotGrowHeapUnbounded) {
   for (int i = 0; i < 100000; ++i) {
     q.cancel(q.schedule(1_ms, [] {}));
   }
-  EXPECT_GT(q.stats().compactions, 0u);
+  EXPECT_GT(q.metrics().compactions, 0u);
   EXPECT_TRUE(q.empty());
   // Ordering is intact after all those compactions.
   std::vector<int> order;
@@ -152,7 +152,7 @@ TEST(EventQueueTest, OversizedActionIsBoxedAndStillFires) {
   big.payload[0] = 7;
   int got = 0;
   q.schedule(1_ms, [big, &got] { got = big.payload[0]; });
-  EXPECT_EQ(q.stats().boxed_actions, 1u);
+  EXPECT_EQ(q.metrics().boxed_actions, 1u);
   while (!q.empty()) q.pop().action();
   EXPECT_EQ(got, 7);
 }
@@ -171,7 +171,7 @@ TEST(EventQueueTest, StatsAccountingBalances) {
     if (x % 5 == 0 && !q.empty()) q.pop().action();
   }
   while (!q.empty()) q.pop().action();
-  const auto& st = q.stats();
+  const auto& st = q.metrics();
   EXPECT_EQ(st.fired + st.cancelled, st.scheduled);
   EXPECT_EQ(q.size(), 0u);
 }

@@ -123,8 +123,8 @@ TEST(TimingWheelTest, DifferentialVsEventQueue) {
   }
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(wheel_fired, heap_fired);
-  EXPECT_EQ(w.stats().fired, q.stats().fired);
-  EXPECT_EQ(w.stats().cancelled, q.stats().cancelled);
+  EXPECT_EQ(w.metrics().fired, q.metrics().fired);
+  EXPECT_EQ(w.metrics().cancelled, q.metrics().cancelled);
 }
 
 TEST(TimingWheelTest, CancelPreventsFireAndIsIdempotent) {
@@ -175,7 +175,7 @@ TEST(TimingWheelTest, RescheduleMovesAcrossLevelsKeepingAction) {
 
   // And upward: next pop is the 10 ms entry, untouched.
   EXPECT_EQ(w.pop().time, 10_ms);
-  EXPECT_EQ(w.stats().rearmed, 1u);
+  EXPECT_EQ(w.metrics().rearmed, 1u);
 }
 
 TEST(TimingWheelTest, CascadeRelocatesOuterBucketEntries) {
@@ -191,7 +191,7 @@ TEST(TimingWheelTest, CascadeRelocatesOuterBucketEntries) {
   EXPECT_EQ(w.pop().time, 1_ms);
   EXPECT_EQ(w.pop().time, t1);
   EXPECT_EQ(w.pop().time, t2);
-  EXPECT_GT(w.stats().cascaded, 0u);
+  EXPECT_GT(w.metrics().cascaded, 0u);
 }
 
 TEST(TimingWheelTest, ChurnAt10kTimersReusesSlotsAndNeverBoxes) {
@@ -206,7 +206,7 @@ TEST(TimingWheelTest, ChurnAt10kTimersReusesSlotsAndNeverBoxes) {
   for (int i = 0; i < kTimers; ++i) {
     ids.push_back(w.schedule(Time::milliseconds(1 + i % 16), seq++, [] {}));
   }
-  const std::uint64_t warm_allocs = w.stats().slot_allocs;
+  const std::uint64_t warm_allocs = w.metrics().slot_allocs;
   EXPECT_EQ(warm_allocs, static_cast<std::uint64_t>(kTimers));
 
   for (int round = 0; round < 20; ++round) {
@@ -222,9 +222,9 @@ TEST(TimingWheelTest, ChurnAt10kTimersReusesSlotsAndNeverBoxes) {
       }
     }
   }
-  EXPECT_EQ(w.stats().slot_allocs, warm_allocs);
-  EXPECT_EQ(w.stats().slot_allocs, w.stats().max_live);
-  EXPECT_EQ(w.stats().boxed_actions, 0u);
+  EXPECT_EQ(w.metrics().slot_allocs, warm_allocs);
+  EXPECT_EQ(w.metrics().slot_allocs, w.metrics().max_live);
+  EXPECT_EQ(w.metrics().boxed_actions, 0u);
   EXPECT_EQ(w.size(), static_cast<std::size_t>(kTimers));
 }
 
@@ -259,7 +259,7 @@ TEST(TimingWheelSimulatorTest, RestartReplacesPendingExpiry) {
   sim.run();
   EXPECT_EQ(fired, 1);
   EXPECT_EQ(sim.now(), 5_ms);
-  EXPECT_EQ(sim.wheel_stats().rearmed, 1u);
+  EXPECT_EQ(sim.wheel_metrics().rearmed, 1u);
 
   // Restart after expiry arms a fresh entry (the stale id is refused).
   t.restart(2_ms);

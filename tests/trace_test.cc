@@ -131,6 +131,75 @@ TEST(AnalyzerTest, SendingRateWindowAverage) {
   EXPECT_LT(peak, 2000.0 * 1024);
 }
 
+TEST(AnalyzerTest, SendingRateNeedsAFullWindow) {
+  // 5 data sends, window 12: never enough history to emit a sample.
+  TraceBuffer buf;
+  for (int i = 0; i < 5; ++i) {
+    buf.append(sim::Time::seconds(0.1 * i), EventKind::kSegSent,
+               static_cast<std::uint32_t>(1000 * i), /*aux=*/0, /*len=*/1000);
+  }
+  EXPECT_TRUE(Analyzer(buf).sending_rate(12).empty());
+  // Zero-length sends (pure control segments) never count toward the
+  // window either.
+  TraceBuffer ctl;
+  for (int i = 0; i < 3; ++i) {
+    ctl.append(sim::Time::seconds(0.1 * i), EventKind::kSegSent, 0, 0,
+               /*len=*/0);
+  }
+  EXPECT_TRUE(Analyzer(ctl).sending_rate(2).empty());
+}
+
+TEST(AnalyzerTest, SendingRateWindowOfOneIsAlwaysEmpty) {
+  // window = 1 is accepted but a single send spans no interval, so the
+  // series stays empty no matter how many sends arrive.
+  TraceBuffer buf;
+  for (int i = 0; i < 10; ++i) {
+    buf.append(sim::Time::seconds(0.1 * i), EventKind::kSegSent,
+               static_cast<std::uint32_t>(1000 * i), 0, 1000);
+  }
+  EXPECT_TRUE(Analyzer(buf).sending_rate(1).empty());
+}
+
+TEST(AnalyzerTest, SendingRateExactWindowValue) {
+  // Sends of 1000 B at t = 0, 1, 2, 3 s with window 3: the first sample
+  // lands at t = 2 averaging the 2000 B sent across the 2 s since the
+  // window opened (the opening send's bytes started the interval).
+  TraceBuffer buf;
+  for (int i = 0; i < 4; ++i) {
+    buf.append(sim::Time::seconds(i), EventKind::kSegSent,
+               static_cast<std::uint32_t>(1000 * i), 0, 1000);
+  }
+  const auto rate = Analyzer(buf).sending_rate(3);
+  ASSERT_EQ(rate.size(), 2u);
+  EXPECT_DOUBLE_EQ(rate[0].t_s, 2.0);
+  EXPECT_DOUBLE_EQ(rate[0].value, 1000.0);
+  EXPECT_DOUBLE_EQ(rate[1].t_s, 3.0);
+  EXPECT_DOUBLE_EQ(rate[1].value, 1000.0);
+}
+
+TEST(AnalyzerTest, PresumedLossDedupsRepeatedRetransmits) {
+  // Offset 2000 is sent at t=0.2 and retransmitted twice; the loss line
+  // is drawn once, at the ORIGINAL send time.  Offset 1000 is never
+  // retransmitted and draws no line.
+  TraceBuffer buf;
+  buf.append(sim::Time::seconds(0.1), EventKind::kSegSent, 1000, 0, 1000);
+  buf.append(sim::Time::seconds(0.2), EventKind::kSegSent, 2000, 0, 1000);
+  buf.append(sim::Time::seconds(0.5), EventKind::kSegSent, 2000, /*aux=*/1,
+             1000);
+  buf.append(sim::Time::seconds(0.9), EventKind::kSegSent, 2000, /*aux=*/1,
+             1000);
+  const auto losses = Analyzer(buf).presumed_loss_times();
+  ASSERT_EQ(losses.size(), 1u);
+  EXPECT_DOUBLE_EQ(losses[0], 0.2);
+}
+
+TEST(AnalyzerTest, PresumedLossEmptyWithoutRetransmits) {
+  TraceBuffer buf;
+  buf.append(sim::Time::seconds(0.1), EventKind::kSegSent, 1000, 0, 1000);
+  buf.append(sim::Time::seconds(0.2), EventKind::kSegSent, 2000, 0, 1000);
+  EXPECT_TRUE(Analyzer(buf).presumed_loss_times().empty());
+}
+
 TEST(AnalyzerTest, CsvWriteRoundTrips) {
   Series s{{0.0, 1.0}, {0.5, 2.0}, {1.0, 3.0}};
   const auto path =

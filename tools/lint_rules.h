@@ -12,11 +12,14 @@
 //                          check here: always on, message-carrying, and
 //                          source-located.  assert() vanishes under
 //                          NDEBUG, which is exactly when the benches run.
-//   wall-clock             src/sim and src/core must be driven purely by
-//                          simulated time and seeded RNG streams
+//   wall-clock             Everything under src/ must be driven purely
+//                          by simulated time and seeded RNG streams
 //                          (common/rng.h): any std::rand/time()/chrono
 //                          clock read makes runs irreproducible and
 //                          breaks the determinism harness (src/check).
+//                          The ONE sanctioned wall-clock site is src/obs
+//                          (obs::Profiler) — wall time there flows
+//                          strictly out of the simulation, never back in.
 //   std-function           src/sim and src/tcp sit on the timer-arm /
 //                          packet-demux hot path: type-erased callbacks
 //                          there are common::SmallFn (inline storage, no
@@ -25,6 +28,16 @@
 //                          connection app callbacks, factories) opt out
 //                          with a `lint: std-function-ok` marker on the
 //                          same line.
+//   adhoc-stats            Per-subsystem `struct FooStats { uint64 ... }`
+//                          counter bundles in src/sim|src/net predate the
+//                          metrics registry; new counters belong in
+//                          obs::Counter cells bound to an obs::Registry
+//                          (src/obs, docs/OBSERVABILITY.md) so samplers
+//                          and exporters see them.  Genuinely un-bindable
+//                          cases (e.g. thread-local pools that outlive
+//                          any run's registry) opt out with a
+//                          `lint: adhoc-stats-ok` marker on the same
+//                          line.
 //
 // The scanner strips comments, string and char literals first, then
 // matches word-bounded tokens, so prose like "new data" or gtest's
@@ -168,13 +181,32 @@ inline char next_nonspace(std::string_view text, std::size_t pos) {
   return '\0';
 }
 
+/// True when the original-source line containing `pos` carries `marker`.
+/// Opt-out markers live in comments, which the stripper blanks, so this
+/// consults the unstripped contents (offsets are identical by design).
+inline bool line_has_marker(std::string_view contents, std::size_t pos,
+                            std::string_view marker) {
+  const std::size_t bol = contents.rfind('\n', pos) + 1;  // npos+1 == 0
+  std::size_t eol = contents.find('\n', pos);
+  if (eol == std::string_view::npos) eol = contents.size();
+  return contents.substr(bol, eol - bol).find(marker) !=
+         std::string_view::npos;
+}
+
 }  // namespace detail
 
-/// True for paths the wall-clock/randomness ban applies to: the event
-/// loop and the congestion-control algorithms.
+/// True for paths the wall-clock/randomness ban applies to: all of src/
+/// except src/obs, the one sanctioned wall-clock site (obs::Profiler).
 inline bool deterministic_zone(std::string_view path) {
+  return path.find("src/") != std::string_view::npos &&
+         path.find("src/obs/") == std::string_view::npos;
+}
+
+/// True for paths the ad-hoc stats rule applies to: the subsystems whose
+/// counters the metrics registry already covers.
+inline bool registry_zone(std::string_view path) {
   return path.find("src/sim/") != std::string_view::npos ||
-         path.find("src/core/") != std::string_view::npos;
+         path.find("src/net/") != std::string_view::npos;
 }
 
 /// True for paths the std::function ban applies to: timer arming
@@ -227,8 +259,8 @@ inline std::vector<Finding> scan_source(const std::string& path,
     for (const std::string_view tok : kClockTokens) {
       for (const std::size_t pos : detail::find_token(code, tok)) {
         add(pos, "wall-clock",
-            std::string(tok) +
-                " in src/sim|src/core; use sim::Time and rng::Stream only");
+            std::string(tok) + " under src/; use sim::Time and rng::Stream "
+                               "(wall-clock profiling lives in src/obs)");
       }
     }
     for (const std::size_t pos : detail::find_token(code, "time")) {
@@ -238,7 +270,39 @@ inline std::vector<Finding> scan_source(const std::string& path,
       // or `_` (sim::Time's spelling is capitalised and never matches).
       if (next != '(' || prev == '.' || prev == ':') continue;
       add(pos, "wall-clock",
-          "time() in src/sim|src/core; use sim::Time and rng::Stream only");
+          "time() under src/; use sim::Time and rng::Stream "
+          "(wall-clock profiling lives in src/obs)");
+    }
+  }
+
+  if (registry_zone(path)) {
+    for (const std::size_t pos : detail::find_token(code, "struct")) {
+      std::size_t j = pos + 6;
+      while (j < code.size() && (code[j] == ' ' || code[j] == '\t' ||
+                                 code[j] == '\n')) {
+        ++j;
+      }
+      const std::size_t name_begin = j;
+      while (j < code.size() && detail::ident_char(code[j])) ++j;
+      const std::string_view name =
+          std::string_view(code).substr(name_begin, j - name_begin);
+      if (name.size() < 5 || name.substr(name.size() - 5) != "Stats") {
+        continue;
+      }
+      // Definitions only: a forward declaration or a `struct FooStats x;`
+      // spelling is someone consuming a type, not introducing one.
+      const char next = detail::next_nonspace(code, j);
+      if (next != '{' && next != ':') continue;
+      if (detail::line_has_marker(contents, pos, "lint: adhoc-stats-ok") ||
+          detail::line_has_marker(contents, name_begin,
+                                  "lint: adhoc-stats-ok")) {
+        continue;
+      }
+      add(pos, "adhoc-stats",
+          "ad-hoc " + std::string(name) +
+              " counter struct in src/sim|src/net; use obs::Counter cells "
+              "bound to an obs::Registry (docs/OBSERVABILITY.md), or mark "
+              "`// lint: adhoc-stats-ok`");
     }
   }
 
@@ -247,13 +311,7 @@ inline std::vector<Finding> scan_source(const std::string& path,
       // Only the std:: spelling counts (`<functional>` never matches:
       // `functional` is one identifier, so the token scan skips it).
       if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) continue;
-      // The opt-out marker lives in a comment, which strip() blanked —
-      // consult the original line.
-      const std::size_t bol = contents.rfind('\n', pos) + 1;  // npos+1 == 0
-      std::size_t eol = contents.find('\n', pos);
-      if (eol == std::string_view::npos) eol = contents.size();
-      if (contents.substr(bol, eol - bol).find("lint: std-function-ok") !=
-          std::string_view::npos) {
+      if (detail::line_has_marker(contents, pos, "lint: std-function-ok")) {
         continue;
       }
       add(pos - 5, "std-function",

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Validate a `vegas-sim run --metrics` JSONL file (docs/OBSERVABILITY.md).
+
+Usage: validate_metrics.py <metrics.jsonl> [--schema tools/metrics_schema.json]
+
+Checks every line against tools/metrics_schema.json plus the cross-line
+rules the schema lists (header-before-samples, parallel columns/kinds,
+row width, monotone counters/time per cell).  Standard library only —
+no jsonschema dependency.  Exit 0 and a one-line summary when valid;
+exit 1 with a file:line diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(path, lineno, msg):
+    sys.exit(f"{path}:{lineno}: error: {msg}")
+
+
+TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "array[string]": lambda v: isinstance(v, list)
+    and all(isinstance(x, str) for x in v),
+    "array[number]": lambda v: isinstance(v, list)
+    and all(isinstance(x, (int, float)) and not isinstance(x, bool) for x in v),
+}
+
+
+def check_required(path, lineno, obj, spec):
+    for key, typ in spec["required"].items():
+        if key not in obj:
+            fail(path, lineno, f"missing required key '{key}'")
+        if not TYPE_CHECKS[typ](obj[key]):
+            fail(path, lineno, f"key '{key}' is not a {typ}")
+    for key in obj:
+        if key not in spec["required"]:
+            fail(path, lineno, f"unknown key '{key}'")
+
+
+def validate(path, schema):
+    header = None  # (columns, kinds) currently in force
+    last = {}  # cell -> (t_s, counter values) for monotonicity
+    headers = samples = 0
+    cells = set()
+
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                fail(path, lineno, "blank line")
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as e:
+                fail(path, lineno, f"not valid JSON: {e}")
+            if not isinstance(obj, dict):
+                fail(path, lineno, "line is not a JSON object")
+
+            kind = obj.get("type")
+            if kind not in schema["line_types"]:
+                fail(path, lineno, f"unknown line type {kind!r}")
+            check_required(path, lineno, obj, schema["line_types"][kind])
+
+            if kind == "header":
+                if len(obj["columns"]) != len(obj["kinds"]):
+                    fail(path, lineno, "columns and kinds are not parallel")
+                if not obj["columns"]:
+                    fail(path, lineno, "header has no columns")
+                for k in obj["kinds"]:
+                    if k not in schema["kind_values"]:
+                        fail(path, lineno, f"unknown metric kind {k!r}")
+                if obj["interval_s"] <= 0:
+                    fail(path, lineno, "interval_s must be positive")
+                header = (obj["columns"], obj["kinds"])
+                last = {}  # new column set: restart per-cell monotonicity
+                headers += 1
+            else:  # sample
+                if header is None:
+                    fail(path, lineno, "sample before any header")
+                columns, kinds = header
+                if len(obj["values"]) != len(columns):
+                    fail(
+                        path,
+                        lineno,
+                        f"row has {len(obj['values'])} values, "
+                        f"header has {len(columns)} columns",
+                    )
+                if obj["cell"] < 0:
+                    fail(path, lineno, "cell must be >= 0")
+                if obj["t_s"] <= 0:
+                    fail(path, lineno, "t_s must be positive")
+                counters = [
+                    v
+                    for v, k in zip(obj["values"], kinds)
+                    if k == "counter"
+                ]
+                for v in counters:
+                    if v != int(v) or v < 0:
+                        fail(
+                            path,
+                            lineno,
+                            f"counter value {v} is not a non-negative integer",
+                        )
+                prev = last.get(obj["cell"])
+                if prev is not None:
+                    if obj["t_s"] < prev[0]:
+                        fail(path, lineno, "t_s decreased within a cell")
+                    for before, now in zip(prev[1], counters):
+                        if now < before:
+                            fail(path, lineno, "counter decreased within a cell")
+                last[obj["cell"]] = (obj["t_s"], counters)
+                cells.add(obj["cell"])
+                samples += 1
+
+    if samples == 0:
+        fail(path, 1, "no sample lines")
+    print(
+        f"{path}: OK — {headers} header(s), {samples} samples, "
+        f"{len(cells)} cell(s), {len(header[0])} columns"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("metrics", help="JSONL file from vegas-sim run --metrics")
+    ap.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(__file__), "metrics_schema.json"),
+        help="schema file (default: metrics_schema.json next to this script)",
+    )
+    args = ap.parse_args()
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+    validate(args.metrics, schema)
+
+
+if __name__ == "__main__":
+    main()

@@ -121,6 +121,12 @@ FlagSet run_flags() {
       .arg("pcap-dir", "<dir>", "", "dump cell<i>.pcap of each bottleneck")
       .arg("trace-dir", "<dir>", "",
            "dump cell<i>-<flow>.trace for traced flows")
+      .arg("metrics", "<file>", "",
+           "write the JSONL metrics time series here (forces sampling on)")
+      .arg("metrics-interval", "S", "0",
+           "sampling cadence in sim seconds (overrides [metrics] interval_s)")
+      .arg("chrome-trace", "<file>", "",
+           "write per-cell wall-clock phases as a chrome://tracing file")
       .toggle("dry-run", "expand and validate the grid without simulating")
       .toggle("json", "emit JSON on stdout");
   return fs;
@@ -340,13 +346,23 @@ std::string hex_digest(std::uint64_t digest) {
 }
 
 void emit_run_json(const std::string& path, const scenario::Scenario& sc,
-                   const std::vector<scenario::CellResult>& results) {
+                   const std::vector<scenario::CellResult>& results,
+                   const std::vector<exp::ParallelRunner::WorkerStats>& workers) {
   json::Writer w;
   w.begin_object();
   w.field("experiment", "run");
   w.field("file", path);
   w.field("scenario", sc.name());
   w.field("cells", static_cast<std::int64_t>(results.size()));
+  w.key("workers");
+  w.begin_array();
+  for (const auto& ws : workers) {
+    w.begin_object();
+    w.field("cells", static_cast<std::int64_t>(ws.cells));
+    w.field("busy_ms", ws.busy_us / 1000.0);
+    w.end_object();
+  }
+  w.end_array();
   w.key("results");
   w.begin_array();
   for (const scenario::CellResult& r : results) {
@@ -396,6 +412,17 @@ void emit_run_json(const std::string& path, const scenario::Scenario& sc,
       w.end_object();
     }
     w.end_array();
+    if (r.metrics_on) {
+      w.key("metrics");
+      w.begin_object();
+      w.field("interval_s", r.metrics_interval_s);
+      w.field("samples", static_cast<std::int64_t>(r.series.rows.size()));
+      w.key("summary");
+      w.begin_object();
+      obs::write_summary(w, r.summary);
+      w.end_object();
+      w.end_object();
+    }
     w.end_object();
   }
   w.end_array();
@@ -489,15 +516,25 @@ int cmd_run(const Flags& flags, const FlagSet& fs) {
   opts.threads = static_cast<int>(flags.get_int("threads", 0));
   opts.pcap_dir = flags.get_string("pcap-dir", "");
   opts.trace_dir = flags.get_string("trace-dir", "");
+  opts.metrics_path = flags.get_string("metrics", "");
+  opts.chrome_trace_path = flags.get_string("chrome-trace", "");
+  opts.metrics_interval_s = flags.get_double("metrics-interval", 0);
   try {
     for (const std::string& dir : {opts.pcap_dir, opts.trace_dir}) {
       if (!dir.empty()) std::filesystem::create_directories(dir);
     }
-    const auto results = scenario::run(sc, opts);
+    std::vector<exp::ParallelRunner::WorkerStats> workers;
+    const auto results = scenario::run(sc, opts, &workers);
     if (json_out) {
-      emit_run_json(path, sc, results);
+      emit_run_json(path, sc, results, workers);
     } else {
       emit_run_text(path, sc, results);
+      if (!opts.metrics_path.empty()) {
+        std::printf("metrics: %s\n", opts.metrics_path.c_str());
+      }
+      if (!opts.chrome_trace_path.empty()) {
+        std::printf("chrome trace: %s\n", opts.chrome_trace_path.c_str());
+      }
     }
     for (const scenario::CellResult& r : results) {
       for (const scenario::FlowResult& f : r.flows) {
