@@ -1,5 +1,7 @@
 #include "net/loss.h"
 
+#include <algorithm>
+
 namespace vegas::net {
 
 bool BurstLoss::drop(const Packet&) {
@@ -12,12 +14,14 @@ bool BurstLoss::drop(const Packet&) {
 }
 
 NthPacketLoss::NthPacketLoss(std::vector<std::uint64_t> ordinals)
-    : ordinals_(ordinals.begin(), ordinals.end()) {}
+    : ordinals_(std::move(ordinals)) {
+  std::sort(ordinals_.begin(), ordinals_.end());
+}
 
 bool NthPacketLoss::drop(const Packet& p) {
   if (!p.is_data()) return false;
   ++seen_;
-  return ordinals_.contains(seen_);
+  return std::binary_search(ordinals_.begin(), ordinals_.end(), seen_);
 }
 
 }  // namespace vegas::net

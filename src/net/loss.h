@@ -7,7 +7,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -59,7 +58,7 @@ class NthPacketLoss : public LossModel {
   std::uint64_t data_packets_seen() const { return seen_; }
 
  private:
-  std::unordered_set<std::uint64_t> ordinals_;
+  std::vector<std::uint64_t> ordinals_;  // sorted; membership by bisection
   std::uint64_t seen_ = 0;
 };
 

@@ -39,7 +39,10 @@ struct Pool {
   }
 };
 
-thread_local Pool t_pool;
+// Thread-confined free list: each worker recycles only packets it
+// allocated, and pointer identity never orders anything — reuse cannot
+// perturb event order or digests.
+thread_local Pool t_pool;  // lint: mutable-static-ok
 
 PacketPtr acquire_blank() {
   Packet* p = t_pool.acquire();

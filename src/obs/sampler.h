@@ -11,8 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "common/time.h"
 #include "obs/registry.h"
-#include "sim/time.h"
 
 namespace vegas::obs {
 

@@ -1,82 +1,9 @@
-// Simulated time.
+// Simulated time — forwarding header.
 //
-// Time is a strong type over signed 64-bit nanoseconds: fine enough that
-// Vegas' "fine-grained clock" is exact, wide enough for ~292 years of
-// simulated time.  Arithmetic is deliberately minimal — points and
-// durations share the representation (as in the BSD code the paper
-// modifies) but the helpers below keep call sites readable.
+// The Time strong type is hosted in src/common/time.h (the bottom
+// layer) so that obs — which must not depend on sim — can timestamp
+// samples; see the layering contract in tools/lint_layering.h.  Sim
+// callers keep including "sim/time.h" and spelling sim::Time.
 #pragma once
 
-#include <compare>
-#include <cstdint>
-#include <string>
-
-namespace vegas::sim {
-
-class Time {
- public:
-  constexpr Time() : ns_(0) {}
-
-  static constexpr Time nanoseconds(std::int64_t v) { return Time(v); }
-  static constexpr Time microseconds(std::int64_t v) { return Time(v * 1000); }
-  static constexpr Time milliseconds(std::int64_t v) {
-    return Time(v * 1000000);
-  }
-  static constexpr Time seconds(double v) {
-    return Time(static_cast<std::int64_t>(v * 1e9));
-  }
-  static constexpr Time zero() { return Time(0); }
-  static constexpr Time max() { return Time(INT64_MAX); }
-
-  constexpr std::int64_t ns() const { return ns_; }
-  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
-  constexpr double to_ms() const { return static_cast<double>(ns_) / 1e6; }
-
-  constexpr auto operator<=>(const Time&) const = default;
-
-  constexpr Time operator+(Time o) const { return Time(ns_ + o.ns_); }
-  constexpr Time operator-(Time o) const { return Time(ns_ - o.ns_); }
-  constexpr Time& operator+=(Time o) { ns_ += o.ns_; return *this; }
-  constexpr Time& operator-=(Time o) { ns_ -= o.ns_; return *this; }
-  constexpr Time operator*(std::int64_t k) const { return Time(ns_ * k); }
-  /// Multiplication by a real factor (kept off operator* to avoid
-  /// int/double overload ambiguity at call sites).
-  constexpr Time scaled(double k) const {
-    return Time(static_cast<std::int64_t>(static_cast<double>(ns_) * k));
-  }
-  constexpr Time operator/(std::int64_t k) const { return Time(ns_ / k); }
-  /// Ratio of two durations.
-  constexpr double operator/(Time o) const {
-    return static_cast<double>(ns_) / static_cast<double>(o.ns_);
-  }
-
- private:
-  constexpr explicit Time(std::int64_t ns) : ns_(ns) {}
-  std::int64_t ns_;
-};
-
-/// Time to transmit `bytes` at `bytes_per_second`.
-constexpr Time transmission_time(std::int64_t bytes, double bytes_per_second) {
-  return Time::seconds(static_cast<double>(bytes) / bytes_per_second);
-}
-
-inline std::string to_string(Time t) {
-  return std::to_string(t.to_seconds()) + "s";
-}
-
-namespace literals {
-constexpr Time operator""_ms(unsigned long long v) {
-  return Time::milliseconds(static_cast<std::int64_t>(v));
-}
-constexpr Time operator""_us(unsigned long long v) {
-  return Time::microseconds(static_cast<std::int64_t>(v));
-}
-constexpr Time operator""_sec(long double v) {
-  return Time::seconds(static_cast<double>(v));
-}
-constexpr Time operator""_sec(unsigned long long v) {
-  return Time::seconds(static_cast<double>(v));
-}
-}  // namespace literals
-
-}  // namespace vegas::sim
+#include "common/time.h"

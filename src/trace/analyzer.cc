@@ -4,7 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
-#include <unordered_set>
+#include <vector>
 
 #include "common/ensure.h"
 #include "tcp/observer.h"
@@ -45,19 +45,28 @@ std::vector<double> Analyzer::marks(EventKind kind) const {
 std::vector<double> Analyzer::presumed_loss_times() const {
   // A segment "presumed lost" is one whose offset was later re-sent; the
   // line is drawn at the ORIGINAL send time (Figure 2, item 6).
-  std::unordered_set<std::uint32_t> retransmitted;
+  // Membership sets are sorted vectors, not hash sets: results feed
+  // deterministic reports, so iteration/lookup order must never depend
+  // on hashing.
+  std::vector<std::uint32_t> retransmitted;
   for (const TraceEvent& e : buf_.events()) {
     if (e.kind == EventKind::kSegSent && e.aux != 0) {
-      retransmitted.insert(e.value);
+      retransmitted.push_back(e.value);
     }
   }
+  std::sort(retransmitted.begin(), retransmitted.end());
   std::vector<double> out;
-  std::unordered_set<std::uint32_t> emitted;
+  std::vector<std::uint32_t> emitted;  // offsets already reported, sorted
   for (const TraceEvent& e : buf_.events()) {
-    if (e.kind == EventKind::kSegSent && e.aux == 0 &&
-        retransmitted.contains(e.value) && emitted.insert(e.value).second) {
-      out.push_back(us_to_s(e.t_us));
+    if (e.kind != EventKind::kSegSent || e.aux != 0 ||
+        !std::binary_search(retransmitted.begin(), retransmitted.end(),
+                            e.value)) {
+      continue;
     }
+    const auto it = std::lower_bound(emitted.begin(), emitted.end(), e.value);
+    if (it != emitted.end() && *it == e.value) continue;
+    emitted.insert(it, e.value);
+    out.push_back(us_to_s(e.t_us));
   }
   return out;
 }

@@ -52,17 +52,18 @@ void TrafficSource::spawn() {
       client_.sim(), draw.type, std::move(draw.steps),
       [this](ScriptedConversation& c) { conversation_done(c); });
   ScriptedConversation* raw = conv.get();
-  conv->set_dispose([this](ScriptedConversation& c) {
+  const std::uint64_t id = next_conversation_id_++;
+  conv->set_dispose([this, id](ScriptedConversation& c) {
     ScriptedConversation* p = &c;
     // Deferred: we are inside the conversation's own call stack.
-    client_.sim().schedule(sim::Time::zero(), [this, p] {
+    client_.sim().schedule(sim::Time::zero(), [this, id, p] {
       for (auto it = pending_accept_.begin(); it != pending_accept_.end();) {
         it = it->second == p ? pending_accept_.erase(it) : std::next(it);
       }
-      live_.erase(p);
+      live_.erase(id);
     });
   });
-  live_.emplace(raw, std::move(conv));
+  live_.emplace(id, std::move(conv));
   ++stats_.started;
   ++stats_.by_type[raw->type()];
 

@@ -62,7 +62,10 @@ class TrafficSource {
   WorkloadSampler sampler_;
   Stats stats_;
   std::map<PortNum, ScriptedConversation*> pending_accept_;
-  std::map<ScriptedConversation*, std::unique_ptr<ScriptedConversation>> live_;
+  // Keyed by spawn ordinal, not pointer: the map's order (and hence
+  // teardown order) must be run-to-run deterministic.
+  std::map<std::uint64_t, std::unique_ptr<ScriptedConversation>> live_;
+  std::uint64_t next_conversation_id_ = 1;
   bool listening_ = false;
 };
 

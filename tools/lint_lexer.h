@@ -1,0 +1,199 @@
+// Minimal C++ lexer for the vegas_lint static-analysis suite.
+//
+// The first generation of vegas_lint matched rules against a
+// comment/literal-stripped copy of each file with raw substring scans.
+// That design could not answer questions the newer rules need — "is
+// this `function` preceded by `std::`?", "what is the first template
+// argument of this `std::map<`?", "is this `[&]` inside a call to
+// schedule()?" — without re-deriving token boundaries at every rule.
+//
+// lex() produces a proper token stream instead: identifiers,
+// pp-numbers, string/char literals (including raw strings), and
+// punctuation, each carrying its byte offset and 1-based line in the
+// ORIGINAL source.  Comment text and literal *contents* never appear as
+// tokens, so no rule can ever match inside a comment or a string again;
+// literals survive as single opaque tokens (kString/kChar) because a
+// few rules care that a literal is present, never what it says.
+//
+// Deliberate simplifications, safe for linting (not compiling):
+//  - Punctuation is single-char except `::`, which rules consult
+//    constantly (qualified-name detection).  `>>` closing two template
+//    levels therefore arrives as two `>` tokens — exactly what the
+//    template-depth scans want.
+//  - Preprocessor directives are lexed like ordinary code: `#` is a
+//    punct token, `include` an identifier.  The include-graph checker
+//    and the header-ban rules pattern-match those directly.
+//  - No trigraphs, no UCNs, no digit separators beyond `'` inside
+//    pp-numbers.  None occur in this codebase.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vegas::lint {
+
+enum class Tok : unsigned char {
+  kIdent,   // identifiers and keywords
+  kNumber,  // pp-number: 1, 0x1f, 1e-9, 1'000, 2.5
+  kString,  // "..." or R"delim(...)delim", quotes included, contents opaque
+  kChar,    // '...'
+  kPunct,   // single punctuation char, or `::`
+};
+
+struct Token {
+  Tok kind;
+  std::string_view text;  // slice of the original source
+  std::size_t pos = 0;    // byte offset of the first char
+  int line = 1;           // 1-based line of the first char
+};
+
+namespace lexdetail {
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+inline bool digit(char c) {
+  return std::isdigit(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace lexdetail
+
+/// Lexes `src` into a token stream.  Never fails: bytes that fit no
+/// category (stray backslashes, unterminated literals at EOF) are
+/// consumed without producing tokens, which is the right degradation
+/// for a linter.
+inline std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  out.reserve(src.size() / 6);
+  std::size_t i = 0;
+  int line = 1;
+  const auto peek = [&](std::size_t k) -> char {
+    return i + k < src.size() ? src[i + k] : '\0';
+  };
+  const auto count_lines = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end && j < src.size(); ++j) {
+      if (src[j] == '\n') ++line;
+    }
+  };
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < src.size() && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      const std::size_t end = j + 1 < src.size() ? j + 2 : src.size();
+      count_lines(i, end);
+      i = end;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".  The R must begin the
+    // identifier (LR"(, u8R"( etc. also qualify; plain fooR"( does not,
+    // but an identifier ending in R followed by a string does not occur
+    // outside generated code).
+    if (c == '"' && i > 0 && src[i - 1] == 'R' &&
+        (i < 2 || !lexdetail::ident_char(src[i - 2]) || src[i - 2] == '8' ||
+         src[i - 2] == 'u' || src[i - 2] == 'U' || src[i - 2] == 'L')) {
+      // NOTE: the R itself was already emitted as (part of) an
+      // identifier token; the string token starts at the quote.
+      std::string delim;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != '(' && src[j] != '"' &&
+             src[j] != '\n' && delim.size() < 16) {
+        delim += src[j++];
+      }
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = src.find(close, j);
+      end = end == std::string_view::npos ? src.size() : end + close.size();
+      out.push_back({Tok::kString, src.substr(i, end - i), i, line});
+      count_lines(i, end);
+      i = end;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != quote && src[j] != '\n') {
+        j += src[j] == '\\' ? 2 : 1;
+      }
+      const std::size_t end = j < src.size() ? j + 1 : src.size();
+      out.push_back({quote == '"' ? Tok::kString : Tok::kChar,
+                     src.substr(i, end - i), i, line});
+      count_lines(i, end);
+      i = end;
+      continue;
+    }
+    if (lexdetail::ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < src.size() && lexdetail::ident_char(src[j])) ++j;
+      out.push_back({Tok::kIdent, src.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    if (lexdetail::digit(c) || (c == '.' && lexdetail::digit(peek(1)))) {
+      // pp-number: digits, idents chars, quotes-as-separators, dots,
+      // and exponent signs after e/E/p/P.
+      std::size_t j = i + 1;
+      while (j < src.size()) {
+        const char d = src[j];
+        if (lexdetail::ident_char(d) || d == '.' || d == '\'') {
+          ++j;
+        } else if ((d == '+' || d == '-') &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      out.push_back({Tok::kNumber, src.substr(i, j - i), i, line});
+      i = j;
+      continue;
+    }
+    if (c == ':' && peek(1) == ':') {
+      out.push_back({Tok::kPunct, src.substr(i, 2), i, line});
+      i += 2;
+      continue;
+    }
+    if (std::ispunct(static_cast<unsigned char>(c)) != 0) {
+      out.push_back({Tok::kPunct, src.substr(i, 1), i, line});
+      ++i;
+      continue;
+    }
+    ++i;  // anything else (non-ASCII bytes in comments already skipped)
+  }
+  return out;
+}
+
+/// True when the original-source line containing byte `pos` carries
+/// `marker`.  Opt-out markers live in comments, which the lexer drops,
+/// so this consults the raw contents.
+inline bool line_has_marker(std::string_view contents, std::size_t pos,
+                            std::string_view marker) {
+  if (pos > contents.size()) return false;
+  const std::size_t bol = contents.rfind('\n', pos) + 1;  // npos+1 == 0
+  std::size_t eol = contents.find('\n', pos);
+  if (eol == std::string_view::npos) eol = contents.size();
+  return contents.substr(bol, eol - bol).find(marker) !=
+         std::string_view::npos;
+}
+
+}  // namespace vegas::lint

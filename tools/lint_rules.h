@@ -1,55 +1,78 @@
 // vegas_lint rule engine (header-only so tests can drive it directly).
 //
-// Repo-specific source rules that neither the compiler nor clang-tidy
-// enforce:
+// Rules are token-stream hooks over the lexer in tools/lint_lexer.h:
+// each rule walks the lexed token vector of one file, so nothing ever
+// matches inside a comment or a string literal, and qualified-name /
+// template-argument questions are answered from real token structure
+// instead of substring guesses.
 //
-//   raw-new / raw-delete   Ownership goes through std::unique_ptr /
-//                          containers everywhere in this codebase; a raw
-//                          new or delete expression is a leak waiting for
-//                          an early return.  (`= delete` declarations are
-//                          fine.)
+// Every rule can be silenced on a single line with a comment marker of
+// the form `lint: <rule>-ok` (e.g. `// lint: unordered-container-ok`).
+// The marker covers exactly the line it is on — blanket opt-outs are
+// deliberately impossible.
+//
+// Rule catalog (rationale lives in docs/STATIC_ANALYSIS.md):
+//
+//   raw-new / raw-delete   ownership is RAII everywhere here; a raw new
+//                          or delete expression is a leak waiting for an
+//                          early return (`= delete` declarations are
+//                          fine).
 //   assert                 ensure() (common/ensure.h) is the invariant
-//                          check here: always on, message-carrying, and
-//                          source-located.  assert() vanishes under
-//                          NDEBUG, which is exactly when the benches run.
-//   wall-clock             Everything under src/ must be driven purely
-//                          by simulated time and seeded RNG streams
-//                          (common/rng.h): any std::rand/time()/chrono
-//                          clock read makes runs irreproducible and
-//                          breaks the determinism harness (src/check).
-//                          The ONE sanctioned wall-clock site is src/obs
-//                          (obs::Profiler) — wall time there flows
-//                          strictly out of the simulation, never back in.
+//                          check: always on, message-carrying.  assert()
+//                          vanishes under NDEBUG — exactly when benches
+//                          run.
+//   wall-clock             src/ runs on simulated time only; any
+//                          time()/chrono clock read breaks reproducible
+//                          runs.  The ONE sanctioned wall-clock site is
+//                          src/obs (obs::Profiler).
+//   raw-rng                all randomness flows through the seeded,
+//                          named rng::Stream facade (src/common/rng) so
+//                          draws are reproducible and per-component
+//                          isolated; rand()/std::random_device/direct
+//                          <random> engines anywhere else in src/ are
+//                          hidden nondeterminism.
 //   std-function           src/sim and src/tcp sit on the timer-arm /
 //                          packet-demux hot path: type-erased callbacks
-//                          there are common::SmallFn (inline storage, no
-//                          alloc on rearm), not std::function.  Deliberate
-//                          control-path callbacks (accept hooks, per-
-//                          connection app callbacks, factories) opt out
-//                          with a `lint: std-function-ok` marker on the
-//                          same line.
-//   adhoc-stats            Per-subsystem `struct FooStats { uint64 ... }`
-//                          counter bundles in src/sim|src/net predate the
-//                          metrics registry; new counters belong in
-//                          obs::Counter cells bound to an obs::Registry
-//                          (src/obs, docs/OBSERVABILITY.md) so samplers
-//                          and exporters see them.  Genuinely un-bindable
-//                          cases (e.g. thread-local pools that outlive
-//                          any run's registry) opt out with a
-//                          `lint: adhoc-stats-ok` marker on the same
-//                          line.
+//                          there are common::SmallFn, not std::function.
+//   adhoc-stats            counter bundles in src/sim|src/net belong in
+//                          obs::Counter cells bound to an obs::Registry.
+//   unordered-container    std::unordered_{map,set,...} iterate in
+//                          hash/rehash order, which varies with insert
+//                          history and implementation — banned on sim
+//                          paths where any iteration could leak order
+//                          into event scheduling or output.
+//   pointer-keyed          ordering a container by pointer value
+//                          (std::map<T*, ...>, std::set<T*>,
+//                          std::less<T*>) orders by allocator addresses:
+//                          run-to-run nondeterministic by construction.
+//   mutable-static         mutable function-local statics, thread_local
+//                          and non-const static globals are hidden
+//                          cross-run (and, for the coming sharded
+//                          executor, cross-shard) state; sim-path state
+//                          must live in objects owned by the run.
+//   ref-capture            a blanket [&] capture handed to a deferred
+//                          callback (schedule()/after()/timers) dangles
+//                          the moment the enclosing frame returns before
+//                          the event fires; deferred closures capture by
+//                          value (or [this]).
 //
-// The scanner strips comments, string and char literals first, then
-// matches word-bounded tokens, so prose like "new data" or gtest's
-// ASSERT_TRUE never trips it.
+// The determinism family (unordered-container, pointer-keyed,
+// mutable-static) guards the contract the sharded parallel executor
+// will be built on (ROADMAP "sharded deterministic simulation"): its
+// zone is the sim-path layers src/{sim,net,tcp,core,scenario,trace,
+// traffic}.  src/obs is the sanctioned wall-clock site, src/exp hosts
+// the (threaded) harness, src/check is an observer — those three are
+// covered by the narrower rules that apply to them.
 #pragma once
 
 #include <algorithm>
-#include <cctype>
+#include <array>
 #include <cstddef>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "tools/lint_lexer.h"
 
 namespace vegas::lint {
 
@@ -60,265 +83,391 @@ struct Finding {
   std::string detail;
 };
 
-/// Replaces comments and string/char literal contents with spaces,
-/// preserving newlines so reported line numbers stay true.  Handles //,
-/// /* */, escapes inside literals, and R"( ... )" raw strings.
-inline std::string strip_comments_and_literals(std::string_view src) {
-  std::string out(src.size(), ' ');
-  enum class St { kCode, kLineComment, kBlockComment, kString, kChar, kRaw };
-  St st = St::kCode;
-  std::string raw_delim;  // for R"delim( ... )delim"
-  for (std::size_t i = 0; i < src.size(); ++i) {
-    const char c = src[i];
-    if (c == '\n') out[i] = '\n';
-    switch (st) {
-      case St::kCode:
-        if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
-          st = St::kLineComment;
-        } else if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
-          st = St::kBlockComment;
-          ++i;
-        } else if (c == '"' && i > 0 && src[i - 1] == 'R') {
-          st = St::kRaw;
-          raw_delim.clear();
-          std::size_t j = i + 1;
-          while (j < src.size() && src[j] != '(') raw_delim += src[j++];
-          out[i] = '"';
-          i = j;  // skip past the opening parenthesis
-        } else if (c == '"') {
-          st = St::kString;
-          out[i] = '"';
-        } else if (c == '\'') {
-          st = St::kChar;
-          out[i] = '\'';
-        } else {
-          out[i] = c;
-        }
-        break;
-      case St::kLineComment:
-        if (c == '\n') st = St::kCode;
-        break;
-      case St::kBlockComment:
-        if (c == '*' && i + 1 < src.size() && src[i + 1] == '/') {
-          st = St::kCode;
-          ++i;
-        }
-        break;
-      case St::kString:
-        if (c == '\\') {
-          ++i;
-          if (i < src.size() && src[i] == '\n') out[i] = '\n';
-        } else if (c == '"') {
-          st = St::kCode;
-          out[i] = '"';
-        }
-        break;
-      case St::kChar:
-        if (c == '\\') {
-          ++i;
-        } else if (c == '\'') {
-          st = St::kCode;
-          out[i] = '\'';
-        }
-        break;
-      case St::kRaw: {
-        const std::string close = ")" + raw_delim + "\"";
-        if (src.compare(i, close.size(), close) == 0) {
-          st = St::kCode;
-          i += close.size() - 1;
-          out[i] = '"';
-        }
-        break;
-      }
-    }
-  }
-  return out;
-}
+/// Everything a rule hook sees: the file's path (repo-relative, forward
+/// slashes — rules scope themselves by it), raw contents (for opt-out
+/// marker lookup), and the lexed token stream.
+struct RuleCtx {
+  const std::string& path;
+  std::string_view contents;
+  const std::vector<Token>& toks;
+};
 
 namespace detail {
 
-inline bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+inline bool is_ident(const Token& t, std::string_view name) {
+  return t.kind == Tok::kIdent && t.text == name;
+}
+inline bool is_punct(const Token& t, std::string_view p) {
+  return t.kind == Tok::kPunct && t.text == p;
 }
 
-/// Positions of word-bounded occurrences of `token` in `text`.
-inline std::vector<std::size_t> find_token(std::string_view text,
-                                           std::string_view token) {
-  std::vector<std::size_t> hits;
-  std::size_t pos = 0;
-  while ((pos = text.find(token, pos)) != std::string_view::npos) {
-    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= text.size() || !ident_char(text[end]);
-    if (left_ok && right_ok) hits.push_back(pos);
-    pos = end;
+/// True when toks[i] is preceded by `std::`.
+inline bool std_qualified(const std::vector<Token>& toks, std::size_t i) {
+  return i >= 2 && is_punct(toks[i - 1], "::") && is_ident(toks[i - 2], "std");
+}
+
+inline bool in_any_dir(std::string_view path,
+                       std::initializer_list<std::string_view> dirs) {
+  for (const std::string_view d : dirs) {
+    if (path.find(d) != std::string_view::npos) return true;
   }
-  return hits;
+  return false;
 }
 
-inline int line_of(std::string_view text, std::size_t pos) {
-  return 1 + static_cast<int>(std::count(text.begin(),
-                                         text.begin() +
-                                             static_cast<std::ptrdiff_t>(pos),
-                                         '\n'));
-}
-
-/// First non-space character before `pos`, or '\0'.
-inline char prev_nonspace(std::string_view text, std::size_t pos) {
-  while (pos > 0) {
-    const char c = text[--pos];
-    if (c != ' ' && c != '\t' && c != '\n') return c;
-  }
-  return '\0';
-}
-
-/// First non-space character at or after `pos`, or '\0'.
-inline char next_nonspace(std::string_view text, std::size_t pos) {
-  while (pos < text.size()) {
-    const char c = text[pos++];
-    if (c != ' ' && c != '\t' && c != '\n') return c;
-  }
-  return '\0';
-}
-
-/// True when the original-source line containing `pos` carries `marker`.
-/// Opt-out markers live in comments, which the stripper blanks, so this
-/// consults the unstripped contents (offsets are identical by design).
-inline bool line_has_marker(std::string_view contents, std::size_t pos,
-                            std::string_view marker) {
-  const std::size_t bol = contents.rfind('\n', pos) + 1;  // npos+1 == 0
-  std::size_t eol = contents.find('\n', pos);
-  if (eol == std::string_view::npos) eol = contents.size();
-  return contents.substr(bol, eol - bol).find(marker) !=
-         std::string_view::npos;
+/// Appends a finding unless the line carries the rule's opt-out marker
+/// (`lint: <rule>-ok`).
+inline void add(const RuleCtx& ctx, std::vector<Finding>& out,
+                const Token& at, const char* rule,
+                const std::string& detail) {
+  const std::string marker = std::string("lint: ") + rule + "-ok";
+  if (line_has_marker(ctx.contents, at.pos, marker)) return;
+  out.push_back(Finding{ctx.path, at.line, rule, detail});
 }
 
 }  // namespace detail
 
-/// True for paths the wall-clock/randomness ban applies to: all of src/
-/// except src/obs, the one sanctioned wall-clock site (obs::Profiler).
-inline bool deterministic_zone(std::string_view path) {
+// ---------------------------------------------------------------------------
+// Rule zones.  Paths are repo-relative with forward slashes.
+
+/// Wall-clock ban: all of src/ except src/obs (obs::Profiler is the one
+/// sanctioned site; wall time there flows out of the simulation, never
+/// back in).
+inline bool wall_clock_zone(std::string_view path) {
   return path.find("src/") != std::string_view::npos &&
          path.find("src/obs/") == std::string_view::npos;
 }
 
-/// True for paths the ad-hoc stats rule applies to: the subsystems whose
-/// counters the metrics registry already covers.
+/// Raw-RNG ban: all of src/ except the rng facade itself.
+inline bool raw_rng_zone(std::string_view path) {
+  return path.find("src/") != std::string_view::npos &&
+         path.find("src/common/rng") == std::string_view::npos;
+}
+
+/// Determinism family (unordered-container, pointer-keyed,
+/// mutable-static): every layer on the simulation path.
+inline bool determinism_zone(std::string_view path) {
+  return detail::in_any_dir(
+      path, {"src/sim/", "src/net/", "src/tcp/", "src/core/",
+             "src/scenario/", "src/trace/", "src/traffic/"});
+}
+
+/// Ref-capture hazard: all of src/ (deferred callbacks exist at every
+/// layer; tests/bench manage lifetimes inside one stack frame).
+inline bool ref_capture_zone(std::string_view path) {
+  return path.find("src/") != std::string_view::npos;
+}
+
+/// Ad-hoc stats: the subsystems whose counters the metrics registry
+/// already covers.
 inline bool registry_zone(std::string_view path) {
-  return path.find("src/sim/") != std::string_view::npos ||
-         path.find("src/net/") != std::string_view::npos;
+  return detail::in_any_dir(path, {"src/sim/", "src/net/"});
 }
 
-/// True for paths the std::function ban applies to: timer arming
-/// (src/sim) and per-packet demux/transmit (src/tcp), where callbacks
-/// must be common::SmallFn so steady-state churn never allocates.
+/// std::function ban: timer arming (src/sim) and per-packet
+/// demux/transmit (src/tcp), where callbacks must be common::SmallFn.
 inline bool smallfn_zone(std::string_view path) {
-  return path.find("src/sim/") != std::string_view::npos ||
-         path.find("src/tcp/") != std::string_view::npos;
+  return detail::in_any_dir(path, {"src/sim/", "src/tcp/"});
 }
 
-/// Scans one file's contents.  `path` is used for reporting and for the
-/// path-scoped rules.
+// ---------------------------------------------------------------------------
+// Rule hooks.
+
+inline void rule_raw_new(const RuleCtx& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    if (detail::is_ident(ctx.toks[i], "new")) {
+      detail::add(ctx, out, ctx.toks[i], "raw-new",
+                  "raw new expression; use std::make_unique or a container");
+    }
+  }
+}
+
+inline void rule_raw_delete(const RuleCtx& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    if (!detail::is_ident(ctx.toks[i], "delete")) continue;
+    if (i > 0 && detail::is_punct(ctx.toks[i - 1], "=")) continue;
+    detail::add(ctx, out, ctx.toks[i], "raw-delete",
+                "raw delete expression; ownership must be RAII-managed");
+  }
+}
+
+inline void rule_assert(const RuleCtx& ctx, std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    const bool call =
+        detail::is_ident(t, "assert") && i + 1 < ctx.toks.size() &&
+        (detail::is_punct(ctx.toks[i + 1], "(") ||
+         detail::is_punct(ctx.toks[i + 1], "."));  // <assert.h>
+    if (call || detail::is_ident(t, "cassert")) {
+      detail::add(ctx, out, t, "assert",
+                  "use vegas::ensure() (common/ensure.h), not assert()");
+    }
+  }
+}
+
+inline void rule_wall_clock(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!wall_clock_zone(ctx.path)) return;
+  static constexpr std::string_view kClockIdents[] = {
+      "gettimeofday", "clock_gettime", "system_clock", "steady_clock",
+      "high_resolution_clock"};
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    for (const std::string_view id : kClockIdents) {
+      if (t.text == id) {
+        detail::add(ctx, out, t, "wall-clock",
+                    std::string(id) +
+                        " under src/; use sim::Time (wall-clock profiling "
+                        "lives in src/obs)");
+      }
+    }
+    // The C library call `time(...)`: not a member (`.time()`), not a
+    // qualified name (`sim::time` does not occur; `Time` never matches).
+    if (t.text == "time" && i + 1 < ctx.toks.size() &&
+        detail::is_punct(ctx.toks[i + 1], "(") &&
+        (i == 0 || (!detail::is_punct(ctx.toks[i - 1], ".") &&
+                    !detail::is_punct(ctx.toks[i - 1], "::")))) {
+      detail::add(ctx, out, t, "wall-clock",
+                  "time() under src/; use sim::Time (wall-clock profiling "
+                  "lives in src/obs)");
+    }
+  }
+}
+
+inline void rule_raw_rng(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!raw_rng_zone(ctx.path)) return;
+  static constexpr std::string_view kEngines[] = {
+      "rand",          "srand",         "random_device",
+      "mt19937",       "mt19937_64",    "minstd_rand",
+      "minstd_rand0",  "ranlux24",      "ranlux48",
+      "ranlux24_base", "ranlux48_base", "knuth_b",
+      "default_random_engine"};
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    for (const std::string_view id : kEngines) {
+      if (t.text == id) {
+        detail::add(ctx, out, t, "raw-rng",
+                    std::string(id) +
+                        " outside src/common/rng; draw from a named, seeded "
+                        "rng::Stream instead");
+      }
+    }
+    // #include <random> — direct engine access; the facade wraps it.
+    if (t.text == "random" && i >= 2 && detail::is_punct(ctx.toks[i - 1], "<") &&
+        detail::is_ident(ctx.toks[i - 2], "include")) {
+      detail::add(ctx, out, t, "raw-rng",
+                  "#include <random> outside src/common/rng; use the "
+                  "rng::Stream facade");
+    }
+  }
+}
+
+inline void rule_std_function(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!smallfn_zone(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    if (detail::is_ident(ctx.toks[i], "function") &&
+        detail::std_qualified(ctx.toks, i)) {
+      detail::add(ctx, out, ctx.toks[i - 2], "std-function",
+                  "std::function on a src/sim|src/tcp hot path; use "
+                  "common::SmallFn (or mark a control-path callback "
+                  "`// lint: std-function-ok`)");
+    }
+  }
+}
+
+inline void rule_adhoc_stats(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!registry_zone(ctx.path)) return;
+  for (std::size_t i = 0; i + 1 < ctx.toks.size(); ++i) {
+    if (!detail::is_ident(ctx.toks[i], "struct")) continue;
+    const Token& name = ctx.toks[i + 1];
+    if (name.kind != Tok::kIdent || name.text.size() < 5 ||
+        name.text.substr(name.text.size() - 5) != "Stats") {
+      continue;
+    }
+    // Definitions only: a forward declaration or `struct FooStats x;` is
+    // someone consuming a type, not introducing one.
+    if (i + 2 >= ctx.toks.size() ||
+        (!detail::is_punct(ctx.toks[i + 2], "{") &&
+         !detail::is_punct(ctx.toks[i + 2], ":"))) {
+      continue;
+    }
+    detail::add(ctx, out, ctx.toks[i], "adhoc-stats",
+                "ad-hoc " + std::string(name.text) +
+                    " counter struct in src/sim|src/net; use obs::Counter "
+                    "cells bound to an obs::Registry (docs/OBSERVABILITY.md), "
+                    "or mark `// lint: adhoc-stats-ok`");
+  }
+}
+
+inline void rule_unordered_container(const RuleCtx& ctx,
+                                     std::vector<Finding>& out) {
+  if (!determinism_zone(ctx.path)) return;
+  static constexpr std::string_view kUnordered[] = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    for (const std::string_view id : kUnordered) {
+      if (t.text == id) {
+        detail::add(ctx, out, t, "unordered-container",
+                    "std::" + std::string(id) +
+                        " on a sim path iterates in hash order "
+                        "(nondeterministic); use common::FlatMap, a sorted "
+                        "vector, or std::map/std::set");
+      }
+    }
+  }
+}
+
+inline void rule_pointer_keyed(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!determinism_zone(ctx.path)) return;
+  static constexpr std::string_view kOrdered[] = {"map", "set", "multimap",
+                                                  "multiset", "less",
+                                                  "greater"};
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (t.kind != Tok::kIdent || !detail::std_qualified(ctx.toks, i)) continue;
+    bool ordered = false;
+    for (const std::string_view id : kOrdered) ordered |= t.text == id;
+    if (!ordered || i + 1 >= ctx.toks.size() ||
+        !detail::is_punct(ctx.toks[i + 1], "<")) {
+      continue;
+    }
+    // Scan the FIRST template argument (the key type — or, for
+    // std::less/greater, the compared type); a `*` anywhere in it means
+    // ordering by pointer value.
+    int depth = 1;
+    bool pointer = false;
+    for (std::size_t j = i + 2; j < ctx.toks.size() && depth > 0; ++j) {
+      const Token& u = ctx.toks[j];
+      if (detail::is_punct(u, "<")) ++depth;
+      else if (detail::is_punct(u, ">")) --depth;
+      else if (detail::is_punct(u, ",") && depth == 1) break;
+      else if (detail::is_punct(u, "*")) pointer = true;
+      else if (detail::is_punct(u, ";") || detail::is_punct(u, "{")) break;
+    }
+    if (pointer) {
+      detail::add(ctx, out, t, "pointer-keyed",
+                  "std::" + std::string(t.text) +
+                      " ordered by pointer value: iteration follows "
+                      "allocator addresses (run-to-run nondeterministic); "
+                      "key by a stable id instead");
+    }
+  }
+}
+
+inline void rule_mutable_static(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!determinism_zone(ctx.path)) return;
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (!detail::is_ident(t, "static") && !detail::is_ident(t, "thread_local"))
+      continue;
+    // Scan the declaration up to `;`, `=`, or `{`.  const/constexpr
+    // anywhere before that makes it immutable; a `(` first means a
+    // function declaration (pure code, not state).
+    bool immutable = false;
+    bool function = false;
+    for (std::size_t j = i + 1; j < ctx.toks.size(); ++j) {
+      const Token& u = ctx.toks[j];
+      if (detail::is_ident(u, "const") || detail::is_ident(u, "constexpr") ||
+          detail::is_ident(u, "constinit") || detail::is_ident(u, "consteval")) {
+        immutable = true;
+        break;
+      }
+      if (detail::is_punct(u, "(")) {
+        function = true;
+        break;
+      }
+      if (detail::is_punct(u, ";") || detail::is_punct(u, "=") ||
+          detail::is_punct(u, "{")) {
+        break;
+      }
+    }
+    if (immutable || function) continue;
+    detail::add(ctx, out, t, "mutable-static",
+                std::string(t.text) +
+                    " mutable state on a sim path; runs must not share "
+                    "hidden state — own it in the run's objects (or mark "
+                    "`// lint: mutable-static-ok` with a determinism "
+                    "justification)");
+  }
+}
+
+inline void rule_ref_capture(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!ref_capture_zone(ctx.path)) return;
+  // Calls whose callable argument outlives the calling stack frame.
+  static constexpr std::string_view kDeferred[] = {
+      "schedule", "schedule_at", "schedule_timer", "after", "every"};
+  std::vector<std::string_view> calls;  // innermost enclosing call names
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (detail::is_punct(t, "(")) {
+      calls.push_back(i > 0 && ctx.toks[i - 1].kind == Tok::kIdent
+                          ? ctx.toks[i - 1].text
+                          : std::string_view());
+    } else if (detail::is_punct(t, ")")) {
+      if (!calls.empty()) calls.pop_back();
+    } else if (detail::is_punct(t, "[") && i + 2 < ctx.toks.size() &&
+               detail::is_punct(ctx.toks[i + 1], "&") &&
+               (detail::is_punct(ctx.toks[i + 2], "]") ||
+                detail::is_punct(ctx.toks[i + 2], ","))) {
+      if (calls.empty()) continue;
+      bool deferred = false;
+      for (const std::string_view d : kDeferred) deferred |= calls.back() == d;
+      if (deferred) {
+        detail::add(ctx, out, t, "ref-capture",
+                    "[&] capture in a deferred callback passed to " +
+                        std::string(calls.back()) +
+                        "(): the frame may be gone when it fires; capture "
+                        "by value/[this] (or mark `// lint: ref-capture-ok` "
+                        "if the captured scope provably outlives the run)");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+
+using RuleFn = void (*)(const RuleCtx&, std::vector<Finding>&);
+
+struct Rule {
+  const char* id;
+  RuleFn fn;
+};
+
+/// Every registered rule, in reporting order.  (The layering and
+/// include-cycle rules live in tools/lint_layering.h — they are
+/// whole-graph, not per-file.)
+inline const std::vector<Rule>& all_rules() {
+  static const std::vector<Rule> kRules = {
+      {"raw-new", rule_raw_new},
+      {"raw-delete", rule_raw_delete},
+      {"assert", rule_assert},
+      {"wall-clock", rule_wall_clock},
+      {"raw-rng", rule_raw_rng},
+      {"std-function", rule_std_function},
+      {"adhoc-stats", rule_adhoc_stats},
+      {"unordered-container", rule_unordered_container},
+      {"pointer-keyed", rule_pointer_keyed},
+      {"mutable-static", rule_mutable_static},
+      {"ref-capture", rule_ref_capture},
+  };
+  return kRules;
+}
+
+/// Scans one file's contents with every rule.  `path` is repo-relative
+/// with forward slashes; it scopes the path-scoped rules.
 inline std::vector<Finding> scan_source(const std::string& path,
                                         std::string_view contents) {
   std::vector<Finding> findings;
-  const std::string code = strip_comments_and_literals(contents);
-  const auto add = [&](std::size_t pos, const char* rule,
-                       const std::string& detail) {
-    findings.push_back(
-        Finding{path, detail::line_of(code, pos), rule, detail});
-  };
-
-  for (const std::size_t pos : detail::find_token(code, "new")) {
-    // A new-expression is `new T...`; `operator new` declarations do not
-    // occur in this codebase, so every word-bounded `new` counts.
-    add(pos, "raw-new",
-        "raw new expression; use std::make_unique or a container");
-  }
-  for (const std::size_t pos : detail::find_token(code, "delete")) {
-    if (detail::prev_nonspace(code, pos) == '=') continue;  // = delete
-    add(pos, "raw-delete",
-        "raw delete expression; ownership must be RAII-managed");
-  }
-  for (const std::size_t pos : detail::find_token(code, "assert")) {
-    const char next = detail::next_nonspace(code, pos + 6);
-    // Matches assert(...) calls and <assert.h>-style includes; gtest's
-    // ASSERT_* and static_assert have identifier characters adjoining
-    // and never reach here.
-    if (next != '(' && next != '.') continue;
-    add(pos, "assert", "use vegas::ensure() (common/ensure.h), not assert()");
-  }
-  for (const std::size_t pos : detail::find_token(code, "cassert")) {
-    add(pos, "assert", "use vegas::ensure() (common/ensure.h), not assert()");
-  }
-
-  if (deterministic_zone(path)) {
-    static constexpr std::string_view kClockTokens[] = {
-        "rand", "srand", "random_device", "gettimeofday", "clock_gettime",
-        "system_clock", "steady_clock", "high_resolution_clock"};
-    for (const std::string_view tok : kClockTokens) {
-      for (const std::size_t pos : detail::find_token(code, tok)) {
-        add(pos, "wall-clock",
-            std::string(tok) + " under src/; use sim::Time and rng::Stream "
-                               "(wall-clock profiling lives in src/obs)");
-      }
-    }
-    for (const std::size_t pos : detail::find_token(code, "time")) {
-      const char next = detail::next_nonspace(code, pos + 4);
-      const char prev = detail::prev_nonspace(code, pos);
-      // Only the C library call: `time(...)` not preceded by `.`, `:`
-      // or `_` (sim::Time's spelling is capitalised and never matches).
-      if (next != '(' || prev == '.' || prev == ':') continue;
-      add(pos, "wall-clock",
-          "time() under src/; use sim::Time and rng::Stream "
-          "(wall-clock profiling lives in src/obs)");
-    }
-  }
-
-  if (registry_zone(path)) {
-    for (const std::size_t pos : detail::find_token(code, "struct")) {
-      std::size_t j = pos + 6;
-      while (j < code.size() && (code[j] == ' ' || code[j] == '\t' ||
-                                 code[j] == '\n')) {
-        ++j;
-      }
-      const std::size_t name_begin = j;
-      while (j < code.size() && detail::ident_char(code[j])) ++j;
-      const std::string_view name =
-          std::string_view(code).substr(name_begin, j - name_begin);
-      if (name.size() < 5 || name.substr(name.size() - 5) != "Stats") {
-        continue;
-      }
-      // Definitions only: a forward declaration or a `struct FooStats x;`
-      // spelling is someone consuming a type, not introducing one.
-      const char next = detail::next_nonspace(code, j);
-      if (next != '{' && next != ':') continue;
-      if (detail::line_has_marker(contents, pos, "lint: adhoc-stats-ok") ||
-          detail::line_has_marker(contents, name_begin,
-                                  "lint: adhoc-stats-ok")) {
-        continue;
-      }
-      add(pos, "adhoc-stats",
-          "ad-hoc " + std::string(name) +
-              " counter struct in src/sim|src/net; use obs::Counter cells "
-              "bound to an obs::Registry (docs/OBSERVABILITY.md), or mark "
-              "`// lint: adhoc-stats-ok`");
-    }
-  }
-
-  if (smallfn_zone(path)) {
-    for (const std::size_t pos : detail::find_token(code, "function")) {
-      // Only the std:: spelling counts (`<functional>` never matches:
-      // `functional` is one identifier, so the token scan skips it).
-      if (pos < 5 || code.compare(pos - 5, 5, "std::") != 0) continue;
-      if (detail::line_has_marker(contents, pos, "lint: std-function-ok")) {
-        continue;
-      }
-      add(pos - 5, "std-function",
-          "std::function on a src/sim|src/tcp hot path; use common::SmallFn "
-          "(or mark a control-path callback `// lint: std-function-ok`)");
-    }
-  }
+  const std::vector<Token> toks = lex(contents);
+  const RuleCtx ctx{path, contents, toks};
+  for (const Rule& r : all_rules()) r.fn(ctx, findings);
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
   return findings;
 }
 

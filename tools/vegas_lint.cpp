@@ -1,18 +1,37 @@
-// vegas_lint — repo-rule scanner (see tools/lint_rules.h for the rules).
+// vegas_lint — static-analysis suite for the repo's own invariants
+// (rules in tools/lint_rules.h, layering in tools/lint_layering.h,
+// catalog in docs/STATIC_ANALYSIS.md).
 //
-//   vegas_lint [--root DIR] [path...]
+//   vegas_lint [options] [path...]
 //
-// Paths are files or directories relative to --root (default: the current
-// directory).  With no paths, scans the default enforcement set: src,
-// tools, examples, bench, tests.  Exits 1 if any finding is reported, so
-// it can gate ctest and CI directly.
+//   --root DIR            repo root (default: current directory)
+//   --json                machine-readable report on stdout
+//   --baseline FILE       suppress findings listed in FILE; only new
+//                         findings fail the run (format: file<TAB>rule
+//                         <TAB>detail, '#' comments)
+//   --write-baseline FILE write the current findings as a baseline
+//   --dot FILE            write the layer-level include graph (DOT)
+//   --rules a,b,...       run only the listed rules (default: all;
+//                         `layering` and `include-cycle` select the
+//                         include-graph checks)
+//
+// Paths are files or directories relative to --root.  With no paths,
+// scans the default enforcement set: src, tools, examples, bench,
+// tests.  The layering check always analyzes all of src/ (it is a
+// whole-graph property).  Exits 1 if any unbaselined finding is
+// reported, so it gates ctest and CI directly.
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 #include <vector>
 
+#include "tools/lint_layering.h"
 #include "tools/lint_rules.h"
 
 namespace fs = std::filesystem;
@@ -32,20 +51,80 @@ std::string report_path(const fs::path& p, const fs::path& root) {
   return (ec ? p : rel).generic_string();
 }
 
-int scan_file(const fs::path& p, const fs::path& root,
-              std::vector<vegas::lint::Finding>& findings) {
+bool read_file(const fs::path& p, std::string& out) {
   std::ifstream in(p, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "vegas_lint: cannot read %s\n", p.string().c_str());
-    return 1;
-  }
+  if (!in) return false;
   std::ostringstream ss;
   ss << in.rdbuf();
-  const std::string contents = ss.str();
-  const auto file_findings =
-      vegas::lint::scan_source(report_path(p, root), contents);
-  findings.insert(findings.end(), file_findings.begin(), file_findings.end());
-  return 0;
+  out = ss.str();
+  return true;
+}
+
+/// Sorted, deduplicated list of lintable files under the given paths.
+std::vector<fs::path> collect(const fs::path& root,
+                              const std::vector<std::string>& paths,
+                              int& io_errors) {
+  std::set<fs::path> files;
+  for (const std::string& p : paths) {
+    const fs::path full = root / p;
+    if (fs::is_directory(full)) {
+      for (const auto& entry : fs::recursive_directory_iterator(full)) {
+        if (entry.is_regular_file() && lintable(entry.path())) {
+          files.insert(entry.path());
+        }
+      }
+    } else if (fs::is_regular_file(full)) {
+      files.insert(full);
+    } else {
+      std::fprintf(stderr, "vegas_lint: no such path: %s\n",
+                   full.string().c_str());
+      ++io_errors;
+    }
+  }
+  return {files.begin(), files.end()};
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Baseline key: line numbers drift with unrelated edits, so entries
+/// match on (file, rule, detail) with multiset semantics.
+using BaselineKey = std::tuple<std::string, std::string, std::string>;
+
+std::map<BaselineKey, int> load_baseline(const std::string& path,
+                                         bool& ok) {
+  std::map<BaselineKey, int> out;
+  std::ifstream in(path);
+  ok = static_cast<bool>(in);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) continue;
+    ++out[{line.substr(0, t1), line.substr(t1 + 1, t2 - t1 - 1),
+           line.substr(t2 + 1)}];
+  }
+  return out;
 }
 
 }  // namespace
@@ -53,14 +132,38 @@ int scan_file(const fs::path& p, const fs::path& root,
 int main(int argc, char** argv) {
   fs::path root = fs::current_path();
   std::vector<std::string> paths;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string dot_path;
+  std::string rules_arg;
+  bool json = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root" && i + 1 < argc) {
-      root = argv[++i];
-    } else if (arg.rfind("--root=", 0) == 0) {
-      root = arg.substr(7);
+    const auto value = [&](const char* name) -> std::string {
+      const std::string prefix = std::string(name) + "=";
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+      if (i + 1 < argc) return argv[++i];
+      std::fprintf(stderr, "vegas_lint: %s needs a value\n", name);
+      std::exit(2);
+    };
+    if (arg == "--root" || arg.rfind("--root=", 0) == 0) {
+      root = value("--root");
+    } else if (arg == "--baseline" || arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = value("--baseline");
+    } else if (arg == "--write-baseline" ||
+               arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline_path = value("--write-baseline");
+    } else if (arg == "--dot" || arg.rfind("--dot=", 0) == 0) {
+      dot_path = value("--dot");
+    } else if (arg == "--rules" || arg.rfind("--rules=", 0) == 0) {
+      rules_arg = value("--rules");
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: vegas_lint [--root DIR] [path...]\n");
+      std::printf(
+          "usage: vegas_lint [--root DIR] [--json] [--baseline FILE]\n"
+          "                  [--write-baseline FILE] [--dot FILE]\n"
+          "                  [--rules a,b,...] [path...]\n");
       return 0;
     } else {
       paths.push_back(arg);
@@ -70,31 +173,153 @@ int main(int argc, char** argv) {
     paths = {"src", "tools", "examples", "bench", "tests"};
   }
 
-  std::vector<vegas::lint::Finding> findings;
+  // Rule filter: empty = everything.
+  std::set<std::string> enabled;
+  if (!rules_arg.empty()) {
+    std::stringstream ss(rules_arg);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (!item.empty()) enabled.insert(item);
+    }
+  }
+  const auto rule_on = [&](const std::string& rule) {
+    return enabled.empty() || enabled.count(rule) > 0;
+  };
+
   int io_errors = 0;
-  for (const std::string& p : paths) {
-    const fs::path full = root / p;
-    if (fs::is_directory(full)) {
-      for (const auto& entry : fs::recursive_directory_iterator(full)) {
-        if (entry.is_regular_file() && lintable(entry.path())) {
-          io_errors += scan_file(entry.path(), root, findings);
-        }
-      }
-    } else if (fs::is_regular_file(full)) {
-      io_errors += scan_file(full, root, findings);
-    } else {
-      std::fprintf(stderr, "vegas_lint: no such path: %s\n",
-                   full.string().c_str());
+  std::vector<vegas::lint::Finding> findings;
+
+  // Per-file rules.
+  for (const fs::path& file : collect(root, paths, io_errors)) {
+    std::string contents;
+    if (!read_file(file, contents)) {
+      std::fprintf(stderr, "vegas_lint: cannot read %s\n",
+                   file.string().c_str());
       ++io_errors;
+      continue;
+    }
+    for (auto& f :
+         vegas::lint::scan_source(report_path(file, root), contents)) {
+      if (rule_on(f.rule)) findings.push_back(std::move(f));
     }
   }
 
-  for (const auto& f : findings) {
-    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
-                f.detail.c_str());
+  // Whole-graph layering check over src/ (independent of path args).
+  const bool layering_on = rule_on("layering") || rule_on("include-cycle");
+  if (layering_on || !dot_path.empty()) {
+    std::vector<vegas::lint::SourceFile> src_files;
+    int src_errors = 0;
+    for (const fs::path& file : collect(root, {"src"}, src_errors)) {
+      std::string contents;
+      if (!read_file(file, contents)) {
+        ++io_errors;
+        continue;
+      }
+      src_files.push_back({report_path(file, root), std::move(contents)});
+    }
+    io_errors += src_errors;
+    auto layering = vegas::lint::check_layering(src_files);
+    for (auto& f : layering.findings) {
+      if (rule_on(f.rule)) findings.push_back(std::move(f));
+    }
+    if (!dot_path.empty()) {
+      std::ofstream out(dot_path, std::ios::binary);
+      out << layering.dot;
+      if (!out) {
+        std::fprintf(stderr, "vegas_lint: cannot write %s\n",
+                     dot_path.c_str());
+        ++io_errors;
+      }
+    }
   }
-  if (!findings.empty()) {
-    std::printf("vegas_lint: %zu finding(s)\n", findings.size());
+
+  std::sort(findings.begin(), findings.end(),
+            [](const vegas::lint::Finding& a, const vegas::lint::Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.detail) <
+                     std::tie(b.file, b.line, b.rule, b.detail);
+            });
+
+  if (!write_baseline_path.empty()) {
+    std::ofstream out(write_baseline_path, std::ios::binary);
+    out << "# vegas_lint baseline — findings listed here are legacy debt,\n"
+           "# suppressed by --baseline.  New findings still fail.  Shrink\n"
+           "# this file over time; never grow it without a review.\n"
+           "# format: file<TAB>rule<TAB>detail\n";
+    for (const auto& f : findings) {
+      out << f.file << '\t' << f.rule << '\t' << f.detail << '\n';
+    }
   }
-  return findings.empty() && io_errors == 0 ? 0 : 1;
+
+  // Baseline suppression.
+  std::vector<vegas::lint::Finding> fresh;
+  std::size_t suppressed = 0;
+  std::map<BaselineKey, int> baseline;
+  if (!baseline_path.empty()) {
+    bool ok = false;
+    baseline = load_baseline(baseline_path, ok);
+    if (!ok) {
+      std::fprintf(stderr, "vegas_lint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      ++io_errors;
+    }
+  }
+  for (auto& f : findings) {
+    const auto it = baseline.find({f.file, f.rule, f.detail});
+    if (it != baseline.end() && it->second > 0) {
+      --it->second;
+      ++suppressed;
+    } else {
+      fresh.push_back(std::move(f));
+    }
+  }
+  std::size_t stale = 0;
+  for (const auto& [key, count] : baseline) {
+    (void)key;
+    stale += static_cast<std::size_t>(count);
+  }
+
+  if (json) {
+    std::string out = "{\n  \"version\": 1,\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      const auto& f = fresh[i];
+      out += "    {\"file\": \"" + json_escape(f.file) +
+             "\", \"line\": " + std::to_string(f.line) + ", \"rule\": \"" +
+             json_escape(f.rule) + "\", \"detail\": \"" +
+             json_escape(f.detail) + "\"}";
+      out += i + 1 < fresh.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    std::map<std::string, int> counts;
+    for (const auto& f : fresh) ++counts[f.rule];
+    out += "  \"counts\": {";
+    bool first = true;
+    for (const auto& [rule, n] : counts) {
+      out += std::string(first ? "" : ", ") + "\"" + json_escape(rule) +
+             "\": " + std::to_string(n);
+      first = false;
+    }
+    out += "},\n";
+    out += "  \"suppressed\": " + std::to_string(suppressed) + ",\n";
+    out += "  \"stale_baseline_entries\": " + std::to_string(stale) + "\n}\n";
+    std::fputs(out.c_str(), stdout);
+  } else {
+    for (const auto& f : fresh) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.detail.c_str());
+    }
+    if (!fresh.empty()) {
+      std::printf("vegas_lint: %zu finding(s)\n", fresh.size());
+    }
+    if (suppressed > 0) {
+      std::printf("vegas_lint: %zu baselined finding(s) suppressed\n",
+                  suppressed);
+    }
+    if (stale > 0) {
+      std::printf(
+          "vegas_lint: %zu stale baseline entr%s (fixed since recorded — "
+          "prune %s)\n",
+          stale, stale == 1 ? "y" : "ies", baseline_path.c_str());
+    }
+  }
+  return fresh.empty() && io_errors == 0 ? 0 : 1;
 }
