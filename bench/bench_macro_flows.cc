@@ -11,7 +11,15 @@
 // against the pre-timing-wheel substrate: BENCH_macro_flows.baseline.json
 // was recorded that way, and the JSON report carries baseline, current,
 // and speedup side by side.  VEGAS_BENCH_SCALE < 0.1 runs only the
-// 100-flow cell (CI smoke); < 1 stops at 1,000 flows.
+// 100-flow cell (CI smoke); < 1 stops at 1,000 flows; >= 10 adds the
+// 100,000-flow cell (examples/scenarios/megaflows.scn) and >= 100 the
+// 1,000,000-flow cell (megaflows-1m.scn).
+//
+// Flags (docs/PERFORMANCE.md "Refreshing the baseline"):
+//   --max-flows=N        run cells up to N flows, overriding the scale map
+//   --gate-flatness=R    exit 1 unless ev/s(10k) >= R * ev/s(1k)
+//   --write-baseline     also rewrite BENCH_macro_flows.baseline.json
+//                        (or $VEGAS_BENCH_BASELINE_OUT) from this run
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -160,7 +168,33 @@ std::string load_baseline() {
   return {};
 }
 
-void write_json(const std::vector<Metric>& metrics, double scale,
+/// Rewrites the baseline file from this run's numbers, flat
+/// `"key": number` pairs — the format scan_json_number() reads back.
+void write_baseline(const std::vector<Metric>& metrics) {
+  const char* path = std::getenv("VEGAS_BENCH_BASELINE_OUT");
+  if (path == nullptr || *path == '\0') {
+    path = VEGAS_REPO_ROOT "/BENCH_macro_flows.baseline.json";
+  }
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n  \"comment\": \"Recorded by bench_macro_flows "
+               "--write-baseline (docs/PERFORMANCE.md: Refreshing the "
+               "baseline).\",\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "  \"%s\": %.6g%s\n", metrics[i].key.c_str(),
+                 metrics[i].current, i + 1 < metrics.size() ? "," : "");
+  }
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote baseline %s\n", path);
+}
+
+void write_json(const std::vector<Metric>& metrics,
+                const std::vector<CellRun>& curve, double scale,
                 const obs::Profiler& prof) {
   const char* path = std::getenv("VEGAS_BENCH_JSON");
   if (path == nullptr || *path == '\0') path = "BENCH_macro_flows.json";
@@ -169,7 +203,20 @@ void write_json(const std::vector<Metric>& metrics, double scale,
     std::fprintf(stderr, "cannot write %s\n", path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"scale\": %g,\n  \"metrics\": {\n", scale);
+  std::fprintf(f, "{\n  \"scale\": %g,\n", scale);
+  // The events/sec-vs-flows curve, one point per cell actually run —
+  // what the CI artifact plots and the flatness gate reads.
+  std::fprintf(f, "  \"curve\": [\n");
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const CellRun& r = curve[i];
+    std::fprintf(f,
+                 "    {\"flows\": %zu, \"events\": %llu, "
+                 "\"events_per_sec\": %.6g, \"wall_s_per_sim_s\": %.6g}%s\n",
+                 r.flows, static_cast<unsigned long long>(r.events),
+                 r.events_per_sec(), r.wall_per_sim_s(),
+                 i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"metrics\": {\n");
   for (std::size_t i = 0; i < metrics.size(); ++i) {
     const Metric& m = metrics[i];
     std::fprintf(f, "    \"%s\": {\"baseline\": %.6g, \"current\": %.6g",
@@ -201,45 +248,108 @@ void write_json(const std::vector<Metric>& metrics, double scale,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::header("Macro", "Whole-simulation throughput vs. concurrent flows");
   const double scale = bench::run_scale();
-  // CI smoke (scale 0.05) exercises only the 100-flow cell.
-  const std::size_t max_flows = scale >= 1 ? 10000 : (scale >= 0.1 ? 1000 : 100);
+  // CI smoke (scale 0.05) exercises only the 100-flow cell; the mega
+  // cells (100k / 1M) opt in via scale or --max-flows.
+  std::size_t max_flows = scale >= 100  ? 1000000
+                          : scale >= 10 ? 100000
+                          : scale >= 1  ? 10000
+                          : scale >= 0.1 ? 1000
+                                         : 100;
+  bool do_write_baseline = false;
+  double gate_flatness = 0;  // 0 = gate off
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--write-baseline") {
+      do_write_baseline = true;
+    } else if (arg.rfind("--max-flows=", 0) == 0) {
+      max_flows = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 12, nullptr, 10));
+    } else if (arg.rfind("--gate-flatness=", 0) == 0) {
+      gate_flatness = std::strtod(arg.c_str() + 16, nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s (known: --write-baseline, --max-flows=N, "
+                   "--gate-flatness=R)\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
 
-  const scenario::Scenario sc =
-      scenario::Scenario::load(VEGAS_REPO_ROOT "/examples/scenarios/manyflows.scn");
+  // The flow-count trajectory: manyflows.scn sweeps 100/1k/10k; the mega
+  // scenarios add one cell each.  Each file is loaded right before its
+  // cells run and destroyed before the next — compiling megaflows-1m.scn
+  // expands a million FlowSpecs, and carrying gigabytes of spec strings
+  // while timing the small cells measurably slows them (heap and TLB
+  // pressure, not simulation cost).
+  std::vector<const char*> scenario_paths = {
+      VEGAS_REPO_ROOT "/examples/scenarios/manyflows.scn"};
+  if (max_flows >= 100000) {
+    scenario_paths.push_back(VEGAS_REPO_ROOT
+                             "/examples/scenarios/megaflows.scn");
+  }
+  if (max_flows >= 1000000) {
+    scenario_paths.push_back(VEGAS_REPO_ROOT
+                             "/examples/scenarios/megaflows-1m.scn");
+  }
 
   obs::Profiler prof;
   std::vector<Metric> metrics;
+  std::vector<CellRun> curve;
   exp::Table table({"flows", "events", "events/s", "wall s/sim s", "probe digest"},
                    14);
-  for (std::size_t i = 0; i < sc.cells(); ++i) {
-    const std::size_t declared = sc.cell(i).flows.size() - 1;
-    if (declared > max_flows) {
-      std::printf("(skipping %zu-flow cell at scale %g)\n", declared, scale);
-      continue;
+  for (const char* path : scenario_paths) {
+    const scenario::Scenario sc = scenario::Scenario::load(path);
+    for (std::size_t i = 0; i < sc.cells(); ++i) {
+      const std::size_t declared = sc.cell(i).flows.size() - 1;
+      if (declared > max_flows) {
+        std::printf("(skipping %zu-flow cell at scale %g)\n", declared, scale);
+        continue;
+      }
+      auto phase = prof.scope("cell_" + std::to_string(declared) + "_flows");
+      const CellRun r = run_one_cell(sc, i);
+      curve.push_back(r);
+      const std::string tag = "macro_flows_" + std::to_string(r.flows);
+      metrics.push_back({tag + "_events_per_sec", r.events_per_sec()});
+      metrics.push_back(
+          {tag + "_wall_s_per_sim_s", r.wall_per_sim_s(), 0, false});
+      char ev[32], evs[32], wps[32], dig[32];
+      std::snprintf(ev, sizeof(ev), "%llu",
+                    static_cast<unsigned long long>(r.events));
+      std::snprintf(evs, sizeof(evs), "%.3g", r.events_per_sec());
+      std::snprintf(wps, sizeof(wps), "%.4f", r.wall_per_sim_s());
+      std::snprintf(dig, sizeof(dig), "0x%016llx",
+                    static_cast<unsigned long long>(r.probe_digest));
+      table.add_row({std::to_string(r.flows), ev, evs, wps, dig});
     }
-    auto phase = prof.scope("cell_" + std::to_string(declared) + "_flows");
-    const CellRun r = run_one_cell(sc, i);
-    const std::string tag = "macro_flows_" + std::to_string(r.flows);
-    metrics.push_back({tag + "_events_per_sec", r.events_per_sec()});
-    metrics.push_back({tag + "_wall_s_per_sim_s", r.wall_per_sim_s(), 0, false});
-    char ev[32], evs[32], wps[32], dig[32];
-    std::snprintf(ev, sizeof(ev), "%llu",
-                  static_cast<unsigned long long>(r.events));
-    std::snprintf(evs, sizeof(evs), "%.3g", r.events_per_sec());
-    std::snprintf(wps, sizeof(wps), "%.4f", r.wall_per_sim_s());
-    std::snprintf(dig, sizeof(dig), "0x%016llx",
-                  static_cast<unsigned long long>(r.probe_digest));
-    table.add_row({std::to_string(r.flows), ev, evs, wps, dig});
   }
   table.print();
+
+  // Scaling flatness: events/sec at 10k flows relative to 1k.  A flat
+  // curve means per-event cost did not climb with the working set — the
+  // whole point of the SoA slab + prefetch + batching work.
+  double flatness = 0;
+  {
+    double at_1k = 0, at_10k = 0;
+    for (const CellRun& r : curve) {
+      if (r.flows == 1000) at_1k = r.events_per_sec();
+      if (r.flows == 10000) at_10k = r.events_per_sec();
+    }
+    if (at_1k > 0 && at_10k > 0) {
+      flatness = at_10k / at_1k;
+      std::printf("\nflatness (ev/s at 10k / ev/s at 1k): %.3f\n", flatness);
+    }
+  }
 
   {
     auto phase = prof.scope("timer_churn_10k");
     metrics.push_back({"timer_churn_10k_arm_cancel_ops_per_sec",
                        wl_timer_churn_10k(bench::scaled(20))});
+  }
+  if (flatness > 0) {
+    metrics.push_back({"macro_flows_flatness_10k_vs_1k", flatness});
   }
 
   const std::string baseline = load_baseline();
@@ -271,6 +381,23 @@ int main() {
               static_cast<unsigned long long>(g_steady.timer_rearm_allocs),
               static_cast<unsigned long long>(g_steady.timer_boxed_callbacks));
 
-  write_json(metrics, scale, prof);
+  write_json(metrics, curve, scale, prof);
+  if (do_write_baseline) write_baseline(metrics);
+
+  if (gate_flatness > 0) {
+    if (flatness <= 0) {
+      std::fprintf(stderr,
+                   "flatness gate needs both the 1k and 10k cells "
+                   "(scale >= 1 or --max-flows=10000)\n");
+      return 1;
+    }
+    if (flatness < gate_flatness) {
+      std::fprintf(stderr, "FLATNESS GATE FAILED: %.3f < %.3f\n", flatness,
+                   gate_flatness);
+      return 1;
+    }
+    std::printf("flatness gate passed: %.3f >= %.3f\n", flatness,
+                gate_flatness);
+  }
   return 0;
 }

@@ -1,0 +1,110 @@
+// Chunked slab arena with dense ids and deterministic recycling.
+//
+// The data-oriented connection-state refactor (docs/PERFORMANCE.md)
+// keeps every flow's hot TCP fields in one packed row of a per-stack
+// arena, indexed by a dense 32-bit id.  Two properties matter and both
+// are guaranteed here:
+//
+//  - Stable addresses.  Rows live in fixed-size chunks that are never
+//    reallocated, so growing the arena cannot move a row out from under
+//    the pointer a live sender holds.  (A plain std::vector would.)
+//
+//  - Deterministic ids.  Fresh ids are allocated in increasing order
+//    and released ids are recycled lowest-id-first (a min-heap over the
+//    free list), so the id a flow gets depends only on the allocate/
+//    release history — never on heap addresses.  That keeps the arena
+//    inside the repo's determinism rules (docs/STATIC_ANALYSIS.md): two
+//    runs with the same event order assign the same rows.
+//
+// Rows are value-initialised on every allocate, so a recycled row can
+// never leak the previous flow's state.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace vegas {
+
+template <typename T>
+class SlabArena {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kInvalidId = 0xffffffff;
+
+  /// Rows per chunk; a power of two keeps id -> (chunk, offset) a shift
+  /// and a mask.
+  static constexpr std::size_t kChunkBits = 12;
+  static constexpr std::size_t kChunkRows = std::size_t{1} << kChunkBits;
+
+  SlabArena() = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Lowest recycled id, else the next fresh one.  The returned row is
+  /// value-initialised.  O(log free) worst case, O(1) when nothing has
+  /// been released.
+  Id allocate() {
+    Id id;
+    if (!free_heap_.empty()) {
+      std::pop_heap(free_heap_.begin(), free_heap_.end(),
+                    std::greater<Id>{});  // min-heap: lowest id first
+      id = free_heap_.back();
+      free_heap_.pop_back();
+    } else {
+      ensure(watermark_ < kInvalidId, "SlabArena: id space exhausted");
+      id = watermark_++;
+      if ((id >> kChunkBits) >= chunks_.size()) {
+        chunks_.push_back(std::make_unique<T[]>(kChunkRows));
+      }
+    }
+    T& slot = row(id);
+    slot = T{};
+    ++live_;
+    return id;
+  }
+
+  /// Returns `id` to the free pool.  The row's address stays valid until
+  /// the id is handed out again.
+  void release(Id id) {
+    ensure(id < watermark_, "SlabArena::release: id never allocated");
+    free_heap_.push_back(id);
+    std::push_heap(free_heap_.begin(), free_heap_.end(), std::greater<Id>{});
+    --live_;
+  }
+
+  T& row(Id id) {
+    return chunks_[id >> kChunkBits][id & (kChunkRows - 1)];
+  }
+  const T& row(Id id) const {
+    return chunks_[id >> kChunkBits][id & (kChunkRows - 1)];
+  }
+
+  /// Pre-allocates chunks for `n` rows, so a known-size workload (the
+  /// 100k/1M-flow bench cells) never grows mid-setup.
+  void reserve(std::size_t n) {
+    const std::size_t want = (n + kChunkRows - 1) >> kChunkBits;
+    chunks_.reserve(want);
+    while (chunks_.size() < want) {
+      chunks_.push_back(std::make_unique<T[]>(kChunkRows));
+    }
+  }
+
+  std::size_t live() const { return live_; }
+  /// Ids ever handed out (high-water mark of the dense id space).
+  std::size_t high_water() const { return watermark_; }
+  std::size_t capacity() const { return chunks_.size() * kChunkRows; }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::vector<Id> free_heap_;  // min-heap (std::greater) of released ids
+  Id watermark_ = 0;           // next never-used id
+  std::size_t live_ = 0;
+};
+
+}  // namespace vegas

@@ -37,9 +37,23 @@ template <typename Value>
 class FlatMap {
  public:
   FlatMap() = default;
+  /// Reserve-on-construct: sizes the table for `expected` entries up
+  /// front, so a known-size workload (the 100k/1M-flow bench cells)
+  /// never pays the grow/rehash chain from 16 slots upward.
+  explicit FlatMap(std::size_t expected) { reserve(expected); }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Grows capacity so `expected` entries fit under the 3/4 load
+  /// factor without rehashing.  Never shrinks; existing entries are
+  /// re-placed when the table does grow.  Probe order depends only on
+  /// key values and capacity, so behaviour stays bit-reproducible.
+  void reserve(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap * 3 < (expected + 1) * 4) cap <<= 1;
+    if (cap > capacity()) rehash_to(cap);
+  }
 
   /// Pointer to the mapped value, or nullptr.  O(1) expected: one hash,
   /// a short linear probe in one cache line's worth of slots.
@@ -128,8 +142,9 @@ class FlatMap {
     }
   }
 
-  void grow() {
-    const std::size_t new_cap = slots_.empty() ? 16 : capacity() * 2;
+  void grow() { rehash_to(slots_.empty() ? 16 : capacity() * 2); }
+
+  void rehash_to(std::size_t new_cap) {
     std::vector<Slot> old = std::move(slots_);
     // (Not assign(): Slot is move-only when Value is, e.g. unique_ptr.)
     slots_ = std::vector<Slot>(new_cap);

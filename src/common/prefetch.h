@@ -1,0 +1,32 @@
+// Software prefetch hints for the per-packet hot paths.
+//
+// The TCP demux (tcp::Stack::on_packet) resolves FlatMap -> FlowId ->
+// slab row; issuing a prefetch for the row as soon as the lookup
+// completes overlaps the row's cache miss with the connection-header
+// work that runs before the sender touches it.  Hints only — wrong or
+// unsupported prefetches cost nothing, so the fallback is a no-op.
+#pragma once
+
+#include <cstddef>
+
+namespace vegas {
+
+/// Read-intent prefetch of the cache line containing `p`.  Null is
+/// allowed (the builtin tolerates any address; demux misses pass one).
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+/// Prefetches `bytes` worth of lines starting at `p` — for rows that
+/// span more than one 64-byte line (tcp::FlowHot is ~3 lines).
+inline void prefetch_read_range(const void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  const char* c = static_cast<const char*>(p);
+  for (std::size_t off = 0; off < bytes; off += 64) prefetch_read(c + off);
+}
+
+}  // namespace vegas

@@ -4,30 +4,34 @@
 
 namespace vegas::core {
 
+using tcp::FlowHot;
 using tcp::RetransmitTrigger;
 using tcp::StreamOffset;
 
 VegasSender::VegasSender(const tcp::TcpConfig& cfg)
-    : TcpSender(cfg), fine_rtt_(cfg.min_fine_rto) {}
+    : TcpSender(cfg), fine_rtt_(cfg.min_fine_rto) {
+  fine_rtt_.rebind(&hot().fine_rtt);
+}
 
 void VegasSender::on_segment_transmitted(const SegRecord& rec,
                                          bool retransmit) {
+  FlowHot& h = hot();
   // Arm one CAM measurement per RTT: distinguish the first fresh segment
   // sent after the previous sample completed (§3.2: "recording the
   // sending time for a distinguished segment").
-  if (!cam_active_ && !retransmit && rec.len > 0) {
-    cam_active_ = true;
-    cam_end_ = rec.start + rec.len;
-    cam_start_ = now();
+  if (!h.cam_active && !retransmit && rec.len > 0) {
+    h.cam_active = true;
+    h.cam_end = rec.start + rec.len;
+    h.cam_start = now();
     // "How many bytes are transmitted between the time that segment is
     // sent and its acknowledgement" includes the distinguished segment
     // itself; our caller already counted it, so back it out.
-    cam_bytes_base_ = stats_.bytes_sent - rec.len;
+    h.cam_bytes_base = stats_.bytes_sent - rec.len;
     // A sample taken while the window is growing exponentially compares
     // incompatible quantities (§3.3: the window must stay fixed "so a
     // valid comparison of the expected and actual rates can be made");
     // such samples still pace the RTT clock but drive no decision.
-    cam_valid_ = !in_slow_start() || !ss_grow_this_rtt_;
+    h.cam_valid = !in_slow_start() || !h.ss_grow_this_rtt;
   }
 }
 
@@ -46,30 +50,32 @@ void VegasSender::feed_fine_rtt(StreamOffset ack) {
   if (best == nullptr || best->transmissions != 1) return;
   const sim::Time rtt = now() - best->sent_at;
   fine_rtt_.sample(rtt);
-  if (!has_base_rtt_ || rtt < base_rtt_) {
-    base_rtt_ = rtt;
-    has_base_rtt_ = true;
+  FlowHot& h = hot();
+  if (!h.has_base_rtt || rtt < h.base_rtt) {
+    h.base_rtt = rtt;
+    h.has_base_rtt = true;
   }
 }
 
 void VegasSender::on_ack_preprocess(StreamOffset ack, bool duplicate) {
   if (!duplicate && ack > snd_una()) {
+    FlowHot& h = hot();
     // Packet-pair probe: consecutive ACKs of a back-to-back pair arrive
     // spaced by the bottleneck service time, so the smallest observed
     // per-MSS gap estimates the path's bottleneck bandwidth.
-    if (have_last_ack_) {
-      const sim::Time gap = now() - last_ack_at_;
+    if (h.have_last_ack) {
+      const sim::Time gap = now() - h.last_ack_at;
       const ByteCount acked = ack - snd_una();
       // Gaps under 1 ms are indistinguishable from ACK compression at
       // the bandwidths this library simulates; ignore them rather than
       // let one compressed pair blow up the estimate.
       if (gap >= sim::Time::milliseconds(1) && acked == mss()) {
         const double est = static_cast<double>(acked) / gap.to_seconds();
-        if (est > bw_est_Bps_) bw_est_Bps_ = est;
+        if (est > h.bw_est_Bps) h.bw_est_Bps = est;
       }
     }
-    last_ack_at_ = now();
-    have_last_ack_ = true;
+    h.last_ack_at = now();
+    h.have_last_ack = true;
 
     feed_fine_rtt(ack);       // records still intact here
     complete_cam_sample(ack);
@@ -79,9 +85,10 @@ void VegasSender::on_ack_preprocess(StreamOffset ack, bool duplicate) {
 void VegasSender::vegas_retransmit(sim::Time lost_sent_at,
                                    RetransmitTrigger trigger) {
   retransmit_front(trigger);
+  FlowHot& h = hot();
   // Decrease only for losses at the CURRENT rate: the lost transmission
   // must postdate the previous decrease (§3.1).
-  if (ever_decreased_ && lost_sent_at <= last_decrease_) return;
+  if (h.ever_decreased && lost_sent_at <= h.last_decrease) return;
   const double factor = trigger == RetransmitTrigger::kThreeDupAcks
                             ? config().vegas_dupack_decrease
                             : config().vegas_fine_decrease;
@@ -89,12 +96,12 @@ void VegasSender::vegas_retransmit(sim::Time lost_sent_at,
       static_cast<double>(std::min(cwnd(), snd_wnd())) * factor);
   set_ssthresh(target);
   set_cwnd(ssthresh());
-  last_decrease_ = now();
-  ever_decreased_ = true;
+  h.last_decrease = now();
+  h.ever_decreased = true;
   ++decrease_count_;
   enter_recovery();  // inflate on further dup ACKs, deflate on fresh ACK
   sack_recovery_begin();
-  post_rtx_ack_checks_ = 2;  // §3.1: check the next two fresh ACKs
+  h.post_rtx_ack_checks = 2;  // §3.1: check the next two fresh ACKs
 }
 
 void VegasSender::cc_on_dup_ack(int dup_count) {
@@ -128,17 +135,18 @@ void VegasSender::cc_on_new_ack(ByteCount /*newly_acked*/) {
     exit_recovery();
   }
 
+  FlowHot& h = hot();
   if (in_slow_start()) {
     // Modified slow start (§3.3): exponential growth on alternate RTTs.
-    if (ss_grow_this_rtt_) set_cwnd(cwnd() + mss());
+    if (h.ss_grow_this_rtt) set_cwnd(cwnd() + mss());
   }
   // Linear mode: no per-ACK growth; the CAM decision (once per RTT)
   // moves the window.
 
   // §3.1 second bullet: the first/second fresh ACK after a retransmission
   // re-checks the new front segment against the fine RTO.
-  if (post_rtx_ack_checks_ > 0) {
-    --post_rtx_ack_checks_;
+  if (h.post_rtx_ack_checks > 0) {
+    --h.post_rtx_ack_checks;
     const SegRecord* front = front_record();
     if (front != nullptr && fine_rtt_.has_sample() &&
         now() - front->sent_at > fine_rtt_.rto()) {
@@ -149,37 +157,38 @@ void VegasSender::cc_on_new_ack(ByteCount /*newly_acked*/) {
 }
 
 void VegasSender::complete_cam_sample(StreamOffset ack) {
-  if (!cam_active_ || ack < cam_end_) return;
-  cam_active_ = false;
+  FlowHot& h = hot();
+  if (!h.cam_active || ack < h.cam_end) return;
+  h.cam_active = false;
 
   const bool was_slow_start = in_slow_start();
   // The CAM completion is the once-per-RTT clock: alternate the
   // grow/freeze phases of the modified slow start (§3.3).
-  if (was_slow_start) ss_grow_this_rtt_ = !ss_grow_this_rtt_;
+  if (was_slow_start) h.ss_grow_this_rtt = !h.ss_grow_this_rtt;
 
-  if (!cam_valid_) return;  // growth-RTT sample: no valid comparison
+  if (!h.cam_valid) return;  // growth-RTT sample: no valid comparison
 
-  const sim::Time sample_rtt = now() - cam_start_;
+  const sim::Time sample_rtt = now() - h.cam_start;
   if (sample_rtt <= sim::Time::zero()) return;
   ++cam_sample_count_;
-  if (!has_base_rtt_) {
-    base_rtt_ = sample_rtt;
-    has_base_rtt_ = true;
+  if (!h.has_base_rtt) {
+    h.base_rtt = sample_rtt;
+    h.has_base_rtt = true;
   }
 
-  const ByteCount bytes = stats_.bytes_sent - cam_bytes_base_;
+  const ByteCount bytes = stats_.bytes_sent - h.cam_bytes_base;
   const double actual =
       static_cast<double>(bytes) / sample_rtt.to_seconds();
   const double expected =
-      static_cast<double>(cwnd()) / base_rtt_.to_seconds();
+      static_cast<double>(cwnd()) / h.base_rtt.to_seconds();
   double diff = expected - actual;
   if (diff < 0) {
     // Actual > Expected: BaseRTT was stale (§3.2) — adopt the new sample.
-    base_rtt_ = sample_rtt;
+    h.base_rtt = sample_rtt;
     diff = 0;
   }
   const double diff_buffers =
-      diff * base_rtt_.to_seconds() / static_cast<double>(mss());
+      diff * h.base_rtt.to_seconds() / static_cast<double>(mss());
 
   tcp::CamAction action = tcp::CamAction::kHold;
   if (was_slow_start) {
@@ -187,9 +196,9 @@ void VegasSender::complete_cam_sample(StreamOffset ack) {
     // doubling would drive the expected rate past the packet-pair
     // bandwidth estimate — feedback-free overshoot prevention.
     const bool bw_exit =
-        config().vegas_ss_bandwidth_check && bw_est_Bps_ > 0 &&
-        2.0 * static_cast<double>(cwnd()) / base_rtt_.to_seconds() >
-            bw_est_Bps_;
+        config().vegas_ss_bandwidth_check && h.bw_est_Bps > 0 &&
+        2.0 * static_cast<double>(cwnd()) / h.base_rtt.to_seconds() >
+            h.bw_est_Bps;
     if (diff_buffers > config().vegas_gamma || bw_exit) {
       // Leave slow start for linear increase/decrease mode.
       set_ssthresh(std::max<ByteCount>(2 * mss(), cwnd() - mss()));
@@ -216,19 +225,20 @@ sim::Time VegasSender::pacing_interval() const {
   // cwnd/BaseRTT instead of bursting two segments per ACK, so the
   // bottleneck queue never sees the doubling transient.
   if (!config().vegas_paced_slow_start || !in_slow_start() ||
-      !has_base_rtt_) {
+      !hot().has_base_rtt) {
     return sim::Time::zero();
   }
-  return base_rtt_.scaled(static_cast<double>(mss()) /
-                          static_cast<double>(cwnd()));
+  return hot().base_rtt.scaled(static_cast<double>(mss()) /
+                               static_cast<double>(cwnd()));
 }
 
 void VegasSender::cc_on_coarse_timeout() {
   TcpSender::cc_on_coarse_timeout();
-  cam_active_ = false;
-  post_rtx_ack_checks_ = 0;
-  last_decrease_ = now();
-  ever_decreased_ = true;
+  FlowHot& h = hot();
+  h.cam_active = false;
+  h.post_rtx_ack_checks = 0;
+  h.last_decrease = now();
+  h.ever_decreased = true;
   ++decrease_count_;
 }
 

@@ -26,6 +26,10 @@
 // Reno's coarse-grained timeout machinery remains underneath as the final
 // fallback (§6: under heavy congestion "Vegas falls back to Reno's
 // coarse-grained timeout mechanism").
+//
+// Per-ACK state (fine RTT vars, BaseRTT, the CAM sample in flight, the
+// packet-pair probe) lives in the Vegas block of the sender's FlowHot
+// row — see tcp/flow_hot.h for the hot/cold rationale.
 #pragma once
 
 #include "tcp/rtt.h"
@@ -40,14 +44,14 @@ class VegasSender : public tcp::TcpSender {
   std::string name() const override { return "Vegas"; }
 
   /// Diagnostics / invariant tests.
-  sim::Time base_rtt() const { return base_rtt_; }
-  bool has_base_rtt() const { return has_base_rtt_; }
+  sim::Time base_rtt() const { return hot().base_rtt; }
+  bool has_base_rtt() const { return hot().has_base_rtt; }
   sim::Time fine_rto() const { return fine_rtt_.rto(); }
   std::uint64_t cam_samples() const { return cam_sample_count_; }
   std::uint64_t window_decreases() const { return decrease_count_; }
   /// Packet-pair bottleneck estimate in bytes/s (0 until measured);
   /// feeds the optional vegas_ss_bandwidth_check extension.
-  double bandwidth_estimate_Bps() const { return bw_est_Bps_; }
+  double bandwidth_estimate_Bps() const { return hot().bw_est_Bps; }
 
  protected:
   void cc_on_new_ack(ByteCount newly_acked) override;
@@ -57,6 +61,9 @@ class VegasSender : public tcp::TcpSender {
   int pacing_burst() const override { return 2; }
   void on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) override;
   void on_segment_transmitted(const SegRecord& rec, bool retransmit) override;
+  void on_flow_row_rebound() override {
+    fine_rtt_.rebind(&hot().fine_rtt);
+  }
 
  private:
   /// Retransmits the front segment; applies the once-per-episode window
@@ -67,33 +74,12 @@ class VegasSender : public tcp::TcpSender {
   void complete_cam_sample(tcp::StreamOffset ack);
   void feed_fine_rtt(tcp::StreamOffset ack);
 
+  // Estimator logic; its variables live in hot().fine_rtt.
   tcp::FineRttEstimator fine_rtt_;
-  sim::Time base_rtt_;
-  bool has_base_rtt_ = false;
 
-  // Loss handling (§3.1).
-  sim::Time last_decrease_;
-  bool ever_decreased_ = false;
-  int post_rtx_ack_checks_ = 0;  // fresh ACKs still to check after a rtx
+  // Aggregate counters (reported, never read on the fast path).
   std::uint64_t decrease_count_ = 0;
-
-  // CAM measurement (§3.2).
-  bool cam_active_ = false;
-  bool cam_valid_ = true;  // false for exponential-growth-RTT samples
-  tcp::StreamOffset cam_end_ = 0;      // sample completes when ack >= cam_end_
-  sim::Time cam_start_;
-  ByteCount cam_bytes_base_ = 0;  // stats_.bytes_sent at measurement start
   std::uint64_t cam_sample_count_ = 0;
-
-  // Modified slow start (§3.3): grow on alternate RTTs only.
-  bool ss_grow_this_rtt_ = true;
-
-  // Packet-pair bottleneck probing (for the §3.3 bandwidth-check
-  // extension): ACKs of back-to-back segments arrive spaced by the
-  // bottleneck service time.
-  sim::Time last_ack_at_;
-  bool have_last_ack_ = false;
-  double bw_est_Bps_ = 0.0;
 };
 
 }  // namespace vegas::core

@@ -63,12 +63,11 @@ void Link::try_transmit() {
   const sim::Time tx =
       sim::transmission_time(p->wire_bytes(), cfg_.bandwidth_Bps);
   busy_accum_ += tx;
-  // The in-flight packet rides in the (move-only) closure itself; if the
-  // simulation ends before the event fires, the queue's destructor frees
-  // it with the action.
-  sim_.schedule(tx, [this, held = std::move(p)]() mutable {
-    on_serialized(std::move(held));
-  });
+  // Only one packet serializes at a time (transmitting_), so it parks in
+  // the member slot and the event captures nothing but `this`.  If the
+  // simulation ends before the event fires, ~Link frees it.
+  tx_held_ = std::move(p);
+  sim_.schedule(tx, [this] { on_serialized(std::move(tx_held_)); });
 }
 
 void Link::on_serialized(PacketPtr p) {
@@ -80,20 +79,30 @@ void Link::on_serialized(PacketPtr p) {
   if (loss_ != nullptr && loss_->drop(*p)) {
     return;  // lost in flight
   }
-  const ByteCount wire = p->wire_bytes();
   sim::Time delivery = cfg_.prop_delay;
   if (jitter_rng_.has_value() && max_jitter_ > sim::Time::zero()) {
     delivery += sim::Time::seconds(
         jitter_rng_->uniform(0.0, max_jitter_.to_seconds()));
   }
-  sim_.schedule(delivery, [this, held = std::move(p), wire]() mutable {
-    PacketPtr owned = std::move(held);
-    bytes_delivered_.inc(static_cast<std::uint64_t>(wire));
-    if (rate_meter_ != nullptr && owned->is_data()) {
-      rate_meter_->on_bytes(sim_.now(), owned->payload_bytes);
-    }
-    peer_.receive(std::move(owned));
-  });
+  const std::uint64_t ticket = in_flight_base_ + in_flight_.size();
+  in_flight_.push_back(std::move(p));
+  sim_.schedule(delivery, [this, ticket] { deliver(ticket); });
+}
+
+void Link::deliver(std::uint64_t ticket) {
+  PacketPtr owned =
+      std::move(in_flight_[static_cast<std::size_t>(ticket - in_flight_base_)]);
+  // Reclaim the contiguous consumed prefix (jitter/reroute reorders can
+  // leave interior holes briefly; they drain as earlier tickets fire).
+  while (!in_flight_.empty() && in_flight_.front() == nullptr) {
+    in_flight_.pop_front();
+    ++in_flight_base_;
+  }
+  bytes_delivered_.inc(static_cast<std::uint64_t>(owned->wire_bytes()));
+  if (rate_meter_ != nullptr && owned->is_data()) {
+    rate_meter_->on_bytes(sim_.now(), owned->payload_bytes);
+  }
+  peer_.receive(std::move(owned));
 }
 
 double Link::utilisation() const {

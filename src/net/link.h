@@ -6,8 +6,17 @@
 // pipelining, as on real links).  An optional LossModel discards packets
 // after serialization.  Queue-length changes and drops are reported to an
 // optional QueueMonitor; delivered bytes to an optional RateMeter.
+//
+// In-flight packets ride in per-link slots, not in event closures: the
+// single serialization slot is a member, and propagating packets sit in
+// a ticket-indexed ring (deque) with the event capturing only the
+// ticket.  Event actions stay small (16 bytes), which keeps event-queue
+// sifts cheap at high rates, and delivery stays correct under jitter or
+// set_prop_delay() reorders because lookup is by ticket, not FIFO head.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -98,6 +107,7 @@ class Link {
  private:
   void try_transmit();
   void on_serialized(PacketPtr p);
+  void deliver(std::uint64_t ticket);
 
   sim::Simulator& sim_;
   std::string name_;
@@ -112,6 +122,12 @@ class Link {
   Tap tap_;
 
   bool transmitting_ = false;
+  PacketPtr tx_held_;  // the one packet being serialized
+  // Propagating packets, indexed by ticket: slot = ticket -
+  // in_flight_base_.  Consumed slots are nulled and popped from the
+  // front once contiguous, so the deque stays at pipe depth.
+  std::deque<PacketPtr> in_flight_;
+  std::uint64_t in_flight_base_ = 0;
   sim::Time busy_accum_;
   obs::Counter bytes_delivered_;
   obs::Counter drops_;

@@ -54,7 +54,11 @@ std::unique_ptr<WanChain> build_wan_chain(sim::Simulator& sim,
   w->dst = &net.add_host("DstNIH");
   const int n_routers = cfg.hops - 1;
   for (int i = 0; i < n_routers; ++i) {
-    w->routers.push_back(&net.add_router("R" + std::to_string(i + 1)));
+    // Build the name via append: GCC 12's -O3 restrict checker misfires
+    // on operator+(const char*, std::string&&).
+    std::string name = "R";
+    name += std::to_string(i + 1);
+    w->routers.push_back(&net.add_router(name));
   }
 
   auto hop_cfg = [&](int hop) {
@@ -119,7 +123,9 @@ std::unique_ptr<ParkingLot> build_parking_lot(sim::Simulator& sim,
   Network& net = p->net;
 
   for (int i = 0; i <= cfg.segments; ++i) {
-    p->routers.push_back(&net.add_router("R" + std::to_string(i)));
+    std::string name = "R";  // see build_wan_chain: avoids a GCC 12 -O3
+    name += std::to_string(i);  // -Werror=restrict false positive
+    p->routers.push_back(&net.add_router(name));
   }
   const LinkConfig segment{cfg.segment_bandwidth, cfg.segment_delay,
                            cfg.segment_queue};

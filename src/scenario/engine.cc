@@ -332,6 +332,21 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
     crosses.back()->start();
   }
 
+  // Pre-size each stack's demux table and FlowHot slab for the flows it
+  // will carry (client side opens the connection, server side accepts
+  // it), so a 100k-flow cell never rehashes or grows slabs mid-run.
+  // Purely a capacity hint — digests are identical without it.
+  {
+    std::map<std::string, std::size_t> flows_per_stack;
+    for (const FlowSpec& f : spec.flows) {
+      ++flows_per_stack[f.src];
+      ++flows_per_stack[f.dst];
+    }
+    for (const auto& [ref, n] : flows_per_stack) {
+      world.stack(ref).reserve_flows(n);
+    }
+  }
+
   // Measured flows, file order.
   for (const FlowSpec& f : spec.flows) {
     traffic::BulkTransfer::Config bt;

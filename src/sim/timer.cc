@@ -23,18 +23,46 @@ void Timer::stop() {
 void PeriodicTimer::start(Time interval) {
   stop();
   interval_ = interval;
+  next_due_ = sim_.now() + interval_;
   id_ = sim_.schedule_timer(interval_, [this] { tick(); });
 }
 
 void PeriodicTimer::stop() {
+  paused_ = false;
   if (id_ != kNoTimer) {
     sim_.cancel_timer(id_);
     id_ = kNoTimer;
   }
 }
 
+void PeriodicTimer::pause() {
+  if (paused_) return;
+  paused_ = true;
+  if (id_ != kNoTimer) {
+    sim_.cancel_timer(id_);
+    id_ = kNoTimer;
+  }
+}
+
+void PeriodicTimer::resume() {
+  if (!paused_) return;
+  paused_ = false;
+  const Time now = sim_.now();
+  if (next_due_ <= now) {
+    // Skip the boundaries that elapsed while paused.  Strictly after
+    // now: a tick due exactly now would have fired (as a no-op) before
+    // the event that is waking us, so the first live tick is the next
+    // boundary — identical to the never-paused schedule.
+    const std::int64_t behind = now.ns() - next_due_.ns();
+    next_due_ += interval_ * (behind / interval_.ns() + 1);
+  }
+  id_ = sim_.schedule_timer(next_due_ - now, [this] { tick(); });
+}
+
 void PeriodicTimer::tick() {
-  // Rearm before running the callback so the callback may call stop().
+  next_due_ += interval_;
+  // Rearm before running the callback so the callback may call stop()
+  // or pause().
   id_ = sim_.schedule_timer(interval_, [this] { tick(); });
   cb_();
 }

@@ -50,6 +50,14 @@ class Timer {
 
 /// Fixed-interval periodic timer — drives Reno's 500 ms coarse-grained
 /// clock tick (§3.1).  The callback runs once per interval until stop().
+///
+/// pause()/resume() implement tickless idle: a paused timer fires no
+/// events at all, but remembers its tick phase, and resume() re-arms at
+/// the next phase-aligned boundary strictly after now.  Every tick that
+/// does fire therefore lands at exactly the same instants as if the
+/// timer had never paused — which is what lets an idle TCP connection
+/// suspend its coarse clock without perturbing a single deadline
+/// (tcp::Connection relies on this for trace-digest stability).
 class PeriodicTimer {
  public:
   using Callback = SmallFn<48>;
@@ -60,9 +68,23 @@ class PeriodicTimer {
   PeriodicTimer& operator=(const PeriodicTimer&) = delete;
 
   /// Starts ticking every `interval`, first tick after `interval`.
+  /// Clears any paused state and re-anchors the phase at now.
   void start(Time interval);
   void stop();
   bool running() const { return id_ != kNoTimer && sim_.timer_pending(id_); }
+
+  /// Stops firing but keeps the tick phase.  Safe to call from within
+  /// the tick callback (the common case: the owner decides, after a
+  /// tick, that nothing needs the clock any more).  No-op when already
+  /// paused; must not be called before the first start().
+  void pause();
+
+  /// Re-arms a paused timer at the next phase-aligned tick strictly
+  /// after now — ticks resume exactly where they would have been.
+  /// No-op unless paused.
+  void resume();
+
+  bool paused() const { return paused_; }
 
  private:
   void tick();
@@ -70,6 +92,8 @@ class PeriodicTimer {
   Simulator& sim_;
   Callback cb_;
   Time interval_;
+  Time next_due_;  // expiry of the pending tick; phase anchor while paused
+  bool paused_ = false;
   TimerId id_ = kNoTimer;
 };
 

@@ -1,5 +1,6 @@
 #include "sim/timing_wheel.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/ensure.h"
@@ -38,6 +39,7 @@ void TimingWheel::link(std::uint32_t idx) {
     e.next = overflow_head_;
     if (overflow_head_ != kNil) entries_[overflow_head_].prev = idx;
     overflow_head_ = idx;
+    run_bucket_ = kNil;  // overflow must be compared on every find-min
     return;
   }
   const auto slot =
@@ -49,10 +51,18 @@ void TimingWheel::link(std::uint32_t idx) {
   if (head_[b] != kNil) entries_[head_[b]].prev = idx;
   head_[b] = idx;
   occupied_[static_cast<std::size_t>(k)] |= 1ull << slot;
+  // A level-0 link at or before the run's tick may precede (or tie and
+  // reorder against) the snapshot — drop it.  Links at later level-0
+  // slots or higher levels are strictly later than every run entry.
+  if (run_bucket_ != kNil && b <= run_bucket_) run_bucket_ = kNil;
 }
 
 void TimingWheel::unlink(std::uint32_t idx) {
   Entry& e = entries_[idx];
+  if (run_bucket_ != kNil && !run_skip_unlink_ &&
+      static_cast<std::int32_t>(run_bucket_) == e.bucket) {
+    run_bucket_ = kNil;  // a run member vanished behind the snapshot
+  }
   if (e.next != kNil) entries_[e.next].prev = e.prev;
   if (e.prev != kNil) {
     entries_[e.prev].next = e.next;
@@ -73,7 +83,7 @@ void TimingWheel::unlink(std::uint32_t idx) {
 void TimingWheel::release(std::uint32_t idx) {
   Entry& e = entries_[idx];
   e.live = false;
-  e.action.reset();  // free captured resources now
+  actions_[idx].reset();  // free captured resources now
   if (++e.gen == 0) ++e.gen;  // stale handles can never match again
   free_.push_back(idx);
 }
@@ -83,6 +93,7 @@ TimerId TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
   if (free_.empty()) {
     idx = static_cast<std::uint32_t>(entries_.size());
     entries_.emplace_back();
+    actions_.emplace_back();
     metrics_.slot_allocs.inc();
   } else {
     idx = free_.back();
@@ -93,7 +104,7 @@ TimerId TimingWheel::schedule(Time at, std::uint64_t seq, Action action) {
   e.seq = seq;
   e.live = true;
   if (action.boxed()) metrics_.boxed_actions.inc();
-  e.action = std::move(action);
+  actions_[idx] = std::move(action);
   link(idx);
   ++live_;
   metrics_.scheduled.inc();
@@ -173,7 +184,8 @@ void TimingWheel::advance_to(Time t) {
   }
 }
 
-std::uint32_t TimingWheel::scan_min() const {
+std::uint32_t TimingWheel::scan_min() {
+  run_bucket_ = kNil;
   std::uint32_t best = kNil;
   for (int k = 0; k < kLevels; ++k) {
     const std::uint64_t bits = occupied_[static_cast<std::size_t>(k)];
@@ -182,9 +194,30 @@ std::uint32_t TimingWheel::scan_min() const {
     // invariant), so the lowest set bit is the earliest bucket, and the
     // first non-empty level strictly precedes all higher levels.
     const auto slot = static_cast<std::uint32_t>(__builtin_ctzll(bits));
-    for (std::uint32_t idx =
-             head_[static_cast<std::uint32_t>(k) * kSlots + slot];
-         idx != kNil; idx = entries_[idx].next) {
+    const std::uint32_t b = static_cast<std::uint32_t>(k) * kSlots + slot;
+    if (k == 0 && overflow_head_ == kNil) {
+      // Level-0 bucket with no overflow competition: snapshot the whole
+      // bucket as a sorted run so the next |bucket| pops are O(1) each
+      // instead of each rescanning the list.  One level-0 bucket holds
+      // exactly one tick, so consuming it cannot be interleaved by
+      // entries at other slots or levels.
+      run_.clear();
+      for (std::uint32_t idx = head_[b]; idx != kNil;
+           idx = entries_[idx].next) {
+        run_.push_back(idx);
+      }
+      std::sort(run_.begin(), run_.end(),
+                [this](std::uint32_t a, std::uint32_t c) {
+                  const Entry& ea = entries_[a];
+                  const Entry& ec = entries_[c];
+                  return ea.time < ec.time ||
+                         (ea.time == ec.time && ea.seq < ec.seq);
+                });
+      run_pos_ = 0;
+      run_bucket_ = b;
+      return run_.front();
+    }
+    for (std::uint32_t idx = head_[b]; idx != kNil; idx = entries_[idx].next) {
       const Entry& e = entries_[idx];
       if (best == kNil) {
         best = idx;
@@ -223,15 +256,29 @@ TimingWheel::Fired TimingWheel::pop() {
   if (min_idx_ == kNil) min_idx_ = scan_min();
   const std::uint32_t idx = min_idx_;
   // Cascade up to the fired deadline first; entry indices are stable
-  // under cascading, only bucket membership moves.
+  // under cascading, only bucket membership moves.  (When the minimum
+  // sits at level 0 no block boundary is crossed, so an active run is
+  // never perturbed by this.)
   advance_to(entries_[idx].time);
   Entry& e = entries_[idx];
-  Fired fired{e.time, make_id(idx, e.gen), std::move(e.action)};
+  Fired fired{e.time, make_id(idx, e.gen), std::move(actions_[idx])};
+  const bool was_run_head =
+      run_bucket_ != kNil && run_pos_ < run_.size() && run_[run_pos_] == idx;
+  run_skip_unlink_ = was_run_head;
   unlink(idx);
+  run_skip_unlink_ = false;
   release(idx);
   --live_;
   metrics_.fired.inc();
-  min_idx_ = kNil;
+  if (was_run_head && run_bucket_ != kNil && run_pos_ + 1 < run_.size()) {
+    // The next run element is the new wheel-wide minimum: same tick,
+    // next (time, seq) in sorted order, nothing earlier anywhere else.
+    ++run_pos_;
+    min_idx_ = run_[run_pos_];
+  } else {
+    run_bucket_ = kNil;
+    min_idx_ = kNil;
+  }
   return fired;
 }
 

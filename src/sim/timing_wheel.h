@@ -20,20 +20,27 @@
 //    pop() always extracts the strict (time, seq) minimum, so firing
 //    order is bit-identical to EventQueue's heap order (the Simulator
 //    draws both queues' sequence numbers from one shared counter).
-//  - A tick bucket is therefore a set, not a FIFO: find-min scans the
+//  - A tick bucket is therefore a set, not a FIFO.  find-min scans the
 //    first non-empty bucket (per-level occupancy bitmaps make the scan
-//    a ctz plus one short list walk) and the result is cached until an
-//    insert/cancel/pop invalidates it.
+//    a ctz plus one short list walk); when that bucket is a level-0
+//    bucket and the overflow list is empty, the scan snapshots the
+//    WHOLE bucket as a (time, seq)-sorted run and subsequent pops walk
+//    the run instead of rescanning — a bucket of n same-tick timers
+//    (the 10k-flow coarse-tick pattern) costs one sort instead of n
+//    linear scans.  Any insert/cancel that could perturb the run's
+//    order invalidates it (see link()/unlink()).
 //  - advance_to() may only move the cursor up to the earliest live
 //    deadline (the simulator's event loop guarantees this); that makes
 //    every bucket the cursor skips provably empty, so a cascade touches
 //    exactly one bucket per level whose block index changed.
 //
-// Callbacks are SmallFn<48>, entries are generation-stamped slots in a
-// free-listed vector (same handle discipline as EventQueue), and
-// buckets are intrusive doubly-linked lists of slot indices: in steady
-// state restart()/stop() churn performs zero allocations — the
-// `slot_allocs == max_live` stats identity is asserted by tests.
+// Callbacks are SmallFn<48>, stored in a parallel array so the hot
+// Entry (time/seq/links, 32 bytes) packs two-per-cache-line for the
+// scan; entries are generation-stamped slots in a free-listed vector
+// (same handle discipline as EventQueue) and buckets are intrusive
+// doubly-linked lists of slot indices: in steady state restart()/stop()
+// churn performs zero allocations — the `slot_allocs == max_live`
+// stats identity is asserted by tests.
 #pragma once
 
 #include <array>
@@ -130,6 +137,8 @@ class TimingWheel {
   static constexpr std::int16_t kFree = -1;      // entry not in any bucket
   static constexpr std::int16_t kOverflow = -2;  // entry on the overflow list
 
+  /// Hot per-timer state; the Action lives in actions_[same index] so
+  /// bucket walks touch only these 32 bytes per entry.
   struct Entry {
     Time time;               // exact deadline (never rounded to ticks)
     std::uint64_t seq = 0;
@@ -138,7 +147,6 @@ class TimingWheel {
     std::uint32_t prev = kNil;
     std::int16_t bucket = kFree;  // level*64+slot, kOverflow, or kFree
     bool live = false;
-    Action action;
   };
 
   static TimerId make_id(std::uint32_t slot, std::uint32_t gen) {
@@ -163,9 +171,11 @@ class TimingWheel {
   void link(std::uint32_t idx);    // place entries_[idx] per cursor
   void unlink(std::uint32_t idx);  // remove from bucket/overflow list
   void release(std::uint32_t idx);
-  std::uint32_t scan_min() const;  // entry index of the (time, seq) min
+  std::uint32_t scan_min();  // entry index of the (time, seq) min;
+                             // may snapshot a sorted run (see run_)
 
   std::vector<Entry> entries_;
+  std::vector<Action> actions_;  // parallel to entries_
   std::vector<std::uint32_t> free_;
   std::array<std::uint32_t, static_cast<std::size_t>(kLevels) * kSlots> head_;
   std::array<std::uint64_t, kLevels> occupied_{};  // slot bitmaps per level
@@ -173,6 +183,19 @@ class TimingWheel {
   std::uint64_t cur_tick_ = 0;
   std::size_t live_ = 0;
   std::uint32_t min_idx_ = kNil;  // cached find-min; kNil = recompute
+
+  // Sorted-run pop cache: when the minimum lives in a level-0 bucket and
+  // the overflow list is empty, scan_min() snapshots that bucket sorted
+  // by (time, seq); pops then consume run_[run_pos_..] in order without
+  // rescanning.  A level-0 bucket holds exactly one tick, so nothing at
+  // another slot or level can interleave; link() into the run's slot or
+  // an earlier one (or overflow), and unlink() of any run-bucket entry
+  // other than the head pop itself, invalidate the run.
+  std::vector<std::uint32_t> run_;
+  std::size_t run_pos_ = 0;
+  std::uint32_t run_bucket_ = kNil;  // level-0 bucket index, kNil = inactive
+  bool run_skip_unlink_ = false;     // pop() extracting the run head
+
   Metrics metrics_;
 };
 

@@ -49,7 +49,13 @@ Connection::Connection(Stack& stack, NodeId remote, PortNum local_port,
       receiver_(cfg),
       isn_(isn),
       handshake_timer_(stack.sim(), [this] { handshake_timeout(); }),
-      tick_timer_(stack.sim(), [this] { sender_->on_tick(); }),
+      tick_timer_(stack.sim(), [this] {
+        sender_->on_tick();
+        // Tickless idle: an idle sender's tick is a no-op, so stop
+        // firing them; wake_ticks resumes phase-aligned (same schedule,
+        // so behaviour is identical to having ticked throughout).
+        if (!sender_->needs_ticks()) tick_timer_.pause();
+      }),
       delack_timer_(stack.sim(), [this] { send_pure_ack(); }) {
   if (peer_isn.has_value()) {
     peer_isn_ = *peer_isn;
@@ -80,6 +86,7 @@ void Connection::start() {
     maybe_finish();
   };
   env.on_abort = [this] { abort(); };
+  env.wake_ticks = [this] { tick_timer_.resume(); };
   sender_->attach(std::move(env));
 
   state_ = active_open_ ? TcpState::kSynSent : TcpState::kSynRcvd;

@@ -1,0 +1,77 @@
+// Packed hot per-flow TCP state: one slab row per connection.
+//
+// The data-oriented split behind the 10k-flow cache-cliff fix
+// (docs/PERFORMANCE.md).  A flow's per-ACK/per-tick working set used to
+// be smeared across TcpSender (~500 B with config, env callbacks,
+// buffers and deques interleaved between the eight fields the fast path
+// actually touches) plus the estimator objects — every ACK at 10k+
+// flows pulled several scattered cache lines.  FlowHot gathers exactly
+// those fields into one ~3-cache-line row, stored in a per-stack
+// SlabArena (common/arena.h) indexed by a dense FlowId; cold state
+// (config, observer hooks, send buffer, retransmission records, SACK
+// scoreboard) stays in the owning objects.
+//
+// Layout notes:
+//  - The Reno block (window state + coarse timer) leads and fits the
+//    first ~1.5 lines: a pure-ACK fast path touches only that.
+//  - The Vegas block follows; Reno/Tahoe flows simply never read it.
+//  - TcpSender always works through a FlowHot* — a detached sender (unit
+//    tests construct them standalone) owns a heap row until
+//    bind_flow_row() repoints it at the stack's slab.  Binding copies
+//    the row bit-for-bit, so arithmetic and therefore trace digests are
+//    identical whether or not a sender is slab-backed.
+#pragma once
+
+#include <cstdint>
+
+#include "common/arena.h"
+#include "common/types.h"
+#include "sim/time.h"
+#include "tcp/rtt.h"
+#include "tcp/seq.h"
+
+namespace vegas::tcp {
+
+struct FlowHot {
+  // --- Reno window + ack state (every ACK touches these) ---------------
+  StreamOffset snd_una = 0;
+  StreamOffset snd_nxt = 0;
+  StreamOffset snd_max = 0;  // highest sequence ever transmitted
+  ByteCount cwnd = 0;
+  ByteCount ssthresh = 0;
+  ByteCount snd_wnd = 0;      // peer advertised window
+  StreamOffset rtt_seq = 0;   // sample completes when ack > rtt_seq
+  std::int32_t dup_acks = 0;
+  // --- coarse timer state (every 500 ms tick touches these) ------------
+  std::int32_t rexmt_ticks = 0;  // 0 = disarmed
+  std::int32_t backoff_shift = 0;
+  std::int32_t rtt_elapsed_ticks = 0;
+  std::int32_t persist_ticks = 0;
+  CoarseRttVars coarse_rtt;
+  bool in_recovery = false;
+  bool rtt_timing = false;  // a segment is being timed (Karn)
+
+  // --- Vegas block (core/vegas.h; untouched by Reno/Tahoe flows) -------
+  FineRttVars fine_rtt;
+  sim::Time base_rtt;
+  sim::Time last_decrease;
+  sim::Time cam_start;
+  sim::Time last_ack_at;
+  StreamOffset cam_end = 0;       // sample completes when ack >= cam_end
+  ByteCount cam_bytes_base = 0;   // bytes_sent at measurement start
+  double bw_est_Bps = 0.0;        // packet-pair bottleneck estimate
+  std::int32_t post_rtx_ack_checks = 0;
+  bool has_base_rtt = false;
+  bool ever_decreased = false;
+  bool cam_active = false;
+  bool cam_valid = true;          // false for exponential-growth samples
+  bool ss_grow_this_rtt = true;   // §3.3 alternate-RTT doubling phase
+  bool have_last_ack = false;
+};
+
+/// Dense per-stack row index; rows recycle lowest-id-first
+/// (SlabArena's id-ordered free list) so assignment is deterministic.
+using FlowId = SlabArena<FlowHot>::Id;
+using FlowSlab = SlabArena<FlowHot>;
+
+}  // namespace vegas::tcp

@@ -8,44 +8,46 @@ namespace vegas::tcp {
 
 void CoarseRttEstimator::sample(int ticks) {
   ensure(ticks >= 1, "tick samples are at least 1");
-  if (srtt_x8_ != 0) {
+  CoarseRttVars& v = *v_;
+  if (v.srtt_x8 != 0) {
     // 4.3BSD tcp_xmit_timer: delta in unscaled ticks, minus the implicit
     // 1-tick bias of tick counting.
-    std::int32_t delta = ticks - 1 - (srtt_x8_ >> 3);
-    srtt_x8_ += delta;
-    if (srtt_x8_ <= 0) srtt_x8_ = 1;
+    std::int32_t delta = ticks - 1 - (v.srtt_x8 >> 3);
+    v.srtt_x8 += delta;
+    if (v.srtt_x8 <= 0) v.srtt_x8 = 1;
     if (delta < 0) delta = -delta;
-    delta -= rttvar_x4_ >> 2;
-    rttvar_x4_ += delta;
-    if (rttvar_x4_ <= 0) rttvar_x4_ = 1;
+    delta -= v.rttvar_x4 >> 2;
+    v.rttvar_x4 += delta;
+    if (v.rttvar_x4 <= 0) v.rttvar_x4 = 1;
   } else {
-    srtt_x8_ = ticks << 3;
-    rttvar_x4_ = ticks << 1;  // variance estimate = rtt/2
+    v.srtt_x8 = ticks << 3;
+    v.rttvar_x4 = ticks << 1;  // variance estimate = rtt/2
   }
 }
 
 int CoarseRttEstimator::rto_ticks() const {
   const int raw =
-      has_sample() ? (srtt_x8_ >> 3) + rttvar_x4_ : initial_rto_;
+      has_sample() ? (v_->srtt_x8 >> 3) + v_->rttvar_x4 : initial_rto_;
   return std::clamp(raw, min_rto_, max_rto_);
 }
 
 void FineRttEstimator::sample(sim::Time rtt) {
-  if (!has_sample_) {
-    srtt_ = rtt;
-    rttvar_ = rtt / 2;
-    has_sample_ = true;
+  FineRttVars& v = *v_;
+  if (!v.has_sample) {
+    v.srtt = rtt;
+    v.rttvar = rtt / 2;
+    v.has_sample = true;
     return;
   }
-  const sim::Time err = rtt >= srtt_ ? rtt - srtt_ : srtt_ - rtt;
+  const sim::Time err = rtt >= v.srtt ? rtt - v.srtt : v.srtt - rtt;
   // srtt += (m - srtt)/8 without going through floating point.
-  srtt_ = srtt_ + (rtt - srtt_) / 8;
-  rttvar_ = rttvar_ + (err - rttvar_) / 4;
+  v.srtt = v.srtt + (rtt - v.srtt) / 8;
+  v.rttvar = v.rttvar + (err - v.rttvar) / 4;
 }
 
 sim::Time FineRttEstimator::rto() const {
-  if (!has_sample_) return sim::Time::seconds(3.0);
-  const sim::Time raw = srtt_ + rttvar_ * 4;
+  if (!v_->has_sample) return sim::Time::seconds(3.0);
+  const sim::Time raw = v_->srtt + v_->rttvar * 4;
   return raw > min_rto_ ? raw : min_rto_;
 }
 

@@ -8,6 +8,14 @@
 //
 // FineRttEstimator is the Vegas replacement: the same EWMA filter run on
 // exact per-segment timestamps from the simulator clock.
+//
+// Both estimators split state from logic: the mutable variables live in
+// a small POD (`CoarseRttVars` / `FineRttVars`) the estimator points at.
+// By default that POD is inline in the estimator (standalone use, unit
+// tests); a slab-backed sender rebinds it into the flow's packed FlowHot
+// row (tcp/flow_hot.h) so the per-ACK EWMA update shares the cache lines
+// of the rest of the hot path.  rebind() copies the current values, so
+// estimates are bit-identical either way.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +24,12 @@
 
 namespace vegas::tcp {
 
+/// 4.3BSD fixed-point estimator state (t_srtt / t_rttvar).
+struct CoarseRttVars {
+  std::int32_t srtt_x8 = 0;    // srtt in ticks, scaled by 8
+  std::int32_t rttvar_x4 = 0;  // mean deviation, scaled by 4
+};
+
 class CoarseRttEstimator {
  public:
   CoarseRttEstimator(int min_rto_ticks, int max_rto_ticks,
@@ -23,6 +37,9 @@ class CoarseRttEstimator {
       : min_rto_(min_rto_ticks),
         max_rto_(max_rto_ticks),
         initial_rto_(initial_rto_ticks) {}
+  // The vars pointer must keep aiming at this object's inline storage.
+  CoarseRttEstimator(const CoarseRttEstimator&) = delete;
+  CoarseRttEstimator& operator=(const CoarseRttEstimator&) = delete;
 
   /// Feeds one RTT sample measured in whole ticks (>= 1).
   void sample(int ticks);
@@ -30,24 +47,41 @@ class CoarseRttEstimator {
   /// Retransmission timeout in ticks, before backoff.
   int rto_ticks() const;
 
-  bool has_sample() const { return srtt_x8_ != 0; }
+  bool has_sample() const { return v_->srtt_x8 != 0; }
   /// Smoothed RTT in ticks (rounded), for diagnostics.
-  double srtt_ticks() const { return srtt_x8_ / 8.0; }
+  double srtt_ticks() const { return v_->srtt_x8 / 8.0; }
 
   /// Forgets the estimate (BSD does this after repeated backoffs).
-  void reset() { srtt_x8_ = 0; rttvar_x4_ = 0; }
+  void reset() { v_->srtt_x8 = 0; v_->rttvar_x4 = 0; }
+
+  /// Moves the estimator's state into `vars` (copying current values)
+  /// and reads/writes there from now on.  `vars` must outlive the
+  /// estimator or be rebound again first.
+  void rebind(CoarseRttVars* vars) {
+    *vars = *v_;
+    v_ = vars;
+  }
 
  private:
   int min_rto_;
   int max_rto_;
   int initial_rto_;
-  std::int32_t srtt_x8_ = 0;   // t_srtt: srtt in ticks, scaled by 8
-  std::int32_t rttvar_x4_ = 0; // t_rttvar: mean deviation, scaled by 4
+  CoarseRttVars inline_vars_;
+  CoarseRttVars* v_ = &inline_vars_;
+};
+
+/// Vegas fine-grained estimator state, exact simulator-clock times.
+struct FineRttVars {
+  sim::Time srtt;
+  sim::Time rttvar;
+  bool has_sample = false;
 };
 
 class FineRttEstimator {
  public:
   explicit FineRttEstimator(sim::Time min_rto) : min_rto_(min_rto) {}
+  FineRttEstimator(const FineRttEstimator&) = delete;
+  FineRttEstimator& operator=(const FineRttEstimator&) = delete;
 
   void sample(sim::Time rtt);
 
@@ -55,15 +89,20 @@ class FineRttEstimator {
   /// first sample so the fine checks cannot misfire during handshake.
   sim::Time rto() const;
 
-  bool has_sample() const { return has_sample_; }
-  sim::Time srtt() const { return srtt_; }
-  sim::Time rttvar() const { return rttvar_; }
+  bool has_sample() const { return v_->has_sample; }
+  sim::Time srtt() const { return v_->srtt; }
+  sim::Time rttvar() const { return v_->rttvar; }
+
+  /// Same contract as CoarseRttEstimator::rebind.
+  void rebind(FineRttVars* vars) {
+    *vars = *v_;
+    v_ = vars;
+  }
 
  private:
   sim::Time min_rto_;
-  sim::Time srtt_;
-  sim::Time rttvar_;
-  bool has_sample_ = false;
+  FineRttVars inline_vars_;
+  FineRttVars* v_ = &inline_vars_;
 };
 
 }  // namespace vegas::tcp

@@ -14,9 +14,24 @@ constexpr int kPersistIntervalTicks = 4;  // probe every 2 s of zero window
 TcpSender::TcpSender(const TcpConfig& cfg)
     : cfg_(cfg),
       buf_(cfg.send_buffer),
-      ssthresh_(kHugeWindow),
+      own_hot_(std::make_unique<FlowHot>()),
+      hot_(own_hot_.get()),
       rtt_(cfg.min_rto_ticks, cfg.max_rto_ticks, cfg.initial_rto_ticks) {
-  cwnd_ = cfg_.mss * cfg_.initial_cwnd_segments;
+  rtt_.rebind(&hot_->coarse_rtt);
+  hot_->ssthresh = kHugeWindow;
+  hot_->cwnd = cfg_.mss * cfg_.initial_cwnd_segments;
+}
+
+void TcpSender::bind_flow_row(FlowHot* row) {
+  ensure(row != nullptr, "null flow row");
+  if (row == hot_) return;
+  *row = *hot_;
+  hot_ = row;
+  rtt_.rebind(&row->coarse_rtt);
+  // Subclasses rebind their own estimators off the old row before it is
+  // released (rebind() reads through the estimator's current pointer).
+  on_flow_row_rebound();
+  own_hot_.reset();
 }
 
 void TcpSender::attach(Env env) {
@@ -31,7 +46,7 @@ void TcpSender::attach(Env env) {
 void TcpSender::open(ByteCount initial_peer_window) {
   ensure(env_.sim != nullptr, "sender not attached");
   open_ = true;
-  snd_wnd_ = initial_peer_window;
+  hot_->snd_wnd = initial_peer_window;
   last_activity_ = now();
   notify_windows();
   maybe_send();
@@ -39,61 +54,81 @@ void TcpSender::open(ByteCount initial_peer_window) {
 
 ByteCount TcpSender::app_write(ByteCount bytes) {
   const ByteCount accepted = buf_.write(bytes);
-  if (open_) maybe_send();
+  if (open_) {
+    maybe_send();
+    // New data under a zero window enters persist: the probe countdown
+    // needs the clock (a send would have woken it via arm_rexmt).
+    if (hot_->snd_wnd == 0) wake_ticks();
+  }
   return accepted;
 }
 
 void TcpSender::app_close() {
   fin_pending_ = true;
-  if (open_) maybe_send();
+  if (open_) {
+    maybe_send();
+    if (hot_->snd_wnd == 0) wake_ticks();
+  }
 }
 
-ByteCount TcpSender::in_flight() const { return snd_nxt_ - snd_una_; }
+bool TcpSender::needs_ticks() const {
+  if (env_.observer != nullptr) return true;  // ticks are observable events
+  const FlowHot& h = *hot_;
+  if (h.rtt_timing || h.rexmt_ticks > 0) return true;
+  // Zero-window persist: keep probing while there is something to say.
+  return h.snd_wnd == 0 && h.snd_una == h.snd_nxt &&
+         (buf_.available_from(h.snd_nxt) > 0 || (fin_pending_ && !fin_sent_));
+}
+
+ByteCount TcpSender::in_flight() const { return hot_->snd_nxt - hot_->snd_una; }
 
 ByteCount TcpSender::half_window() const {
-  const ByteCount flight_wnd = std::min(cwnd_, std::max(snd_wnd_, cfg_.mss));
+  const ByteCount flight_wnd =
+      std::min(hot_->cwnd, std::max(hot_->snd_wnd, cfg_.mss));
   const ByteCount half = (flight_wnd / 2 / cfg_.mss) * cfg_.mss;
   return std::max(half, 2 * cfg_.mss);
 }
 
 const TcpSender::SegRecord* TcpSender::front_record() const {
   for (const SegRecord& r : records_) {
-    if (r.start + r.len + (r.fin ? 1 : 0) > snd_una_) return &r;
+    if (r.start + r.len + (r.fin ? 1 : 0) > hot_->snd_una) return &r;
   }
   return nullptr;
 }
 
 void TcpSender::set_cwnd(ByteCount cwnd) {
-  cwnd_ = std::clamp<ByteCount>(cwnd, cfg_.mss, kHugeWindow);
+  hot_->cwnd = std::clamp<ByteCount>(cwnd, cfg_.mss, kHugeWindow);
   notify_windows();
 }
 
 void TcpSender::set_ssthresh(ByteCount ssthresh) {
-  ssthresh_ = std::max<ByteCount>(ssthresh, 2 * cfg_.mss);
+  hot_->ssthresh = std::max<ByteCount>(ssthresh, 2 * cfg_.mss);
   notify_windows();
 }
 
 void TcpSender::notify_windows() {
   if (env_.observer != nullptr) {
-    env_.observer->on_windows(now(), cwnd_, ssthresh_,
-                              std::min(snd_wnd_, buf_.capacity()), in_flight());
+    env_.observer->on_windows(now(), hot_->cwnd, hot_->ssthresh,
+                              std::min(hot_->snd_wnd, buf_.capacity()),
+                              in_flight());
   }
 }
 
 void TcpSender::maybe_send() {
   if (!open_) return;
   if (pace_pending_) return;  // pacer owns the next transmission slot
-  const ByteCount wnd = std::min(cwnd_, snd_wnd_);
+  FlowHot& h = *hot_;
+  const ByteCount wnd = std::min(h.cwnd, h.snd_wnd);
   const StreamOffset end = buf_.stream_end();
   int sent_this_call = 0;
   while (true) {
-    const ByteCount flight = snd_nxt_ - snd_una_;
+    const ByteCount flight = h.snd_nxt - h.snd_una;
     const ByteCount usable = wnd - flight;
     if (usable <= 0) break;
-    const ByteCount avail = snd_nxt_ <= end ? end - snd_nxt_ : 0;
-    // Anything below snd_max_ has been on the wire before (go-back-N
+    const ByteCount avail = h.snd_nxt <= end ? end - h.snd_nxt : 0;
+    // Anything below snd_max has been on the wire before (go-back-N
     // resend after a coarse timeout).
-    const bool rtx = snd_nxt_ < snd_max_;
+    const bool rtx = h.snd_nxt < h.snd_max;
     if (avail > 0) {
       ByteCount len = std::min({cfg_.mss, avail, usable});
       // Sender-side silly-window avoidance: hold back a sub-MSS tail only
@@ -101,17 +136,17 @@ void TcpSender::maybe_send() {
       // final chunk before a pending close) and the window is the binder.
       if (len < cfg_.mss && len < avail) break;
       const bool fin = fin_pending_ && len == avail;
-      transmit_segment(snd_nxt_, len, fin, rtx);
-      snd_nxt_ += len + (fin ? 1 : 0);
+      transmit_segment(h.snd_nxt, len, fin, rtx);
+      h.snd_nxt += len + (fin ? 1 : 0);
       if (fin) fin_sent_ = true;
     } else if (fin_pending_ && !fin_sent_) {
-      transmit_segment(snd_nxt_, 0, /*fin=*/true, rtx);
-      snd_nxt_ += 1;
+      transmit_segment(h.snd_nxt, 0, /*fin=*/true, rtx);
+      h.snd_nxt += 1;
       fin_sent_ = true;
     } else {
       break;
     }
-    if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
+    if (h.snd_nxt > h.snd_max) h.snd_max = h.snd_nxt;
 
     // Paced mode: a small burst per interval, the rest ride the timer.
     const sim::Time pace = pacing_interval();
@@ -155,27 +190,29 @@ void TcpSender::transmit_segment(StreamOffset seq, ByteCount len, bool fin,
   }
 
   // Karn's rule: only time segments whose first transmission this is.
-  if (!rtt_timing_ && !retransmit) {
-    rtt_timing_ = true;
-    rtt_elapsed_ticks_ = 0;
-    rtt_seq_ = seq + std::max<ByteCount>(len - 1, 0);
+  if (!hot_->rtt_timing && !retransmit) {
+    hot_->rtt_timing = true;
+    hot_->rtt_elapsed_ticks = 0;
+    hot_->rtt_seq = seq + std::max<ByteCount>(len - 1, 0);
   }
-  if (rexmt_ticks_ == 0) arm_rexmt();
+  if (hot_->rexmt_ticks == 0) arm_rexmt();
   last_activity_ = now();
   on_segment_transmitted(*rec, retransmit);
   notify_windows();
 }
 
 void TcpSender::arm_rexmt() {
-  const int rto = rtt_.rto_ticks() << backoff_shift_;
-  rexmt_ticks_ = std::min(rto, cfg_.max_rto_ticks);
+  const int rto = rtt_.rto_ticks() << hot_->backoff_shift;
+  hot_->rexmt_ticks = std::min(rto, cfg_.max_rto_ticks);
+  wake_ticks();
 }
 
 void TcpSender::on_ack(StreamOffset ack, ByteCount peer_wnd,
                        ByteCount segment_payload,
                        std::span<const SackRange> sacks) {
   if (!open_) return;
-  if (ack > snd_max_) {
+  FlowHot& h = *hot_;
+  if (ack > h.snd_max) {
     log::warn("ack beyond snd_max ignored");
     return;
   }
@@ -184,54 +221,58 @@ void TcpSender::on_ack(StreamOffset ack, ByteCount peer_wnd,
       if (r.end > r.start) merge_sack(r.start, r.end);
     }
   }
-  const bool outstanding = snd_nxt_ > snd_una_;
-  const bool duplicate = segment_payload == 0 && ack == snd_una_ &&
-                         peer_wnd == snd_wnd_ && outstanding;
+  const bool outstanding = h.snd_nxt > h.snd_una;
+  const bool duplicate = segment_payload == 0 && ack == h.snd_una &&
+                         peer_wnd == h.snd_wnd && outstanding;
   on_ack_preprocess(ack, duplicate);
 
   if (duplicate) {
     ++stats_.dup_acks_received;
-    ++dup_acks_;
+    ++h.dup_acks;
     if (env_.observer != nullptr) {
       env_.observer->on_ack_received(now(), ack, peer_wnd, true);
     }
-    cc_on_dup_ack(dup_acks_);
+    cc_on_dup_ack(h.dup_acks);
     return;
   }
 
-  snd_wnd_ = peer_wnd;
+  h.snd_wnd = peer_wnd;
+  // The window just closed: if data (or a FIN) is waiting, the persist
+  // countdown needs the clock back.
+  if (peer_wnd == 0) wake_ticks();
   if (env_.observer != nullptr) {
     env_.observer->on_ack_received(now(), ack, peer_wnd, false);
   }
-  if (ack > snd_una_) {
+  if (ack > h.snd_una) {
     handle_new_ack(ack);
   } else {
     // Window update or stale ACK: reset the duplicate run (BSD rule).
-    dup_acks_ = 0;
+    h.dup_acks = 0;
     maybe_send();
   }
 }
 
 void TcpSender::handle_new_ack(StreamOffset ack) {
-  const ByteCount newly = ack - snd_una_;
-  dup_acks_ = 0;
+  FlowHot& h = *hot_;
+  const ByteCount newly = ack - h.snd_una;
+  h.dup_acks = 0;
 
   // Completed RTT measurement (Karn-safe: timing only spans segments
   // never retransmitted; a coarse timeout cancels timing).
-  if (rtt_timing_ && ack > rtt_seq_) {
-    rtt_timing_ = false;
-    const int ticks = std::max(1, rtt_elapsed_ticks_);
+  if (h.rtt_timing && ack > h.rtt_seq) {
+    h.rtt_timing = false;
+    const int ticks = std::max(1, static_cast<int>(h.rtt_elapsed_ticks));
     rtt_.sample(ticks);
     ++stats_.rtt_samples;
     on_rtt_sample_ticks(ticks);
   }
-  backoff_shift_ = 0;
+  h.backoff_shift = 0;
 
   const StreamOffset end = buf_.stream_end();
   const ByteCount space_before = buf_.space();
   buf_.ack_to(std::min(ack, end));
-  snd_una_ = ack;
-  if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+  h.snd_una = ack;
+  if (h.snd_nxt < h.snd_una) h.snd_nxt = h.snd_una;
 
   // An ACK covering end+1 can only exist if a transmitted FIN reached the
   // peer — even if a coarse timeout has since cleared fin_sent_ for
@@ -244,7 +285,7 @@ void TcpSender::handle_new_ack(StreamOffset ack) {
 
   while (!records_.empty()) {
     const SegRecord& r = records_.front();
-    if (r.start + r.len + (r.fin ? 1 : 0) <= snd_una_) {
+    if (r.start + r.len + (r.fin ? 1 : 0) <= h.snd_una) {
       records_.pop_front();
     } else {
       break;
@@ -252,17 +293,17 @@ void TcpSender::handle_new_ack(StreamOffset ack) {
   }
 
   // SACK scoreboard maintenance: everything below snd_una is history.
-  while (!sacked_.empty() && sacked_.begin()->second <= snd_una_) {
+  while (!sacked_.empty() && sacked_.begin()->second <= h.snd_una) {
     sacked_.erase(sacked_.begin());
   }
-  if (!sacked_.empty() && sacked_.begin()->first < snd_una_) {
-    const StreamOffset end = sacked_.begin()->second;
+  if (!sacked_.empty() && sacked_.begin()->first < h.snd_una) {
+    const StreamOffset sacked_end = sacked_.begin()->second;
     sacked_.erase(sacked_.begin());
-    sacked_.emplace(snd_una_, end);
+    sacked_.emplace(h.snd_una, sacked_end);
   }
-  if (sack_rtx_point_ < snd_una_) sack_rtx_point_ = snd_una_;
+  if (sack_rtx_point_ < h.snd_una) sack_rtx_point_ = h.snd_una;
 
-  if (snd_una_ == snd_nxt_) {
+  if (h.snd_una == h.snd_nxt) {
     disarm_rexmt();
   } else {
     arm_rexmt();
@@ -274,26 +315,28 @@ void TcpSender::handle_new_ack(StreamOffset ack) {
 }
 
 void TcpSender::cc_on_new_ack(ByteCount /*newly_acked*/) {
-  if (in_recovery_) {
+  FlowHot& h = *hot_;
+  if (h.in_recovery) {
     // Reno deflation: recovery ends on the first fresh ACK.
-    in_recovery_ = false;
-    set_cwnd(ssthresh_);
+    h.in_recovery = false;
+    set_cwnd(h.ssthresh);
     return;
   }
-  if (cwnd_ < ssthresh_) {
-    set_cwnd(cwnd_ + cfg_.mss);  // slow start: exponential per RTT
+  if (h.cwnd < h.ssthresh) {
+    set_cwnd(h.cwnd + cfg_.mss);  // slow start: exponential per RTT
   } else {
     // Congestion avoidance: ~one segment per RTT.
-    const ByteCount incr =
-        std::max<ByteCount>(cfg_.mss * cfg_.mss / std::max<ByteCount>(cwnd_, 1), 1);
-    set_cwnd(cwnd_ + incr);
+    const ByteCount incr = std::max<ByteCount>(
+        cfg_.mss * cfg_.mss / std::max<ByteCount>(h.cwnd, 1), 1);
+    set_cwnd(h.cwnd + incr);
   }
 }
 
 void TcpSender::cc_on_dup_ack(int dup_count) {
-  if (in_recovery_) {
+  FlowHot& h = *hot_;
+  if (h.in_recovery) {
     // Window inflation: each dup ACK signals a departure from the pipe.
-    set_cwnd(cwnd_ + cfg_.mss);
+    set_cwnd(h.cwnd + cfg_.mss);
     // With SACK, a duplicate ACK also names the next hole to repair.
     sack_retransmit_next_hole(RetransmitTrigger::kThreeDupAcks);
     maybe_send();
@@ -301,29 +344,30 @@ void TcpSender::cc_on_dup_ack(int dup_count) {
   }
   if (dup_count == cfg_.dup_ack_threshold) {
     set_ssthresh(half_window());
-    rtt_timing_ = false;  // Karn: the timed segment is being retransmitted
+    h.rtt_timing = false;  // Karn: the timed segment is being retransmitted
     retransmit_front(RetransmitTrigger::kThreeDupAcks);
     ++stats_.fast_retransmits;
-    set_cwnd(ssthresh_ + ByteCount{cfg_.dup_ack_threshold} * cfg_.mss);
-    in_recovery_ = true;
-    sack_rtx_point_ = snd_una_ + cfg_.mss;  // front already repaired
+    set_cwnd(h.ssthresh + ByteCount{cfg_.dup_ack_threshold} * cfg_.mss);
+    h.in_recovery = true;
+    sack_rtx_point_ = h.snd_una + cfg_.mss;  // front already repaired
     maybe_send();
   }
 }
 
 void TcpSender::retransmit_front(RetransmitTrigger trigger) {
-  retransmit_at(snd_una_, trigger);
+  retransmit_at(hot_->snd_una, trigger);
 }
 
 ByteCount TcpSender::retransmit_at(StreamOffset start,
                                    RetransmitTrigger trigger) {
+  FlowHot& h = *hot_;
   const StreamOffset end = buf_.stream_end();
-  if (start < snd_una_) start = snd_una_;
-  if (start >= snd_max_ || snd_una_ >= end + 1) return 0;
+  if (start < h.snd_una) start = h.snd_una;
+  if (start >= h.snd_max || h.snd_una >= end + 1) return 0;
   ByteCount len = 0;
   bool fin = false;
   if (start < end) {
-    len = std::min({cfg_.mss, end - start, snd_max_ - start});
+    len = std::min({cfg_.mss, end - start, h.snd_max - start});
     fin = fin_sent_ && (start + len == end);
   } else {
     // Only the FIN is outstanding.
@@ -349,8 +393,8 @@ ByteCount TcpSender::retransmit_at(StreamOffset start,
 }
 
 void TcpSender::merge_sack(StreamOffset start, StreamOffset end) {
-  if (end <= snd_una_) return;
-  if (start < snd_una_) start = snd_una_;
+  if (end <= hot_->snd_una) return;
+  if (start < hot_->snd_una) start = hot_->snd_una;
   auto it = sacked_.lower_bound(start);
   if (it != sacked_.begin()) {
     auto prev = std::prev(it);
@@ -375,12 +419,12 @@ bool TcpSender::sack_covered(StreamOffset start, ByteCount len) const {
 }
 
 StreamOffset TcpSender::sack_next_hole(StreamOffset from) const {
-  StreamOffset at = std::max(from, snd_una_);
+  StreamOffset at = std::max(from, hot_->snd_una);
   for (const auto& [s, e] : sacked_) {
     if (at < s) break;   // `at` sits in the hole before this block
     if (at < e) at = e;  // inside a sacked block: jump past it
   }
-  return std::min(at, snd_max_);
+  return std::min(at, hot_->snd_max);
 }
 
 bool TcpSender::sack_retransmit_next_hole(RetransmitTrigger trigger) {
@@ -389,7 +433,7 @@ bool TcpSender::sack_retransmit_next_hole(RetransmitTrigger trigger) {
   // Only repair holes BELOW the highest sacked byte — data above it has
   // no evidence of loss yet.
   const StreamOffset high = sacked_.rbegin()->second;
-  if (hole >= high || hole >= snd_max_) return false;
+  if (hole >= high || hole >= hot_->snd_max) return false;
   const ByteCount sent = retransmit_at(hole, trigger);
   sack_rtx_point_ = hole + std::max<ByteCount>(sent, cfg_.mss);
   if (sent > 0) ++stats_.sack_retransmits;
@@ -399,61 +443,64 @@ bool TcpSender::sack_retransmit_next_hole(RetransmitTrigger trigger) {
 void TcpSender::on_tick() {
   if (!open_) return;
   if (env_.observer != nullptr) env_.observer->on_coarse_tick(now());
-  if (rtt_timing_) ++rtt_elapsed_ticks_;
+  FlowHot& h = *hot_;
+  if (h.rtt_timing) ++h.rtt_elapsed_ticks;
 
-  if (rexmt_ticks_ > 0 && --rexmt_ticks_ == 0) {
+  if (h.rexmt_ticks > 0 && --h.rexmt_ticks == 0) {
     coarse_timeout();
     return;
   }
 
   // Simplified BSD persist: while the peer advertises a zero window and
   // we have something to say, probe periodically so the window update
-  // that reopens it cannot be lost forever.
-  const bool want_send =
-      buf_.available_from(snd_nxt_) > 0 || (fin_pending_ && !fin_sent_);
-  if (snd_wnd_ == 0 && want_send && snd_una_ == snd_nxt_) {
-    if (++persist_ticks_ >= kPersistIntervalTicks) {
-      persist_ticks_ = 0;
+  // that reopens it cannot be lost forever.  (Window check first: the
+  // common non-persist tick must not touch the buffer's cache line.)
+  if (h.snd_wnd == 0 && h.snd_una == h.snd_nxt &&
+      (buf_.available_from(h.snd_nxt) > 0 || (fin_pending_ && !fin_sent_))) {
+    if (++h.persist_ticks >= kPersistIntervalTicks) {
+      h.persist_ticks = 0;
       send_window_probe();
     }
   } else {
-    persist_ticks_ = 0;
+    h.persist_ticks = 0;
   }
 }
 
 void TcpSender::send_window_probe() {
+  FlowHot& h = *hot_;
   const StreamOffset end = buf_.stream_end();
-  if (snd_nxt_ < end) {
-    const bool rtx = snd_nxt_ < snd_max_;
-    const bool fin = fin_pending_ && snd_nxt_ + 1 == end;
-    transmit_segment(snd_nxt_, 1, fin, rtx);
-    snd_nxt_ += 1 + (fin ? 1 : 0);
+  if (h.snd_nxt < end) {
+    const bool rtx = h.snd_nxt < h.snd_max;
+    const bool fin = fin_pending_ && h.snd_nxt + 1 == end;
+    transmit_segment(h.snd_nxt, 1, fin, rtx);
+    h.snd_nxt += 1 + (fin ? 1 : 0);
     if (fin) fin_sent_ = true;
-    if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
+    if (h.snd_nxt > h.snd_max) h.snd_max = h.snd_nxt;
   } else if (fin_pending_ && !fin_sent_) {
-    transmit_segment(snd_nxt_, 0, /*fin=*/true, snd_nxt_ < snd_max_);
-    snd_nxt_ += 1;
+    transmit_segment(h.snd_nxt, 0, /*fin=*/true, h.snd_nxt < h.snd_max);
+    h.snd_nxt += 1;
     fin_sent_ = true;
-    if (snd_nxt_ > snd_max_) snd_max_ = snd_nxt_;
+    if (h.snd_nxt > h.snd_max) h.snd_max = h.snd_nxt;
   }
 }
 
 void TcpSender::coarse_timeout() {
+  FlowHot& h = *hot_;
   ++stats_.coarse_timeouts;
-  ++backoff_shift_;
-  if (backoff_shift_ > cfg_.max_rxt_backoffs) {
+  ++h.backoff_shift;
+  if (h.backoff_shift > cfg_.max_rxt_backoffs) {
     if (env_.on_abort) env_.on_abort();
     return;
   }
-  rtt_timing_ = false;  // Karn
-  dup_acks_ = 0;
-  in_recovery_ = false;
+  h.rtt_timing = false;  // Karn
+  h.dup_acks = 0;
+  h.in_recovery = false;
   sacked_.clear();  // RFC 2018: don't trust the scoreboard across an RTO
 
   cc_on_coarse_timeout();
 
-  // Go-back-N: everything past snd_una_ is presumed lost.
-  snd_nxt_ = snd_una_;
+  // Go-back-N: everything past snd_una is presumed lost.
+  h.snd_nxt = h.snd_una;
   if (!fin_acked_) fin_sent_ = false;
   records_.clear();
   arm_rexmt();

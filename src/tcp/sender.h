@@ -4,18 +4,24 @@
 // 500 ms coarse-grained retransmission timer with Karn's rule and
 // exponential backoff, fast retransmit on 3 duplicate ACKs, and Reno fast
 // recovery with window inflation.  The historical lineage of the paper —
-// "our implementation of Vegas was derived by modifying Reno" (§2) — is
-// mirrored in code: subclasses (Tahoe, Vegas, DUAL, CARD, Tri-S) override
-// the protected virtual joints.
+// "our implementation of Vegas was derived by modifying Reno" (§2) —
+// is mirrored in code: subclasses (Tahoe, Vegas, DUAL, CARD, Tri-S)
+// override the protected virtual joints.
 //
 // The sender works in 64-bit stream offsets (see tcp/seq.h); the owning
 // Connection translates to/from 32-bit wire sequence numbers.
+//
+// Hot/cold split: the fields every ACK and coarse tick touch live in a
+// FlowHot row (tcp/flow_hot.h) the sender points at.  A standalone
+// sender owns its row on the heap; Stack rebinds it into the per-stack
+// slab via bind_flow_row() so 10k+ concurrent flows stay cache-dense.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -25,6 +31,7 @@
 #include "sim/timer.h"
 #include "tcp/buffer.h"
 #include "tcp/config.h"
+#include "tcp/flow_hot.h"
 #include "tcp/observer.h"
 #include "tcp/rtt.h"
 
@@ -65,6 +72,9 @@ class TcpSender {
     std::function<void()> on_fin_acked;  // lint: std-function-ok
     /// Retransmission gave up (too many backoffs) — abort connection.
     std::function<void()> on_abort;  // lint: std-function-ok
+    /// The sender needs coarse ticks again (see needs_ticks()) — the
+    /// Connection resumes a paused tick clock, phase-aligned.
+    std::function<void()> wake_ticks;  // lint: std-function-ok
   };
 
   explicit TcpSender(const TcpConfig& cfg);
@@ -73,6 +83,12 @@ class TcpSender {
   TcpSender& operator=(const TcpSender&) = delete;
 
   void attach(Env env);
+
+  /// Moves the sender's hot state into `row` (the stack's slab) and
+  /// operates there from now on.  The previous row's values are copied
+  /// bit-for-bit, so behaviour is identical to a standalone sender.
+  /// `row` must outlive the sender.
+  void bind_flow_row(FlowHot* row);
 
   /// Human-readable algorithm name ("Reno", "Vegas", ...).
   virtual std::string name() const { return "Reno"; }
@@ -105,19 +121,29 @@ class TcpSender {
   /// One coarse-grained clock tick (every cfg.tick).
   void on_tick();
 
+  /// True while any coarse-clock machinery is counting: the rexmt timer
+  /// is armed, an RTT measurement is in flight, or the zero-window
+  /// persist probe is pending.  Observed connections always need ticks
+  /// (on_coarse_tick is part of the observable trace).  When false, the
+  /// owning Connection pauses the tick clock (tickless idle) and the
+  /// sender wakes it through Env::wake_ticks when this turns true again
+  /// — every tick that actually fires stays on the same phase-aligned
+  /// schedule, so behaviour is bit-identical to ticking throughout.
+  bool needs_ticks() const;
+
   // --- accessors ---------------------------------------------------------
 
   const SenderStats& stats() const { return stats_; }
   const TcpConfig& config() const { return cfg_; }
-  ByteCount cwnd() const { return cwnd_; }
-  ByteCount ssthresh() const { return ssthresh_; }
+  ByteCount cwnd() const { return hot_->cwnd; }
+  ByteCount ssthresh() const { return hot_->ssthresh; }
   ByteCount in_flight() const;
-  StreamOffset snd_una() const { return snd_una_; }
-  StreamOffset snd_nxt() const { return snd_nxt_; }
-  StreamOffset snd_max() const { return snd_max_; }
+  StreamOffset snd_una() const { return hot_->snd_una; }
+  StreamOffset snd_nxt() const { return hot_->snd_nxt; }
+  StreamOffset snd_max() const { return hot_->snd_max; }
   ByteCount send_space() const { return buf_.space(); }
   bool fin_acked() const { return fin_acked_; }
-  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+  bool in_slow_start() const { return hot_->cwnd < hot_->ssthresh; }
 
   // --- SACK scoreboard inspection (config().sack_enabled) ---------------
 
@@ -169,6 +195,10 @@ class TcpSender {
   /// estimator; subclasses may also keep fine estimates via records.
   virtual void on_rtt_sample_ticks(int /*ticks*/) {}
 
+  /// The hot row moved (bind_flow_row); subclasses holding estimators or
+  /// pointers into the row re-anchor them here.
+  virtual void on_flow_row_rebound() {}
+
   /// Transmission pacing: when nonzero, maybe_send() emits at most
   /// pacing_burst() segments per interval instead of bursting the whole
   /// window.  Vegas' paced slow start (§3.3's proposed future work)
@@ -184,6 +214,10 @@ class TcpSender {
   sim::Simulator& sim() { return *env_.sim; }
   ConnectionObserver* observer() { return env_.observer; }
   sim::Time now() const { return env_.sim->now(); }
+
+  /// The packed hot row (shared with the Vegas block; see flow_hot.h).
+  FlowHot& hot() { return *hot_; }
+  const FlowHot& hot() const { return *hot_; }
 
   /// Sends as much new data as windows allow.
   void maybe_send();
@@ -203,7 +237,7 @@ class TcpSender {
 
   /// Resets the hole-search floor when a recovery episode begins (the
   /// front segment has just been retransmitted).
-  void sack_recovery_begin() { sack_rtx_point_ = snd_una_ + cfg_.mss; }
+  void sack_recovery_begin() { sack_rtx_point_ = hot_->snd_una + cfg_.mss; }
 
   /// Standard Reno halving target: max(2*MSS, min(cwnd, snd_wnd)/2).
   ByteCount half_window() const;
@@ -216,16 +250,16 @@ class TcpSender {
   const std::deque<SegRecord>& records() const { return records_; }
 
   ByteCount mss() const { return cfg_.mss; }
-  ByteCount snd_wnd() const { return snd_wnd_; }
+  ByteCount snd_wnd() const { return hot_->snd_wnd; }
 
   void set_cwnd(ByteCount cwnd);
   void set_ssthresh(ByteCount ssthresh);
-  void enter_recovery() { in_recovery_ = true; }
-  void exit_recovery() { in_recovery_ = false; }
-  bool in_recovery() const { return in_recovery_; }
+  void enter_recovery() { hot_->in_recovery = true; }
+  void exit_recovery() { hot_->in_recovery = false; }
+  bool in_recovery() const { return hot_->in_recovery; }
 
   /// Karn's rule helper for subclasses that retransmit the timed segment.
-  void cancel_rtt_timing() { rtt_timing_ = false; }
+  void cancel_rtt_timing() { hot_->rtt_timing = false; }
 
   void notify_windows();
 
@@ -235,46 +269,37 @@ class TcpSender {
  private:
   void transmit_segment(StreamOffset seq, ByteCount len, bool fin,
                         bool retransmit);
+  /// Resumes the Connection's paused tick clock (no-op while ticking).
+  void wake_ticks() {
+    if (env_.wake_ticks) env_.wake_ticks();
+  }
   /// Persist-timer probe: forces one byte into a zero window so the
   /// reopening window update cannot be lost forever.
   void send_window_probe();
   void merge_sack(StreamOffset start, StreamOffset end);
   void handle_new_ack(StreamOffset ack);
   void arm_rexmt();
-  void disarm_rexmt() { rexmt_ticks_ = 0; }
+  void disarm_rexmt() { hot_->rexmt_ticks = 0; }
   void coarse_timeout();
 
   Env env_;
   SendBuffer buf_;
 
-  StreamOffset snd_una_ = 0;
-  StreamOffset snd_nxt_ = 0;
-  StreamOffset snd_max_ = 0;  // highest sequence ever transmitted
-  ByteCount cwnd_ = 0;
-  ByteCount ssthresh_ = 0;
-  ByteCount snd_wnd_ = 0;       // peer advertised window
-  ByteCount cwnd_acc_ = 0;      // fractional CA growth accumulator
+  // Hot per-flow state: window block, coarse timer, RTT vars (and the
+  // Vegas block for VegasSender).  Standalone senders own a heap row;
+  // bind_flow_row() migrates into the stack's slab and drops own_hot_.
+  std::unique_ptr<FlowHot> own_hot_;
+  FlowHot* hot_ = nullptr;
 
   std::deque<SegRecord> records_;  // in-flight, ordered by start
-
-  int dup_acks_ = 0;
-  bool in_recovery_ = false;
 
   // SACK scoreboard: merged sacked intervals above snd_una_ (cleared on
   // coarse timeout, RFC 2018's reneging caution).
   std::map<StreamOffset, StreamOffset> sacked_;
   StreamOffset sack_rtx_point_ = 0;  // next-hole search floor in recovery
 
-  // Coarse timer state (all in ticks).
+  // Estimator logic (state lives in hot_->coarse_rtt after rebind).
   CoarseRttEstimator rtt_;
-  int rexmt_ticks_ = 0;  // 0 = disarmed
-  int backoff_shift_ = 0;
-  bool rtt_timing_ = false;  // a segment is being timed (Karn)
-  int rtt_elapsed_ticks_ = 0;
-  StreamOffset rtt_seq_ = 0;  // sample completes when ack > rtt_seq_
-
-  // Zero-window persist (simplified BSD persist timer).
-  int persist_ticks_ = 0;
 
   // Pacing (see pacing_interval()): while armed, maybe_send defers.
   std::optional<sim::Timer> pace_timer_;

@@ -4,6 +4,7 @@
 
 #include "common/ensure.h"
 #include "common/log.h"
+#include "common/prefetch.h"
 #include "tcp/tahoe.h"
 
 namespace vegas::tcp {
@@ -39,6 +40,19 @@ PortNum Stack::pick_ephemeral() {
   return 0;
 }
 
+void Stack::reserve_flows(std::size_t n) {
+  connections_.reserve(n);
+  flow_slab_.reserve(n);
+}
+
+Stack::ConnSlot Stack::make_slot(std::unique_ptr<Connection> conn) {
+  const FlowId id = flow_slab_.allocate();
+  FlowHot* row = &flow_slab_.row(id);
+  TcpSender* sender = &conn->sender();
+  sender->bind_flow_row(row);
+  return ConnSlot{std::move(conn), sender, row, id};
+}
+
 Connection& Stack::connect(NodeId remote, PortNum remote_port,
                            SenderFactory factory,
                            std::optional<TcpConfig> cfg) {
@@ -51,7 +65,7 @@ Connection& Stack::connect(NodeId remote, PortNum remote_port,
                                            isn, std::nullopt);
   Connection& ref = *conn;
   connections_.insert(conn_key(local_port, remote, remote_port),
-                      std::move(conn));
+                      make_slot(std::move(conn)));
   ++local_port_use_.get_or_insert(local_port);
   // Defer the SYN to an immediate event so the caller can attach
   // callbacks and an observer before anything happens.
@@ -71,8 +85,13 @@ void Stack::listen(PortNum port, AcceptFn on_accept, SenderFactory factory,
 
 void Stack::on_packet(net::PacketPtr p) {
   const std::uint64_t key = conn_key(p->tcp.dst_port, p->src, p->tcp.src_port);
-  if (auto* conn = connections_.find(key)) {
-    (*conn)->on_packet(*p);
+  if (ConnSlot* slot = connections_.find(key)) {
+    // Start pulling the flow's state now, in parallel: without these the
+    // packet path discovers Connection -> sender -> hot row as a serial
+    // chain of cold misses at 10k+ flows.
+    prefetch_read_range(slot->hot, sizeof(FlowHot));
+    prefetch_read_range(slot->sender, 64);
+    slot->conn->on_packet(*p);
     return;
   }
   // No connection: a SYN may create one via a listener.
@@ -83,7 +102,7 @@ void Stack::on_packet(net::PacketPtr p) {
           *this, p->src, p->tcp.dst_port, p->tcp.src_port,
           listener->factory(listener->cfg), listener->cfg, isn, p->tcp.seq);
       Connection& ref = *conn;
-      connections_.insert(key, std::move(conn));
+      connections_.insert(key, make_slot(std::move(conn)));
       ++local_port_use_.get_or_insert(p->tcp.dst_port);
       // Copy before invoking: the callback may add a listener, and a
       // FlatMap rehash would move the Listener out from under the call.
@@ -112,9 +131,14 @@ void Stack::retire(Connection* conn) {
   const PortNum local_port = conn->local_port();
   // Deferred: the connection may be deep in its own call stack right now.
   sim_.schedule(sim::Time::zero(), [this, key, local_port] {
-    if (!connections_.erase(key)) return;
-    if (auto* uses = local_port_use_.find(local_port)) {
-      if (--*uses == 0) local_port_use_.erase(local_port);
+    if (ConnSlot* slot = connections_.find(key)) {
+      // Free the slab row before the Connection: the erase below destroys
+      // the sender, and the recycled row must not outlive its binding.
+      flow_slab_.release(slot->id);
+      connections_.erase(key);
+      if (auto* uses = local_port_use_.find(local_port)) {
+        if (--*uses == 0) local_port_use_.erase(local_port);
+      }
     }
   });
 }

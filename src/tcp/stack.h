@@ -6,6 +6,12 @@
 // probe instead of a red-black-tree walk — and a per-port use count
 // makes ephemeral-port allocation O(1) instead of a scan over every
 // live connection.
+//
+// The stack also owns the FlowHot slab (tcp/flow_hot.h): each accepted
+// or initiated connection gets a dense FlowId row, its sender rebinds
+// its hot state there, and demux prefetches the row while the packet
+// headers are still being inspected — at 10k+ flows the row is almost
+// certainly cold, and the prefetch hides most of that miss.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include "sim/simulator.h"
 #include "tcp/config.h"
 #include "tcp/connection.h"
+#include "tcp/flow_hot.h"
 
 namespace vegas::tcp {
 
@@ -68,11 +75,34 @@ class Stack {
 
   std::size_t live_connections() const { return connections_.size(); }
 
+  /// Pre-sizes the demux table and the FlowHot slab for `n` concurrent
+  /// connections, so a large scenario never pays rehash/growth mid-run.
+  /// Sizing is a pure capacity hint: hashing, FlowId assignment and
+  /// therefore trace digests are identical with or without it.
+  void reserve_flows(std::size_t n);
+
+  /// Slab row backing a live connection (tests; kInvalid if unknown key).
+  FlowId flow_id_of(PortNum local, NodeId remote, PortNum remote_port) const {
+    const ConnSlot* slot = connections_.find(conn_key(local, remote,
+                                                      remote_port));
+    return slot != nullptr ? slot->id : FlowSlab::kInvalidId;
+  }
+  std::size_t flow_slab_high_water() const { return flow_slab_.high_water(); }
+
  private:
   struct Listener {
     AcceptFn on_accept;
     SenderFactory factory;
     TcpConfig cfg;
+  };
+  /// Demux table entry: the connection plus its sender and slab row,
+  /// denormalised so the packet path can prefetch all three without
+  /// first chasing Connection -> sender -> row pointers serially.
+  struct ConnSlot {
+    std::unique_ptr<Connection> conn;
+    TcpSender* sender = nullptr;
+    FlowHot* hot = nullptr;
+    FlowId id = FlowSlab::kInvalidId;
   };
   /// Packed demux key: local port | remote port | remote node.  The
   /// whole 4-tuple fits one word (our address is implicit), so the
@@ -83,6 +113,9 @@ class Stack {
            (static_cast<std::uint64_t>(remote_port) << 32) |
            static_cast<std::uint64_t>(remote);
   }
+
+  /// Claims a slab row and rebinds `conn`'s sender hot state into it.
+  ConnSlot make_slot(std::unique_ptr<Connection> conn);
 
   void on_packet(net::PacketPtr p);
   std::uint32_t pick_isn() {
@@ -95,8 +128,9 @@ class Stack {
   net::Host& host_;
   TcpConfig defaults_;
   rng::Stream isn_rng_;
-  FlatMap<std::unique_ptr<Connection>> connections_;  // by conn_key
-  FlatMap<Listener> listeners_;                       // by local port
+  FlatMap<ConnSlot> connections_;  // by conn_key
+  FlowSlab flow_slab_;             // hot rows, indexed by ConnSlot::id
+  FlatMap<Listener> listeners_;    // by local port
   /// Live connections per local port — keeps pick_ephemeral() O(1).
   FlatMap<std::uint32_t> local_port_use_;
   PortNum next_ephemeral_ = 1024;

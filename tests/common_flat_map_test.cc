@@ -1,0 +1,125 @@
+// FlatMap: reserve-on-construct and a 100k+ entry stress run.
+//
+// The map has been exercised indirectly since PR 4 (it IS the TCP
+// demux); these tests pin the semantics the 100k/1M-flow bench cells
+// lean on: reserving skips the grow/rehash chain, growth/rehash keeps
+// every mapping intact, and probe behaviour never depends on iteration
+// order or addresses.
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace vegas {
+namespace {
+
+// Deterministic key scramble (distinct from the map's own hash) so the
+// stress insert order is arbitrary-looking but reproducible.
+std::uint64_t scramble(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  return x;
+}
+
+TEST(FlatMapTest, BasicInsertFindErase) {
+  FlatMap<int> m;
+  EXPECT_TRUE(m.empty());
+  m.insert(7, 70);
+  m.insert(8, 80);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 70);
+  EXPECT_EQ(m.find(9), nullptr);
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMapTest, ReserveOnConstructHoldsCapacityThroughFill) {
+  constexpr std::size_t kN = 120000;
+  FlatMap<std::uint32_t> m(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    m.insert(scramble(i), static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(m.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    auto* v = m.find(scramble(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, static_cast<std::uint32_t>(i));
+  }
+}
+
+TEST(FlatMapTest, ReserveOnLiveMapKeepsEntries) {
+  FlatMap<std::uint64_t> m;
+  for (std::uint64_t i = 0; i < 1000; ++i) m.insert(scramble(i), i);
+  m.reserve(200000);
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    auto* v = m.find(scramble(i));
+    ASSERT_NE(v, nullptr);
+    EXPECT_EQ(*v, i);
+  }
+  // Filling up to the reserved size must keep everything reachable.
+  for (std::uint64_t i = 1000; i < 200000; ++i) m.insert(scramble(i), i);
+  EXPECT_EQ(m.size(), 200000u);
+  EXPECT_EQ(*m.find(scramble(199999)), 199999u);
+}
+
+TEST(FlatMapTest, StressChurnWithTombstones) {
+  // 100k live entries with a rolling erase/reinsert window: tombstone
+  // chains and rehashes must never lose or duplicate a mapping.
+  constexpr std::uint64_t kLive = 100000;
+  constexpr std::uint64_t kChurn = 50000;
+  FlatMap<std::uint64_t> m(kLive);
+  for (std::uint64_t i = 0; i < kLive; ++i) m.insert(scramble(i), i);
+  for (std::uint64_t i = 0; i < kChurn; ++i) {
+    ASSERT_TRUE(m.erase(scramble(i)));
+    m.insert(scramble(kLive + i), kLive + i);
+  }
+  EXPECT_EQ(m.size(), kLive);
+  for (std::uint64_t i = 0; i < kChurn; ++i) {
+    EXPECT_EQ(m.find(scramble(i)), nullptr);
+  }
+  for (std::uint64_t i = kChurn; i < kLive + kChurn; ++i) {
+    auto* v = m.find(scramble(i));
+    ASSERT_NE(v, nullptr) << i;
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(FlatMapTest, ReservedAndGrownTablesAgreeOnContents) {
+  // Same inserts into a pre-reserved map and a grow-as-you-go map:
+  // capacity is an implementation detail, the mapping must be equal.
+  constexpr std::uint64_t kN = 30000;
+  FlatMap<std::uint64_t> reserved(kN);
+  FlatMap<std::uint64_t> grown;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    reserved.insert(scramble(i), i);
+    grown.insert(scramble(i), i);
+  }
+  EXPECT_EQ(reserved.size(), grown.size());
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    auto* a = reserved.find(scramble(i));
+    auto* b = grown.find(scramble(i));
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(*a, *b);
+  }
+}
+
+TEST(FlatMapTest, MoveOnlyValues) {
+  FlatMap<std::unique_ptr<int>> m(64);
+  m.insert(1, std::make_unique<int>(11));
+  m.insert(2, std::make_unique<int>(22));
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(**m.find(2), 22);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+}  // namespace
+}  // namespace vegas

@@ -143,5 +143,82 @@ TEST(PeriodicTimerTest, StopFromCallback) {
   EXPECT_FALSE(t.running());
 }
 
+TEST(PeriodicTimerTest, PauseFromCallbackStopsFiring) {
+  Simulator sim;
+  int count = 0;
+  PeriodicTimer t(sim, [&] {
+    if (++count == 2) t.pause();
+  });
+  t.start(100_ms);
+  sim.run_until(Time::seconds(10));
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(t.paused());
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimerTest, ResumeKeepsPhase) {
+  Simulator sim;
+  std::vector<Time> ticks;
+  PeriodicTimer t(sim, [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() == 2) t.pause();  // last tick fires at 1000 ms
+  });
+  t.start(500_ms);
+  // Wake at 2.3 s, mid-interval: the next tick must land on the original
+  // 500 ms grid — 2500 ms, not 2300 + 500.
+  sim.schedule(Time::seconds(2.3), [&] { t.resume(); });
+  sim.run_until(Time::seconds(3.2));
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_EQ(ticks[0], 500_ms);
+  EXPECT_EQ(ticks[1], 1000_ms);
+  EXPECT_EQ(ticks[2], 2500_ms);
+  EXPECT_EQ(ticks[3], 3000_ms);
+}
+
+TEST(PeriodicTimerTest, ResumeAtExactBoundarySkipsToNext) {
+  Simulator sim;
+  std::vector<Time> ticks;
+  PeriodicTimer t(sim, [&] {
+    ticks.push_back(sim.now());
+    if (ticks.size() == 1) t.pause();
+  });
+  t.start(500_ms);
+  // A tick due exactly at the wake instant would already have fired (as
+  // a no-op) before the waking event; the first live tick is the NEXT
+  // boundary.
+  sim.schedule(Time::milliseconds(1500), [&] { t.resume(); });
+  sim.run_until(Time::seconds(2.2));
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0], 500_ms);
+  EXPECT_EQ(ticks[1], 2000_ms);
+}
+
+TEST(PeriodicTimerTest, ResumeWhileRunningIsNoOp) {
+  Simulator sim;
+  std::vector<Time> ticks;
+  PeriodicTimer t(sim, [&] { ticks.push_back(sim.now()); });
+  t.start(500_ms);
+  sim.schedule(Time::milliseconds(700), [&] { t.resume(); });
+  sim.run_until(Time::seconds(2.2));
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_EQ(ticks[1], 1000_ms);  // cadence untouched
+}
+
+TEST(PeriodicTimerTest, StartAfterPauseReanchorsPhase) {
+  Simulator sim;
+  std::vector<Time> ticks;
+  PeriodicTimer t(sim, [&] {
+    ticks.push_back(sim.now());
+    t.pause();
+  });
+  t.start(500_ms);
+  sim.schedule(Time::milliseconds(1234), [&] { t.start(100_ms); });
+  sim.run_until(Time::seconds(1.4));
+  ASSERT_EQ(ticks.size(), 2u);
+  EXPECT_EQ(ticks[0], 500_ms);
+  EXPECT_EQ(ticks[1], Time::milliseconds(1334));  // new phase, not the old grid
+  EXPECT_TRUE(t.paused());  // the callback pauses after every tick
+}
+
 }  // namespace
 }  // namespace vegas::sim

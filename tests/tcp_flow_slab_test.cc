@@ -1,0 +1,146 @@
+// Flow-slab lifecycle: every connection occupies a dense FlowHot row in
+// its stack's SlabArena, rows are released when the connection retires,
+// and freed FlowIds are recycled deterministically (lowest id first) —
+// the property that keeps slab layout, and therefore cache behaviour,
+// reproducible across runs regardless of completion order.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "exp/world.h"
+#include "tcp/stack.h"
+#include "traffic/bulk.h"
+
+namespace vegas {
+namespace {
+
+using namespace sim::literals;
+
+sim::Time Time(double s) { return sim::Time::seconds(s); }
+
+exp::DumbbellWorld make_world() {
+  net::DumbbellConfig cfg;
+  cfg.pairs = 1;
+  cfg.bottleneck_queue = 60;
+  return exp::DumbbellWorld(cfg, tcp::TcpConfig{}, /*seed=*/7);
+}
+
+traffic::BulkTransfer::Config bulk(PortNum port, ByteCount bytes = 10_KB) {
+  traffic::BulkTransfer::Config cfg;
+  cfg.bytes = bytes;
+  cfg.port = port;
+  return cfg;
+}
+
+/// FlowId of `t`'s client-side connection in `stack`, if it is live.
+std::optional<tcp::FlowId> client_flow_id(tcp::Stack& stack,
+                                          const traffic::BulkTransfer& t) {
+  const tcp::Connection* c = t.connection();
+  if (c == nullptr) return std::nullopt;
+  const tcp::FlowId id =
+      stack.flow_id_of(c->local_port(), c->remote(), c->remote_port());
+  if (id == tcp::FlowSlab::kInvalidId) return std::nullopt;
+  return id;
+}
+
+TEST(FlowSlabTest, RowReleasedWhenConnectionRetires) {
+  auto world = make_world();
+  traffic::BulkTransfer t(world.left(0), world.right(0), bulk(5001, 100_KB));
+  world.sim().run_until(Time(0.3));
+
+  const auto id = client_flow_id(world.left(0), t);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(*id, 0u);  // first flow on this stack -> first slab row
+  EXPECT_EQ(world.left(0).flow_slab_high_water(), 1u);
+  EXPECT_EQ(world.right(0).flow_slab_high_water(), 1u);
+
+  const tcp::Connection* c = t.connection();
+  const PortNum local = c->local_port();
+  const NodeId remote = c->remote();
+  const PortNum remote_port = c->remote_port();
+
+  world.sim().run_until(60_sec);
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(world.left(0).live_connections(), 0u);
+  // Retirement released the row: the tuple no longer resolves.
+  EXPECT_EQ(world.left(0).flow_id_of(local, remote, remote_port),
+            tcp::FlowSlab::kInvalidId);
+  // High water is a lifetime maximum, not a live count.
+  EXPECT_EQ(world.left(0).flow_slab_high_water(), 1u);
+}
+
+TEST(FlowSlabTest, FreedIdsRecycleLowestFirst) {
+  auto world = make_world();
+  {
+    traffic::BulkTransfer a(world.left(0), world.right(0), bulk(5001));
+    world.sim().run_until(60_sec);
+    ASSERT_TRUE(a.done());  // id 0 allocated and freed
+  }
+
+  // Two concurrent flows: the first reuses freed id 0, the second is a
+  // fresh watermark row (id 1).
+  traffic::BulkTransfer b(world.left(0), world.right(0), bulk(5002, 512_KB));
+  traffic::BulkTransfer c(world.left(0), world.right(0), bulk(5003, 512_KB));
+  // Half a second in, both are mid-transfer (512 KB takes several
+  // seconds through this bottleneck).
+  world.sim().run_until(world.sim().now() + Time(0.5));
+
+  const auto id_b = client_flow_id(world.left(0), b);
+  const auto id_c = client_flow_id(world.left(0), c);
+  ASSERT_TRUE(id_b.has_value());
+  ASSERT_TRUE(id_c.has_value());
+  EXPECT_EQ(*id_b, 0u);
+  EXPECT_EQ(*id_c, 1u);
+  EXPECT_EQ(world.left(0).flow_slab_high_water(), 2u);
+
+  world.sim().run_until(180_sec);
+  ASSERT_TRUE(b.done());
+  ASSERT_TRUE(c.done());
+
+  // Both freed: {0, 1} plus watermark 2.  Three new flows must claim ids
+  // in ascending order regardless of which earlier flow finished first.
+  traffic::BulkTransfer d(world.left(0), world.right(0), bulk(5004, 512_KB));
+  traffic::BulkTransfer e(world.left(0), world.right(0), bulk(5005, 512_KB));
+  traffic::BulkTransfer f(world.left(0), world.right(0), bulk(5006, 512_KB));
+  world.sim().run_until(world.sim().now() + Time(0.5));
+
+  const auto id_d = client_flow_id(world.left(0), d);
+  const auto id_e = client_flow_id(world.left(0), e);
+  const auto id_f = client_flow_id(world.left(0), f);
+  ASSERT_TRUE(id_d.has_value());
+  ASSERT_TRUE(id_e.has_value());
+  ASSERT_TRUE(id_f.has_value());
+  EXPECT_EQ(*id_d, 0u);
+  EXPECT_EQ(*id_e, 1u);
+  EXPECT_EQ(*id_f, 2u);
+  EXPECT_EQ(world.left(0).flow_slab_high_water(), 3u);
+}
+
+TEST(FlowSlabTest, ReserveFlowsPreservesBehaviour) {
+  auto world = make_world();
+  world.left(0).reserve_flows(256);
+  world.right(0).reserve_flows(256);
+  traffic::BulkTransfer t(world.left(0), world.right(0), bulk(5001, 50_KB));
+  world.sim().run_until(60_sec);
+  ASSERT_TRUE(t.done());
+  EXPECT_EQ(t.result().bytes_delivered, 50_KB);
+  EXPECT_EQ(world.left(0).flow_slab_high_water(), 1u);
+}
+
+TEST(FlowSlabTest, ServerSideRowsTrackAcceptedConnections) {
+  auto world = make_world();
+  traffic::BulkTransfer b(world.left(0), world.right(0), bulk(5002, 512_KB));
+  traffic::BulkTransfer c(world.left(0), world.right(0), bulk(5003, 512_KB));
+  world.sim().run_until(Time(0.5));
+  // The accepting stack allocates rows for its passive-open connections
+  // with the same dense discipline.
+  EXPECT_EQ(world.right(0).flow_slab_high_water(), 2u);
+  EXPECT_EQ(world.right(0).live_connections(), 2u);
+  world.sim().run_until(180_sec);
+  ASSERT_TRUE(b.done());
+  ASSERT_TRUE(c.done());
+  EXPECT_EQ(world.right(0).live_connections(), 0u);
+}
+
+}  // namespace
+}  // namespace vegas
