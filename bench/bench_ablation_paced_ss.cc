@@ -10,8 +10,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "cc/registry.h"
 #include "core/factory.h"
-#include "core/vegas.h"
 #include "exp/world.h"
 #include "stats/summary.h"
 #include "traffic/bulk.h"
@@ -40,7 +40,7 @@ Outcome run_solo(std::size_t queue, bool paced, sim::Time delay,
     tcp::TcpConfig tuned = c;
     tuned.vegas_paced_slow_start = paced;
     tuned.vegas_ss_bandwidth_check = bw_check;
-    return std::make_unique<core::VegasSender>(tuned);
+    return cc::make_sender("vegas", tuned);
   };
   traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
   world.sim().run_until(sim::Time::seconds(300));

@@ -88,7 +88,7 @@ int main() {
                     "long/cross"},
                    12);
   for (const int segments : {2, 4}) {
-    for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
+    for (const AlgoSpec& spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
       const auto outcomes =
           bench::sweep(static_cast<std::size_t>(seeds), [&](int s) {
             return run_lot(spec, segments, 3000 + static_cast<std::uint64_t>(s));

@@ -89,7 +89,7 @@ int main() {
   exp::Table table({"variant", "thr KB/s", "retx KB", "coarse TOs",
                     "avg queue"},
                    13);
-  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
+  for (const AlgoSpec& spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
     for (const bool red : {false, true}) {
       const Agg agg = run_cell(spec, red, seeds);
       table.add_row({spec.label() + (red ? "+RED" : "+DropTail"),

@@ -64,7 +64,7 @@ int main() {
 
   bench::header("Ablation", "ACK policy: every-segment vs BSD delayed ACKs");
   exp::Table ack_table({"variant", "thr KB/s", "retx KB"}, 18);
-  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas()}) {
+  for (const AlgoSpec& spec : {AlgoSpec::reno(), AlgoSpec::vegas()}) {
     for (const bool delack : {false, true}) {
       tcp::TcpConfig cfg;
       cfg.delayed_ack = delack;
@@ -82,7 +82,7 @@ int main() {
 
   bench::header("Ablation", "Segment size (paper uses 1 KB)");
   exp::Table mss_table({"variant", "thr KB/s", "retx KB"}, 18);
-  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas()}) {
+  for (const AlgoSpec& spec : {AlgoSpec::reno(), AlgoSpec::vegas()}) {
     for (const ByteCount mss : {512, 1024, 1436}) {
       tcp::TcpConfig cfg;
       cfg.mss = mss;

@@ -20,10 +20,10 @@ int main() {
   const std::vector<AlgoSpec> specs{
       AlgoSpec::tahoe(),
       AlgoSpec::reno(),
-      {core::Algorithm::kNewReno, 0, 0},
-      {core::Algorithm::kDual, 0, 0},
-      {core::Algorithm::kCard, 0, 0},
-      {core::Algorithm::kTris, 0, 0},
+      AlgoSpec::named("newreno"),
+      AlgoSpec::named("dual"),
+      AlgoSpec::named("card"),
+      AlgoSpec::named("tris"),
       AlgoSpec::vegas(1, 3),
       AlgoSpec::vegas(2, 4),
   };

@@ -84,7 +84,7 @@ int main() {
                    13);
   const auto d30 = sim::Time::milliseconds(30);
   const auto d60 = sim::Time::milliseconds(60);
-  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
+  for (const AlgoSpec& spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
     const Outcome up = run_route_change(spec, d30, d60);
     table.add_row({"30->60ms (stale-low)", spec.label(),
                    exp::Table::num(up.thr_before),

@@ -74,8 +74,8 @@ int main() {
   const int seeds = bench::scaled(4);
 
   exp::Table table({"variant", "thr KB/s", "retx KB", "coarse TOs"}, 16);
-  for (const AlgoSpec spec : {AlgoSpec::reno(),
-                              AlgoSpec{core::Algorithm::kNewReno, 0, 0},
+  for (const AlgoSpec& spec : {AlgoSpec::reno(),
+                              AlgoSpec::named("newreno"),
                               AlgoSpec::vegas(1, 3)}) {
     for (const bool sack : {false, true}) {
       const Agg agg = run_cell(spec, sack, seeds);

@@ -79,7 +79,7 @@ void print_grid(const char* title, Agg (*runner)(AlgoSpec, bool, int),
                 int seeds) {
   std::printf("\n%s\n", title);
   exp::Table table({"variant", "thr KB/s", "retx KB", "coarse TOs"}, 16);
-  for (const AlgoSpec spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
+  for (const AlgoSpec& spec : {AlgoSpec::reno(), AlgoSpec::vegas(1, 3)}) {
     for (const bool sack : {false, true}) {
       const Agg agg = runner(spec, sack, seeds);
       table.add_row({spec.label() + (sack ? "+SACK" : ""),

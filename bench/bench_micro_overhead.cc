@@ -7,8 +7,8 @@
 
 #include <memory>
 
+#include "cc/registry.h"
 #include "core/factory.h"
-#include "core/vegas.h"
 #include "exp/world.h"
 #include "tcp/sender.h"
 #include "traffic/bulk.h"
@@ -19,13 +19,14 @@ namespace {
 
 /// Drives one sender through send->ACK cycles with no network, so the
 /// measurement isolates protocol bookkeeping.
-template <typename Sender>
-void ack_processing_loop(benchmark::State& state) {
+template <typename MakeSender>
+void ack_processing_loop(benchmark::State& state, MakeSender make) {
   for (auto _ : state) {
     state.PauseTiming();
     sim::Simulator sim;
     tcp::TcpConfig cfg;
-    Sender snd(cfg);
+    std::unique_ptr<tcp::TcpSender> snd_ptr = make(cfg);
+    tcp::TcpSender& snd = *snd_ptr;
     tcp::TcpSender::Env env;
     env.sim = &sim;
     env.transmit = [](tcp::StreamOffset, ByteCount, bool) {};
@@ -49,12 +50,16 @@ void ack_processing_loop(benchmark::State& state) {
 }
 
 void BM_RenoAckProcessing(benchmark::State& state) {
-  ack_processing_loop<tcp::RenoSender>(state);
+  ack_processing_loop(state, [](const tcp::TcpConfig& cfg) {
+    return std::make_unique<tcp::RenoSender>(cfg);
+  });
 }
 BENCHMARK(BM_RenoAckProcessing);
 
 void BM_VegasAckProcessing(benchmark::State& state) {
-  ack_processing_loop<core::VegasSender>(state);
+  ack_processing_loop(state, [](const tcp::TcpConfig& cfg) {
+    return cc::make_sender("vegas", cfg);
+  });
 }
 BENCHMARK(BM_VegasAckProcessing);
 

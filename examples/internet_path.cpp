@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "cc/registry.h"
 #include "exp/scenarios.h"
 
 using namespace vegas;
@@ -22,12 +23,13 @@ int main(int argc, char** argv) {
   } else if (algo_name == "vegas") {
     p.algo = exp::AlgoSpec::vegas(1, 3);
   } else {
-    const auto parsed = core::parse_algorithm(algo_name);
-    if (!parsed.has_value()) {
-      std::fprintf(stderr, "unknown algorithm '%s'\n", algo_name.c_str());
+    const cc::CongOps* ops = cc::find(algo_name);
+    if (ops == nullptr) {
+      std::fprintf(stderr, "unknown algorithm '%s'; did you mean '%s'?\n",
+                   algo_name.c_str(), cc::closest(algo_name).c_str());
       return 1;
     }
-    p.algo.algo = *parsed;
+    p.algo = exp::AlgoSpec::named(std::string(ops->name));
   }
 
   std::printf("17-hop chain, 230 KB/s narrow segment, tcplib cross "

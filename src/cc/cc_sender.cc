@@ -1,0 +1,113 @@
+#include "cc/cc_sender.h"
+
+namespace vegas::cc {
+
+using tcp::RetransmitTrigger;
+
+CcSender::CcSender(const CongOps& ops, const tcp::TcpConfig& cfg)
+    : TcpSender(cfg), ops_(&ops) {
+  vegas::ensure(ops_->priv_align <= alignof(std::max_align_t),
+                "CongOps priv_align exceeds fundamental alignment");
+  if (ops_->priv_size > 0) {
+    priv_ = std::make_unique<std::byte[]>(ops_->priv_size);
+  }
+  if (ops_->init != nullptr) ops_->init(*this);
+}
+
+CcSender::~CcSender() {
+  if (ops_->release != nullptr) ops_->release(*this);
+}
+
+void CcSender::cc_on_new_ack(ByteCount newly_acked) {
+  if (ops_->on_ack != nullptr) {
+    ops_->on_ack(*this, newly_acked);
+    return;
+  }
+  TcpSender::cc_on_new_ack(newly_acked);
+}
+
+void CcSender::cc_on_dup_ack(int dup_count) {
+  if (ops_->on_dup_ack != nullptr) {
+    ops_->on_dup_ack(*this, dup_count);
+    return;
+  }
+  if (ops_->ssthresh == nullptr) {
+    TcpSender::cc_on_dup_ack(dup_count);
+    return;
+  }
+  // Reno's dup-ACK machinery verbatim (tcp/sender.cc), with the module's
+  // loss target substituted for half_window() — the ssthresh-only
+  // contract described in cong_ops.h.
+  if (in_recovery()) {
+    set_cwnd(cwnd() + mss());
+    sack_retransmit_next_hole(RetransmitTrigger::kThreeDupAcks);
+    maybe_send();
+    return;
+  }
+  if (dup_count == config().dup_ack_threshold) {
+    set_ssthresh(ops_->ssthresh(*this));
+    cancel_rtt_timing();  // Karn: the timed segment is being retransmitted
+    retransmit_front(RetransmitTrigger::kThreeDupAcks);
+    ++stats_.fast_retransmits;
+    set_cwnd(ssthresh() + ByteCount{config().dup_ack_threshold} * mss());
+    enter_recovery();
+    sack_recovery_begin();
+    maybe_send();
+  }
+}
+
+void CcSender::cc_on_coarse_timeout() {
+  if (ops_->on_loss != nullptr) {
+    ops_->on_loss(*this);
+    return;
+  }
+  if (ops_->ssthresh == nullptr) {
+    TcpSender::cc_on_coarse_timeout();
+    return;
+  }
+  set_ssthresh(ops_->ssthresh(*this));
+  set_cwnd(config().mss);
+}
+
+void CcSender::on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) {
+  if (ops_->on_rtt_sample != nullptr) ops_->on_rtt_sample(*this, ack, duplicate);
+}
+
+void CcSender::on_segment_transmitted(const SegRecord& rec, bool retransmit) {
+  if (ops_->cwnd_event != nullptr) {
+    CwndEvent ev;
+    ev.kind = CwndEvent::Kind::kSegmentSent;
+    ev.rec = &rec;
+    ev.retransmit = retransmit;
+    ops_->cwnd_event(*this, ev);
+  }
+}
+
+void CcSender::on_rtt_sample_ticks(int ticks) {
+  if (ops_->cwnd_event != nullptr) {
+    CwndEvent ev;
+    ev.kind = CwndEvent::Kind::kCoarseRttSample;
+    ev.ticks = ticks;
+    ops_->cwnd_event(*this, ev);
+  }
+}
+
+void CcSender::on_flow_row_rebound() {
+  if (ops_->cwnd_event != nullptr) {
+    CwndEvent ev;
+    ev.kind = CwndEvent::Kind::kRowRebound;
+    ops_->cwnd_event(*this, ev);
+  }
+}
+
+sim::Time CcSender::pacing_interval() const {
+  if (ops_->pacing != nullptr) return ops_->pacing(*this).interval;
+  return sim::Time::zero();
+}
+
+int CcSender::pacing_burst() const {
+  if (ops_->pacing != nullptr) return ops_->pacing(*this).burst;
+  return 1;
+}
+
+}  // namespace vegas::cc

@@ -1,0 +1,125 @@
+// CcSender — the one TcpSender subclass: dispatches the base engine's
+// virtual joints through a CongOps table (cc/cong_ops.h).
+//
+// Null hooks fall through to the base Reno implementation with zero
+// added work beyond one pointer test, so a CcSender running the "reno"
+// module is bit-identical to the plain base engine (test-enforced via
+// pinned trace digests, tests/cc_registry_test.cc).
+//
+// The protected TcpSender services modules need (window setters,
+// retransmission helpers, stats) are re-exported publicly here — module
+// hooks are free functions, not members, so the subclass is the access
+// bridge.  Per-module state lives in a byte slab owned by the sender;
+// emplace_priv/priv/destroy_priv give typed access (std::construct_at,
+// no raw new — see tools/lint_rules.h).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <type_traits>
+
+#include "cc/cong_ops.h"
+#include "common/ensure.h"
+#include "tcp/sender.h"
+
+namespace vegas::cc {
+
+class CcSender final : public tcp::TcpSender {
+ public:
+  /// `ops` must outlive the sender (registry tables are static).
+  CcSender(const CongOps& ops, const tcp::TcpConfig& cfg);
+  ~CcSender() override;
+
+  std::string name() const override { return ops_->label; }
+  const CongOps& ops() const { return *ops_; }
+
+  // --- base-engine services re-exported for module hooks -----------------
+
+  using TcpSender::cancel_rtt_timing;
+  using TcpSender::enter_recovery;
+  using TcpSender::exit_recovery;
+  using TcpSender::front_record;
+  using TcpSender::half_window;
+  using TcpSender::hot;
+  using TcpSender::in_recovery;
+  using TcpSender::maybe_send;
+  using TcpSender::mss;
+  using TcpSender::now;
+  using TcpSender::observer;
+  using TcpSender::records;
+  using TcpSender::retransmit_at;
+  using TcpSender::retransmit_front;
+  using TcpSender::sack_recovery_begin;
+  using TcpSender::sack_retransmit_next_hole;
+  using TcpSender::set_cwnd;
+  using TcpSender::set_ssthresh;
+  using TcpSender::snd_wnd;
+  using TcpSender::stats_;
+
+  /// Base Reno behaviour, callable from hooks that extend rather than
+  /// replace it (e.g. Vegas' coarse-timeout path).
+  void reno_on_ack(ByteCount newly_acked) { TcpSender::cc_on_new_ack(newly_acked); }
+  void reno_on_dup_ack(int dup_count) { TcpSender::cc_on_dup_ack(dup_count); }
+  void reno_on_loss() { TcpSender::cc_on_coarse_timeout(); }
+
+  /// The module's loss-response target (ssthresh hook, else half_window).
+  ByteCount loss_target() {
+    return ops_->ssthresh != nullptr ? ops_->ssthresh(*this) : half_window();
+  }
+
+  // --- private-state slab -------------------------------------------------
+
+  /// Constructs the module's state in the slab (call from `init`).
+  template <typename T, typename... Args>
+  T& emplace_priv(Args&&... args) {
+    static_assert(alignof(T) <= alignof(std::max_align_t));
+    vegas::ensure(sizeof(T) <= ops_->priv_size &&
+                      alignof(T) <= ops_->priv_align,
+                  "CongOps priv_size/priv_align too small for module state");
+    return *std::construct_at(reinterpret_cast<T*>(priv_.get()),
+                              std::forward<Args>(args)...);
+  }
+
+  template <typename T>
+  T& priv() {
+    return *std::launder(reinterpret_cast<T*>(priv_.get()));
+  }
+  template <typename T>
+  const T& priv() const {
+    return *std::launder(reinterpret_cast<const T*>(priv_.get()));
+  }
+
+  /// Destroys the module's state (call from `release`).
+  template <typename T>
+  void destroy_priv() {
+    std::destroy_at(std::launder(reinterpret_cast<T*>(priv_.get())));
+  }
+
+ protected:
+  void cc_on_new_ack(ByteCount newly_acked) override;
+  void cc_on_dup_ack(int dup_count) override;
+  void cc_on_coarse_timeout() override;
+  void on_ack_preprocess(tcp::StreamOffset ack, bool duplicate) override;
+  void on_segment_transmitted(const SegRecord& rec, bool retransmit) override;
+  void on_rtt_sample_ticks(int ticks) override;
+  void on_flow_row_rebound() override;
+  sim::Time pacing_interval() const override;
+  int pacing_burst() const override;
+
+ private:
+  const CongOps* ops_;
+  std::unique_ptr<std::byte[]> priv_;
+};
+
+/// Default init/release for modules whose state is default-constructible.
+template <typename T>
+void priv_init(CcSender& s) {
+  s.emplace_priv<T>();
+}
+template <typename T>
+void priv_release(CcSender& s) {
+  s.destroy_priv<T>();
+}
+
+}  // namespace vegas::cc

@@ -1,0 +1,108 @@
+// CongOps — the pluggable congestion-control interface (docs/CONGESTION.md).
+//
+// In the spirit of Linux's `tcp_congestion_ops`: an algorithm is a static
+// table of plain function pointers operating on a CcSender (the one
+// concrete TcpSender subclass, cc/cc_sender.h) plus a small per-flow
+// private-state slab the module lays out itself.  Every hook is optional;
+// a null pointer inherits the base Reno engine's behaviour for that
+// joint, so a module overrides exactly the joints its algorithm changes —
+// mirroring how the paper derived Vegas "by modifying Reno" (§2).
+//
+// Hook map (base-engine call site → hook):
+//
+//   connection setup             → init        (lay out priv state)
+//   sender destruction           → release
+//   fresh cumulative ACK         → on_ack      (window growth / deflate)
+//   duplicate ACK                → on_dup_ack  (fast retransmit policy)
+//   coarse retransmission RTO    → on_loss
+//   every arriving ACK, early    → on_rtt_sample (fine RTT, CAM, probes)
+//   segment (re)transmitted,
+//   coarse RTT sample, hot-row
+//   rebind                       → cwnd_event
+//   loss-response window target  → ssthresh    (see below)
+//   transmission pacing          → pacing
+//
+// `ssthresh` is the light-weight alternative to writing a full
+// on_dup_ack/on_loss pair: when a module provides `ssthresh` but leaves
+// those null, the engine runs Reno's standard dup-ACK and RTO machinery
+// verbatim with the module's window target substituted for Reno's
+// half_window() — enough for every pure-AIMD variant (CUBIC, New-AIMD).
+//
+// Modules register themselves with CC_REGISTER_MODULE (cc/registry.h);
+// the registry owns name lookup and enumeration.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+#include "tcp/sender.h"
+
+namespace vegas::cc {
+
+class CcSender;
+
+/// Out-of-band events forwarded to interested modules.
+struct CwndEvent {
+  enum class Kind {
+    kSegmentSent,      // a segment was (re)transmitted (rec/retransmit set)
+    kCoarseRttSample,  // the coarse estimator took a sample (ticks set)
+    kRowRebound,       // the FlowHot row moved; re-anchor estimators
+  };
+  Kind kind;
+  const tcp::TcpSender::SegRecord* rec = nullptr;
+  bool retransmit = false;
+  int ticks = 0;
+};
+
+/// Transmission-pacing hint.  A zero interval means unpaced (burst the
+/// window); `burst` segments may go back-to-back per interval.
+struct PacingHint {
+  sim::Time interval = sim::Time::zero();
+  int burst = 1;
+};
+
+/// One congestion-control module.  Instances must have static storage
+/// duration: the registry and every CcSender keep pointers into it.
+struct CongOps {
+  /// Canonical registry key, lowercase ("vegas", "cubic", ...).
+  const char* name = nullptr;
+  /// Display name ("Vegas", "CUBIC", ...), returned by CcSender::name().
+  const char* label = nullptr;
+  /// Optional alternate spelling also accepted by lookup ("tri-s").
+  const char* alt = nullptr;
+
+  /// Private-state slab the engine allocates per sender.  The module
+  /// constructs its state there in `init` (CcSender::emplace_priv) and
+  /// destroys it in `release`.  Alignment must not exceed
+  /// alignof(std::max_align_t).
+  std::size_t priv_size = 0;
+  std::size_t priv_align = 1;
+
+  void (*init)(CcSender&) = nullptr;
+  void (*release)(CcSender&) = nullptr;
+
+  /// Fresh cumulative ACK advanced snd_una by `newly_acked` bytes.
+  void (*on_ack)(CcSender&, ByteCount newly_acked) = nullptr;
+
+  /// Duplicate ACK arrived (`dup_count` includes this one).
+  void (*on_dup_ack)(CcSender&, int dup_count) = nullptr;
+
+  /// The coarse retransmission timer fired (go-back-N follows).
+  void (*on_loss)(CcSender&) = nullptr;
+
+  /// Every arriving ACK, before standard processing (records intact).
+  void (*on_rtt_sample)(CcSender&, tcp::StreamOffset ack,
+                        bool duplicate) = nullptr;
+
+  /// Out-of-band events (segment sent, coarse RTT sample, row rebind).
+  void (*cwnd_event)(CcSender&, const CwndEvent&) = nullptr;
+
+  /// Loss-response window target in bytes (Reno uses half_window()).
+  /// See the header comment for the null-on_dup_ack/on_loss contract.
+  ByteCount (*ssthresh)(CcSender&) = nullptr;
+
+  /// Pacing hint, consulted per transmission opportunity.
+  PacingHint (*pacing)(const CcSender&) = nullptr;
+};
+
+}  // namespace vegas::cc

@@ -1,0 +1,20 @@
+// 4.3BSD Reno — the base engine itself (tcp/sender.{h,cc}).  Every hook
+// is null, so dispatch falls through to TcpSender's own joints: this
+// module IS the baseline the others are measured against, and a CcSender
+// running it is bit-identical to a bare TcpSender (digest-test-enforced).
+#include "cc/registry.h"
+
+namespace vegas::cc {
+
+namespace {
+
+const CongOps kRenoOps = {
+    .name = "reno",
+    .label = "Reno",
+};
+
+}  // namespace
+
+CC_REGISTER_MODULE(reno, kRenoOps)
+
+}  // namespace vegas::cc

@@ -1,4 +1,4 @@
-// Shared helpers for delay-based congestion-avoidance schemes.
+// Shared helpers for delay-based congestion-avoidance modules.
 #pragma once
 
 #include <deque>
@@ -7,7 +7,7 @@
 #include "sim/time.h"
 #include "tcp/sender.h"
 
-namespace vegas::core {
+namespace vegas::cc {
 
 /// Per-RTT epoch tracker: arms a mark at snd_nxt and reports completion
 /// when the cumulative ACK covers it.  All of the paper's §3.2 comparator
@@ -56,4 +56,4 @@ inline std::optional<sim::Time> covered_rtt_sample(
   return now - best->sent_at;
 }
 
-}  // namespace vegas::core
+}  // namespace vegas::cc

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "cc/diag.h"
 #include "common/ensure.h"
-#include "core/vegas.h"
 
 namespace vegas::check {
 namespace {
@@ -31,11 +31,11 @@ InvariantOptions InvariantOptions::for_config(const tcp::TcpConfig& cfg,
 InvariantChecker::InvariantChecker(InvariantOptions opt) : opt_(opt) {}
 
 void InvariantChecker::attach_sender(const tcp::TcpSender* sender) {
-  const auto* vegas = dynamic_cast<const core::VegasSender*>(sender);
-  if (vegas == nullptr) return;
-  attach_base_rtt_probe([vegas]() -> std::optional<sim::Time> {
-    if (!vegas->has_base_rtt()) return std::nullopt;
-    return vegas->base_rtt();
+  if (!cc::vegas_diag(*sender).has_value()) return;  // Vegas module only
+  attach_base_rtt_probe([sender]() -> std::optional<sim::Time> {
+    const auto diag = cc::vegas_diag(*sender);
+    if (!diag.has_value() || !diag->has_base_rtt) return std::nullopt;
+    return diag->base_rtt;
   });
 }
 
@@ -127,7 +127,7 @@ void InvariantChecker::on_segment_sent(sim::Time t, tcp::StreamOffset seq,
 }
 
 void InvariantChecker::take_rtt_sample(sim::Time t, tcp::StreamOffset ack) {
-  // Mirror VegasSender::feed_fine_rtt: the latest segment fully covered
+  // Mirror the Vegas module's feed_fine_rtt: the latest segment covered
   // by this ACK, Karn-filtered to single-transmission records.
   auto it = sends_.upper_bound(ack);
   const SendRec* best = nullptr;

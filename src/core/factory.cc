@@ -1,76 +1,55 @@
 #include "core/factory.h"
 
-#include "core/card.h"
-#include "core/newreno.h"
-#include "core/dual.h"
-#include "core/tris.h"
-#include "core/vegas.h"
-#include "tcp/tahoe.h"
+#include "cc/registry.h"
 
 namespace vegas::core {
 
-tcp::SenderFactory make_sender_factory(Algorithm algo) {
+std::string_view registry_name(Algorithm algo) {
   switch (algo) {
-    case Algorithm::kReno:
-      return tcp::reno_factory();
-    case Algorithm::kTahoe:
-      return tcp::tahoe_factory();
-    case Algorithm::kNewReno:
-      return [](const tcp::TcpConfig& cfg) {
-        return std::make_unique<NewRenoSender>(cfg);
-      };
-    case Algorithm::kVegas:
-      return [](const tcp::TcpConfig& cfg) {
-        return std::make_unique<VegasSender>(cfg);
-      };
-    case Algorithm::kDual:
-      return [](const tcp::TcpConfig& cfg) {
-        return std::make_unique<DualSender>(cfg);
-      };
-    case Algorithm::kCard:
-      return [](const tcp::TcpConfig& cfg) {
-        return std::make_unique<CardSender>(cfg);
-      };
-    case Algorithm::kTris:
-      return [](const tcp::TcpConfig& cfg) {
-        return std::make_unique<TriSSender>(cfg);
-      };
+    case Algorithm::kReno: return "reno";
+    case Algorithm::kTahoe: return "tahoe";
+    case Algorithm::kNewReno: return "newreno";
+    case Algorithm::kVegas: return "vegas";
+    case Algorithm::kDual: return "dual";
+    case Algorithm::kCard: return "card";
+    case Algorithm::kTris: return "tris";
   }
-  return tcp::reno_factory();
+  return "reno";
 }
 
-tcp::SenderFactory vegas_factory(double alpha, double beta) {
-  return [alpha, beta](const tcp::TcpConfig& cfg) {
+tcp::SenderFactory make_sender_factory(Algorithm algo) {
+  return cc::make_factory(registry_name(algo));
+}
+
+tcp::SenderFactory vegas_factory(double alpha, double beta,
+                                 std::optional<double> gamma) {
+  // The paper's Vegas-1,3 / Vegas-2,4 variants are built here: α/β (and
+  // optionally γ) pinned over whatever TcpConfig a connection uses.
+  return [alpha, beta, gamma](const tcp::TcpConfig& cfg) {
     tcp::TcpConfig tuned = cfg;
     tuned.vegas_alpha = alpha;
     tuned.vegas_beta = beta;
-    return std::make_unique<VegasSender>(tuned);
+    if (gamma.has_value()) tuned.vegas_gamma = *gamma;
+    return cc::make_sender("vegas", tuned);
   };
 }
 
 std::string to_string(Algorithm algo) {
-  switch (algo) {
-    case Algorithm::kReno: return "Reno";
-    case Algorithm::kTahoe: return "Tahoe";
-    case Algorithm::kNewReno: return "NewReno";
-    case Algorithm::kVegas: return "Vegas";
-    case Algorithm::kDual: return "DUAL";
-    case Algorithm::kCard: return "CARD";
-    case Algorithm::kTris: return "Tri-S";
-  }
-  return "?";
+  return std::string(cc::find(registry_name(algo))->label);
 }
 
 std::optional<Algorithm> parse_algorithm(std::string_view name) {
-  if (name == "reno" || name == "Reno") return Algorithm::kReno;
-  if (name == "tahoe" || name == "Tahoe") return Algorithm::kTahoe;
-  if (name == "newreno" || name == "NewReno") return Algorithm::kNewReno;
-  if (name == "vegas" || name == "Vegas") return Algorithm::kVegas;
-  if (name == "dual" || name == "DUAL") return Algorithm::kDual;
-  if (name == "card" || name == "CARD") return Algorithm::kCard;
-  if (name == "tris" || name == "Tri-S" || name == "tri-s")
-    return Algorithm::kTris;
-  return std::nullopt;
+  const cc::CongOps* ops = cc::find(name);
+  if (ops == nullptr) return std::nullopt;
+  const std::string_view key = ops->name;
+  if (key == "reno") return Algorithm::kReno;
+  if (key == "tahoe") return Algorithm::kTahoe;
+  if (key == "newreno") return Algorithm::kNewReno;
+  if (key == "vegas") return Algorithm::kVegas;
+  if (key == "dual") return Algorithm::kDual;
+  if (key == "card") return Algorithm::kCard;
+  if (key == "tris") return Algorithm::kTris;
+  return std::nullopt;  // modern modules carry no legacy enum value
 }
 
 }  // namespace vegas::core

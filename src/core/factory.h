@@ -1,4 +1,11 @@
-// Congestion-control algorithm registry.
+// Congestion-control algorithm shim over the cc registry.
+//
+// This header predates src/cc and is kept as a forwards shim so the
+// paper-era call sites (benches, examples, tools) keep compiling: the
+// Algorithm enum names the paper's seven variants and every factory
+// routes through cc::make_factory (cc/registry.h).  The registry also
+// carries the modern zoo (cubic, yeah, relentless, new-aimd) — new code
+// should talk to vegas::cc directly and use string names throughout.
 #pragma once
 
 #include <optional>
@@ -14,11 +21,23 @@ enum class Algorithm { kReno, kTahoe, kNewReno, kVegas, kDual, kCard, kTris };
 /// Factory producing the given engine; Vegas α/β/γ come from TcpConfig.
 tcp::SenderFactory make_sender_factory(Algorithm algo);
 
-/// Convenience: Vegas with explicit thresholds (the paper's Vegas-1,3 and
-/// Vegas-2,4 variants) applied over whatever TcpConfig a connection uses.
-tcp::SenderFactory vegas_factory(double alpha, double beta);
+/// Convenience: Vegas with explicit thresholds, named as the paper names
+/// its variants — Vegas-α,β reads "increase below α buffers, decrease
+/// above β" (§3.2): Vegas-1,3 is the conservative pairing, Vegas-2,4 the
+/// paper's default.  γ (the §3.3 slow-start exit threshold) defaults to
+/// whatever TcpConfig a connection uses; pass `gamma` to pin it
+/// explicitly alongside α/β.
+tcp::SenderFactory vegas_factory(double alpha, double beta,
+                                 std::optional<double> gamma = std::nullopt);
+
+/// Registry name of the enum value ("reno", "tris", ...).
+std::string_view registry_name(Algorithm algo);
 
 std::string to_string(Algorithm algo);
+
+/// Case-insensitive; accepts registry names, alternates and display
+/// labels ("NewReno", "tri-s", ...).  Only the paper-era seven have enum
+/// values — modern modules resolve via cc::find instead.
 std::optional<Algorithm> parse_algorithm(std::string_view name);
 
 }  // namespace vegas::core

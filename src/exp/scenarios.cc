@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <memory>
 
+#include "cc/registry.h"
 #include "common/rng.h"
-#include "core/vegas.h"
 #include "exp/runner.h"
 #include "net/monitor.h"
 #include "stats/fairness.h"
@@ -13,7 +13,7 @@
 namespace vegas::exp {
 
 tcp::SenderFactory AlgoSpec::factory() const {
-  if (algo == core::Algorithm::kVegas) {
+  if (name == "vegas") {
     const AlgoSpec spec = *this;
     return [spec](const tcp::TcpConfig& cfg) {
       tcp::TcpConfig tuned = cfg;
@@ -21,18 +21,19 @@ tcp::SenderFactory AlgoSpec::factory() const {
       tuned.vegas_beta = spec.beta;
       tuned.vegas_gamma = spec.gamma;
       tuned.vegas_fine_decrease = spec.fine_decrease;
-      return std::make_unique<core::VegasSender>(tuned);
+      return cc::make_sender("vegas", tuned);
     };
   }
-  return core::make_sender_factory(algo);
+  return cc::make_factory(name);
 }
 
 std::string AlgoSpec::label() const {
-  if (algo == core::Algorithm::kVegas) {
+  if (name == "vegas") {
     return "Vegas-" + std::to_string(static_cast<int>(alpha)) + "," +
            std::to_string(static_cast<int>(beta));
   }
-  return core::to_string(algo);
+  const cc::CongOps* ops = cc::find(name);
+  return ops != nullptr ? ops->label : name;
 }
 
 OneOnOneResult run_one_on_one(const OneOnOneParams& p) {

@@ -2,28 +2,36 @@
 // Benches sweep parameters and average; tests assert on shapes.
 #pragma once
 
+#include <string>
 #include <vector>
 
-#include "core/factory.h"
 #include "exp/world.h"
+#include "tcp/stack.h"
 #include "traffic/bulk.h"
 #include "traffic/source.h"
 
 namespace vegas::exp {
 
 /// Algorithm choice with Vegas thresholds (paper's Vegas-1,3 / Vegas-2,4)
-/// plus the secondary Vegas knobs the ablation benches sweep.
+/// plus the secondary Vegas knobs the ablation benches sweep.  `name` is
+/// a cc registry key (cc/registry.h) — any registered module, not just
+/// the paper-era seven.
 struct AlgoSpec {
-  core::Algorithm algo = core::Algorithm::kReno;
+  std::string name = "reno";
   double alpha = 2.0;
   double beta = 4.0;
   double gamma = 1.0;          // slow-start exit threshold (§3.3)
   double fine_decrease = 0.75; // window cut on fine-detected loss (§3.1)
 
-  static AlgoSpec reno() { return {core::Algorithm::kReno, 0, 0}; }
-  static AlgoSpec tahoe() { return {core::Algorithm::kTahoe, 0, 0}; }
+  static AlgoSpec reno() { return {"reno", 0, 0}; }
+  static AlgoSpec tahoe() { return {"tahoe", 0, 0}; }
   static AlgoSpec vegas(double a = 2, double b = 4) {
-    return {core::Algorithm::kVegas, a, b};
+    return {"vegas", a, b};
+  }
+  static AlgoSpec named(std::string module) {
+    AlgoSpec spec;
+    spec.name = std::move(module);
+    return spec;
   }
 
   tcp::SenderFactory factory() const;

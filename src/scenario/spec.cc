@@ -7,7 +7,7 @@
 #include <set>
 #include <utility>
 
-#include "core/factory.h"
+#include "cc/registry.h"
 
 namespace vegas::scenario {
 
@@ -136,15 +136,21 @@ class Reader {
 exp::AlgoSpec read_algo(Reader& r) {
   exp::AlgoSpec spec;
   const std::string proto = r.string("protocol", "reno");
-  const auto algo = core::parse_algorithm(proto);
-  if (!algo.has_value()) {
+  const cc::CongOps* ops = cc::find(proto);  // case-insensitive
+  if (ops == nullptr) {
     const Value* v = r.raw("protocol");
+    std::string message = "unknown protocol '" + proto + "'";
+    const std::string hint = cc::closest(proto);
+    if (!hint.empty()) message += "; did you mean '" + hint + "'?";
+    message += " (known:";
+    for (const cc::CongOps* m : cc::modules()) {
+      message += std::string(" ") + m->name;
+    }
+    message += ")";
     fail(r.file(), v != nullptr ? v->line : r.section().line,
-         v != nullptr ? v->col : r.section().col,
-         "unknown protocol '" + proto +
-             "' (reno, tahoe, newreno, vegas, dual, card, tris)");
+         v != nullptr ? v->col : r.section().col, message);
   }
-  spec.algo = *algo;
+  spec.name = ops->name;  // canonical spelling
   spec.alpha = r.number("alpha", spec.alpha);
   spec.beta = r.number("beta", spec.beta);
   spec.gamma = r.number("gamma", spec.gamma);

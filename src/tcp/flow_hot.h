@@ -51,7 +51,7 @@ struct FlowHot {
   bool in_recovery = false;
   bool rtt_timing = false;  // a segment is being timed (Karn)
 
-  // --- Vegas block (core/vegas.h; untouched by Reno/Tahoe flows) -------
+  // --- Vegas block (cc/modules/vegas.cc; untouched by Reno/Tahoe) ------
   FineRttVars fine_rtt;
   sim::Time base_rtt;
   sim::Time last_decrease;

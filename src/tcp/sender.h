@@ -286,7 +286,8 @@ class TcpSender {
   SendBuffer buf_;
 
   // Hot per-flow state: window block, coarse timer, RTT vars (and the
-  // Vegas block for VegasSender).  Standalone senders own a heap row;
+  // Vegas block for the vegas cc module).  Standalone senders own a
+  // heap row;
   // bind_flow_row() migrates into the stack's slab and drops own_hot_.
   std::unique_ptr<FlowHot> own_hot_;
   FlowHot* hot_ = nullptr;

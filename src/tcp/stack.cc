@@ -5,17 +5,11 @@
 #include "common/ensure.h"
 #include "common/log.h"
 #include "common/prefetch.h"
-#include "tcp/tahoe.h"
 
 namespace vegas::tcp {
 
 SenderFactory reno_factory() {
   return [](const TcpConfig& cfg) { return std::make_unique<RenoSender>(cfg); };
-}
-
-SenderFactory tahoe_factory() {
-  return
-      [](const TcpConfig& cfg) { return std::make_unique<TahoeSender>(cfg); };
 }
 
 Stack::Stack(sim::Simulator& sim, net::Host& host, TcpConfig defaults,

@@ -37,7 +37,6 @@ using SenderFactory =
         const TcpConfig&)>;
 
 SenderFactory reno_factory();
-SenderFactory tahoe_factory();
 
 class Stack {
  public:

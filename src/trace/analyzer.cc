@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <utility>
 #include <vector>
 
 #include "common/ensure.h"
@@ -88,6 +89,39 @@ Series Analyzer::sending_rate(int window) const {
           bytes += recent[i].second;
         }
         out.push_back({recent.back().first, bytes / span});
+      }
+    }
+  }
+  return out;
+}
+
+Series Analyzer::ack_delays() const {
+  // Karn filter: any offset that was ever re-sent is excluded outright —
+  // its cumulative ACK cannot be attributed to a single transmission.
+  std::vector<std::uint32_t> retransmitted;
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind == EventKind::kSegSent && e.aux != 0) {
+      retransmitted.push_back(e.value);
+    }
+  }
+  std::sort(retransmitted.begin(), retransmitted.end());
+  // Surviving original sends have strictly increasing end offsets (new
+  // data only), so a deque matched against the cumulative ACK front
+  // suffices — no per-segment map needed.
+  std::deque<std::pair<std::uint32_t, double>> outstanding;  // (end, t_send)
+  Series out;
+  for (const TraceEvent& e : buf_.events()) {
+    if (e.kind == EventKind::kSegSent && e.aux == 0 && e.len != 0) {
+      if (std::binary_search(retransmitted.begin(), retransmitted.end(),
+                             e.value)) {
+        continue;
+      }
+      outstanding.emplace_back(e.value + e.len, us_to_s(e.t_us));
+    } else if (e.kind == EventKind::kAckRcvd && e.aux == 0) {
+      const double t_ack = us_to_s(e.t_us);
+      while (!outstanding.empty() && outstanding.front().first <= e.value) {
+        out.push_back({t_ack, t_ack - outstanding.front().second});
+        outstanding.pop_front();
       }
     }
   }

@@ -51,6 +51,14 @@ class Analyzer {
   /// single send spans no interval to average over).
   Series sending_rate(int window = 12) const;
 
+  /// Per-segment ACK delay samples: for each data segment, the time from
+  /// its (sole) original transmission to the first cumulative ACK that
+  /// covers it.  Karn-filtered — segments that were ever retransmitted
+  /// are excluded, since their ACK cannot be attributed to one send.
+  /// Each Point is {ACK arrival time, delay in seconds}; the delay is
+  /// the queueing-inclusive one-round latency the flow experienced.
+  Series ack_delays() const;
+
   TraceSummary summary() const;
 
  private:

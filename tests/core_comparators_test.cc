@@ -3,10 +3,7 @@
 
 #include <memory>
 
-#include "core/card.h"
-#include "core/dual.h"
 #include "core/factory.h"
-#include "core/tris.h"
 #include "exp/world.h"
 #include "net/loss.h"
 #include "traffic/bulk.h"

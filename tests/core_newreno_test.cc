@@ -1,12 +1,12 @@
 // NewReno (RFC 2582) unit tests: partial-ACK recovery, the fix for the
 // multi-loss windows that force plain Reno into coarse timeouts (§3.1).
-#include "core/newreno.h"
-
 #include <gtest/gtest.h>
 
 #include <memory>
 #include <vector>
 
+#include "cc/diag.h"
+#include "cc/registry.h"
 #include "core/factory.h"
 #include "exp/world.h"
 #include "net/loss.h"
@@ -21,7 +21,7 @@ using tcp::StreamOffset;
 class Harness {
  public:
   Harness() {
-    snd = std::make_unique<NewRenoSender>(cfg_);
+    snd = cc::make_sender("newreno", cfg_);
     tcp::TcpSender::Env env;
     env.sim = &sim;
     env.transmit = [this](StreamOffset seq, ByteCount len, bool) {
@@ -43,9 +43,13 @@ class Harness {
   }
   void ack(StreamOffset a) { snd->on_ack(a, 64_KB, 0); }
 
+  std::uint64_t partial_ack_retransmits() const {
+    return cc::newreno_partial_retransmits(*snd).value_or(~0ull);
+  }
+
   sim::Simulator sim;
   tcp::TcpConfig cfg_;
-  std::unique_ptr<NewRenoSender> snd;
+  std::unique_ptr<tcp::TcpSender> snd;
   std::vector<std::pair<StreamOffset, ByteCount>> sent;
 };
 
@@ -73,7 +77,7 @@ TEST(NewRenoTest, PartialAckRetransmitsNextHoleWithoutDupAcks) {
   h.ack(una + 1024);
   ASSERT_GT(h.sent.size(), before2);
   EXPECT_EQ(h.sent[before2].first, una + 1024);
-  EXPECT_EQ(h.snd->partial_ack_retransmits(), 1u);
+  EXPECT_EQ(h.partial_ack_retransmits(), 1u);
   EXPECT_EQ(h.snd->stats().coarse_timeouts, 0u);  // no timeout needed
 }
 
@@ -86,7 +90,7 @@ TEST(NewRenoTest, FullAckExitsRecoveryAndDeflates) {
   h.advance(10_ms);
   h.ack(h.snd->snd_max());  // everything acked: full ACK
   EXPECT_EQ(h.snd->cwnd(), ssthresh);
-  EXPECT_EQ(h.snd->partial_ack_retransmits(), 0u);
+  EXPECT_EQ(h.partial_ack_retransmits(), 0u);
 }
 
 TEST(NewRenoTest, NoSecondFastRetransmitForSameWindow) {

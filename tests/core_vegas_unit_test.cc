@@ -1,12 +1,14 @@
 // Unit tests for the three Vegas techniques (§3.1-3.3), driving the
-// sender directly with hand-crafted ACK timing.
-#include "core/vegas.h"
-
+// cc-module sender directly with hand-crafted ACK timing.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
 #include <memory>
 #include <vector>
+
+#include "cc/diag.h"
+#include "cc/registry.h"
+#include "tcp/sender.h"
 
 namespace vegas::core {
 namespace {
@@ -47,7 +49,7 @@ class Recorder : public tcp::ConnectionObserver {
 class VegasHarness {
  public:
   explicit VegasHarness(tcp::TcpConfig cfg = {}) : cfg_(cfg) {
-    snd = std::make_unique<VegasSender>(cfg_);
+    snd = cc::make_sender("vegas", cfg_);
     tcp::TcpSender::Env env;
     env.sim = &sim;
     env.observer = &rec;
@@ -75,17 +77,20 @@ class VegasHarness {
     }
   }
 
+  /// Typed window into the Vegas module's private state.
+  cc::VegasDiag diag() const { return *cc::vegas_diag(*snd); }
+
   sim::Simulator sim;
   tcp::TcpConfig cfg_;
   Recorder rec;
-  std::unique_ptr<VegasSender> snd;
+  std::unique_ptr<tcp::TcpSender> snd;
   std::vector<Sent> sent;
 };
 
 TEST(VegasSenderTest, NameAndDefaults) {
   VegasHarness h;
   EXPECT_EQ(h.snd->name(), "Vegas");
-  EXPECT_FALSE(h.snd->has_base_rtt());
+  EXPECT_FALSE(h.diag().has_base_rtt);
 }
 
 TEST(VegasSenderTest, BaseRttTracksMinimum) {
@@ -94,16 +99,16 @@ TEST(VegasSenderTest, BaseRttTracksMinimum) {
   h.snd->app_write(512 * 1024);
   h.advance(150_ms);
   h.ack(h.snd->snd_nxt());
-  ASSERT_TRUE(h.snd->has_base_rtt());
-  EXPECT_EQ(h.snd->base_rtt(), 150_ms);
+  ASSERT_TRUE(h.diag().has_base_rtt);
+  EXPECT_EQ(h.diag().base_rtt, 150_ms);
   // A faster round trip lowers BaseRTT...
   h.advance(100_ms);
   h.ack(h.snd->snd_nxt());
-  EXPECT_EQ(h.snd->base_rtt(), 100_ms);
+  EXPECT_EQ(h.diag().base_rtt, 100_ms);
   // ...a slower one does not raise it (unless Diff < 0 resets it).
   h.advance(150_ms);
   h.ack(h.snd->snd_nxt());
-  EXPECT_EQ(h.snd->base_rtt(), 100_ms);
+  EXPECT_EQ(h.diag().base_rtt, 100_ms);
 }
 
 TEST(VegasSenderTest, CamDiffIsNeverNegative) {
@@ -237,13 +242,13 @@ TEST(VegasSenderTest, WindowDecreasesAtMostOncePerEpisode) {
   h.advance(sim::Time::seconds(1.0));
   h.ack(una);  // first dup: fine retransmit + decrease
   const ByteCount after_first = h.snd->cwnd();
-  EXPECT_EQ(h.snd->window_decreases(), 1u);
+  EXPECT_EQ(h.diag().window_decreases, 1u);
   // More duplicate ACKs for losses from the SAME pre-decrease epoch: the
   // window must not be cut again (recovery inflation may raise it).
   h.ack(una);
   h.ack(una);
   h.ack(una);
-  EXPECT_EQ(h.snd->window_decreases(), 1u);
+  EXPECT_EQ(h.diag().window_decreases, 1u);
   EXPECT_GE(h.snd->cwnd(), after_first);
 }
 
@@ -375,8 +380,8 @@ TEST(VegasExtensionTest, BandwidthEstimateFromAckSpacing) {
     h.ack(ack);
     h.advance(5_ms);
   }
-  ASSERT_GT(h.snd->bandwidth_estimate_Bps(), 0.0);
-  EXPECT_NEAR(h.snd->bandwidth_estimate_Bps(), 1024.0 / 0.005,
+  ASSERT_GT(h.diag().bandwidth_estimate_Bps, 0.0);
+  EXPECT_NEAR(h.diag().bandwidth_estimate_Bps, 1024.0 / 0.005,
               1024.0 / 0.005 * 0.05);
 }
 

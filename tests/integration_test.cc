@@ -15,7 +15,7 @@ namespace {
 // algorithm is Vegas.
 check::InvariantOptions opts_for(const AlgoSpec& s) {
   return check::InvariantOptions::for_config(
-      tcp::TcpConfig{}, s.algo == core::Algorithm::kVegas);
+      tcp::TcpConfig{}, s.name == "vegas");
 }
 
 OneOnOneResult run_one_on_one_checked(OneOnOneParams p) {

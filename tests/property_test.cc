@@ -5,7 +5,6 @@
 #include <memory>
 
 #include "core/factory.h"
-#include "core/vegas.h"
 #include "exp/scenarios.h"
 #include "exp/world.h"
 #include "net/loss.h"

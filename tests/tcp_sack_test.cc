@@ -6,7 +6,6 @@
 #include <vector>
 
 #include "core/factory.h"
-#include "core/vegas.h"
 #include "exp/world.h"
 #include "net/loss.h"
 #include "tcp/buffer.h"

@@ -7,7 +7,7 @@
 #include <memory>
 #include <vector>
 
-#include "tcp/tahoe.h"
+#include "cc/registry.h"
 
 namespace vegas::tcp {
 namespace {
@@ -27,7 +27,7 @@ class SenderHarness {
                          bool tahoe = false)
       : cfg_(cfg) {
     if (tahoe) {
-      snd = std::make_unique<TahoeSender>(cfg_);
+      snd = cc::make_sender("tahoe", cfg_);
     } else {
       snd = std::make_unique<RenoSender>(cfg_);
     }

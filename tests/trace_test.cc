@@ -200,6 +200,41 @@ TEST(AnalyzerTest, PresumedLossEmptyWithoutRetransmits) {
   EXPECT_TRUE(Analyzer(buf).presumed_loss_times().empty());
 }
 
+TEST(AnalyzerTest, AckDelaysMatchSendToAckSpans) {
+  // Segment [0,1000) sent at t=0.1, acked at t=0.3 (delay 0.2 s).
+  // Segments [1000,2000) and [2000,3000) sent at 0.15/0.2 and covered
+  // by one cumulative ACK of 3000 at t=0.4 — two samples at that time.
+  TraceBuffer buf;
+  buf.append(sim::Time::seconds(0.10), EventKind::kSegSent, 0, 0, 1000);
+  buf.append(sim::Time::seconds(0.15), EventKind::kSegSent, 1000, 0, 1000);
+  buf.append(sim::Time::seconds(0.20), EventKind::kSegSent, 2000, 0, 1000);
+  buf.append(sim::Time::seconds(0.30), EventKind::kAckRcvd, 1000, 0, 0);
+  buf.append(sim::Time::seconds(0.40), EventKind::kAckRcvd, 3000, 0, 0);
+  const auto d = Analyzer(buf).ack_delays();
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_DOUBLE_EQ(d[0].t_s, 0.3);
+  EXPECT_NEAR(d[0].value, 0.2, 1e-6);
+  EXPECT_DOUBLE_EQ(d[1].t_s, 0.4);
+  EXPECT_NEAR(d[1].value, 0.25, 1e-6);
+  EXPECT_NEAR(d[2].value, 0.20, 1e-6);
+}
+
+TEST(AnalyzerTest, AckDelaysApplyKarnFilterAndSkipDupAcks) {
+  // Offset 0 is retransmitted, so its ACK yields no sample (Karn); the
+  // duplicate ACK (aux=1) at t=0.25 never matches anything.
+  TraceBuffer buf;
+  buf.append(sim::Time::seconds(0.10), EventKind::kSegSent, 0, 0, 1000);
+  buf.append(sim::Time::seconds(0.15), EventKind::kSegSent, 1000, 0, 1000);
+  buf.append(sim::Time::seconds(0.25), EventKind::kAckRcvd, 0, /*aux=*/1, 0);
+  buf.append(sim::Time::seconds(0.30), EventKind::kSegSent, 0, /*aux=*/1,
+             1000);
+  buf.append(sim::Time::seconds(0.50), EventKind::kAckRcvd, 2000, 0, 0);
+  const auto d = Analyzer(buf).ack_delays();
+  ASSERT_EQ(d.size(), 1u);  // only the clean [1000,2000) segment
+  EXPECT_DOUBLE_EQ(d[0].t_s, 0.5);
+  EXPECT_NEAR(d[0].value, 0.35, 1e-6);
+}
+
 TEST(AnalyzerTest, CsvWriteRoundTrips) {
   Series s{{0.0, 1.0}, {0.5, 2.0}, {1.0, 3.0}};
   const auto path =

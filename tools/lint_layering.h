@@ -22,7 +22,8 @@
 //   sim             event loop, timers, simulated time   → common, obs
 //   net             links, queues, routers, packets      → sim + below
 //   tcp             transport                            → net + below
-//   core            Vegas/Reno/... congestion control    → tcp + below
+//   cc              CongOps vtable, registry, module zoo → tcp + below
+//   core            algorithm-name/factory compat shim   → cc + below
 //   trace           trace buffer and analyzers           → tcp + below
 //   traffic         tcplib-style workloads               → tcp + below
 //   check           protocol-invariant observer — observes everything
@@ -75,18 +76,19 @@ inline const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"sim", {"sim", "common", "obs"}},
       {"net", {"net", "sim", "common", "obs"}},
       {"tcp", {"tcp", "net", "sim", "common", "obs"}},
-      {"core", {"core", "tcp", "net", "sim", "common", "obs"}},
+      {"cc", {"cc", "tcp", "net", "sim", "common", "obs"}},
+      {"core", {"core", "cc", "tcp", "net", "sim", "common", "obs"}},
       {"trace", {"trace", "tcp", "net", "sim", "common", "obs"}},
       {"traffic", {"traffic", "tcp", "net", "sim", "common", "obs"}},
       {"check",
-       {"check", "trace", "traffic", "core", "tcp", "net", "sim", "stats",
-        "common", "obs"}},
+       {"check", "trace", "traffic", "core", "cc", "tcp", "net", "sim",
+        "stats", "common", "obs"}},
       {"exp",
-       {"exp", "check", "trace", "traffic", "core", "tcp", "net", "sim",
+       {"exp", "check", "trace", "traffic", "core", "cc", "tcp", "net", "sim",
         "stats", "common", "obs"}},
       {"scenario",
-       {"scenario", "exp", "check", "trace", "traffic", "core", "tcp", "net",
-        "sim", "stats", "common", "obs"}},
+       {"scenario", "exp", "check", "trace", "traffic", "core", "cc", "tcp",
+        "net", "sim", "stats", "common", "obs"}},
   };
   return kAllowed;
 }

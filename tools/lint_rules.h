@@ -59,7 +59,7 @@
 // The determinism family (unordered-container, pointer-keyed,
 // mutable-static) guards the contract the sharded parallel executor
 // will be built on (ROADMAP "sharded deterministic simulation"): its
-// zone is the sim-path layers src/{sim,net,tcp,core,scenario,trace,
+// zone is the sim-path layers src/{sim,net,tcp,cc,core,scenario,trace,
 // traffic}.  src/obs is the sanctioned wall-clock site, src/exp hosts
 // the (threaded) harness, src/check is an observer — those three are
 // covered by the narrower rules that apply to them.
@@ -147,7 +147,7 @@ inline bool raw_rng_zone(std::string_view path) {
 /// mutable-static): every layer on the simulation path.
 inline bool determinism_zone(std::string_view path) {
   return detail::in_any_dir(
-      path, {"src/sim/", "src/net/", "src/tcp/", "src/core/",
+      path, {"src/sim/", "src/net/", "src/tcp/", "src/cc/", "src/core/",
              "src/scenario/", "src/trace/", "src/traffic/"});
 }
 

@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_cc_matrix.json file (bench/bench_cc_matrix).
+
+Usage: validate_cc_matrix.py <BENCH_cc_matrix.json> \
+           [--schema tools/cc_matrix_schema.json]
+
+Checks the document against tools/cc_matrix_schema.json plus the
+cross-object rules the schema lists (matrix completeness, per-module
+summary coverage, histogram consistency).  Standard library only — no
+jsonschema dependency.  Exit 0 and a one-line summary when valid; exit 1
+with a diagnostic on the first violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def fail(path, where, msg):
+    sys.exit(f"{path}: {where}: error: {msg}")
+
+
+TYPE_CHECKS = {
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "object": lambda v: isinstance(v, dict),
+    "array[string]": lambda v: isinstance(v, list)
+    and all(isinstance(x, str) for x in v),
+    "array[object]": lambda v: isinstance(v, list)
+    and all(isinstance(x, dict) for x in v),
+}
+
+
+def check_required(path, where, obj, spec):
+    for key, typ in spec["required"].items():
+        if key not in obj:
+            fail(path, where, f"missing required key '{key}'")
+        if not TYPE_CHECKS[typ](obj[key]):
+            fail(path, where, f"key '{key}' is not a {typ}")
+    for key in obj:
+        if key not in spec["required"]:
+            fail(path, where, f"unknown key '{key}'")
+
+
+def check_flow(path, where, flow, schema, modules):
+    check_required(path, where, flow, schema["flow"])
+    if flow["module"] not in modules:
+        fail(path, where, f"module {flow['module']!r} not in modules[]")
+    if not 0 <= flow["retx_rate"] <= 1:
+        fail(path, where, f"retx_rate {flow['retx_rate']} outside [0, 1]")
+    if flow["completed"] and flow["throughput_kBps"] <= 0:
+        fail(path, where, "completed flow with non-positive throughput")
+    delay = flow["delay_ms"]
+    check_required(path, where + ".delay_ms", delay, schema["delay"])
+    if delay["samples"] < 0:
+        fail(path, where, "negative delay sample count")
+    # No mean <= p95 ordering check: a handful of recovery-stalled ACKs
+    # (segments waiting behind a retransmitted hole) can legitimately
+    # drag the mean above the 95th percentile.
+    if delay["samples"] > 0 and (delay["mean"] < 0 or delay["p95"] < 0):
+        fail(
+            path,
+            where,
+            f"negative delay mean {delay['mean']} / p95 {delay['p95']}",
+        )
+    return flow["completed"]
+
+
+def check_summary(path, doc, ran_modules, n_cells, n_incomplete):
+    summary = doc["summary"]
+    where = "summary"
+    if summary.get("cc_matrix.cells") != n_cells:
+        fail(
+            path,
+            where,
+            f"cc_matrix.cells is {summary.get('cc_matrix.cells')!r}, "
+            f"document has {n_cells} cells",
+        )
+    if summary.get("cc_matrix.flows_incomplete") != n_incomplete:
+        fail(
+            path,
+            where,
+            f"cc_matrix.flows_incomplete is "
+            f"{summary.get('cc_matrix.flows_incomplete')!r}, "
+            f"cells show {n_incomplete} incomplete flows",
+        )
+    for module in sorted(ran_modules):
+        for metric in (
+            "throughput_kBps_mean",
+            "retx_rate_mean",
+            "delay_mean_ms",
+            "fairness_jain_mean",
+            "incomplete",
+        ):
+            key = f"cc_matrix.{module}.{metric}"
+            if key not in summary:
+                fail(path, where, f"missing per-module metric '{key}'")
+    hist = summary.get("cc_matrix.flow_delay_mean_ms")
+    if not isinstance(hist, dict):
+        fail(path, where, "missing histogram cc_matrix.flow_delay_mean_ms")
+    for key in ("bounds", "counts", "total", "sum"):
+        if key not in hist:
+            fail(path, where, f"histogram missing '{key}'")
+    if len(hist["counts"]) != len(hist["bounds"]) + 1:
+        fail(path, where, "histogram counts must be bounds plus one (+inf)")
+    if sum(hist["counts"]) != hist["total"]:
+        fail(path, where, "histogram total != sum(counts)")
+
+
+def validate(path, schema):
+    with open(path, encoding="utf-8") as f:
+        try:
+            doc = json.load(f)
+        except json.JSONDecodeError as e:
+            fail(path, "top level", f"not valid JSON: {e}")
+    if not isinstance(doc, dict):
+        fail(path, "top level", "document is not a JSON object")
+    check_required(path, "top level", doc, schema["top_level"])
+
+    if doc["experiment"] != "cc_matrix":
+        fail(path, "top level", f"experiment is {doc['experiment']!r}")
+    modules = doc["modules"]
+    if not modules:
+        fail(path, "modules", "empty module list")
+    if modules != sorted(set(modules)):
+        fail(path, "modules", "module list is not sorted and unique")
+
+    cells = doc["cells"]
+    if not cells:
+        fail(path, "cells", "no cells")
+    if not doc["quick"] and len(cells) != len(modules) ** 2:
+        fail(
+            path,
+            "cells",
+            f"full run has {len(cells)} cells, expected "
+            f"{len(modules)}^2 = {len(modules) ** 2}",
+        )
+    seen_modules = set()
+    n_incomplete = 0
+    prev_index = -1
+    for i, cell in enumerate(cells):
+        where = f"cells[{i}]"
+        check_required(path, where, cell, schema["cell"])
+        if cell["index"] <= prev_index:
+            fail(path, where, "cell indices must be unique and ascending")
+        prev_index = cell["index"]
+        if not 0 <= cell["fairness_jain"] <= 1:
+            fail(path, where, f"fairness_jain {cell['fairness_jain']}")
+        if cell["sim_time_s"] <= 0:
+            fail(path, where, "sim_time_s must be positive")
+        if sorted(cell["flows"]) != ["a", "b"]:
+            fail(path, where, "flows must be exactly 'a' and 'b'")
+        for side in ("a", "b"):
+            flow = cell["flows"][side]
+            if not check_flow(path, f"{where}.flows.{side}", flow, schema,
+                              modules):
+                n_incomplete += 1
+            seen_modules.add(flow["module"])
+    missing = set(modules) - seen_modules
+    if missing and not doc["quick"]:
+        fail(path, "cells", f"modules never ran: {sorted(missing)}")
+
+    check_summary(path, doc, seen_modules, len(cells), n_incomplete)
+    print(
+        f"{path}: OK — {len(cells)} cell(s), {len(modules)} module(s), "
+        f"{n_incomplete} incomplete flow(s)"
+        f"{' (quick)' if doc['quick'] else ''}"
+    )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="BENCH_cc_matrix.json from bench_cc_matrix")
+    ap.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(__file__), "cc_matrix_schema.json"),
+        help="schema file (default: cc_matrix_schema.json next to this script)",
+    )
+    args = ap.parse_args()
+    with open(args.schema, encoding="utf-8") as f:
+        schema = json.load(f)
+    validate(args.report, schema)
+
+
+if __name__ == "__main__":
+    main()

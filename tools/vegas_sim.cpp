@@ -14,8 +14,8 @@
 #include <memory>
 #include <string>
 
+#include "cc/registry.h"
 #include "common/json.h"
-#include "core/factory.h"
 #include "exp/scenarios.h"
 #include "exp/world.h"
 #include "scenario/engine.h"
@@ -33,7 +33,7 @@ FlagSet& algo_flags(FlagSet& fs, const std::string& key = "algo",
                     const std::string& what = "congestion control") {
   return fs
       .arg(key, "<name>", "vegas",
-           what + ": reno|tahoe|newreno|vegas|dual|card|tris")
+           what + ": any registered module ('vegas-sim algos' lists them)")
       .arg("alpha", "N", "2", "Vegas lower threshold (buffers)")
       .arg("beta", "N", "4", "Vegas upper threshold (buffers)")
       .arg("gamma", "N", "1", "Vegas slow-start exit threshold");
@@ -132,11 +132,47 @@ FlagSet run_flags() {
   return fs;
 }
 
+FlagSet algos_flags() {
+  FlagSet fs("vegas-sim", "algos",
+             "List the registered congestion-control modules.");
+  fs.toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+int cmd_algos(const Flags& flags) {
+  const std::vector<const cc::CongOps*> mods = cc::modules();
+  if (flags.get_bool("json")) {
+    json::Writer w;
+    w.begin_object();
+    w.field("experiment", "algos");
+    w.key("modules");
+    w.begin_array();
+    for (const cc::CongOps* m : mods) {
+      w.begin_object();
+      w.field("name", m->name);
+      w.field("label", m->label);
+      if (m->alt != nullptr) w.field("alt", m->alt);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    for (const cc::CongOps* m : mods) {
+      std::printf("%-11s %s%s%s%s\n", m->name, m->label,
+                  m->alt != nullptr ? "  (alias: " : "",
+                  m->alt != nullptr ? m->alt : "",
+                  m->alt != nullptr ? ")" : "");
+    }
+  }
+  return 0;
+}
+
 int usage(std::FILE* out, int code) {
   std::fprintf(out, "usage: vegas-sim <subcommand> [flags]\n\nsubcommands:\n");
   for (const FlagSet& fs :
        {run_flags(), solo_flags(), background_flags(), wan_flags(),
-        fairness_flags(), one_on_one_flags()}) {
+        fairness_flags(), one_on_one_flags(), algos_flags()}) {
     std::fprintf(out, "  %-11s %s\n", fs.command().c_str(),
                  fs.description().c_str());
   }
@@ -147,13 +183,14 @@ int usage(std::FILE* out, int code) {
 
 exp::AlgoSpec algo_from(const Flags& flags, const char* key = "algo") {
   const std::string name = flags.get_string(key, "vegas");
-  const auto algo = core::parse_algorithm(name);
-  if (!algo.has_value()) {
-    std::fprintf(stderr, "unknown algorithm '%s'\n", name.c_str());
+  const cc::CongOps* ops = cc::find(name);
+  if (ops == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'; did you mean '%s'? "
+                         "('vegas-sim algos' lists all modules)\n",
+                 name.c_str(), cc::closest(name).c_str());
     std::exit(2);
   }
-  exp::AlgoSpec spec;
-  spec.algo = *algo;
+  exp::AlgoSpec spec = exp::AlgoSpec::named(std::string(ops->name));
   spec.alpha = flags.get_double("alpha", 2.0);
   spec.beta = flags.get_double("beta", 4.0);
   spec.gamma = flags.get_double("gamma", 1.0);
@@ -565,6 +602,7 @@ int main(int argc, char** argv) {
       {solo_flags(), cmd_solo},         {background_flags(), cmd_background},
       {wan_flags(), cmd_wan},           {fairness_flags(), cmd_fairness},
       {one_on_one_flags(), cmd_one_on_one},
+      {algos_flags(), cmd_algos},
   };
   for (const Dispatch& d : table) {
     if (cmd != d.fs.command()) continue;

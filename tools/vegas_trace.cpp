@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <string>
 
-#include "core/factory.h"
+#include "cc/registry.h"
 #include "exp/world.h"
 #include "tools/flags.h"
 #include "trace/analyzer.h"
@@ -42,15 +42,19 @@ int cmd_record(const Flags& flags) {
       static_cast<std::size_t>(flags.get_int("queue", 10));
   exp::DumbbellWorld world(topo, tcp::TcpConfig{},
                            static_cast<std::uint64_t>(flags.get_int("seed", 1)));
-  const auto algo =
-      core::parse_algorithm(flags.get_string("algo", "vegas"));
-  if (!algo.has_value()) return usage();
+  const std::string algo_name = flags.get_string("algo", "vegas");
+  const cc::CongOps* ops = cc::find(algo_name);
+  if (ops == nullptr) {
+    std::fprintf(stderr, "unknown algorithm '%s'; did you mean '%s'?\n",
+                 algo_name.c_str(), cc::closest(algo_name).c_str());
+    return usage();
+  }
 
   trace::ConnTracer tracer;
   traffic::BulkTransfer::Config cfg;
   cfg.bytes = flags.get_int("bytes-kb", 1024) * 1024;
   cfg.port = 5001;
-  cfg.factory = core::make_sender_factory(*algo);
+  cfg.factory = cc::make_factory(ops->name);
   cfg.observer = &tracer;
   traffic::BulkTransfer t(world.left(0), world.right(0), cfg);
   world.sim().run_until(sim::Time::seconds(600));
