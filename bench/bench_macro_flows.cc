@@ -15,9 +15,17 @@
 // 100,000-flow cell (examples/scenarios/megaflows.scn) and >= 100 the
 // 1,000,000-flow cell (megaflows-1m.scn).
 //
+// The mega cells additionally run a sharded VEGAS_THREADS axis
+// (1/2/4/8 workers over a fixed 8-shard plan, docs/PERFORMANCE.md
+// "Sharded execution"): per-shard event counts, parallel efficiency and
+// probe-digest stability land in the JSON, and diverging digests across
+// the axis fail the bench outright.
+//
 // Flags (docs/PERFORMANCE.md "Refreshing the baseline"):
 //   --max-flows=N        run cells up to N flows, overriding the scale map
 //   --gate-flatness=R    exit 1 unless ev/s(10k) >= R * ev/s(1k)
+//   --gate-par-eff=R     exit 1 unless sharded t4 efficiency >= R on the
+//                        first mega cell (skipped below 4 hardware cores)
 //   --write-baseline     also rewrite BENCH_macro_flows.baseline.json
 //                        (or $VEGAS_BENCH_BASELINE_OUT) from this run
 #include <chrono>
@@ -27,6 +35,7 @@
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>  // lint: concurrency-ok (core count for the gate)
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -75,6 +84,12 @@ struct CellRun {
   double sim_s = 0;
   std::uint64_t events = 0;
   std::uint64_t probe_digest = 0;
+  // Filled for sharded runs (opts.shards > 1).
+  int shards = 1;
+  int threads = 1;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_posts = 0;
+  std::vector<std::uint64_t> lane_events;
 
   double events_per_sec() const {
     return wall_s > 0 ? static_cast<double>(events) / wall_s : 0;
@@ -82,19 +97,72 @@ struct CellRun {
   double wall_per_sim_s() const { return sim_s > 0 ? wall_s / sim_s : 0; }
 };
 
-CellRun run_one_cell(const scenario::Scenario& sc, std::size_t i) {
+CellRun run_one_cell(const scenario::Scenario& sc, std::size_t i,
+                     const scenario::RunOptions& opts = {}) {
   const scenario::ScenarioSpec& spec = sc.cell(i);
   CellRun out;
   out.flows = spec.flows.size() - 1;  // minus the probe
   const auto t0 = Clock::now();
-  const scenario::CellResult r = scenario::run_cell(spec, i, sc.label(i));
+  const scenario::CellResult r = scenario::run_cell(spec, i, sc.label(i), opts);
   out.wall_s = secs_since(t0);
   out.sim_s = r.sim_time_s;
   out.events = r.sim.events_executed;
   for (const scenario::FlowResult& f : r.flows) {
     if (f.traced) out.probe_digest = f.trace_digest;
   }
+  if (r.shard.has_value()) {
+    out.shards = r.shard->shards;
+    out.threads = r.shard->threads;
+    out.windows = r.shard->windows;
+    out.cross_posts = r.shard->cross_posts;
+    out.lane_events = r.shard->lane_events;
+  }
   return out;
+}
+
+// --- sharded threads axis -------------------------------------------
+
+/// One mega cell re-run through the sharded executor (docs/PERFORMANCE.md
+/// "Sharded execution") at a FIXED shard plan across a VEGAS_THREADS
+/// axis.  Results must be bit-identical along the axis — the executor's
+/// determinism contract — so the probe digests double as a regression
+/// check here, not just a report.
+struct ShardedAxis {
+  std::size_t flows = 0;
+  std::vector<CellRun> points;  // one per thread count
+
+  double evps_at(int threads) const {
+    for (const CellRun& p : points) {
+      if (p.threads == threads) return p.events_per_sec();
+    }
+    return 0;
+  }
+  /// Parallel efficiency at `threads`: speedup over the 1-thread sharded
+  /// run divided by the thread count.
+  double efficiency_at(int threads) const {
+    const double base = evps_at(1);
+    const double at = evps_at(threads);
+    return (base > 0 && at > 0 && threads > 0)
+               ? (at / base) / static_cast<double>(threads)
+               : 0;
+  }
+};
+
+constexpr int kShardCount = 8;
+constexpr int kThreadsAxis[] = {1, 2, 4, 8};
+
+ShardedAxis run_threads_axis(const scenario::Scenario& sc, std::size_t i) {
+  ShardedAxis axis;
+  for (const int t : kThreadsAxis) {
+    scenario::RunOptions opts;
+    opts.shards = kShardCount;
+    opts.threads = t;
+    CellRun r = run_one_cell(sc, i, opts);
+    axis.flows = r.flows;
+    r.threads = t;  // requested axis point (executor may clamp to cores)
+    axis.points.push_back(std::move(r));
+  }
+  return axis;
 }
 
 /// 10,000 armed timers, then rounds of restart (= one cancel + one arm
@@ -194,7 +262,8 @@ void write_baseline(const std::vector<Metric>& metrics) {
 }
 
 void write_json(const std::vector<Metric>& metrics,
-                const std::vector<CellRun>& curve, double scale,
+                const std::vector<CellRun>& curve,
+                const std::vector<ShardedAxis>& sharded, double scale,
                 const obs::Profiler& prof) {
   const char* path = std::getenv("VEGAS_BENCH_JSON");
   if (path == nullptr || *path == '\0') path = "BENCH_macro_flows.json";
@@ -215,6 +284,35 @@ void write_json(const std::vector<Metric>& metrics,
                  r.flows, static_cast<unsigned long long>(r.events),
                  r.events_per_sec(), r.wall_per_sim_s(),
                  i + 1 < curve.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  // Sharded threads axis: per mega cell, one point per VEGAS_THREADS
+  // value at a fixed shard plan, with per-shard event counts and the
+  // efficiency the CI smoke gate reads.
+  std::fprintf(f, "  \"sharded\": [\n");
+  for (std::size_t s = 0; s < sharded.size(); ++s) {
+    const ShardedAxis& ax = sharded[s];
+    std::fprintf(f, "    {\"flows\": %zu, \"shards\": %d,\n", ax.flows,
+                 ax.points.empty() ? 0 : ax.points.front().shards);
+    std::fprintf(f, "     \"points\": [\n");
+    for (std::size_t p = 0; p < ax.points.size(); ++p) {
+      const CellRun& r = ax.points[p];
+      std::fprintf(f,
+                   "       {\"threads\": %d, \"events_per_sec\": %.6g, "
+                   "\"windows\": %llu, \"cross_posts\": %llu, "
+                   "\"probe_digest\": \"0x%016llx\", \"lane_events\": [",
+                   r.threads, r.events_per_sec(),
+                   static_cast<unsigned long long>(r.windows),
+                   static_cast<unsigned long long>(r.cross_posts),
+                   static_cast<unsigned long long>(r.probe_digest));
+      for (std::size_t l = 0; l < r.lane_events.size(); ++l) {
+        std::fprintf(f, "%s%llu", l > 0 ? ", " : "",
+                     static_cast<unsigned long long>(r.lane_events[l]));
+      }
+      std::fprintf(f, "]}%s\n", p + 1 < ax.points.size() ? "," : "");
+    }
+    std::fprintf(f, "     ],\n     \"efficiency_t4\": %.4f}%s\n",
+                 ax.efficiency_at(4), s + 1 < sharded.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n  \"metrics\": {\n");
   for (std::size_t i = 0; i < metrics.size(); ++i) {
@@ -260,6 +358,7 @@ int main(int argc, char** argv) {
                                          : 100;
   bool do_write_baseline = false;
   double gate_flatness = 0;  // 0 = gate off
+  double gate_par_eff = 0;   // 0 = gate off
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--write-baseline") {
@@ -269,10 +368,12 @@ int main(int argc, char** argv) {
           std::strtoull(arg.c_str() + 12, nullptr, 10));
     } else if (arg.rfind("--gate-flatness=", 0) == 0) {
       gate_flatness = std::strtod(arg.c_str() + 16, nullptr);
+    } else if (arg.rfind("--gate-par-eff=", 0) == 0) {
+      gate_par_eff = std::strtod(arg.c_str() + 15, nullptr);
     } else {
       std::fprintf(stderr,
                    "unknown flag %s (known: --write-baseline, --max-flows=N, "
-                   "--gate-flatness=R)\n",
+                   "--gate-flatness=R, --gate-par-eff=R)\n",
                    arg.c_str());
       return 2;
     }
@@ -298,6 +399,8 @@ int main(int argc, char** argv) {
   obs::Profiler prof;
   std::vector<Metric> metrics;
   std::vector<CellRun> curve;
+  std::vector<ShardedAxis> sharded;
+  bool digests_diverged = false;
   exp::Table table({"flows", "events", "events/s", "wall s/sim s", "probe digest"},
                    14);
   for (const char* path : scenario_paths) {
@@ -323,9 +426,39 @@ int main(int argc, char** argv) {
       std::snprintf(dig, sizeof(dig), "0x%016llx",
                     static_cast<unsigned long long>(r.probe_digest));
       table.add_row({std::to_string(r.flows), ev, evs, wps, dig});
+
+      // The mega cells get the sharded VEGAS_THREADS axis: same cell,
+      // fixed 8-shard plan, 1/2/4/8 worker threads.
+      if (declared >= 100000) {
+        auto sphase = prof.scope("sharded_" + std::to_string(declared));
+        ShardedAxis axis = run_threads_axis(sc, i);
+        const std::string stag = tag + "_sharded";
+        for (const CellRun& p : axis.points) {
+          metrics.push_back({stag + "_t" + std::to_string(p.threads) +
+                                 "_events_per_sec",
+                             p.events_per_sec()});
+          if (p.probe_digest != axis.points.front().probe_digest) {
+            digests_diverged = true;
+          }
+        }
+        metrics.push_back({stag + "_efficiency_t4", axis.efficiency_at(4)});
+        std::printf("  sharded (%d shards): ", axis.points.front().shards);
+        for (const CellRun& p : axis.points) {
+          std::printf("t%d=%.3g ev/s  ", p.threads, p.events_per_sec());
+        }
+        std::printf("eff(t4)=%.2f  digest %s\n", axis.efficiency_at(4),
+                    digests_diverged ? "DIVERGED" : "stable");
+        sharded.push_back(std::move(axis));
+      }
     }
   }
   table.print();
+  if (digests_diverged) {
+    std::fprintf(stderr,
+                 "DETERMINISM REGRESSION: sharded probe digests differ "
+                 "across thread counts at a fixed shard plan\n");
+    return 1;
+  }
 
   // Scaling flatness: events/sec at 10k flows relative to 1k.  A flat
   // curve means per-event cost did not climb with the working set — the
@@ -381,8 +514,33 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(g_steady.timer_rearm_allocs),
               static_cast<unsigned long long>(g_steady.timer_boxed_callbacks));
 
-  write_json(metrics, curve, scale, prof);
+  write_json(metrics, curve, sharded, scale, prof);
   if (do_write_baseline) write_baseline(metrics);
+
+  if (gate_par_eff > 0) {
+    // The efficiency gate needs real cores to mean anything: a 1-core
+    // runner time-slices the workers, so speedup is structurally ~1/T.
+    const unsigned cores = std::thread::hardware_concurrency();
+    if (cores < 4) {
+      std::printf("parallel-efficiency gate skipped: %u hardware core(s), "
+                  "need >= 4 for the t4 point to be meaningful\n",
+                  cores);
+    } else if (sharded.empty()) {
+      std::fprintf(stderr,
+                   "parallel-efficiency gate needs a mega cell "
+                   "(scale >= 10 or --max-flows=100000)\n");
+      return 1;
+    } else {
+      const double eff = sharded.front().efficiency_at(4);
+      if (eff < gate_par_eff) {
+        std::fprintf(stderr, "PARALLEL EFFICIENCY GATE FAILED: %.3f < %.3f\n",
+                     eff, gate_par_eff);
+        return 1;
+      }
+      std::printf("parallel-efficiency gate passed: %.3f >= %.3f\n", eff,
+                  gate_par_eff);
+    }
+  }
 
   if (gate_flatness > 0) {
     if (flatness <= 0) {

@@ -1,0 +1,167 @@
+#include "exp/shard_exec.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/ensure.h"
+
+namespace vegas::exp {
+
+namespace {
+int clamp_threads(int threads, int lanes) {
+  return std::max(1, std::min(threads, lanes));
+}
+}  // namespace
+
+ShardExecutor::ShardExecutor(sim::Simulator& sim, int threads,
+                             sim::Time lookahead)
+    : sim_(sim),
+      threads_(clamp_threads(threads, sim.lanes())),
+      lookahead_(lookahead),
+      pools_(static_cast<std::size_t>(sim.lanes()), nullptr),
+      inbound_(static_cast<std::size_t>(sim.lanes())),
+      barrier_(threads_),
+      slots_(static_cast<std::size_t>(threads_)) {
+  ensure(lookahead_ > sim::Time::zero(),
+         "shard lookahead must be positive (no zero-delay cut links)");
+  workers_.reserve(static_cast<std::size_t>(threads_ - 1));
+  for (int w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_park_loop(w); });
+  }
+}
+
+ShardExecutor::~ShardExecutor() {
+  shutdown_.store(true, std::memory_order_release);
+  for (std::thread& t : workers_) t.join();
+}
+
+void ShardExecutor::set_lane_pool(int lane, net::PacketPool* pool) {
+  pools_[static_cast<std::size_t>(lane)] = pool;
+}
+
+ShardExecutor::Post ShardExecutor::add_boundary(int src_lane, int dst_lane,
+                                                Deliver deliver) {
+  ensure(src_lane != dst_lane, "boundary must cross lanes");
+  auto b = std::make_unique<Boundary>();
+  b->src_lane = src_lane;
+  b->dst_lane = dst_lane;
+  b->deliver = std::move(deliver);
+  Boundary* raw = b.get();
+  boundaries_.push_back(std::move(b));
+  inbound_[static_cast<std::size_t>(dst_lane)].push_back(raw);
+  return [raw](sim::Time at, net::PacketPtr p) {
+    ++raw->posts;
+    raw->ring.push(CrossMsg{at, *p});
+    // p releases here, on the producing lane's thread, into its pool.
+  };
+}
+
+std::uint64_t ShardExecutor::cross_posts() const {
+  std::uint64_t total = 0;
+  for (const auto& b : boundaries_) total += b->posts;
+  return total;
+}
+
+void ShardExecutor::worker_park_loop(int w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::uint64_t e;
+    int spins = 0;
+    while ((e = epoch_.load(std::memory_order_acquire)) == seen) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      if (++spins > 128) std::this_thread::yield();
+    }
+    seen = e;
+    run_rounds(w);
+  }
+}
+
+void ShardExecutor::run_until(sim::Time deadline) {
+  deadline_ = deadline;
+  // Release the parked workers (deadline_ write is published by the
+  // epoch bump), then participate as worker 0.
+  epoch_.fetch_add(1, std::memory_order_release);
+  run_rounds(0);
+}
+
+void ShardExecutor::decide() {
+  sim::Time t = sim::Time::max();
+  for (const WorkerSlot& s : slots_) t = std::min(t, s.local_min);
+  if (t > deadline_) {
+    cmd_ = Cmd::kDone;
+    if (t == sim::Time::max()) {
+      // Fully drained: match Simulator::run_until, which leaves the
+      // clock at the last executed event rather than the deadline (the
+      // kTimeout sim_time_s and goodput horizons depend on this).
+      sim::Time last = sim::Time::zero();
+      for (int l = 0; l < sim_.lanes(); ++l) {
+        last = std::max(last, sim_.lane_now(l));
+      }
+      finish_time_ = last;
+    } else {
+      // Events remain past the horizon: classic run_until alignment.
+      finish_time_ = deadline_;
+    }
+  } else {
+    // Deadline-inclusive: events at exactly deadline_ still fire, so
+    // the exclusive bound is one tick past it.
+    const sim::Time cap = deadline_ == sim::Time::max()
+                              ? sim::Time::max()
+                              : deadline_ + sim::Time::nanoseconds(1);
+    bound_ = std::min(t + lookahead_, cap);
+    cmd_ = Cmd::kRun;
+    ++windows_;
+  }
+}
+
+void ShardExecutor::run_rounds(int w) {
+  const int lanes = sim_.lanes();
+  for (;;) {
+    // Phase 1: drain inbound boundaries into my lanes, then vote on the
+    // window.  Draining FIRST is load-bearing: an undrained message can
+    // be earlier than any queued event, and the window must start at
+    // the true global minimum.
+    sim::Time local_min = sim::Time::max();
+    for (int l = w; l < lanes; l += threads_) {
+      auto& in = inbound_[static_cast<std::size_t>(l)];
+      if (!in.empty()) {
+        std::optional<net::PacketPool::Bind> bind;
+        if (pools_[static_cast<std::size_t>(l)] != nullptr) {
+          bind.emplace(*pools_[static_cast<std::size_t>(l)]);
+        }
+        for (Boundary* b : in) {
+          b->ring.drain([&](CrossMsg&& m) {
+            b->deliver(m.at, net::clone_packet(m.pkt));
+          });
+        }
+      }
+      const auto key = sim_.lane_next_key(l);
+      if (key.has_value()) local_min = std::min(local_min, key->time);
+    }
+    slots_[static_cast<std::size_t>(w)].local_min = local_min;
+
+    barrier_.arrive_and_wait([this] { decide(); });
+
+    if (cmd_ == Cmd::kDone) {
+      for (int l = w; l < lanes; l += threads_) {
+        sim_.lane_finish(l, finish_time_);
+      }
+      barrier_.arrive_and_wait();
+      return;
+    }
+
+    // Phase 2: run my lanes through the agreed window in parallel.
+    for (int l = w; l < lanes; l += threads_) {
+      std::optional<net::PacketPool::Bind> bind;
+      if (pools_[static_cast<std::size_t>(l)] != nullptr) {
+        bind.emplace(*pools_[static_cast<std::size_t>(l)]);
+      }
+      sim_.lane_run_before(l, bound_);
+    }
+
+    barrier_.arrive_and_wait();
+  }
+}
+
+}  // namespace vegas::exp

@@ -1,0 +1,96 @@
+// Single-producer / single-consumer ring for cross-shard handoff.
+//
+// One ring per directed cut edge carries boundary messages from the
+// lane that serialized a packet to the lane that will receive it.  The
+// fixed-size ring is the classic two-index lock-free design (producer
+// owns head, consumer owns tail, acquire/release pairs on each); a
+// producer-side overflow vector keeps the channel unbounded without
+// blocking.  The overflow path is NOT lock-free — it is safe only
+// because the shard executor's rounds separate all pushes from all
+// drains with a barrier, which is exactly how the executor uses it.
+// FIFO order is preserved: the consumer drains the ring completely
+// every round, so overflowed items are always younger than every ring
+// item they follow.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/ensure.h"
+
+namespace vegas::exp {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `capacity` must be a power of two >= 2.  512 entries comfortably
+  /// covers one window's worth of a saturated 10ms bottleneck.
+  explicit SpscRing(std::size_t capacity = 512)
+      : buf_(capacity), mask_(capacity - 1) {
+    ensure(capacity >= 2 && (capacity & (capacity - 1)) == 0,
+           "SpscRing capacity must be a power of two >= 2");
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer.  Returns false when the ring is full.
+  bool try_push(T v) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail == buf_.size()) return false;
+    buf_[head & mask_] = std::move(v);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer: push with the overflow fallback (see file comment for
+  /// when the fallback is safe).
+  void push(T v) {
+    if (!try_push(std::move(v))) overflow_.push_back(std::move(v));
+  }
+
+  /// Consumer.  Returns false when the ring is empty (says nothing
+  /// about the overflow vector, which only drain() may touch).
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(buf_[tail & mask_]);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: empties the ring, then the overflow, in FIFO order.
+  /// Requires the executor's barrier between the producer's last push
+  /// and this call.
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    T v{};
+    while (try_pop(v)) fn(std::move(v));
+    if (!overflow_.empty()) {
+      for (T& o : overflow_) fn(std::move(o));
+      overflow_.clear();
+    }
+  }
+
+  /// Consumer-side view; exact under the same barrier condition.
+  bool empty() const {
+    return head_.load(std::memory_order_acquire) ==
+               tail_.load(std::memory_order_acquire) &&
+           overflow_.empty();
+  }
+
+  std::size_t capacity() const { return buf_.size(); }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_;
+  // Padded to separate the producer's and consumer's write sets.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::vector<T> overflow_;
+};
+
+}  // namespace vegas::exp

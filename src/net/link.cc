@@ -84,6 +84,18 @@ void Link::on_serialized(PacketPtr p) {
     delivery += sim::Time::seconds(
         jitter_rng_->uniform(0.0, max_jitter_.to_seconds()));
   }
+  if (cross_) {
+    // Shard boundary: deliver-side accounting happens here, on the
+    // sending lane (the receiving lane only sees the re-stamped
+    // arrival), with the same values deliver() would record.
+    const sim::Time at = sim_.now() + delivery;
+    bytes_delivered_.inc(static_cast<std::uint64_t>(p->wire_bytes()));
+    if (rate_meter_ != nullptr && p->is_data()) {
+      rate_meter_->on_bytes(at, p->payload_bytes);
+    }
+    cross_(at, std::move(p));
+    return;
+  }
   const std::uint64_t ticket = in_flight_base_ + in_flight_.size();
   in_flight_.push_back(std::move(p));
   sim_.schedule(delivery, [this, ticket] { deliver(ticket); });

@@ -74,6 +74,16 @@ class Link {
   using Tap = std::function<void(sim::Time, const Packet&)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Boundary conduit for sharded execution: when set, a packet that
+  /// finishes serializing (and survives the loss model) is handed off
+  /// here with its absolute delivery time — `now + prop_delay + jitter`
+  /// — instead of the in-process deliver() path, and the shard executor
+  /// re-stamps it into the destination shard's lane.  Tap, loss, jitter
+  /// and delivery accounting all run on the sending side, so counters
+  /// match the unsharded run exactly.
+  using CrossDelivery = std::function<void(sim::Time, PacketPtr)>;
+  void set_cross_delivery(CrossDelivery fn) { cross_ = std::move(fn); }
+
   /// Offers a packet for transmission.  Takes ownership; drops (and
   /// reports) if the queue is full.
   void send(PacketPtr p);
@@ -120,6 +130,7 @@ class Link {
   QueueMonitor* queue_monitor_ = nullptr;
   RateMeter* rate_meter_ = nullptr;
   Tap tap_;
+  CrossDelivery cross_;
 
   bool transmitting_ = false;
   PacketPtr tx_held_;  // the one packet being serialized

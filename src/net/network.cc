@@ -31,6 +31,8 @@ Network::Duplex Network::connect(Node& a, Node& b, const LinkConfig& cfg) {
   Duplex d{fwd.get(), rev.get()};
   adjacency_[a.id()].push_back({b.id(), d.forward});
   adjacency_[b.id()].push_back({a.id(), d.reverse});
+  edges_.push_back({d.forward, a.id(), b.id()});
+  edges_.push_back({d.reverse, b.id(), a.id()});
   if (auto* host = dynamic_cast<Host*>(&a)) host->set_uplink(d.forward);
   if (auto* host = dynamic_cast<Host*>(&b)) host->set_uplink(d.reverse);
   links_.push_back(std::move(fwd));

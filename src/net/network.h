@@ -39,6 +39,17 @@ class Network {
   std::size_t node_count() const { return nodes_.size(); }
   const std::vector<std::unique_ptr<Link>>& links() const { return links_; }
 
+  /// One directed link with its endpoints, in creation order (two per
+  /// connect(): forward then reverse).  The shard partitioner walks
+  /// these to find cut points, and the executor registers boundary
+  /// rings in exactly this order — part of the determinism contract.
+  struct EdgeRef {
+    Link* link;
+    NodeId src;
+    NodeId dst;
+  };
+  const std::vector<EdgeRef>& edges() const { return edges_; }
+
  private:
   struct Edge {
     NodeId to;
@@ -48,6 +59,7 @@ class Network {
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<Link>> links_;
+  std::vector<EdgeRef> edges_;
   std::vector<std::vector<Edge>> adjacency_;
 };
 

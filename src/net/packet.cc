@@ -1,6 +1,6 @@
 #include "net/packet.h"
 
-#include <atomic>
+#include <atomic>  // lint: concurrency-ok
 #include <sstream>
 #include <vector>
 
@@ -11,18 +11,24 @@ namespace {
 
 // uids stay globally unique across threads (a relaxed fetch_add is a few
 // ns and keeps traces/drop records unambiguous in parallel sweeps).
-std::atomic<std::uint64_t> g_next_uid{1};
+std::atomic<std::uint64_t> g_next_uid{1};  // lint: concurrency-ok
 
-// Thread-local free-list pool.  Each simulation is confined to one
-// thread, so packet alloc/free never contends and needs no locks; chunked
-// backing storage means one allocator hit per kChunk packets until the
-// high-water mark, then none.  Storage is freed at thread exit.
 constexpr std::size_t kChunk = 64;
 
-struct Pool {
+}  // namespace
+
+// Free-list pool with chunked backing storage: one allocator hit per
+// kChunk packets until the high-water mark, then none.  Two kinds share
+// this struct: the implicit thread-local default pool (thread_default,
+// release checked against the releasing thread's own pool) and explicit
+// PacketPool lane pools (confinement enforced by the shard executor's
+// barrier structure instead, so teardown on the engine thread may
+// legally release a lane's packets).
+struct PacketPool::Impl {
   std::vector<std::unique_ptr<Packet[]>> chunks;
   std::vector<Packet*> free_list;
   PacketPoolStats stats;
+  bool thread_default = false;
 
   Packet* acquire() {
     if (free_list.empty()) {
@@ -39,26 +45,54 @@ struct Pool {
   }
 };
 
-// Thread-confined free list: each worker recycles only packets it
-// allocated, and pointer identity never orders anything — reuse cannot
-// perturb event order or digests.
-thread_local Pool t_pool;  // lint: mutable-static-ok
+namespace {
+
+using Pool = PacketPool::Impl;
+
+// Thread-confined default free list: each worker recycles only packets
+// it allocated, and pointer identity never orders anything — reuse
+// cannot perturb event order or digests.
+thread_local Pool t_pool{{}, {}, {}, /*thread_default=*/true};  // lint: mutable-static-ok
+
+// The pool new packets draw from on this thread: a bound PacketPool
+// (shard executor) or the default.  Pure routing state — set/restored
+// by PacketPool::Bind, never carries values across runs.
+thread_local Pool* t_active_pool = nullptr;  // lint: mutable-static-ok
+
+Pool& active_pool() { return t_active_pool != nullptr ? *t_active_pool : t_pool; }
 
 PacketPtr acquire_blank() {
-  Packet* p = t_pool.acquire();
+  Pool& pool = active_pool();
+  Packet* p = pool.acquire();
   *p = Packet{};  // reused storage: reset every protocol field
-  p->pool_tag = &t_pool;
+  p->pool_tag = &pool;
   return PacketPtr(p);
 }
 
 }  // namespace
 
 void PacketDeleter::operator()(Packet* p) const noexcept {
-  ensure(p->pool_tag == &t_pool,
+  Pool* pool = static_cast<Pool*>(p->pool_tag);
+  ensure(!pool->thread_default || pool == &t_pool,
          "packet released on a thread other than its creator");
-  t_pool.free_list.push_back(p);
-  ++t_pool.stats.released;
+  pool->free_list.push_back(p);
+  ++pool->stats.released;
 }
+
+PacketPool::PacketPool() : impl_(std::make_unique<Impl>()) {}
+
+PacketPool::~PacketPool() {
+  ensure(impl_->stats.outstanding() == 0,
+         "PacketPool destroyed with packets still in flight");
+}
+
+PacketPoolStats PacketPool::stats() const { return impl_->stats; }
+
+PacketPool::Bind::Bind(PacketPool& pool) : prev_(t_active_pool) {
+  t_active_pool = pool.impl_.get();
+}
+
+PacketPool::Bind::~Bind() { t_active_pool = prev_; }
 
 PacketPtr make_packet() {
   PacketPtr p = acquire_blank();
@@ -68,7 +102,7 @@ PacketPtr make_packet() {
 
 PacketPtr clone_packet(const Packet& p) {
   PacketPtr np = acquire_blank();
-  const void* tag = np->pool_tag;
+  void* tag = np->pool_tag;
   *np = p;  // same uid by design; see header
   np->pool_tag = tag;  // ownership stays with the clone's pool
   return np;

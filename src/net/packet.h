@@ -90,9 +90,9 @@ struct Packet {
 
   std::string describe() const;
 
-  /// Identity of the thread-local pool that owns this packet's storage
-  /// (set by make_packet, checked on release).  Not a protocol field.
-  const void* pool_tag = nullptr;
+  /// The pool that owns this packet's storage (set on acquire; release
+  /// routes through it).  Not a protocol field.
+  void* pool_tag = nullptr;
 };
 
 /// Returns the packet's storage to its thread-local free list.
@@ -100,11 +100,14 @@ struct PacketDeleter {
   void operator()(Packet* p) const noexcept;
 };
 
-/// Owning packet handle.  Storage comes from a per-thread free-list pool
-/// (see packet.cc): steady-state make/destroy cycles never touch the
-/// allocator.  Packets are thread-confined — each must be released on
-/// the thread that created it, which holds by construction because every
-/// Simulator (and all packets it moves) lives on exactly one thread.
+/// Owning packet handle.  Storage comes from a free-list pool (see
+/// packet.cc): steady-state make/destroy cycles never touch the
+/// allocator.  Packets are pool-confined — release routes to the pool
+/// that acquired them.  With the default per-thread pool that means
+/// thread-confined (checked); a sharded run instead binds an explicit
+/// PacketPool per lane, whose confinement the executor enforces by
+/// construction (one owning thread per lane per window, barriers
+/// between).
 using PacketPtr = std::unique_ptr<Packet, PacketDeleter>;
 
 /// Creates a packet with a fresh uid and default-initialized fields.
@@ -128,5 +131,41 @@ struct PacketPoolStats {  // lint: adhoc-stats-ok
   std::uint64_t outstanding() const { return acquired - released; }
 };
 PacketPoolStats packet_pool_stats();
+
+/// An explicit packet pool for shard-confined execution.  The default
+/// pool is thread-local and implicit; a sharded scenario creates one
+/// PacketPool per lane and the executor Binds it around every slice of
+/// lane work, so a lane's packets recycle through the lane's own free
+/// list no matter which worker thread runs the lane this window.  The
+/// pool must outlive every packet drawn from it (the scenario engine
+/// declares lane pools above the world for exactly that reason).
+class PacketPool {
+ public:
+  PacketPool();
+  ~PacketPool();
+  PacketPool(const PacketPool&) = delete;
+  PacketPool& operator=(const PacketPool&) = delete;
+
+  /// Counters for this pool (same meaning as packet_pool_stats()).
+  PacketPoolStats stats() const;
+
+  struct Impl;  // the free-list pool itself (packet.cc)
+
+  /// Routes make_packet/clone_packet on the current thread to `pool`
+  /// while in scope.  Nests; restores the previous binding on exit.
+  class Bind {
+   public:
+    explicit Bind(PacketPool& pool);
+    ~Bind();
+    Bind(const Bind&) = delete;
+    Bind& operator=(const Bind&) = delete;
+
+   private:
+    Impl* prev_;
+  };
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace vegas::net

@@ -8,15 +8,19 @@
 #include <optional>
 #include <stdexcept>
 
+#include <cstdlib>
+
 #include "check/determinism.h"
 #include "common/ensure.h"
 #include "common/rng.h"
 #include "exp/runner.h"
+#include "exp/shard_exec.h"
 #include "exp/world.h"
 #include "net/monitor.h"
 #include "net/packet.h"
 #include "net/red.h"
 #include "obs/registry.h"
+#include "scenario/partition.h"
 #include "sim/timer.h"
 #include "stats/fairness.h"
 #include "trace/conn_tracer.h"
@@ -83,6 +87,15 @@ class CellWorld {
   net::Link* ingress_link(const std::string& ref) {
     const auto it = ingress_.find(ref);
     return it == ingress_.end() ? nullptr : it->second;
+  }
+
+  /// The underlying Network (every topology family builds one) — the
+  /// shard partitioner's input.
+  net::Network& network() {
+    if (dumbbell_ != nullptr) return dumbbell_->topo().net;
+    if (wan_ != nullptr) return wan_->topo().net;
+    if (lot_ != nullptr) return lot_->net;
+    return *graph_;
   }
 
  private:
@@ -199,6 +212,17 @@ struct Meters {
   net::RateMeter client_in;
 };
 
+/// Shard count for this cell: explicit RunOptions beat the VEGAS_SHARDS
+/// env override, which beats the scenario's [sharding] section.
+int resolve_shards(const RunOptions& opts, const ScenarioSpec& spec) {
+  if (opts.shards != 0) return opts.shards;
+  if (const char* env = std::getenv("VEGAS_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return spec.sharding.shards;
+}
+
 std::size_t bottleneck_capacity(const ScenarioSpec& spec) {
   switch (spec.topology.kind) {
     case TopologySpec::Kind::kDumbbell:
@@ -250,7 +274,11 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   // blocks, so the containers are declared here and filled inside the
   // "setup" scope.  Declaration order is destruction-order-critical: the
   // sampler timer must die before the world whose simulator it rides on
-  // (reverse declaration order guarantees it).
+  // (reverse declaration order guarantees it); the per-lane packet
+  // pools must OUTLIVE the world (teardown releases lane packets into
+  // them), and the shard executor must die FIRST, so its worker
+  // threads are joined while everything they touched is still alive.
+  std::deque<net::PacketPool> shard_pools;
   std::unique_ptr<CellWorld> world_p;
   std::optional<trace::PcapWriter> pcap;
   std::deque<Meters> meters;
@@ -262,6 +290,8 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   obs::Registry reg;
   std::optional<obs::Sampler> sampler;
   std::optional<sim::PeriodicTimer> sample_timer;
+  ShardPlan plan;
+  std::unique_ptr<exp::ShardExecutor> shard_exec;
 
   const bool metrics_on = spec.metrics.enabled || !opts.metrics_path.empty();
   const double interval_s = opts.metrics_interval_s > 0
@@ -273,6 +303,63 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   world_p = std::make_unique<CellWorld>(spec);
   CellWorld& world = *world_p;
   sim::Simulator& sim = world.sim();
+
+  // Shard plan + executor, before anything schedules an event
+  // (set_lanes requires a pristine simulator; topology construction
+  // schedules nothing).  Metrics sampling rides a single PeriodicTimer
+  // that cannot be split across lanes, so a sampled cell always runs
+  // unsharded — compile() rejects [sharding]+[metrics], and a --metrics
+  // override wins here for the same reason.
+  const int shard_request = metrics_on ? 1 : resolve_shards(opts, spec);
+  if (shard_request > 1) {
+    net::Network& topo_net = world.network();
+    PartitionInput pin;
+    pin.want_shards = std::min(shard_request, sim::Simulator::kMaxLanes);
+    for (const TrafficSpec& t : spec.traffic) {
+      pin.colocate.push_back(
+          {world.host(t.client).id(), world.host(t.server).id()});
+    }
+    for (const CrossSpec& c : spec.cross) {
+      pin.colocate.push_back({world.host(c.src).id(), world.host(c.dst).id()});
+    }
+    for (const FlowSpec& f : spec.flows) {
+      pin.flows.push_back({world.host(f.src).id(), world.host(f.dst).id()});
+    }
+    plan = partition_network(topo_net, pin);
+    if (plan.shards > 1) {
+      sim.set_lanes(plan.shards);
+      for (int s = 0; s < plan.shards; ++s) shard_pools.emplace_back();
+      shard_exec = std::make_unique<exp::ShardExecutor>(
+          sim, exp::resolve_threads(opts.threads), plan.lookahead);
+      for (int s = 0; s < plan.shards; ++s) {
+        shard_exec->set_lane_pool(s, &shard_pools[static_cast<std::size_t>(s)]);
+      }
+      // Boundary conduits, in Network edge-creation order (the
+      // executor's registration-order determinism contract).
+      sim::Simulator* simp = &sim;
+      for (const net::Network::EdgeRef& e : topo_net.edges()) {
+        const int src_s = plan.node_shard[e.src];
+        const int dst_s = plan.node_shard[e.dst];
+        if (src_s == dst_s) continue;
+        net::Node* peer = &e.link->peer();
+        e.link->set_cross_delivery(shard_exec->add_boundary(
+            src_s, dst_s, [simp, dst_s, peer](sim::Time at, net::PacketPtr p) {
+              simp->lane_schedule_at(dst_s, at,
+                                     [peer, pp = std::move(p)]() mutable {
+                                       peer->receive(std::move(pp));
+                                     });
+            }));
+      }
+    }
+  }
+  // Routes every construction-time event below (traffic starts, SYN
+  // kickoffs) into the lane that owns its endpoint.  Lane 0 (a no-op
+  // scope) when unsharded.
+  const auto lane_of = [&](const std::string& ref) {
+    return plan.shards > 1
+               ? plan.node_shard[world.host(ref).id()]
+               : 0;
+  };
 
   // Queue discipline first: RED must be in place before any traffic.
   if (spec.queue.red) {
@@ -317,6 +404,9 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
     tc.seed = rng::derive_seed(spec.seed, t.name);
     tc.factory = t.algo.factory();
     tc.workload = t.workload;
+    // Conversation endpoints are colocated by the partitioner; their
+    // arrival events belong to that shared lane.
+    sim::Simulator::LaneScope scope(sim, lane_of(t.client));
     sources.push_back(std::make_unique<traffic::TrafficSource>(
         world.stack(t.client), world.stack(t.server), tc));
     sources.back()->start();
@@ -326,6 +416,7 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   for (const CrossSpec& c : spec.cross) {
     traffic::CrossTrafficConfig cc = c.cfg;
     cc.seed = rng::derive_seed(spec.seed, c.name);
+    sim::Simulator::LaneScope scope(sim, lane_of(c.src));
     sinks.push_back(std::make_unique<traffic::DatagramSink>(world.host(c.dst)));
     crosses.push_back(std::make_unique<traffic::CrossTrafficSource>(
         sim, world.host(c.src), world.host(c.dst), cc));
@@ -365,6 +456,10 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
       if (f.send_buffer.has_value()) tuned.send_buffer = *f.send_buffer;
       bt.tcp = tuned;
     }
+    // The kickoff (SYN after start_delay) fires on the sender's lane;
+    // the receiver side only reacts to arriving packets, which land in
+    // its own lane by construction.
+    sim::Simulator::LaneScope scope(sim, lane_of(f.src));
     transfers.push_back(std::make_unique<traffic::BulkTransfer>(
         world.stack(f.src), world.stack(f.dst), bt));
   }
@@ -401,14 +496,23 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
 
   {
   const auto run_phase = prof.scope("run");
+  const auto advance_to = [&](sim::Time deadline) {
+    if (shard_exec != nullptr) {
+      shard_exec->run_until(deadline);
+    } else {
+      sim.run_until(deadline);
+    }
+  };
   if (spec.stop == ScenarioSpec::Stop::kTimeout) {
-    sim.run_until(sim::Time::seconds(spec.timeout_s));
+    advance_to(sim::Time::seconds(spec.timeout_s));
   } else {
     // 10 s slices so unused timeout is never simulated; stop once every
     // flow finished AND the goodput horizon elapsed (run_background's
-    // loop, with the horizon a scenario knob).
+    // loop, with the horizon a scenario knob).  Sharded runs align every
+    // lane clock to the slice deadline, so sim.now() (lane 0) is the
+    // global time here either way.
     while (sim.now() < sim::Time::seconds(spec.timeout_s)) {
-      sim.run_until(sim.now() + sim::Time::seconds(10.0));
+      advance_to(sim.now() + sim::Time::seconds(10.0));
       bool all_done = true;
       for (const auto& t : transfers) all_done = all_done && t->done();
       if (all_done && sim.now().to_seconds() >= spec.goodput_horizon_s) break;
@@ -424,12 +528,28 @@ CellResult run_cell(const ScenarioSpec& spec, std::size_t index,
   r.seed = spec.seed;
   r.sim_time_s = sim.now().to_seconds();
   r.sim.events_executed = sim.events_executed();
-  const sim::TimingWheel::Metrics& tw = sim.wheel_metrics();
-  r.sim.timer_scheduled = tw.scheduled;
-  r.sim.timer_cancelled = tw.cancelled;
-  r.sim.timer_fired = tw.fired;
-  r.sim.timer_slot_allocs = tw.slot_allocs;
-  r.sim.timer_max_live = tw.max_live;
+  // Timer counters: lane 0's wheel for the single-lane path, summed
+  // across lanes (max of max_live) when sharded.
+  for (int l = 0; l < sim.lanes(); ++l) {
+    const sim::TimingWheel::Metrics& tw = sim.lane_wheel_metrics(l);
+    r.sim.timer_scheduled += tw.scheduled;
+    r.sim.timer_cancelled += tw.cancelled;
+    r.sim.timer_fired += tw.fired;
+    r.sim.timer_slot_allocs += tw.slot_allocs;
+    r.sim.timer_max_live = std::max(r.sim.timer_max_live, tw.max_live.value());
+  }
+  if (shard_exec != nullptr) {
+    ShardRunInfo si;
+    si.shards = plan.shards;
+    si.threads = shard_exec->threads();
+    si.lookahead_s = plan.lookahead.to_seconds();
+    si.windows = shard_exec->windows();
+    si.cross_posts = shard_exec->cross_posts();
+    for (int l = 0; l < sim.lanes(); ++l) {
+      si.lane_events.push_back(sim.lane_events_executed(l));
+    }
+    r.shard = std::move(si);
+  }
 
   std::vector<double> throughputs;
   std::size_t tracer_i = 0;

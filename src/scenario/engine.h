@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,15 @@ struct RunOptions {
   std::string chrome_trace_path;
   /// > 0: overrides the scenario's [metrics] interval_s.
   double metrics_interval_s = 0;
+  /// Shard count for conservative parallel execution of each cell
+  /// (docs/PERFORMANCE.md "Sharded execution").  0: use the scenario's
+  /// [sharding] section, after a VEGAS_SHARDS env override; 1: force
+  /// single-threaded; > 1: request that many shards (the partitioner
+  /// may produce fewer).  Sharding changes the boundary tie-break
+  /// order, so sharded and unsharded digests are comparable only
+  /// within the same shard plan; at a FIXED plan, results are
+  /// bit-identical at any thread count.
+  int shards = 0;
 };
 
 struct FlowResult {
@@ -67,12 +77,23 @@ struct SimCounters {
   std::uint64_t timer_max_live = 0;
 };
 
+/// How a sharded cell actually executed (absent for unsharded runs).
+struct ShardRunInfo {
+  int shards = 1;
+  int threads = 1;
+  double lookahead_s = 0;  // the executor's window width floor
+  std::uint64_t windows = 0;      // synchronization rounds
+  std::uint64_t cross_posts = 0;  // packets over shard boundaries
+  std::vector<std::uint64_t> lane_events;  // per-shard events executed
+};
+
 struct CellResult {
   std::size_t index = 0;
   std::string label;  // sweep coordinates, e.g. "queue=15 delay=1"
   std::uint64_t seed = 0;
   double sim_time_s = 0;
   SimCounters sim;
+  std::optional<ShardRunInfo> shard;
   /// Jain's fairness index over flow throughputs (1.0 for < 2 flows).
   double fairness_jain = 1.0;
   /// Delivered background-conversation payload per second over the

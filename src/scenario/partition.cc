@@ -1,0 +1,144 @@
+#include "scenario/partition.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/ensure.h"
+#include "net/host.h"
+#include "net/router.h"
+
+namespace vegas::scenario {
+
+namespace {
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return;
+    // Lower root wins: keeps roots (and so atom keys) deterministic.
+    if (a < b) {
+      parent[b] = a;
+    } else {
+      parent[a] = b;
+    }
+  }
+};
+
+}  // namespace
+
+ShardPlan partition_network(net::Network& net, const PartitionInput& in) {
+  const std::size_t n = net.node_count();
+  ShardPlan plan;
+  plan.node_shard.assign(n, 0);
+  if (in.want_shards <= 1 || n < 2) return plan;
+
+  // 1. Merge what cannot be split: endpoints of sub-floor links, and
+  //    colocated endpoint pairs.  Edge scan order is creation order.
+  UnionFind uf(n);
+  for (const net::Network::EdgeRef& e : net.edges()) {
+    if (e.link->config().prop_delay < kMinCutDelay) uf.unite(e.src, e.dst);
+  }
+  for (const auto& [a, b] : in.colocate) uf.unite(a, b);
+
+  // 2. Event-load weights.  Constant per node; +3 per flow endpoint;
+  //    +2 per flow transiting a router (walked along the computed
+  //    routes, exactly the path its packets will take).
+  std::vector<double> weight(n, 1.0);
+  auto add_pair = [&](NodeId src, NodeId dst) {
+    weight[src] += 3.0;
+    weight[dst] += 3.0;
+    auto* host = dynamic_cast<net::Host*>(net.node(src));
+    if (host == nullptr || host->uplink() == nullptr) return;
+    net::Link* hop = host->uplink();
+    for (std::size_t guard = 0; guard < n; ++guard) {
+      net::Node& next = hop->peer();
+      if (next.id() == dst) return;
+      auto* router = dynamic_cast<net::Router*>(&next);
+      if (router == nullptr) return;  // delivered to a different host
+      weight[next.id()] += 2.0;
+      hop = router->route(dst);
+      if (hop == nullptr) return;  // unreachable; weights stay partial
+    }
+  };
+  for (const auto& [a, b] : in.flows) add_pair(a, b);
+  for (const auto& [a, b] : in.colocate) add_pair(a, b);
+
+  // 3. Atoms: one per union-find root, keyed by minimum node id (the
+  //    root, by the lower-root-wins rule), in id order.
+  struct Atom {
+    NodeId key;
+    double weight = 0;
+    std::vector<NodeId> nodes;
+  };
+  std::vector<Atom> atoms;
+  std::vector<int> atom_of(n, -1);
+  for (NodeId id = 0; id < n; ++id) {
+    const std::size_t root = uf.find(id);
+    if (atom_of[root] < 0) {
+      atom_of[root] = static_cast<int>(atoms.size());
+      atoms.push_back({static_cast<NodeId>(root), 0.0, {}});
+    }
+    Atom& a = atoms[static_cast<std::size_t>(atom_of[root])];
+    a.weight += weight[id];
+    a.nodes.push_back(id);
+  }
+  const int shards =
+      std::min(in.want_shards, static_cast<int>(atoms.size()));
+  if (shards < 2) return plan;
+
+  // 4. Weighted LPT: heaviest atom first (key ascending on ties) into
+  //    the lightest shard (lowest index on ties).
+  std::vector<const Atom*> order;
+  order.reserve(atoms.size());
+  for (const Atom& a : atoms) order.push_back(&a);
+  std::sort(order.begin(), order.end(), [](const Atom* x, const Atom* y) {
+    if (x->weight != y->weight) return x->weight > y->weight;
+    return x->key < y->key;
+  });
+  std::vector<double> bin_weight(static_cast<std::size_t>(shards), 0.0);
+  for (const Atom* a : order) {
+    int best = 0;
+    for (int s = 1; s < shards; ++s) {
+      if (bin_weight[static_cast<std::size_t>(s)] <
+          bin_weight[static_cast<std::size_t>(best)]) {
+        best = s;
+      }
+    }
+    bin_weight[static_cast<std::size_t>(best)] += a->weight;
+    for (const NodeId id : a->nodes) plan.node_shard[id] = best;
+  }
+
+  // 5. The lookahead is the tightest cut link.
+  plan.lookahead = sim::Time::max();
+  for (const net::Network::EdgeRef& e : net.edges()) {
+    if (plan.node_shard[e.src] == plan.node_shard[e.dst]) continue;
+    ++plan.cut_links;
+    plan.lookahead = std::min(plan.lookahead, e.link->config().prop_delay);
+  }
+  if (plan.cut_links == 0) {
+    // Disconnected components that happened to pack into one bin each:
+    // nothing crosses, so sharding buys nothing — fall back.
+    plan.node_shard.assign(n, 0);
+    plan.lookahead = sim::Time::zero();
+    return plan;
+  }
+  ensure(plan.lookahead >= kMinCutDelay,
+         "partitioner cut a link below the lookahead floor");
+  plan.shards = shards;
+  return plan;
+}
+
+}  // namespace vegas::scenario

@@ -1,0 +1,58 @@
+// Topology partitioner for sharded execution (exp::ShardExecutor).
+//
+// Cuts the built Network into shards at link boundaries.  A link is
+// cuttable when its propagation delay clears kMinCutDelay — the delay
+// becomes the executor's lookahead, and a lookahead measured in bare
+// nanoseconds would synchronize shards into oblivion.  Everything the
+// executor cannot split (nodes joined by fast links, endpoints of a
+// shared-state traffic conversation) is merged into an ATOM with
+// union-find; atoms are then packed into the requested number of
+// shards by weighted LPT (heaviest atom first into the lightest
+// shard), with node weights estimating event load: a constant per
+// node, +3 per flow endpoint, +2 per flow transiting a router.
+//
+// Determinism: the plan is a pure function of the topology and the
+// spec — union-find scans edges in creation order, atoms are keyed by
+// their minimum node id, and every tie in the packing breaks on
+// (weight, then id / bin index).  The same scenario always yields the
+// same plan, on any machine, at any thread count.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "net/network.h"
+
+namespace vegas::scenario {
+
+/// Links with propagation delay below this are never cut: 100 us of
+/// lookahead is the floor at which windows stay coarse enough to win.
+/// Canned access links sit at 500 us, so every topology family keeps
+/// its natural cut points.
+inline constexpr sim::Time kMinCutDelay = sim::Time::microseconds(100);
+
+struct PartitionInput {
+  int want_shards = 1;
+  /// Node pairs that MUST share a shard: tcplib conversation endpoints
+  /// (traffic::TrafficSource holds shared per-pair state) and datagram
+  /// cross-traffic pairs.
+  std::vector<std::pair<NodeId, NodeId>> colocate;
+  /// Bulk-flow endpoint pairs.  Flows may span shards (BulkTransfer is
+  /// polled only between windows); these pairs only feed the weights.
+  std::vector<std::pair<NodeId, NodeId>> flows;
+};
+
+struct ShardPlan {
+  int shards = 1;                 // 1 = don't shard
+  std::vector<int> node_shard;    // NodeId -> shard index
+  sim::Time lookahead;            // min prop delay across cut links
+  std::size_t cut_links = 0;      // directed links crossing shards
+};
+
+/// Computes the shard plan.  Returns a trivial single-shard plan when
+/// want_shards <= 1 or the topology does not split into at least two
+/// nonempty shards.  Routes must already be computed (the weight model
+/// walks them); the engine partitions right after topology build.
+ShardPlan partition_network(net::Network& net, const PartitionInput& in);
+
+}  // namespace vegas::scenario

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "cc/registry.h"
+#include "sim/simulator.h"
 
 namespace vegas::scenario {
 
@@ -468,8 +469,9 @@ ScenarioSpec compile(const Document& doc) {
   // Reject sections the schema does not know about (sweep sections are
   // consumed by src/scenario/sweep.cc and are legal here).
   static const std::set<std::string> kKnown{
-      "scenario", "topology", "queue", "tcp",   "flow",      "traffic",
-      "cross",    "node",     "link",  "sweep", "sweep.zip", "metrics"};
+      "scenario", "topology", "queue",     "tcp",     "flow",
+      "traffic",  "cross",    "node",      "link",    "sweep",
+      "sweep.zip", "metrics", "sharding"};
   for (const Section& sec : doc.sections) {
     if (kKnown.count(sec.name) == 0) {
       fail(file, sec.line, sec.col, "unknown section [" + sec.name + "]");
@@ -539,6 +541,24 @@ ScenarioSpec compile(const Document& doc) {
     r.finish();
     if (spec.metrics.interval_s <= 0) {
       fail(file, sec->line, sec->col, "metrics interval_s must be positive");
+    }
+  }
+
+  // [sharding]
+  if (const Section* sec = doc.find("sharding")) {
+    Reader r(file, *sec);
+    spec.sharding.shards =
+        static_cast<int>(r.unsigned_integer("shards", 0));
+    r.finish();
+    if (spec.sharding.shards > sim::Simulator::kMaxLanes) {
+      fail(file, sec->line, sec->col,
+           "sharding shards must be <= " +
+               std::to_string(sim::Simulator::kMaxLanes));
+    }
+    if (spec.sharding.shards > 1 && spec.metrics.enabled) {
+      fail(file, sec->line, sec->col,
+           "sharding and [metrics] sampling are mutually exclusive (the "
+           "sampler timer is not shard-safe); run unsharded to sample");
     }
   }
 

@@ -104,6 +104,16 @@ struct MetricsSpec {
   double interval_s = 0.1;  // sim-time sampling cadence
 };
 
+/// [sharding] — conservative parallel execution of this one cell
+/// (docs/PERFORMANCE.md "Sharded execution").  `shards` is the number
+/// of topology shards to aim for; the partitioner may produce fewer
+/// (and 0/1 means run single-threaded, the default).  Worker count
+/// comes from RunOptions.threads / VEGAS_THREADS and never affects
+/// results — digests are bit-identical at any thread count.
+struct ShardingSpec {
+  int shards = 0;
+};
+
 struct ScenarioSpec {
   std::string name;
   std::uint64_t seed = 1;
@@ -120,6 +130,7 @@ struct ScenarioSpec {
   TopologySpec topology;
   QueueSpec queue;
   MetricsSpec metrics;
+  ShardingSpec sharding;
   std::vector<FlowSpec> flows;
   std::vector<TrafficSpec> traffic;
   std::vector<CrossSpec> cross;

@@ -7,42 +7,126 @@
 
 namespace vegas::sim {
 
+Simulator::Simulator() {
+  lanes_.push_back(std::make_unique<Lane>());
+  lanes_.front()->owner = this;
+}
+
+Simulator::~Simulator() {
+  // A LaneScope never outlives its simulator, and the run loops restore
+  // the previous active lane on exit; nothing to clear here.
+}
+
+void Simulator::set_lanes(int n) {
+  ensure(n >= 1 && n <= kMaxLanes, "set_lanes: lane count out of range");
+  ensure(lanes_.size() == 1, "set_lanes: already sharded");
+  Lane& l0 = *lanes_.front();
+  ensure(l0.events_executed == 0 && l0.queue.size() == 0 && l0.wheel.empty(),
+         "set_lanes: must be called before any events exist");
+  for (int i = 1; i < n; ++i) {
+    lanes_.push_back(std::make_unique<Lane>());
+    lanes_.back()->owner = this;
+    lanes_.back()->index = i;
+  }
+}
+
+Simulator::LaneScope::LaneScope(Simulator& sim, int lane) : prev_(t_active_) {
+  ensure(lane >= 0 && lane < sim.lanes(), "LaneScope: lane out of range");
+  t_active_ = sim.lanes_[static_cast<std::size_t>(lane)].get();
+}
+
+Simulator::LaneScope::~LaneScope() { t_active_ = prev_; }
+
 void Simulator::register_metrics(obs::Registry& reg) const {
-  reg.bind_counter("sim.events_executed", &events_executed_);
-  queue_.register_metrics(reg, "sim.event_queue");
-  wheel_.register_metrics(reg, "sim.timing_wheel");
+  reg.bind_counter("sim.events_executed", &lanes_.front()->events_executed);
+  lanes_.front()->queue.register_metrics(reg, "sim.event_queue");
+  lanes_.front()->wheel.register_metrics(reg, "sim.timing_wheel");
+}
+
+std::uint64_t Simulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& l : lanes_) total += l->events_executed;
+  return total;
+}
+
+std::size_t Simulator::events_pending() const {
+  std::size_t total = 0;
+  for (const auto& l : lanes_) total += l->queue.size() + l->wheel.size();
+  return total;
 }
 
 EventId Simulator::schedule(Time delay, EventQueue::Action action) {
   if (delay < Time::zero()) delay = Time::zero();
-  return queue_.schedule(now_ + delay, next_seq_++, std::move(action));
+  Lane& l = lane();
+  return tag_id(l.index,
+                l.queue.schedule(l.now + delay, l.next_seq++,
+                                 std::move(action)));
 }
 
 EventId Simulator::schedule_at(Time at, EventQueue::Action action) {
-  ensure(at >= now_, "cannot schedule into the past");
-  return queue_.schedule(at, next_seq_++, std::move(action));
+  Lane& l = lane();
+  ensure(at >= l.now, "cannot schedule into the past");
+  return tag_id(l.index, l.queue.schedule(at, l.next_seq++, std::move(action)));
+}
+
+EventId Simulator::lane_schedule_at(int lane, Time at,
+                                    EventQueue::Action action) {
+  Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+  ensure(at >= l.now, "lane_schedule_at: cross-shard post into the past "
+                      "(lookahead contract violated)");
+  return tag_id(l.index, l.queue.schedule(at, l.next_seq++, std::move(action)));
+}
+
+void Simulator::cancel(EventId id) {
+  if (id == kNoEvent) return;
+  lane_of_id(id).queue.cancel(untag_id(id));
+}
+
+bool Simulator::pending(EventId id) const {
+  if (id == kNoEvent) return false;
+  return lane_of_id(id).queue.pending(untag_id(id));
 }
 
 TimerId Simulator::schedule_timer(Time delay, TimingWheel::Action action) {
   if (delay < Time::zero()) delay = Time::zero();
-  return wheel_.schedule(now_ + delay, next_seq_++, std::move(action));
+  Lane& l = lane();
+  return tag_id(l.index,
+                l.wheel.schedule(l.now + delay, l.next_seq++,
+                                 std::move(action)));
 }
 
 bool Simulator::restart_timer(TimerId id, Time delay) {
   if (delay < Time::zero()) delay = Time::zero();
-  return wheel_.reschedule(id, now_ + delay, next_seq_++);
+  // The id's lane, not the active one: a timer always belongs to the
+  // lane that armed it (its owner only touches it from that lane's
+  // events), and its fresh deadline/sequence must come from there.
+  Lane& l = lane_of_id(id);
+  return l.wheel.reschedule(untag_id(id), l.now + delay, l.next_seq++);
+}
+
+void Simulator::cancel_timer(TimerId id) {
+  if (id == kNoTimer) return;
+  lane_of_id(id).wheel.cancel(untag_id(id));
+}
+
+bool Simulator::timer_pending(TimerId id) const {
+  if (id == kNoTimer) return false;
+  return lane_of_id(id).wheel.pending(untag_id(id));
 }
 
 void Simulator::run() { run_until(Time::max()); }
 
 void Simulator::run_until(Time deadline) {
+  ensure(lanes_.size() == 1,
+         "run_until on a sharded simulator; drive it via exp::ShardExecutor");
+  Lane& l = *lanes_.front();
   stopped_ = false;
   while (!stopped_) {
     // The next event is the (time, seq) minimum across the one-shot
     // queue and the timing wheel; the shared sequence counter makes the
     // comparison a total order identical to a single queue's.
-    const auto qk = queue_.next_key();
-    const auto wk = wheel_.next_key();
+    const auto qk = l.queue.next_key();
+    const auto wk = l.wheel.next_key();
     bool from_wheel;
     Time next;
     if (qk.has_value() && wk.has_value()) {
@@ -59,23 +143,85 @@ void Simulator::run_until(Time deadline) {
       break;
     }
     if (next > deadline) {
-      now_ = deadline;
+      l.now = deadline;
       break;
     }
     if (from_wheel) {
-      auto fired = wheel_.pop();
-      ensure(fired.time >= now_, "timing wheel went backwards");
-      now_ = fired.time;
-      ++events_executed_;
+      auto fired = l.wheel.pop();
+      ensure(fired.time >= l.now, "timing wheel went backwards");
+      l.now = fired.time;
+      ++l.events_executed;
       fired.action();
     } else {
-      auto fired = queue_.pop();
-      ensure(fired.time >= now_, "event queue went backwards");
-      now_ = fired.time;
-      ++events_executed_;
+      auto fired = l.queue.pop();
+      ensure(fired.time >= l.now, "event queue went backwards");
+      l.now = fired.time;
+      ++l.events_executed;
       fired.action();
     }
   }
+}
+
+std::optional<EventQueue::Key> Simulator::lane_next_key(int lane) {
+  Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+  const auto qk = l.queue.next_key();
+  const auto wk = l.wheel.next_key();
+  if (!qk.has_value()) {
+    if (!wk.has_value()) return std::nullopt;
+    return EventQueue::Key{wk->time, wk->seq};
+  }
+  if (!wk.has_value()) return qk;
+  if (wk->time < qk->time || (wk->time == qk->time && wk->seq < qk->seq)) {
+    return EventQueue::Key{wk->time, wk->seq};
+  }
+  return qk;
+}
+
+void Simulator::lane_run_before(int lane, Time bound) {
+  Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+  Lane* prev = t_active_;
+  t_active_ = &l;
+  for (;;) {
+    const auto qk = l.queue.next_key();
+    const auto wk = l.wheel.next_key();
+    bool from_wheel;
+    Time next;
+    if (qk.has_value() && wk.has_value()) {
+      from_wheel = wk->time < qk->time ||
+                   (wk->time == qk->time && wk->seq < qk->seq);
+      next = from_wheel ? wk->time : qk->time;
+    } else if (qk.has_value()) {
+      from_wheel = false;
+      next = qk->time;
+    } else if (wk.has_value()) {
+      from_wheel = true;
+      next = wk->time;
+    } else {
+      break;
+    }
+    // Strictly-before: events at exactly `bound` belong to the next
+    // window, AFTER the barrier drains any cross-shard posts due then.
+    if (next >= bound) break;
+    if (from_wheel) {
+      auto fired = l.wheel.pop();
+      ensure(fired.time >= l.now, "timing wheel went backwards");
+      l.now = fired.time;
+      ++l.events_executed;
+      fired.action();
+    } else {
+      auto fired = l.queue.pop();
+      ensure(fired.time >= l.now, "event queue went backwards");
+      l.now = fired.time;
+      ++l.events_executed;
+      fired.action();
+    }
+  }
+  t_active_ = prev;
+}
+
+void Simulator::lane_finish(int lane, Time t) {
+  Lane& l = *lanes_[static_cast<std::size_t>(lane)];
+  if (l.now < t) l.now = t;
 }
 
 }  // namespace vegas::sim

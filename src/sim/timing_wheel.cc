@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/ensure.h"
+#include "common/prefetch.h"
 #include "obs/registry.h"
 
 namespace vegas::sim {
@@ -275,6 +276,12 @@ TimingWheel::Fired TimingWheel::pop() {
     // next (time, seq) in sorted order, nothing earlier anywhere else.
     ++run_pos_;
     min_idx_ = run_[run_pos_];
+    // Run-ahead: the caller is about to execute `fired` — warm the next
+    // pop's entry and action lines underneath that work, so a same-tick
+    // batch (the 10k-flow RTO-storm pattern) pays one miss, not one per
+    // timer.  Pure hint: firing order and digests are unchanged.
+    prefetch_read_range(&entries_[min_idx_], sizeof(Entry));
+    prefetch_read_range(&actions_[min_idx_], sizeof(Action));
   } else {
     run_bucket_ = kNil;
     min_idx_ = kNil;

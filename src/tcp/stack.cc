@@ -36,15 +36,17 @@ PortNum Stack::pick_ephemeral() {
 
 void Stack::reserve_flows(std::size_t n) {
   connections_.reserve(n);
+  conn_arena_.reserve(n);
   flow_slab_.reserve(n);
 }
 
-Stack::ConnSlot Stack::make_slot(std::unique_ptr<Connection> conn) {
+Stack::ConnSlot Stack::make_slot(ObjectArena<Connection>::Id arena_id,
+                                 Connection* conn) {
   const FlowId id = flow_slab_.allocate();
   FlowHot* row = &flow_slab_.row(id);
   TcpSender* sender = &conn->sender();
   sender->bind_flow_row(row);
-  return ConnSlot{std::move(conn), sender, row, id};
+  return ConnSlot{conn, sender, row, id, arena_id};
 }
 
 Connection& Stack::connect(NodeId remote, PortNum remote_port,
@@ -54,12 +56,12 @@ Connection& Stack::connect(NodeId remote, PortNum remote_port,
   if (!factory) factory = reno_factory();
   const PortNum local_port = pick_ephemeral();
   const std::uint32_t isn = config.fixed_isn.value_or(pick_isn());
-  auto conn = std::make_unique<Connection>(*this, remote, local_port,
-                                           remote_port, factory(config), config,
-                                           isn, std::nullopt);
+  const auto [arena_id, conn] =
+      conn_arena_.create(*this, remote, local_port, remote_port,
+                         factory(config), config, isn, std::nullopt);
   Connection& ref = *conn;
   connections_.insert(conn_key(local_port, remote, remote_port),
-                      make_slot(std::move(conn)));
+                      make_slot(arena_id, conn));
   ++local_port_use_.get_or_insert(local_port);
   // Defer the SYN to an immediate event so the caller can attach
   // callbacks and an observer before anything happens.
@@ -92,11 +94,12 @@ void Stack::on_packet(net::PacketPtr p) {
   if (p->tcp.has(net::TcpFlag::kSyn) && !p->tcp.has(net::TcpFlag::kAck)) {
     if (Listener* listener = listeners_.find(p->tcp.dst_port)) {
       const std::uint32_t isn = listener->cfg.fixed_isn.value_or(pick_isn());
-      auto conn = std::make_unique<Connection>(
+      const auto [arena_id, conn] = conn_arena_.create(
           *this, p->src, p->tcp.dst_port, p->tcp.src_port,
-          listener->factory(listener->cfg), listener->cfg, isn, p->tcp.seq);
+          listener->factory(listener->cfg), listener->cfg, isn,
+          std::optional<std::uint32_t>(p->tcp.seq));
       Connection& ref = *conn;
-      connections_.insert(key, make_slot(std::move(conn)));
+      connections_.insert(key, make_slot(arena_id, conn));
       ++local_port_use_.get_or_insert(p->tcp.dst_port);
       // Copy before invoking: the callback may add a listener, and a
       // FlatMap rehash would move the Listener out from under the call.
@@ -126,9 +129,11 @@ void Stack::retire(Connection* conn) {
   // Deferred: the connection may be deep in its own call stack right now.
   sim_.schedule(sim::Time::zero(), [this, key, local_port] {
     if (ConnSlot* slot = connections_.find(key)) {
-      // Free the slab row before the Connection: the erase below destroys
-      // the sender, and the recycled row must not outlive its binding.
+      // Free the slab row before the Connection: destroying the arena
+      // object destroys the sender, and the recycled row must not
+      // outlive its binding.
       flow_slab_.release(slot->id);
+      conn_arena_.destroy(slot->arena_id);
       connections_.erase(key);
       if (auto* uses = local_port_use_.find(local_port)) {
         if (--*uses == 0) local_port_use_.erase(local_port);

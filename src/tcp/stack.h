@@ -20,6 +20,7 @@
 #include <optional>
 
 #include "common/flat_map.h"
+#include "common/object_arena.h"
 #include "common/rng.h"
 #include "net/host.h"
 #include "sim/simulator.h"
@@ -96,12 +97,16 @@ class Stack {
   };
   /// Demux table entry: the connection plus its sender and slab row,
   /// denormalised so the packet path can prefetch all three without
-  /// first chasing Connection -> sender -> row pointers serially.
+  /// first chasing Connection -> sender -> row pointers serially.  The
+  /// Connection itself lives in conn_arena_ (packed with its peers, not
+  /// scattered across the heap); `conn` is a non-owning view and
+  /// `arena_id` is the handle retire() destroys through.
   struct ConnSlot {
-    std::unique_ptr<Connection> conn;
+    Connection* conn = nullptr;
     TcpSender* sender = nullptr;
     FlowHot* hot = nullptr;
     FlowId id = FlowSlab::kInvalidId;
+    ObjectArena<Connection>::Id arena_id = ObjectArena<Connection>::kInvalidId;
   };
   /// Packed demux key: local port | remote port | remote node.  The
   /// whole 4-tuple fits one word (our address is implicit), so the
@@ -113,8 +118,9 @@ class Stack {
            static_cast<std::uint64_t>(remote);
   }
 
-  /// Claims a slab row and rebinds `conn`'s sender hot state into it.
-  ConnSlot make_slot(std::unique_ptr<Connection> conn);
+  /// Claims a slab row and rebinds the arena object's sender hot state
+  /// into it.
+  ConnSlot make_slot(ObjectArena<Connection>::Id arena_id, Connection* conn);
 
   void on_packet(net::PacketPtr p);
   std::uint32_t pick_isn() {
@@ -127,7 +133,10 @@ class Stack {
   net::Host& host_;
   TcpConfig defaults_;
   rng::Stream isn_rng_;
-  FlatMap<ConnSlot> connections_;  // by conn_key
+  FlatMap<ConnSlot> connections_;  // by conn_key (slots are non-owning)
+  /// Owns every Connection; declared after connections_ so teardown
+  /// destroys the objects first, leaving only dead pointers in the map.
+  ObjectArena<Connection> conn_arena_;
   FlowSlab flow_slab_;             // hot rows, indexed by ConnSlot::id
   FlatMap<Listener> listeners_;    // by local port
   /// Live connections per local port — keeps pick_ephemeral() O(1).

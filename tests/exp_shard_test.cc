@@ -1,0 +1,456 @@
+// Sharded execution: the SPSC boundary ring, the spin barrier, the
+// topology partitioner, and the executor's determinism contract —
+// trace digests bit-identical at any VEGAS_THREADS for a fixed shard
+// plan, across all four topology families (the exp_runner_test
+// property, one level down).
+#include "exp/shard_exec.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/spsc_ring.h"
+#include "net/topology.h"
+#include "scenario/engine.h"
+#include "scenario/parser.h"
+#include "scenario/partition.h"
+#include "sim/simulator.h"
+
+namespace vegas {
+namespace {
+
+// --- SpscRing -------------------------------------------------------
+
+TEST(SpscRingTest, FifoOrderAndEmpty) {
+  exp::SpscRing<int> ring(8);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.empty());
+  std::vector<int> got;
+  ring.drain([&](int&& v) { got.push_back(v); });
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRingTest, FullRejectsThenDrainsAndWraps) {
+  exp::SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  std::vector<int> got;
+  ring.drain([&](int&& v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 4u);
+  // Wrap around: indices keep running past the capacity.
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.try_push(round * 10 + i));
+    got.clear();
+    ring.drain([&](int&& v) { got.push_back(v); });
+    EXPECT_EQ(got, (std::vector<int>{round * 10, round * 10 + 1,
+                                     round * 10 + 2}));
+  }
+}
+
+TEST(SpscRingTest, PushOverflowPreservesFifo) {
+  exp::SpscRing<int> ring(4);
+  // push() never drops: beyond capacity it spills to the overflow
+  // vector, and a full drain sees ring entries first, then overflow —
+  // which is FIFO because overflowed items are younger.
+  for (int i = 0; i < 11; ++i) ring.push(int{i});
+  std::vector<int> got;
+  ring.drain([&](int&& v) { got.push_back(v); });
+  ASSERT_EQ(got.size(), 11u);
+  for (int i = 0; i < 11; ++i) EXPECT_EQ(got[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SpscRingTest, CapacityIsExact) {
+  exp::SpscRing<int> ring(8);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, CrossThreadHandoff) {
+  exp::SpscRing<std::uint64_t> ring(64);
+  // Small enough to finish fast on a single hardware thread, where
+  // every full/empty collision costs a scheduler quantum.
+  constexpr std::uint64_t kCount = 5000;
+  std::uint64_t sum = 0, popped = 0;
+  std::thread consumer([&] {
+    std::uint64_t v;
+    while (popped < kCount) {
+      if (ring.try_pop(v)) {
+        sum += v;
+        ++popped;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  for (std::uint64_t i = 1; i <= kCount; ++i) {
+    while (!ring.try_push(std::uint64_t{i})) std::this_thread::yield();
+  }
+  consumer.join();
+  EXPECT_EQ(popped, kCount);
+  EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+// --- SpinBarrier ----------------------------------------------------
+
+TEST(SpinBarrierTest, CompletionRunsOncePerRound) {
+  constexpr int kParties = 4;
+  constexpr int kRounds = 50;
+  exp::SpinBarrier barrier(kParties);
+  std::atomic<int> completions{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kParties; ++p) {
+    threads.emplace_back([&] {
+      for (int r = 0; r < kRounds; ++r) {
+        barrier.arrive_and_wait([&] { completions.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(completions.load(), kRounds);
+}
+
+// --- partitioner ----------------------------------------------------
+
+scenario::ShardPlan plan_dumbbell(int want, net::Dumbbell& topo,
+                                  const scenario::PartitionInput& extra = {}) {
+  scenario::PartitionInput in = extra;
+  in.want_shards = want;
+  return scenario::partition_network(topo.net, in);
+}
+
+TEST(PartitionTest, DumbbellSplitsAndIsDeterministic) {
+  sim::Simulator sim;
+  net::DumbbellConfig cfg;
+  cfg.pairs = 4;
+  const auto topo = net::build_dumbbell(sim, cfg);
+  const auto p1 = plan_dumbbell(4, *topo);
+  const auto p2 = plan_dumbbell(4, *topo);
+  EXPECT_GT(p1.shards, 1);
+  EXPECT_EQ(p1.shards, p2.shards);
+  EXPECT_EQ(p1.node_shard, p2.node_shard);
+  EXPECT_TRUE(p1.lookahead == p2.lookahead);
+  EXPECT_EQ(p1.cut_links, p2.cut_links);
+  // The lookahead floor is the partitioner's contract with the executor.
+  EXPECT_TRUE(p1.lookahead >= scenario::kMinCutDelay);
+}
+
+TEST(PartitionTest, ColocatePairsShareAShard) {
+  sim::Simulator sim;
+  net::DumbbellConfig cfg;
+  cfg.pairs = 4;
+  const auto topo = net::build_dumbbell(sim, cfg);
+  scenario::PartitionInput extra;
+  // Pin each left host to its right peer — the traffic-conversation
+  // constraint (shared TrafficSource state must stay thread-confined).
+  for (int i = 0; i < 4; ++i) {
+    extra.colocate.push_back(
+        {topo->left[static_cast<std::size_t>(i)]->id(),
+         topo->right[static_cast<std::size_t>(i)]->id()});
+  }
+  const auto plan = plan_dumbbell(4, *topo, extra);
+  if (plan.shards > 1) {
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(
+          plan.node_shard[topo->left[static_cast<std::size_t>(i)]->id()],
+          plan.node_shard[topo->right[static_cast<std::size_t>(i)]->id()])
+          << "conversation pair " << i << " split across shards";
+    }
+  }
+}
+
+TEST(PartitionTest, FastLinksAreNeverCut) {
+  // Two routers joined by a 10 us link (below the 100 us floor), with a
+  // host on each side over slow links: the fast router pair must share
+  // a shard, while the slow access links are legal cut points.
+  sim::Simulator sim;
+  net::Network net(sim);
+  net::Host& a = net.add_host("a");
+  net::Host& c = net.add_host("c");
+  net::Router& ra = net.add_router("ra");
+  net::Router& rb = net.add_router("rb");
+  net::LinkConfig fast;
+  fast.bandwidth_Bps = 1000000;
+  fast.prop_delay = sim::Time::microseconds(10);
+  net::LinkConfig slow = fast;
+  slow.prop_delay = sim::Time::milliseconds(5);
+  net.connect(a, ra, slow);
+  net.connect(ra, rb, fast);
+  net.connect(rb, c, slow);
+  net.compute_routes();
+  scenario::PartitionInput in;
+  in.want_shards = 4;
+  const auto plan = scenario::partition_network(net, in);
+  ASSERT_GT(plan.shards, 1);
+  EXPECT_EQ(plan.node_shard[ra.id()], plan.node_shard[rb.id()]);
+  EXPECT_NE(plan.node_shard[a.id()], plan.node_shard[c.id()]);
+}
+
+TEST(PartitionTest, WantOneIsTrivial) {
+  sim::Simulator sim;
+  net::DumbbellConfig cfg;
+  const auto topo = net::build_dumbbell(sim, cfg);
+  const auto plan = plan_dumbbell(1, *topo);
+  EXPECT_EQ(plan.shards, 1);
+}
+
+// --- executor determinism across thread counts ----------------------
+
+// One small scenario per topology family, each with a traced flow.
+// Short horizons keep the whole matrix (4 families x 4 thread counts)
+// inside a few seconds.
+constexpr const char* kDumbbellScn = R"(
+[scenario]
+name = "shard-dumbbell"
+stop = "timeout"
+timeout_s = 40
+seed = 7
+
+[topology]
+kind = "dumbbell"
+pairs = 2
+bottleneck_queue = 15
+
+[[flow]]
+name = "big"
+protocol = "vegas"
+bytes = "300KB"
+port = 5001
+trace = true
+
+[[flow]]
+name = "small"
+protocol = "reno"
+bytes = "100KB"
+port = 5002
+start_s = 0.5
+src = "left1"
+dst = "right1"
+)";
+
+constexpr const char* kWanScn = R"(
+[scenario]
+name = "shard-wan"
+stop = "timeout"
+timeout_s = 40
+seed = 11
+
+[topology]
+kind = "wan-chain"
+hops = 6
+fast_kbps = 1000
+narrow_kbps = 230
+narrow_hop = 3
+min_hop_delay_ms = 1
+max_hop_delay_ms = 2
+queue_packets = 16
+cross_every = 3
+
+[[flow]]
+name = "transfer"
+protocol = "vegas"
+bytes = "200KB"
+src = "src"
+dst = "dst"
+start_s = 1.0
+trace = true
+)";
+
+constexpr const char* kParkingScn = R"(
+[scenario]
+name = "shard-parking"
+stop = "timeout"
+timeout_s = 40
+seed = 3
+
+[topology]
+kind = "parking-lot"
+segments = 3
+segment_kbps = 200
+segment_delay_ms = 10
+segment_queue = 15
+
+[[flow]]
+name = "long"
+protocol = "vegas"
+bytes = "200KB"
+src = "long_src"
+dst = "long_dst"
+trace = true
+
+[[flow]]
+name = "hop0"
+protocol = "reno"
+bytes = "100KB"
+src = "cross0.src"
+dst = "cross0.dst"
+port = 6001
+)";
+
+constexpr const char* kGraphScn = R"(
+[scenario]
+name = "shard-graph"
+stop = "timeout"
+timeout_s = 40
+seed = 5
+
+[topology]
+kind = "graph"
+
+[[node]]
+name = "h1"
+
+[[node]]
+name = "h2"
+
+[[node]]
+name = "h3"
+
+[[node]]
+name = "h4"
+
+[[node]]
+name = "r1"
+router = true
+
+[[node]]
+name = "r2"
+router = true
+
+[[link]]
+a = "h1"
+b = "r1"
+kbps = 1000
+delay_ms = 1
+queue = 50
+
+[[link]]
+a = "h3"
+b = "r1"
+kbps = 1000
+delay_ms = 1
+queue = 50
+
+[[link]]
+a = "r1"
+b = "r2"
+kbps = 200
+delay_ms = 30
+queue = 12
+
+[[link]]
+a = "r2"
+b = "h2"
+kbps = 1000
+delay_ms = 1
+queue = 50
+
+[[link]]
+a = "r2"
+b = "h4"
+kbps = 1000
+delay_ms = 1
+queue = 50
+
+[[flow]]
+name = "transfer"
+protocol = "vegas"
+bytes = "300KB"
+src = "h1"
+dst = "h2"
+trace = true
+
+[[flow]]
+name = "back"
+protocol = "reno"
+bytes = "100KB"
+src = "h4"
+dst = "h3"
+port = 6001
+start_s = 2.0
+)";
+
+struct ShardedDigests {
+  std::vector<std::uint64_t> digests;  // every traced flow, cell order
+  int shards = 1;
+};
+
+ShardedDigests run_sharded(const char* text, int shards, int threads) {
+  const auto sc = scenario::Scenario::from_text(text);
+  scenario::RunOptions opts;
+  opts.shards = shards;
+  opts.threads = threads;
+  ShardedDigests out;
+  for (std::size_t i = 0; i < sc.cells(); ++i) {
+    const auto r = scenario::run_cell(sc.cell(i), i, sc.label(i), opts);
+    if (r.shard.has_value()) out.shards = r.shard->shards;
+    for (const auto& f : r.flows) {
+      if (f.traced) out.digests.push_back(f.trace_digest);
+    }
+  }
+  return out;
+}
+
+class ShardDeterminismTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardDeterminismTest, DigestsIdenticalAtAnyThreadCount) {
+  const char* text = GetParam();
+  const ShardedDigests base = run_sharded(text, 4, 1);
+  ASSERT_FALSE(base.digests.empty()) << "scenario has no traced flow";
+  // The scenario must actually shard — otherwise this test pins nothing.
+  ASSERT_GT(base.shards, 1);
+  for (const int threads : {2, 4, 8}) {
+    const ShardedDigests got = run_sharded(text, 4, threads);
+    EXPECT_EQ(got.shards, base.shards);
+    EXPECT_EQ(got.digests, base.digests)
+        << "digest diverged at threads=" << threads;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, ShardDeterminismTest,
+                         ::testing::Values(kDumbbellScn, kWanScn, kParkingScn,
+                                           kGraphScn),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           switch (info.index) {
+                             case 0: return std::string("dumbbell");
+                             case 1: return std::string("wan");
+                             case 2: return std::string("parking_lot");
+                             default: return std::string("graph");
+                           }
+                         });
+
+// Sharded results are also stable against re-running the same config
+// (no hidden global state leaks between runs).
+TEST(ShardDeterminismTest, RepeatRunsAreIdentical) {
+  const ShardedDigests a = run_sharded(kDumbbellScn, 3, 2);
+  const ShardedDigests b = run_sharded(kDumbbellScn, 3, 2);
+  EXPECT_EQ(a.digests, b.digests);
+}
+
+// [sharding] in scenario text routes through the same plumbing as
+// RunOptions.shards.
+TEST(ShardScenarioTest, ShardingSectionActivatesExecutor) {
+  const std::string text = std::string(kDumbbellScn) + "\n[sharding]\nshards = 2\n";
+  const auto sc = scenario::Scenario::from_text(text);
+  const auto r = scenario::run_cell(sc.cell(0), 0, sc.label(0));
+  ASSERT_TRUE(r.shard.has_value());
+  EXPECT_GT(r.shard->shards, 1);
+  EXPECT_GT(r.shard->cross_posts, 0u);
+  // Per-lane event counts must sum to the total.
+  std::uint64_t lane_sum = 0;
+  for (const std::uint64_t e : r.shard->lane_events) lane_sum += e;
+  EXPECT_EQ(lane_sum, r.sim.events_executed);
+}
+
+TEST(ShardScenarioTest, MetricsPlusShardingIsRejected) {
+  const std::string text = std::string(kDumbbellScn) +
+                           "\n[sharding]\nshards = 2\n\n[metrics]\nenabled = "
+                           "true\n";
+  EXPECT_THROW(scenario::Scenario::from_text(text), scenario::ScenarioError);
+}
+
+}  // namespace
+}  // namespace vegas

@@ -216,6 +216,47 @@ TEST(LintRuleTest, StdFunctionSpellingsThatMustNotTrip) {
   EXPECT_TRUE(scan_source("src/sim/x.h", src).empty());
 }
 
+TEST(LintRuleTest, ConcurrencyBannedOutsideExp) {
+  const std::string src =
+      "#include <atomic>\n"
+      "std::thread worker;\n"
+      "std::mutex lock;\n"
+      "std::atomic<int> counter;\n"
+      "std::condition_variable cv;\n";
+  const auto fs = scan_source("src/net/x.cc", src);
+  ASSERT_EQ(fs.size(), 5u);
+  for (const auto& f : fs) EXPECT_EQ(f.rule, "concurrency");
+  // The executor layer owns cross-thread machinery; tests and bench are
+  // outside the zone entirely.
+  EXPECT_TRUE(scan_source("src/exp/x.cc", src).empty());
+  EXPECT_TRUE(scan_source("tests/x.cc", src).empty());
+  EXPECT_TRUE(scan_source("bench/x.cc", src).empty());
+}
+
+TEST(LintRuleTest, ConcurrencyMarkerOptsOut) {
+  EXPECT_TRUE(scan_source("src/net/x.cc",
+                          "std::atomic<int> uid;  // lint: concurrency-ok\n")
+                  .empty());
+  const auto fs = scan_source(
+      "src/net/x.cc",
+      "std::atomic<int> a;  // lint: concurrency-ok\n"
+      "std::atomic<int> b;\n");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "concurrency");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(LintRuleTest, ConcurrencySpellingsThatMustNotTrip) {
+  // thread_local is one token; our own Thread-ish names and a comment
+  // mention are not the banned spellings.
+  const std::string src =
+      "thread_local Lane* t_active = nullptr;\n"  // mutable-static's turf
+      "// a mutex would be wrong here\n"
+      "void thread();\n"
+      "int atomic = 0;\n";
+  EXPECT_FALSE(has_rule(scan_source("src/sim/x.h", src), "concurrency"));
+}
+
 TEST(LintRuleTest, AdhocStatsStructFiresInRegistryZone) {
   const std::string src =
       "struct WheelStats {\n  std::uint64_t fired = 0;\n};\n";

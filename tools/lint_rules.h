@@ -169,6 +169,17 @@ inline bool smallfn_zone(std::string_view path) {
   return detail::in_any_dir(path, {"src/sim/", "src/tcp/"});
 }
 
+/// Concurrency primitives: everything under src/ EXCEPT src/exp.  The
+/// simulation proper is single-threaded-per-lane by construction — its
+/// determinism proof rests on that — so threads, locks and atomics may
+/// appear only in the executor layer (src/exp), which owns all
+/// cross-thread machinery.  Anything else must either move there or be
+/// justified with `lint: concurrency-ok`.
+inline bool concurrency_zone(std::string_view path) {
+  return path.find("src/") != std::string_view::npos &&
+         !detail::in_any_dir(path, {"src/exp/"});
+}
+
 // ---------------------------------------------------------------------------
 // Rule hooks.
 
@@ -271,6 +282,35 @@ inline void rule_std_function(const RuleCtx& ctx, std::vector<Finding>& out) {
                   "std::function on a src/sim|src/tcp hot path; use "
                   "common::SmallFn (or mark a control-path callback "
                   "`// lint: std-function-ok`)");
+    }
+  }
+}
+
+inline void rule_concurrency(const RuleCtx& ctx, std::vector<Finding>& out) {
+  if (!concurrency_zone(ctx.path)) return;
+  static constexpr const char* kPrimitives[] = {
+      "thread",         "jthread",       "mutex",
+      "shared_mutex",   "timed_mutex",   "recursive_mutex",
+      "atomic",         "atomic_flag",   "condition_variable",
+      "condition_variable_any"};
+  for (std::size_t i = 0; i < ctx.toks.size(); ++i) {
+    const Token& t = ctx.toks[i];
+    if (t.kind != Tok::kIdent) continue;
+    for (const char* name : kPrimitives) {
+      if (!detail::is_ident(t, name)) continue;
+      // `std::thread t;` and friends — or the header pulling them in
+      // (`#include <atomic>` lexes as `< atomic >`).
+      const bool qualified = detail::std_qualified(ctx.toks, i);
+      const bool bracketed = i > 0 && i + 1 < ctx.toks.size() &&
+                             detail::is_punct(ctx.toks[i - 1], "<") &&
+                             detail::is_punct(ctx.toks[i + 1], ">");
+      if (qualified || bracketed) {
+        detail::add(ctx, out, qualified ? ctx.toks[i - 2] : t, "concurrency",
+                    "concurrency primitive outside src/exp; the sim core is "
+                    "single-threaded per lane — move cross-thread machinery "
+                    "to src/exp or mark `// lint: concurrency-ok`");
+      }
+      break;
     }
   }
 }
@@ -447,6 +487,7 @@ inline const std::vector<Rule>& all_rules() {
       {"wall-clock", rule_wall_clock},
       {"raw-rng", rule_raw_rng},
       {"std-function", rule_std_function},
+      {"concurrency", rule_concurrency},
       {"adhoc-stats", rule_adhoc_stats},
       {"unordered-container", rule_unordered_container},
       {"pointer-keyed", rule_pointer_keyed},

@@ -127,6 +127,9 @@ FlagSet run_flags() {
            "sampling cadence in sim seconds (overrides [metrics] interval_s)")
       .arg("chrome-trace", "<file>", "",
            "write per-cell wall-clock phases as a chrome://tracing file")
+      .arg("shards", "N", "0",
+           "shard each cell for parallel execution (0 = scenario's "
+           "[sharding] after VEGAS_SHARDS, 1 = force single-threaded)")
       .toggle("dry-run", "expand and validate the grid without simulating")
       .toggle("json", "emit JSON on stdout");
   return fs;
@@ -410,6 +413,20 @@ void emit_run_json(const std::string& path, const scenario::Scenario& sc,
     w.field("sim_time_s", r.sim_time_s);
     w.field("fairness_jain", r.fairness_jain);
     w.field("background_goodput_kBps", r.background_goodput_Bps / 1024.0);
+    if (r.shard.has_value()) {
+      w.key("shard");
+      w.begin_object();
+      w.field("shards", static_cast<std::int64_t>(r.shard->shards));
+      w.field("threads", static_cast<std::int64_t>(r.shard->threads));
+      w.field("lookahead_s", r.shard->lookahead_s);
+      w.field("windows", r.shard->windows);
+      w.field("cross_posts", r.shard->cross_posts);
+      w.key("lane_events");
+      w.begin_array();
+      for (const std::uint64_t e : r.shard->lane_events) w.value(e);
+      w.end_array();
+      w.end_object();
+    }
     w.key("flows");
     w.begin_array();
     for (const scenario::FlowResult& f : r.flows) {
@@ -479,6 +496,12 @@ void emit_run_text(const std::string& path, const scenario::Scenario& sc,
     if (r.flows.size() >= 2) std::printf("  jain=%.3f", r.fairness_jain);
     if (r.background_goodput_Bps > 0) {
       std::printf("  bg-goodput=%.1f KB/s", r.background_goodput_Bps / 1024.0);
+    }
+    if (r.shard.has_value()) {
+      std::printf("  shards=%d threads=%d windows=%llu cross=%llu",
+                  r.shard->shards, r.shard->threads,
+                  static_cast<unsigned long long>(r.shard->windows),
+                  static_cast<unsigned long long>(r.shard->cross_posts));
     }
     std::printf("\n");
     for (const scenario::FlowResult& f : r.flows) {
@@ -555,6 +578,7 @@ int cmd_run(const Flags& flags, const FlagSet& fs) {
   opts.trace_dir = flags.get_string("trace-dir", "");
   opts.metrics_path = flags.get_string("metrics", "");
   opts.chrome_trace_path = flags.get_string("chrome-trace", "");
+  opts.shards = static_cast<int>(flags.get_int("shards", 0));
   opts.metrics_interval_s = flags.get_double("metrics-interval", 0);
   try {
     for (const std::string& dir : {opts.pcap_dir, opts.trace_dir}) {
