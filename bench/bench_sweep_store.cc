@@ -1,0 +1,244 @@
+// Benchmarks the sweep result store's hot paths in isolation: record
+// serialize/parse, object put/load, claim acquire/release, and a full
+// cached-grid pass (keys + has() for every cell) — the per-cell
+// overhead that must stay tiny for "a million-cell sweep resumes in
+// seconds" to hold.  Writes BENCH_sweep_store.json (VEGAS_BENCH_JSON
+// overrides the path).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/json.h"
+#include "scenario/engine.h"
+#include "sweep/claim.h"
+#include "sweep/key.h"
+#include "sweep/record.h"
+#include "sweep/store.h"
+
+using namespace vegas;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+constexpr const char kScn[] = R"([scenario]
+name = "bench-sweep-store"
+stop = "timeout"
+timeout_s = 5
+seed = 1
+
+[topology]
+kind = "dumbbell"
+pairs = 1
+bottleneck_queue = 10
+
+[[flow]]
+name = "f"
+protocol = "vegas"
+bytes = "20KB"
+port = 5001
+start_s = 0.0
+trace = true
+
+[sweep]
+topology.bottleneck_queue = [4, 6, 8, 10, 12, 14, 16, 18]
+flow.f.start_s = [0.0, 0.1, 0.2, 0.3]
+)";
+
+sweep::CellRecord sample_record(const std::string& key, std::uint64_t i) {
+  sweep::CellRecord rec;
+  rec.key = key;
+  rec.cell = i;
+  rec.label = "bottleneck_queue=10 start_s=0.1";
+  rec.seed = 1000 + i;
+  rec.sim_time_s = 7.3436452 + static_cast<double>(i) * 1e-6;
+  rec.events_executed = 15990 + i;
+  rec.fairness_jain = 0.9432957;
+  sweep::FlowRecord f;
+  f.name = "f";
+  f.algorithm = "vegas";
+  f.completed = true;
+  f.bytes = 20480;
+  f.bytes_delivered = 20480;
+  f.duration_s = 0.42;
+  f.throughput_Bps = 48761.9;
+  f.traced = true;
+  f.trace_digest = 0x9e3779b97f4a7c15ull ^ i;
+  f.trace_events = 311;
+  rec.flows.push_back(f);
+  return rec;
+}
+
+std::string synthetic_key(std::uint64_t i) {
+  common::Hash128 h;
+  h.mix("bench-key");
+  h.mix_u64(i);
+  return h.hex();
+}
+
+struct Row {
+  const char* name;
+  double per_op_us = 0;
+  double ops_per_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n = 2000;  // store objects per phase
+  for (int i = 1; i < argc; ++i) {
+    if (std::strtol(argv[i], nullptr, 10) > 0) {
+      n = static_cast<int>(std::strtol(argv[i], nullptr, 10));
+    }
+  }
+
+  const std::string dir =
+      std::filesystem::temp_directory_path().string() +
+      "/vegas_bench_sweep_store";
+  std::filesystem::remove_all(dir);
+  const sweep::ResultStore store(dir);
+  std::vector<Row> rows;
+
+  // --- record serialize + parse (pure CPU) --------------------------
+  {
+    std::string blob;
+    const Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < n; ++i) {
+      blob = sweep::record_to_json(
+          sample_record(synthetic_key(static_cast<std::uint64_t>(i)),
+                        static_cast<std::uint64_t>(i)));
+    }
+    const double ser = secs_since(t0);
+    const Clock::time_point t1 = Clock::now();
+    std::uint64_t ok = 0;
+    for (int i = 0; i < n; ++i) {
+      if (sweep::record_from_json(blob).has_value()) ++ok;
+    }
+    const double par = secs_since(t1);
+    if (ok != static_cast<std::uint64_t>(n)) {
+      std::fprintf(stderr, "record parse failed\n");
+      return 1;
+    }
+    rows.push_back({"record_to_json", ser / n * 1e6, n / ser});
+    rows.push_back({"record_from_json", par / n * 1e6, n / par});
+  }
+
+  // --- object put / has / load (filesystem) -------------------------
+  std::vector<std::string> keys;
+  keys.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    keys.push_back(synthetic_key(static_cast<std::uint64_t>(i)));
+  }
+  {
+    const Clock::time_point t0 = Clock::now();
+    for (int i = 0; i < n; ++i) {
+      store.put(keys[static_cast<std::size_t>(i)],
+                sample_record(keys[static_cast<std::size_t>(i)],
+                              static_cast<std::uint64_t>(i)),
+                "benchgrid");
+    }
+    const double put = secs_since(t0);
+    const Clock::time_point t1 = Clock::now();
+    std::uint64_t hits = 0;
+    for (const std::string& k : keys) {
+      if (store.has(k)) ++hits;
+    }
+    const double has = secs_since(t1);
+    const Clock::time_point t2 = Clock::now();
+    std::uint64_t loaded = 0;
+    for (const std::string& k : keys) {
+      if (store.load(k).has_value()) ++loaded;
+    }
+    const double load = secs_since(t2);
+    if (hits != static_cast<std::uint64_t>(n) ||
+        loaded != static_cast<std::uint64_t>(n)) {
+      std::fprintf(stderr, "store round-trip failed\n");
+      return 1;
+    }
+    rows.push_back({"store_put", put / n * 1e6, n / put});
+    rows.push_back({"store_has", has / n * 1e6, n / has});
+    rows.push_back({"store_load", load / n * 1e6, n / load});
+  }
+
+  // --- claim acquire + release --------------------------------------
+  {
+    const Clock::time_point t0 = Clock::now();
+    for (const std::string& k : keys) {
+      if (!sweep::try_claim(store, k)) {
+        std::fprintf(stderr, "claim failed\n");
+        return 1;
+      }
+      sweep::release_claim(store, k);
+    }
+    const double claim = secs_since(t0);
+    rows.push_back({"claim_acquire_release", claim / n * 1e6, n / claim});
+  }
+
+  // --- cached-grid pass: key derivation + has() per cell ------------
+  // The exact work a fully-cached `sweep run` does per cell; this is
+  // what bounds million-cell resume time.
+  {
+    const scenario::Scenario sc =
+        scenario::Scenario::from_text(kScn, "bench-sweep-store.scn");
+    const sweep::KeyContext ctx = sweep::default_key_context(0);
+    const std::size_t cells = sc.cells();
+    const Clock::time_point t0 = Clock::now();
+    std::size_t misses = 0;
+    for (std::size_t i = 0; i < cells; ++i) {
+      if (!store.has(sweep::cell_key(sc, i, ctx))) ++misses;
+    }
+    const double pass = secs_since(t0);
+    if (misses != cells) {
+      std::fprintf(stderr, "unexpected cache hit in synthetic store\n");
+      return 1;
+    }
+    rows.push_back({"cached_grid_cell_check",
+                    pass / static_cast<double>(cells) * 1e6,
+                    static_cast<double>(cells) / pass});
+  }
+
+  std::printf("bench_sweep_store  (n=%d objects)\n", n);
+  std::printf("  %-26s %12s %14s\n", "phase", "us/op", "ops/s");
+  for (const Row& r : rows) {
+    std::printf("  %-26s %12.2f %14.0f\n", r.name, r.per_op_us, r.ops_per_s);
+  }
+
+  const char* out_path = std::getenv("VEGAS_BENCH_JSON");
+  const std::string path =
+      out_path != nullptr ? out_path : "BENCH_sweep_store.json";
+  json::Writer w;
+  w.begin_object();
+  w.field("experiment", "sweep-store");
+  w.field("objects", static_cast<std::int64_t>(n));
+  w.key("phases");
+  w.begin_array();
+  for (const Row& r : rows) {
+    w.begin_object();
+    w.field("name", r.name);
+    w.field_exact("per_op_us", r.per_op_us);
+    w.field_exact("ops_per_s", r.ops_per_s);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fputs((w.str() + "\n").c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

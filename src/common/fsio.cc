@@ -1,0 +1,119 @@
+#include "common/fsio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+
+namespace vegas::common {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void create_parent_dirs(const std::string& path) {
+  const fs::path parent = fs::path(path).parent_path();
+  if (parent.empty()) return;
+  std::error_code ec;
+  fs::create_directories(parent, ec);  // ok if it already exists
+}
+
+/// Writes all of `contents` to an open fd; false on any short/failed
+/// write (EINTR retried).
+bool write_all(int fd, std::string_view contents) {
+  const char* p = contents.data();
+  std::size_t left = contents.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return buf.str();
+}
+
+void write_file_atomic(const std::string& path, std::string_view contents) {
+  create_parent_dirs(path);
+  // The temp file must live in the target directory: rename(2) is atomic
+  // only within one filesystem.  The pid suffix keeps concurrent writers
+  // of the SAME path from clobbering each other's temp file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("write_file_atomic: cannot create " + tmp);
+  }
+  const bool ok = write_all(fd, contents);
+  ::close(fd);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("write_file_atomic: rename to " + path +
+                             " failed");
+  }
+}
+
+bool create_file_exclusive(const std::string& path,
+                           std::string_view contents) {
+  create_parent_dirs(path);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;  // EEXIST: lost the race (or a real error)
+  const bool ok = write_all(fd, contents);
+  ::close(fd);
+  if (!ok) ::unlink(path.c_str());
+  return ok;
+}
+
+bool append_line(const std::string& path, std::string_view line) {
+  create_parent_dirs(path);
+  std::string buf(line);
+  if (buf.empty() || buf.back() != '\n') buf += '\n';
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return false;
+  const bool ok = write_all(fd, buf);
+  ::close(fd);
+  return ok;
+}
+
+std::vector<std::string> list_dir(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file(ec)) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool remove_file(const std::string& path) {
+  std::error_code ec;
+  return fs::remove(path, ec) && !ec;
+}
+
+}  // namespace vegas::common

@@ -1,0 +1,54 @@
+// Small file-I/O helpers for on-disk stores (docs/SWEEPS.md).
+//
+// Three primitives the sweep result store is built from, with the exact
+// POSIX semantics each one needs:
+//
+//   write_file_atomic   write-to-temp + rename(2).  Readers see either
+//                       the old file or the complete new one, never a
+//                       torn write — a killed writer leaves only a
+//                       *.tmp.* file that the next writer ignores.
+//   create_file_exclusive  open(O_CREAT|O_EXCL): exactly one of N
+//                       racing processes wins.  The claim protocol's
+//                       sole synchronization primitive; works across
+//                       processes and (on most filesystems) hosts
+//                       sharing a mount.
+//   append_line         open(O_APPEND) + a single write(2), atomic for
+//                       lines under PIPE_BUF — safe for a shared
+//                       append-only index written by many workers.
+//
+// Everything reports failure by return value (optional/bool) except
+// write_file_atomic, whose failure means the store is unusable and
+// throws std::runtime_error.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vegas::common {
+
+/// Whole file as a string; nullopt if it cannot be opened/read.
+std::optional<std::string> read_file(const std::string& path);
+
+/// Atomically replaces `path` with `contents` (temp file in the same
+/// directory + rename).  Creates parent directories as needed.
+void write_file_atomic(const std::string& path, std::string_view contents);
+
+/// Creates `path` with `contents` iff it does not already exist
+/// (O_CREAT|O_EXCL).  Returns false when the file was already there —
+/// the loser of a claim race.  Creates parent directories as needed.
+bool create_file_exclusive(const std::string& path, std::string_view contents);
+
+/// Appends one line (a trailing '\n' is added when missing) with a
+/// single O_APPEND write.  Returns false on any I/O error.
+bool append_line(const std::string& path, std::string_view line);
+
+/// Regular-file names directly inside `dir`, sorted; empty when the
+/// directory does not exist.
+std::vector<std::string> list_dir(const std::string& dir);
+
+/// Removes a file if present; false when it did not exist.
+bool remove_file(const std::string& path);
+
+}  // namespace vegas::common

@@ -1,0 +1,85 @@
+// Content hashing for cache keys (docs/SWEEPS.md).
+//
+// A streaming FNV-1a with domain-separated field boundaries: mix()
+// prefixes every field with its length, so ("ab","c") and ("a","bc")
+// hash differently — exactly the property a content-addressed key
+// derived from concatenated spec fields needs.  Hash128 runs two
+// independently-seeded streams side by side; 128 bits makes accidental
+// collision over even a billion-cell grid astronomically unlikely
+// (~2^-64 at 2^32 keys), which is what lets the sweep store treat
+// "same key" as "same fully-resolved cell spec" without a verify pass.
+//
+// This is NOT a cryptographic hash: keys index a local result cache,
+// they do not authenticate anything.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vegas::common {
+
+/// One incremental FNV-1a 64-bit stream.
+class Fnv64 {
+ public:
+  explicit Fnv64(std::uint64_t seed = 14695981039346656037ULL)
+      : state_(seed) {}
+
+  void update(const void* data, std::size_t size) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < size; ++i) {
+      state_ ^= p[i];
+      state_ *= 1099511628211ULL;
+    }
+  }
+
+  std::uint64_t digest() const { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Two independent 64-bit streams = one 128-bit content hash.
+class Hash128 {
+ public:
+  Hash128() : lo_(14695981039346656037ULL), hi_(0x6c62272e07bb0142ULL) {}
+
+  /// Mixes a length-prefixed field: boundaries are part of the hash.
+  Hash128& mix(std::string_view field) {
+    mix_u64(field.size());
+    lo_.update(field.data(), field.size());
+    hi_.update(field.data(), field.size());
+    return *this;
+  }
+
+  Hash128& mix_u64(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) {
+      bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+    lo_.update(bytes, sizeof(bytes));
+    hi_.update(bytes, sizeof(bytes));
+    return *this;
+  }
+
+  /// 32 lowercase hex characters; the canonical key spelling.
+  std::string hex() const {
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(32, '0');
+    const std::uint64_t words[2] = {hi_.digest(), lo_.digest()};
+    for (int w = 0; w < 2; ++w) {
+      for (int i = 0; i < 16; ++i) {
+        out[static_cast<std::size_t>(w * 16 + i)] =
+            kDigits[(words[w] >> (60 - 4 * i)) & 0xF];
+      }
+    }
+    return out;
+  }
+
+ private:
+  Fnv64 lo_;
+  Fnv64 hi_;
+};
+
+}  // namespace vegas::common

@@ -1,0 +1,266 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace vegas::json {
+
+std::int64_t Node::as_i64(std::int64_t fallback) const {
+  if (kind != Kind::kNumber || raw.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw.c_str(), &end, 10);
+  // Fall back through the double for "1e3"-style spellings.
+  if (end == nullptr || *end != '\0') return static_cast<std::int64_t>(num);
+  return static_cast<std::int64_t>(v);
+}
+
+std::uint64_t Node::as_u64(std::uint64_t fallback) const {
+  if (kind != Kind::kNumber || raw.empty()) return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(raw.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return static_cast<std::uint64_t>(num);
+  return static_cast<std::uint64_t>(v);
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view; positions are byte
+/// offsets for error messages.  Depth is bounded to keep hostile input
+/// from exhausting the stack — store blobs nest four levels deep.
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<Node> run() {
+    std::optional<Node> v = value(0);
+    if (!v.has_value()) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after JSON value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  void fail(const std::string& msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = "offset " + std::to_string(pos_) + ": " + msg;
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Node> value(int depth) {
+    if (depth > kMaxDepth) {
+      fail("nesting too deep");
+      return std::nullopt;
+    }
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    Node n;
+    const char c = text_[pos_];
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') {
+      std::optional<std::string> s = string_token();
+      if (!s.has_value()) return std::nullopt;
+      n.kind = Node::Kind::kString;
+      n.str = std::move(*s);
+      return n;
+    }
+    if (literal("true")) {
+      n.kind = Node::Kind::kBool;
+      n.boolean = true;
+      return n;
+    }
+    if (literal("false")) {
+      n.kind = Node::Kind::kBool;
+      n.boolean = false;
+      return n;
+    }
+    if (literal("null")) return n;
+    return number_token();
+  }
+
+  std::optional<Node> number_token() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      fail("expected a JSON value");
+      return std::nullopt;
+    }
+    Node n;
+    n.kind = Node::Kind::kNumber;
+    n.raw = std::string(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    n.num = std::strtod(n.raw.c_str(), &end);
+    if (end != n.raw.c_str() + n.raw.size()) {
+      fail("malformed number '" + n.raw + "'");
+      return std::nullopt;
+    }
+    return n;
+  }
+
+  std::optional<std::string> string_token() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("malformed \\u escape");
+              return std::nullopt;
+            }
+          }
+          // The writer only emits \u00XX for control bytes; decode the
+          // BMP as UTF-8 for completeness.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(std::string("unknown escape '\\") + esc + "'");
+          return std::nullopt;
+      }
+    }
+    if (pos_ >= text_.size()) {
+      fail("unterminated string");
+      return std::nullopt;
+    }
+    ++pos_;  // closing quote
+    return out;
+  }
+
+  std::optional<Node> array(int depth) {
+    ++pos_;  // '['
+    Node n;
+    n.kind = Node::Kind::kArray;
+    skip_ws();
+    if (consume(']')) return n;
+    for (;;) {
+      std::optional<Node> item = value(depth + 1);
+      if (!item.has_value()) return std::nullopt;
+      n.items.push_back(std::move(*item));
+      if (consume(',')) continue;
+      if (consume(']')) return n;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Node> object(int depth) {
+    ++pos_;  // '{'
+    Node n;
+    n.kind = Node::Kind::kObject;
+    skip_ws();
+    if (consume('}')) return n;
+    for (;;) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected a string key");
+        return std::nullopt;
+      }
+      std::optional<std::string> key = string_token();
+      if (!key.has_value()) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after key");
+        return std::nullopt;
+      }
+      std::optional<Node> val = value(depth + 1);
+      if (!val.has_value()) return std::nullopt;
+      n.members.emplace_back(std::move(*key), std::move(*val));
+      if (consume(',')) continue;
+      if (consume('}')) return n;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Node> parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  return Parser(text, error).run();
+}
+
+}  // namespace vegas::json

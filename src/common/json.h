@@ -1,10 +1,17 @@
-// Minimal JSON writer — enough to emit experiment results for scripting
-// (no external dependencies, no parsing).
+// Minimal JSON writer + reader — enough to emit experiment results for
+// scripting and to read the sweep store's result blobs back (no
+// external dependencies).
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 namespace vegas::json {
 
@@ -58,6 +65,23 @@ class Writer {
       out_ += "null";
     }
   }
+  /// A double at full round-trip precision (%.17g): parse() returns the
+  /// exact same bits, which is what lets a cached result blob reproduce
+  /// a fresh run's output byte for byte (docs/SWEEPS.md).
+  void value_exact(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out_ += buf;
+    } else {
+      out_ += "null";
+    }
+  }
+  void field_exact(const std::string& name, double v) {
+    key(name);
+    value_exact(v);
+  }
   void value(std::int64_t v) {
     comma();
     out_ += std::to_string(v);
@@ -75,6 +99,14 @@ class Writer {
   void field(const std::string& name, T v) {
     key(name);
     value(v);
+  }
+
+  /// Splices pre-serialized JSON in as one value (commas still
+  /// managed).  The caller vouches it is well-formed — used to embed
+  /// stored blobs into a summary without a reformat that could drift.
+  void raw(std::string_view json) {
+    comma();
+    out_ += json;
   }
 
   const std::string& str() const { return out_; }
@@ -111,5 +143,72 @@ class Writer {
   std::string out_;
   bool fresh_ = true;
 };
+
+// ------------------------------------------------------------- reader
+
+/// A parsed JSON value.  Numbers keep their source spelling in `raw` so
+/// integer reads are exact (a 64-bit seed survives even though the
+/// `num` convenience field is a double).  Object member order is
+/// preserved.  Accessors take a default and never throw: a missing or
+/// mistyped member reads as the default, which is the right posture
+/// for tooling that inspects cache blobs written by other versions.
+struct Node {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double num = 0;
+  std::string raw;  // kNumber: the unparsed token
+  std::string str;  // kString
+  std::vector<Node> items;                            // kArray
+  std::vector<std::pair<std::string, Node>> members;  // kObject
+
+  const Node* find(std::string_view key) const {
+    for (const auto& [k, v] : members) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  bool as_bool(bool fallback = false) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+  double as_double(double fallback = 0) const {
+    return kind == Kind::kNumber ? num : fallback;
+  }
+  std::int64_t as_i64(std::int64_t fallback = 0) const;
+  std::uint64_t as_u64(std::uint64_t fallback = 0) const;
+  const std::string& as_string(const std::string& fallback) const {
+    return kind == Kind::kString ? str : fallback;
+  }
+
+  // Member conveniences (valid on kObject; defaults otherwise).
+  bool get_bool(std::string_view key, bool fallback = false) const {
+    const Node* n = find(key);
+    return n != nullptr ? n->as_bool(fallback) : fallback;
+  }
+  double get_double(std::string_view key, double fallback = 0) const {
+    const Node* n = find(key);
+    return n != nullptr ? n->as_double(fallback) : fallback;
+  }
+  std::int64_t get_i64(std::string_view key, std::int64_t fallback = 0) const {
+    const Node* n = find(key);
+    return n != nullptr ? n->as_i64(fallback) : fallback;
+  }
+  std::uint64_t get_u64(std::string_view key,
+                        std::uint64_t fallback = 0) const {
+    const Node* n = find(key);
+    return n != nullptr ? n->as_u64(fallback) : fallback;
+  }
+  std::string get_string(std::string_view key,
+                         const std::string& fallback = "") const {
+    const Node* n = find(key);
+    return n != nullptr ? n->as_string(fallback) : fallback;
+  }
+};
+
+/// Parses one JSON document.  Returns nullopt on malformed input; when
+/// `error` is non-null it receives a byte-offset + message description.
+std::optional<Node> parse(std::string_view text, std::string* error = nullptr);
 
 }  // namespace vegas::json

@@ -556,9 +556,26 @@ ScenarioSpec compile(const Document& doc) {
                std::to_string(sim::Simulator::kMaxLanes));
     }
     if (spec.sharding.shards > 1 && spec.metrics.enabled) {
-      fail(file, sec->line, sec->col,
-           "sharding and [metrics] sampling are mutually exclusive (the "
-           "sampler timer is not shard-safe); run unsharded to sample");
+      // Anchor the diagnostic at whichever of the two sections appears
+      // later in the file — that is the line the author just added — and
+      // name the other so both halves of the conflict are visible.
+      const Section* met = doc.find("metrics");
+      const Section* later = sec;
+      const Section* earlier = met;
+      if (met != nullptr && met->line > sec->line) {
+        later = met;
+        earlier = sec;
+      }
+      std::string msg =
+          "[sharding] shards > 1 and [metrics] sampling are mutually "
+          "exclusive (the sampler timer is not shard-safe)";
+      if (earlier != nullptr) {
+        msg += "; conflicts with [" +
+               std::string(earlier == sec ? "sharding" : "metrics") +
+               "] at line " + std::to_string(earlier->line);
+      }
+      msg += "; run unsharded to sample";
+      fail(file, later->line, later->col, msg);
     }
   }
 

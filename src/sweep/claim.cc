@@ -1,0 +1,87 @@
+#include "sweep/claim.h"
+
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "common/fsio.h"
+#include "common/json.h"
+
+namespace vegas::sweep {
+
+ClaimInfo self_claim_identity() {
+  ClaimInfo info;
+  info.pid = static_cast<long long>(::getpid());
+  char host[256] = {0};
+  if (::gethostname(host, sizeof(host) - 1) == 0) info.host = host;
+  return info;
+}
+
+namespace {
+
+std::string claim_contents(const ClaimInfo& info) {
+  json::Writer w;
+  w.begin_object();
+  w.field("pid", static_cast<std::int64_t>(info.pid));
+  w.field("host", info.host);
+  w.end_object();
+  return w.str() + "\n";
+}
+
+/// kill(pid, 0): probe without signalling.  ESRCH means no such
+/// process; EPERM means it exists but belongs to someone else (alive).
+bool pid_alive(long long pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  return errno != ESRCH;
+}
+
+}  // namespace
+
+bool try_claim(const ResultStore& store, const std::string& key) {
+  return common::create_file_exclusive(store.claim_path(key),
+                                       claim_contents(self_claim_identity()));
+}
+
+void release_claim(const ResultStore& store, const std::string& key) {
+  common::remove_file(store.claim_path(key));
+}
+
+std::optional<ClaimInfo> read_claim(const ResultStore& store,
+                                    const std::string& key) {
+  const std::optional<std::string> text =
+      common::read_file(store.claim_path(key));
+  if (!text.has_value()) return std::nullopt;
+  const std::optional<json::Node> n = json::parse(*text);
+  if (!n.has_value() || n->kind != json::Node::Kind::kObject) {
+    return std::nullopt;
+  }
+  ClaimInfo info;
+  info.pid = n->get_i64("pid");
+  info.host = n->get_string("host");
+  return info;
+}
+
+bool claim_is_stale(const ResultStore& store, const std::string& key) {
+  const std::optional<std::string> text =
+      common::read_file(store.claim_path(key));
+  if (!text.has_value()) return false;  // no claim at all
+  const std::optional<json::Node> n = json::parse(*text);
+  if (!n.has_value() || n->kind != json::Node::Kind::kObject) {
+    return true;  // unreadable: a torn write from a dead worker
+  }
+  ClaimInfo info;
+  info.pid = n->get_i64("pid");
+  info.host = n->get_string("host");
+  if (info.host != self_claim_identity().host) return false;
+  return !pid_alive(info.pid);
+}
+
+bool reclaim_stale(const ResultStore& store, const std::string& key) {
+  if (!claim_is_stale(store, key)) return false;
+  release_claim(store, key);
+  return try_claim(store, key);
+}
+
+}  // namespace vegas::sweep

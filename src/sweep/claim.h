@@ -1,0 +1,59 @@
+// Cell-claim protocol for multi-process fan-out (docs/SWEEPS.md §Claims).
+//
+// One claim file per in-flight cell, created with O_CREAT|O_EXCL — the
+// single primitive POSIX gives N uncoordinated processes for "exactly
+// one of you proceeds".  A worker that wins the claim simulates the
+// cell, stores the result object, then removes the claim; a worker
+// that loses moves on to the next cell and comes back later.
+//
+// Claims carry the owner's pid and hostname so a sweep that died
+// mid-cell (kill -9, OOM, power) can be recovered: a claim is STALE
+// when it was written by this host and its pid no longer exists.
+// Claims from other hosts are never declared stale automatically —
+// there is no portable cross-host liveness probe on a shared
+// filesystem — so cross-host recovery is the explicit
+// `--reclaim-all` / break_claim() path.
+//
+// The window where a worker dies between storing the object and
+// removing its claim is benign: the object's existence wins, and the
+// orphaned claim is ignored (and swept away) by the next pass.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sweep/store.h"
+
+namespace vegas::sweep {
+
+struct ClaimInfo {
+  long long pid = 0;
+  std::string host;
+};
+
+/// Identity stamped into claims this process writes.
+ClaimInfo self_claim_identity();
+
+/// Attempts to claim `key`.  True exactly once across all racing
+/// processes; the claim file then exists until release/break.
+bool try_claim(const ResultStore& store, const std::string& key);
+
+/// Removes this worker's claim (also used to sweep orphans).
+void release_claim(const ResultStore& store, const std::string& key);
+
+/// Parses an existing claim file; nullopt when absent or malformed
+/// (malformed claims are treated as stale — they cannot be probed).
+std::optional<ClaimInfo> read_claim(const ResultStore& store,
+                                    const std::string& key);
+
+/// True when the claim exists, was written by THIS host, and its pid is
+/// gone (or the claim is unreadable).  Never true for other hosts'
+/// claims.
+bool claim_is_stale(const ResultStore& store, const std::string& key);
+
+/// Breaks a stale claim and immediately re-contends for it.  True when
+/// this process now holds the claim.  Racing breakers are safe: both
+/// remove (remove is idempotent), then O_EXCL picks one winner.
+bool reclaim_stale(const ResultStore& store, const std::string& key);
+
+}  // namespace vegas::sweep

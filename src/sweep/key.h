@@ -1,0 +1,70 @@
+// Canonical cell keys for the sweep result cache (docs/SWEEPS.md).
+//
+// A cell's key is a 128-bit content hash over everything that can
+// change its simulated result:
+//
+//   1. the fully-resolved cell document — scenario::cell_document()
+//      with every sweep value substituted, serialized through the
+//      parser's canonical to_text() (the golden round-trip form, so
+//      cosmetic file differences like comments or whitespace do NOT
+//      change the key, while any semantic field does);
+//   2. the binary salt — a format-version constant plus the
+//      VEGAS_SWEEP_SALT environment override, bumped whenever the
+//      engine's behaviour or the record schema changes;
+//   3. the congestion-control fingerprint — a hash over every
+//      registered CongOps module's identity and state layout, so
+//      adding, removing, or materially changing a CC module misses the
+//      cache rather than serving results from the old algorithm zoo;
+//   4. the effective shard request — sharding changes boundary
+//      tie-break order, so sharded and unsharded runs of the same spec
+//      are different cache entries by construction.
+//
+// Same key ⇒ same bits out, which is the invariant the whole store
+// rests on (tests/sweep_key_test.cc pins it down).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.h"
+
+namespace vegas::sweep {
+
+/// Bumped whenever key derivation, engine behaviour, or the stored
+/// record schema changes incompatibly; old store entries then miss.
+inline constexpr const char* kKeyFormatVersion = "vegas-sweep-key-v1";
+
+/// The non-spec inputs to a key.  Tests construct these directly; real
+/// callers use default_key_context().
+struct KeyContext {
+  std::string binary_salt;  // kKeyFormatVersion [+ ":" + VEGAS_SWEEP_SALT]
+  std::string cc_fingerprint;  // hex digest of the registered module zoo
+  int shards = 0;              // effective shard request (0 = spec-driven)
+};
+
+/// Hex fingerprint of the CongOps registry: every module's name, label,
+/// alternate spelling and private-state layout, in registry order.
+std::string cc_fingerprint();
+
+/// Context for this binary/process: version constant + VEGAS_SWEEP_SALT
+/// env override + the live CC registry + the given shard request.
+KeyContext default_key_context(int shards = 0);
+
+/// Canonical serialized form of cell `index`: the resolved cell
+/// document through scenario::to_text().  Exposed so tests and `sweep
+/// diff` can show WHAT was hashed.
+std::string canonical_cell_text(const scenario::Scenario& sc,
+                                std::size_t index);
+
+/// The 32-hex-character content key of cell `index` under `ctx`.
+std::string cell_key(const scenario::Scenario& sc, std::size_t index,
+                     const KeyContext& ctx);
+
+/// Grid key: hash over the context and every cell key, in order.  Two
+/// grids with identical cells (same file modulo comments, same salt)
+/// share a manifest; any cell difference separates them.
+std::string grid_key(const std::vector<std::string>& cell_keys,
+                     const KeyContext& ctx);
+
+}  // namespace vegas::sweep

@@ -1,0 +1,195 @@
+#include "sweep/record.h"
+
+namespace vegas::sweep {
+
+namespace {
+
+void write_flow(json::Writer& w, const FlowRecord& f) {
+  w.begin_object();
+  w.field("name", f.name);
+  w.field("algorithm", f.algorithm);
+  w.field("completed", f.completed);
+  w.field("bytes", f.bytes);
+  w.field("bytes_delivered", f.bytes_delivered);
+  w.field_exact("duration_s", f.duration_s);
+  w.field_exact("throughput_Bps", f.throughput_Bps);
+  w.field("bytes_retransmitted", f.bytes_retransmitted);
+  w.field("coarse_timeouts", f.coarse_timeouts);
+  w.field("fast_retransmits", f.fast_retransmits);
+  w.field("fine_retransmits", f.fine_retransmits);
+  w.field("sack_retransmits", f.sack_retransmits);
+  w.field("traced", f.traced);
+  if (f.traced) {
+    w.field("trace_digest", f.trace_digest);
+    w.field("trace_events", f.trace_events);
+  }
+  w.end_object();
+}
+
+FlowRecord read_flow(const json::Node& n) {
+  FlowRecord f;
+  f.name = n.get_string("name");
+  f.algorithm = n.get_string("algorithm");
+  f.completed = n.get_bool("completed");
+  f.bytes = n.get_u64("bytes");
+  f.bytes_delivered = n.get_u64("bytes_delivered");
+  f.duration_s = n.get_double("duration_s");
+  f.throughput_Bps = n.get_double("throughput_Bps");
+  f.bytes_retransmitted = n.get_u64("bytes_retransmitted");
+  f.coarse_timeouts = n.get_u64("coarse_timeouts");
+  f.fast_retransmits = n.get_u64("fast_retransmits");
+  f.fine_retransmits = n.get_u64("fine_retransmits");
+  f.sack_retransmits = n.get_u64("sack_retransmits");
+  f.traced = n.get_bool("traced");
+  f.trace_digest = n.get_u64("trace_digest");
+  f.trace_events = n.get_u64("trace_events");
+  return f;
+}
+
+}  // namespace
+
+CellRecord record_from_result(const scenario::CellResult& r,
+                              const std::string& key) {
+  CellRecord rec;
+  rec.key = key;
+  rec.cell = r.index;
+  rec.label = r.label;
+  rec.seed = r.seed;
+  rec.sim_time_s = r.sim_time_s;
+  rec.events_executed = r.sim.events_executed;
+  rec.fairness_jain = r.fairness_jain;
+  rec.background_goodput_Bps = r.background_goodput_Bps;
+  if (r.shard.has_value()) {
+    ShardRecord s;
+    s.shards = r.shard->shards;
+    s.lookahead_s = r.shard->lookahead_s;
+    s.windows = r.shard->windows;
+    s.cross_posts = r.shard->cross_posts;
+    s.lane_events = r.shard->lane_events;
+    rec.shard = std::move(s);
+  }
+  rec.flows.reserve(r.flows.size());
+  for (const scenario::FlowResult& fr : r.flows) {
+    const traffic::TransferResult& t = fr.transfer;
+    FlowRecord f;
+    f.name = fr.name;
+    f.algorithm = t.algorithm.empty() ? fr.algorithm : t.algorithm;
+    f.completed = t.completed;
+    f.bytes = t.bytes;
+    f.bytes_delivered = t.bytes_delivered;
+    f.duration_s = t.duration_s();
+    f.throughput_Bps = t.throughput_Bps();
+    f.bytes_retransmitted = t.sender_stats.bytes_retransmitted;
+    f.coarse_timeouts = t.sender_stats.coarse_timeouts;
+    f.fast_retransmits = t.sender_stats.fast_retransmits;
+    f.fine_retransmits = t.sender_stats.fine_retransmits;
+    f.sack_retransmits = t.sender_stats.sack_retransmits;
+    f.traced = fr.traced;
+    f.trace_digest = fr.trace_digest;
+    f.trace_events = fr.trace.size();
+    rec.flows.push_back(std::move(f));
+  }
+  rec.traffic.reserve(r.traffic.size());
+  for (const scenario::TrafficResult& tr : r.traffic) {
+    TrafficRecord t;
+    t.name = tr.name;
+    t.started = tr.stats.started;
+    t.completed = tr.stats.completed;
+    t.failed = tr.stats.failed;
+    t.bytes_scripted = tr.stats.bytes_scripted;
+    rec.traffic.push_back(std::move(t));
+  }
+  return rec;
+}
+
+std::string record_to_json(const CellRecord& rec) {
+  json::Writer w;
+  w.begin_object();
+  w.field("format", static_cast<std::int64_t>(kRecordFormatVersion));
+  w.field("key", rec.key);
+  w.field("cell", rec.cell);
+  w.field("label", rec.label);
+  w.field("seed", rec.seed);
+  w.field_exact("sim_time_s", rec.sim_time_s);
+  w.field("events_executed", rec.events_executed);
+  w.field_exact("fairness_jain", rec.fairness_jain);
+  w.field_exact("background_goodput_Bps", rec.background_goodput_Bps);
+  if (rec.shard.has_value()) {
+    w.key("shard");
+    w.begin_object();
+    w.field("shards", static_cast<std::int64_t>(rec.shard->shards));
+    w.field_exact("lookahead_s", rec.shard->lookahead_s);
+    w.field("windows", rec.shard->windows);
+    w.field("cross_posts", rec.shard->cross_posts);
+    w.key("lane_events");
+    w.begin_array();
+    for (const std::uint64_t e : rec.shard->lane_events) w.value(e);
+    w.end_array();
+    w.end_object();
+  }
+  w.key("flows");
+  w.begin_array();
+  for (const FlowRecord& f : rec.flows) write_flow(w, f);
+  w.end_array();
+  w.key("traffic");
+  w.begin_array();
+  for (const TrafficRecord& t : rec.traffic) {
+    w.begin_object();
+    w.field("name", t.name);
+    w.field("started", t.started);
+    w.field("completed", t.completed);
+    w.field("failed", t.failed);
+    w.field("bytes_scripted", t.bytes_scripted);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::optional<CellRecord> record_from_json(const std::string& text) {
+  const std::optional<json::Node> doc = json::parse(text);
+  if (!doc.has_value() || doc->kind != json::Node::Kind::kObject) {
+    return std::nullopt;
+  }
+  if (doc->get_i64("format") != kRecordFormatVersion) return std::nullopt;
+  CellRecord rec;
+  rec.key = doc->get_string("key");
+  rec.cell = doc->get_u64("cell");
+  rec.label = doc->get_string("label");
+  rec.seed = doc->get_u64("seed");
+  rec.sim_time_s = doc->get_double("sim_time_s");
+  rec.events_executed = doc->get_u64("events_executed");
+  rec.fairness_jain = doc->get_double("fairness_jain", 1.0);
+  rec.background_goodput_Bps = doc->get_double("background_goodput_Bps");
+  if (const json::Node* s = doc->find("shard")) {
+    ShardRecord sr;
+    sr.shards = static_cast<int>(s->get_i64("shards", 1));
+    sr.lookahead_s = s->get_double("lookahead_s");
+    sr.windows = s->get_u64("windows");
+    sr.cross_posts = s->get_u64("cross_posts");
+    if (const json::Node* lanes = s->find("lane_events")) {
+      for (const json::Node& e : lanes->items) {
+        sr.lane_events.push_back(e.as_u64());
+      }
+    }
+    rec.shard = std::move(sr);
+  }
+  if (const json::Node* flows = doc->find("flows")) {
+    for (const json::Node& f : flows->items) rec.flows.push_back(read_flow(f));
+  }
+  if (const json::Node* traffic = doc->find("traffic")) {
+    for (const json::Node& t : traffic->items) {
+      TrafficRecord tr;
+      tr.name = t.get_string("name");
+      tr.started = t.get_u64("started");
+      tr.completed = t.get_u64("completed");
+      tr.failed = t.get_u64("failed");
+      tr.bytes_scripted = t.get_u64("bytes_scripted");
+      rec.traffic.push_back(std::move(tr));
+    }
+  }
+  return rec;
+}
+
+}  // namespace vegas::sweep

@@ -1,0 +1,92 @@
+// The stored form of one simulated cell (docs/SWEEPS.md §Record).
+//
+// CellRecord is the deterministic subset of scenario::CellResult: every
+// field is a pure function of the cell spec, so a record loaded from
+// the cache is indistinguishable from one computed fresh — the property
+// that makes "skip cache hits" safe.  Deliberately EXCLUDED:
+//
+//   - wall-clock phases and worker/thread counts (machine-dependent);
+//   - the metrics time series (bulky; the JSONL exporter owns it);
+//   - ShardRunInfo.threads (varies with VEGAS_THREADS; the shard PLAN
+//     fields — shards, lookahead, windows, cross_posts, lane_events —
+//     are deterministic for a fixed plan and are kept).
+//
+// Doubles serialize at %.17g so to_json ∘ from_json is the identity;
+// 64-bit counters and digests serialize as decimal/hex STRINGS where a
+// double could not hold them exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "scenario/engine.h"
+
+namespace vegas::sweep {
+
+/// Bumped on any schema change; readers reject other versions (the key
+/// salt is bumped alongside, so mismatches indicate store corruption).
+inline constexpr int kRecordFormatVersion = 1;
+
+struct FlowRecord {
+  std::string name;
+  std::string algorithm;
+  bool completed = false;
+  std::uint64_t bytes = 0;
+  std::uint64_t bytes_delivered = 0;
+  double duration_s = 0;
+  double throughput_Bps = 0;
+  std::uint64_t bytes_retransmitted = 0;
+  std::uint64_t coarse_timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  std::uint64_t fine_retransmits = 0;
+  std::uint64_t sack_retransmits = 0;
+  bool traced = false;
+  std::uint64_t trace_digest = 0;  // 0 when untraced
+  std::uint64_t trace_events = 0;
+};
+
+struct TrafficRecord {
+  std::string name;
+  std::uint64_t started = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t bytes_scripted = 0;
+};
+
+struct ShardRecord {
+  int shards = 1;
+  double lookahead_s = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t cross_posts = 0;
+  std::vector<std::uint64_t> lane_events;
+};
+
+struct CellRecord {
+  std::string key;  // the content key this record is stored under
+  std::uint64_t cell = 0;
+  std::string label;
+  std::uint64_t seed = 0;
+  double sim_time_s = 0;
+  std::uint64_t events_executed = 0;
+  double fairness_jain = 1.0;
+  double background_goodput_Bps = 0;
+  std::optional<ShardRecord> shard;
+  std::vector<FlowRecord> flows;
+  std::vector<TrafficRecord> traffic;
+};
+
+/// Projects a run result onto the deterministic record schema.
+CellRecord record_from_result(const scenario::CellResult& r,
+                              const std::string& key);
+
+/// Serializes a record as a single-line JSON object (ends with '\n').
+std::string record_to_json(const CellRecord& rec);
+
+/// Parses a stored blob.  nullopt on malformed JSON or a format-version
+/// mismatch — callers treat that as a cache miss, never an error.
+std::optional<CellRecord> record_from_json(const std::string& text);
+
+}  // namespace vegas::sweep

@@ -1,0 +1,294 @@
+#include "sweep/service.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#include "common/ensure.h"
+#include "common/json.h"
+#include "exp/runner.h"
+
+namespace vegas::sweep {
+
+namespace {
+
+struct DrainOutcome {
+  std::size_t computed = 0;
+  std::size_t reclaimed = 0;
+  bool stopped_early = false;  // max_cells or poll_limit hit
+};
+
+/// One process's drain loop: claim what you can, batch it through the
+/// thread runner, poll for what others hold.  Returns when every cell
+/// is in the store or this process is done contributing.
+DrainOutcome drain(const scenario::Scenario& sc,
+                   const std::vector<std::string>& keys,
+                   const std::string& grid_key, const ResultStore& store,
+                   const SweepOptions& opts) {
+  const std::size_t n = keys.size();
+  std::vector<char> done(n, 0);
+  DrainOutcome out;
+  const exp::ParallelRunner runner(opts.threads);
+  std::size_t polls = 0;
+  for (;;) {
+    std::vector<std::size_t> batch;
+    std::size_t declined = 0;  // unclaimed cells we skipped (max_cells)
+    for (std::size_t i = 0; i < n; ++i) {
+      if (done[i] != 0) continue;
+      if (store.has(keys[i])) {
+        done[i] = 1;
+        continue;
+      }
+      if (opts.max_cells != 0 &&
+          out.computed + batch.size() >= opts.max_cells) {
+        ++declined;
+        continue;
+      }
+      if (try_claim(store, keys[i])) {
+        batch.push_back(i);
+      } else if (opts.reclaim_stale && reclaim_stale(store, keys[i])) {
+        ++out.reclaimed;
+        batch.push_back(i);
+      }
+      // else: validly claimed by another live worker; poll below.
+    }
+    if (!batch.empty()) {
+      // Sharded cells get the full thread budget only when they have it
+      // to themselves; otherwise the batch-level fan-out owns the cores.
+      scenario::RunOptions ro;
+      ro.shards = opts.shards;
+      ro.threads = batch.size() == 1 ? opts.threads : 1;
+      runner.map(batch.size(), [&](int bi) {
+        const std::size_t i = batch[static_cast<std::size_t>(bi)];
+        const scenario::CellResult res =
+            scenario::run_cell(sc.cell(i), i, sc.label(i), ro);
+        store.put(keys[i], record_from_result(res, keys[i]), grid_key);
+        release_claim(store, keys[i]);
+        return 0;
+      });
+      for (const std::size_t i : batch) done[i] = 1;
+      out.computed += batch.size();
+      continue;  // rescan immediately; more cells may have freed up
+    }
+    const bool all_done =
+        static_cast<std::size_t>(
+            std::count(done.begin(), done.end(), char{1})) == n;
+    if (all_done) return out;
+    if (declined > 0) {
+      // We hit our cell budget with work still unclaimed: stop now so
+      // the caller (or a resumed run) can pick it up.
+      out.stopped_early = true;
+      return out;
+    }
+    // Everything left is claimed by another worker; wait for results.
+    ++polls;
+    if (opts.poll_limit != 0 && polls > opts.poll_limit) {
+      out.stopped_early = true;
+      return out;
+    }
+    ::usleep(static_cast<unsigned>(std::max(opts.poll_ms, 1)) * 1000u);
+  }
+}
+
+}  // namespace
+
+SweepReport run_sweep(const scenario::Scenario& sc, const std::string& path,
+                      const ResultStore& store, const SweepOptions& opts) {
+  const KeyContext ctx = default_key_context(opts.shards);
+  const std::size_t n = sc.cells();
+
+  SweepReport report;
+  report.scenario = sc.name();
+  report.file = path;
+  report.cells = n;
+
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) keys.push_back(cell_key(sc, i, ctx));
+  report.grid_key = grid_key(keys, ctx);
+
+  GridManifest manifest;
+  manifest.grid_key = report.grid_key;
+  manifest.scenario = sc.name();
+  manifest.file = path;
+  manifest.binary_salt = ctx.binary_salt;
+  manifest.cc_fingerprint = ctx.cc_fingerprint;
+  manifest.shards = ctx.shards;
+  manifest.cells.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    manifest.cells.push_back(
+        {static_cast<std::uint64_t>(i), sc.label(i), keys[i],
+         sc.cell(i).seed});
+  }
+  store.put_manifest(manifest);
+
+  for (const std::string& k : keys) {
+    if (store.has(k)) ++report.cache_hits;
+  }
+
+  // Extra worker processes.  fork() is safe here: no threads are live
+  // (the batch runner joins before returning), and children _exit()
+  // without unwinding into the parent's state.
+  std::vector<pid_t> children;
+  for (int w = 1; w < opts.workers; ++w) {
+    const pid_t pid = ::fork();
+    if (pid < 0) break;  // fork pressure: run with fewer workers
+    if (pid == 0) {
+      int code = 0;
+      try {
+        drain(sc, keys, report.grid_key, store, opts);
+      } catch (...) {
+        code = 1;
+      }
+      ::_exit(code);
+    }
+    children.push_back(pid);
+  }
+
+  const DrainOutcome mine = drain(sc, keys, report.grid_key, store, opts);
+  report.computed = mine.computed;
+  report.reclaimed = mine.reclaimed;
+
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+
+  report.records.reserve(n);
+  bool all = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::optional<CellRecord> rec = store.load(keys[i]);
+    if (!rec.has_value()) {
+      all = false;
+      break;
+    }
+    report.records.push_back(std::move(*rec));
+  }
+  report.complete = all;
+  if (!all) report.records.clear();
+  if (report.complete) {
+    report.computed_elsewhere = n - report.cache_hits - report.computed;
+  }
+  return report;
+}
+
+std::string summary_json(const SweepReport& report) {
+  ensure(report.complete, "summary_json: sweep is incomplete");
+  json::Writer w;
+  w.begin_object();
+  w.field("experiment", "sweep");
+  w.field("scenario", report.scenario);
+  w.field("file", report.file);
+  w.field("grid_key", report.grid_key);
+  w.field("cells", static_cast<std::uint64_t>(report.cells));
+  w.key("results");
+  w.begin_array();
+  for (const CellRecord& rec : report.records) {
+    std::string blob = record_to_json(rec);
+    while (!blob.empty() && blob.back() == '\n') blob.pop_back();
+    w.raw(blob);
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::vector<GridStatus> grid_status(const ResultStore& store) {
+  std::vector<GridStatus> out;
+  for (GridManifest& m : store.manifests()) {
+    GridStatus gs;
+    for (const GridManifest::Cell& c : m.cells) {
+      if (store.has(c.key)) {
+        ++gs.done;
+      } else if (claim_is_stale(store, c.key)) {
+        ++gs.stale;
+      } else if (read_claim(store, c.key).has_value()) {
+        ++gs.claimed;
+      }
+    }
+    gs.manifest = std::move(m);
+    out.push_back(std::move(gs));
+  }
+  return out;
+}
+
+DiffReport diff_grids(const ResultStore& store_a, const GridManifest& a,
+                      const ResultStore& store_b, const GridManifest& b,
+                      double tolerance_pct) {
+  DiffReport report;
+  report.scenario = a.scenario;
+  report.grid_a = a.grid_key;
+  report.grid_b = b.grid_key;
+
+  std::map<std::pair<std::uint64_t, std::string>, const GridManifest::Cell*>
+      in_b;
+  for (const GridManifest::Cell& c : b.cells) {
+    in_b.emplace(std::make_pair(c.index, c.label), &c);
+  }
+
+  for (const GridManifest::Cell& ca : a.cells) {
+    const auto it = in_b.find({ca.index, ca.label});
+    const std::optional<CellRecord> ra = store_a.load(ca.key);
+    if (it == in_b.end()) {
+      if (ra.has_value()) ++report.only_a;
+      continue;
+    }
+    const std::optional<CellRecord> rb = store_b.load(it->second->key);
+    if (!ra.has_value() || !rb.has_value()) {
+      if (ra.has_value()) ++report.only_a;
+      if (rb.has_value()) ++report.only_b;
+      continue;
+    }
+    ++report.matched;
+
+    CellDiff d;
+    d.cell = ca.index;
+    d.label = ca.label;
+    std::map<std::string, const FlowRecord*> flows_b;
+    for (const FlowRecord& f : rb->flows) flows_b.emplace(f.name, &f);
+    for (const FlowRecord& fa : ra->flows) {
+      const auto fit = flows_b.find(fa.name);
+      if (fit == flows_b.end()) continue;
+      const FlowRecord& fb = *fit->second;
+      if (fa.traced && fb.traced && fa.trace_digest != fb.trace_digest) {
+        d.digest_changed = true;
+      }
+      if (fa.completed != fb.completed) d.completion_changed = true;
+      if (fa.throughput_Bps > 0) {
+        const double delta_pct =
+            (fb.throughput_Bps - fa.throughput_Bps) / fa.throughput_Bps *
+            100.0;
+        if (std::abs(delta_pct) > std::abs(d.max_throughput_delta_pct)) {
+          d.max_throughput_delta_pct = delta_pct;
+        }
+      }
+    }
+    if (d.digest_changed) ++report.digest_changes;
+    if (std::abs(d.max_throughput_delta_pct) > tolerance_pct) {
+      ++report.metric_changes;
+    }
+    if (d.digest_changed || d.completion_changed ||
+        std::abs(d.max_throughput_delta_pct) > tolerance_pct) {
+      report.changed.push_back(std::move(d));
+    }
+  }
+  // Cells in B with stored results that A's grid does not cover at all.
+  for (const GridManifest::Cell& cb : b.cells) {
+    bool covered = false;
+    for (const GridManifest::Cell& ca : a.cells) {
+      if (ca.index == cb.index && ca.label == cb.label) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered && store_b.has(cb.key)) ++report.only_b;
+  }
+  return report;
+}
+
+}  // namespace vegas::sweep

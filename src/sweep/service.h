@@ -1,0 +1,133 @@
+// Sweep service: resumable, cache-backed, multi-process grid execution
+// (docs/SWEEPS.md).
+//
+// run_sweep() drains one scenario grid against a ResultStore:
+//
+//   - every cell already in the store is a CACHE HIT and is never
+//     simulated again;
+//   - remaining cells are claimed through sweep/claim.h, so any number
+//     of cooperating processes (opts.workers forks, separate `vegas-sim
+//     sweep run` invocations, other hosts on a shared filesystem) drain
+//     one grid without duplicating work;
+//   - a claimed batch runs through exp::ParallelRunner for in-process
+//     thread fan-out on top of the cross-process fan-out;
+//   - progress is checkpointed by construction: the store IS the
+//     checkpoint.  A killed sweep leaves complete result objects plus
+//     at most a few stale claims; re-running reclaims the stale cells
+//     and recomputes only them.
+//
+// The returned records — and summary_json(), which the CLI prints — are
+// loaded back from the store in cell order, so the final output is a
+// pure function of (scenario, key context): bit-identical whether the
+// grid was computed fresh by one process, resumed after a kill, or
+// drained by eight workers (tests/sweep_service_test.cc and the CI
+// sweep-smoke job enforce this).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.h"
+#include "sweep/claim.h"
+#include "sweep/key.h"
+#include "sweep/store.h"
+
+namespace vegas::sweep {
+
+struct SweepOptions {
+  /// Worker threads for this process's claimed-cell batches
+  /// (0 = VEGAS_THREADS, then hardware).
+  int threads = 0;
+  /// Per-cell shard request; part of the cell key (sharding changes
+  /// digests).  0 = the scenario's [sharding] section governs.
+  int shards = 0;
+  /// Total cooperating processes: this one plus workers-1 forked
+  /// children, all draining the same grid through the claim protocol.
+  int workers = 1;
+  /// Stop THIS process after computing N cells (0 = no limit).  The
+  /// sweep is then resumable; tests use this to model interruption.
+  std::size_t max_cells = 0;
+  /// Break claims whose same-host owner pid is dead (see claim.h).
+  bool reclaim_stale = true;
+  /// Wait between polls for cells claimed by other live workers.
+  int poll_ms = 50;
+  /// Give up waiting on other workers after this many polls
+  /// (0 = wait forever).  The report is then marked incomplete.
+  std::size_t poll_limit = 0;
+};
+
+struct SweepReport {
+  std::string scenario;
+  std::string file;
+  std::string grid_key;
+  std::size_t cells = 0;
+  bool complete = false;  // every cell present in the store at the end
+
+  // Execution stats for THIS process — timing-dependent, deliberately
+  // kept out of summary_json().
+  std::size_t cache_hits = 0;  // cells already stored before we started
+  std::size_t computed = 0;    // cells this process simulated
+  std::size_t reclaimed = 0;   // stale claims this process broke
+  std::size_t computed_elsewhere = 0;  // cells other workers filled in
+
+  /// All records, loaded from the store in cell order; empty unless
+  /// complete.
+  std::vector<CellRecord> records;
+};
+
+/// Drains the grid (see file comment).  Throws std::runtime_error when
+/// the store is unusable; an interrupted/overlapped sweep is NOT an
+/// error — check report.complete.
+SweepReport run_sweep(const scenario::Scenario& sc, const std::string& path,
+                      const ResultStore& store, const SweepOptions& opts = {});
+
+/// The deterministic summary: scenario identity, grid key, and every
+/// cell record in cell order.  Bit-identical across runs, worker
+/// counts, and cache states for a fixed (scenario, key context).
+std::string summary_json(const SweepReport& report);
+
+// ----------------------------------------------------------- status
+
+struct GridStatus {
+  GridManifest manifest;
+  std::size_t done = 0;     // result objects present
+  std::size_t claimed = 0;  // live claims
+  std::size_t stale = 0;    // stale claims (same-host dead owners)
+};
+
+/// Progress of every grid manifest in the store.
+std::vector<GridStatus> grid_status(const ResultStore& store);
+
+// ------------------------------------------------------------- diff
+
+struct CellDiff {
+  std::uint64_t cell = 0;
+  std::string label;
+  bool digest_changed = false;      // any traced flow's digest differs
+  bool completion_changed = false;  // a flow flipped completed/incomplete
+  /// Largest relative throughput change across flows, percent
+  /// (positive = B faster than A).
+  double max_throughput_delta_pct = 0;
+};
+
+struct DiffReport {
+  std::string scenario;
+  std::string grid_a;
+  std::string grid_b;
+  std::size_t matched = 0;  // cells present in both stores
+  std::size_t only_a = 0;
+  std::size_t only_b = 0;
+  std::size_t digest_changes = 0;
+  std::size_t metric_changes = 0;  // |throughput delta| > tolerance
+  std::vector<CellDiff> changed;   // cells with any change, cell order
+};
+
+/// Compares two grids cell-by-cell (matched on index + label — content
+/// keys differ across binary versions by design).  `tolerance_pct`
+/// gates what counts as a metric regression.
+DiffReport diff_grids(const ResultStore& store_a, const GridManifest& a,
+                      const ResultStore& store_b, const GridManifest& b,
+                      double tolerance_pct = 0.5);
+
+}  // namespace vegas::sweep

@@ -1,0 +1,167 @@
+#include "sweep/store.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/fsio.h"
+#include "common/json.h"
+
+namespace vegas::sweep {
+
+std::string manifest_to_json(const GridManifest& m) {
+  json::Writer w;
+  w.begin_object();
+  w.field("format", static_cast<std::int64_t>(kRecordFormatVersion));
+  w.field("grid_key", m.grid_key);
+  w.field("scenario", m.scenario);
+  w.field("file", m.file);
+  w.field("binary_salt", m.binary_salt);
+  w.field("cc_fingerprint", m.cc_fingerprint);
+  w.field("shards", static_cast<std::int64_t>(m.shards));
+  w.key("cells");
+  w.begin_array();
+  for (const GridManifest::Cell& c : m.cells) {
+    w.begin_object();
+    w.field("cell", c.index);
+    w.field("label", c.label);
+    w.field("key", c.key);
+    w.field("seed", c.seed);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::optional<GridManifest> manifest_from_json(const std::string& text) {
+  const std::optional<json::Node> doc = json::parse(text);
+  if (!doc.has_value() || doc->kind != json::Node::Kind::kObject) {
+    return std::nullopt;
+  }
+  if (doc->get_i64("format") != kRecordFormatVersion) return std::nullopt;
+  GridManifest m;
+  m.grid_key = doc->get_string("grid_key");
+  m.scenario = doc->get_string("scenario");
+  m.file = doc->get_string("file");
+  m.binary_salt = doc->get_string("binary_salt");
+  m.cc_fingerprint = doc->get_string("cc_fingerprint");
+  m.shards = static_cast<int>(doc->get_i64("shards"));
+  if (const json::Node* cells = doc->find("cells")) {
+    for (const json::Node& c : cells->items) {
+      GridManifest::Cell cell;
+      cell.index = c.get_u64("cell");
+      cell.label = c.get_string("label");
+      cell.key = c.get_string("key");
+      cell.seed = c.get_u64("seed");
+      m.cells.push_back(std::move(cell));
+    }
+  }
+  return m;
+}
+
+std::string ResultStore::object_path(const std::string& key) const {
+  const std::string fan = key.size() >= 2 ? key.substr(0, 2) : "xx";
+  return dir_ + "/objects/" + fan + "/" + key + ".json";
+}
+
+std::string ResultStore::claim_path(const std::string& key) const {
+  return dir_ + "/claims/" + key + ".claim";
+}
+
+std::string ResultStore::manifest_path(const std::string& grid_key) const {
+  return dir_ + "/grids/" + grid_key + ".json";
+}
+
+bool ResultStore::has(const std::string& key) const {
+  return common::read_file(object_path(key)).has_value();
+}
+
+std::optional<CellRecord> ResultStore::load(const std::string& key) const {
+  const std::optional<std::string> text = common::read_file(object_path(key));
+  if (!text.has_value()) return std::nullopt;
+  return record_from_json(*text);
+}
+
+void ResultStore::put(const std::string& key, const CellRecord& rec,
+                      const std::string& grid_key) const {
+  common::write_file_atomic(object_path(key), record_to_json(rec));
+  json::Writer w;
+  w.begin_object();
+  w.field("key", key);
+  w.field("grid", grid_key);
+  w.field("cell", rec.cell);
+  w.field("label", rec.label);
+  w.end_object();
+  common::append_line(index_path(), w.str());
+}
+
+void ResultStore::put_manifest(const GridManifest& m) const {
+  common::write_file_atomic(manifest_path(m.grid_key), manifest_to_json(m));
+}
+
+std::optional<GridManifest> ResultStore::load_manifest(
+    const std::string& grid_key) const {
+  const std::optional<std::string> text =
+      common::read_file(manifest_path(grid_key));
+  if (!text.has_value()) return std::nullopt;
+  return manifest_from_json(*text);
+}
+
+std::vector<GridManifest> ResultStore::manifests() const {
+  std::vector<GridManifest> out;
+  for (const std::string& name : common::list_dir(dir_ + "/grids")) {
+    const std::optional<std::string> text =
+        common::read_file(dir_ + "/grids/" + name);
+    if (!text.has_value()) continue;
+    std::optional<GridManifest> m = manifest_from_json(*text);
+    if (m.has_value()) out.push_back(std::move(*m));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const GridManifest& a, const GridManifest& b) {
+              return a.grid_key < b.grid_key;
+            });
+  return out;
+}
+
+std::vector<GridManifest> ResultStore::manifests_for(
+    const std::string& scenario) const {
+  // History order comes from the advisory index: the line number of the
+  // first object stored under each grid.  Grids whose cells were never
+  // stored (or whose index lines were lost) sort after the rest, still
+  // deterministically, by grid key.
+  std::map<std::string, std::size_t> first_seen;
+  if (const std::optional<std::string> idx =
+          common::read_file(index_path())) {
+    std::istringstream in(*idx);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+      ++lineno;
+      const std::optional<json::Node> n = json::parse(line);
+      if (!n.has_value()) continue;
+      const std::string grid = n->get_string("grid");
+      if (!grid.empty()) first_seen.emplace(grid, lineno);
+    }
+  }
+  std::vector<GridManifest> all = manifests();
+  std::vector<GridManifest> out;
+  for (GridManifest& m : all) {
+    if (m.scenario == scenario) out.push_back(std::move(m));
+  }
+  constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+  std::stable_sort(out.begin(), out.end(),
+                   [&](const GridManifest& a, const GridManifest& b) {
+                     const auto ia = first_seen.count(a.grid_key) != 0
+                                         ? first_seen.at(a.grid_key)
+                                         : kNever;
+                     const auto ib = first_seen.count(b.grid_key) != 0
+                                         ? first_seen.at(b.grid_key)
+                                         : kNever;
+                     if (ia != ib) return ia < ib;
+                     return a.grid_key < b.grid_key;
+                   });
+  return out;
+}
+
+}  // namespace vegas::sweep

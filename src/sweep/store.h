@@ -1,0 +1,92 @@
+// Content-addressed on-disk result store (docs/SWEEPS.md §Store).
+//
+// Layout under the store root:
+//
+//   objects/<k[0..1]>/<key>.json   one CellRecord blob per content key,
+//                                  fanned out by the first two hex
+//                                  digits so a million-cell grid never
+//                                  puts a million entries in one
+//                                  directory; written atomically
+//                                  (temp + rename)
+//   grids/<grid-key>.json          grid manifest: scenario identity +
+//                                  the ordered cell-key list — the
+//                                  checkpoint a resumed sweep replays
+//   claims/<key>.claim             in-flight marker (sweep/claim.h)
+//   index.jsonl                    append-only log, one line per
+//                                  stored object; advisory (history
+//                                  order for humans and `sweep diff`),
+//                                  rebuildable from objects/
+//
+// Every mutation is a whole-file atomic write or an O_APPEND line, so
+// any number of processes — or hosts sharing a filesystem — can use one
+// store concurrently with no locking beyond the claim files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sweep/record.h"
+
+namespace vegas::sweep {
+
+/// One grid's identity and cell list; the unit `sweep status` and
+/// `sweep diff` reason about.
+struct GridManifest {
+  std::string grid_key;
+  std::string scenario;  // [scenario] name
+  std::string file;      // source .scn path, as given
+  std::string binary_salt;
+  std::string cc_fingerprint;
+  int shards = 0;
+  struct Cell {
+    std::uint64_t index = 0;
+    std::string label;
+    std::string key;
+    std::uint64_t seed = 0;
+  };
+  std::vector<Cell> cells;
+};
+
+std::string manifest_to_json(const GridManifest& m);
+std::optional<GridManifest> manifest_from_json(const std::string& text);
+
+class ResultStore {
+ public:
+  /// Opens (creating directories on first write) a store rooted at
+  /// `dir`.  Cheap: holds only the path.
+  explicit ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  // -- objects ------------------------------------------------------
+  bool has(const std::string& key) const;
+  std::optional<CellRecord> load(const std::string& key) const;
+  /// Atomic write + one index line.  Idempotent: re-storing the same
+  /// key just replaces the blob with identical bytes.  (const: the
+  /// object holds only the root path; mutation is on disk.)
+  void put(const std::string& key, const CellRecord& rec,
+           const std::string& grid_key) const;
+
+  // -- manifests ----------------------------------------------------
+  void put_manifest(const GridManifest& m) const;
+  std::optional<GridManifest> load_manifest(const std::string& grid_key) const;
+  /// Every manifest in the store, sorted by grid key.
+  std::vector<GridManifest> manifests() const;
+  /// Manifests for one scenario name, in index-history order (the
+  /// order their first cells were stored; manifests never indexed
+  /// sort last).  `sweep diff` uses this to find "the previous run".
+  std::vector<GridManifest> manifests_for(const std::string& scenario) const;
+
+  // -- paths (exposed for the claim protocol and tests) --------------
+  std::string object_path(const std::string& key) const;
+  std::string claim_path(const std::string& key) const;
+  std::string manifest_path(const std::string& grid_key) const;
+  std::string index_path() const { return dir_ + "/index.jsonl"; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace vegas::sweep

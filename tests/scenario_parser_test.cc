@@ -6,6 +6,7 @@
 #include <string>
 
 #include "scenario/parser.h"
+#include "scenario/spec.h"
 #include "scenario/sweep.h"
 
 namespace {
@@ -191,6 +192,70 @@ TEST(ScenarioParserTest, UnclosedSectionHeader) {
   EXPECT_EQ(d.line, 1);
   EXPECT_EQ(d.col, 3);
   EXPECT_NE(d.message.find("expected ']'"), std::string::npos);
+}
+
+// ----------------------------------------- compile-level diagnostics
+
+Diagnostic compile_diag_of(const std::string& text) {
+  try {
+    scenario::compile(scenario::parse(text, "test.scn"));
+  } catch (const ScenarioError& e) {
+    return e.diag();
+  }
+  ADD_FAILURE() << "expected ScenarioError for:\n" << text;
+  return Diagnostic{};
+}
+
+// A minimal scenario that compiles clean, with pinned line numbers so the
+// sharding/metrics conflict tests can append sections at known lines.
+const char kMinimalScn[] =
+    "[scenario]\n"          // 1
+    "name = \"diag\"\n"     // 2
+    "stop = \"timeout\"\n"  // 3
+    "timeout_s = 5\n"       // 4
+    "\n"                    // 5
+    "[topology]\n"          // 6
+    "kind = \"dumbbell\"\n"  // 7
+    "pairs = 1\n"           // 8
+    "\n"                    // 9
+    "[[flow]]\n"            // 10
+    "name = \"f\"\n"        // 11
+    "protocol = \"vegas\"\n"  // 12
+    "bytes = \"10KB\"\n"    // 13
+    "port = 5001\n";        // 14
+
+// [sharding] + [metrics] is a compile-time conflict, not a late engine
+// error: the diagnostic must anchor at whichever section appears later in
+// the file and name the line of the one it conflicts with.
+TEST(ScenarioParserTest, ShardingAfterMetricsPointsAtSharding) {
+  const Diagnostic d = compile_diag_of(
+      std::string(kMinimalScn) +
+      "\n[metrics]\nenabled = true\n\n[sharding]\nshards = 2\n");
+  EXPECT_EQ(d.file, "test.scn");
+  EXPECT_EQ(d.line, 19);  // the [sharding] header, added last
+  EXPECT_EQ(d.col, 1);
+  EXPECT_NE(d.message.find("mutually exclusive"), std::string::npos);
+  EXPECT_NE(d.message.find("[metrics] at line 16"), std::string::npos);
+}
+
+TEST(ScenarioParserTest, MetricsAfterShardingPointsAtMetrics) {
+  const Diagnostic d = compile_diag_of(
+      std::string(kMinimalScn) +
+      "\n[sharding]\nshards = 2\n\n[metrics]\nenabled = true\n");
+  EXPECT_EQ(d.line, 19);  // the [metrics] header, added last
+  EXPECT_EQ(d.col, 1);
+  EXPECT_NE(d.message.find("mutually exclusive"), std::string::npos);
+  EXPECT_NE(d.message.find("[sharding] at line 16"), std::string::npos);
+}
+
+// Sharding with sampling explicitly disabled is fine in either order.
+TEST(ScenarioParserTest, ShardingWithDisabledMetricsCompiles) {
+  const scenario::ScenarioSpec spec = scenario::compile(scenario::parse(
+      std::string(kMinimalScn) +
+          "\n[metrics]\nenabled = false\n\n[sharding]\nshards = 2\n",
+      "test.scn"));
+  EXPECT_EQ(spec.sharding.shards, 2);
+  EXPECT_FALSE(spec.metrics.enabled);
 }
 
 TEST(ScenarioParserTest, MissingFileFailsWithDiagnosticNotACrash) {

@@ -1,0 +1,231 @@
+// Cache-key derivation: the whole result store rests on "same key ⇒
+// same bits out", so these tests pin both directions — keys are STABLE
+// across loads and cosmetic edits, and every semantic input (spec
+// field, binary salt, CC fingerprint, shard request) MISSES the cache
+// when it changes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "scenario/engine.h"
+#include "sweep/key.h"
+
+namespace {
+
+using namespace vegas;
+
+constexpr const char kScn[] = R"([scenario]
+name = "keytest"
+stop = "timeout"
+timeout_s = 5
+seed = 3
+
+[topology]
+kind = "dumbbell"
+pairs = 1
+bottleneck_queue = 10
+
+[[flow]]
+name = "f"
+protocol = "vegas"
+bytes = "20KB"
+port = 5001
+start_s = 0.0
+trace = true
+
+[sweep]
+topology.bottleneck_queue = [6, 8]
+)";
+
+scenario::Scenario load(const std::string& text = kScn) {
+  return scenario::Scenario::from_text(text, "keytest.scn");
+}
+
+// A fully-pinned context so these tests do not depend on the build's
+// registry contents or the VEGAS_SWEEP_SALT environment.
+sweep::KeyContext fixed_ctx() {
+  sweep::KeyContext ctx;
+  ctx.binary_salt = "test-salt-v1";
+  ctx.cc_fingerprint = "0123456789abcdef0123456789abcdef";
+  ctx.shards = 0;
+  return ctx;
+}
+
+// --------------------------------------------------------- Hash128
+
+TEST(Hash128Test, HexIs32LowercaseHexChars) {
+  common::Hash128 h;
+  h.mix("hello");
+  const std::string hex = h.hex();
+  ASSERT_EQ(hex.size(), 32u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << hex;
+  }
+}
+
+TEST(Hash128Test, DeterministicAcrossInstances) {
+  common::Hash128 a;
+  common::Hash128 b;
+  a.mix("x");
+  a.mix_u64(42);
+  b.mix("x");
+  b.mix_u64(42);
+  EXPECT_EQ(a.hex(), b.hex());
+}
+
+// Length-prefixing means ("ab","c") and ("a","bc") must not collide —
+// the classic concatenation ambiguity.
+TEST(Hash128Test, MixIsLengthPrefixedNotConcatenated) {
+  common::Hash128 a;
+  common::Hash128 b;
+  a.mix("ab");
+  a.mix("c");
+  b.mix("a");
+  b.mix("bc");
+  EXPECT_NE(a.hex(), b.hex());
+}
+
+// ------------------------------------------------------- stability
+
+TEST(SweepKeyTest, SameSpecSameKeyAcrossLoads) {
+  const scenario::Scenario a = load();
+  const scenario::Scenario b = load();
+  const sweep::KeyContext ctx = fixed_ctx();
+  ASSERT_EQ(a.cells(), b.cells());
+  for (std::size_t i = 0; i < a.cells(); ++i) {
+    EXPECT_EQ(sweep::cell_key(a, i, ctx), sweep::cell_key(b, i, ctx));
+  }
+}
+
+// Keys hash the canonical to_text form, so comments and whitespace —
+// anything the parser normalizes away — cannot invalidate the cache.
+TEST(SweepKeyTest, CosmeticEditsDoNotChangeTheKey) {
+  std::string cosmetic = kScn;
+  cosmetic.insert(0, "# a comment the canonical form drops\n\n");
+  cosmetic += "\n# trailing commentary\n";
+  const scenario::Scenario a = load();
+  const scenario::Scenario b = load(cosmetic);
+  const sweep::KeyContext ctx = fixed_ctx();
+  ASSERT_EQ(a.cells(), b.cells());
+  for (std::size_t i = 0; i < a.cells(); ++i) {
+    EXPECT_EQ(sweep::cell_key(a, i, ctx), sweep::cell_key(b, i, ctx));
+  }
+}
+
+// ----------------------------------------------------- invalidation
+
+TEST(SweepKeyTest, AnySemanticFieldChangeMissesTheCache) {
+  const scenario::Scenario base = load();
+  const sweep::KeyContext ctx = fixed_ctx();
+  const std::string k0 = sweep::cell_key(base, 0, ctx);
+
+  const char* edits[][2] = {
+      {"bytes = \"20KB\"", "bytes = \"30KB\""},
+      {"seed = 3", "seed = 4"},
+      {"protocol = \"vegas\"", "protocol = \"reno\""},
+      {"timeout_s = 5", "timeout_s = 6"},
+      {"start_s = 0.0", "start_s = 0.25"},
+  };
+  for (const auto& edit : edits) {
+    std::string text = kScn;
+    const std::size_t at = text.find(edit[0]);
+    ASSERT_NE(at, std::string::npos) << edit[0];
+    text.replace(at, std::string(edit[0]).size(), edit[1]);
+    const scenario::Scenario changed = load(text);
+    EXPECT_NE(sweep::cell_key(changed, 0, ctx), k0)
+        << "edit did not change the key: " << edit[1];
+  }
+}
+
+TEST(SweepKeyTest, BinarySaltChangeMissesTheCache) {
+  const scenario::Scenario sc = load();
+  sweep::KeyContext a = fixed_ctx();
+  sweep::KeyContext b = fixed_ctx();
+  b.binary_salt = "test-salt-v2";
+  EXPECT_NE(sweep::cell_key(sc, 0, a), sweep::cell_key(sc, 0, b));
+}
+
+TEST(SweepKeyTest, CcFingerprintChangeMissesTheCache) {
+  const scenario::Scenario sc = load();
+  sweep::KeyContext a = fixed_ctx();
+  sweep::KeyContext b = fixed_ctx();
+  b.cc_fingerprint = "ffffffffffffffffffffffffffffffff";
+  EXPECT_NE(sweep::cell_key(sc, 0, a), sweep::cell_key(sc, 0, b));
+}
+
+// Sharding changes boundary tie-break order, so a sharded run must be a
+// distinct cache entry even for the same spec.
+TEST(SweepKeyTest, ShardRequestChangeMissesTheCache) {
+  const scenario::Scenario sc = load();
+  sweep::KeyContext a = fixed_ctx();
+  sweep::KeyContext b = fixed_ctx();
+  b.shards = 2;
+  EXPECT_NE(sweep::cell_key(sc, 0, a), sweep::cell_key(sc, 0, b));
+}
+
+TEST(SweepKeyTest, CellsWithinAGridGetDistinctKeys) {
+  const scenario::Scenario sc = load();
+  const sweep::KeyContext ctx = fixed_ctx();
+  ASSERT_EQ(sc.cells(), 2u);
+  EXPECT_NE(sweep::cell_key(sc, 0, ctx), sweep::cell_key(sc, 1, ctx));
+}
+
+// ------------------------------------------------- canonical text
+
+TEST(SweepKeyTest, CanonicalTextResolvesSweepValuesPerCell) {
+  const scenario::Scenario sc = load();
+  const std::string t0 = sweep::canonical_cell_text(sc, 0);
+  const std::string t1 = sweep::canonical_cell_text(sc, 1);
+  EXPECT_NE(t0, t1);
+  EXPECT_NE(t0.find("bottleneck_queue = 6"), std::string::npos) << t0;
+  EXPECT_NE(t1.find("bottleneck_queue = 8"), std::string::npos) << t1;
+}
+
+// ---------------------------------------------------------- grid key
+
+TEST(SweepKeyTest, GridKeyDependsOnCellsAndOrder) {
+  const sweep::KeyContext ctx = fixed_ctx();
+  const std::vector<std::string> ab = {"aaaa", "bbbb"};
+  const std::vector<std::string> ba = {"bbbb", "aaaa"};
+  const std::vector<std::string> abc = {"aaaa", "bbbb", "cccc"};
+  EXPECT_EQ(sweep::grid_key(ab, ctx), sweep::grid_key(ab, ctx));
+  EXPECT_NE(sweep::grid_key(ab, ctx), sweep::grid_key(ba, ctx));
+  EXPECT_NE(sweep::grid_key(ab, ctx), sweep::grid_key(abc, ctx));
+  sweep::KeyContext salted = ctx;
+  salted.binary_salt = "other";
+  EXPECT_NE(sweep::grid_key(ab, ctx), sweep::grid_key(ab, salted));
+}
+
+// ----------------------------------------------------- default ctx
+
+TEST(SweepKeyTest, DefaultContextAppendsEnvSalt) {
+  const char* old = std::getenv("VEGAS_SWEEP_SALT");
+  const std::string saved = old != nullptr ? old : "";
+
+  ::unsetenv("VEGAS_SWEEP_SALT");
+  const sweep::KeyContext plain = sweep::default_key_context(0);
+  EXPECT_EQ(plain.binary_salt, sweep::kKeyFormatVersion);
+
+  ::setenv("VEGAS_SWEEP_SALT", "exp42", 1);
+  const sweep::KeyContext salted = sweep::default_key_context(3);
+  EXPECT_EQ(salted.binary_salt,
+            std::string(sweep::kKeyFormatVersion) + ":exp42");
+  EXPECT_EQ(salted.shards, 3);
+  EXPECT_EQ(salted.cc_fingerprint, plain.cc_fingerprint);
+  ASSERT_EQ(salted.cc_fingerprint.size(), 32u);
+
+  if (old != nullptr) {
+    ::setenv("VEGAS_SWEEP_SALT", saved.c_str(), 1);
+  } else {
+    ::unsetenv("VEGAS_SWEEP_SALT");
+  }
+}
+
+TEST(SweepKeyTest, CcFingerprintIsStableWithinAProcess) {
+  EXPECT_EQ(sweep::cc_fingerprint(), sweep::cc_fingerprint());
+}
+
+}  // namespace

@@ -1,0 +1,321 @@
+// The sweep service's headline guarantees, ctest-enforced per the PR's
+// acceptance criteria:
+//
+//   - re-running an unchanged grid performs ZERO cell simulations
+//     (every cell is a cache hit);
+//   - an interrupted sweep — and a killed-then-resumed 2-worker sweep —
+//     produces a summary bit-identical to a fresh single-process run;
+//   - stale claims from dead workers are reclaimed, live foreign claims
+//     are honored;
+//   - `sweep status` and `sweep diff` read truthful history out of the
+//     store.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/fsio.h"
+#include "scenario/engine.h"
+#include "sweep/claim.h"
+#include "sweep/key.h"
+#include "sweep/service.h"
+#include "sweep/store.h"
+
+namespace {
+
+using namespace vegas;
+
+// A 4-cell grid (2 queue depths x 2 start offsets) of sub-second cells.
+constexpr const char kScn[] = R"([scenario]
+name = "service-test"
+stop = "timeout"
+timeout_s = 5
+seed = 11
+
+[topology]
+kind = "dumbbell"
+pairs = 1
+bottleneck_queue = 10
+
+[[flow]]
+name = "f"
+protocol = "vegas"
+bytes = "30KB"
+port = 5001
+start_s = 0.0
+trace = true
+
+[sweep]
+topology.bottleneck_queue = [6, 10]
+flow.f.start_s = [0.0, 0.2]
+)";
+
+constexpr const char kPath[] = "service-test.scn";
+
+scenario::Scenario sc() { return scenario::Scenario::from_text(kScn, kPath); }
+
+std::string fresh_dir(const std::string& name) {
+  const std::string d = ::testing::TempDir() + "vegas_sweep_service_" + name +
+                        "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(d);
+  return d;
+}
+
+// ------------------------------------------------------ fresh + rerun
+
+TEST(SweepServiceTest, FreshRunComputesEveryCellInOrder) {
+  const sweep::ResultStore store(fresh_dir("fresh"));
+  const scenario::Scenario s = sc();
+  const sweep::SweepReport r = sweep::run_sweep(s, kPath, store);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.cells, 4u);
+  EXPECT_EQ(r.cache_hits, 0u);
+  EXPECT_EQ(r.computed, 4u);
+  EXPECT_EQ(r.computed_elsewhere, 0u);
+  ASSERT_EQ(r.records.size(), 4u);
+  for (std::size_t i = 0; i < r.records.size(); ++i) {
+    EXPECT_EQ(r.records[i].cell, i);
+    EXPECT_EQ(r.records[i].label, s.label(i));
+  }
+  // Every cell actually ran: events were executed and the traced flow
+  // produced a digest.
+  for (const sweep::CellRecord& rec : r.records) {
+    EXPECT_GT(rec.events_executed, 0u);
+    ASSERT_FALSE(rec.flows.empty());
+    EXPECT_TRUE(rec.flows[0].traced);
+    EXPECT_NE(rec.flows[0].trace_digest, 0u);
+  }
+}
+
+// THE cache guarantee: an unchanged grid re-runs with zero simulations.
+TEST(SweepServiceTest, RerunOfUnchangedGridSimulatesNothing) {
+  const sweep::ResultStore store(fresh_dir("rerun"));
+  const sweep::SweepReport first = sweep::run_sweep(sc(), kPath, store);
+  ASSERT_TRUE(first.complete);
+
+  const sweep::SweepReport second = sweep::run_sweep(sc(), kPath, store);
+  EXPECT_TRUE(second.complete);
+  EXPECT_EQ(second.cache_hits, 4u);
+  EXPECT_EQ(second.computed, 0u);  // zero cell simulations
+  EXPECT_EQ(sweep::summary_json(first), sweep::summary_json(second));
+}
+
+// ------------------------------------------------- interrupt + resume
+
+TEST(SweepServiceTest, InterruptedSweepResumesBitIdentical) {
+  const sweep::ResultStore fresh(fresh_dir("uncached"));
+  const std::string fresh_summary =
+      sweep::summary_json(sweep::run_sweep(sc(), kPath, fresh));
+
+  const sweep::ResultStore store(fresh_dir("resumed"));
+  sweep::SweepOptions interrupted;
+  interrupted.max_cells = 2;  // die after two cells
+  const sweep::SweepReport partial =
+      sweep::run_sweep(sc(), kPath, store, interrupted);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.computed, 2u);
+  EXPECT_TRUE(partial.records.empty());
+
+  const sweep::SweepReport resumed = sweep::run_sweep(sc(), kPath, store);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(resumed.cache_hits, 2u);
+  EXPECT_EQ(resumed.computed, 2u);
+  EXPECT_EQ(sweep::summary_json(resumed), fresh_summary);
+}
+
+// THE fan-out guarantee: two cooperating worker processes, killed
+// mid-grid and resumed, land on the same bytes as one uncached process.
+TEST(SweepServiceTest, KilledTwoWorkerSweepResumesIdenticalToSingleRun) {
+  const sweep::ResultStore single(fresh_dir("single"));
+  const std::string single_summary =
+      sweep::summary_json(sweep::run_sweep(sc(), kPath, single));
+
+  const sweep::ResultStore store(fresh_dir("workers"));
+  sweep::SweepOptions killed;
+  killed.workers = 2;
+  killed.max_cells = 1;  // each process stops after one cell
+  const sweep::SweepReport partial =
+      sweep::run_sweep(sc(), kPath, store, killed);
+  EXPECT_FALSE(partial.complete);
+
+  sweep::SweepOptions resume;
+  resume.workers = 2;
+  const sweep::SweepReport resumed =
+      sweep::run_sweep(sc(), kPath, store, resume);
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_EQ(sweep::summary_json(resumed), single_summary);
+}
+
+// --------------------------------------------------------- claims
+
+TEST(SweepServiceTest, StaleClaimFromDeadWorkerIsReclaimed) {
+  const sweep::ResultStore store(fresh_dir("stale"));
+  const scenario::Scenario s = sc();
+  const sweep::KeyContext ctx = sweep::default_key_context(0);
+
+  // A worker "died" holding cell 0: plant its claim with a dead pid.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  const std::string key0 = sweep::cell_key(s, 0, ctx);
+  const std::string claim = "{\"pid\":" + std::to_string(child) +
+                            ",\"host\":\"" +
+                            sweep::self_claim_identity().host + "\"}\n";
+  ASSERT_TRUE(common::create_file_exclusive(store.claim_path(key0), claim));
+
+  const sweep::SweepReport r = sweep::run_sweep(s, kPath, store);
+  EXPECT_TRUE(r.complete);
+  EXPECT_EQ(r.reclaimed, 1u);
+  EXPECT_EQ(r.computed, 4u);
+  // The reclaimed cell's claim is gone once its result is stored.
+  EXPECT_FALSE(sweep::read_claim(store, key0).has_value());
+}
+
+TEST(SweepServiceTest, LiveForeignClaimIsHonoredUntilReleased) {
+  const sweep::ResultStore store(fresh_dir("live_claim"));
+  const scenario::Scenario s = sc();
+  const std::string key0 =
+      sweep::cell_key(s, 0, sweep::default_key_context(0));
+
+  // "Another live worker" — our own pid — holds cell 0.
+  ASSERT_TRUE(sweep::try_claim(store, key0));
+
+  sweep::SweepOptions opts;
+  opts.poll_ms = 1;
+  opts.poll_limit = 3;  // give up quickly instead of waiting forever
+  const sweep::SweepReport blocked = sweep::run_sweep(s, kPath, store, opts);
+  EXPECT_FALSE(blocked.complete);
+  EXPECT_EQ(blocked.computed, 3u);  // everything except the held cell
+
+  sweep::release_claim(store, key0);
+  const sweep::SweepReport done = sweep::run_sweep(s, kPath, store);
+  EXPECT_TRUE(done.complete);
+  EXPECT_EQ(done.cache_hits, 3u);
+  EXPECT_EQ(done.computed, 1u);
+}
+
+// ---------------------------------------------------------- status
+
+TEST(SweepServiceTest, GridStatusReportsDoneClaimedAndStale) {
+  const sweep::ResultStore store(fresh_dir("status"));
+  const scenario::Scenario s = sc();
+  sweep::SweepOptions opts;
+  opts.max_cells = 2;
+  sweep::run_sweep(s, kPath, store, opts);
+
+  const sweep::KeyContext ctx = sweep::default_key_context(0);
+  const std::string key2 = sweep::cell_key(s, 2, ctx);
+  const std::string key3 = sweep::cell_key(s, 3, ctx);
+  // key2: live claim (our pid).  key3: stale claim (dead pid).
+  if (!store.has(key2)) {
+    ASSERT_TRUE(sweep::try_claim(store, key2));
+  }
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  if (!store.has(key3)) {
+    const std::string claim = "{\"pid\":" + std::to_string(child) +
+                              ",\"host\":\"" +
+                              sweep::self_claim_identity().host + "\"}\n";
+    ASSERT_TRUE(
+        common::create_file_exclusive(store.claim_path(key3), claim));
+  }
+
+  const std::vector<sweep::GridStatus> grids = sweep::grid_status(store);
+  ASSERT_EQ(grids.size(), 1u);
+  EXPECT_EQ(grids[0].manifest.scenario, "service-test");
+  EXPECT_EQ(grids[0].manifest.cells.size(), 4u);
+  EXPECT_EQ(grids[0].done, 2u);
+  EXPECT_EQ(grids[0].claimed, 1u);
+  EXPECT_EQ(grids[0].stale, 1u);
+}
+
+// ------------------------------------------------------------- diff
+
+// Two salted runs of the same scenario give two grids in one store;
+// diff must match every cell and flag nothing.
+TEST(SweepServiceTest, DiffOfIdenticalResultsIsClean) {
+  const char* old = std::getenv("VEGAS_SWEEP_SALT");
+  const std::string saved = old != nullptr ? old : "";
+  const sweep::ResultStore store(fresh_dir("diff_clean"));
+
+  ::setenv("VEGAS_SWEEP_SALT", "diff-a", 1);
+  const sweep::SweepReport ra = sweep::run_sweep(sc(), kPath, store);
+  ::setenv("VEGAS_SWEEP_SALT", "diff-b", 1);
+  const sweep::SweepReport rb = sweep::run_sweep(sc(), kPath, store);
+  if (old != nullptr) {
+    ::setenv("VEGAS_SWEEP_SALT", saved.c_str(), 1);
+  } else {
+    ::unsetenv("VEGAS_SWEEP_SALT");
+  }
+  ASSERT_TRUE(ra.complete);
+  ASSERT_TRUE(rb.complete);
+  ASSERT_NE(ra.grid_key, rb.grid_key);  // salt separates the grids
+
+  const std::vector<sweep::GridManifest> hist =
+      store.manifests_for("service-test");
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].grid_key, ra.grid_key);  // history order
+  EXPECT_EQ(hist[1].grid_key, rb.grid_key);
+
+  const sweep::DiffReport d =
+      sweep::diff_grids(store, hist[0], store, hist[1]);
+  EXPECT_EQ(d.matched, 4u);
+  EXPECT_EQ(d.only_a, 0u);
+  EXPECT_EQ(d.only_b, 0u);
+  EXPECT_EQ(d.digest_changes, 0u);
+  EXPECT_EQ(d.metric_changes, 0u);
+  EXPECT_TRUE(d.changed.empty());
+}
+
+TEST(SweepServiceTest, DiffFlagsDigestAndMetricRegressions) {
+  const char* old = std::getenv("VEGAS_SWEEP_SALT");
+  const std::string saved = old != nullptr ? old : "";
+  const sweep::ResultStore store(fresh_dir("diff_dirty"));
+
+  ::setenv("VEGAS_SWEEP_SALT", "dirty-a", 1);
+  const sweep::SweepReport ra = sweep::run_sweep(sc(), kPath, store);
+  ::setenv("VEGAS_SWEEP_SALT", "dirty-b", 1);
+  const sweep::SweepReport rb = sweep::run_sweep(sc(), kPath, store);
+  if (old != nullptr) {
+    ::setenv("VEGAS_SWEEP_SALT", saved.c_str(), 1);
+  } else {
+    ::unsetenv("VEGAS_SWEEP_SALT");
+  }
+  ASSERT_TRUE(ra.complete && rb.complete);
+
+  const std::vector<sweep::GridManifest> hist =
+      store.manifests_for("service-test");
+  ASSERT_EQ(hist.size(), 2u);
+
+  // Simulate a behaviour regression in "B": cell 0's traced flow gets a
+  // different digest and a 10% slower throughput.
+  const std::string bkey0 = hist[1].cells[0].key;
+  std::optional<sweep::CellRecord> rec = store.load(bkey0);
+  ASSERT_TRUE(rec.has_value());
+  ASSERT_FALSE(rec->flows.empty());
+  rec->flows[0].trace_digest ^= 0x1;
+  rec->flows[0].throughput_Bps *= 0.9;
+  store.put(bkey0, *rec, hist[1].grid_key);
+
+  const sweep::DiffReport d =
+      sweep::diff_grids(store, hist[0], store, hist[1], 0.5);
+  EXPECT_EQ(d.matched, 4u);
+  EXPECT_EQ(d.digest_changes, 1u);
+  EXPECT_EQ(d.metric_changes, 1u);
+  ASSERT_EQ(d.changed.size(), 1u);
+  EXPECT_EQ(d.changed[0].cell, 0u);
+  EXPECT_TRUE(d.changed[0].digest_changed);
+  EXPECT_NEAR(d.changed[0].max_throughput_delta_pct, -10.0, 0.01);
+}
+
+}  // namespace

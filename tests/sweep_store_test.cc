@@ -1,0 +1,301 @@
+// Result-store mechanics: exact record round-trips (a cached record
+// must be indistinguishable from a fresh one), version-gated reads,
+// object fan-out, manifest history order, and the claim protocol's
+// exactly-once / staleness semantics.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#include "common/fsio.h"
+#include "sweep/claim.h"
+#include "sweep/record.h"
+#include "sweep/store.h"
+
+namespace {
+
+using namespace vegas;
+
+std::string fresh_dir(const std::string& name) {
+  const std::string d = ::testing::TempDir() + "vegas_sweep_store_" + name +
+                        "_" + std::to_string(::getpid());
+  std::filesystem::remove_all(d);
+  return d;
+}
+
+sweep::CellRecord sample_record(const std::string& key) {
+  sweep::CellRecord rec;
+  rec.key = key;
+  rec.cell = 7;
+  rec.label = "bottleneck_queue=15 start_s=0.5";
+  rec.seed = 1151;
+  rec.sim_time_s = 0.1 + 0.2;  // classic non-representable double
+  rec.events_executed = (1ull << 63) + 12345;  // exceeds double precision
+  rec.fairness_jain = 0.94329572242497761;
+  rec.background_goodput_Bps = 1.5e-300;
+
+  sweep::ShardRecord shard;
+  shard.shards = 4;
+  shard.lookahead_s = 0.0001;
+  shard.windows = 321;
+  shard.cross_posts = 17;
+  shard.lane_events = {10, 20, 30, 40};
+  rec.shard = shard;
+
+  sweep::FlowRecord f;
+  f.name = "large";
+  f.algorithm = "vegas";
+  f.completed = true;
+  f.bytes = 1000000;
+  f.bytes_delivered = 1000000;
+  f.duration_s = 7.3436452;
+  f.throughput_Bps = 143337.25;
+  f.bytes_retransmitted = 1448;
+  f.coarse_timeouts = 1;
+  f.fast_retransmits = 2;
+  f.fine_retransmits = 3;
+  f.sack_retransmits = 4;
+  f.traced = true;
+  f.trace_digest = 0xdeadbeefcafef00dull;
+  f.trace_events = 9876;
+  rec.flows.push_back(f);
+
+  sweep::TrafficRecord t;
+  t.name = "bg";
+  t.started = 11;
+  t.completed = 10;
+  t.failed = 1;
+  t.bytes_scripted = 123456789;
+  rec.traffic.push_back(t);
+  return rec;
+}
+
+void expect_records_equal(const sweep::CellRecord& a,
+                          const sweep::CellRecord& b) {
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_EQ(a.cell, b.cell);
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.sim_time_s, b.sim_time_s);  // exact: %.17g round-trips
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.fairness_jain, b.fairness_jain);
+  EXPECT_EQ(a.background_goodput_Bps, b.background_goodput_Bps);
+  ASSERT_EQ(a.shard.has_value(), b.shard.has_value());
+  if (a.shard.has_value()) {
+    EXPECT_EQ(a.shard->shards, b.shard->shards);
+    EXPECT_EQ(a.shard->lookahead_s, b.shard->lookahead_s);
+    EXPECT_EQ(a.shard->windows, b.shard->windows);
+    EXPECT_EQ(a.shard->cross_posts, b.shard->cross_posts);
+    EXPECT_EQ(a.shard->lane_events, b.shard->lane_events);
+  }
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    const sweep::FlowRecord& fa = a.flows[i];
+    const sweep::FlowRecord& fb = b.flows[i];
+    EXPECT_EQ(fa.name, fb.name);
+    EXPECT_EQ(fa.algorithm, fb.algorithm);
+    EXPECT_EQ(fa.completed, fb.completed);
+    EXPECT_EQ(fa.bytes, fb.bytes);
+    EXPECT_EQ(fa.bytes_delivered, fb.bytes_delivered);
+    EXPECT_EQ(fa.duration_s, fb.duration_s);
+    EXPECT_EQ(fa.throughput_Bps, fb.throughput_Bps);
+    EXPECT_EQ(fa.bytes_retransmitted, fb.bytes_retransmitted);
+    EXPECT_EQ(fa.coarse_timeouts, fb.coarse_timeouts);
+    EXPECT_EQ(fa.fast_retransmits, fb.fast_retransmits);
+    EXPECT_EQ(fa.fine_retransmits, fb.fine_retransmits);
+    EXPECT_EQ(fa.sack_retransmits, fb.sack_retransmits);
+    EXPECT_EQ(fa.traced, fb.traced);
+    EXPECT_EQ(fa.trace_digest, fb.trace_digest);
+    EXPECT_EQ(fa.trace_events, fb.trace_events);
+  }
+  ASSERT_EQ(a.traffic.size(), b.traffic.size());
+  for (std::size_t i = 0; i < a.traffic.size(); ++i) {
+    EXPECT_EQ(a.traffic[i].name, b.traffic[i].name);
+    EXPECT_EQ(a.traffic[i].started, b.traffic[i].started);
+    EXPECT_EQ(a.traffic[i].completed, b.traffic[i].completed);
+    EXPECT_EQ(a.traffic[i].failed, b.traffic[i].failed);
+    EXPECT_EQ(a.traffic[i].bytes_scripted, b.traffic[i].bytes_scripted);
+  }
+}
+
+// ----------------------------------------------------------- records
+
+TEST(SweepRecordTest, JsonRoundTripIsExact) {
+  const sweep::CellRecord rec = sample_record("00ff");
+  const std::string blob = sweep::record_to_json(rec);
+  ASSERT_FALSE(blob.empty());
+  EXPECT_EQ(blob.back(), '\n');
+  // Single line: exactly the one trailing newline.
+  EXPECT_EQ(blob.find('\n'), blob.size() - 1);
+  const std::optional<sweep::CellRecord> back = sweep::record_from_json(blob);
+  ASSERT_TRUE(back.has_value());
+  expect_records_equal(rec, *back);
+
+  // Serializing the parsed record reproduces the exact bytes.
+  EXPECT_EQ(sweep::record_to_json(*back), blob);
+}
+
+TEST(SweepRecordTest, MalformedBlobIsACacheMissNotAnError) {
+  EXPECT_FALSE(sweep::record_from_json("").has_value());
+  EXPECT_FALSE(sweep::record_from_json("{").has_value());
+  EXPECT_FALSE(sweep::record_from_json("[1,2]").has_value());
+  EXPECT_FALSE(sweep::record_from_json("not json at all").has_value());
+}
+
+TEST(SweepRecordTest, WrongFormatVersionIsACacheMiss) {
+  std::string blob = sweep::record_to_json(sample_record("00ff"));
+  const std::string tag = "\"format\":1";
+  const std::size_t at = blob.find(tag);
+  ASSERT_NE(at, std::string::npos) << blob;
+  blob.replace(at, tag.size(), "\"format\":999");
+  EXPECT_FALSE(sweep::record_from_json(blob).has_value());
+}
+
+// ------------------------------------------------------------- store
+
+TEST(SweepStoreTest, PutHasLoadRoundTrip) {
+  const sweep::ResultStore store(fresh_dir("roundtrip"));
+  const std::string key = "ab3f00000000000000000000000000cd";
+  EXPECT_FALSE(store.has(key));
+  EXPECT_FALSE(store.load(key).has_value());
+
+  const sweep::CellRecord rec = sample_record(key);
+  store.put(key, rec, "gridkey");
+  EXPECT_TRUE(store.has(key));
+  const std::optional<sweep::CellRecord> back = store.load(key);
+  ASSERT_TRUE(back.has_value());
+  expect_records_equal(rec, *back);
+
+  // Re-putting the same key is idempotent, not an error.
+  store.put(key, rec, "gridkey");
+  EXPECT_TRUE(store.has(key));
+}
+
+TEST(SweepStoreTest, ObjectsFanOutByKeyPrefix) {
+  const sweep::ResultStore store(fresh_dir("fanout"));
+  const std::string key = "ab3f00000000000000000000000000cd";
+  EXPECT_NE(store.object_path(key).find("/objects/ab/"), std::string::npos);
+  store.put(key, sample_record(key), "g");
+  EXPECT_TRUE(std::filesystem::exists(store.object_path(key)));
+}
+
+TEST(SweepStoreTest, ManifestRoundTripAndHistoryOrder) {
+  const sweep::ResultStore store(fresh_dir("manifests"));
+
+  sweep::GridManifest m1;
+  m1.grid_key = "bbbb";  // key order is the REVERSE of history order
+  m1.scenario = "scn";
+  m1.file = "scn.scn";
+  m1.binary_salt = "salt-1";
+  m1.cc_fingerprint = "fp";
+  m1.shards = 0;
+  m1.cells.push_back({0, "cell0", "k1aaaa", 42});
+
+  sweep::GridManifest m2 = m1;
+  m2.grid_key = "aaaa";
+  m2.binary_salt = "salt-2";
+  m2.cells[0].key = "k2aaaa";
+
+  store.put_manifest(m1);
+  store.put(m1.cells[0].key, sample_record(m1.cells[0].key), m1.grid_key);
+  store.put_manifest(m2);
+  store.put(m2.cells[0].key, sample_record(m2.cells[0].key), m2.grid_key);
+
+  const std::optional<sweep::GridManifest> back =
+      store.load_manifest("bbbb");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->scenario, "scn");
+  EXPECT_EQ(back->binary_salt, "salt-1");
+  ASSERT_EQ(back->cells.size(), 1u);
+  EXPECT_EQ(back->cells[0].label, "cell0");
+  EXPECT_EQ(back->cells[0].seed, 42u);
+
+  // manifests() sorts by grid key; manifests_for() returns index-history
+  // order — m1 stored its first object before m2 did.
+  const std::vector<sweep::GridManifest> all = store.manifests();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].grid_key, "aaaa");
+  const std::vector<sweep::GridManifest> hist = store.manifests_for("scn");
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0].grid_key, "bbbb");
+  EXPECT_EQ(hist[1].grid_key, "aaaa");
+  EXPECT_TRUE(store.manifests_for("other-scenario").empty());
+}
+
+// ------------------------------------------------------------- claims
+
+TEST(SweepClaimTest, ClaimWinsExactlyOnceUntilReleased) {
+  const sweep::ResultStore store(fresh_dir("claim_once"));
+  const std::string key = "cc00000000000000000000000000cc00";
+  EXPECT_TRUE(sweep::try_claim(store, key));
+  EXPECT_FALSE(sweep::try_claim(store, key));  // second taker loses
+  const std::optional<sweep::ClaimInfo> info = sweep::read_claim(store, key);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->pid, static_cast<long long>(::getpid()));
+  EXPECT_EQ(info->host, sweep::self_claim_identity().host);
+
+  sweep::release_claim(store, key);
+  EXPECT_FALSE(sweep::read_claim(store, key).has_value());
+  EXPECT_TRUE(sweep::try_claim(store, key));  // claimable again
+}
+
+TEST(SweepClaimTest, LiveClaimIsNotStale) {
+  const sweep::ResultStore store(fresh_dir("claim_live"));
+  const std::string key = "cc00000000000000000000000000cc01";
+  ASSERT_TRUE(sweep::try_claim(store, key));  // our own live pid
+  EXPECT_FALSE(sweep::claim_is_stale(store, key));
+  EXPECT_FALSE(sweep::reclaim_stale(store, key));
+}
+
+TEST(SweepClaimTest, DeadSameHostClaimIsStaleAndReclaimable) {
+  const sweep::ResultStore store(fresh_dir("claim_dead"));
+  const std::string key = "cc00000000000000000000000000cc02";
+
+  // A real, definitely-dead pid: fork a child that exits immediately.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+
+  const std::string claim = "{\"pid\":" + std::to_string(child) +
+                            ",\"host\":\"" +
+                            sweep::self_claim_identity().host + "\"}\n";
+  ASSERT_TRUE(common::create_file_exclusive(store.claim_path(key), claim));
+
+  EXPECT_TRUE(sweep::claim_is_stale(store, key));
+  EXPECT_TRUE(sweep::reclaim_stale(store, key));
+  // We hold it now, under our own identity.
+  const std::optional<sweep::ClaimInfo> info = sweep::read_claim(store, key);
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->pid, static_cast<long long>(::getpid()));
+}
+
+// There is no portable cross-host liveness probe, so another host's
+// claim must never be auto-broken — even with an absurd pid.
+TEST(SweepClaimTest, OtherHostClaimIsNeverStale) {
+  const sweep::ResultStore store(fresh_dir("claim_foreign"));
+  const std::string key = "cc00000000000000000000000000cc03";
+  const std::string claim =
+      "{\"pid\":999999999,\"host\":\"some-other-host.example\"}\n";
+  ASSERT_TRUE(common::create_file_exclusive(store.claim_path(key), claim));
+  EXPECT_FALSE(sweep::claim_is_stale(store, key));
+  EXPECT_FALSE(sweep::reclaim_stale(store, key));
+}
+
+// A torn write from a worker killed mid-claim cannot be probed; it
+// must count as stale or the cell would be stuck forever.
+TEST(SweepClaimTest, MalformedClaimIsStale) {
+  const sweep::ResultStore store(fresh_dir("claim_torn"));
+  const std::string key = "cc00000000000000000000000000cc04";
+  ASSERT_TRUE(
+      common::create_file_exclusive(store.claim_path(key), "{\"pid\": 12"));
+  EXPECT_TRUE(sweep::claim_is_stale(store, key));
+  EXPECT_TRUE(sweep::reclaim_stale(store, key));
+}
+
+}  // namespace

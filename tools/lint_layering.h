@@ -30,7 +30,9 @@
 //                   below the harness                    → traffic/trace/
 //                                                          core + below
 //   exp             experiment harness, parallel runner  → check + below
-//   scenario        declarative .scn engine (topmost)    → everything
+//   scenario        declarative .scn engine              → exp + below
+//   sweep           experiment service: result cache,
+//                   claims, resumable grids (topmost)    → everything
 //
 // A deliberately-vetted edge can be silenced with `lint: layering-ok`
 // on the include line; cycles cannot be silenced.
@@ -89,6 +91,9 @@ inline const std::map<std::string, std::set<std::string>>& allowed_deps() {
       {"scenario",
        {"scenario", "exp", "check", "trace", "traffic", "core", "cc", "tcp",
         "net", "sim", "stats", "common", "obs"}},
+      {"sweep",
+       {"sweep", "scenario", "exp", "check", "trace", "traffic", "core", "cc",
+        "tcp", "net", "sim", "stats", "common", "obs"}},
   };
   return kAllowed;
 }

@@ -19,6 +19,7 @@
 #include "exp/scenarios.h"
 #include "exp/world.h"
 #include "scenario/engine.h"
+#include "sweep/service.h"
 #include "tools/flags.h"
 #include "trace/pcap.h"
 #include "traffic/bulk.h"
@@ -179,6 +180,9 @@ int usage(std::FILE* out, int code) {
     std::fprintf(out, "  %-11s %s\n", fs.command().c_str(),
                  fs.description().c_str());
   }
+  std::fprintf(out, "  %-11s %s\n", "sweep",
+               "cached, resumable, multi-process grids: run / status / "
+               "diff (docs/SWEEPS.md)");
   std::fprintf(out, "\n'vegas-sim <subcommand> --help' lists that "
                     "subcommand's flags.\n");
   return code;
@@ -609,6 +613,316 @@ int cmd_run(const Flags& flags, const FlagSet& fs) {
   }
 }
 
+// --------------------------------------------------------------- sweep
+
+FlagSet sweep_run_flags() {
+  FlagSet fs("vegas-sim", "sweep run",
+             "Drain a scenario grid through the content-addressed result "
+             "store: cache hits skip simulation, claim files share the "
+             "work across processes, kills resume (docs/SWEEPS.md).",
+             "<file.scn>");
+  fs.arg("store", "<dir>", "sweep-store", "result store directory")
+      .arg("threads", "N", "0",
+           "worker threads per process (0 = VEGAS_THREADS, then hardware)")
+      .arg("shards", "N", "0",
+           "per-cell shard request, baked into the cell key (0 = the "
+           "scenario's [sharding] governs)")
+      .arg("workers", "N", "1",
+           "cooperating processes (forked) draining this grid")
+      .arg("max-cells", "N", "0",
+           "stop this process after computing N cells; the sweep stays "
+           "resumable (0 = no limit)")
+      .arg("poll-ms", "N", "50",
+           "wait between polls for cells other workers hold")
+      .arg("poll-limit", "N", "0", "give up after N polls (0 = wait forever)")
+      .toggle("no-reclaim", "leave stale claims alone (debugging)")
+      .toggle("json",
+              "emit the deterministic summary JSON on stdout (bit-identical "
+              "for a fixed scenario + key context)");
+  return fs;
+}
+
+FlagSet sweep_status_flags() {
+  FlagSet fs("vegas-sim", "sweep status",
+             "Progress of every grid manifest in a result store.");
+  fs.arg("store", "<dir>", "sweep-store", "result store directory")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+FlagSet sweep_diff_flags() {
+  FlagSet fs("vegas-sim", "sweep diff",
+             "Compare a scenario's two most recent grids — or its latest "
+             "grid in two stores — cell by cell: trace digests, "
+             "completion flips, throughput deltas.",
+             "<file.scn | scenario-name>");
+  fs.arg("store", "<dir>", "sweep-store",
+         "store holding side B (the newer run)")
+      .arg("against", "<dir>", "",
+           "store holding side A, the baseline (default: the previous "
+           "grid of the same scenario in --store)")
+      .arg("tolerance-pct", "P", "0.5",
+           "throughput change below this is noise, not a metric change")
+      .toggle("json", "emit JSON on stdout");
+  return fs;
+}
+
+int cmd_sweep_run(const Flags& flags, const FlagSet& fs) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "vegas-sim sweep run: missing scenario file operand\n\n");
+    fs.print_help(stderr);
+    return 2;
+  }
+  const std::string path = flags.positional().front();
+  scenario::Scenario sc;
+  try {
+    sc = scenario::Scenario::load(path);
+  } catch (const scenario::ScenarioError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const sweep::ResultStore store(flags.get_string("store", "sweep-store"));
+  sweep::SweepOptions opts;
+  opts.threads = static_cast<int>(flags.get_int("threads", 0));
+  opts.shards = static_cast<int>(flags.get_int("shards", 0));
+  opts.workers = static_cast<int>(flags.get_int("workers", 1));
+  opts.max_cells = static_cast<std::size_t>(flags.get_int("max-cells", 0));
+  opts.poll_ms = static_cast<int>(flags.get_int("poll-ms", 50));
+  opts.poll_limit = static_cast<std::size_t>(flags.get_int("poll-limit", 0));
+  opts.reclaim_stale = !flags.get_bool("no-reclaim");
+  try {
+    const sweep::SweepReport report = sweep::run_sweep(sc, path, store, opts);
+    if (!report.complete) {
+      std::fprintf(stderr,
+                   "sweep incomplete: this process saw %zu cache hits and "
+                   "computed %zu of %zu cells; re-run to resume:\n  "
+                   "vegas-sim sweep run %s --store %s\n",
+                   report.cache_hits, report.computed, report.cells,
+                   path.c_str(), store.dir().c_str());
+      return 3;
+    }
+    if (flags.get_bool("json")) {
+      // Exactly summary_json(), no decoration: stdout is the
+      // deterministic artifact CI and tests compare bit-for-bit.
+      std::fputs(sweep::summary_json(report).c_str(), stdout);
+    } else {
+      std::printf("sweep \"%s\" (%s): %zu cells  grid %s\n",
+                  report.scenario.c_str(), path.c_str(), report.cells,
+                  report.grid_key.c_str());
+      std::printf(
+          "  %zu cache hit%s, %zu computed here, %zu by other workers, "
+          "%zu stale claim%s reclaimed\n",
+          report.cache_hits, report.cache_hits == 1 ? "" : "s",
+          report.computed, report.computed_elsewhere, report.reclaimed,
+          report.reclaimed == 1 ? "" : "s");
+      for (const sweep::CellRecord& rec : report.records) {
+        std::printf("  cell %llu [%s] t=%.1fs",
+                    static_cast<unsigned long long>(rec.cell),
+                    rec.label.c_str(), rec.sim_time_s);
+        for (const sweep::FlowRecord& f : rec.flows) {
+          std::printf("  %s=%.1fKB/s%s", f.name.c_str(),
+                      f.throughput_Bps / 1024.0,
+                      f.completed ? "" : "(INCOMPLETE)");
+        }
+        std::printf("\n");
+      }
+      std::printf("store: %s\n", store.dir().c_str());
+    }
+    for (const sweep::CellRecord& rec : report.records) {
+      for (const sweep::FlowRecord& f : rec.flows) {
+        if (!f.completed) return 1;
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vegas-sim sweep run: %s\n", e.what());
+    return 1;
+  }
+}
+
+int cmd_sweep_status(const Flags& flags, const FlagSet& fs) {
+  (void)fs;
+  const sweep::ResultStore store(flags.get_string("store", "sweep-store"));
+  const std::vector<sweep::GridStatus> grids = sweep::grid_status(store);
+  if (flags.get_bool("json")) {
+    json::Writer w;
+    w.begin_object();
+    w.field("experiment", "sweep-status");
+    w.field("store", store.dir());
+    w.key("grids");
+    w.begin_array();
+    for (const sweep::GridStatus& g : grids) {
+      w.begin_object();
+      w.field("grid_key", g.manifest.grid_key);
+      w.field("scenario", g.manifest.scenario);
+      w.field("file", g.manifest.file);
+      w.field("shards", static_cast<std::int64_t>(g.manifest.shards));
+      w.field("cells", static_cast<std::uint64_t>(g.manifest.cells.size()));
+      w.field("done", static_cast<std::uint64_t>(g.done));
+      w.field("claimed", static_cast<std::uint64_t>(g.claimed));
+      w.field("stale", static_cast<std::uint64_t>(g.stale));
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else if (grids.empty()) {
+    std::printf("store %s: no grids\n", store.dir().c_str());
+  } else {
+    for (const sweep::GridStatus& g : grids) {
+      std::printf("grid %s  \"%s\" (%s): %zu/%zu done",
+                  g.manifest.grid_key.c_str(), g.manifest.scenario.c_str(),
+                  g.manifest.file.c_str(), g.done, g.manifest.cells.size());
+      if (g.claimed > 0) std::printf(", %zu in flight", g.claimed);
+      if (g.stale > 0) std::printf(", %zu stale claims", g.stale);
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int cmd_sweep_diff(const Flags& flags, const FlagSet& fs) {
+  if (flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "vegas-sim sweep diff: missing scenario operand\n\n");
+    fs.print_help(stderr);
+    return 2;
+  }
+  std::string name = flags.positional().front();
+  if (name.size() > 4 && name.substr(name.size() - 4) == ".scn") {
+    try {
+      name = scenario::Scenario::load(name).name();
+    } catch (const scenario::ScenarioError& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  const sweep::ResultStore store_b(flags.get_string("store", "sweep-store"));
+  const std::string against = flags.get_string("against", "");
+  const sweep::ResultStore store_a(against.empty() ? store_b.dir() : against);
+
+  const std::vector<sweep::GridManifest> in_b = store_b.manifests_for(name);
+  if (in_b.empty()) {
+    std::fprintf(stderr,
+                 "vegas-sim sweep diff: no grid for scenario \"%s\" in %s\n",
+                 name.c_str(), store_b.dir().c_str());
+    return 2;
+  }
+  const sweep::GridManifest b = in_b.back();
+  sweep::GridManifest a;
+  if (!against.empty()) {
+    const std::vector<sweep::GridManifest> in_a = store_a.manifests_for(name);
+    if (in_a.empty()) {
+      std::fprintf(
+          stderr, "vegas-sim sweep diff: no grid for scenario \"%s\" in %s\n",
+          name.c_str(), store_a.dir().c_str());
+      return 2;
+    }
+    a = in_a.back();
+  } else if (in_b.size() >= 2) {
+    a = in_b[in_b.size() - 2];
+  } else {
+    std::fprintf(stderr,
+                 "vegas-sim sweep diff: only one grid for scenario \"%s\" in "
+                 "%s; give a baseline with --against <dir>\n",
+                 name.c_str(), store_b.dir().c_str());
+    return 2;
+  }
+
+  const double tol = flags.get_double("tolerance-pct", 0.5);
+  const sweep::DiffReport d = sweep::diff_grids(store_a, a, store_b, b, tol);
+  const bool changed = !d.changed.empty() || d.only_a > 0 || d.only_b > 0;
+  if (flags.get_bool("json")) {
+    json::Writer w;
+    w.begin_object();
+    w.field("experiment", "sweep-diff");
+    w.field("scenario", d.scenario);
+    w.field("grid_a", d.grid_a);
+    w.field("grid_b", d.grid_b);
+    w.field("tolerance_pct", tol);
+    w.field("matched", static_cast<std::uint64_t>(d.matched));
+    w.field("only_a", static_cast<std::uint64_t>(d.only_a));
+    w.field("only_b", static_cast<std::uint64_t>(d.only_b));
+    w.field("digest_changes", static_cast<std::uint64_t>(d.digest_changes));
+    w.field("metric_changes", static_cast<std::uint64_t>(d.metric_changes));
+    w.field("changed_cells", static_cast<std::uint64_t>(d.changed.size()));
+    w.key("changed");
+    w.begin_array();
+    for (const sweep::CellDiff& c : d.changed) {
+      w.begin_object();
+      w.field("cell", c.cell);
+      w.field("label", c.label);
+      w.field("digest_changed", c.digest_changed);
+      w.field("completion_changed", c.completion_changed);
+      w.field("throughput_delta_pct", c.max_throughput_delta_pct);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    std::printf("%s\n", w.str().c_str());
+  } else {
+    std::printf("sweep diff \"%s\"\n  A %s\n  B %s\n", d.scenario.c_str(),
+                d.grid_a.c_str(), d.grid_b.c_str());
+    std::printf("  %zu matched, %zu only in A, %zu only in B; %zu digest "
+                "change%s, %zu metric change%s (tolerance %.2f%%)\n",
+                d.matched, d.only_a, d.only_b, d.digest_changes,
+                d.digest_changes == 1 ? "" : "s", d.metric_changes,
+                d.metric_changes == 1 ? "" : "s", tol);
+    for (const sweep::CellDiff& c : d.changed) {
+      std::printf("  cell %llu [%s]%s%s",
+                  static_cast<unsigned long long>(c.cell), c.label.c_str(),
+                  c.digest_changed ? "  digest changed" : "",
+                  c.completion_changed ? "  completion flipped" : "");
+      if (c.max_throughput_delta_pct != 0) {
+        std::printf("  throughput %+.2f%%", c.max_throughput_delta_pct);
+      }
+      std::printf("\n");
+    }
+    std::printf("%s\n", changed ? "CHANGED" : "identical");
+  }
+  return changed ? 1 : 0;
+}
+
+int sweep_usage(std::FILE* out, int code) {
+  std::fprintf(out, "usage: vegas-sim sweep <verb> [flags]\n\nverbs:\n");
+  for (const FlagSet& fs :
+       {sweep_run_flags(), sweep_status_flags(), sweep_diff_flags()}) {
+    std::fprintf(out, "  %-13s %s\n", fs.command().c_str(),
+                 fs.description().c_str());
+  }
+  std::fprintf(out, "\n'vegas-sim sweep <verb> --help' lists that verb's "
+                    "flags; docs/SWEEPS.md has the full story.\n");
+  return code;
+}
+
+int cmd_sweep(int argc, char** argv) {
+  if (argc < 3) return sweep_usage(stderr, 2);
+  const std::string verb = argv[2];
+  if (verb == "help" || verb == "--help" || verb == "-h") {
+    return sweep_usage(stdout, 0);
+  }
+  const Flags flags(argc, argv, 3);
+  struct Verb {
+    const char* name;
+    FlagSet fs;
+    int (*fn)(const Flags&, const FlagSet&);
+  };
+  const Verb table[] = {
+      {"run", sweep_run_flags(), cmd_sweep_run},
+      {"status", sweep_status_flags(), cmd_sweep_status},
+      {"diff", sweep_diff_flags(), cmd_sweep_diff},
+  };
+  for (const Verb& v : table) {
+    if (verb != v.name) continue;
+    int code = 0;
+    if (!v.fs.accept(flags, &code)) return code;
+    return v.fn(flags, v.fs);
+  }
+  std::fprintf(stderr, "vegas-sim sweep: unknown verb '%s'\n\n", verb.c_str());
+  return sweep_usage(stderr, 2);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -640,6 +954,7 @@ int main(int argc, char** argv) {
     if (!fs.accept(flags, &code)) return code;
     return cmd_run(flags, fs);
   }
+  if (cmd == "sweep") return cmd_sweep(argc, argv);
   std::fprintf(stderr, "vegas-sim: unknown subcommand '%s'\n\n", cmd.c_str());
   return usage(stderr, 2);
 }
